@@ -1,0 +1,53 @@
+"""Figure 10 benchmark: exact certain answers over C-tables versus UA-DBs.
+
+Benchmarks the per-query cost of both approaches on randomly generated query
+chains of increasing complexity, and regenerates the per-tuple cost series of
+Figure 10.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ctables_exact import CTableQueryEvaluator
+from repro.core.uadb import UADatabase
+from repro.experiments import fig10
+from repro.semirings import BOOLEAN
+from repro.workloads.ctable_gen import generate_random_ctable, generate_random_query_chain
+
+COMPLEXITIES = (1, 3, 5, 7)
+
+
+@pytest.fixture(scope="module")
+def ctable_setup():
+    database = generate_random_ctable(num_tuples=15, seed=13)
+    relation_name = database.relation_names()[0]
+    uadb = UADatabase.from_ctable(database, BOOLEAN)
+    evaluator = CTableQueryEvaluator(database)
+    plans = {
+        complexity: generate_random_query_chain(relation_name, complexity, seed=17 + complexity)
+        for complexity in COMPLEXITIES
+    }
+    return database, uadb, evaluator, plans
+
+
+@pytest.mark.parametrize("complexity", COMPLEXITIES)
+def test_fig10_ctables_exact_certain_answers(benchmark, ctable_setup, complexity):
+    _, _, evaluator, plans = ctable_setup
+    benchmark(lambda: evaluator.certain_answers(plans[complexity]))
+
+
+@pytest.mark.parametrize("complexity", COMPLEXITIES)
+def test_fig10_uadb_query(benchmark, ctable_setup, complexity):
+    _, uadb, _, plans = ctable_setup
+    benchmark(lambda: uadb.query(plans[complexity]))
+
+
+def test_fig10_regenerate_series(benchmark):
+    """Print the Figure 10 per-tuple cost series (single run)."""
+    table = benchmark.pedantic(
+        lambda: fig10.run(complexities=(1, 2, 3, 4, 5, 6, 7), num_tuples=15,
+                          queries_per_complexity=2, show=True),
+        rounds=1, iterations=1,
+    )
+    assert len(table.rows) == 7

@@ -1,0 +1,76 @@
+"""Figure 11 benchmark: PDBench query runtime versus the amount of uncertainty.
+
+Benchmarks every system (Det, UA-DB, Libkin, MayBMS, MCDB) on PDBench Q1-Q3
+at low (2%) and high (30%) uncertainty, and regenerates the Figure 11 series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bgqp import best_guess_query
+from repro.baselines.libkin import libkin_certain_answers
+from repro.baselines.maybms import MayBMSDatabase
+from repro.baselines.mcdb import MCDBSampler
+from repro.db.sql import parse_query
+from repro.experiments import fig11
+from repro.workloads.tpch_queries import pdbench_query
+
+QUERIES = ("Q1", "Q2", "Q3")
+LEVELS = (0.02, 0.30)
+
+
+def _instance(fixtures, level):
+    return fixtures[0] if level == 0.02 else fixtures[1]
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig11_det(benchmark, pdbench_low_uncertainty, pdbench_high_uncertainty, query, level):
+    instance = _instance((pdbench_low_uncertainty, pdbench_high_uncertainty), level)
+    sql = pdbench_query(query)
+    benchmark(lambda: best_guess_query(instance.best_guess, sql))
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig11_uadb(benchmark, pdbench_frontends, query, level):
+    frontend = pdbench_frontends[level]
+    sql = pdbench_query(query)
+    benchmark(lambda: frontend.query(sql))
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig11_libkin(benchmark, pdbench_low_uncertainty, pdbench_high_uncertainty, query, level):
+    instance = _instance((pdbench_low_uncertainty, pdbench_high_uncertainty), level)
+    sql = pdbench_query(query)
+    benchmark(lambda: libkin_certain_answers(instance.null_database, sql))
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig11_maybms(benchmark, pdbench_low_uncertainty, pdbench_high_uncertainty, query, level):
+    instance = _instance((pdbench_low_uncertainty, pdbench_high_uncertainty), level)
+    maybms = MayBMSDatabase.from_xdb(instance.xdb)
+    plan = parse_query(pdbench_query(query), instance.best_guess.schema)
+    benchmark.pedantic(lambda: maybms.query(plan), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig11_mcdb(benchmark, pdbench_low_uncertainty, query):
+    instance = pdbench_low_uncertainty
+    sampler = MCDBSampler(num_samples=10)
+    worlds = sampler.sample_worlds_xdb(instance.xdb)
+    sql = pdbench_query(query)
+    benchmark.pedantic(lambda: sampler.query(worlds, sql), rounds=2, iterations=1)
+
+
+def test_fig11_regenerate_series(benchmark):
+    """Print the Figure 11 runtime table (single run, all uncertainty levels)."""
+    table = benchmark.pedantic(
+        lambda: fig11.run(uncertainties=(0.02, 0.05, 0.10, 0.30),
+                          queries=QUERIES, scale_factor=0.05, show=True),
+        rounds=1, iterations=1,
+    )
+    assert len(table.rows) == 12

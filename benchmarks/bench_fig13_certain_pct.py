@@ -1,0 +1,32 @@
+"""Figure 13 benchmark: fraction of certain answers per query and uncertainty level."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig13
+from repro.workloads.tpch_queries import pdbench_query
+
+
+@pytest.mark.parametrize("query", ("Q1", "Q2", "Q3"))
+def test_fig13_certain_labeling_cost(benchmark, pdbench_frontends, query):
+    """Benchmark extracting the certain answers of a UA-DB query result."""
+    frontend = pdbench_frontends[0.02]
+    result = frontend.query(pdbench_query(query))
+    benchmark(lambda: result.certain_rows())
+
+
+def test_fig13_regenerate_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig13.run(uncertainties=(0.02, 0.05, 0.10, 0.30),
+                          queries=("Q1", "Q2", "Q3"), scale_factor=0.05, show=True),
+        rounds=1, iterations=1,
+    )
+    # The fraction of certain answers shrinks as input uncertainty grows.
+    by_query = {}
+    for uncertainty, query, certain, total, pct in table.rows:
+        assert 0 <= pct <= 100
+        by_query.setdefault(query, []).append((uncertainty, pct))
+    for query, series in by_query.items():
+        series.sort()
+        assert series[-1][1] <= series[0][1] + 25.0

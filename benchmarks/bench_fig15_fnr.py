@@ -1,0 +1,43 @@
+"""Figure 15 benchmark: projection false-negative rate on the real-world datasets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments import fig15
+from repro.experiments.projection_fnr import (
+    projection_false_negative_rate, random_projection_positions,
+)
+from repro.workloads.realworld import generate_dataset
+
+DATASETS = ("shootings_buffalo", "contracts", "food_inspections")
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {name: generate_dataset(name, scale=0.002, seed=19) for name in DATASETS}
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_fig15_fnr_computation(benchmark, datasets, name):
+    dataset = datasets[name]
+    relation = dataset.xdb.relation(dataset.schema.name)
+    rng = random.Random(19)
+    positions = random_projection_positions(dataset.schema.arity,
+                                            dataset.schema.arity // 2, rng)
+    rate = benchmark(lambda: projection_false_negative_rate(relation, positions))
+    assert 0.0 <= rate <= 1.0
+
+
+def test_fig15_regenerate_distributions(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig15.run(datasets=list(DATASETS), scale=0.001,
+                          projections_per_width=6, show=True),
+        rounds=1, iterations=1,
+    )
+    # FNR distributions stay low overall (paper: below ~20% in the worst case).
+    assert all(row[6] <= 0.9 for row in table.rows)
+    medians = [row[4] for row in table.rows]
+    assert sum(medians) / len(medians) <= 0.3

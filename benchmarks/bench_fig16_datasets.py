@@ -1,0 +1,26 @@
+"""Figure 16 benchmark: real-world dataset generation and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig16
+from repro.workloads.realworld import DATASET_PROFILES, generate_dataset
+
+
+@pytest.mark.parametrize("name", ("shootings_buffalo", "contracts", "public_library_survey"))
+def test_fig16_dataset_generation(benchmark, name):
+    dataset = benchmark.pedantic(
+        lambda: generate_dataset(name, scale=0.002, seed=11), rounds=2, iterations=1
+    )
+    assert dataset.schema.arity == DATASET_PROFILES[name].columns
+
+
+def test_fig16_regenerate_statistics_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig16.run(scale=0.0005, show=True), rounds=1, iterations=1
+    )
+    assert len(table.rows) == len(DATASET_PROFILES)
+    for row in table.rows:
+        measured_u_row, paper_u_row = row[4], row[7]
+        assert abs(measured_u_row - paper_u_row) <= 0.1

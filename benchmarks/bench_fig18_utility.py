@@ -1,0 +1,31 @@
+"""Figure 18 benchmark: utility (precision/recall) of UA-DBs vs certain answers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig18
+
+
+def test_fig18_single_level_run(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig18.run(uncertainties=(0.3,), num_rows=300, show=False),
+        rounds=2, iterations=1,
+    )
+    assert len(table.rows) == 1
+
+
+def test_fig18_regenerate_series(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig18.run(uncertainties=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+                          num_rows=400, show=True),
+        rounds=1, iterations=1,
+    )
+    rows = table.rows
+    # Libkin keeps perfect precision; its recall drops as uncertainty grows.
+    assert all(row[5] == pytest.approx(1.0) for row in rows)
+    assert rows[-1][6] < rows[0][6]
+    # Best-guess UA-DB answers keep higher recall than certain answers alone,
+    # and the best-guess repair beats the random-guess repair on precision.
+    assert rows[-1][2] >= rows[-1][6]
+    assert rows[-1][1] >= rows[-1][3] - 0.1

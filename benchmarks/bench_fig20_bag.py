@@ -1,0 +1,30 @@
+"""Figure 20 benchmark: bag-semantics mislabeling rates of random projections."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments import fig20
+from repro.experiments.projection_fnr import (
+    bag_projection_error_rate, random_projection_positions,
+)
+from repro.workloads.realworld import generate_dataset
+
+
+def test_fig20_bag_error_rate_computation(benchmark):
+    dataset = generate_dataset("food_inspections", scale=0.002, seed=29)
+    relation = dataset.xdb.relation(dataset.schema.name)
+    rng = random.Random(29)
+    positions = random_projection_positions(dataset.schema.arity, 5, rng)
+    rate = benchmark(lambda: bag_projection_error_rate(relation, positions))
+    assert 0.0 <= rate <= 1.0
+
+
+def test_fig20_regenerate_series(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig20.run(scale=0.001, projections_per_width=6, show=True),
+        rounds=1, iterations=1,
+    )
+    assert all(0.0 <= row[2] <= 0.6 for row in table.rows)

@@ -1,0 +1,34 @@
+"""Figure 21 benchmark: mislabelings under the access-control semiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig21
+
+
+def test_fig21_single_configuration(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig21.run(datasets=("shootings_buffalo", "contracts"),
+                          error_rates=(0.05,), projection_widths=(1, 5),
+                          projections_per_width=5, scale=0.002, show=False),
+        rounds=2, iterations=1,
+    )
+    assert len(table.rows) == 2
+
+
+def test_fig21_regenerate_series(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig21.run(error_rates=(0.01, 0.05, 0.10, 0.15),
+                          projection_widths=(1, 3, 5, 7, 9),
+                          projections_per_width=6, scale=0.001, show=True),
+        rounds=1, iterations=1,
+    )
+    # Mean label error grows with the input error rate.
+    by_rate = {}
+    for error_rate, width, mean_error in table.rows:
+        by_rate.setdefault(error_rate, []).append(mean_error)
+        assert 0.0 <= mean_error <= 1.0
+    averages = {rate: sum(values) / len(values) for rate, values in by_rate.items()}
+    rates = sorted(averages)
+    assert averages[rates[-1]] >= averages[rates[0]]

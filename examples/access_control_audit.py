@@ -1,0 +1,77 @@
+"""Beyond sets and bags: UA-DBs over the access-control semiring.
+
+Tuples of an employee directory carry clearance levels from the access
+control semiring A (0 < T < S < C < P).  The true levels of a few tuples are
+uncertain (the classification review is pending), so the UA-DB stores, per
+tuple, a pair of levels: a lower bound that is safe to assume (the certain
+component) and the level recorded in the best-guess world.  Queries combine
+the annotations with the semiring operations -- joining data takes the
+stricter (min) clearance, merging duplicates takes the more permissive (max)
+-- and the bounds are preserved, mirroring Section 11.3 / Figure 21.
+
+Run with::
+
+    python examples/access_control_audit.py
+"""
+
+from __future__ import annotations
+
+from repro.core.uadb import UADatabase
+from repro.db import algebra
+from repro.db.expressions import Column, Comparison
+from repro.db.schema import RelationSchema
+from repro.semirings import ACCESS, AccessLevel
+
+EMPLOYEES = RelationSchema("employees", ["name", "department"])
+PROJECTS = RelationSchema("projects", ["department", "project"])
+
+
+def main() -> None:
+    uadb = UADatabase(ACCESS, "directory")
+
+    employees = uadb.create_relation(EMPLOYEES)
+    # Certain public record.
+    employees.add_tuple(("ada", "engineering"),
+                        certain=AccessLevel.PUBLIC, determinized=AccessLevel.PUBLIC)
+    # The review may downgrade this record to secret: assume secret, expose
+    # confidential in the best-guess world.
+    employees.add_tuple(("grace", "research"),
+                        certain=AccessLevel.SECRET, determinized=AccessLevel.CONFIDENTIAL)
+    # A record whose clearance is completely unresolved.
+    employees.add_tuple(("alan", "research"),
+                        certain=AccessLevel.NONE, determinized=AccessLevel.SECRET)
+
+    projects = uadb.create_relation(PROJECTS)
+    projects.add_tuple(("engineering", "compiler"),
+                       certain=AccessLevel.PUBLIC, determinized=AccessLevel.PUBLIC)
+    projects.add_tuple(("research", "enigma"),
+                       certain=AccessLevel.TOP_SECRET, determinized=AccessLevel.SECRET)
+
+    plan = algebra.Projection(
+        algebra.Join(
+            algebra.Qualify(algebra.RelationRef("employees"), "e"),
+            algebra.Qualify(algebra.RelationRef("projects"), "p"),
+            Comparison("=", Column("department", qualifier="e"),
+                       Column("department", qualifier="p")),
+        ),
+        ((Column("name", qualifier="e"), "name"),
+         (Column("project", qualifier="p"), "project")),
+    )
+    result = uadb.query(plan)
+
+    print("Who may be associated with which project, with clearance bounds:\n")
+    print(f"{'name':<8} {'project':<10} {'guaranteed level':<18} best-guess level")
+    for row in sorted(result.rows()):
+        annotation = result.annotation(row)
+        print(f"{row[0]:<8} {row[1]:<10} "
+              f"{annotation.certain.symbol:<18} {annotation.determinized.symbol}")
+
+    print(
+        "\nReading the bounds: a user cleared at the 'guaranteed level' may "
+        "definitely see the tuple in every resolution of the pending review; "
+        "the best-guess level is what the current catalog grants."
+    )
+
+
+if __name__ == "__main__":
+    main()

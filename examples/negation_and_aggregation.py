@@ -1,0 +1,97 @@
+"""Negation and aggregation over uncertain data: the UAP-DB extension.
+
+The paper's rewriting covers RA+ (selection, projection, join, union); its
+conclusion lists negation and aggregation as future work.  This example uses
+the extension package: a UAP-DB additionally stores an over-approximation of
+each tuple's possible annotation, which is exactly what a difference query
+needs to stay sound, and what lets aggregates be reported with bounds.
+
+Scenario: a courier company merges two shipment feeds.  Some destinations are
+ambiguous, and the analyst asks two questions the core UA-DB model cannot
+answer on its own:
+
+1. Which shipments reached the depot but were never scanned out?  (difference)
+2. How many shipments does each region handle, at least and at most?  (aggregation)
+
+Run with::
+
+    python examples/negation_and_aggregation.py
+"""
+
+from __future__ import annotations
+
+from repro.db import algebra
+from repro.db.expressions import Column
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.incomplete import XDatabase
+from repro.extensions import UAPDatabase, ua_aggregate
+
+
+def build_shipments() -> XDatabase:
+    """Arrivals and departures with ambiguous regions / optional rows."""
+    xdb = XDatabase("courier")
+
+    arrivals = xdb.create_relation(RelationSchema("arrived", [
+        Attribute("shipment", DataType.STRING),
+        Attribute("region", DataType.STRING),
+        Attribute("weight", DataType.INTEGER),
+    ]))
+    arrivals.add_certain(("s1", "east", 12))
+    arrivals.add_certain(("s2", "east", 7))
+    # OCR read the region label ambiguously.
+    arrivals.add_alternatives([("s3", "east", 9), ("s3", "west", 9)],
+                              probabilities=[0.55, 0.45])
+    arrivals.add_certain(("s4", "west", 20))
+    # This arrival record may be a duplicate scan (it might not exist at all).
+    arrivals.add_alternatives([("s5", "west", 4)], probabilities=[0.7])
+
+    departures = xdb.create_relation(RelationSchema("departed", [
+        Attribute("shipment", DataType.STRING),
+    ]))
+    departures.add_certain(("s1",))
+    # The departure scan for s2 is smudged; it may belong to s2 or s3.
+    departures.add_alternatives([("s2",), ("s3",)], probabilities=[0.5, 0.5])
+    return xdb
+
+
+def main() -> None:
+    uapdb = UAPDatabase.from_xdb(build_shipments())
+
+    # 1. Difference: shipments that arrived but never departed.
+    arrived_ids = algebra.Projection(
+        algebra.RelationRef("arrived"), ((Column("shipment"), "shipment"),),
+    )
+    departed_ids = algebra.Projection(
+        algebra.RelationRef("departed"), ((Column("shipment"), "shipment"),),
+    )
+    stuck = uapdb.query(algebra.Difference(arrived_ids, departed_ids))
+    print("Shipments still at the depot (arrived EXCEPT departed):")
+    for row in sorted(stuck.best_guess_rows()):
+        status = "certain" if stuck.is_certain(row) else "depends on how the ambiguity resolves"
+        print(f"  {row[0]}: {status}")
+    print()
+
+    # 2. Aggregation with bounds: shipments per region.
+    plan = algebra.Aggregate(
+        algebra.RelationRef("arrived"),
+        ((Column("region"), "region"),),
+        (
+            algebra.AggregateFunction("count", None, "shipments"),
+            algebra.AggregateFunction("sum", Column("weight"), "total_weight"),
+        ),
+    )
+    print("Shipments per region (best guess, with sound bounds):")
+    print(f"{'region':<8}{'count':>6}{'count range':>16}{'weight':>9}{'weight range':>18}")
+    for group in ua_aggregate(uapdb, plan):
+        count = group.aggregate("shipments")
+        weight = group.aggregate("total_weight")
+        print(f"{group.key[0]:<8}{count.value:>6}"
+              f"{f'[{count.lower}, {count.upper}]':>16}"
+              f"{weight.value:>9}"
+              f"{f'[{weight.lower}, {weight.upper}]':>18}")
+    print("\nA bound of the form [x, x] means the value is the same in every "
+          "possible world; wider bounds show how far the ambiguity can move it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro: a reproduction of "Uncertainty Annotated Databases" (SIGMOD 2019).
+
+The package is organized bottom-up:
+
+* :mod:`repro.semirings` -- commutative semirings and annotation algebra,
+* :mod:`repro.db`        -- the in-memory relational engine and SQL front-end,
+* :mod:`repro.incomplete` -- incomplete / probabilistic data models,
+* :mod:`repro.core`      -- UA-DBs: labelings, encodings, rewriting, front-end,
+* :mod:`repro.extensions` -- the paper's future-work items: possible-annotation
+  bounds (UAP-DBs with difference/negation), aggregation with certainty
+  bounds, attribute-level uncertainty labels,
+* :mod:`repro.baselines` -- systems compared against in the evaluation,
+* :mod:`repro.workloads` -- data and query generators used by the experiments,
+* :mod:`repro.metrics`   -- quality metrics (FNR, precision/recall, ...),
+* :mod:`repro.experiments` -- one module per table/figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import UADatabase, UADBFrontend, UARelation
+
+__all__ = ["UADatabase", "UADBFrontend", "UARelation", "__version__"]

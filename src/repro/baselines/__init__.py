@@ -1,0 +1,29 @@
+"""Baseline systems compared against UA-DBs in the paper's evaluation.
+
+* :mod:`repro.baselines.bgqp` -- deterministic best-guess query processing,
+* :mod:`repro.baselines.libkin` -- the Libkin/Guagliardo null-based
+  certain-answer under-approximation,
+* :mod:`repro.baselines.maybms` -- MayBMS-style possible-answer and
+  confidence computation over a U-relation-like encoding,
+* :mod:`repro.baselines.mcdb` -- MCDB-style tuple-bundle sampling,
+* :mod:`repro.baselines.ctables_exact` -- exact certain answers over C-tables
+  via symbolic evaluation plus tautology checking (the Z3 pipeline).
+"""
+
+from repro.baselines.bgqp import best_guess_query
+from repro.baselines.libkin import libkin_certain_answers, libkin_query
+from repro.baselines.maybms import MayBMSDatabase, MayBMSRelation, WorldSetDescriptor
+from repro.baselines.mcdb import MCDBSampler
+from repro.baselines.ctables_exact import CTableQueryEvaluator, exact_certain_answers
+
+__all__ = [
+    "best_guess_query",
+    "libkin_certain_answers",
+    "libkin_query",
+    "MayBMSDatabase",
+    "MayBMSRelation",
+    "WorldSetDescriptor",
+    "MCDBSampler",
+    "CTableQueryEvaluator",
+    "exact_certain_answers",
+]

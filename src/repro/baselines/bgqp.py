@@ -1,0 +1,31 @@
+"""Deterministic best-guess query processing (the "Det" baseline).
+
+BGQP evaluates queries over a single designated possible world and ignores
+all uncertainty.  It is the performance yardstick of the paper: UA-DBs aim to
+stay within a few percent of BGQP while adding certainty labels.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.relation import KRelation
+from repro.db.sql import parse_query
+
+
+def best_guess_query(world: Database, query: str | algebra.Operator) -> Tuple[KRelation, float]:
+    """Evaluate ``query`` (SQL text or an algebra plan) over one possible world.
+
+    Returns the result relation and the elapsed wall-clock seconds.
+    """
+    started = time.perf_counter()
+    if isinstance(query, str):
+        plan = parse_query(query, world.schema)
+    else:
+        plan = query
+    result = evaluate(plan, world)
+    return result, time.perf_counter() - started

@@ -1,0 +1,270 @@
+"""Exact certain answers over C-tables via symbolic evaluation.
+
+This baseline reproduces the pipeline the paper compares against in
+Figure 10: the query is *instrumented* to compute a local condition for every
+result tuple (joins conjoin input conditions, projections and unions disjoin
+the conditions of coinciding tuples, selections conjoin the selection
+predicate, instantiated over the tuple's symbolic values) and a tuple is a
+certain answer iff it is ground and its local condition is a tautology.  The
+paper uses Z3 for the tautology check; here :mod:`repro.incomplete.solver`
+plays that role.
+
+The per-tuple cost grows with the size of the accumulated condition, which is
+exactly the behaviour Figure 10 measures (cost versus query complexity).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.db import algebra
+from repro.db.expressions import (
+    And, Arithmetic, Between, Column, Comparison, Expression, InList, IsNull,
+    Literal, Negate, Not, Or,
+)
+from repro.db.schema import Attribute, RelationSchema
+from repro.incomplete.conditions import (
+    AndCondition, ComparisonAtom, Condition, FalseCondition, NotCondition,
+    OrCondition, TrueCondition, Variable,
+)
+from repro.incomplete.ctable import CTable, CTableDatabase, CTupleSpec
+from repro.incomplete.solver import is_tautology
+
+
+class SymbolicEvaluationError(RuntimeError):
+    """Raised when a plan cannot be evaluated symbolically over C-tables."""
+
+
+class CTableQueryEvaluator:
+    """Evaluates RA+ plans over a C-table database, producing a result C-table."""
+
+    def __init__(self, database: CTableDatabase) -> None:
+        self.database = database
+
+    # -- public API -----------------------------------------------------------------
+
+    def evaluate(self, plan: algebra.Operator) -> CTable:
+        """Symbolically evaluate ``plan``; the result is a C-table."""
+        return self._eval(plan)
+
+    def certain_answers(self, plan: algebra.Operator,
+                        merge_duplicates: bool = True) -> Tuple[List[Tuple], float]:
+        """Exact certain answers of ``plan`` plus elapsed wall-clock seconds.
+
+        A ground result tuple is certain iff the disjunction of the local
+        conditions of all its occurrences is a tautology (under the closed
+        world assumption with the database's variable domains).
+        """
+        started = time.perf_counter()
+        result = self._eval(plan)
+        candidates = [spec.values for spec in result.tuples if spec.is_ground()]
+        seen = set()
+        certain: List[Tuple] = []
+        for candidate in candidates:
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            # The candidate is certain iff in every valuation *some* result
+            # tuple instantiates to it: the disjunction over all result specs
+            # of (local condition AND unification constraints) is a tautology.
+            disjuncts: List[Condition] = []
+            for spec in result.tuples:
+                unified = _unify(spec, candidate)
+                if unified is not None and not isinstance(unified, FalseCondition):
+                    disjuncts.append(unified)
+            if not disjuncts:
+                continue
+            condition: Condition = (
+                disjuncts[0] if len(disjuncts) == 1 and merge_duplicates
+                else OrCondition(tuple(disjuncts))
+            )
+            if is_tautology(condition, self.database.domains):
+                certain.append(candidate)
+        return certain, time.perf_counter() - started
+
+    # -- symbolic evaluation -----------------------------------------------------------
+
+    def _eval(self, plan: algebra.Operator) -> CTable:
+        if isinstance(plan, algebra.RelationRef):
+            relation = self.database.relation(plan.name)
+            if plan.alias and plan.alias.lower() != plan.name.lower():
+                return CTable(relation.schema.rename(plan.alias), list(relation.tuples))
+            return relation
+        if isinstance(plan, algebra.Qualify):
+            child = self._eval(plan.child)
+            attributes = [
+                Attribute(f"{plan.qualifier}.{attr.name.split('.')[-1]}", attr.data_type)
+                for attr in child.schema.attributes
+            ]
+            return CTable(RelationSchema(plan.qualifier, attributes), list(child.tuples))
+        if isinstance(plan, algebra.Selection):
+            child = self._eval(plan.child)
+            result = CTable(child.schema)
+            names = child.schema.attribute_names
+            for spec in child.tuples:
+                predicate = _predicate_to_condition(plan.predicate, names, spec.values)
+                condition = AndCondition((spec.condition, predicate)).simplify()
+                if not isinstance(condition, FalseCondition):
+                    result.add(CTupleSpec(spec.values, condition))
+            return result
+        if isinstance(plan, algebra.Projection):
+            child = self._eval(plan.child)
+            names = child.schema.attribute_names
+            schema = RelationSchema(
+                child.schema.name, [Attribute(name) for _, name in plan.items]
+            )
+            result = CTable(schema)
+            for spec in child.tuples:
+                values = tuple(
+                    _project_value(expr, names, spec.values) for expr, _ in plan.items
+                )
+                result.add(CTupleSpec(values, spec.condition))
+            return result
+        if isinstance(plan, (algebra.Join, algebra.CrossProduct)):
+            predicate = plan.predicate if isinstance(plan, algebra.Join) else None
+            left = self._eval(plan.left)
+            right = self._eval(plan.right)
+            schema = left.schema.concat(right.schema)
+            names = schema.attribute_names
+            result = CTable(schema)
+            for left_spec in left.tuples:
+                for right_spec in right.tuples:
+                    values = left_spec.values + right_spec.values
+                    condition: Condition = AndCondition(
+                        (left_spec.condition, right_spec.condition)
+                    )
+                    if predicate is not None:
+                        condition = AndCondition(
+                            (condition, _predicate_to_condition(predicate, names, values))
+                        )
+                    condition = condition.simplify()
+                    if not isinstance(condition, FalseCondition):
+                        result.add(CTupleSpec(values, condition))
+            return result
+        if isinstance(plan, algebra.Union):
+            left = self._eval(plan.left)
+            right = self._eval(plan.right)
+            result = CTable(left.schema, list(left.tuples))
+            for spec in right.tuples:
+                result.add(spec)
+            return result
+        raise SymbolicEvaluationError(
+            f"operator {type(plan).__name__} is outside the fragment supported by "
+            "symbolic C-table evaluation"
+        )
+
+
+def _unify(spec: CTupleSpec, candidate: Tuple) -> Optional[Condition]:
+    """Condition under which ``spec`` instantiates to the ground ``candidate``.
+
+    Returns None when the values can never match (differing constants);
+    otherwise the spec's local condition conjoined with one equality atom per
+    variable position.
+    """
+    constraints: List[Condition] = [spec.condition]
+    for value, target in zip(spec.values, candidate):
+        if isinstance(value, Variable):
+            constraints.append(ComparisonAtom("=", value, target))
+        elif value != target:
+            return None
+    return AndCondition(tuple(constraints)).simplify()
+
+
+# ---------------------------------------------------------------------------
+# Translating row-level predicates into symbolic conditions.
+# ---------------------------------------------------------------------------
+
+def _lookup_symbolic(column: Column, names: Sequence[str], values: Tuple) -> Any:
+    """Resolve a column reference to the tuple's (possibly symbolic) value."""
+    target_full = column.full_name.lower()
+    target_base = column.name.lower()
+    for name, value in zip(names, values):
+        if name.lower() == target_full:
+            return value
+    for name, value in zip(names, values):
+        if name.lower().split(".")[-1] == target_base:
+            return value
+    raise SymbolicEvaluationError(f"unknown column {column.full_name!r}")
+
+
+def _term(expression: Expression, names: Sequence[str], values: Tuple) -> Any:
+    """Evaluate a scalar term, which may resolve to a Variable or a constant."""
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, Column):
+        return _lookup_symbolic(expression, names, values)
+    if isinstance(expression, Negate):
+        inner = _term(expression.operand, names, values)
+        if isinstance(inner, Variable):
+            raise SymbolicEvaluationError("cannot negate a symbolic value")
+        return -inner
+    if isinstance(expression, Arithmetic):
+        left = _term(expression.left, names, values)
+        right = _term(expression.right, names, values)
+        if isinstance(left, Variable) or isinstance(right, Variable):
+            raise SymbolicEvaluationError(
+                "arithmetic over symbolic values is not supported"
+            )
+        env_value = {"+": left + right, "-": left - right,
+                     "*": left * right, "/": left / right if right else None}
+        return env_value[expression.op]
+    raise SymbolicEvaluationError(
+        f"unsupported term {type(expression).__name__} in a symbolic predicate"
+    )
+
+
+def _predicate_to_condition(predicate: Expression, names: Sequence[str],
+                            values: Tuple) -> Condition:
+    """Instantiate a predicate over a symbolic tuple as a C-table condition."""
+    if isinstance(predicate, Literal):
+        return TrueCondition() if predicate.value else FalseCondition()
+    if isinstance(predicate, And):
+        return AndCondition(
+            tuple(_predicate_to_condition(op, names, values) for op in predicate.operands)
+        ).simplify()
+    if isinstance(predicate, Or):
+        return OrCondition(
+            tuple(_predicate_to_condition(op, names, values) for op in predicate.operands)
+        ).simplify()
+    if isinstance(predicate, Not):
+        return _predicate_to_condition(predicate.operand, names, values).negate()
+    if isinstance(predicate, Comparison):
+        left = _term(predicate.left, names, values)
+        right = _term(predicate.right, names, values)
+        op = "!=" if predicate.op == "<>" else predicate.op
+        atom = ComparisonAtom(op, left, right)
+        return atom.simplify()
+    if isinstance(predicate, Between):
+        operand = _term(predicate.operand, names, values)
+        low = _term(predicate.low, names, values)
+        high = _term(predicate.high, names, values)
+        return AndCondition(
+            (ComparisonAtom(">=", operand, low), ComparisonAtom("<=", operand, high))
+        ).simplify()
+    if isinstance(predicate, InList):
+        operand = _term(predicate.operand, names, values)
+        atoms = tuple(
+            ComparisonAtom("=", operand, _term(value, names, values))
+            for value in predicate.values
+        )
+        return OrCondition(atoms).simplify()
+    if isinstance(predicate, IsNull):
+        value = _term(predicate.operand, names, values)
+        is_null = value is None and not isinstance(value, Variable)
+        verdict = (not is_null) if predicate.negated else is_null
+        return TrueCondition() if verdict else FalseCondition()
+    raise SymbolicEvaluationError(
+        f"unsupported predicate {type(predicate).__name__} in symbolic evaluation"
+    )
+
+
+def _project_value(expression: Expression, names: Sequence[str], values: Tuple) -> Any:
+    """Evaluate a projection expression over a symbolic tuple."""
+    return _term(expression, names, values)
+
+
+def exact_certain_answers(database: CTableDatabase,
+                          plan: algebra.Operator) -> Tuple[List[Tuple], float]:
+    """Convenience wrapper: exact certain answers of ``plan`` over ``database``."""
+    return CTableQueryEvaluator(database).certain_answers(plan)

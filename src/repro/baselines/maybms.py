@@ -1,0 +1,314 @@
+"""MayBMS-style possible-answer and confidence computation.
+
+MayBMS represents uncertain relations as *U-relations*: every tuple carries a
+world-set descriptor -- a conjunction of ``(variable = value)`` assignments
+over independent finite random variables (here: one variable per x-tuple /
+block, whose values are the alternative indices).  Queries manipulate the
+descriptors:
+
+* joins take the union of the two descriptors (dropping inconsistent
+  combinations that assign two different values to the same variable),
+* projections collect the descriptors of all contributing input tuples,
+* the set of *possible answers* is every tuple with at least one consistent
+  descriptor,
+* ``conf()`` computes the exact marginal probability of a tuple by
+  inclusion-exclusion over its (DNF) descriptor set, or an approximation by
+  Monte-Carlo sampling of the variables.
+
+Result sizes therefore grow with the amount of uncertainty (every consistent
+combination of alternatives yields a distinct descriptor), reproducing the
+blow-up the paper reports for MayBMS in Figures 11, 12 and 19.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db import algebra
+from repro.db.expressions import RowEnvironment
+from repro.db.relation import Row
+from repro.db.schema import Attribute, RelationSchema
+from repro.incomplete.xdb import XDatabase, XRelation
+from repro.incomplete.tidb import TIDatabase
+
+#: A world-set descriptor: a consistent partial assignment of block variables.
+WorldSetDescriptor = FrozenSet[Tuple[str, int]]
+
+
+def _consistent(left: WorldSetDescriptor, right: WorldSetDescriptor) -> bool:
+    """True if the two descriptors never assign different values to a variable."""
+    assignment: Dict[str, int] = dict(left)
+    for variable, value in right:
+        if assignment.get(variable, value) != value:
+            return False
+    return True
+
+
+def _merge(left: WorldSetDescriptor, right: WorldSetDescriptor) -> WorldSetDescriptor:
+    return left | right
+
+
+@dataclass
+class MayBMSRelation:
+    """A U-relation: rows paired with world-set descriptors."""
+
+    schema: RelationSchema
+    #: Every entry is one (row, descriptor) pair; a row may appear many times.
+    entries: List[Tuple[Row, WorldSetDescriptor]] = field(default_factory=list)
+
+    def add(self, row: Sequence[Any], descriptor: Iterable[Tuple[str, int]] = ()) -> None:
+        """Add a tuple holding under the given world-set descriptor."""
+        self.entries.append((tuple(row), frozenset(descriptor)))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Tuple[Row, WorldSetDescriptor]]:
+        return iter(self.entries)
+
+    def possible_rows(self) -> List[Row]:
+        """Distinct rows holding in at least one world."""
+        seen: Dict[Row, None] = {}
+        for row, _descriptor in self.entries:
+            seen.setdefault(row, None)
+        return list(seen.keys())
+
+    def descriptors_of(self, row: Sequence[Any]) -> List[WorldSetDescriptor]:
+        """All descriptors under which ``row`` holds (its DNF lineage)."""
+        row = tuple(row)
+        return [descriptor for r, descriptor in self.entries if r == row]
+
+
+class MayBMSDatabase:
+    """A collection of U-relations plus the block-variable probability tables."""
+
+    def __init__(self, name: str = "maybms") -> None:
+        self.name = name
+        self.relations: Dict[str, MayBMSRelation] = {}
+        #: Probability of each value of each block variable.
+        self.variable_distributions: Dict[str, Dict[int, float]] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_relation(self, relation: MayBMSRelation) -> None:
+        """Register a U-relation."""
+        key = relation.schema.name.lower()
+        if key in self.relations:
+            raise ValueError(f"relation {relation.schema.name!r} already exists")
+        self.relations[key] = relation
+
+    def relation(self, name: str) -> MayBMSRelation:
+        """Look up a U-relation by name."""
+        return self.relations[name.lower()]
+
+    def set_variable(self, variable: str, distribution: Dict[int, float]) -> None:
+        """Register a block variable with its value distribution."""
+        self.variable_distributions[variable] = dict(distribution)
+
+    @classmethod
+    def from_xdb(cls, xdb: XDatabase, name: Optional[str] = None) -> "MayBMSDatabase":
+        """Translate an x-DB / BI-DB into the U-relation encoding."""
+        database = cls(name or f"{xdb.name}_maybms")
+        for relation in xdb:
+            u_relation = MayBMSRelation(relation.schema)
+            for block_index, x_tuple in enumerate(relation):
+                variable = f"{relation.schema.name.lower()}_b{block_index}"
+                choices = x_tuple.choices()
+                needs_variable = len(choices) > 1
+                distribution: Dict[int, float] = {}
+                for alt_index, choice in enumerate(choices):
+                    probability = x_tuple.choice_probability(choice)
+                    distribution[alt_index] = probability
+                    if choice is None:
+                        continue
+                    descriptor = ((variable, alt_index),) if needs_variable else ()
+                    u_relation.add(choice, descriptor)
+                if needs_variable:
+                    database.set_variable(variable, distribution)
+            database.add_relation(u_relation)
+        return database
+
+    @classmethod
+    def from_tidb(cls, tidb: TIDatabase, name: Optional[str] = None) -> "MayBMSDatabase":
+        """Translate a TI-DB into the U-relation encoding."""
+        database = cls(name or f"{tidb.name}_maybms")
+        for relation in tidb:
+            u_relation = MayBMSRelation(relation.schema)
+            for index, ti_tuple in enumerate(relation):
+                if ti_tuple.optional:
+                    variable = f"{relation.schema.name.lower()}_t{index}"
+                    database.set_variable(
+                        variable, {1: ti_tuple.probability, 0: 1 - ti_tuple.probability}
+                    )
+                    u_relation.add(ti_tuple.values, ((variable, 1),))
+                else:
+                    u_relation.add(ti_tuple.values, ())
+            database.add_relation(u_relation)
+        return database
+
+    # -- query evaluation -----------------------------------------------------------
+
+    def query(self, plan: algebra.Operator) -> Tuple[MayBMSRelation, float]:
+        """Evaluate an RA+ plan over the U-relations (possible-answer semantics)."""
+        started = time.perf_counter()
+        result = self._eval(plan)
+        return result, time.perf_counter() - started
+
+    def _eval(self, plan: algebra.Operator) -> MayBMSRelation:
+        if isinstance(plan, algebra.RelationRef):
+            relation = self.relation(plan.name)
+            if plan.alias and plan.alias.lower() != plan.name.lower():
+                return MayBMSRelation(relation.schema.rename(plan.alias),
+                                      list(relation.entries))
+            return relation
+        if isinstance(plan, algebra.Qualify):
+            child = self._eval(plan.child)
+            attributes = [
+                Attribute(f"{plan.qualifier}.{attr.name.split('.')[-1]}", attr.data_type)
+                for attr in child.schema.attributes
+            ]
+            schema = RelationSchema(plan.qualifier, attributes)
+            return MayBMSRelation(schema, list(child.entries))
+        if isinstance(plan, algebra.Selection):
+            child = self._eval(plan.child)
+            names = child.schema.attribute_names
+            kept = [
+                (row, descriptor) for row, descriptor in child.entries
+                if plan.predicate.evaluate(RowEnvironment(names, row)) is True
+            ]
+            return MayBMSRelation(child.schema, kept)
+        if isinstance(plan, algebra.Projection):
+            child = self._eval(plan.child)
+            names = child.schema.attribute_names
+            schema = RelationSchema(
+                child.schema.name, [Attribute(name) for _, name in plan.items]
+            )
+            result = MayBMSRelation(schema)
+            for row, descriptor in child.entries:
+                env = RowEnvironment(names, row)
+                out_row = tuple(expr.evaluate(env) for expr, _ in plan.items)
+                result.add(out_row, descriptor)
+            return result
+        if isinstance(plan, (algebra.Join, algebra.CrossProduct)):
+            predicate = plan.predicate if isinstance(plan, algebra.Join) else None
+            left = self._eval(plan.left)
+            right = self._eval(plan.right)
+            schema = left.schema.concat(right.schema)
+            names = schema.attribute_names
+            result = MayBMSRelation(schema)
+            for left_row, left_descriptor in left.entries:
+                for right_row, right_descriptor in right.entries:
+                    if not _consistent(left_descriptor, right_descriptor):
+                        continue
+                    combined = left_row + right_row
+                    if predicate is None or predicate.evaluate(
+                        RowEnvironment(names, combined)
+                    ) is True:
+                        result.add(combined, _merge(left_descriptor, right_descriptor))
+            return result
+        if isinstance(plan, algebra.Union):
+            left = self._eval(plan.left)
+            right = self._eval(plan.right)
+            return MayBMSRelation(left.schema, list(left.entries) + list(right.entries))
+        if isinstance(plan, algebra.Distinct):
+            child = self._eval(plan.child)
+            return child
+        raise ValueError(
+            f"MayBMS baseline does not support operator {type(plan).__name__}"
+        )
+
+    # -- confidence computation ---------------------------------------------------------
+
+    def _variable_probability(self, variable: str, value: int) -> float:
+        distribution = self.variable_distributions.get(variable)
+        if distribution is None:
+            return 1.0
+        return distribution.get(value, 0.0)
+
+    def descriptor_probability(self, descriptor: WorldSetDescriptor) -> float:
+        """Probability of one conjunctive descriptor (variables are independent)."""
+        probability = 1.0
+        for variable, value in descriptor:
+            probability *= self._variable_probability(variable, value)
+        return probability
+
+    def confidence(self, descriptors: Sequence[WorldSetDescriptor]) -> float:
+        """Exact marginal probability of a DNF of descriptors (inclusion-exclusion).
+
+        Exponential in the number of descriptors, like MayBMS's exact
+        ``conf()`` aggregate; use :meth:`approximate_confidence` for large
+        lineages.
+        """
+        descriptors = [d for d in descriptors]
+        if not descriptors:
+            return 0.0
+        total = 0.0
+        for size in range(1, len(descriptors) + 1):
+            for subset in itertools.combinations(descriptors, size):
+                merged: Dict[str, int] = {}
+                consistent = True
+                for descriptor in subset:
+                    for variable, value in descriptor:
+                        if merged.setdefault(variable, value) != value:
+                            consistent = False
+                            break
+                    if not consistent:
+                        break
+                if not consistent:
+                    continue
+                probability = 1.0
+                for variable, value in merged.items():
+                    probability *= self._variable_probability(variable, value)
+                total += ((-1) ** (size + 1)) * probability
+        return max(0.0, min(1.0, total))
+
+    def approximate_confidence(self, descriptors: Sequence[WorldSetDescriptor],
+                               epsilon: float = 0.3, samples: Optional[int] = None,
+                               rng: Optional[random.Random] = None) -> float:
+        """Monte-Carlo approximation of the marginal probability.
+
+        ``samples`` defaults to a count derived from ``epsilon`` (additive
+        error bound with constant confidence), mirroring the approximation
+        scheme of Olteanu et al. used in the paper's Figure 19.
+        """
+        descriptors = list(descriptors)
+        if not descriptors:
+            return 0.0
+        rng = rng or random.Random(0)
+        if samples is None:
+            samples = max(10, int(3.0 / (epsilon * epsilon)))
+        variables = sorted({variable for d in descriptors for variable, _ in d})
+        hits = 0
+        for _ in range(samples):
+            assignment: Dict[str, int] = {}
+            for variable in variables:
+                distribution = self.variable_distributions.get(variable, {0: 1.0})
+                values = list(distribution.keys())
+                weights = list(distribution.values())
+                assignment[variable] = rng.choices(values, weights=weights, k=1)[0]
+            for descriptor in descriptors:
+                if all(assignment.get(variable, value) == value for variable, value in descriptor):
+                    hits += 1
+                    break
+        return hits / samples
+
+    def tuple_confidence(self, result: MayBMSRelation, row: Sequence[Any],
+                         exact: bool = True, epsilon: float = 0.3) -> float:
+        """Marginal probability of ``row`` in a query result."""
+        descriptors = result.descriptors_of(row)
+        if exact:
+            return self.confidence(descriptors)
+        return self.approximate_confidence(descriptors, epsilon)
+
+    def certain_rows(self, result: MayBMSRelation, exact: bool = True,
+                     epsilon: float = 0.3,
+                     threshold: float = 1.0 - 1e-9) -> List[Row]:
+        """Rows whose confidence reaches ``threshold`` (treated as certain)."""
+        return [
+            row for row in result.possible_rows()
+            if self.tuple_confidence(result, row, exact, epsilon) >= threshold
+        ]

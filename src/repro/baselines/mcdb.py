@@ -1,0 +1,112 @@
+"""MCDB-style Monte-Carlo query processing (tuple-bundle sampling).
+
+MCDB evaluates a query once per sampled possible world ("tuple bundles" of
+size N) and estimates result statistics from the per-sample results.  The
+paper uses 10 samples; the runtime is therefore roughly N times deterministic
+query processing, and tuples appearing in every sample over-approximate the
+certain answers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.relation import KRelation, Row
+from repro.db.sql import parse_query
+from repro.semirings import BOOLEAN, Semiring
+from repro.incomplete.tidb import TIDatabase
+from repro.incomplete.xdb import XDatabase
+
+
+class MCDBSampler:
+    """Samples possible worlds from an x-DB or TI-DB and runs queries over them."""
+
+    def __init__(self, num_samples: int = 10, seed: int = 0,
+                 semiring: Semiring = BOOLEAN) -> None:
+        if num_samples < 1:
+            raise ValueError("need at least one sample")
+        self.num_samples = num_samples
+        self.seed = seed
+        self.semiring = semiring
+
+    # -- world sampling -----------------------------------------------------------
+
+    def sample_worlds_xdb(self, xdb: XDatabase) -> List[Database]:
+        """Draw ``num_samples`` independent worlds from an x-DB / BI-DB."""
+        rng = random.Random(self.seed)
+        worlds = []
+        for _ in range(self.num_samples):
+            world = Database(self.semiring, xdb.name)
+            for relation in xdb:
+                k_relation = KRelation(relation.schema, self.semiring)
+                for x_tuple in relation:
+                    choices = x_tuple.choices()
+                    weights = [x_tuple.choice_probability(choice) for choice in choices]
+                    if sum(weights) <= 0:
+                        weights = [1.0] * len(choices)
+                    choice = rng.choices(choices, weights=weights, k=1)[0]
+                    if choice is not None:
+                        k_relation.add(choice, self.semiring.one)
+                world.add_relation(k_relation)
+            worlds.append(world)
+        return worlds
+
+    def sample_worlds_tidb(self, tidb: TIDatabase) -> List[Database]:
+        """Draw ``num_samples`` independent worlds from a TI-DB."""
+        rng = random.Random(self.seed)
+        worlds = []
+        for _ in range(self.num_samples):
+            world = Database(self.semiring, tidb.name)
+            for relation in tidb:
+                k_relation = KRelation(relation.schema, self.semiring)
+                for ti_tuple in relation:
+                    if rng.random() < ti_tuple.probability:
+                        k_relation.add(ti_tuple.values, self.semiring.one)
+                world.add_relation(k_relation)
+            worlds.append(world)
+        return worlds
+
+    # -- query evaluation -----------------------------------------------------------
+
+    def query(self, worlds: Sequence[Database],
+              query: str | algebra.Operator) -> Tuple[List[KRelation], float]:
+        """Evaluate ``query`` once per sampled world (MCDB's cost model)."""
+        started = time.perf_counter()
+        results = []
+        for world in worlds:
+            if isinstance(query, str):
+                plan = parse_query(query, world.schema)
+            else:
+                plan = query
+            results.append(evaluate(plan, world))
+        return results, time.perf_counter() - started
+
+    # -- estimation ---------------------------------------------------------------------
+
+    @staticmethod
+    def appearance_counts(results: Sequence[KRelation]) -> Dict[Row, int]:
+        """Number of samples in which each row appears."""
+        counts: Dict[Row, int] = {}
+        for result in results:
+            for row in result.rows():
+                counts[row] = counts.get(row, 0) + 1
+        return counts
+
+    def estimated_probabilities(self, results: Sequence[KRelation]) -> Dict[Row, float]:
+        """Per-row appearance frequency across the samples."""
+        counts = self.appearance_counts(results)
+        return {row: count / len(results) for row, count in counts.items()}
+
+    def certain_row_estimate(self, results: Sequence[KRelation]) -> List[Row]:
+        """Rows appearing in every sample (an over-approximation of certainty)."""
+        counts = self.appearance_counts(results)
+        return [row for row, count in counts.items() if count == len(results)]
+
+    def possible_row_estimate(self, results: Sequence[KRelation]) -> List[Row]:
+        """Rows appearing in at least one sample (an under-approximation of possibility)."""
+        return list(self.appearance_counts(results).keys())

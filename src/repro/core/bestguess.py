@@ -1,0 +1,83 @@
+"""Best-guess world extraction (Section 4.2 of the paper).
+
+These helpers pick the designated possible world that a UA-DB uses as its
+over-approximation of certain answers.  For probabilistic models this is the
+highest-probability world (or an approximation of it); for purely incomplete
+models any world may be chosen.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.db.database import Database
+from repro.semirings import BOOLEAN, Semiring
+from repro.incomplete.ctable import CTableDatabase
+from repro.incomplete.kw_database import KWDatabase
+from repro.incomplete.tidb import TIDatabase
+from repro.incomplete.worlds import IncompleteDatabase
+from repro.incomplete.xdb import XDatabase
+
+
+def best_guess_world_tidb(tidb: TIDatabase, semiring: Semiring = BOOLEAN,
+                          threshold: float = 0.5) -> Database:
+    """Highest-probability world of a TI-DB: keep tuples with P(t) >= threshold."""
+    return tidb.best_guess_world(semiring, threshold)
+
+
+def best_guess_world_xdb(xdb: XDatabase, semiring: Semiring = BOOLEAN) -> Database:
+    """Highest-probability world of an x-DB / BI-DB.
+
+    For each x-tuple picks the most likely alternative, or no alternative if
+    omitting the x-tuple is more likely than any single alternative.
+    """
+    return xdb.best_guess_world(semiring)
+
+
+def best_guess_world_ctable(ctable_db: CTableDatabase,
+                            semiring: Semiring = BOOLEAN) -> Database:
+    """Best-guess world of a (P)C-table database.
+
+    Uses the per-variable most likely value (PC-tables) or the first domain
+    value (plain C-tables); computing the globally most likely world is #P in
+    general, so this is the approximation the paper alludes to.
+    """
+    return ctable_db.best_guess_world(semiring)
+
+
+def best_guess_world_ordb(ordb: "ORDatabase", semiring: Semiring = BOOLEAN) -> Database:
+    """Highest-probability world of an OR-database: cell-wise most likely value."""
+    from repro.incomplete.ordb import ORDatabase  # local import avoids a cycle
+
+    if not isinstance(ordb, ORDatabase):
+        raise TypeError("best_guess_world_ordb expects an ORDatabase")
+    return ordb.best_guess_world(semiring)
+
+
+def best_guess_world_kw(kwdb: KWDatabase) -> Database:
+    """Most probable world of a K^W database (world 0 without probabilities)."""
+    return kwdb.best_guess_world()
+
+
+def best_guess_world_incomplete(incomplete: IncompleteDatabase) -> Database:
+    """Most probable world of an explicit possible-world database."""
+    return incomplete.best_guess_world()
+
+
+def random_guess_world_xdb(xdb: XDatabase, semiring: Semiring = BOOLEAN,
+                           rng: Optional[random.Random] = None) -> Database:
+    """Random-guess world (RGQP in Figure 18): pick a random alternative per x-tuple."""
+    rng = rng or random.Random(0)
+    from repro.db.relation import KRelation
+
+    world = Database(semiring, f"{xdb.name}_rg")
+    for relation in xdb:
+        k_relation = KRelation(relation.schema, semiring)
+        for x_tuple in relation:
+            choices = x_tuple.choices()
+            choice = rng.choice(choices)
+            if choice is not None:
+                k_relation.add(choice, semiring.one)
+        world.add_relation(k_relation)
+    return world

@@ -1,0 +1,112 @@
+"""The ``Enc`` multiset encoding of N_UA-relations (Definition 8).
+
+A bag UA-relation annotating tuple ``t`` with ``[c, d]`` is encoded as a
+plain bag relation with one extra certainty attribute ``C``: the row
+``(t, 1)`` appears with multiplicity ``c`` (the certain copies) and the row
+``(t, 0)`` with multiplicity ``d - c`` (the remaining best-guess copies).
+``Enc`` is invertible (``decode``), and the Figure 9 rewriting evaluates RA+
+over the encoding; Theorem 7 states (and ``tests/test_rewriter.py`` checks)
+that decode(rewritten query over Enc(D)) equals the direct K_UA evaluation.
+
+The encoding generalizes to any UA-semiring whose base has a monus; the
+boolean (set) variant is provided as well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db.database import Database
+from repro.db.relation import KRelation
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.semirings import Semiring
+from repro.semirings.ua import UASemiring
+from repro.core.uadb import UADatabase, UARelation
+
+#: Name of the certainty marker attribute added by the encoding.
+CERTAINTY_COLUMN = "C"
+
+
+def _encoded_schema(schema: RelationSchema) -> RelationSchema:
+    """The input schema extended with the certainty attribute."""
+    if schema.has_attribute(CERTAINTY_COLUMN):
+        raise ValueError(
+            f"relation {schema.name!r} already has a column named {CERTAINTY_COLUMN!r}"
+        )
+    return RelationSchema(
+        schema.name,
+        tuple(schema.attributes) + (Attribute(CERTAINTY_COLUMN, DataType.INTEGER),),
+    )
+
+
+def _decoded_schema(schema: RelationSchema) -> RelationSchema:
+    """Remove the certainty attribute (it must be the last column)."""
+    names = [a.name for a in schema.attributes]
+    if not names or names[-1].split(".")[-1].lower() != CERTAINTY_COLUMN.lower():
+        raise ValueError(
+            f"relation {schema.name!r} does not end with a {CERTAINTY_COLUMN!r} column"
+        )
+    return RelationSchema(schema.name, tuple(schema.attributes[:-1]))
+
+
+def encode_relation(relation: UARelation) -> KRelation:
+    """``Enc``: map a UA-relation to a plain K-relation with a ``C`` column."""
+    base = relation.base_semiring
+    if not base.has_monus:
+        raise ValueError(
+            f"the Enc encoding requires a monus on the base semiring {base.name}"
+        )
+    schema = _encoded_schema(relation.schema)
+    encoded = KRelation(schema, base)
+    for row, annotation in relation.items():
+        certain = annotation.certain
+        uncertain = base.monus(annotation.determinized, certain)
+        if not base.is_zero(certain):
+            encoded.add(row + (1,), certain)
+        if not base.is_zero(uncertain):
+            encoded.add(row + (0,), uncertain)
+    return encoded
+
+
+def decode_relation(relation: KRelation,
+                    ua_semiring: Optional[UASemiring] = None) -> UARelation:
+    """``Enc⁻¹``: recover a UA-relation from its encoded form."""
+    base = relation.semiring
+    ua_semiring = ua_semiring or UASemiring(base)
+    schema = _decoded_schema(relation.schema)
+    decoded = UARelation(schema, ua_semiring)
+    # Group by the projected row: certain = annotation of (t, 1),
+    # determinized = annotation of (t, 0) + annotation of (t, 1).
+    certain_parts: dict = {}
+    uncertain_parts: dict = {}
+    for row, annotation in relation.items():
+        *values, marker = row
+        key = tuple(values)
+        if marker == 1:
+            certain_parts[key] = base.plus(certain_parts.get(key, base.zero), annotation)
+        else:
+            uncertain_parts[key] = base.plus(uncertain_parts.get(key, base.zero), annotation)
+    for key in set(certain_parts) | set(uncertain_parts):
+        certain = certain_parts.get(key, base.zero)
+        uncertain = uncertain_parts.get(key, base.zero)
+        determinized = base.plus(uncertain, certain)
+        if base.is_zero(determinized):
+            continue
+        decoded.set_annotation(key, ua_semiring.annotation(certain, determinized))
+    return decoded
+
+
+def encode(uadb: UADatabase) -> Database:
+    """Encode every relation of a UA-database (``Enc`` lifted to databases)."""
+    database = Database(uadb.base_semiring, f"{uadb.name}_enc")
+    for relation in uadb:
+        database.add_relation(encode_relation(relation))  # type: ignore[arg-type]
+    return database
+
+
+def decode(database: Database, name: str = "uadb") -> UADatabase:
+    """Decode a database of encoded relations back into a UA-database."""
+    uadb = UADatabase(database.semiring, name)
+    for relation in database:
+        uadb.add_relation(decode_relation(relation, uadb.ua_semiring))
+    return uadb

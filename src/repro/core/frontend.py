@@ -1,0 +1,194 @@
+"""User-facing UA-DB front-end.
+
+The front-end mirrors the paper's middleware: uncertain sources (TI-DBs,
+x-DBs, C-tables, or pre-built UA-relations) are registered, translated into
+the encoded representation (plain relations with a certainty column), and SQL
+queries are compiled with the Figure 8/9 rewriting and executed on the
+relational engine.  Results come back as :class:`UAQueryResult`, pairing each
+row with its certainty label.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.relation import KRelation, Row
+from repro.db.schema import DatabaseSchema
+from repro.db.sql import parse_query
+from repro.semirings import BOOLEAN, NATURAL, Semiring
+from repro.core.encoding import CERTAINTY_COLUMN, decode_relation, encode_relation
+from repro.core.labeling import label_ctable, label_tidb, label_xdb
+from repro.core.rewriter import rewrite_plan
+from repro.core.uadb import UADatabase, UARelation
+from repro.incomplete.ctable import CTableDatabase
+from repro.incomplete.tidb import TIDatabase
+from repro.incomplete.xdb import XDatabase
+
+
+@dataclass
+class UAQueryResult:
+    """Result of a UA-DB query: rows paired with certainty information."""
+
+    relation: UARelation
+    #: Wall-clock evaluation time in seconds (rewriting + execution).
+    elapsed: float = 0.0
+
+    def rows(self) -> List[Row]:
+        """All result rows (the best-guess-world answer)."""
+        return self.relation.to_rows()
+
+    def certain_rows(self) -> List[Row]:
+        """Rows labeled certain (the under-approximation)."""
+        return self.relation.certain_rows()
+
+    def uncertain_rows(self) -> List[Row]:
+        """Rows not labeled certain."""
+        return self.relation.uncertain_rows()
+
+    def labeled_rows(self) -> List[Tuple[Row, bool]]:
+        """``(row, certain?)`` pairs, sorted for stable output."""
+        return [(row, self.relation.is_certain(row)) for row in self.relation.to_rows()]
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def pretty(self, limit: int = 20) -> str:
+        """Human-readable rendering with a Certain? column."""
+        header = list(self.relation.schema.attribute_names) + ["Certain?"]
+        rows = [
+            [repr(value) for value in row] + [str(certain).lower()]
+            for row, certain in self.labeled_rows()
+        ]
+        shown = rows[:limit]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in shown)) if shown else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(" | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in shown)
+        if len(rows) > limit:
+            lines.append(f"... ({len(rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+class UADBFrontend:
+    """Registers uncertain sources and answers SQL queries over them."""
+
+    def __init__(self, semiring: Semiring = NATURAL, name: str = "uadb") -> None:
+        self.semiring = semiring
+        self.name = name
+        self.uadb = UADatabase(semiring, name)
+        #: The encoded backing store the rewritten queries run against.
+        self.encoded = Database(semiring, f"{name}_enc")
+
+    # -- source registration ------------------------------------------------------
+
+    def _register(self, relation: UARelation) -> None:
+        self.uadb.add_relation(relation)
+        self.encoded.add_relation(encode_relation(relation))
+
+    def register_ua_relation(self, relation: UARelation) -> None:
+        """Register an already-built UA-relation."""
+        self._register(relation)
+
+    def register_ua_database(self, uadb: UADatabase) -> None:
+        """Register every relation of an existing UA-database."""
+        for relation in uadb:
+            self._register(relation)  # type: ignore[arg-type]
+
+    def register_deterministic(self, relation: KRelation) -> None:
+        """Register a deterministic relation: every tuple is certain."""
+        ua_relation = UARelation.from_world_and_labeling(relation, relation)
+        self._register(ua_relation)
+
+    def register_tidb(self, tidb: TIDatabase) -> None:
+        """Register a TI-DB source (best-guess world + c-correct labeling)."""
+        self.register_ua_database(UADatabase.from_tidb(tidb, self.semiring))
+
+    def register_xdb(self, xdb: XDatabase, world: Optional[Database] = None) -> None:
+        """Register an x-DB / BI-DB source (best-guess world + c-correct labeling)."""
+        self.register_ua_database(UADatabase.from_xdb(xdb, self.semiring, world=world))
+
+    def register_ctable(self, ctable_db: CTableDatabase) -> None:
+        """Register a C-table source (best-guess world + c-sound labeling)."""
+        self.register_ua_database(UADatabase.from_ctable(ctable_db, self.semiring))
+
+    def register_ordb(self, ordb) -> None:
+        """Register an OR-database source (best-guess world + c-correct labeling)."""
+        self.register_ua_database(UADatabase.from_ordb(ordb, self.semiring))
+
+    # -- catalogs --------------------------------------------------------------------
+
+    @property
+    def catalog(self) -> DatabaseSchema:
+        """Schema of the logical (un-encoded) UA relations."""
+        return self.uadb.database.schema
+
+    @property
+    def encoded_catalog(self) -> DatabaseSchema:
+        """Schema of the encoded backing relations (with the ``C`` column)."""
+        return self.encoded.schema
+
+    # -- query execution -----------------------------------------------------------------
+
+    def plan(self, query: str) -> algebra.Operator:
+        """Parse and translate a SQL query against the logical catalog."""
+        return parse_query(query, self.catalog)
+
+    def rewrite(self, plan: algebra.Operator) -> algebra.Operator:
+        """Apply the Figure 8/9 rewriting to a logical plan."""
+        return rewrite_plan(plan, self.encoded_catalog)
+
+    def query(self, query: str) -> UAQueryResult:
+        """Answer a SQL query with UA semantics via the rewriting pipeline."""
+        started = time.perf_counter()
+        logical = self.plan(query)
+        rewritten = self.rewrite(logical)
+        encoded_result = evaluate(rewritten, self.encoded)
+        relation = decode_relation(encoded_result, self.uadb.ua_semiring)
+        elapsed = time.perf_counter() - started
+        return UAQueryResult(relation, elapsed)
+
+    def query_plan(self, plan: algebra.Operator) -> UAQueryResult:
+        """Answer an already-built logical plan with UA semantics."""
+        started = time.perf_counter()
+        rewritten = self.rewrite(plan)
+        encoded_result = evaluate(rewritten, self.encoded)
+        relation = decode_relation(encoded_result, self.uadb.ua_semiring)
+        elapsed = time.perf_counter() - started
+        return UAQueryResult(relation, elapsed)
+
+    def query_direct(self, query: str) -> UAQueryResult:
+        """Answer a SQL query by evaluating K_UA semantics directly (no rewriting).
+
+        Used in tests to validate the rewriting (Theorem 7): both paths must
+        produce the same annotated result.
+        """
+        started = time.perf_counter()
+        relation = self.uadb.sql(query)
+        elapsed = time.perf_counter() - started
+        return UAQueryResult(relation, elapsed)
+
+    def query_deterministic(self, query: str) -> Tuple[KRelation, float]:
+        """Answer a SQL query over the best-guess world only (BGQP baseline).
+
+        Returns the plain relation and the elapsed wall-clock time; used to
+        measure the overhead of UA-DBs relative to deterministic processing.
+        """
+        best_guess = self.uadb.best_guess_database()
+        started = time.perf_counter()
+        plan = parse_query(query, best_guess.schema)
+        result = evaluate(plan, best_guess)
+        elapsed = time.perf_counter() - started
+        return result, elapsed
+
+    def __repr__(self) -> str:
+        return f"<UADBFrontend {self.name!r} [{self.semiring.name}] {len(self.uadb)} relations>"

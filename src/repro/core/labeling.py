@@ -1,0 +1,158 @@
+"""Uncertainty labeling schemes (Section 4.1 and Section 6 of the paper).
+
+A *labeling* is a K-database approximating the certain annotations of an
+incomplete database.  A labeling is
+
+* **c-sound** if it under-approximates certain annotations (no false
+  certainty claims),
+* **c-complete** if it over-approximates them,
+* **c-correct** if it is exact.
+
+The schemes implemented here are the paper's:
+
+* :func:`label_tidb` -- c-correct for tuple-independent databases,
+* :func:`label_xdb` -- c-correct for x-DBs / BI-DBs,
+* :func:`label_ctable` -- c-sound for C-tables (CNF tautology check),
+* :func:`label_kw_exact` -- the exact (usually intractable) labeling computed
+  directly from a K^W database, used as ground truth in experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.db.database import Database
+from repro.db.relation import KRelation
+from repro.semirings import BOOLEAN, NATURAL, Semiring
+from repro.incomplete.ctable import CTableDatabase
+from repro.incomplete.kw_database import KWDatabase
+from repro.incomplete.solver import is_tautology
+from repro.incomplete.tidb import TIDatabase
+from repro.incomplete.xdb import XDatabase
+
+#: A labeling is just a K-database whose annotations approximate certainty.
+Labeling = Database
+
+
+def label_tidb(tidb: TIDatabase, semiring: Semiring = BOOLEAN) -> Labeling:
+    """c-correct labeling for a TI-DB: a tuple is certain iff it is required.
+
+    For probabilistic TI-DBs a tuple is certain iff its marginal probability
+    is 1 (Theorem 1).
+    """
+    labeling = Database(semiring, f"{tidb.name}_labeling")
+    for relation in tidb:
+        k_relation = KRelation(relation.schema, semiring)
+        for ti_tuple in relation:
+            if not ti_tuple.optional:
+                k_relation.add(ti_tuple.values, semiring.one)
+        labeling.add_relation(k_relation)
+    return labeling
+
+
+def label_xdb(xdb: XDatabase, semiring: Semiring = BOOLEAN) -> Labeling:
+    """c-correct labeling for an x-DB (Theorem 3).
+
+    A tuple is labeled certain iff it is the single alternative of a
+    non-optional x-tuple (probability mass 1 in the BI-DB case).
+    """
+    labeling = Database(semiring, f"{xdb.name}_labeling")
+    for relation in xdb:
+        k_relation = KRelation(relation.schema, semiring)
+        for x_tuple in relation:
+            if x_tuple.is_certain_singleton():
+                k_relation.add(x_tuple.alternatives[0], semiring.one)
+        labeling.add_relation(k_relation)
+    return labeling
+
+
+def label_ordb(ordb: "ORDatabase", semiring: Semiring = BOOLEAN) -> Labeling:
+    """c-correct labeling for an OR-database.
+
+    Every OR-tuple is present in every world, so a concrete row is certain iff
+    no cell of its tuple offers more than one candidate value.  This is the
+    labeling the paper's PDBench experiments apply ("tuples with at least one
+    uncertain cell are marked as uncertain").
+    """
+    from repro.incomplete.ordb import ORDatabase  # local import avoids a cycle
+
+    if not isinstance(ordb, ORDatabase):
+        raise TypeError("label_ordb expects an ORDatabase")
+    labeling = Database(semiring, f"{ordb.name}_labeling")
+    for relation in ordb:
+        k_relation = KRelation(relation.schema, semiring)
+        for or_tuple in relation:
+            if or_tuple.is_certain():
+                k_relation.add(or_tuple.best_guess(), semiring.one)
+        labeling.add_relation(k_relation)
+    return labeling
+
+
+def label_ctable(ctable_db: CTableDatabase, semiring: Semiring = BOOLEAN,
+                 use_solver_for_non_cnf: bool = False) -> Labeling:
+    """c-sound labeling for a C-table database (Theorem 2).
+
+    The paper's scheme labels a tuple certain iff (1) it contains only
+    constants and (2) its local condition is in CNF and is a tautology.
+    ``use_solver_for_non_cnf=True`` enables the ablation variant that also
+    certifies non-CNF tautologies (tighter but more expensive).
+    """
+    labeling = Database(semiring, f"{ctable_db.name}_labeling")
+    for ctable in ctable_db:
+        k_relation = KRelation(ctable.schema, semiring)
+        for spec in ctable.tuples:
+            if not spec.is_ground():
+                continue
+            condition = spec.condition
+            if condition.is_cnf() or use_solver_for_non_cnf:
+                if is_tautology(condition):
+                    k_relation.add(spec.values, semiring.one)
+        labeling.add_relation(k_relation)
+    return labeling
+
+
+def label_kw_exact(kwdb: KWDatabase) -> Labeling:
+    """Exact (c-correct) labeling computed from a K^W database.
+
+    Annotates every tuple with its certain annotation ``cert_K``.  This takes
+    time linear in the number of worlds and is used as ground truth for
+    measuring false-negative rates in the experiments.
+    """
+    labeling = Database(kwdb.base_semiring, f"{kwdb.name}_exact_labeling")
+    for relation in kwdb:
+        k_relation = KRelation(relation.schema, kwdb.base_semiring)
+        for row in relation.rows():
+            certain = kwdb.kw_semiring.cert(relation.annotation(row))
+            if not kwdb.base_semiring.is_zero(certain):
+                k_relation.add(row, certain)
+        labeling.add_relation(k_relation)
+    return labeling
+
+
+def is_c_sound(labeling: Labeling, kwdb: KWDatabase) -> bool:
+    """Check that ``labeling`` under-approximates the certain annotations of ``kwdb``."""
+    base = kwdb.base_semiring
+    for relation in labeling:
+        kw_relation = kwdb.relation(relation.schema.name)
+        for row, annotation in relation.items():
+            certain = kw_relation.certain_annotation(row)
+            if not base.leq(annotation, certain):
+                return False
+    return True
+
+
+def is_c_complete(labeling: Labeling, kwdb: KWDatabase) -> bool:
+    """Check that ``labeling`` over-approximates the certain annotations of ``kwdb``."""
+    base = kwdb.base_semiring
+    for kw_relation in kwdb:
+        label_relation = labeling.relation(kw_relation.schema.name)
+        for row in kw_relation.rows():
+            certain = kwdb.kw_semiring.cert(kw_relation.annotation(row))
+            if not base.leq(certain, label_relation.annotation(row)):
+                return False
+    return True
+
+
+def is_c_correct(labeling: Labeling, kwdb: KWDatabase) -> bool:
+    """Check that ``labeling`` is exactly the certain annotations of ``kwdb``."""
+    return is_c_sound(labeling, kwdb) and is_c_complete(labeling, kwdb)

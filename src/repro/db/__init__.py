@@ -1,0 +1,33 @@
+"""An in-memory, semiring-annotated relational database engine.
+
+This package is the *substrate* the UA-DB reproduction runs on.  The paper
+implements UA-DBs as a query-rewriting front-end on top of a commercial DBMS;
+here the backend is a small but complete relational engine:
+
+* :mod:`repro.db.schema` -- attributes, relation schemas, database schemas,
+* :mod:`repro.db.relation` -- K-relations (annotation-carrying relations) and
+  convenience constructors for bag/set relations,
+* :mod:`repro.db.database` -- named collections of relations,
+* :mod:`repro.db.expressions` -- scalar expressions and predicates,
+* :mod:`repro.db.algebra` -- relational algebra operator trees (RA+ plus
+  distinct, aggregation, ordering needed by the workload queries),
+* :mod:`repro.db.evaluator` -- evaluation of algebra trees over K-relations,
+* :mod:`repro.db.sql` -- a SQL subset front-end (lexer, parser, translator).
+"""
+
+from repro.db.schema import Attribute, RelationSchema, DatabaseSchema, DataType
+from repro.db.relation import KRelation, bag_relation, set_relation
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+
+__all__ = [
+    "Attribute",
+    "RelationSchema",
+    "DatabaseSchema",
+    "DataType",
+    "KRelation",
+    "bag_relation",
+    "set_relation",
+    "Database",
+    "evaluate",
+]

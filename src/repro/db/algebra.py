@@ -1,0 +1,263 @@
+"""Relational algebra operator trees.
+
+The paper's formal results cover RA+ (selection, projection, join /
+cross-product, union).  The engine additionally supports duplicate
+elimination, renaming/qualification, grouping with aggregation, ordering and
+limits because the evaluation workloads (TPC-H-style queries, MayBMS-style
+confidence queries) need them.  Only the RA+ core participates in the UA-DB
+rewriting and correctness theorems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.db.expressions import Expression
+
+
+class Operator:
+    """Base class for relational algebra operators."""
+
+    def children(self) -> Tuple["Operator", ...]:
+        """Child operators (empty for leaves)."""
+        return ()
+
+    def describe(self) -> str:
+        """One-line description used in plan rendering."""
+        return type(self).__name__
+
+    def render(self, indent: int = 0) -> str:
+        """Multi-line textual rendering of the plan tree."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    # Number of non-leaf operators; used by the Figure 10 experiment to
+    # characterize query complexity.
+    def operator_count(self) -> int:
+        """Number of operators in the tree (excluding relation references)."""
+        own = 0 if isinstance(self, RelationRef) else 1
+        return own + sum(child.operator_count() for child in self.children())
+
+
+@dataclass(frozen=True)
+class RelationRef(Operator):
+    """A reference to a stored relation, optionally under an alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_name(self) -> str:
+        """Alias if present, else the relation name."""
+        return self.alias or self.name
+
+    def describe(self) -> str:
+        if self.alias:
+            return f"Relation({self.name} AS {self.alias})"
+        return f"Relation({self.name})"
+
+
+@dataclass(frozen=True)
+class Qualify(Operator):
+    """Prefix every column name of the input with ``qualifier.``.
+
+    Used by the SQL translator when a FROM item has an alias or participates
+    in a multi-relation FROM clause, so that qualified column references
+    resolve unambiguously.
+    """
+
+    child: Operator
+    qualifier: str
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Qualify({self.qualifier})"
+
+
+@dataclass(frozen=True)
+class Selection(Operator):
+    """Keep rows satisfying ``predicate`` (sigma)."""
+
+    child: Operator
+    predicate: Expression
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Selection({self.predicate.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Projection(Operator):
+    """Generalized projection: a list of ``(expression, output name)`` items (pi)."""
+
+    child: Operator
+    items: Tuple[Tuple[Expression, str], ...]
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    @property
+    def output_names(self) -> Tuple[str, ...]:
+        """Names of the produced columns, in order."""
+        return tuple(name for _, name in self.items)
+
+    def describe(self) -> str:
+        cols = ", ".join(f"{expr.to_sql()} AS {name}" for expr, name in self.items)
+        return f"Projection({cols})"
+
+
+@dataclass(frozen=True)
+class CrossProduct(Operator):
+    """Cartesian product of two inputs (x)."""
+
+    left: Operator
+    right: Operator
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Join(Operator):
+    """Theta join: cross product filtered by ``predicate`` (None = cross product)."""
+
+    left: Operator
+    right: Operator
+    predicate: Optional[Expression] = None
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        if self.predicate is None:
+            return "Join(TRUE)"
+        return f"Join({self.predicate.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Union(Operator):
+    """Bag union (UNION ALL); schemas must be union-compatible."""
+
+    left: Operator
+    right: Operator
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Difference(Operator):
+    """Annotation difference (EXCEPT ALL): left annotations monus right annotations.
+
+    Not part of RA+; requires the semiring to have a monus (e.g. N, B, N[X]).
+    Under bag semantics this is SQL's ``EXCEPT ALL``; collapsing the result
+    with :class:`Distinct` yields set difference.  The UA-DB extension in
+    :mod:`repro.extensions.uapdb` gives this operator certain-answer bounds.
+    """
+
+    left: Operator
+    right: Operator
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Intersection(Operator):
+    """Annotation intersection (INTERSECT ALL): the GLB of the two annotations.
+
+    Not part of RA+; well defined for any l-semiring.  Under bag semantics the
+    result multiplicity is the minimum of the two input multiplicities.
+    """
+
+    left: Operator
+    right: Operator
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Distinct(Operator):
+    """Duplicate elimination: collapse every non-zero annotation to 1_K."""
+
+    child: Operator
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class AggregateFunction:
+    """One aggregate in a GROUP BY query: ``func(argument) AS name``."""
+
+    func: str
+    argument: Optional[Expression]
+    name: str
+
+    _SUPPORTED = ("count", "sum", "avg", "min", "max")
+
+    def __post_init__(self) -> None:
+        if self.func.lower() not in self._SUPPORTED:
+            raise ValueError(f"unsupported aggregate function {self.func!r}")
+
+
+@dataclass(frozen=True)
+class Aggregate(Operator):
+    """Grouping and aggregation (gamma).
+
+    Not part of RA+; provided for workload queries.  Group rows are annotated
+    with 1_K (each group exists once) unless the evaluator is asked to
+    propagate certainty, which the UA-DB front-end does separately.
+    """
+
+    child: Operator
+    group_by: Tuple[Tuple[Expression, str], ...]
+    aggregates: Tuple[AggregateFunction, ...]
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        groups = ", ".join(name for _, name in self.group_by)
+        aggs = ", ".join(f"{a.func}(...) AS {a.name}" for a in self.aggregates)
+        return f"Aggregate(group by [{groups}]; {aggs})"
+
+
+@dataclass(frozen=True)
+class OrderBy(Operator):
+    """Sort specification: ``(expression, descending)`` pairs.
+
+    Ordering only affects :class:`Limit` and result rendering; relations are
+    unordered collections.
+    """
+
+    child: Operator
+    keys: Tuple[Tuple[Expression, bool], ...]
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Limit(Operator):
+    """Keep the first ``count`` rows according to the child's ordering."""
+
+    child: Operator
+    count: int
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+
+def natural_join_predicate(left_names: Sequence[str], right_names: Sequence[str]):
+    """Columns shared by two schemas (helper for building natural joins)."""
+    left_lower = {name.lower() for name in left_names}
+    return [name for name in right_names if name.lower() in left_lower]

@@ -1,0 +1,90 @@
+"""Database instances: named collections of K-relations over one semiring."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.semirings import Semiring
+from repro.semirings.base import SemiringHomomorphism
+from repro.db.relation import KRelation
+from repro.db.schema import DatabaseSchema, SchemaError
+
+
+class Database:
+    """A collection of :class:`KRelation` instances sharing one semiring.
+
+    Relation names are case-insensitive, matching the SQL front-end.
+    """
+
+    def __init__(self, semiring: Semiring, name: str = "db") -> None:
+        self.semiring = semiring
+        self.name = name
+        self._relations: Dict[str, KRelation] = {}
+
+    # -- population ----------------------------------------------------------
+
+    def add_relation(self, relation: KRelation, replace: bool = False) -> None:
+        """Register ``relation``; it must use the database's semiring."""
+        if relation.semiring != self.semiring:
+            raise ValueError(
+                f"relation {relation.schema.name!r} uses semiring "
+                f"{relation.semiring.name}, database uses {self.semiring.name}"
+            )
+        key = relation.schema.name.lower()
+        if key in self._relations and not replace:
+            raise SchemaError(f"relation {relation.schema.name!r} already exists")
+        self._relations[key] = relation
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation by name (no-op if absent)."""
+        self._relations.pop(name.lower(), None)
+
+    # -- access ---------------------------------------------------------------
+
+    def relation(self, name: str) -> KRelation:
+        """Return the relation called ``name`` (case-insensitive)."""
+        try:
+            return self._relations[name.lower()]
+        except KeyError as exc:
+            raise SchemaError(f"database {self.name!r} has no relation {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._relations
+
+    def __iter__(self) -> Iterator[KRelation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of the registered relations in registration order."""
+        return tuple(rel.schema.name for rel in self._relations.values())
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The database schema (derived from the registered relations)."""
+        schema = DatabaseSchema()
+        for relation in self._relations.values():
+            schema.add(relation.schema)
+        return schema
+
+    # -- transformations --------------------------------------------------------
+
+    def map_annotations(self, homomorphism: SemiringHomomorphism,
+                        name: Optional[str] = None) -> "Database":
+        """Apply a semiring homomorphism to every relation's annotations."""
+        result = Database(homomorphism.target, name or self.name)
+        for relation in self._relations.values():
+            result.add_relation(relation.map_annotations(homomorphism))
+        return result
+
+    def copy(self, name: Optional[str] = None) -> "Database":
+        """Deep copy of relation contents (schemas are shared, rows copied)."""
+        result = Database(self.semiring, name or self.name)
+        for relation in self._relations.values():
+            result.add_relation(relation.copy())
+        return result
+
+    def __repr__(self) -> str:
+        return f"<Database {self.name!r} [{self.semiring.name}] {len(self)} relations>"

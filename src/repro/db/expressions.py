@@ -1,0 +1,528 @@
+"""Scalar expressions and predicates evaluated over rows.
+
+Expressions follow SQL's three-valued logic: comparisons involving NULL
+(``None``) evaluate to *unknown* (represented as ``None``), and the boolean
+connectives follow Kleene logic.  Selections keep a row only when the
+predicate evaluates to ``True``, which is exactly what the Libkin baseline
+relies on and what a conventional SQL engine does.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class ExpressionError(ValueError):
+    """Raised for malformed expressions or unresolvable column references."""
+
+
+class _Ambiguous:
+    """Sentinel marking ambiguous unqualified column names."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "<ambiguous>"
+
+
+_AMBIGUOUS = _Ambiguous()
+
+
+class RowEnvironment:
+    """Maps column names (qualified and bare) to values for one row."""
+
+    __slots__ = ("_full", "_short")
+
+    def __init__(self, column_names: Sequence[str], row: Sequence[Any]) -> None:
+        self._full: Dict[str, Any] = {}
+        self._short: Dict[str, Any] = {}
+        seen_bases = set()
+        for name, value in zip(column_names, row):
+            lowered = name.lower()
+            self._full[lowered] = value
+            base = lowered.split(".")[-1]
+            if base in seen_bases:
+                self._short[base] = _AMBIGUOUS
+            else:
+                self._short[base] = value
+                seen_bases.add(base)
+
+    def lookup(self, name: str, qualifier: Optional[str] = None) -> Any:
+        """Resolve a column reference, honoring qualifiers and suffix matching."""
+        if qualifier:
+            key = f"{qualifier}.{name}".lower()
+            if key in self._full:
+                return self._full[key]
+            # Fall back: the column may be stored unqualified (single relation).
+            bare = name.lower()
+            if bare in self._full:
+                return self._full[bare]
+            raise ExpressionError(f"unknown column {qualifier}.{name}")
+        lowered = name.lower()
+        if lowered in self._full:
+            return self._full[lowered]
+        if lowered in self._short:
+            value = self._short[lowered]
+            if value is _AMBIGUOUS:
+                raise ExpressionError(f"ambiguous column reference {name!r}")
+            return value
+        raise ExpressionError(f"unknown column {name!r}")
+
+
+class Expression:
+    """Base class for scalar expressions."""
+
+    def evaluate(self, env: RowEnvironment) -> Any:
+        """Evaluate against a row environment."""
+        raise NotImplementedError
+
+    def columns(self) -> List["Column"]:
+        """All column references appearing in the expression (pre-order)."""
+        return []
+
+    def __repr__(self) -> str:
+        return self.to_sql()
+
+    def to_sql(self) -> str:
+        """Render the expression as SQL text (best effort, for debugging)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, repr=False)
+class Literal(Expression):
+    """A constant value (numbers, strings, booleans or NULL)."""
+
+    value: Any
+
+    def evaluate(self, env: RowEnvironment) -> Any:
+        return self.value
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True, repr=False)
+class Column(Expression):
+    """A reference to a column, optionally qualified by a relation alias."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def evaluate(self, env: RowEnvironment) -> Any:
+        return env.lookup(self.name, self.qualifier)
+
+    def columns(self) -> List["Column"]:
+        return [self]
+
+    @property
+    def full_name(self) -> str:
+        """Qualified name if a qualifier is present, else the bare name."""
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def to_sql(self) -> str:
+        return self.full_name
+
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, repr=False)
+class Comparison(Expression):
+    """A binary comparison using three-valued logic for NULLs."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, env: RowEnvironment) -> Optional[bool]:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if left is None or right is None:
+            return None
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError:
+            # Mixed-type comparisons (e.g. string vs number) are unknown.
+            return None
+
+    def columns(self) -> List[Column]:
+        return self.left.columns() + self.right.columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class And(Expression):
+    """Kleene conjunction over any number of operands."""
+
+    operands: Tuple[Expression, ...]
+
+    def __init__(self, *operands: Expression) -> None:
+        flat: List[Expression] = []
+        for op in operands:
+            if isinstance(op, And):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def evaluate(self, env: RowEnvironment) -> Optional[bool]:
+        saw_unknown = False
+        for operand in self.operands:
+            value = operand.evaluate(env)
+            if value is False:
+                return False
+            if value is None:
+                saw_unknown = True
+        return None if saw_unknown else True
+
+    def columns(self) -> List[Column]:
+        return [c for op in self.operands for c in op.columns()]
+
+    def to_sql(self) -> str:
+        return "(" + " AND ".join(op.to_sql() for op in self.operands) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class Or(Expression):
+    """Kleene disjunction over any number of operands."""
+
+    operands: Tuple[Expression, ...]
+
+    def __init__(self, *operands: Expression) -> None:
+        flat: List[Expression] = []
+        for op in operands:
+            if isinstance(op, Or):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def evaluate(self, env: RowEnvironment) -> Optional[bool]:
+        saw_unknown = False
+        for operand in self.operands:
+            value = operand.evaluate(env)
+            if value is True:
+                return True
+            if value is None:
+                saw_unknown = True
+        return None if saw_unknown else False
+
+    def columns(self) -> List[Column]:
+        return [c for op in self.operands for c in op.columns()]
+
+    def to_sql(self) -> str:
+        return "(" + " OR ".join(op.to_sql() for op in self.operands) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class Not(Expression):
+    """Kleene negation."""
+
+    operand: Expression
+
+    def evaluate(self, env: RowEnvironment) -> Optional[bool]:
+        value = self.operand.evaluate(env)
+        if value is None:
+            return None
+        return not value
+
+    def columns(self) -> List[Column]:
+        return self.operand.columns()
+
+    def to_sql(self) -> str:
+        return f"(NOT {self.operand.to_sql()})"
+
+
+_ARITHMETIC: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b != 0 else None,
+}
+
+
+@dataclass(frozen=True, repr=False)
+class Arithmetic(Expression):
+    """Binary arithmetic; NULL-propagating."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, env: RowEnvironment) -> Any:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if left is None or right is None:
+            return None
+        try:
+            return _ARITHMETIC[self.op](left, right)
+        except TypeError:
+            return None
+
+    def columns(self) -> List[Column]:
+        return self.left.columns() + self.right.columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class Negate(Expression):
+    """Unary numeric negation; NULL-propagating."""
+
+    operand: Expression
+
+    def evaluate(self, env: RowEnvironment) -> Any:
+        value = self.operand.evaluate(env)
+        return None if value is None else -value
+
+    def columns(self) -> List[Column]:
+        return self.operand.columns()
+
+    def to_sql(self) -> str:
+        return f"(-{self.operand.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class Between(Expression):
+    """``expr BETWEEN low AND high`` with three-valued logic."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+
+    def evaluate(self, env: RowEnvironment) -> Optional[bool]:
+        value = self.operand.evaluate(env)
+        low = self.low.evaluate(env)
+        high = self.high.evaluate(env)
+        if value is None or low is None or high is None:
+            return None
+        try:
+            return low <= value <= high
+        except TypeError:
+            return None
+
+    def columns(self) -> List[Column]:
+        return self.operand.columns() + self.low.columns() + self.high.columns()
+
+    def to_sql(self) -> str:
+        return f"({self.operand.to_sql()} BETWEEN {self.low.to_sql()} AND {self.high.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` with three-valued logic."""
+
+    operand: Expression
+    values: Tuple[Expression, ...]
+
+    def evaluate(self, env: RowEnvironment) -> Optional[bool]:
+        value = self.operand.evaluate(env)
+        if value is None:
+            return None
+        saw_unknown = False
+        for candidate in self.values:
+            other = candidate.evaluate(env)
+            if other is None:
+                saw_unknown = True
+            elif value == other:
+                return True
+        return None if saw_unknown else False
+
+    def columns(self) -> List[Column]:
+        cols = self.operand.columns()
+        for value in self.values:
+            cols.extend(value.columns())
+        return cols
+
+    def to_sql(self) -> str:
+        inner = ", ".join(v.to_sql() for v in self.values)
+        return f"({self.operand.to_sql()} IN ({inner}))"
+
+
+@dataclass(frozen=True, repr=False)
+class IsNull(Expression):
+    """``expr IS NULL`` / ``expr IS NOT NULL`` (never unknown)."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, env: RowEnvironment) -> bool:
+        is_null = self.operand.evaluate(env) is None
+        return not is_null if self.negated else is_null
+
+    def columns(self) -> List[Column]:
+        return self.operand.columns()
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {suffix})"
+
+
+@dataclass(frozen=True, repr=False)
+class Like(Expression):
+    """SQL LIKE with ``%`` and ``_`` wildcards."""
+
+    operand: Expression
+    pattern: str
+
+    def evaluate(self, env: RowEnvironment) -> Optional[bool]:
+        value = self.operand.evaluate(env)
+        if value is None:
+            return None
+        regex = re.escape(self.pattern).replace("%", ".*").replace("_", ".")
+        return re.fullmatch(regex, str(value)) is not None
+
+    def columns(self) -> List[Column]:
+        return self.operand.columns()
+
+    def to_sql(self) -> str:
+        return f"({self.operand.to_sql()} LIKE '{self.pattern}')"
+
+
+@dataclass(frozen=True, repr=False)
+class Case(Expression):
+    """Searched or simple CASE expression."""
+
+    whens: Tuple[Tuple[Expression, Expression], ...]
+    else_result: Optional[Expression] = None
+    operand: Optional[Expression] = None
+
+    def evaluate(self, env: RowEnvironment) -> Any:
+        if self.operand is not None:
+            subject = self.operand.evaluate(env)
+            for when_value, result in self.whens:
+                if subject is not None and subject == when_value.evaluate(env):
+                    return result.evaluate(env)
+        else:
+            for condition, result in self.whens:
+                if condition.evaluate(env) is True:
+                    return result.evaluate(env)
+        if self.else_result is not None:
+            return self.else_result.evaluate(env)
+        return None
+
+    def columns(self) -> List[Column]:
+        cols: List[Column] = []
+        if self.operand is not None:
+            cols.extend(self.operand.columns())
+        for condition, result in self.whens:
+            cols.extend(condition.columns())
+            cols.extend(result.columns())
+        if self.else_result is not None:
+            cols.extend(self.else_result.columns())
+        return cols
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        if self.operand is not None:
+            parts.append(self.operand.to_sql())
+        for condition, result in self.whens:
+            parts.append(f"WHEN {condition.to_sql()} THEN {result.to_sql()}")
+        if self.else_result is not None:
+            parts.append(f"ELSE {self.else_result.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+def _sql_least(*args: Any) -> Any:
+    present = [a for a in args if a is not None]
+    return min(present) if present else None
+
+
+def _sql_greatest(*args: Any) -> Any:
+    present = [a for a in args if a is not None]
+    return max(present) if present else None
+
+
+def _sql_coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _rect_contains(rect: Any, point: Any) -> Optional[bool]:
+    """Spatial containment check used by the geocoding example.
+
+    ``rect`` is ``((lat1, lon1), (lat2, lon2))`` and ``point`` is
+    ``(lat, lon)``; corner order does not matter.
+    """
+    if rect is None or point is None:
+        return None
+    (lat1, lon1), (lat2, lon2) = rect
+    lat, lon = point
+    return (min(lat1, lat2) <= lat <= max(lat1, lat2)
+            and min(lon1, lon2) <= lon <= max(lon1, lon2))
+
+
+#: Registry of scalar functions available to :class:`FunctionCall`.
+SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "abs": lambda x: None if x is None else abs(x),
+    "least": _sql_least,
+    "greatest": _sql_greatest,
+    "coalesce": _sql_coalesce,
+    "upper": lambda s: None if s is None else str(s).upper(),
+    "lower": lambda s: None if s is None else str(s).lower(),
+    "length": lambda s: None if s is None else len(str(s)),
+    "round": lambda x, digits=0: None if x is None else round(x, int(digits)),
+    "sqrt": lambda x: None if x is None or x < 0 else math.sqrt(x),
+    "contains": _rect_contains,
+}
+
+
+@dataclass(frozen=True, repr=False)
+class FunctionCall(Expression):
+    """A call to a registered scalar function."""
+
+    name: str
+    args: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.name.lower() not in SCALAR_FUNCTIONS:
+            raise ExpressionError(f"unknown scalar function {self.name!r}")
+
+    def evaluate(self, env: RowEnvironment) -> Any:
+        func = SCALAR_FUNCTIONS[self.name.lower()]
+        return func(*(arg.evaluate(env) for arg in self.args))
+
+    def columns(self) -> List[Column]:
+        return [c for arg in self.args for c in arg.columns()]
+
+    def to_sql(self) -> str:
+        inner = ", ".join(arg.to_sql() for arg in self.args)
+        return f"{self.name}({inner})"
+
+
+def conjunction(predicates: Sequence[Expression]) -> Expression:
+    """AND together a list of predicates (TRUE literal if the list is empty)."""
+    predicates = [p for p in predicates if p is not None]
+    if not predicates:
+        return Literal(True)
+    if len(predicates) == 1:
+        return predicates[0]
+    return And(*predicates)

@@ -1,0 +1,187 @@
+"""Schemas: attributes, relation schemas and database schemas."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class DataType(enum.Enum):
+    """Attribute data types supported by the engine.
+
+    The engine is dynamically typed; types are advisory and used for
+    validation, pretty-printing and workload generation.  ``ANY`` accepts any
+    value including ``None`` (SQL NULL).
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    ANY = "any"
+
+    def accepts(self, value: Any) -> bool:
+        """Return True if ``value`` is a legal instance of this type (NULL always is)."""
+        if value is None:
+            return True
+        if self is DataType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is DataType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is DataType.STRING:
+            return isinstance(value, str)
+        if self is DataType.BOOLEAN:
+            return isinstance(value, bool)
+        return True
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a relation schema."""
+
+    name: str
+    data_type: DataType = DataType.ANY
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or schema mismatches."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation name plus an ordered list of attributes.
+
+    Attribute names must be unique (case-insensitive, since the SQL front-end
+    is case-insensitive for identifiers).
+    """
+
+    name: str
+    attributes: Tuple[Attribute, ...]
+
+    def __init__(self, name: str, attributes: Iterable[Attribute | str]) -> None:
+        attrs = tuple(
+            attr if isinstance(attr, Attribute) else Attribute(attr)
+            for attr in attributes
+        )
+        seen = set()
+        for attr in attrs:
+            lowered = attr.name.lower()
+            if lowered in seen:
+                raise SchemaError(f"duplicate attribute {attr.name!r} in relation {name!r}")
+            seen.add(lowered)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Names of the attributes, in order."""
+        return tuple(attr.name for attr in self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute`` (case-insensitive); raises SchemaError if absent."""
+        lowered = attribute.lower()
+        for index, attr in enumerate(self.attributes):
+            if attr.name.lower() == lowered:
+                return index
+        raise SchemaError(f"relation {self.name!r} has no attribute {attribute!r}")
+
+    def has_attribute(self, attribute: str) -> bool:
+        """True if the schema contains ``attribute`` (case-insensitive)."""
+        lowered = attribute.lower()
+        return any(attr.name.lower() == lowered for attr in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the :class:`Attribute` called ``name``."""
+        return self.attributes[self.index_of(name)]
+
+    def project(self, names: Sequence[str], relation_name: Optional[str] = None) -> "RelationSchema":
+        """Schema resulting from projecting onto ``names`` (kept in given order)."""
+        return RelationSchema(
+            relation_name or self.name,
+            tuple(self.attribute(name) for name in names),
+        )
+
+    def rename(self, new_name: str) -> "RelationSchema":
+        """Same attributes under a different relation name."""
+        return RelationSchema(new_name, self.attributes)
+
+    def concat(self, other: "RelationSchema", name: Optional[str] = None) -> "RelationSchema":
+        """Concatenate two schemas (cross product / join result schema).
+
+        Colliding attribute names are disambiguated by prefixing the source
+        relation name (``rel.attr``), matching common SQL engine behaviour.
+        """
+        left_names = {attr.name.lower() for attr in self.attributes}
+        attributes: List[Attribute] = list(self.attributes)
+        for attr in other.attributes:
+            if attr.name.lower() in left_names:
+                attributes.append(Attribute(f"{other.name}.{attr.name}", attr.data_type))
+            else:
+                attributes.append(attr)
+        return RelationSchema(name or f"{self.name}_{other.name}", attributes)
+
+    def validate_row(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Check arity and types of ``row`` and return it as a tuple."""
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"row {row!r} has {len(row)} values but relation {self.name!r} "
+                f"has arity {self.arity}"
+            )
+        for attr, value in zip(self.attributes, row):
+            if not attr.data_type.accepts(value):
+                raise SchemaError(
+                    f"value {value!r} is not a valid {attr.data_type.value} for "
+                    f"attribute {attr.name!r} of {self.name!r}"
+                )
+        return row
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __str__(self) -> str:
+        cols = ", ".join(f"{a.name}" for a in self.attributes)
+        return f"{self.name}({cols})"
+
+
+@dataclass
+class DatabaseSchema:
+    """A named set of relation schemas."""
+
+    relations: Dict[str, RelationSchema] = field(default_factory=dict)
+
+    def add(self, schema: RelationSchema) -> None:
+        """Register a relation schema (case-insensitive name, must be fresh)."""
+        key = schema.name.lower()
+        if key in self.relations:
+            raise SchemaError(f"relation {schema.name!r} already exists in the schema")
+        self.relations[key] = schema
+
+    def get(self, name: str) -> RelationSchema:
+        """Look up a relation schema by (case-insensitive) name."""
+        try:
+            return self.relations[name.lower()]
+        except KeyError as exc:
+            raise SchemaError(f"unknown relation {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self.relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)

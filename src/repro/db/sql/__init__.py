@@ -1,0 +1,23 @@
+"""A SQL subset front-end: lexer, parser and translation to relational algebra.
+
+The supported dialect covers what the paper's experimental queries need:
+``SELECT`` lists with expressions, aliases and ``CASE``, multi-relation
+``FROM`` with aliases and sub-queries, ``WHERE`` with boolean connectives,
+comparisons, ``BETWEEN``, ``IN``, ``LIKE``, ``IS NULL``, ``GROUP BY`` with
+the standard aggregates, ``ORDER BY``, ``LIMIT``, ``UNION ALL`` and
+``SELECT DISTINCT``.
+"""
+
+from repro.db.sql.lexer import tokenize, Token, TokenType, SQLSyntaxError
+from repro.db.sql.parser import parse
+from repro.db.sql.translator import translate, parse_query
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "SQLSyntaxError",
+    "parse",
+    "translate",
+    "parse_query",
+]

@@ -1,0 +1,80 @@
+"""Abstract syntax tree for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.db.expressions import Expression
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of a SELECT list: an expression with an optional alias.
+
+    ``expression is None`` encodes ``*`` (or ``alias.*`` when ``qualifier``
+    is set).
+    """
+
+    expression: Optional[Expression]
+    alias: Optional[str] = None
+    qualifier: Optional[str] = None
+
+    @property
+    def is_star(self) -> bool:
+        """True for ``*`` / ``alias.*`` items."""
+        return self.expression is None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM item referring to a stored relation."""
+
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    """A FROM item that is a parenthesized sub-query with an alias."""
+
+    query: "SelectStatement"
+    alias: str
+
+
+FromItem = Union[TableRef, SubqueryRef]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """An aggregate function call appearing in a SELECT list."""
+
+    func: str
+    argument: Optional[Expression]  # None encodes COUNT(*)
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A (possibly compound) SELECT statement."""
+
+    items: Tuple[SelectItem, ...]
+    from_items: Tuple[FromItem, ...]
+    where: Optional[Expression] = None
+    group_by: Tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+    #: Aggregate calls, aligned with the positions recorded during parsing.
+    aggregates: Tuple[Tuple[int, AggregateCall], ...] = ()
+    #: UNION ALL continuation, if any.
+    union_all: Optional["SelectStatement"] = None

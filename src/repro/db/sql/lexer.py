@@ -1,0 +1,159 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator, List
+
+
+class SQLSyntaxError(ValueError):
+    """Raised for lexical or syntactic errors in SQL text."""
+
+
+class TokenType(enum.Enum):
+    """Lexical categories."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+#: Reserved words recognized as keywords (case-insensitive).
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "order", "limit",
+    "having", "as", "and", "or", "not", "in", "between", "like", "is", "null",
+    "case", "when", "then", "else", "end", "union", "all", "asc", "desc",
+    "join", "on", "inner", "cross", "true", "false",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def matches(self, token_type: TokenType, value: Any = None) -> bool:
+        """True if the token has the given type (and value, if provided)."""
+        if self.type is not token_type:
+            return False
+        if value is None:
+            return True
+        if isinstance(self.value, str) and isinstance(value, str):
+            return self.value.lower() == value.lower()
+        return self.value == value
+
+
+_OPERATOR_CHARS = {"=", "<", ">", "!", "+", "-", "*", "/"}
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!="}
+_PUNCTUATION = {"(", ")", ",", ".", ";"}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text into a list of tokens ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "-" and i + 1 < length and text[i + 1] == "-":
+            # Line comment.
+            while i < length and text[i] != "\n":
+                i += 1
+            continue
+        if char == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if char == '"':
+            value, i = _read_quoted_identifier(text, i)
+            tokens.append(Token(TokenType.IDENTIFIER, value, i))
+            continue
+        if char.isdigit() or (char == "." and i + 1 < length and text[i + 1].isdigit()):
+            value, i = _read_number(text, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if char.isalpha() or char == "_":
+            value, i = _read_word(text, i)
+            if value.lower() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, value.lower(), i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, value, i))
+            continue
+        if char in _OPERATOR_CHARS:
+            two = text[i:i + 2]
+            if two in _TWO_CHAR_OPERATORS:
+                tokens.append(Token(TokenType.OPERATOR, two, i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, char, i))
+                i += 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {char!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, None, length))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple:
+    """Read a single-quoted string literal (with '' escaping)."""
+    i = start + 1
+    parts: List[str] = []
+    while i < len(text):
+        char = text[i]
+        if char == "'":
+            if i + 1 < len(text) and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(char)
+        i += 1
+    raise SQLSyntaxError(f"unterminated string literal starting at {start}")
+
+
+def _read_quoted_identifier(text: str, start: int) -> tuple:
+    """Read a double-quoted identifier."""
+    i = start + 1
+    parts: List[str] = []
+    while i < len(text):
+        char = text[i]
+        if char == '"':
+            return "".join(parts), i + 1
+        parts.append(char)
+        i += 1
+    raise SQLSyntaxError(f"unterminated quoted identifier starting at {start}")
+
+
+def _read_number(text: str, start: int) -> tuple:
+    """Read an integer or float literal."""
+    i = start
+    seen_dot = False
+    while i < len(text) and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            seen_dot = True
+        i += 1
+    raw = text[start:i]
+    value: Any = float(raw) if seen_dot else int(raw)
+    return value, i
+
+
+def _read_word(text: str, start: int) -> tuple:
+    """Read an identifier or keyword."""
+    i = start
+    while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    return text[start:i], i

@@ -1,0 +1,411 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar sketch (informal)::
+
+    statement   := select [UNION ALL select] [';']
+    select      := SELECT [DISTINCT] items FROM from_items
+                   [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                   [ORDER BY order_list] [LIMIT number]
+    items       := item (',' item)*
+    item        := '*' | ident '.' '*' | aggregate | expr [AS ident]
+    from_items  := from_item (',' from_item)*
+    from_item   := ident [AS? ident] | '(' select ')' AS? ident
+    expr        := or_expr
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.db.expressions import (
+    And, Arithmetic, Between, Case, Column, Comparison, Expression,
+    FunctionCall, InList, IsNull, Like, Literal, Negate, Not, Or,
+    SCALAR_FUNCTIONS,
+)
+from repro.db.sql.ast import (
+    AggregateCall, OrderItem, SelectItem, SelectStatement, SubqueryRef, TableRef,
+)
+from repro.db.sql.lexer import SQLSyntaxError, Token, TokenType, tokenize
+
+_AGGREGATE_NAMES = {"count", "sum", "avg", "min", "max"}
+
+
+def parse(sql: str) -> SelectStatement:
+    """Parse SQL text into a :class:`SelectStatement`."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.expect_end()
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def check_keyword(self, *keywords: str) -> bool:
+        return self.current.type is TokenType.KEYWORD and self.current.value in keywords
+
+    def accept_keyword(self, *keywords: str) -> bool:
+        if self.check_keyword(*keywords):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise SQLSyntaxError(
+                f"expected keyword {keyword.upper()!r} but found {self.current.value!r}"
+            )
+
+    def check_punct(self, value: str) -> bool:
+        return self.current.matches(TokenType.PUNCTUATION, value)
+
+    def accept_punct(self, value: str) -> bool:
+        if self.check_punct(value):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise SQLSyntaxError(
+                f"expected {value!r} but found {self.current.value!r}"
+            )
+
+    def check_operator(self, *values: str) -> bool:
+        return self.current.type is TokenType.OPERATOR and self.current.value in values
+
+    def expect_identifier(self) -> str:
+        if self.current.type is TokenType.IDENTIFIER:
+            return str(self.advance().value)
+        raise SQLSyntaxError(f"expected identifier but found {self.current.value!r}")
+
+    def expect_end(self) -> None:
+        self.accept_punct(";")
+        if self.current.type is not TokenType.EOF:
+            raise SQLSyntaxError(f"unexpected trailing input: {self.current.value!r}")
+
+    # -- statement ------------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        statement = self.parse_select()
+        if self.accept_keyword("union"):
+            self.expect_keyword("all")
+            continuation = self.parse_statement()
+            statement = SelectStatement(
+                items=statement.items,
+                from_items=statement.from_items,
+                where=statement.where,
+                group_by=statement.group_by,
+                having=statement.having,
+                order_by=statement.order_by,
+                limit=statement.limit,
+                distinct=statement.distinct,
+                aggregates=statement.aggregates,
+                union_all=continuation,
+            )
+        return statement
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items, aggregates = self.parse_select_items()
+        self.expect_keyword("from")
+        from_items = self.parse_from_items()
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expression()
+        group_by: Tuple[Expression, ...] = ()
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by = tuple(self.parse_expression_list())
+        having = None
+        if self.accept_keyword("having"):
+            having = self.parse_expression()
+        order_by: Tuple[OrderItem, ...] = ()
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by = tuple(self.parse_order_items())
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.advance()
+            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                raise SQLSyntaxError("LIMIT requires an integer literal")
+            limit = token.value
+        return SelectStatement(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+            aggregates=tuple(aggregates),
+        )
+
+    # -- select list ------------------------------------------------------------
+
+    def parse_select_items(self) -> Tuple[List[SelectItem], List[Tuple[int, AggregateCall]]]:
+        items: List[SelectItem] = []
+        aggregates: List[Tuple[int, AggregateCall]] = []
+        while True:
+            index = len(items)
+            if self.check_operator("*"):
+                self.advance()
+                items.append(SelectItem(expression=None))
+            elif self._looks_like_qualified_star():
+                qualifier = self.expect_identifier()
+                self.expect_punct(".")
+                self.advance()  # the '*'
+                items.append(SelectItem(expression=None, qualifier=qualifier))
+            elif self._looks_like_aggregate():
+                call = self.parse_aggregate_call()
+                aggregates.append((index, call))
+                items.append(SelectItem(
+                    expression=Column(call.alias or f"{call.func}_{index}"),
+                    alias=call.alias or f"{call.func}_{index}",
+                ))
+            else:
+                expression = self.parse_expression()
+                alias = self.parse_optional_alias()
+                items.append(SelectItem(expression=expression, alias=alias))
+            if not self.accept_punct(","):
+                break
+        return items, aggregates
+
+    def _looks_like_qualified_star(self) -> bool:
+        return (
+            self.current.type is TokenType.IDENTIFIER
+            and self.tokens[self.position + 1].matches(TokenType.PUNCTUATION, ".")
+            and self.tokens[self.position + 2].matches(TokenType.OPERATOR, "*")
+        )
+
+    def _looks_like_aggregate(self) -> bool:
+        return (
+            self.current.type is TokenType.IDENTIFIER
+            and str(self.current.value).lower() in _AGGREGATE_NAMES
+            and self.tokens[self.position + 1].matches(TokenType.PUNCTUATION, "(")
+        )
+
+    def parse_aggregate_call(self) -> AggregateCall:
+        func = self.expect_identifier().lower()
+        self.expect_punct("(")
+        argument: Optional[Expression]
+        if self.check_operator("*"):
+            self.advance()
+            argument = None
+        else:
+            argument = self.parse_expression()
+        self.expect_punct(")")
+        alias = self.parse_optional_alias()
+        return AggregateCall(func=func, argument=argument, alias=alias)
+
+    def parse_optional_alias(self) -> Optional[str]:
+        if self.accept_keyword("as"):
+            return self.expect_identifier()
+        if self.current.type is TokenType.IDENTIFIER:
+            return str(self.advance().value)
+        return None
+
+    # -- FROM clause ---------------------------------------------------------------
+
+    def parse_from_items(self):
+        items = [self.parse_from_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_from_item())
+        return items
+
+    def parse_from_item(self):
+        if self.accept_punct("("):
+            query = self.parse_statement()
+            self.expect_punct(")")
+            alias = self.parse_optional_alias()
+            if alias is None:
+                raise SQLSyntaxError("sub-queries in FROM require an alias")
+            return SubqueryRef(query=query, alias=alias)
+        name = self.expect_identifier()
+        alias = self.parse_optional_alias()
+        return TableRef(name=name, alias=alias)
+
+    # -- ORDER BY ----------------------------------------------------------------
+
+    def parse_order_items(self) -> List[OrderItem]:
+        items = []
+        while True:
+            expression = self.parse_expression()
+            descending = False
+            if self.accept_keyword("desc"):
+                descending = True
+            else:
+                self.accept_keyword("asc")
+            items.append(OrderItem(expression=expression, descending=descending))
+            if not self.accept_punct(","):
+                break
+        return items
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_expression_list(self) -> List[Expression]:
+        expressions = [self.parse_expression()]
+        while self.accept_punct(","):
+            expressions.append(self.parse_expression())
+        return expressions
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.accept_keyword("or"):
+            right = self.parse_and()
+            left = Or(left, right)
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.accept_keyword("and"):
+            right = self.parse_not()
+            left = And(left, right)
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("not"):
+            return Not(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        left = self.parse_additive()
+        if self.check_operator("=", "!=", "<>", "<", "<=", ">", ">="):
+            op = str(self.advance().value)
+            right = self.parse_additive()
+            return Comparison(op, left, right)
+        negated = False
+        if self.check_keyword("not"):
+            # Look ahead for NOT BETWEEN / NOT IN / NOT LIKE.
+            next_token = self.tokens[self.position + 1]
+            if next_token.type is TokenType.KEYWORD and next_token.value in ("between", "in", "like"):
+                self.advance()
+                negated = True
+        if self.accept_keyword("between"):
+            low = self.parse_additive()
+            self.expect_keyword("and")
+            high = self.parse_additive()
+            expression: Expression = Between(left, low, high)
+            return Not(expression) if negated else expression
+        if self.accept_keyword("in"):
+            self.expect_punct("(")
+            values = tuple(self.parse_expression_list())
+            self.expect_punct(")")
+            expression = InList(left, values)
+            return Not(expression) if negated else expression
+        if self.accept_keyword("like"):
+            token = self.advance()
+            if token.type is not TokenType.STRING:
+                raise SQLSyntaxError("LIKE requires a string literal pattern")
+            expression = Like(left, str(token.value))
+            return Not(expression) if negated else expression
+        if self.accept_keyword("is"):
+            is_negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return IsNull(left, negated=is_negated)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while self.check_operator("+", "-"):
+            op = str(self.advance().value)
+            right = self.parse_multiplicative()
+            left = Arithmetic(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while self.check_operator("*", "/"):
+            op = str(self.advance().value)
+            right = self.parse_unary()
+            left = Arithmetic(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expression:
+        if self.check_operator("-"):
+            self.advance()
+            return Negate(self.parse_unary())
+        if self.check_operator("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.matches(TokenType.KEYWORD, "null"):
+            self.advance()
+            return Literal(None)
+        if token.matches(TokenType.KEYWORD, "true"):
+            self.advance()
+            return Literal(True)
+        if token.matches(TokenType.KEYWORD, "false"):
+            self.advance()
+            return Literal(False)
+        if token.matches(TokenType.KEYWORD, "case"):
+            return self.parse_case()
+        if self.accept_punct("("):
+            expression = self.parse_expression()
+            self.expect_punct(")")
+            return expression
+        if token.type is TokenType.IDENTIFIER:
+            return self.parse_identifier_expression()
+        raise SQLSyntaxError(f"unexpected token {token.value!r} in expression")
+
+    def parse_identifier_expression(self) -> Expression:
+        name = self.expect_identifier()
+        # Function call.
+        if self.check_punct("(") and name.lower() in SCALAR_FUNCTIONS:
+            self.advance()
+            args: List[Expression] = []
+            if not self.check_punct(")"):
+                args = self.parse_expression_list()
+            self.expect_punct(")")
+            return FunctionCall(name, tuple(args))
+        # Qualified column: ident '.' ident
+        if self.accept_punct("."):
+            column = self.expect_identifier()
+            return Column(column, qualifier=name)
+        return Column(name)
+
+    def parse_case(self) -> Expression:
+        self.expect_keyword("case")
+        operand: Optional[Expression] = None
+        if not self.check_keyword("when"):
+            operand = self.parse_expression()
+        whens: List[Tuple[Expression, Expression]] = []
+        while self.accept_keyword("when"):
+            condition = self.parse_expression()
+            self.expect_keyword("then")
+            result = self.parse_expression()
+            whens.append((condition, result))
+        else_result: Optional[Expression] = None
+        if self.accept_keyword("else"):
+            else_result = self.parse_expression()
+        self.expect_keyword("end")
+        if not whens:
+            raise SQLSyntaxError("CASE requires at least one WHEN branch")
+        return Case(whens=tuple(whens), else_result=else_result, operand=operand)

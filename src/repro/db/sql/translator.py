@@ -1,0 +1,312 @@
+"""Translation of parsed SQL into relational algebra plans.
+
+The translator performs a light form of join planning: conjuncts of the WHERE
+clause that connect two FROM items through an equality comparison are pushed
+into :class:`~repro.db.algebra.Join` operators (enabling hash joins in the
+evaluator); remaining conjuncts become a final selection.  When a catalog is
+available the translator also expands ``*`` select items.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db import algebra
+from repro.db.expressions import (
+    And, Column, Comparison, Expression, Literal, conjunction,
+)
+from repro.db.schema import DatabaseSchema, SchemaError
+from repro.db.sql.ast import (
+    AggregateCall, SelectItem, SelectStatement, SubqueryRef, TableRef,
+)
+from repro.db.sql.lexer import SQLSyntaxError
+from repro.db.sql.parser import parse
+
+
+class TranslationError(ValueError):
+    """Raised when a parsed statement cannot be translated."""
+
+
+def parse_query(sql: str, catalog: Optional[DatabaseSchema] = None) -> algebra.Operator:
+    """Parse SQL text and translate it into a relational algebra plan."""
+    return translate(parse(sql), catalog)
+
+
+def translate(statement: SelectStatement,
+              catalog: Optional[DatabaseSchema] = None) -> algebra.Operator:
+    """Translate a :class:`SelectStatement` into an algebra plan."""
+    plan = _translate_single(statement, catalog)
+    if statement.union_all is not None:
+        right = translate(statement.union_all, catalog)
+        plan = algebra.Union(plan, right)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Static schema inference (column names only) for planning decisions.
+# ---------------------------------------------------------------------------
+
+def infer_columns(plan: algebra.Operator,
+                  catalog: Optional[DatabaseSchema]) -> Optional[List[str]]:
+    """Column names produced by ``plan``, or None when they cannot be derived."""
+    if isinstance(plan, algebra.RelationRef):
+        if catalog is None or plan.name not in catalog:
+            return None
+        return list(catalog.get(plan.name).attribute_names)
+    if isinstance(plan, algebra.Qualify):
+        child = infer_columns(plan.child, catalog)
+        if child is None:
+            return None
+        return [f"{plan.qualifier}.{name.split('.')[-1]}" for name in child]
+    if isinstance(plan, algebra.Projection):
+        return list(plan.output_names)
+    if isinstance(plan, algebra.Selection):
+        return infer_columns(plan.child, catalog)
+    if isinstance(plan, algebra.Distinct):
+        return infer_columns(plan.child, catalog)
+    if isinstance(plan, (algebra.OrderBy, algebra.Limit)):
+        return infer_columns(plan.child, catalog)
+    if isinstance(plan, (algebra.Join, algebra.CrossProduct)):
+        left = infer_columns(plan.left, catalog)
+        right = infer_columns(plan.right, catalog)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(plan, algebra.Aggregate):
+        names = [name for _, name in plan.group_by]
+        names.extend(agg.name for agg in plan.aggregates)
+        return names
+    if isinstance(plan, algebra.Union):
+        return infer_columns(plan.left, catalog)
+    return None
+
+
+def _columns_covered(expression: Expression, available: Sequence[str]) -> bool:
+    """True if every column reference in ``expression`` resolves in ``available``."""
+    full = {name.lower() for name in available}
+    bases = {name.lower().split(".")[-1] for name in available}
+    for column in expression.columns():
+        if column.full_name.lower() in full:
+            continue
+        if column.qualifier is None and column.name.lower() in bases:
+            continue
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# FROM clause and join planning.
+# ---------------------------------------------------------------------------
+
+def _translate_from_item(item, catalog, force_qualify: bool) -> algebra.Operator:
+    if isinstance(item, TableRef):
+        plan: algebra.Operator = algebra.RelationRef(item.name, item.alias)
+        qualifier = item.alias or item.name
+        if item.alias or force_qualify:
+            plan = algebra.Qualify(algebra.RelationRef(item.name), qualifier)
+        return plan
+    if isinstance(item, SubqueryRef):
+        inner = translate(item.query, catalog)
+        return algebra.Qualify(inner, item.alias)
+    raise TranslationError(f"unsupported FROM item {item!r}")
+
+
+def _split_conjuncts(predicate: Optional[Expression]) -> List[Expression]:
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        return list(predicate.operands)
+    return [predicate]
+
+
+def _is_join_conjunct(conjunct: Expression) -> bool:
+    return (
+        isinstance(conjunct, Comparison)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, Column)
+        and isinstance(conjunct.right, Column)
+    )
+
+
+def _plan_from_where(from_plans: List[algebra.Operator],
+                     where: Optional[Expression],
+                     catalog: Optional[DatabaseSchema]) -> algebra.Operator:
+    """Combine FROM items and the WHERE clause into a join tree + selection."""
+    conjuncts = _split_conjuncts(where)
+    columns = [infer_columns(plan, catalog) for plan in from_plans]
+    if len(from_plans) == 1:
+        plan = from_plans[0]
+        if conjuncts:
+            plan = algebra.Selection(plan, conjunction(conjuncts))
+        return plan
+
+    if any(cols is None for cols in columns):
+        # Without schema information fall back to cross products + selection.
+        plan = from_plans[0]
+        for other in from_plans[1:]:
+            plan = algebra.Join(plan, other, None)
+        if conjuncts:
+            plan = algebra.Selection(plan, conjunction(conjuncts))
+        return plan
+
+    remaining_plans = list(from_plans)
+    remaining_columns: List[List[str]] = [list(cols) for cols in columns]  # type: ignore[arg-type]
+    pending = list(conjuncts)
+
+    current = remaining_plans.pop(0)
+    current_columns = remaining_columns.pop(0)
+
+    while remaining_plans:
+        chosen_index = None
+        # Prefer an item connected to the current plan by an equality conjunct.
+        for index, cols in enumerate(remaining_columns):
+            combined = current_columns + cols
+            for conjunct in pending:
+                if _is_join_conjunct(conjunct) and _columns_covered(conjunct, combined) \
+                        and not _columns_covered(conjunct, current_columns) \
+                        and not _columns_covered(conjunct, cols):
+                    chosen_index = index
+                    break
+            if chosen_index is not None:
+                break
+        if chosen_index is None:
+            chosen_index = 0
+        next_plan = remaining_plans.pop(chosen_index)
+        next_columns = remaining_columns.pop(chosen_index)
+        combined = current_columns + next_columns
+        applicable = [c for c in pending if _columns_covered(c, combined)]
+        pending = [c for c in pending if c not in applicable]
+        predicate = conjunction(applicable) if applicable else None
+        if predicate is not None and isinstance(predicate, Literal):
+            predicate = None
+        current = algebra.Join(current, next_plan, predicate)
+        current_columns = combined
+
+    if pending:
+        current = algebra.Selection(current, conjunction(pending))
+    return current
+
+
+# ---------------------------------------------------------------------------
+# SELECT list.
+# ---------------------------------------------------------------------------
+
+def _output_name(item: SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expression, Column):
+        return item.expression.name
+    return f"col{index}"
+
+
+def _dedupe_output_names(items: List[Tuple[Expression, str]]) -> List[Tuple[Expression, str]]:
+    """Disambiguate duplicate output column names (SQL allows them; schemas don't).
+
+    A colliding column reference keeps its qualified name (``v2.place``);
+    other expressions get a positional suffix.
+    """
+    seen: Dict[str, int] = {}
+    result: List[Tuple[Expression, str]] = []
+    for index, (expression, name) in enumerate(items):
+        key = name.lower()
+        if key in seen:
+            if isinstance(expression, Column) and expression.qualifier:
+                name = expression.full_name
+            else:
+                name = f"{name}_{index}"
+        seen[name.lower()] = index
+        result.append((expression, name))
+    return result
+
+
+def _expand_star(items: Sequence[SelectItem],
+                 available: Optional[List[str]]) -> Optional[List[Tuple[Expression, str]]]:
+    """Expand ``*`` items into explicit column projections when possible."""
+    expanded: List[Tuple[Expression, str]] = []
+    for index, item in enumerate(items):
+        if not item.is_star:
+            expanded.append((item.expression, _output_name(item, index)))
+            continue
+        if available is None:
+            return None
+        for name in available:
+            if item.qualifier and not name.lower().startswith(item.qualifier.lower() + "."):
+                continue
+            expanded.append((Column(name), name.split(".")[-1]))
+    return expanded
+
+
+def _translate_single(statement: SelectStatement,
+                      catalog: Optional[DatabaseSchema]) -> algebra.Operator:
+    force_qualify = len(statement.from_items) > 1
+    from_plans = [
+        _translate_from_item(item, catalog, force_qualify)
+        for item in statement.from_items
+    ]
+    plan = _plan_from_where(from_plans, statement.where, catalog)
+    available = infer_columns(plan, catalog)
+
+    aggregate_by_index: Dict[int, AggregateCall] = dict(statement.aggregates)
+
+    if aggregate_by_index or statement.group_by:
+        plan = _translate_aggregate(statement, plan, aggregate_by_index)
+    else:
+        only_star = all(item.is_star and item.qualifier is None for item in statement.items)
+        if not only_star:
+            projection_items = _expand_star(statement.items, available)
+            if projection_items is None:
+                # '*' without schema info: keep all columns (identity).
+                non_star = [item for item in statement.items if not item.is_star]
+                if non_star:
+                    raise TranslationError(
+                        "cannot mix '*' with other select items without a catalog"
+                    )
+            else:
+                plan = algebra.Projection(
+                    plan, tuple(_dedupe_output_names(projection_items))
+                )
+
+    if statement.having is not None:
+        plan = algebra.Selection(plan, statement.having)
+    if statement.distinct:
+        plan = algebra.Distinct(plan)
+    if statement.order_by:
+        keys = tuple((item.expression, item.descending) for item in statement.order_by)
+        plan = algebra.OrderBy(plan, keys)
+    if statement.limit is not None:
+        plan = algebra.Limit(plan, statement.limit)
+    return plan
+
+
+def _translate_aggregate(statement: SelectStatement,
+                         plan: algebra.Operator,
+                         aggregate_by_index: Dict[int, AggregateCall]) -> algebra.Operator:
+    group_items: List[Tuple[Expression, str]] = []
+    for expression in statement.group_by:
+        if isinstance(expression, Column):
+            group_items.append((expression, expression.name))
+        else:
+            group_items.append((expression, expression.to_sql()))
+
+    aggregates: List[algebra.AggregateFunction] = []
+    for index, call in aggregate_by_index.items():
+        name = call.alias or f"{call.func}_{index}"
+        aggregates.append(algebra.AggregateFunction(call.func, call.argument, name))
+
+    aggregate_plan = algebra.Aggregate(plan, tuple(group_items), tuple(aggregates))
+
+    # Project the select list on top of the aggregate output.
+    projection_items: List[Tuple[Expression, str]] = []
+    for index, item in enumerate(statement.items):
+        if item.is_star:
+            raise TranslationError("'*' cannot be combined with GROUP BY")
+        name = _output_name(item, index)
+        if index in aggregate_by_index:
+            call = aggregate_by_index[index]
+            agg_name = call.alias or f"{call.func}_{index}"
+            projection_items.append((Column(agg_name), name))
+        else:
+            projection_items.append((item.expression, name))
+    return algebra.Projection(
+        aggregate_plan, tuple(_dedupe_output_names(projection_items))
+    )

@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per table/figure of the paper's Section 11.
+
+Every module exposes a ``run(...)`` function with laptop-scale defaults that
+returns an :class:`~repro.experiments.runner.ExperimentTable` and (optionally)
+prints the same rows/series the paper reports.  The ``benchmarks/`` directory
+wraps these runners with pytest-benchmark so timing figures are regenerated
+with statistical repetition.
+"""
+
+from repro.experiments.runner import ExperimentTable, format_seconds
+
+__all__ = ["ExperimentTable", "format_seconds"]

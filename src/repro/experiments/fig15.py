@@ -1,0 +1,57 @@
+"""Figure 15: false-negative rate of random projections over real-world data.
+
+For each dataset and each projection width, several random projections are
+evaluated and the distribution (min, quartiles, max) of the false-negative
+rate -- the fraction of certain answers misclassified as uncertain -- is
+reported.  The FNR should be low overall and decrease as more attributes are
+kept in the projection (fewer collisions between distinct alternatives).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.experiments.projection_fnr import (
+    projection_false_negative_rate, quartiles, random_projection_positions,
+)
+from repro.experiments.runner import ExperimentTable
+from repro.workloads.realworld import DATASET_PROFILES, generate_dataset
+
+
+def run(datasets: Optional[Sequence[str]] = None, scale: float = 0.0005,
+        projections_per_width: int = 9, max_widths: int = 8,
+        seed: int = 19, show: bool = True) -> ExperimentTable:
+    """Reproduce Figure 15 (a-i) with laptop-scale defaults."""
+    datasets = list(datasets) if datasets is not None else list(DATASET_PROFILES)
+    rng = random.Random(seed)
+    table = ExperimentTable(
+        title="Figure 15: projection false-negative rate (distribution per width)",
+        columns=["dataset", "projection_attrs", "min", "q25", "median", "q75", "max"],
+    )
+    for name in datasets:
+        dataset = generate_dataset(name, scale=scale, seed=seed)
+        relation = dataset.xdb.relation(dataset.schema.name)
+        arity = dataset.schema.arity
+        widths = _projection_widths(arity, max_widths)
+        for width in widths:
+            rates = []
+            for _ in range(projections_per_width):
+                positions = random_projection_positions(arity, width, rng)
+                rates.append(projection_false_negative_rate(relation, positions))
+            low, q25, median, q75, high = quartiles(rates)
+            table.add_row(name, width, low, q25, median, q75, high)
+    if show:
+        table.show()
+    return table
+
+
+def _projection_widths(arity: int, max_widths: int) -> Sequence[int]:
+    """Evenly spread projection widths from 1 to the relation's arity."""
+    if arity <= max_widths:
+        return list(range(1, arity + 1))
+    step = max(1, arity // max_widths)
+    widths = list(range(1, arity + 1, step))
+    if widths[-1] != arity:
+        widths.append(arity)
+    return widths

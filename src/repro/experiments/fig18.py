@@ -1,0 +1,153 @@
+"""Figure 18: utility (precision/recall) of UA-DBs versus certain answers.
+
+Protocol (Section 11.5):
+
+1. start from a clean ground-truth table,
+2. replace a varying fraction of attribute values with NULL,
+3. repair the table by imputation (best-guess, BGQP) or by picking random
+   replacement values (random-guess, RGQP), producing an x-DB whose
+   designated world is the repair,
+4. evaluate a query over (a) the UA-DB built from the repair, and (b) the
+   Libkin certain-answer under-approximation over the null table,
+5. compare each answer set against the query's answer over the ground truth.
+
+Libkin achieves perfect precision but loses recall quickly; UA-DBs (both
+variants) keep both precision and recall high, BGQP ahead of RGQP.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.baselines.bgqp import best_guess_query
+from repro.baselines.libkin import libkin_certain_answers
+from repro.db.database import Database
+from repro.db.relation import KRelation
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.experiments.runner import ExperimentTable
+from repro.metrics.utility import precision_recall
+from repro.semirings import NATURAL
+from repro.workloads.imputation import impute_alternatives
+
+#: Simple income-survey-like schema used by the utility experiment.
+SURVEY_SCHEMA = RelationSchema("survey", [
+    Attribute("id", DataType.INTEGER),
+    Attribute("age", DataType.INTEGER),
+    Attribute("sector", DataType.STRING),
+    Attribute("income", DataType.INTEGER),
+    Attribute("household", DataType.INTEGER),
+])
+
+_SECTORS = ["manufacturing", "services", "public", "agriculture", "technology"]
+
+#: The evaluation query: a selection plus projection over the survey.
+SURVEY_QUERY = """
+SELECT sector, household, age
+FROM survey
+WHERE income >= 40000
+"""
+
+
+def _generate_ground_truth(num_rows: int, rng: random.Random) -> List[Tuple[Any, ...]]:
+    rows = []
+    for identifier in range(num_rows):
+        rows.append((
+            identifier,
+            rng.randrange(18, 90),
+            rng.choice(_SECTORS),
+            rng.randrange(10_000, 120_000, 1000),
+            rng.randrange(1, 7),
+        ))
+    return rows
+
+
+def _database_from_rows(rows: Sequence[Tuple[Any, ...]], name: str) -> Database:
+    database = Database(NATURAL, name)
+    relation = KRelation(SURVEY_SCHEMA, NATURAL)
+    for row in rows:
+        relation.add(row, 1)
+    database.add_relation(relation)
+    return database
+
+
+def _inject_nulls(rows: Sequence[Tuple[Any, ...]], fraction: float,
+                  rng: random.Random) -> List[Tuple[Any, ...]]:
+    dirty = []
+    eligible_positions = list(range(1, SURVEY_SCHEMA.arity))
+    for row in rows:
+        values = list(row)
+        for position in eligible_positions:
+            if rng.random() < fraction:
+                values[position] = None
+        dirty.append(tuple(values))
+    return dirty
+
+
+def _random_repair(dirty: Sequence[Tuple[Any, ...]],
+                   rng: random.Random) -> List[Tuple[Any, ...]]:
+    """RGQP: replace every null with a random in-domain value."""
+    repaired = []
+    for row in dirty:
+        values = list(row)
+        if values[1] is None:
+            values[1] = rng.randrange(18, 90)
+        if values[2] is None:
+            values[2] = rng.choice(_SECTORS)
+        if values[3] is None:
+            values[3] = rng.randrange(10_000, 120_000, 1000)
+        if values[4] is None:
+            values[4] = rng.randrange(1, 7)
+        repaired.append(tuple(values))
+    return repaired
+
+
+def _best_guess_repair(dirty: Sequence[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+    """BGQP: the primary imputation (first alternative) for every dirty row."""
+    alternatives = impute_alternatives(dirty, SURVEY_SCHEMA, max_alternatives=1)
+    return [options[0] for options in alternatives]
+
+
+def run(uncertainties: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+        num_rows: int = 400, seed: int = 23,
+        show: bool = True) -> ExperimentTable:
+    """Reproduce Figure 18 with laptop-scale defaults."""
+    rng = random.Random(seed)
+    ground_rows = _generate_ground_truth(num_rows, rng)
+    ground_db = _database_from_rows(ground_rows, "survey_ground")
+    truth_result, _ = best_guess_query(ground_db, SURVEY_QUERY)
+    truth_rows = truth_result.to_rows()
+
+    table = ExperimentTable(
+        title="Figure 18: utility (precision / recall) vs amount of uncertainty",
+        columns=["uncertainty",
+                 "bgqp_precision", "bgqp_recall",
+                 "rgqp_precision", "rgqp_recall",
+                 "libkin_precision", "libkin_recall"],
+    )
+    for uncertainty in uncertainties:
+        dirty = _inject_nulls(ground_rows, uncertainty, random.Random(seed + int(uncertainty * 100)))
+        null_db = _database_from_rows(dirty, "survey_nulls")
+
+        bgqp_db = _database_from_rows(_best_guess_repair(dirty), "survey_bgqp")
+        bgqp_result, _ = best_guess_query(bgqp_db, SURVEY_QUERY)
+        bgqp = precision_recall(bgqp_result.to_rows(), truth_rows)
+
+        rgqp_db = _database_from_rows(
+            _random_repair(dirty, random.Random(seed + 1)), "survey_rgqp"
+        )
+        rgqp_result, _ = best_guess_query(rgqp_db, SURVEY_QUERY)
+        rgqp = precision_recall(rgqp_result.to_rows(), truth_rows)
+
+        libkin_rows, _ = libkin_certain_answers(null_db, SURVEY_QUERY)
+        libkin = precision_recall(libkin_rows, truth_rows)
+
+        table.add_row(
+            uncertainty,
+            bgqp.precision, bgqp.recall,
+            rgqp.precision, rgqp.recall,
+            libkin.precision, libkin.recall,
+        )
+    if show:
+        table.show()
+    return table

@@ -1,0 +1,107 @@
+"""Figure 21: mislabelings under the access-control semiring.
+
+Section 11.3 simulates a scenario where tuples carry access-control
+annotations (semiring A: 0 < T < S < C < P) and the labeling mis-states the
+clearance of a fraction of the tuples.  Random projections are evaluated and
+the error is the mean distance between the labeled annotation of a result
+tuple and its true certain annotation, where the distance between adjacent
+clearance levels is 1/5.
+
+Under A, projection combines the annotations of collapsing input tuples with
+semiring addition (``max``), and the certain annotation of a result tuple is
+the GLB (``min``) across worlds; because the input labeling under-approximates
+every tuple's level, the projected labeling under-approximates the result's
+certain level, and the experiment measures by how much.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.relation import Row
+from repro.experiments.projection_fnr import project_row, random_projection_positions
+from repro.experiments.runner import ExperimentTable
+from repro.semirings import ACCESS, AccessLevel
+from repro.workloads.realworld import generate_dataset
+
+#: Datasets used for the access-control experiment (any five of Figure 16).
+DEFAULT_DATASETS = (
+    "shootings_buffalo", "contracts", "food_inspections",
+    "business_licenses", "building_permits",
+)
+
+_ASSIGNABLE_LEVELS = [
+    AccessLevel.TOP_SECRET, AccessLevel.SECRET,
+    AccessLevel.CONFIDENTIAL, AccessLevel.PUBLIC,
+]
+
+
+def _assign_levels(rows: Sequence[Row], rng: random.Random) -> Dict[Row, AccessLevel]:
+    """Randomly assign a true clearance level to every row."""
+    return {row: rng.choice(_ASSIGNABLE_LEVELS) for row in rows}
+
+
+def _corrupt_levels(levels: Dict[Row, AccessLevel], error_rate: float,
+                    rng: random.Random) -> Dict[Row, AccessLevel]:
+    """Mislabel ``error_rate`` of the rows (to a random different level)."""
+    corrupted = {}
+    for row, level in levels.items():
+        if rng.random() < error_rate:
+            candidates = [l for l in _ASSIGNABLE_LEVELS if l != level]
+            corrupted[row] = rng.choice(candidates)
+        else:
+            corrupted[row] = level
+    return corrupted
+
+
+def _project_annotations(annotations: Dict[Row, AccessLevel],
+                         positions: Sequence[int]) -> Dict[Row, AccessLevel]:
+    """Projection under semiring A: collapsing tuples combine with max."""
+    projected: Dict[Row, AccessLevel] = {}
+    for row, level in annotations.items():
+        key = project_row(row, positions)
+        current = projected.get(key, ACCESS.zero)
+        projected[key] = ACCESS.plus(current, level)
+    return projected
+
+
+def run(datasets: Sequence[str] = DEFAULT_DATASETS,
+        error_rates: Sequence[float] = (0.01, 0.05, 0.10, 0.15),
+        projection_widths: Sequence[int] = (1, 3, 5, 7, 9),
+        scale: float = 0.0003, projections_per_width: int = 9,
+        seed: int = 31, show: bool = True) -> ExperimentTable:
+    """Reproduce Figure 21 with laptop-scale defaults."""
+    rng = random.Random(seed)
+    table = ExperimentTable(
+        title="Figure 21: access-control semiring -- mean label error per projection width",
+        columns=["error_rate", "projection_attrs", "mean_label_error"],
+    )
+    prepared: List[Tuple[Dict[Row, AccessLevel], int]] = []
+    for name in datasets:
+        dataset = generate_dataset(name, scale=scale, seed=seed)
+        relation = dataset.ground_truth.relation(dataset.profile.name)
+        rows = list(relation.rows())
+        prepared.append((_assign_levels(rows, rng), dataset.schema.arity))
+
+    for error_rate in error_rates:
+        corrupted_sets = [
+            (_corrupt_levels(levels, error_rate, rng), levels, arity)
+            for levels, arity in prepared
+        ]
+        for width in projection_widths:
+            errors: List[float] = []
+            for corrupted, levels, arity in corrupted_sets:
+                if width > arity:
+                    continue
+                for _ in range(projections_per_width):
+                    positions = random_projection_positions(arity, width, rng)
+                    truth = _project_annotations(levels, positions)
+                    labeled = _project_annotations(corrupted, positions)
+                    for key, true_level in truth.items():
+                        errors.append(true_level.distance(labeled.get(key, ACCESS.zero)))
+            if errors:
+                table.add_row(error_rate, width, sum(errors) / len(errors))
+    if show:
+        table.show()
+    return table

@@ -1,0 +1,114 @@
+"""Shared machinery for the projection false-negative-rate experiments.
+
+Figures 15 (set semantics), 20 (bag semantics) and 21 (access-control
+semiring) all evaluate random projections over a single uncertain relation
+and compare the UA-DB labeling of the result against ground truth.  For
+projections over an x-DB the ground truth is computable without enumerating
+worlds: because x-tuples are independent, a projected tuple ``t`` is certain
+iff some non-optional x-tuple has *every* alternative projecting to ``t``
+(otherwise a world avoiding ``t`` can be assembled choice by choice).  Under
+bag semantics the certain multiplicity of ``t`` is the number of such
+x-tuples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.db.relation import Row
+from repro.incomplete.xdb import XRelation
+
+
+def project_row(row: Row, positions: Sequence[int]) -> Row:
+    """Project a row onto the given attribute positions."""
+    return tuple(row[position] for position in positions)
+
+
+def ground_truth_certain_projection(relation: XRelation,
+                                    positions: Sequence[int]) -> Dict[Row, int]:
+    """Certain multiplicity of every projected tuple (bag semantics ground truth).
+
+    The boolean (set semantics) ground truth is the key set of the returned
+    mapping.
+    """
+    certain: Dict[Row, int] = {}
+    for x_tuple in relation:
+        if x_tuple.optional:
+            continue
+        projections = {project_row(alt, positions) for alt in x_tuple.alternatives}
+        if len(projections) == 1:
+            projected = next(iter(projections))
+            certain[projected] = certain.get(projected, 0) + 1
+    return certain
+
+
+def uadb_labeled_projection(relation: XRelation,
+                            positions: Sequence[int]) -> Tuple[Dict[Row, int], Dict[Row, int]]:
+    """UA-DB projection result: (certain-labeled multiplicities, best-guess multiplicities).
+
+    Mirrors evaluating the projection over the UA-DB built with
+    ``label_x-DB`` and the best-guess world: only tuples from
+    single-alternative, non-optional x-tuples are labeled certain, and the
+    best-guess world keeps the most likely alternative of every x-tuple.
+    """
+    labeled: Dict[Row, int] = {}
+    best_guess: Dict[Row, int] = {}
+    for x_tuple in relation:
+        choice = x_tuple.best_alternative()
+        if choice is not None:
+            projected = project_row(choice, positions)
+            best_guess[projected] = best_guess.get(projected, 0) + 1
+            if x_tuple.is_certain_singleton():
+                labeled[projected] = labeled.get(projected, 0) + 1
+    return labeled, best_guess
+
+
+def projection_false_negative_rate(relation: XRelation,
+                                   positions: Sequence[int]) -> float:
+    """Set-semantics FNR of the UA-DB labeling for one projection."""
+    truth = set(ground_truth_certain_projection(relation, positions))
+    labeled, _ = uadb_labeled_projection(relation, positions)
+    if not truth:
+        return 0.0
+    misclassified = {row for row in truth if labeled.get(row, 0) == 0}
+    return len(misclassified) / len(truth)
+
+
+def bag_projection_error_rate(relation: XRelation,
+                              positions: Sequence[int]) -> float:
+    """Bag-semantics mislabeling rate: tuples whose certain multiplicity is underestimated."""
+    truth = ground_truth_certain_projection(relation, positions)
+    labeled, best_guess = uadb_labeled_projection(relation, positions)
+    universe = set(truth) | set(best_guess)
+    if not universe:
+        return 0.0
+    mislabeled = sum(
+        1 for row in universe if labeled.get(row, 0) < truth.get(row, 0)
+    )
+    return mislabeled / len(universe)
+
+
+def random_projection_positions(arity: int, size: int,
+                                rng: random.Random) -> List[int]:
+    """A random, order-preserving choice of ``size`` attribute positions."""
+    positions = rng.sample(range(arity), min(size, arity))
+    return sorted(positions)
+
+
+def quartiles(values: Sequence[float]) -> Tuple[float, float, float, float, float]:
+    """(min, 25th percentile, median, 75th percentile, max) of ``values``."""
+    ordered = sorted(values)
+    if not ordered:
+        return (0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def percentile(fraction: float) -> float:
+        if len(ordered) == 1:
+            return ordered[0]
+        index = fraction * (len(ordered) - 1)
+        low = int(index)
+        high = min(low + 1, len(ordered) - 1)
+        weight = index - low
+        return ordered[low] * (1 - weight) + ordered[high] * weight
+
+    return (ordered[0], percentile(0.25), percentile(0.5), percentile(0.75), ordered[-1])

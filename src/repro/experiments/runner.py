@@ -1,0 +1,71 @@
+"""Small utilities shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table of result rows (the unit every experiment returns)."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: Optional[str] = None
+
+    def add_row(self, *values: Any) -> None:
+        """Append one result row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(tuple(values))
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def pretty(self) -> str:
+        """Fixed-width text rendering of the table."""
+        header = [str(c) for c in self.columns]
+        body = [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in body:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the pretty rendering."""
+        print(self.pretty())
+        print()
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration (ms below one second)."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f} ms"
+    return f"{seconds:.2f} s"

@@ -1,0 +1,218 @@
+"""Aggregation over UA-/UAP-databases with certainty bounds.
+
+The paper's rewriting covers RA+; aggregation is listed as future work.  This
+module evaluates ``GROUP BY`` aggregates over an annotated database and
+returns, for every group of the best-guess world, the best-guess aggregate
+value together with a lower and an upper bound derived from the certain and
+possible components of the annotations:
+
+* the *lower/upper bounds* sandwich the aggregate value the query would
+  produce in any possible world that is consistent with the annotation
+  bounds (for the monotone aggregates ``count``, ``sum`` of non-negative
+  values, ``min`` and ``max``),
+* a group's *existence* is labeled certain when at least one certainly
+  present input row belongs to it,
+* an aggregate value is labeled certain when its bounds collapse onto the
+  best-guess value.
+
+With a plain UA-DB (no possible component) the upper bounds that would need
+possible information are reported as ``None`` (unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.db import algebra
+from repro.db.expressions import RowEnvironment
+from repro.db.relation import Row
+from repro.core.uadb import UADatabase
+from repro.extensions.uapdb import UAPDatabase
+
+AnnotatedDatabase = Union[UADatabase, UAPDatabase]
+
+
+@dataclass(frozen=True)
+class AggregateBound:
+    """One aggregate of one group: best-guess value with certainty bounds."""
+
+    name: str
+    value: Any
+    lower: Optional[Any]
+    upper: Optional[Any]
+
+    @property
+    def certain(self) -> bool:
+        """True when the bounds pin the aggregate to its best-guess value."""
+        return self.lower is not None and self.lower == self.value == self.upper
+
+
+@dataclass(frozen=True)
+class BoundedAggregateRow:
+    """One group of an aggregation result."""
+
+    key: Row
+    aggregates: Tuple[AggregateBound, ...]
+    group_certain: bool
+
+    @property
+    def certain(self) -> bool:
+        """True when the group certainly exists and every aggregate is pinned."""
+        return self.group_certain and all(a.certain for a in self.aggregates)
+
+    def aggregate(self, name: str) -> AggregateBound:
+        """Look up an aggregate bound by output name."""
+        for bound in self.aggregates:
+            if bound.name == name:
+                return bound
+        raise KeyError(f"no aggregate named {name!r}")
+
+
+def ua_aggregate(database: AnnotatedDatabase,
+                 plan: algebra.Aggregate) -> List[BoundedAggregateRow]:
+    """Evaluate ``plan`` (an :class:`~repro.db.algebra.Aggregate`) with bounds.
+
+    The child plan is evaluated with the database's annotated semantics; the
+    grouping and the aggregate functions are then computed three times, using
+    the certain, best-guess and possible components of the result annotations
+    as multiplicities.
+    """
+    if not isinstance(plan, algebra.Aggregate):
+        raise TypeError("ua_aggregate expects an Aggregate plan")
+    child = database.query(plan.child)
+    base = child.base_semiring
+    names = child.schema.attribute_names
+    has_possible = hasattr(child.semiring, "h_poss")
+
+    groups: Dict[Row, List[Tuple[Row, Any]]] = {}
+    for row, annotation in child.items():
+        env = RowEnvironment(names, row)
+        key = tuple(expr.evaluate(env) for expr, _ in plan.group_by)
+        groups.setdefault(key, []).append((row, annotation))
+
+    results: List[BoundedAggregateRow] = []
+    for key, members in sorted(groups.items(), key=lambda kv: _key_sort(kv[0])):
+        certain_weights: List[Tuple[Row, int]] = []
+        guess_weights: List[Tuple[Row, int]] = []
+        possible_weights: List[Tuple[Row, Optional[int]]] = []
+        for row, annotation in members:
+            certain_weights.append((row, _weight(base, annotation.certain)))
+            guess_weights.append((row, _weight(base, annotation.determinized)))
+            if has_possible:
+                possible_weights.append((row, _weight(base, annotation.possible)))
+            else:
+                possible_weights.append((row, None))
+        if all(weight == 0 for _, weight in guess_weights):
+            # The group exists only in the possible over-approximation; it is
+            # not part of the best-guess answer, matching the UA-DB contract
+            # of returning exactly the best-guess world's rows.
+            continue
+        group_certain = any(weight > 0 for _, weight in certain_weights)
+        bounds = tuple(
+            _aggregate_bound(agg, names, certain_weights, guess_weights, possible_weights)
+            for agg in plan.aggregates
+        )
+        results.append(BoundedAggregateRow(key, bounds, group_certain))
+    return results
+
+
+# -- helpers -----------------------------------------------------------------------
+
+
+def _weight(base, value: Any) -> int:
+    """Interpret a K-annotation as a multiplicity (1 for any non-zero non-int)."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    return 0 if base.is_zero(value) else 1
+
+
+def _key_sort(key: Row) -> Tuple:
+    return tuple((value is None, str(value)) for value in key)
+
+
+def _argument_values(agg: algebra.AggregateFunction, names: Sequence[str],
+                     weights: Sequence[Tuple[Row, Optional[int]]]) -> Optional[List[Tuple[Any, int]]]:
+    """Evaluate the aggregate argument per row; None if any weight is unknown."""
+    values: List[Tuple[Any, int]] = []
+    for row, weight in weights:
+        if weight is None:
+            return None
+        if weight == 0:
+            continue
+        if agg.argument is None:
+            value: Any = 1
+        else:
+            value = agg.argument.evaluate(RowEnvironment(names, row))
+        values.append((value, weight))
+    return values
+
+
+def _compute(agg: algebra.AggregateFunction,
+             values: Optional[List[Tuple[Any, int]]]) -> Optional[Any]:
+    """Weighted aggregate over (value, multiplicity) pairs; None if unknown."""
+    if values is None:
+        return None
+    func = agg.func.lower()
+    non_null = [(v, w) for v, w in values if v is not None]
+    if func == "count":
+        source = values if agg.argument is None else non_null
+        return sum(w for _, w in source)
+    if not non_null:
+        return None
+    if func == "sum":
+        return sum(v * w for v, w in non_null)
+    if func == "avg":
+        total = sum(w for _, w in non_null)
+        return sum(v * w for v, w in non_null) / total
+    if func == "min":
+        return min(v for v, _ in non_null)
+    if func == "max":
+        return max(v for v, _ in non_null)
+    raise ValueError(f"unsupported aggregate {agg.func!r}")
+
+
+def _aggregate_bound(agg: algebra.AggregateFunction, names: Sequence[str],
+                     certain_weights: Sequence[Tuple[Row, int]],
+                     guess_weights: Sequence[Tuple[Row, int]],
+                     possible_weights: Sequence[Tuple[Row, Optional[int]]]) -> AggregateBound:
+    certain_values = _argument_values(agg, names, certain_weights)
+    guess_values = _argument_values(agg, names, guess_weights)
+    possible_values = _argument_values(agg, names, possible_weights)
+
+    value = _compute(agg, guess_values)
+    func = agg.func.lower()
+
+    if func == "count":
+        lower = _compute(agg, certain_values)
+        upper = _compute(agg, possible_values)
+    elif func == "sum":
+        negatives = any(
+            v is not None and v < 0
+            for values in (certain_values or [], guess_values or [], possible_values or [])
+            for v, _ in values
+        )
+        if negatives:
+            # With mixed signs the contribution of an uncertain row can move
+            # the sum in either direction; no sound bound without more work.
+            lower = upper = None
+        else:
+            lower = _compute(agg, certain_values) or 0
+            upper = _compute(agg, possible_values)
+    elif func == "min":
+        # More rows can only decrease a minimum.
+        lower = _compute(agg, possible_values)
+        upper = _compute(agg, certain_values)
+    elif func == "max":
+        lower = _compute(agg, certain_values)
+        upper = _compute(agg, possible_values)
+    else:
+        # avg is not monotone in the row population; the value is only pinned
+        # when the certain and possible populations are identical (then every
+        # world sees exactly the same rows for this group).
+        if (certain_values is not None and possible_values is not None
+                and certain_values == possible_values):
+            lower = upper = value
+        else:
+            lower = upper = None
+    return AggregateBound(agg.name, value, lower, upper)

@@ -1,0 +1,139 @@
+"""Possible-annotation labelings: over-approximations of ``poss_K``.
+
+The paper's labeling schemes (Section 4) under-approximate the *certain*
+annotation of each tuple.  The dual notion -- an over-approximation of the
+*possible* annotation ``poss_K`` (the LUB of a tuple's annotations across all
+worlds) -- is what a UA-DB is missing when a query subtracts tuples: to bound
+the certain annotation of ``Q1 - Q2`` from below we need to bound ``Q2`` from
+above.  The schemes here provide that bound for the same three data models
+the paper translates from.
+
+A labeling ``P`` is *poss-complete* for an incomplete database ``D`` if for
+every tuple ``poss_K(D, t) <=_K P(t)``.  RA+ evaluated over a poss-complete
+labeling with ordinary K-relational semantics stays poss-complete because
+``poss_K`` (a LUB) is sub-additive and sub-multiplicative -- the mirror image
+of the paper's Lemma 3.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian_product
+from typing import Dict, List
+
+from repro.db.database import Database
+from repro.db.relation import KRelation
+from repro.semirings import BOOLEAN, Semiring
+from repro.incomplete.ctable import CTableDatabase
+from repro.incomplete.kw_database import KWDatabase
+from repro.incomplete.solver import is_satisfiable
+from repro.incomplete.tidb import TIDatabase
+from repro.incomplete.xdb import XDatabase
+
+#: A possible-annotation labeling is a plain K-database, like the paper's labelings.
+PossibleLabeling = Database
+
+
+def label_possible_tidb(tidb: TIDatabase, semiring: Semiring = BOOLEAN) -> PossibleLabeling:
+    """Exact possible labeling for a TI-DB: every stored tuple is possible.
+
+    A TI-DB tuple appears in at least one world regardless of its
+    probability, so labeling every tuple with 1_K is exact (not just an
+    over-approximation) under set semantics.
+    """
+    labeling = Database(semiring, f"{tidb.name}_possible")
+    for relation in tidb:
+        k_relation = KRelation(relation.schema, semiring)
+        for ti_tuple in relation:
+            k_relation.add(ti_tuple.values, semiring.one)
+        labeling.add_relation(k_relation)
+    return labeling
+
+
+def label_possible_xdb(xdb: XDatabase, semiring: Semiring = BOOLEAN) -> PossibleLabeling:
+    """Exact possible labeling for an x-DB: every alternative is possible.
+
+    Each alternative of each x-tuple can be selected in some world, so every
+    alternative is labeled 1_K.  Distinct x-tuples sharing an identical
+    alternative accumulate, which over-approximates the possible multiplicity
+    under bag semantics and is exact under set semantics.
+    """
+    labeling = Database(semiring, f"{xdb.name}_possible")
+    for relation in xdb:
+        k_relation = KRelation(relation.schema, semiring)
+        for x_tuple in relation:
+            for alternative in x_tuple.alternatives:
+                k_relation.add(alternative, semiring.one)
+        labeling.add_relation(k_relation)
+    return labeling
+
+
+def label_possible_ctable(ctable_db: CTableDatabase, semiring: Semiring = BOOLEAN,
+                          assignment_limit: int = 10_000) -> PossibleLabeling:
+    """Poss-complete labeling for a C-table database.
+
+    For each tuple spec the scheme enumerates assignments of the variables
+    appearing *in that spec* (capped at ``assignment_limit`` combinations) and
+    adds every instantiation whose local condition is satisfiable.  Ignoring
+    the global condition and interactions between specs only adds rows, so
+    the result over-approximates the possible rows; per-spec contributions
+    are summed, over-approximating possible multiplicities under bag
+    semantics.
+    """
+    labeling = Database(semiring, f"{ctable_db.name}_possible")
+    for ctable in ctable_db:
+        k_relation = KRelation(ctable.schema, semiring)
+        for spec in ctable.tuples:
+            spec_variables = sorted(spec.variables(), key=lambda v: v.name)
+            if not spec_variables:
+                if is_satisfiable(spec.condition):
+                    k_relation.add(spec.values, semiring.one)
+                continue
+            domains: List[List] = []
+            for variable in spec_variables:
+                domain = ctable_db.domains.get(variable)
+                if domain is None:
+                    domain = ctable_db._variable_domain(variable)
+                domains.append(list(domain))
+            combinations = 1
+            for domain in domains:
+                combinations *= max(len(domain), 1)
+            if combinations > assignment_limit:
+                raise ValueError(
+                    f"tuple spec {spec.values!r} has {combinations} variable "
+                    f"assignments, exceeding the limit of {assignment_limit}"
+                )
+            seen: Dict[tuple, None] = {}
+            for choice in cartesian_product(*domains):
+                assignment = dict(zip(spec_variables, choice))
+                row = spec.instantiate(assignment)
+                if row is not None:
+                    seen.setdefault(row, None)
+            for row in seen:
+                k_relation.add(row, semiring.one)
+        labeling.add_relation(k_relation)
+    return labeling
+
+
+def label_possible_kw_exact(kwdb: KWDatabase) -> PossibleLabeling:
+    """Exact possible labeling computed from a K^W database (``poss_K``)."""
+    labeling = Database(kwdb.base_semiring, f"{kwdb.name}_exact_possible")
+    for relation in kwdb:
+        k_relation = KRelation(relation.schema, kwdb.base_semiring)
+        for row in relation.rows():
+            possible = kwdb.kw_semiring.poss(relation.annotation(row))
+            if not kwdb.base_semiring.is_zero(possible):
+                k_relation.add(row, possible)
+        labeling.add_relation(k_relation)
+    return labeling
+
+
+def is_poss_complete(labeling: PossibleLabeling, kwdb: KWDatabase) -> bool:
+    """Check that ``labeling`` over-approximates the possible annotations of ``kwdb``."""
+    base = kwdb.base_semiring
+    for kw_relation in kwdb:
+        label_relation = labeling.relation(kw_relation.schema.name)
+        for row in kw_relation.rows():
+            possible = kwdb.kw_semiring.poss(kw_relation.annotation(row))
+            if not base.leq(possible, label_relation.annotation(row)):
+                return False
+    return True

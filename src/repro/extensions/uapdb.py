@@ -1,0 +1,472 @@
+"""UAP-DBs: uncertainty-annotated databases with possible-annotation bounds.
+
+A UA-DB annotates each tuple with ``[c, d]`` where ``c`` under-approximates
+the certain annotation and ``d`` is the tuple's annotation in the best-guess
+world.  That is enough for RA+ (Theorem 4 of the paper), but not for
+*difference*: to bound ``Q1 - Q2`` from below one must bound ``Q2`` from
+above.  A UAP-DB therefore carries triples ``[c, d, p]`` where ``p``
+over-approximates the tuple's *possible* annotation (its LUB across worlds),
+so that::
+
+    c  <=_K  cert_K(D, t)  <=_K  d  <=_K  poss_K(D, t)  <=_K  p
+
+RA+ operators act component-wise and preserve all three bounds (the ``c`` and
+``d`` arguments are the paper's Theorems 4/5; the ``p`` argument is the
+mirror image of Lemma 3, since LUBs are sub-additive and sub-multiplicative).
+Difference uses the cross-component rule::
+
+    [c1, d1, p1] - [c2, d2, p2]  =  [c1 (-) p2,  d1 (-) d2,  p1 (-) c2]
+
+where ``(-)`` is the base semiring's monus.  The rule is sound because the
+monus is monotone in its first argument and antitone in its second: in every
+world ``i`` the result annotation ``k1[i] (-) k2[i]`` is at least
+``c1 (-) p2`` and at most ``p1 (-) c2``, while the best-guess component is
+computed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.relation import KRelation, Row
+from repro.db.schema import RelationSchema
+from repro.semirings import BOOLEAN, NATURAL, Semiring
+from repro.semirings.base import SemiringHomomorphism
+from repro.semirings.ua import UASemiring
+from repro.incomplete.ctable import CTableDatabase
+from repro.incomplete.kw_database import KWDatabase
+from repro.incomplete.tidb import TIDatabase
+from repro.incomplete.worlds import IncompleteDatabase
+from repro.incomplete.xdb import XDatabase
+from repro.core.uadb import UADatabase, UARelation
+from repro.extensions.possible import (
+    label_possible_ctable,
+    label_possible_kw_exact,
+    label_possible_tidb,
+    label_possible_xdb,
+)
+
+
+@dataclass(frozen=True)
+class UAPAnnotation:
+    """A triple ``[certain, determinized, possible]`` annotating one tuple."""
+
+    certain: Any
+    determinized: Any
+    possible: Any
+
+    def __iter__(self) -> Iterator[Any]:
+        yield self.certain
+        yield self.determinized
+        yield self.possible
+
+    def __getitem__(self, index: int) -> Any:
+        return (self.certain, self.determinized, self.possible)[index]
+
+    def as_tuple(self) -> tuple:
+        """Return the annotation as a plain ``(c, d, p)`` tuple."""
+        return (self.certain, self.determinized, self.possible)
+
+    def __repr__(self) -> str:
+        return f"[{self.certain!r}, {self.determinized!r}, {self.possible!r}]"
+
+
+class UAPSemiring(Semiring):
+    """K^3 triples with the bound-preserving difference as monus.
+
+    Addition, multiplication and the lattice operations act component-wise,
+    so RA+ over UAP-relations is ordinary K-relational evaluation.  The monus
+    mixes components (see the module docstring) and therefore requires the
+    base semiring to have a monus itself.
+    """
+
+    def __init__(self, base: Semiring) -> None:
+        self.base = base
+        self.name = f"{base.name}_UAP"
+
+    # -- construction --------------------------------------------------------
+
+    def annotation(self, certain: Any, determinized: Any, possible: Any) -> UAPAnnotation:
+        """Build and validate a triple (enforces ``c <= d <= p``)."""
+        self.base.check(certain)
+        self.base.check(determinized)
+        self.base.check(possible)
+        if not self.base.leq(certain, determinized) or not self.base.leq(determinized, possible):
+            raise ValueError(
+                f"UAP annotation invariant violated: expected {certain!r} <= "
+                f"{determinized!r} <= {possible!r} in {self.base.name}"
+            )
+        return UAPAnnotation(certain, determinized, possible)
+
+    def certain_annotation(self, value: Any) -> UAPAnnotation:
+        """Annotation of a tuple whose value is the same in every world."""
+        return self.annotation(value, value, value)
+
+    # -- identities -----------------------------------------------------------
+
+    @property
+    def zero(self) -> UAPAnnotation:
+        return UAPAnnotation(self.base.zero, self.base.zero, self.base.zero)
+
+    @property
+    def one(self) -> UAPAnnotation:
+        return UAPAnnotation(self.base.one, self.base.one, self.base.one)
+
+    # -- operations -----------------------------------------------------------
+
+    def plus(self, a: UAPAnnotation, b: UAPAnnotation) -> UAPAnnotation:
+        return UAPAnnotation(
+            self.base.plus(a.certain, b.certain),
+            self.base.plus(a.determinized, b.determinized),
+            self.base.plus(a.possible, b.possible),
+        )
+
+    def times(self, a: UAPAnnotation, b: UAPAnnotation) -> UAPAnnotation:
+        return UAPAnnotation(
+            self.base.times(a.certain, b.certain),
+            self.base.times(a.determinized, b.determinized),
+            self.base.times(a.possible, b.possible),
+        )
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, UAPAnnotation)
+            and self.base.contains(value.certain)
+            and self.base.contains(value.determinized)
+            and self.base.contains(value.possible)
+        )
+
+    def leq(self, a: UAPAnnotation, b: UAPAnnotation) -> bool:
+        return (
+            self.base.leq(a.certain, b.certain)
+            and self.base.leq(a.determinized, b.determinized)
+            and self.base.leq(a.possible, b.possible)
+        )
+
+    def glb(self, a: UAPAnnotation, b: UAPAnnotation) -> UAPAnnotation:
+        return UAPAnnotation(
+            self.base.glb(a.certain, b.certain),
+            self.base.glb(a.determinized, b.determinized),
+            self.base.glb(a.possible, b.possible),
+        )
+
+    def lub(self, a: UAPAnnotation, b: UAPAnnotation) -> UAPAnnotation:
+        return UAPAnnotation(
+            self.base.lub(a.certain, b.certain),
+            self.base.lub(a.determinized, b.determinized),
+            self.base.lub(a.possible, b.possible),
+        )
+
+    def monus(self, a: UAPAnnotation, b: UAPAnnotation) -> UAPAnnotation:
+        """The bound-preserving difference ``[c1 - p2, d1 - d2, p1 - c2]``."""
+        return UAPAnnotation(
+            self.base.monus(a.certain, b.possible),
+            self.base.monus(a.determinized, b.determinized),
+            self.base.monus(a.possible, b.certain),
+        )
+
+    # -- projections ------------------------------------------------------------
+
+    @property
+    def h_cert(self) -> SemiringHomomorphism:
+        """Homomorphism extracting the certain under-approximation."""
+        return SemiringHomomorphism(self, self.base, lambda t: t.certain, name="h_cert")
+
+    @property
+    def h_det(self) -> SemiringHomomorphism:
+        """Homomorphism extracting the best-guess-world component."""
+        return SemiringHomomorphism(self, self.base, lambda t: t.determinized, name="h_det")
+
+    @property
+    def h_poss(self) -> SemiringHomomorphism:
+        """Homomorphism extracting the possible over-approximation."""
+        return SemiringHomomorphism(self, self.base, lambda t: t.possible, name="h_poss")
+
+
+class UAPRelation(KRelation):
+    """A K_UAP-relation: tuples carry ``[certain, best-guess, possible]`` triples."""
+
+    def __init__(self, schema: RelationSchema, uap_semiring: UAPSemiring,
+                 data: Optional[dict] = None) -> None:
+        super().__init__(schema, uap_semiring, data)
+
+    @property
+    def uap_semiring(self) -> UAPSemiring:
+        """The UAP-semiring of this relation."""
+        return self.semiring  # type: ignore[return-value]
+
+    @property
+    def base_semiring(self) -> Semiring:
+        """The underlying semiring K."""
+        return self.uap_semiring.base
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_components(cls, world: KRelation, labeling: KRelation,
+                        possible: KRelation) -> "UAPRelation":
+        """Combine a best-guess world with certain and possible labelings.
+
+        The certain component is clamped below the world annotation and the
+        possible component is lifted above it, so the invariant
+        ``c <= d <= p`` always holds for the stored triples.
+        """
+        if world.semiring != labeling.semiring or world.semiring != possible.semiring:
+            raise ValueError("world and labelings must share the same semiring")
+        base = world.semiring
+        uap = UAPSemiring(base)
+        result = cls(world.schema, uap)
+        for row, determinized in world.items():
+            certain = labeling.annotation(row)
+            if not base.leq(certain, determinized):
+                certain = base.glb(certain, determinized)
+            upper = base.lub(possible.annotation(row), determinized)
+            result.set_annotation(row, uap.annotation(certain, determinized, upper))
+        return result
+
+    def add_tuple(self, values: Sequence[Any], certain: Any = None,
+                  determinized: Any = None, possible: Any = None) -> None:
+        """Add a tuple with explicit components.
+
+        Defaults: uncertain (``c = 0``), present once in the best-guess world
+        (``d = 1``), possible annotation equal to ``d``.
+        """
+        base = self.base_semiring
+        determinized = base.one if determinized is None else determinized
+        certain = base.zero if certain is None else certain
+        possible = determinized if possible is None else possible
+        self.add(values, self.uap_semiring.annotation(certain, determinized, possible))
+
+    # -- inspection -------------------------------------------------------------
+
+    def certain_component(self, row: Sequence[Any]) -> Any:
+        """The certain under-approximation ``c`` of a row."""
+        annotation = self.annotation(row)
+        if self.semiring.is_zero(annotation):
+            return self.base_semiring.zero
+        return annotation.certain
+
+    def determinized_component(self, row: Sequence[Any]) -> Any:
+        """The best-guess-world component ``d`` of a row."""
+        annotation = self.annotation(row)
+        if self.semiring.is_zero(annotation):
+            return self.base_semiring.zero
+        return annotation.determinized
+
+    def possible_component(self, row: Sequence[Any]) -> Any:
+        """The possible over-approximation ``p`` of a row."""
+        annotation = self.annotation(row)
+        if self.semiring.is_zero(annotation):
+            return self.base_semiring.zero
+        return annotation.possible
+
+    def is_certain(self, row: Sequence[Any]) -> bool:
+        """True if the row is labeled certain (non-zero ``c`` component)."""
+        return not self.base_semiring.is_zero(self.certain_component(row))
+
+    def certain_rows(self) -> List[Row]:
+        """Rows labeled as certain."""
+        return [row for row in self.rows() if self.is_certain(row)]
+
+    def best_guess_rows(self) -> List[Row]:
+        """Rows present in the best-guess world (non-zero ``d`` component)."""
+        return [
+            row for row in self.rows()
+            if not self.base_semiring.is_zero(self.determinized_component(row))
+        ]
+
+    def possible_rows(self) -> List[Row]:
+        """Rows whose possible over-approximation is non-zero."""
+        return [
+            row for row in self.rows()
+            if not self.base_semiring.is_zero(self.possible_component(row))
+        ]
+
+    def to_ua_relation(self) -> UARelation:
+        """Forget the possible component, producing a plain UA-relation."""
+        ua = UARelation(self.schema, UASemiring(self.base_semiring))
+        for row, annotation in self.items():
+            if self.base_semiring.is_zero(annotation.determinized):
+                continue
+            ua.add_tuple(row, annotation.certain, annotation.determinized)
+        return ua
+
+    def check_invariant(self) -> bool:
+        """Verify ``c <= d <= p`` for every tuple."""
+        base = self.base_semiring
+        return all(
+            base.leq(a.certain, a.determinized) and base.leq(a.determinized, a.possible)
+            for _, a in self.items()
+        )
+
+
+class UAPDatabase:
+    """A database of UAP-relations over a shared base semiring."""
+
+    def __init__(self, base_semiring: Semiring = NATURAL, name: str = "uapdb") -> None:
+        self.base_semiring = base_semiring
+        self.uap_semiring = UAPSemiring(base_semiring)
+        self.database = Database(self.uap_semiring, name)
+        self.name = name
+
+    # -- population ---------------------------------------------------------------
+
+    def add_relation(self, relation: UAPRelation) -> None:
+        """Register a UAP-relation."""
+        self.database.add_relation(relation)
+
+    def create_relation(self, schema: RelationSchema) -> UAPRelation:
+        """Create, register and return an empty UAP-relation."""
+        relation = UAPRelation(schema, self.uap_semiring)
+        self.database.add_relation(relation)
+        return relation
+
+    def relation(self, name: str) -> UAPRelation:
+        """Look up a UAP-relation by name."""
+        return self.database.relation(name)  # type: ignore[return-value]
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of the registered relations."""
+        return self.database.relation_names()
+
+    def __iter__(self) -> Iterator[KRelation]:
+        return iter(self.database)
+
+    def __len__(self) -> int:
+        return len(self.database)
+
+    # -- construction from uncertain data models -------------------------------------
+
+    @classmethod
+    def from_components(cls, world: Database, labeling: Database, possible: Database,
+                        name: str = "uapdb") -> "UAPDatabase":
+        """Build a UAP-DB from a best-guess world and two labelings.
+
+        Rows that appear only in the possible labeling (absent from the
+        best-guess world) are also stored, with ``c = d = 0``, so that
+        difference queries can subtract them.
+        """
+        uapdb = cls(world.semiring, name)
+        base = world.semiring
+        for relation in world:
+            relation_name = relation.schema.name
+            label_relation = (
+                labeling.relation(relation_name) if relation_name in labeling
+                else KRelation(relation.schema, base)
+            )
+            possible_relation = (
+                possible.relation(relation_name) if relation_name in possible
+                else KRelation(relation.schema, base)
+            )
+            uap_relation = UAPRelation.from_components(
+                relation, label_relation, possible_relation
+            )
+            for row, upper in possible_relation.items():
+                if row not in relation:
+                    uap_relation.set_annotation(
+                        row, uapdb.uap_semiring.annotation(base.zero, base.zero, upper)
+                    )
+            uapdb.add_relation(uap_relation)
+        return uapdb
+
+    @classmethod
+    def from_tidb(cls, tidb: TIDatabase, semiring: Semiring = BOOLEAN,
+                  name: Optional[str] = None) -> "UAPDatabase":
+        """Best-guess world plus c-correct certain and exact possible labelings."""
+        from repro.core.labeling import label_tidb
+
+        world = tidb.best_guess_world(semiring)
+        labeling = label_tidb(tidb, semiring)
+        possible = label_possible_tidb(tidb, semiring)
+        return cls.from_components(world, labeling, possible, name or f"{tidb.name}_uap")
+
+    @classmethod
+    def from_xdb(cls, xdb: XDatabase, semiring: Semiring = BOOLEAN,
+                 name: Optional[str] = None,
+                 world: Optional[Database] = None) -> "UAPDatabase":
+        """Best-guess world plus c-correct certain and exact possible labelings."""
+        from repro.core.labeling import label_xdb
+
+        world = world or xdb.best_guess_world(semiring)
+        labeling = label_xdb(xdb, semiring)
+        possible = label_possible_xdb(xdb, semiring)
+        return cls.from_components(world, labeling, possible, name or f"{xdb.name}_uap")
+
+    @classmethod
+    def from_ctable(cls, ctable_db: CTableDatabase, semiring: Semiring = BOOLEAN,
+                    name: Optional[str] = None) -> "UAPDatabase":
+        """Best-guess world plus c-sound certain and poss-complete possible labelings."""
+        from repro.core.labeling import label_ctable
+
+        world = ctable_db.best_guess_world(semiring)
+        labeling = label_ctable(ctable_db, semiring)
+        possible = label_possible_ctable(ctable_db, semiring)
+        return cls.from_components(world, labeling, possible, name or f"{ctable_db.name}_uap")
+
+    @classmethod
+    def from_kw(cls, kwdb: KWDatabase, world_index: Optional[int] = None,
+                name: Optional[str] = None) -> "UAPDatabase":
+        """Designated world plus exact certain and possible labelings."""
+        from repro.core.labeling import label_kw_exact
+
+        index = kwdb.best_guess_index() if world_index is None else world_index
+        world = kwdb.world(index)
+        labeling = label_kw_exact(kwdb)
+        possible = label_possible_kw_exact(kwdb)
+        return cls.from_components(world, labeling, possible, name or f"{kwdb.name}_uap")
+
+    @classmethod
+    def from_incomplete(cls, incomplete: IncompleteDatabase,
+                        world_index: Optional[int] = None,
+                        name: str = "uapdb") -> "UAPDatabase":
+        """Designated world plus exact labelings from explicit possible worlds."""
+        kwdb = KWDatabase.from_incomplete(incomplete)
+        return cls.from_kw(kwdb, world_index, name)
+
+    # -- queries ------------------------------------------------------------------
+
+    def query(self, plan: algebra.Operator) -> UAPRelation:
+        """Evaluate an algebra plan (RA+ plus difference/intersection)."""
+        result = evaluate(plan, self.database)
+        uap_result = UAPRelation(result.schema, self.uap_semiring)
+        for row, annotation in result.items():
+            uap_result.set_annotation(row, annotation)
+        return uap_result
+
+    def sql(self, query: str) -> UAPRelation:
+        """Parse and evaluate a SQL query with K_UAP semantics."""
+        from repro.db.sql import parse_query
+
+        plan = parse_query(query, self.database.schema)
+        return self.query(plan)
+
+    # -- views --------------------------------------------------------------------
+
+    def to_ua_database(self) -> UADatabase:
+        """Forget the possible components, producing a plain UA-DB."""
+        uadb = UADatabase(self.base_semiring, self.name)
+        for relation in self.database:
+            uadb.add_relation(relation.to_ua_relation())  # type: ignore[arg-type]
+        return uadb
+
+    def best_guess_database(self) -> Database:
+        """The best-guess world of every relation (``h_det``)."""
+        return self.database.map_annotations(self.uap_semiring.h_det, f"{self.name}_bgw")
+
+    def labeling_database(self) -> Database:
+        """The certain labeling of every relation (``h_cert``)."""
+        return self.database.map_annotations(self.uap_semiring.h_cert, f"{self.name}_labeling")
+
+    def possible_database(self) -> Database:
+        """The possible labeling of every relation (``h_poss``)."""
+        return self.database.map_annotations(self.uap_semiring.h_poss, f"{self.name}_possible")
+
+    def __repr__(self) -> str:
+        return (
+            f"<UAPDatabase {self.name!r} [{self.uap_semiring.name}] "
+            f"{len(self.database)} relations>"
+        )

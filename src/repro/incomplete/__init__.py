@@ -1,0 +1,64 @@
+"""Incomplete and probabilistic data models.
+
+This package implements the uncertain data models the paper builds on and
+translates from:
+
+* :mod:`repro.incomplete.worlds` -- explicit possible-world databases
+  (incomplete K-databases, Definition 1),
+* :mod:`repro.incomplete.kw_database` -- the K^W encoding (Section 3.2),
+* :mod:`repro.incomplete.tidb` -- tuple-independent (probabilistic) databases,
+* :mod:`repro.incomplete.xdb` -- x-DBs / block-independent databases,
+* :mod:`repro.incomplete.ctable` -- C-tables and PC-tables,
+* :mod:`repro.incomplete.vtable` -- V-tables / Codd tables (null-based),
+* :mod:`repro.incomplete.ordb` -- OR-databases: attribute-level OR-sets (the
+  PDBench / attribute-imputation model),
+* :mod:`repro.incomplete.conditions` -- the boolean condition language used
+  by C-tables,
+* :mod:`repro.incomplete.solver` -- satisfiability/tautology checking for
+  conditions (the Z3 substitute).
+"""
+
+from repro.incomplete.worlds import IncompleteDatabase
+from repro.incomplete.kw_database import KWDatabase, KWRelation
+from repro.incomplete.tidb import TIDatabase, TIRelation, TITuple
+from repro.incomplete.xdb import XDatabase, XRelation, XTuple
+from repro.incomplete.ctable import CTable, CTupleSpec, CTableDatabase, Variable
+from repro.incomplete.ordb import ORDatabase, ORRelation, ORTuple, OrSet
+from repro.incomplete.vtable import VTable, VTableDatabase, NamedNull
+from repro.incomplete.conditions import (
+    Condition, TrueCondition, FalseCondition, ComparisonAtom,
+    AndCondition, OrCondition, NotCondition,
+)
+from repro.incomplete.solver import is_tautology, is_satisfiable
+
+__all__ = [
+    "IncompleteDatabase",
+    "KWDatabase",
+    "KWRelation",
+    "TIDatabase",
+    "TIRelation",
+    "TITuple",
+    "XDatabase",
+    "XRelation",
+    "XTuple",
+    "CTable",
+    "CTupleSpec",
+    "CTableDatabase",
+    "Variable",
+    "ORDatabase",
+    "ORRelation",
+    "ORTuple",
+    "OrSet",
+    "VTable",
+    "VTableDatabase",
+    "NamedNull",
+    "Condition",
+    "TrueCondition",
+    "FalseCondition",
+    "ComparisonAtom",
+    "AndCondition",
+    "OrCondition",
+    "NotCondition",
+    "is_tautology",
+    "is_satisfiable",
+]

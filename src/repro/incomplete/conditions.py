@@ -1,0 +1,348 @@
+"""Boolean condition language for C-tables.
+
+Local conditions are boolean combinations of comparison atoms over variables
+and constants (``X = 1``, ``Y <> Z``, ``X < 10`` ...).  The module provides
+evaluation under a variable assignment, collection of variables and constants,
+simplification, and conversion to negation normal form / CNF -- the paper's
+C-table labeling scheme only certifies tuples whose local condition is in CNF
+and is a tautology.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A named variable appearing in C-table values and conditions."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Condition:
+    """Base class for boolean conditions."""
+
+    def evaluate(self, assignment: Dict[Variable, Any]) -> bool:
+        """Evaluate under a (total) variable assignment."""
+        raise NotImplementedError
+
+    def variables(self) -> Set[Variable]:
+        """Variables mentioned by the condition."""
+        return set()
+
+    def constants(self) -> Set[Any]:
+        """Constants mentioned by the condition."""
+        return set()
+
+    def negate(self) -> "Condition":
+        """Logical negation (pushed down where trivially possible)."""
+        return NotCondition(self)
+
+    def is_cnf(self) -> bool:
+        """True if the condition is in conjunctive normal form."""
+        return _is_clause(self) or (
+            isinstance(self, AndCondition)
+            and all(_is_clause(operand) for operand in self.operands)
+        )
+
+    def to_cnf(self) -> "Condition":
+        """Convert to CNF (may grow exponentially for adversarial inputs)."""
+        return _to_cnf(self)
+
+    def simplify(self) -> "Condition":
+        """Constant-fold trivially true/false sub-conditions."""
+        return self
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return AndCondition((self, other)).simplify()
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return OrCondition((self, other)).simplify()
+
+    def __invert__(self) -> "Condition":
+        return self.negate()
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """The constant ``true`` condition."""
+
+    def evaluate(self, assignment: Dict[Variable, Any]) -> bool:
+        return True
+
+    def negate(self) -> Condition:
+        return FalseCondition()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseCondition(Condition):
+    """The constant ``false`` condition."""
+
+    def evaluate(self, assignment: Dict[Variable, Any]) -> bool:
+        return False
+
+    def negate(self) -> Condition:
+        return TrueCondition()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_NEGATIONS = {"=": "!=", "!=": "=", "<": ">=", ">=": "<", ">": "<=", "<=": ">"}
+
+
+@dataclass(frozen=True)
+class ComparisonAtom(Condition):
+    """A comparison between two terms, each a :class:`Variable` or a constant."""
+
+    op: str
+    left: Any
+    right: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, assignment: Dict[Variable, Any]) -> bool:
+        left = assignment[self.left] if isinstance(self.left, Variable) else self.left
+        right = assignment[self.right] if isinstance(self.right, Variable) else self.right
+        try:
+            return _OPERATORS[self.op](left, right)
+        except TypeError:
+            # Incomparable values: only (in)equality is meaningful.
+            if self.op == "=":
+                return False
+            if self.op == "!=":
+                return True
+            return False
+
+    def variables(self) -> Set[Variable]:
+        result = set()
+        if isinstance(self.left, Variable):
+            result.add(self.left)
+        if isinstance(self.right, Variable):
+            result.add(self.right)
+        return result
+
+    def constants(self) -> Set[Any]:
+        result = set()
+        if not isinstance(self.left, Variable):
+            result.add(self.left)
+        if not isinstance(self.right, Variable):
+            result.add(self.right)
+        return result
+
+    def negate(self) -> Condition:
+        return ComparisonAtom(_NEGATIONS[self.op], self.left, self.right)
+
+    def simplify(self) -> Condition:
+        if not isinstance(self.left, Variable) and not isinstance(self.right, Variable):
+            return TrueCondition() if self.evaluate({}) else FalseCondition()
+        return self
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class AndCondition(Condition):
+    """Conjunction of sub-conditions."""
+
+    operands: Tuple[Condition, ...]
+
+    def __init__(self, operands: Iterable[Condition]) -> None:
+        flat: List[Condition] = []
+        for operand in operands:
+            if isinstance(operand, AndCondition):
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def evaluate(self, assignment: Dict[Variable, Any]) -> bool:
+        return all(operand.evaluate(assignment) for operand in self.operands)
+
+    def variables(self) -> Set[Variable]:
+        return set().union(*(operand.variables() for operand in self.operands)) if self.operands else set()
+
+    def constants(self) -> Set[Any]:
+        return set().union(*(operand.constants() for operand in self.operands)) if self.operands else set()
+
+    def negate(self) -> Condition:
+        return OrCondition(tuple(operand.negate() for operand in self.operands))
+
+    def simplify(self) -> Condition:
+        simplified = [operand.simplify() for operand in self.operands]
+        kept = []
+        for operand in simplified:
+            if isinstance(operand, FalseCondition):
+                return FalseCondition()
+            if not isinstance(operand, TrueCondition):
+                kept.append(operand)
+        if not kept:
+            return TrueCondition()
+        if len(kept) == 1:
+            return kept[0]
+        return AndCondition(tuple(kept))
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class OrCondition(Condition):
+    """Disjunction of sub-conditions."""
+
+    operands: Tuple[Condition, ...]
+
+    def __init__(self, operands: Iterable[Condition]) -> None:
+        flat: List[Condition] = []
+        for operand in operands:
+            if isinstance(operand, OrCondition):
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def evaluate(self, assignment: Dict[Variable, Any]) -> bool:
+        return any(operand.evaluate(assignment) for operand in self.operands)
+
+    def variables(self) -> Set[Variable]:
+        return set().union(*(operand.variables() for operand in self.operands)) if self.operands else set()
+
+    def constants(self) -> Set[Any]:
+        return set().union(*(operand.constants() for operand in self.operands)) if self.operands else set()
+
+    def negate(self) -> Condition:
+        return AndCondition(tuple(operand.negate() for operand in self.operands))
+
+    def simplify(self) -> Condition:
+        simplified = [operand.simplify() for operand in self.operands]
+        kept = []
+        for operand in simplified:
+            if isinstance(operand, TrueCondition):
+                return TrueCondition()
+            if not isinstance(operand, FalseCondition):
+                kept.append(operand)
+        if not kept:
+            return FalseCondition()
+        if len(kept) == 1:
+            return kept[0]
+        return OrCondition(tuple(kept))
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class NotCondition(Condition):
+    """Negation (only produced for opaque sub-conditions)."""
+
+    operand: Condition
+
+    def evaluate(self, assignment: Dict[Variable, Any]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def variables(self) -> Set[Variable]:
+        return self.operand.variables()
+
+    def constants(self) -> Set[Any]:
+        return self.operand.constants()
+
+    def negate(self) -> Condition:
+        return self.operand
+
+    def simplify(self) -> Condition:
+        inner = self.operand.simplify()
+        if isinstance(inner, TrueCondition):
+            return FalseCondition()
+        if isinstance(inner, FalseCondition):
+            return TrueCondition()
+        return inner.negate() if not isinstance(inner, NotCondition) else inner.operand
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Normal forms.
+# ---------------------------------------------------------------------------
+
+def _is_literal(condition: Condition) -> bool:
+    return isinstance(condition, (ComparisonAtom, TrueCondition, FalseCondition)) or (
+        isinstance(condition, NotCondition) and _is_literal(condition.operand)
+    )
+
+
+def _is_clause(condition: Condition) -> bool:
+    if _is_literal(condition):
+        return True
+    return isinstance(condition, OrCondition) and all(
+        _is_literal(operand) for operand in condition.operands
+    )
+
+
+def _to_nnf(condition: Condition) -> Condition:
+    """Push negations down to the literals (negation normal form)."""
+    if isinstance(condition, NotCondition):
+        return _to_nnf(condition.operand.negate())
+    if isinstance(condition, AndCondition):
+        return AndCondition(tuple(_to_nnf(op) for op in condition.operands))
+    if isinstance(condition, OrCondition):
+        return OrCondition(tuple(_to_nnf(op) for op in condition.operands))
+    return condition
+
+
+def _to_cnf(condition: Condition) -> Condition:
+    """Convert to conjunctive normal form by distributing OR over AND."""
+    condition = _to_nnf(condition.simplify())
+    clauses = _cnf_clauses(condition)
+    clause_conditions: List[Condition] = []
+    for clause in clauses:
+        literals = list(clause)
+        if len(literals) == 1:
+            clause_conditions.append(literals[0])
+        else:
+            clause_conditions.append(OrCondition(tuple(literals)))
+    if not clause_conditions:
+        return TrueCondition()
+    if len(clause_conditions) == 1:
+        return clause_conditions[0]
+    return AndCondition(tuple(clause_conditions))
+
+
+def _cnf_clauses(condition: Condition) -> List[Tuple[Condition, ...]]:
+    if isinstance(condition, AndCondition):
+        clauses: List[Tuple[Condition, ...]] = []
+        for operand in condition.operands:
+            clauses.extend(_cnf_clauses(operand))
+        return clauses
+    if isinstance(condition, OrCondition):
+        # Distribute: the cross product of the operands' clause sets.
+        operand_clauses = [_cnf_clauses(operand) for operand in condition.operands]
+        clauses = []
+        for combination in itertools.product(*operand_clauses):
+            merged: Tuple[Condition, ...] = tuple(
+                literal for clause in combination for literal in clause
+            )
+            clauses.append(merged)
+        return clauses
+    return [(condition,)]

@@ -1,0 +1,255 @@
+"""C-tables and PC-tables (Imielinski & Lipski; Green & Tannen).
+
+A C-table tuple may contain variables as attribute values and carries a
+*local condition* over the variable set; a *global condition* constrains the
+admissible valuations.  Every valuation of the variables satisfying the
+global condition defines a possible world containing the tuples whose local
+conditions are satisfied (closed-world assumption).  PC-tables additionally
+attach an independent probability distribution to each variable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.db.relation import KRelation, Row
+from repro.db.schema import RelationSchema
+from repro.semirings import BOOLEAN, Semiring
+from repro.incomplete.conditions import (
+    Condition, TrueCondition, Variable,
+)
+from repro.incomplete.worlds import IncompleteDatabase
+
+
+@dataclass
+class CTupleSpec:
+    """A C-table tuple: values (constants or variables) plus a local condition."""
+
+    values: Tuple[Any, ...]
+    condition: Condition = field(default_factory=TrueCondition)
+
+    def __post_init__(self) -> None:
+        self.values = tuple(self.values)
+
+    def variables(self) -> set:
+        """Variables appearing in the values or the local condition."""
+        result = {value for value in self.values if isinstance(value, Variable)}
+        result.update(self.condition.variables())
+        return result
+
+    def is_ground(self) -> bool:
+        """True if all attribute values are constants."""
+        return not any(isinstance(value, Variable) for value in self.values)
+
+    def instantiate(self, assignment: Dict[Variable, Any]) -> Optional[Row]:
+        """The concrete row under ``assignment``, or None if the condition fails."""
+        if not self.condition.evaluate(assignment):
+            return None
+        return tuple(
+            assignment[value] if isinstance(value, Variable) else value
+            for value in self.values
+        )
+
+
+class CTable:
+    """A single C-table (one relation)."""
+
+    def __init__(self, schema: RelationSchema,
+                 tuples: Optional[Sequence[CTupleSpec]] = None) -> None:
+        self.schema = schema
+        self.tuples: List[CTupleSpec] = []
+        for spec in tuples or []:
+            self.add(spec)
+
+    def add(self, spec: CTupleSpec) -> None:
+        """Add a tuple spec (arity-checked; values may be variables)."""
+        if len(spec.values) != self.schema.arity:
+            raise ValueError(
+                f"tuple {spec.values!r} has arity {len(spec.values)}, "
+                f"expected {self.schema.arity}"
+            )
+        self.tuples.append(spec)
+
+    def add_tuple(self, values: Sequence[Any],
+                  condition: Optional[Condition] = None) -> None:
+        """Convenience wrapper around :meth:`add`."""
+        self.add(CTupleSpec(tuple(values), condition or TrueCondition()))
+
+    def __iter__(self) -> Iterator[CTupleSpec]:
+        return iter(self.tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def variables(self) -> set:
+        """All variables appearing anywhere in the table."""
+        result = set()
+        for spec in self.tuples:
+            result.update(spec.variables())
+        return result
+
+
+class CTableDatabase:
+    """A database of C-tables with a global condition and variable domains."""
+
+    def __init__(self, name: str = "ctable_db",
+                 global_condition: Optional[Condition] = None,
+                 domains: Optional[Dict[Variable, Sequence[Any]]] = None,
+                 probabilities: Optional[Dict[Variable, Dict[Any, float]]] = None) -> None:
+        self.name = name
+        self.relations: Dict[str, CTable] = {}
+        self.global_condition = global_condition or TrueCondition()
+        #: Explicit finite domain per variable (required to enumerate worlds).
+        self.domains: Dict[Variable, List[Any]] = {
+            var: list(values) for var, values in (domains or {}).items()
+        }
+        #: PC-table probability distribution per variable (values sum to 1).
+        self.probabilities = probabilities or {}
+
+    # -- population ----------------------------------------------------------
+
+    def add_relation(self, ctable: CTable) -> None:
+        """Register a C-table."""
+        key = ctable.schema.name.lower()
+        if key in self.relations:
+            raise ValueError(f"relation {ctable.schema.name!r} already exists")
+        self.relations[key] = ctable
+
+    def create_relation(self, schema: RelationSchema) -> CTable:
+        """Create, register and return an empty C-table."""
+        ctable = CTable(schema)
+        self.add_relation(ctable)
+        return ctable
+
+    def relation(self, name: str) -> CTable:
+        """Look up a C-table by name."""
+        return self.relations[name.lower()]
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of the registered C-tables."""
+        return tuple(rel.schema.name for rel in self.relations.values())
+
+    def __iter__(self) -> Iterator[CTable]:
+        return iter(self.relations.values())
+
+    def set_domain(self, variable: Variable, values: Sequence[Any]) -> None:
+        """Declare the finite domain of ``variable``."""
+        self.domains[variable] = list(values)
+
+    def set_distribution(self, variable: Variable,
+                         distribution: Dict[Any, float]) -> None:
+        """Declare a PC-table probability distribution for ``variable``."""
+        total = sum(distribution.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"distribution for {variable} sums to {total}, not 1")
+        self.probabilities[variable] = dict(distribution)
+        self.domains.setdefault(variable, list(distribution.keys()))
+
+    # -- possible worlds --------------------------------------------------------
+
+    def variables(self) -> List[Variable]:
+        """All variables used by any C-table, in name order."""
+        result = set()
+        for ctable in self.relations.values():
+            result.update(ctable.variables())
+        result.update(self.global_condition.variables())
+        return sorted(result, key=lambda v: v.name)
+
+    def _variable_domain(self, variable: Variable) -> List[Any]:
+        if variable in self.domains:
+            return self.domains[variable]
+        # Fall back to the constants mentioned alongside the variable plus a
+        # fresh value, mirroring the solver's active-domain construction.
+        constants = set()
+        for ctable in self.relations.values():
+            for spec in ctable.tuples:
+                if variable in spec.variables():
+                    constants.update(spec.condition.constants())
+                    constants.update(
+                        value for value in spec.values if not isinstance(value, Variable)
+                    )
+        domain = sorted(constants, key=str)
+        domain.append(f"__fresh_{variable.name}__")
+        return domain
+
+    def num_possible_worlds(self) -> int:
+        """Product of the variable domain sizes (ignoring the global condition)."""
+        count = 1
+        for variable in self.variables():
+            count *= len(self._variable_domain(variable))
+        return count
+
+    def assignments(self, limit: int = 100_000) -> Iterator[Tuple[Dict[Variable, Any], float]]:
+        """Iterate over (assignment, probability) pairs satisfying the global condition."""
+        variables = self.variables()
+        domains = [self._variable_domain(v) for v in variables]
+        count = 1
+        for domain in domains:
+            count *= len(domain)
+        if count > limit:
+            raise ValueError(
+                f"C-table database has {count} candidate assignments, "
+                f"exceeding the limit of {limit}"
+            )
+        for combination in itertools.product(*domains) if variables else [()]:
+            assignment = dict(zip(variables, combination))
+            if not self.global_condition.evaluate(assignment):
+                continue
+            probability = 1.0
+            for variable, value in assignment.items():
+                if variable in self.probabilities:
+                    probability *= self.probabilities[variable].get(value, 0.0)
+            yield assignment, probability
+
+    def possible_worlds(self, semiring: Semiring = BOOLEAN,
+                        limit: int = 4096) -> IncompleteDatabase:
+        """Enumerate all possible worlds (for small instances / tests)."""
+        worlds: List[Database] = []
+        probabilities: List[float] = []
+        has_distributions = bool(self.probabilities)
+        for assignment, probability in self.assignments(limit=limit):
+            world = Database(semiring, self.name)
+            for ctable in self.relations.values():
+                k_relation = KRelation(ctable.schema, semiring)
+                for spec in ctable.tuples:
+                    row = spec.instantiate(assignment)
+                    if row is not None:
+                        k_relation.add(row, semiring.one)
+                world.add_relation(k_relation)
+            worlds.append(world)
+            probabilities.append(probability)
+        if not worlds:
+            raise ValueError("the global condition admits no possible worlds")
+        return IncompleteDatabase(
+            worlds, probabilities if has_distributions else None
+        )
+
+    def best_guess_assignment(self) -> Dict[Variable, Any]:
+        """Most likely valuation: per-variable argmax (first domain value otherwise)."""
+        assignment: Dict[Variable, Any] = {}
+        for variable in self.variables():
+            if variable in self.probabilities:
+                distribution = self.probabilities[variable]
+                assignment[variable] = max(distribution, key=distribution.get)
+            else:
+                assignment[variable] = self._variable_domain(variable)[0]
+        return assignment
+
+    def best_guess_world(self, semiring: Semiring = BOOLEAN) -> Database:
+        """The world induced by the best-guess valuation."""
+        assignment = self.best_guess_assignment()
+        world = Database(semiring, f"{self.name}_bg")
+        for ctable in self.relations.values():
+            k_relation = KRelation(ctable.schema, semiring)
+            for spec in ctable.tuples:
+                row = spec.instantiate(assignment)
+                if row is not None:
+                    k_relation.add(row, semiring.one)
+            world.add_relation(k_relation)
+        return world
+
+    def __repr__(self) -> str:
+        return f"<CTableDatabase {self.name!r} {len(self.relations)} relations>"

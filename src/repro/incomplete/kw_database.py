@@ -1,0 +1,169 @@
+"""K^W databases: the pivoted encoding of incomplete K-databases.
+
+A :class:`KWRelation` annotates each tuple with a vector of K-annotations,
+one per possible world (Section 3.2).  :class:`KWDatabase` collects such
+relations and provides conversion to and from the explicit possible-world
+representation, extraction of single worlds (``pw_i``), and computation of
+certain/possible annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.relation import KRelation, Row
+from repro.db.schema import RelationSchema
+from repro.semirings import Semiring
+from repro.semirings.kw import PossibleWorldSemiring
+from repro.incomplete.worlds import IncompleteDatabase
+
+
+class KWRelation(KRelation):
+    """A K-relation annotated with per-world vectors (a K^W-relation)."""
+
+    def __init__(self, schema: RelationSchema, semiring: PossibleWorldSemiring,
+                 data: Optional[Dict[Row, Tuple]] = None) -> None:
+        super().__init__(schema, semiring, data)
+
+    @property
+    def kw_semiring(self) -> PossibleWorldSemiring:
+        """The possible-world semiring of this relation."""
+        return self.semiring  # type: ignore[return-value]
+
+    def certain_annotation(self, row: Sequence) -> object:
+        """``cert_K`` of ``row`` (GLB of the vector components)."""
+        vector = self.annotation(row)
+        if self.semiring.is_zero(vector):
+            return self.kw_semiring.base.zero
+        return self.kw_semiring.cert(vector)
+
+    def possible_annotation(self, row: Sequence) -> object:
+        """``poss_K`` of ``row`` (LUB of the vector components)."""
+        vector = self.annotation(row)
+        if self.semiring.is_zero(vector):
+            return self.kw_semiring.base.zero
+        return self.kw_semiring.poss(vector)
+
+    def certain_rows(self) -> List[Row]:
+        """Rows with a non-zero certain annotation."""
+        base = self.kw_semiring.base
+        return [row for row in self.rows()
+                if not base.is_zero(self.certain_annotation(row))]
+
+    def world(self, index: int) -> KRelation:
+        """Extract possible world ``index`` as a plain K-relation."""
+        return self.map_annotations(self.kw_semiring.pw(index))
+
+
+class KWDatabase:
+    """A database whose relations are K^W-relations over a shared world count."""
+
+    def __init__(self, base_semiring: Semiring, num_worlds: int, name: str = "kwdb",
+                 probabilities: Optional[Sequence[float]] = None) -> None:
+        self.kw_semiring = PossibleWorldSemiring(base_semiring, num_worlds)
+        self.database = Database(self.kw_semiring, name)
+        self.name = name
+        if probabilities is not None and len(probabilities) != num_worlds:
+            raise ValueError("need exactly one probability per world")
+        self.probabilities = list(probabilities) if probabilities is not None else None
+
+    @property
+    def base_semiring(self) -> Semiring:
+        """The underlying semiring K."""
+        return self.kw_semiring.base
+
+    @property
+    def num_worlds(self) -> int:
+        """Number of possible worlds |W|."""
+        return self.kw_semiring.num_worlds
+
+    # -- population ----------------------------------------------------------
+
+    def add_relation(self, relation: KWRelation) -> None:
+        """Register a K^W-relation."""
+        self.database.add_relation(relation)
+
+    def create_relation(self, schema: RelationSchema) -> KWRelation:
+        """Create, register and return an empty K^W-relation."""
+        relation = KWRelation(schema, self.kw_semiring)
+        self.database.add_relation(relation)
+        return relation
+
+    def relation(self, name: str) -> KWRelation:
+        """Look up a relation by name."""
+        return self.database.relation(name)  # type: ignore[return-value]
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of the registered relations."""
+        return self.database.relation_names()
+
+    def __iter__(self) -> Iterator[KRelation]:
+        return iter(self.database)
+
+    # -- conversions -----------------------------------------------------------
+
+    @classmethod
+    def from_incomplete(cls, incomplete: IncompleteDatabase,
+                        name: str = "kwdb") -> "KWDatabase":
+        """Pivot an explicit possible-world database into a K^W-database."""
+        kwdb = cls(incomplete.semiring, incomplete.num_worlds, name,
+                   incomplete.probabilities)
+        for relation_name in incomplete.relation_names():
+            schema = incomplete.world(0).relation(relation_name).schema
+            relation = KWRelation(schema, kwdb.kw_semiring)
+            for row in incomplete.all_rows(relation_name):
+                vector = incomplete.annotation_vector(relation_name, row)
+                if not kwdb.kw_semiring.is_zero(vector):
+                    relation.set_annotation(row, vector)
+            kwdb.add_relation(relation)
+        return kwdb
+
+    def to_incomplete(self) -> IncompleteDatabase:
+        """Expand back into an explicit list of possible worlds."""
+        worlds = [self.world(index) for index in range(self.num_worlds)]
+        return IncompleteDatabase(worlds, self.probabilities)
+
+    def world(self, index: int) -> Database:
+        """Extract possible world ``index`` as a plain K-database (``pw_i``)."""
+        homomorphism = self.kw_semiring.pw(index)
+        result = Database(self.base_semiring, f"{self.name}[{index}]")
+        for relation in self.database:
+            result.add_relation(relation.map_annotations(homomorphism))
+        return result
+
+    def best_guess_index(self) -> int:
+        """Index of the most probable world (world 0 without probabilities)."""
+        if self.probabilities is None:
+            return 0
+        return max(range(self.num_worlds), key=lambda i: self.probabilities[i])
+
+    def best_guess_world(self) -> Database:
+        """The most probable possible world."""
+        return self.world(self.best_guess_index())
+
+    # -- queries and annotations ---------------------------------------------------
+
+    def query(self, plan: algebra.Operator) -> KWRelation:
+        """Evaluate ``plan`` with K^W semantics (all worlds at once)."""
+        result = evaluate(plan, self.database)
+        kw_result = KWRelation(result.schema, self.kw_semiring)
+        for row, annotation in result.items():
+            kw_result.set_annotation(row, annotation)
+        return kw_result
+
+    def certain_annotation(self, relation: str, row: Sequence) -> object:
+        """``cert_K`` of a stored row."""
+        return self.relation(relation).certain_annotation(row)
+
+    def possible_annotation(self, relation: str, row: Sequence) -> object:
+        """``poss_K`` of a stored row."""
+        return self.relation(relation).possible_annotation(row)
+
+    def __repr__(self) -> str:
+        return (
+            f"<KWDatabase {self.name!r} [{self.kw_semiring.name}] "
+            f"{len(self.database)} relations, {self.num_worlds} worlds>"
+        )

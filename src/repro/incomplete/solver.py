@@ -1,0 +1,125 @@
+"""Satisfiability and tautology checking for C-table conditions.
+
+This module replaces the paper's use of the Z3 SMT solver.  Conditions are
+boolean combinations of comparison atoms over variables with values drawn
+from an (implicitly) finite active domain: the constants mentioned in the
+condition plus, per variable, one fresh value outside that set (which is
+sufficient because atoms only compare for equality/order against mentioned
+constants or other variables).  The checker enumerates assignments over this
+active domain, with early termination.
+
+For purely propositional reasoning (checking a clause structure), the
+enumeration degenerates to a small truth-table/DPLL-style search; condition
+sizes produced by the experiments keep this tractable while still exhibiting
+cost that grows with condition complexity -- the behaviour Figure 10 relies
+on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.incomplete.conditions import Condition, Variable
+
+
+class SolverLimitExceeded(RuntimeError):
+    """Raised when the assignment search space exceeds the configured limit."""
+
+
+def _active_domain(condition: Condition,
+                   domains: Optional[Dict[Variable, Sequence[Any]]] = None
+                   ) -> Dict[Variable, List[Any]]:
+    """Candidate values per variable: known domain or constants + fresh values."""
+    variables = sorted(condition.variables(), key=lambda v: v.name)
+    constants = condition.constants()
+    numeric_constants = sorted(
+        {c for c in constants if isinstance(c, (int, float)) and not isinstance(c, bool)}
+    )
+    other_constants = sorted(
+        (c for c in constants if not isinstance(c, (int, float)) or isinstance(c, bool)),
+        key=str,
+    )
+    num_variables = max(1, len(variables))
+    result: Dict[Variable, List[Any]] = {}
+    for variable in variables:
+        if domains and variable in domains:
+            result[variable] = list(domains[variable])
+            continue
+        candidates: List[Any] = list(numeric_constants) + list(other_constants)
+        # Fresh values strictly between / outside the mentioned numeric
+        # constants so order atoms can be falsified or satisfied.  Several
+        # values per region are needed so that chains of variable-variable
+        # order constraints (x < y < ...) can be witnessed.
+        if numeric_constants:
+            lowest, highest = numeric_constants[0], numeric_constants[-1]
+            for offset in range(1, num_variables + 1):
+                candidates.append(lowest - offset)
+                candidates.append(highest + offset)
+            for low, high in zip(numeric_constants, numeric_constants[1:]):
+                span = high - low
+                for step in range(1, num_variables + 1):
+                    candidates.append(low + span * step / (num_variables + 1))
+        else:
+            candidates.extend(range(num_variables + 1))
+        if other_constants or not numeric_constants:
+            # A fresh symbolic value distinct from every string constant; only
+            # relevant when the condition compares against non-numeric values.
+            candidates.append(f"__fresh_{variable.name}__")
+        result[variable] = candidates
+    return result
+
+
+def _assignments(domains: Dict[Variable, List[Any]],
+                 limit: int) -> Iterator[Dict[Variable, Any]]:
+    variables = list(domains.keys())
+    sizes = [len(domains[v]) for v in variables]
+    total = 1
+    for size in sizes:
+        total *= size
+        if total > limit:
+            raise SolverLimitExceeded(
+                f"assignment space of size > {limit} exceeds the solver limit"
+            )
+    for combination in itertools.product(*(domains[v] for v in variables)):
+        yield dict(zip(variables, combination))
+
+
+def is_satisfiable(condition: Condition,
+                   domains: Optional[Dict[Variable, Sequence[Any]]] = None,
+                   limit: int = 1_000_000) -> bool:
+    """True if some assignment over the active domain satisfies ``condition``."""
+    condition = condition.simplify()
+    if not condition.variables():
+        return condition.evaluate({})
+    for assignment in _assignments(_active_domain(condition, domains), limit):
+        if condition.evaluate(assignment):
+            return True
+    return False
+
+
+def is_tautology(condition: Condition,
+                 domains: Optional[Dict[Variable, Sequence[Any]]] = None,
+                 limit: int = 1_000_000) -> bool:
+    """True if every assignment over the active domain satisfies ``condition``.
+
+    For conditions over discrete domains this matches Z3's verdict on the
+    formula's negation being unsatisfiable; for continuous domains the active
+    domain construction covers the relevant order regions, so the result
+    agrees for the comparison-atom language used by C-tables.
+    """
+    condition = condition.simplify()
+    if not condition.variables():
+        return condition.evaluate({})
+    for assignment in _assignments(_active_domain(condition, domains), limit):
+        if not condition.evaluate(assignment):
+            return False
+    return True
+
+
+def equivalent(left: Condition, right: Condition,
+               domains: Optional[Dict[Variable, Sequence[Any]]] = None,
+               limit: int = 1_000_000) -> bool:
+    """True if both conditions agree on every assignment of the joint domain."""
+    merged = (left & right) | (left.negate() & right.negate())
+    return is_tautology(merged, domains, limit)

@@ -1,0 +1,171 @@
+"""Tuple-independent databases (TI-DBs).
+
+A TI-DB marks every tuple as optional or required; the probabilistic variant
+attaches a marginal probability to each tuple (required tuples have
+probability 1).  Tuples are independent events, so the set of possible worlds
+is the power set of the optional tuples combined with all required tuples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.db.relation import KRelation, Row
+from repro.db.schema import RelationSchema
+from repro.semirings import BOOLEAN, Semiring
+from repro.incomplete.worlds import IncompleteDatabase
+
+
+@dataclass(frozen=True)
+class TITuple:
+    """A tuple of a TI-relation with its probability.
+
+    ``probability == 1.0`` means the tuple is required (non-optional).
+    """
+
+    values: Row
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"tuple probability must be in (0, 1], got {self.probability}"
+            )
+
+    @property
+    def optional(self) -> bool:
+        """True if the tuple may be absent from some possible world."""
+        return self.probability < 1.0
+
+
+class TIRelation:
+    """A tuple-independent relation."""
+
+    def __init__(self, schema: RelationSchema,
+                 tuples: Optional[Sequence[TITuple]] = None) -> None:
+        self.schema = schema
+        self.tuples: List[TITuple] = []
+        seen: Dict[Row, int] = {}
+        for ti_tuple in tuples or []:
+            self._add(ti_tuple, seen)
+
+    def _add(self, ti_tuple: TITuple, seen: Dict[Row, int]) -> None:
+        row = self.schema.validate_row(ti_tuple.values)
+        if row in seen:
+            raise ValueError(f"duplicate tuple {row!r} in TI-relation {self.schema.name!r}")
+        seen[row] = len(self.tuples)
+        self.tuples.append(TITuple(row, ti_tuple.probability))
+
+    def add(self, values: Sequence[Any], probability: float = 1.0) -> None:
+        """Add a tuple with the given marginal probability."""
+        seen = {t.values: i for i, t in enumerate(self.tuples)}
+        self._add(TITuple(tuple(values), probability), seen)
+
+    def __iter__(self) -> Iterator[TITuple]:
+        return iter(self.tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def required_tuples(self) -> List[TITuple]:
+        """Tuples present in every possible world."""
+        return [t for t in self.tuples if not t.optional]
+
+    def optional_tuples(self) -> List[TITuple]:
+        """Tuples that may be missing from some world."""
+        return [t for t in self.tuples if t.optional]
+
+
+class TIDatabase:
+    """A database of TI-relations."""
+
+    def __init__(self, name: str = "tidb") -> None:
+        self.name = name
+        self.relations: Dict[str, TIRelation] = {}
+
+    def add_relation(self, relation: TIRelation) -> None:
+        """Register a TI-relation."""
+        key = relation.schema.name.lower()
+        if key in self.relations:
+            raise ValueError(f"relation {relation.schema.name!r} already exists")
+        self.relations[key] = relation
+
+    def create_relation(self, schema: RelationSchema) -> TIRelation:
+        """Create, register and return an empty TI-relation."""
+        relation = TIRelation(schema)
+        self.add_relation(relation)
+        return relation
+
+    def relation(self, name: str) -> TIRelation:
+        """Look up a TI-relation by name."""
+        return self.relations[name.lower()]
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of the registered relations."""
+        return tuple(rel.schema.name for rel in self.relations.values())
+
+    def __iter__(self) -> Iterator[TIRelation]:
+        return iter(self.relations.values())
+
+    # -- possible world semantics ------------------------------------------------
+
+    def num_possible_worlds(self) -> int:
+        """2 to the power of the number of optional tuples."""
+        optional = sum(len(rel.optional_tuples()) for rel in self.relations.values())
+        return 2 ** optional
+
+    def possible_worlds(self, semiring: Semiring = BOOLEAN,
+                        limit: int = 4096) -> IncompleteDatabase:
+        """Enumerate all possible worlds (for small instances / tests).
+
+        Raises ``ValueError`` if the number of worlds exceeds ``limit``.
+        """
+        count = self.num_possible_worlds()
+        if count > limit:
+            raise ValueError(
+                f"TI-DB has {count} possible worlds, exceeding the limit of {limit}"
+            )
+        optional: List[Tuple[str, TITuple]] = []
+        for relation in self.relations.values():
+            for ti_tuple in relation.optional_tuples():
+                optional.append((relation.schema.name, ti_tuple))
+        worlds: List[Database] = []
+        probabilities: List[float] = []
+        for included in itertools.product([False, True], repeat=len(optional)):
+            world = Database(semiring, self.name)
+            probability = 1.0
+            included_map: Dict[str, List[Row]] = {}
+            for (relation_name, ti_tuple), include in zip(optional, included):
+                if include:
+                    included_map.setdefault(relation_name.lower(), []).append(ti_tuple.values)
+                    probability *= ti_tuple.probability
+                else:
+                    probability *= 1.0 - ti_tuple.probability
+            for relation in self.relations.values():
+                k_relation = KRelation(relation.schema, semiring)
+                for ti_tuple in relation.required_tuples():
+                    k_relation.add(ti_tuple.values, semiring.one)
+                for row in included_map.get(relation.schema.name.lower(), []):
+                    k_relation.add(row, semiring.one)
+                world.add_relation(k_relation)
+            worlds.append(world)
+            probabilities.append(probability)
+        return IncompleteDatabase(worlds, probabilities)
+
+    def best_guess_world(self, semiring: Semiring = BOOLEAN,
+                         threshold: float = 0.5) -> Database:
+        """The highest-probability world: all tuples with probability >= threshold."""
+        world = Database(semiring, f"{self.name}_bg")
+        for relation in self.relations.values():
+            k_relation = KRelation(relation.schema, semiring)
+            for ti_tuple in relation.tuples:
+                if ti_tuple.probability >= threshold:
+                    k_relation.add(ti_tuple.values, semiring.one)
+            world.add_relation(k_relation)
+        return world
+
+    def __repr__(self) -> str:
+        return f"<TIDatabase {self.name!r} {len(self.relations)} relations>"

@@ -1,0 +1,171 @@
+"""V-tables and Codd tables: incompleteness through (labeled) nulls.
+
+A V-table tuple may contain *named nulls* (labeled unknown values); a Codd
+table uses an unnamed null in every position independently.  V-tables are the
+data model targeted by Reiter's and Libkin/Guagliardo's certain-answer
+under-approximations, which the paper compares against; the Libkin baseline
+in :mod:`repro.baselines.libkin` evaluates queries over the SQL encoding
+(``None`` values) produced by :meth:`VTableDatabase.to_sql_database`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.db.relation import KRelation, Row
+from repro.db.schema import RelationSchema
+from repro.semirings import BOOLEAN, Semiring
+from repro.incomplete.worlds import IncompleteDatabase
+
+
+@dataclass(frozen=True, order=True)
+class NamedNull:
+    """A labeled null (shared occurrences denote the same unknown value)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"_{self.name}"
+
+
+class VTable:
+    """A single V-table (one relation); rows may contain :class:`NamedNull`."""
+
+    def __init__(self, schema: RelationSchema,
+                 rows: Optional[Sequence[Sequence[Any]]] = None) -> None:
+        self.schema = schema
+        self.rows: List[Tuple[Any, ...]] = []
+        for row in rows or []:
+            self.add(row)
+
+    def add(self, row: Sequence[Any]) -> None:
+        """Add a row (arity-checked; values may be named nulls or None)."""
+        row = tuple(row)
+        if len(row) != self.schema.arity:
+            raise ValueError(
+                f"row {row!r} has arity {len(row)}, expected {self.schema.arity}"
+            )
+        self.rows.append(row)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def nulls(self) -> set:
+        """All named nulls appearing in the table."""
+        return {
+            value for row in self.rows for value in row if isinstance(value, NamedNull)
+        }
+
+    def ground_rows(self) -> List[Row]:
+        """Rows containing no nulls at all (certain under any valuation)."""
+        return [
+            row for row in self.rows
+            if not any(isinstance(v, NamedNull) or v is None for v in row)
+        ]
+
+
+class VTableDatabase:
+    """A database of V-tables with optional finite domains for the nulls."""
+
+    def __init__(self, name: str = "vdb",
+                 domains: Optional[Dict[NamedNull, Sequence[Any]]] = None) -> None:
+        self.name = name
+        self.relations: Dict[str, VTable] = {}
+        self.domains: Dict[NamedNull, List[Any]] = {
+            null: list(values) for null, values in (domains or {}).items()
+        }
+
+    def add_relation(self, vtable: VTable) -> None:
+        """Register a V-table."""
+        key = vtable.schema.name.lower()
+        if key in self.relations:
+            raise ValueError(f"relation {vtable.schema.name!r} already exists")
+        self.relations[key] = vtable
+
+    def create_relation(self, schema: RelationSchema) -> VTable:
+        """Create, register and return an empty V-table."""
+        vtable = VTable(schema)
+        self.add_relation(vtable)
+        return vtable
+
+    def relation(self, name: str) -> VTable:
+        """Look up a V-table by name."""
+        return self.relations[name.lower()]
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of the registered V-tables."""
+        return tuple(rel.schema.name for rel in self.relations.values())
+
+    def __iter__(self) -> Iterator[VTable]:
+        return iter(self.relations.values())
+
+    def set_domain(self, null: NamedNull, values: Sequence[Any]) -> None:
+        """Declare the finite domain of a named null."""
+        self.domains[null] = list(values)
+
+    def nulls(self) -> List[NamedNull]:
+        """All named nulls across all tables, in name order."""
+        result = set()
+        for vtable in self.relations.values():
+            result.update(vtable.nulls())
+        return sorted(result, key=lambda n: n.name)
+
+    def _null_domain(self, null: NamedNull) -> List[Any]:
+        if null in self.domains:
+            return self.domains[null]
+        return [f"__{null.name}_a__", f"__{null.name}_b__"]
+
+    def possible_worlds(self, semiring: Semiring = BOOLEAN,
+                        limit: int = 4096) -> IncompleteDatabase:
+        """Enumerate worlds by instantiating every null from its domain."""
+        nulls = self.nulls()
+        domains = [self._null_domain(null) for null in nulls]
+        count = 1
+        for domain in domains:
+            count *= len(domain)
+        if count > limit:
+            raise ValueError(
+                f"V-table database has {count} possible worlds, exceeding {limit}"
+            )
+        worlds: List[Database] = []
+        for combination in itertools.product(*domains) if nulls else [()]:
+            valuation = dict(zip(nulls, combination))
+            world = Database(semiring, self.name)
+            for vtable in self.relations.values():
+                k_relation = KRelation(vtable.schema, semiring)
+                for row in vtable.rows:
+                    concrete = tuple(
+                        valuation[value] if isinstance(value, NamedNull) else value
+                        for value in row
+                    )
+                    k_relation.add(concrete, semiring.one)
+                world.add_relation(k_relation)
+            worlds.append(world)
+        return IncompleteDatabase(worlds)
+
+    def to_sql_database(self, semiring: Semiring = BOOLEAN) -> Database:
+        """Encode as a conventional database with SQL NULLs (``None`` values).
+
+        This is the input representation used by the Libkin baseline: every
+        named null becomes an SQL NULL, losing the equality constraints
+        between shared nulls (exactly as a SQL engine would).
+        """
+        database = Database(semiring, f"{self.name}_sql")
+        for vtable in self.relations.values():
+            k_relation = KRelation(vtable.schema, semiring)
+            for row in vtable.rows:
+                concrete = tuple(
+                    None if isinstance(value, NamedNull) else value for value in row
+                )
+                k_relation.add(concrete, semiring.one)
+            database.add_relation(k_relation)
+        return database
+
+    def __repr__(self) -> str:
+        return f"<VTableDatabase {self.name!r} {len(self.relations)} relations>"

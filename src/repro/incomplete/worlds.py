@@ -1,0 +1,189 @@
+"""Explicit possible-world representation of incomplete K-databases.
+
+An :class:`IncompleteDatabase` is a non-empty list of :class:`~repro.db.database.Database`
+instances over the same schema and semiring (Definition 1 of the paper),
+optionally with a probability distribution over worlds.  Queries evaluate
+under possible-world semantics; certain and possible annotations are computed
+with the semiring's GLB/LUB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.relation import KRelation, Row
+from repro.semirings import Semiring
+
+
+class IncompleteDatabase:
+    """A finite set of possible worlds, each a K-database."""
+
+    def __init__(self, worlds: Sequence[Database],
+                 probabilities: Optional[Sequence[float]] = None) -> None:
+        if not worlds:
+            raise ValueError("an incomplete database needs at least one possible world")
+        semirings = {world.semiring for world in worlds}
+        if len(semirings) != 1:
+            raise ValueError("all possible worlds must share the same semiring")
+        self.worlds: List[Database] = list(worlds)
+        if probabilities is not None:
+            if len(probabilities) != len(worlds):
+                raise ValueError("need exactly one probability per world")
+            total = sum(probabilities)
+            if total <= 0:
+                raise ValueError("probabilities must sum to a positive value")
+            self.probabilities: Optional[List[float]] = [p / total for p in probabilities]
+        else:
+            self.probabilities = None
+
+    @property
+    def semiring(self) -> Semiring:
+        """The semiring shared by all possible worlds."""
+        return self.worlds[0].semiring
+
+    @property
+    def num_worlds(self) -> int:
+        """Number of possible worlds."""
+        return len(self.worlds)
+
+    def __iter__(self) -> Iterator[Database]:
+        return iter(self.worlds)
+
+    def __len__(self) -> int:
+        return len(self.worlds)
+
+    def world(self, index: int) -> Database:
+        """The ``index``-th possible world."""
+        return self.worlds[index]
+
+    def best_guess_index(self) -> int:
+        """Index of the most probable world (first world if no probabilities)."""
+        if self.probabilities is None:
+            return 0
+        return max(range(len(self.worlds)), key=lambda i: self.probabilities[i])
+
+    def best_guess_world(self) -> Database:
+        """The most probable world (used as the UA-DB over-approximation)."""
+        return self.worlds[self.best_guess_index()]
+
+    # -- tuple-level annotations -------------------------------------------------
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Relation names (taken from the first world)."""
+        return self.worlds[0].relation_names()
+
+    def all_rows(self, relation: str) -> List[Row]:
+        """All rows appearing in ``relation`` in at least one world."""
+        seen: Dict[Row, None] = {}
+        for world in self.worlds:
+            if relation in world:
+                for row in world.relation(relation).rows():
+                    seen.setdefault(row, None)
+        return list(seen.keys())
+
+    def annotation_vector(self, relation: str, row: Sequence) -> Tuple:
+        """The row's annotation in every world, in world order."""
+        row = tuple(row)
+        return tuple(
+            world.relation(relation).annotation(row) if relation in world
+            else world.semiring.zero
+            for world in self.worlds
+        )
+
+    def certain_annotation(self, relation: str, row: Sequence) -> object:
+        """``cert_K``: GLB of the row's annotations across all worlds."""
+        return self.semiring.glb_all(self.annotation_vector(relation, row))
+
+    def possible_annotation(self, relation: str, row: Sequence) -> object:
+        """``poss_K``: LUB of the row's annotations across all worlds."""
+        return self.semiring.lub_all(self.annotation_vector(relation, row))
+
+    def certain_rows(self, relation: str) -> List[Row]:
+        """Rows whose certain annotation is non-zero (classical certain answers)."""
+        return [
+            row for row in self.all_rows(relation)
+            if not self.semiring.is_zero(self.certain_annotation(relation, row))
+        ]
+
+    def possible_rows(self, relation: str) -> List[Row]:
+        """Rows appearing in at least one world (classical possible answers)."""
+        return self.all_rows(relation)
+
+    # -- queries ----------------------------------------------------------------
+
+    def query(self, plan: algebra.Operator) -> "IncompleteQueryResult":
+        """Evaluate ``plan`` in every world (possible-world semantics)."""
+        results = [evaluate(plan, world) for world in self.worlds]
+        return IncompleteQueryResult(results, self.probabilities)
+
+    def __repr__(self) -> str:
+        return f"<IncompleteDatabase [{self.semiring.name}] {len(self.worlds)} worlds>"
+
+
+class IncompleteQueryResult:
+    """Per-world query results with certain/possible aggregation helpers."""
+
+    def __init__(self, relations: Sequence[KRelation],
+                 probabilities: Optional[Sequence[float]] = None) -> None:
+        if not relations:
+            raise ValueError("need at least one per-world result")
+        self.relations: List[KRelation] = list(relations)
+        self.probabilities = list(probabilities) if probabilities is not None else None
+
+    @property
+    def semiring(self) -> Semiring:
+        """The result semiring."""
+        return self.relations[0].semiring
+
+    def __iter__(self) -> Iterator[KRelation]:
+        return iter(self.relations)
+
+    def world(self, index: int) -> KRelation:
+        """Result in the ``index``-th world."""
+        return self.relations[index]
+
+    def all_rows(self) -> List[Row]:
+        """Rows appearing in the result of at least one world."""
+        seen: Dict[Row, None] = {}
+        for relation in self.relations:
+            for row in relation.rows():
+                seen.setdefault(row, None)
+        return list(seen.keys())
+
+    def annotation_vector(self, row: Sequence) -> Tuple:
+        """The row's annotation in every per-world result."""
+        row = tuple(row)
+        return tuple(relation.annotation(row) for relation in self.relations)
+
+    def certain_annotation(self, row: Sequence) -> object:
+        """``cert_K`` of a result row."""
+        return self.semiring.glb_all(self.annotation_vector(row))
+
+    def possible_annotation(self, row: Sequence) -> object:
+        """``poss_K`` of a result row."""
+        return self.semiring.lub_all(self.annotation_vector(row))
+
+    def certain_rows(self) -> List[Row]:
+        """Rows that are certain answers of the query."""
+        return [row for row in self.all_rows()
+                if not self.semiring.is_zero(self.certain_annotation(row))]
+
+    def possible_rows(self) -> List[Row]:
+        """Rows that are possible answers of the query."""
+        return self.all_rows()
+
+    def tuple_probability(self, row: Sequence) -> float:
+        """Marginal probability of the row appearing in the result."""
+        if self.probabilities is None:
+            probabilities = [1.0 / len(self.relations)] * len(self.relations)
+        else:
+            probabilities = self.probabilities
+        row = tuple(row)
+        total = 0.0
+        for relation, probability in zip(self.relations, probabilities):
+            if not relation.semiring.is_zero(relation.annotation(row)):
+                total += probability
+        return total

@@ -1,0 +1,228 @@
+"""x-DBs (Trio-style) and their probabilistic variant (BI-DBs).
+
+An x-relation is a set of x-tuples.  Each x-tuple is a set of mutually
+exclusive alternatives plus an "optional" marker (or, probabilistically, a
+total probability mass <= 1).  x-tuples are independent of each other; a
+possible world picks at most one alternative per x-tuple (exactly one if the
+x-tuple is not optional).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.db.relation import KRelation, Row
+from repro.db.schema import RelationSchema
+from repro.semirings import BOOLEAN, Semiring
+from repro.incomplete.worlds import IncompleteDatabase
+
+
+@dataclass
+class XTuple:
+    """An x-tuple: disjoint alternatives with optional probabilities."""
+
+    alternatives: List[Row]
+    probabilities: Optional[List[float]] = None
+    optional: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.alternatives:
+            raise ValueError("an x-tuple needs at least one alternative")
+        self.alternatives = [tuple(alt) for alt in self.alternatives]
+        if self.probabilities is not None:
+            if len(self.probabilities) != len(self.alternatives):
+                raise ValueError("need exactly one probability per alternative")
+            total = sum(self.probabilities)
+            if total > 1.0 + 1e-9:
+                raise ValueError(f"alternative probabilities sum to {total} > 1")
+            # P(tau) < 1 means the x-tuple may contribute no alternative at all.
+            self.optional = total < 1.0 - 1e-9
+
+    @property
+    def num_alternatives(self) -> int:
+        """Number of alternatives |tau|."""
+        return len(self.alternatives)
+
+    @property
+    def total_probability(self) -> float:
+        """P(tau): total probability mass across the alternatives."""
+        if self.probabilities is None:
+            return 1.0
+        return sum(self.probabilities)
+
+    def is_certain_singleton(self) -> bool:
+        """True if the x-tuple contributes exactly one, certain tuple.
+
+        This is the condition of the paper's ``label_x-DB`` scheme: a single
+        alternative that is not optional (probability mass 1).
+        """
+        return self.num_alternatives == 1 and not self.optional
+
+    def best_alternative(self) -> Optional[Row]:
+        """The alternative chosen for the best-guess world (None to omit).
+
+        Picks the highest-probability alternative unless omitting the x-tuple
+        entirely is more likely (Section 4.2).
+        """
+        if self.probabilities is None:
+            return self.alternatives[0]
+        best_index = max(range(len(self.alternatives)), key=lambda i: self.probabilities[i])
+        best_probability = self.probabilities[best_index]
+        if best_probability < (1.0 - self.total_probability):
+            return None
+        return self.alternatives[best_index]
+
+    def choices(self) -> List[Optional[Row]]:
+        """All legal per-world choices (alternatives, plus None if optional)."""
+        options: List[Optional[Row]] = list(self.alternatives)
+        if self.optional:
+            options.append(None)
+        return options
+
+    def choice_probability(self, choice: Optional[Row]) -> float:
+        """Probability of a specific choice (uniform if no probabilities given)."""
+        if self.probabilities is None:
+            if choice is None:
+                return 0.0 if not self.optional else 1.0 / (self.num_alternatives + 1)
+            denominator = self.num_alternatives + (1 if self.optional else 0)
+            return 1.0 / denominator
+        if choice is None:
+            return max(0.0, 1.0 - self.total_probability)
+        for alternative, probability in zip(self.alternatives, self.probabilities):
+            if alternative == choice:
+                return probability
+        return 0.0
+
+
+class XRelation:
+    """An x-relation: a list of independent x-tuples over one schema."""
+
+    def __init__(self, schema: RelationSchema,
+                 x_tuples: Optional[Sequence[XTuple]] = None) -> None:
+        self.schema = schema
+        self.x_tuples: List[XTuple] = []
+        for x_tuple in x_tuples or []:
+            self.add(x_tuple)
+
+    def add(self, x_tuple: XTuple) -> None:
+        """Add an x-tuple after validating its alternatives against the schema."""
+        for alternative in x_tuple.alternatives:
+            self.schema.validate_row(alternative)
+        self.x_tuples.append(x_tuple)
+
+    def add_certain(self, values: Sequence[Any]) -> None:
+        """Add a single-alternative, non-optional x-tuple."""
+        self.add(XTuple([tuple(values)]))
+
+    def add_alternatives(self, alternatives: Sequence[Sequence[Any]],
+                         probabilities: Optional[Sequence[float]] = None,
+                         optional: bool = False) -> None:
+        """Add an x-tuple with several alternatives."""
+        self.add(XTuple([tuple(a) for a in alternatives],
+                        list(probabilities) if probabilities is not None else None,
+                        optional))
+
+    def __iter__(self) -> Iterator[XTuple]:
+        return iter(self.x_tuples)
+
+    def __len__(self) -> int:
+        return len(self.x_tuples)
+
+    def num_possible_worlds(self) -> int:
+        """Product of per-x-tuple choice counts."""
+        count = 1
+        for x_tuple in self.x_tuples:
+            count *= len(x_tuple.choices())
+        return count
+
+
+class XDatabase:
+    """A database of x-relations (a BI-DB when probabilities are attached)."""
+
+    def __init__(self, name: str = "xdb") -> None:
+        self.name = name
+        self.relations: Dict[str, XRelation] = {}
+
+    def add_relation(self, relation: XRelation) -> None:
+        """Register an x-relation."""
+        key = relation.schema.name.lower()
+        if key in self.relations:
+            raise ValueError(f"relation {relation.schema.name!r} already exists")
+        self.relations[key] = relation
+
+    def create_relation(self, schema: RelationSchema) -> XRelation:
+        """Create, register and return an empty x-relation."""
+        relation = XRelation(schema)
+        self.add_relation(relation)
+        return relation
+
+    def relation(self, name: str) -> XRelation:
+        """Look up an x-relation by name."""
+        return self.relations[name.lower()]
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of the registered relations."""
+        return tuple(rel.schema.name for rel in self.relations.values())
+
+    def __iter__(self) -> Iterator[XRelation]:
+        return iter(self.relations.values())
+
+    def num_possible_worlds(self) -> int:
+        """Product of the per-relation world counts."""
+        count = 1
+        for relation in self.relations.values():
+            count *= relation.num_possible_worlds()
+        return count
+
+    def possible_worlds(self, semiring: Semiring = BOOLEAN,
+                        limit: int = 4096) -> IncompleteDatabase:
+        """Enumerate all possible worlds (for small instances / tests)."""
+        count = self.num_possible_worlds()
+        if count > limit:
+            raise ValueError(
+                f"x-DB has {count} possible worlds, exceeding the limit of {limit}"
+            )
+        # Flatten x-tuples across relations, remembering their relation.
+        entries: List[Tuple[str, XTuple]] = []
+        for relation in self.relations.values():
+            for x_tuple in relation.x_tuples:
+                entries.append((relation.schema.name.lower(), x_tuple))
+        worlds: List[Database] = []
+        probabilities: List[float] = []
+        choice_lists = [x_tuple.choices() for _, x_tuple in entries]
+        for combination in itertools.product(*choice_lists) if entries else [()]:
+            world = Database(semiring, self.name)
+            probability = 1.0
+            chosen: Dict[str, List[Row]] = {}
+            for (relation_name, x_tuple), choice in zip(entries, combination):
+                probability *= x_tuple.choice_probability(choice)
+                if choice is not None:
+                    chosen.setdefault(relation_name, []).append(choice)
+            for relation in self.relations.values():
+                k_relation = KRelation(relation.schema, semiring)
+                for row in chosen.get(relation.schema.name.lower(), []):
+                    k_relation.add(row, semiring.one)
+                world.add_relation(k_relation)
+            worlds.append(world)
+            probabilities.append(probability)
+        if all(p == 0 for p in probabilities):
+            probabilities = [1.0] * len(worlds)
+        return IncompleteDatabase(worlds, probabilities)
+
+    def best_guess_world(self, semiring: Semiring = BOOLEAN) -> Database:
+        """The highest-probability world (Section 4.2)."""
+        world = Database(semiring, f"{self.name}_bg")
+        for relation in self.relations.values():
+            k_relation = KRelation(relation.schema, semiring)
+            for x_tuple in relation.x_tuples:
+                choice = x_tuple.best_alternative()
+                if choice is not None:
+                    k_relation.add(choice, semiring.one)
+            world.add_relation(k_relation)
+        return world
+
+    def __repr__(self) -> str:
+        return f"<XDatabase {self.name!r} {len(self.relations)} relations>"

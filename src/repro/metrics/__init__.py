@@ -1,0 +1,18 @@
+"""Quality metrics used by the experimental evaluation."""
+
+from repro.metrics.classification import (
+    ClassificationReport,
+    classification_report,
+    false_negative_rate,
+    false_positive_rate,
+)
+from repro.metrics.utility import UtilityReport, precision_recall
+
+__all__ = [
+    "ClassificationReport",
+    "classification_report",
+    "false_negative_rate",
+    "false_positive_rate",
+    "UtilityReport",
+    "precision_recall",
+]

@@ -1,0 +1,132 @@
+"""Certainty-classification metrics (false negatives / false positives).
+
+A UA-DB labels result tuples as certain or uncertain.  Comparing against the
+ground-truth certain answers:
+
+* a **false negative** is a certain answer mis-labeled as uncertain (the only
+  kind of error a c-sound scheme can make),
+* a **false positive** is an uncertain answer labeled certain (possible for
+  the baselines that over-approximate, e.g. MayBMS with rounding errors, or
+  MCDB's sampling estimate).
+
+The paper reports the false-negative *rate*: the fraction of certain answers
+that were misclassified (Figures 15, 17, 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Counts and rates of a certain/uncertain labeling against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def num_certain(self) -> int:
+        """Number of ground-truth certain answers."""
+        return self.true_positives + self.false_negatives
+
+    @property
+    def num_uncertain(self) -> int:
+        """Number of ground-truth uncertain answers."""
+        return self.true_negatives + self.false_positives
+
+    @property
+    def false_negative_rate(self) -> float:
+        """Fraction of certain answers misclassified as uncertain (0 if none exist)."""
+        if self.num_certain == 0:
+            return 0.0
+        return self.false_negatives / self.num_certain
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of uncertain answers misclassified as certain (0 if none exist)."""
+        if self.num_uncertain == 0:
+            return 0.0
+        return self.false_positives / self.num_uncertain
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of all answers that were misclassified."""
+        total = self.num_certain + self.num_uncertain
+        if total == 0:
+            return 0.0
+        return (self.false_negatives + self.false_positives) / total
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of answers classified correctly."""
+        return 1.0 - self.error_rate
+
+
+def classification_report(labeled_certain: Iterable, labeled_uncertain: Iterable,
+                          ground_truth_certain: Iterable) -> ClassificationReport:
+    """Compare a certain/uncertain labeling against ground-truth certain answers.
+
+    All arguments are collections of (hashable) result rows.  Rows labeled
+    certain but absent from the ground truth are false positives; ground-truth
+    certain rows labeled uncertain (or missing) are false negatives.
+    """
+    certain: Set = set(labeled_certain)
+    uncertain: Set = set(labeled_uncertain)
+    truth: Set = set(ground_truth_certain)
+    true_positives = len(certain & truth)
+    false_positives = len(certain - truth)
+    false_negatives = len(truth - certain)
+    true_negatives = len(uncertain - truth)
+    return ClassificationReport(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        true_negatives=true_negatives,
+        false_negatives=false_negatives,
+    )
+
+
+def false_negative_rate(labeled_certain: Iterable, all_answers: Iterable,
+                        ground_truth_certain: Iterable) -> float:
+    """Fraction of ground-truth certain answers not labeled as certain."""
+    certain = set(labeled_certain)
+    truth = set(ground_truth_certain)
+    if not truth:
+        return 0.0
+    return len(truth - certain) / len(truth)
+
+
+def false_positive_rate(labeled_certain: Iterable, all_answers: Iterable,
+                        ground_truth_certain: Iterable) -> float:
+    """Fraction of non-certain answers incorrectly labeled as certain."""
+    certain = set(labeled_certain)
+    truth = set(ground_truth_certain)
+    answers = set(all_answers)
+    uncertain_truth = answers - truth
+    if not uncertain_truth:
+        return 0.0
+    return len(certain - truth) / len(uncertain_truth)
+
+
+def annotation_distance(labeled: Dict, ground_truth: Dict,
+                        distance) -> float:
+    """Mean annotation distance between a labeling and the ground truth.
+
+    ``labeled`` and ``ground_truth`` map rows to annotations; ``distance`` is
+    a callable returning a numeric distance between two annotations.  Rows
+    missing from either side are compared against the other side's value for
+    that row only when present in ``ground_truth`` (missing labeled rows count
+    with distance to the ground truth's annotation versus the "absent"
+    annotation supplied by the caller via ``distance``'s handling of ``None``).
+    Used by the access-control-semiring experiment (Figure 21).
+    """
+    keys = set(ground_truth)
+    if not keys:
+        return 0.0
+    total = 0.0
+    for key in keys:
+        total += distance(labeled.get(key), ground_truth[key])
+    return total / len(keys)

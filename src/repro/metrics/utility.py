@@ -1,0 +1,54 @@
+"""Utility metrics: precision/recall of query answers against a ground truth.
+
+Figure 18 of the paper measures how useful different answer sets are by
+comparing them against the query result over the (known) ground-truth world:
+
+* **precision** -- fraction of returned answers present in the ground truth,
+* **recall** -- fraction of ground-truth answers that were returned.
+
+Certain-answer under-approximations (Libkin) always reach 100% precision but
+lose recall quickly as uncertainty grows; best-guess answers (and therefore
+UA-DBs) trade a little precision for much higher recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+
+@dataclass(frozen=True)
+class UtilityReport:
+    """Precision and recall of an answer set against the ground-truth answers."""
+
+    precision: float
+    recall: float
+    returned: int
+    expected: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def precision_recall(answers: Iterable, ground_truth: Iterable) -> UtilityReport:
+    """Compute precision and recall of ``answers`` against ``ground_truth``."""
+    answer_set: Set = set(answers)
+    truth_set: Set = set(ground_truth)
+    if not answer_set:
+        precision = 1.0 if not truth_set else 0.0
+    else:
+        precision = len(answer_set & truth_set) / len(answer_set)
+    if not truth_set:
+        recall = 1.0
+    else:
+        recall = len(answer_set & truth_set) / len(truth_set)
+    return UtilityReport(
+        precision=precision,
+        recall=recall,
+        returned=len(answer_set),
+        expected=len(truth_set),
+    )

@@ -1,0 +1,72 @@
+"""Commutative semirings used to annotate relations (Green et al., PODS 2007).
+
+The UA-DB paper builds on K-relations: relations whose tuples carry
+annotations drawn from a commutative semiring K.  This package provides
+
+* the abstract :class:`~repro.semirings.base.Semiring` interface, including
+  the *natural order* and lattice (GLB / LUB) operations required of
+  l-semirings,
+* concrete semirings: the boolean (set) semiring ``BOOLEAN``, the natural
+  number (bag) semiring ``NATURAL``, the access-control semiring ``ACCESS``,
+  the min/max tropical semirings, and a generic bounded-lattice semiring,
+* semiring combinators: the direct product of two semirings, the possible
+  world semiring K^W, and the UA-semiring K x K,
+* semiring homomorphisms and helpers to lift them to relations.
+"""
+
+from repro.semirings.base import (
+    Semiring,
+    SemiringElementError,
+    SemiringHomomorphism,
+    is_homomorphism,
+)
+from repro.semirings.boolean import BooleanSemiring, BOOLEAN
+from repro.semirings.natural import NaturalSemiring, NATURAL
+from repro.semirings.access import AccessControlSemiring, ACCESS, AccessLevel
+from repro.semirings.tropical import MinTropicalSemiring, MaxTropicalSemiring, MIN_TROPICAL, MAX_TROPICAL
+from repro.semirings.product import ProductSemiring
+from repro.semirings.kw import PossibleWorldSemiring
+from repro.semirings.ua import UASemiring, UAAnnotation
+from repro.semirings.fuzzy import FuzzySemiring, FUZZY
+from repro.semirings.provenance import (
+    Polynomial,
+    PolynomialSemiring,
+    WhySemiring,
+    LineageSemiring,
+    POLYNOMIAL,
+    WHY,
+    LINEAGE,
+    LINEAGE_BOTTOM,
+)
+
+__all__ = [
+    "Semiring",
+    "SemiringElementError",
+    "SemiringHomomorphism",
+    "is_homomorphism",
+    "BooleanSemiring",
+    "BOOLEAN",
+    "NaturalSemiring",
+    "NATURAL",
+    "AccessControlSemiring",
+    "ACCESS",
+    "AccessLevel",
+    "MinTropicalSemiring",
+    "MaxTropicalSemiring",
+    "MIN_TROPICAL",
+    "MAX_TROPICAL",
+    "ProductSemiring",
+    "PossibleWorldSemiring",
+    "UASemiring",
+    "UAAnnotation",
+    "FuzzySemiring",
+    "FUZZY",
+    "Polynomial",
+    "PolynomialSemiring",
+    "WhySemiring",
+    "LineageSemiring",
+    "POLYNOMIAL",
+    "WHY",
+    "LINEAGE",
+    "LINEAGE_BOTTOM",
+]

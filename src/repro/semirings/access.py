@@ -1,0 +1,97 @@
+"""The access-control semiring A (Green et al. / Foster et al.).
+
+Annotations are clearance levels ordered ``0 < T < S < C < P`` where
+
+* ``0``  -- nobody can access the tuple,
+* ``T``  -- top secret,
+* ``S``  -- secret,
+* ``C``  -- confidential,
+* ``P``  -- public.
+
+Addition is ``max`` (the most permissive derivation wins) and multiplication
+is ``min`` (joining data requires the stricter clearance).  The semiring is
+idempotent; its natural order coincides with the clearance order, GLB is
+``min`` and LUB is ``max``.  The paper uses A in Section 11.3 to evaluate
+UA-DB labelings beyond set and bag semantics (Figure 21).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.semirings.base import Semiring
+
+
+class AccessLevel(enum.IntEnum):
+    """Clearance levels of the access-control semiring, ordered by permissiveness."""
+
+    NONE = 0          #: ``0`` -- nobody can access
+    TOP_SECRET = 1    #: ``T``
+    SECRET = 2        #: ``S``
+    CONFIDENTIAL = 3  #: ``C``
+    PUBLIC = 4        #: ``P``
+
+    @property
+    def symbol(self) -> str:
+        """Single-character symbol used in the paper (0, T, S, C, P)."""
+        return {"NONE": "0", "TOP_SECRET": "T", "SECRET": "S",
+                "CONFIDENTIAL": "C", "PUBLIC": "P"}[self.name]
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "AccessLevel":
+        """Parse a single-character symbol into an :class:`AccessLevel`."""
+        mapping = {"0": cls.NONE, "T": cls.TOP_SECRET, "S": cls.SECRET,
+                   "C": cls.CONFIDENTIAL, "P": cls.PUBLIC}
+        try:
+            return mapping[symbol.upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown access level symbol {symbol!r}") from exc
+
+    def distance(self, other: "AccessLevel") -> float:
+        """Normalized distance between two levels (used by Figure 21).
+
+        The paper normalizes by the number of levels, e.g. the distance
+        between C and T is 2/5 = 0.4.
+        """
+        return abs(int(self) - int(other)) / len(AccessLevel)
+
+
+class AccessControlSemiring(Semiring):
+    """Access control: max/min over the clearance lattice."""
+
+    name = "A"
+
+    @property
+    def zero(self) -> AccessLevel:
+        return AccessLevel.NONE
+
+    @property
+    def one(self) -> AccessLevel:
+        return AccessLevel.PUBLIC
+
+    def plus(self, a: AccessLevel, b: AccessLevel) -> AccessLevel:
+        return max(a, b)
+
+    def times(self, a: AccessLevel, b: AccessLevel) -> AccessLevel:
+        return min(a, b)
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, AccessLevel)
+
+    def leq(self, a: AccessLevel, b: AccessLevel) -> bool:
+        return a <= b
+
+    def glb(self, a: AccessLevel, b: AccessLevel) -> AccessLevel:
+        return min(a, b)
+
+    def lub(self, a: AccessLevel, b: AccessLevel) -> AccessLevel:
+        return max(a, b)
+
+    def monus(self, a: AccessLevel, b: AccessLevel) -> AccessLevel:
+        # In an idempotent max-plus structure the monus is "a if b < a else 0".
+        return a if b < a else AccessLevel.NONE
+
+
+#: Shared singleton instance of the access-control semiring.
+ACCESS = AccessControlSemiring()

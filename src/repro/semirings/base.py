@@ -1,0 +1,201 @@
+"""Abstract commutative semiring with natural order and lattice operations.
+
+A commutative semiring is a structure ``(K, +, *, 0, 1)`` where addition and
+multiplication are commutative and associative, multiplication distributes
+over addition, ``0`` is the additive identity (and annihilates under
+multiplication) and ``1`` is the multiplicative identity.
+
+The *natural order* of a semiring is defined as::
+
+    k <= k'   iff   there exists k'' such that k + k'' == k'
+
+Semirings whose natural order is a partial order are *naturally ordered*;
+semirings whose natural order forms a lattice are *l-semirings*.  The UA-DB
+paper defines certain annotations via the greatest lower bound (GLB) of a
+tuple's annotations across possible worlds, which requires an l-semiring.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import reduce
+from typing import Any, Callable, Iterable
+
+
+class SemiringElementError(ValueError):
+    """Raised when a value is not a member of the semiring's domain."""
+
+
+class Semiring(ABC):
+    """Abstract base class for commutative semirings.
+
+    Concrete subclasses must provide the two identity elements, the two
+    binary operations, membership testing, and (for l-semirings) the lattice
+    operations ``glb`` and ``lub`` induced by the natural order.
+    """
+
+    #: Short human-readable name, e.g. ``"N"`` or ``"B"``.
+    name: str = "K"
+
+    # -- identities --------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def zero(self) -> Any:
+        """The additive identity 0_K."""
+
+    @property
+    @abstractmethod
+    def one(self) -> Any:
+        """The multiplicative identity 1_K."""
+
+    # -- operations --------------------------------------------------------
+
+    @abstractmethod
+    def plus(self, a: Any, b: Any) -> Any:
+        """Semiring addition."""
+
+    @abstractmethod
+    def times(self, a: Any, b: Any) -> Any:
+        """Semiring multiplication."""
+
+    @abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Return True if ``value`` is an element of the semiring domain."""
+
+    # -- natural order and lattice ----------------------------------------
+
+    @abstractmethod
+    def leq(self, a: Any, b: Any) -> bool:
+        """Natural order: ``a <= b`` iff exists c with ``a + c == b``."""
+
+    @abstractmethod
+    def glb(self, a: Any, b: Any) -> Any:
+        """Greatest lower bound of ``a`` and ``b`` under the natural order."""
+
+    @abstractmethod
+    def lub(self, a: Any, b: Any) -> Any:
+        """Least upper bound of ``a`` and ``b`` under the natural order."""
+
+    # -- optional structure -------------------------------------------------
+
+    def monus(self, a: Any, b: Any) -> Any:
+        """Truncated difference ``a - b`` (the semiring monus), if defined.
+
+        Semirings with a monus support the ``Enc`` multiset encoding used by
+        the SQL implementation (Definition 8 in the paper).  The default
+        raises ``NotImplementedError``.
+        """
+        raise NotImplementedError(f"semiring {self.name} has no monus")
+
+    @property
+    def has_monus(self) -> bool:
+        """True if :meth:`monus` is implemented for this semiring."""
+        try:
+            self.monus(self.one, self.zero)
+        except NotImplementedError:
+            return False
+        return True
+
+    @property
+    def is_idempotent(self) -> bool:
+        """True if ``a + a == a`` for all elements (e.g. B, A, tropical)."""
+        return self.plus(self.one, self.one) == self.one
+
+    # -- derived helpers ----------------------------------------------------
+
+    def check(self, value: Any) -> Any:
+        """Validate that ``value`` is in the domain and return it."""
+        if not self.contains(value):
+            raise SemiringElementError(
+                f"{value!r} is not an element of semiring {self.name}"
+            )
+        return value
+
+    def sum(self, values: Iterable[Any]) -> Any:
+        """Fold semiring addition over ``values`` (0_K for empty input)."""
+        return reduce(self.plus, values, self.zero)
+
+    def product(self, values: Iterable[Any]) -> Any:
+        """Fold semiring multiplication over ``values`` (1_K for empty input)."""
+        return reduce(self.times, values, self.one)
+
+    def glb_all(self, values: Iterable[Any]) -> Any:
+        """GLB of a non-empty collection of elements.
+
+        This is the *certain annotation* operator ``cert_K`` of the paper
+        when applied to a tuple's annotations across all possible worlds.
+        """
+        values = list(values)
+        if not values:
+            raise ValueError("glb_all requires at least one element")
+        return reduce(self.glb, values)
+
+    def lub_all(self, values: Iterable[Any]) -> Any:
+        """LUB of a non-empty collection of elements (``poss_K``)."""
+        values = list(values)
+        if not values:
+            raise ValueError("lub_all requires at least one element")
+        return reduce(self.lub, values)
+
+    def is_zero(self, value: Any) -> bool:
+        """True if ``value`` equals the additive identity."""
+        return value == self.zero
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Semiring {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.name == getattr(other, "name", None)
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.name))
+
+
+class SemiringHomomorphism:
+    """A structure-preserving map ``h : K -> K'`` between semirings.
+
+    Homomorphisms map the identities to identities and distribute over the
+    semiring operations.  Because RA+ over K-relations is defined purely in
+    terms of the semiring operations, homomorphisms commute with queries
+    (Green et al.), a fact the paper exploits for ``pw_i``, ``h_cert`` and
+    ``h_det``.
+    """
+
+    def __init__(self, source: Semiring, target: Semiring,
+                 func: Callable[[Any], Any], name: str = "h") -> None:
+        self.source = source
+        self.target = target
+        self.func = func
+        self.name = name
+
+    def __call__(self, value: Any) -> Any:
+        return self.func(value)
+
+    def verify(self, samples: Iterable[Any]) -> bool:
+        """Check the homomorphism laws on all pairs drawn from ``samples``."""
+        return is_homomorphism(self.source, self.target, self.func, samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Homomorphism {self.name}: {self.source.name} -> {self.target.name}>"
+
+
+def is_homomorphism(source: Semiring, target: Semiring,
+                    func: Callable[[Any], Any], samples: Iterable[Any]) -> bool:
+    """Test whether ``func`` behaves as a homomorphism on sample elements.
+
+    This cannot prove the property in general but is useful in tests and as a
+    sanity check for user-supplied mappings.
+    """
+    samples = list(samples)
+    if func(source.zero) != target.zero:
+        return False
+    if func(source.one) != target.one:
+        return False
+    for a in samples:
+        for b in samples:
+            if func(source.plus(a, b)) != target.plus(func(a), func(b)):
+                return False
+            if func(source.times(a, b)) != target.times(func(a), func(b)):
+                return False
+    return True

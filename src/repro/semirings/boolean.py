@@ -1,0 +1,54 @@
+"""The boolean semiring B = ({False, True}, or, and, False, True).
+
+B-relations encode classical set semantics: a tuple is annotated ``True`` iff
+it is a member of the relation.  The natural order is ``False < True``, the
+GLB is conjunction and the LUB is disjunction, so the certain annotation of a
+tuple across possible worlds is exactly the classical "appears in every
+world" definition of certain answers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.semirings.base import Semiring
+
+
+class BooleanSemiring(Semiring):
+    """Set semantics: annotations are Python booleans."""
+
+    name = "B"
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def plus(self, a: bool, b: bool) -> bool:
+        return bool(a) or bool(b)
+
+    def times(self, a: bool, b: bool) -> bool:
+        return bool(a) and bool(b)
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+    def leq(self, a: bool, b: bool) -> bool:
+        return (not a) or b
+
+    def glb(self, a: bool, b: bool) -> bool:
+        return bool(a) and bool(b)
+
+    def lub(self, a: bool, b: bool) -> bool:
+        return bool(a) or bool(b)
+
+    def monus(self, a: bool, b: bool) -> bool:
+        # Truncated difference: True - True = False, True - False = True.
+        return bool(a) and not bool(b)
+
+
+#: Shared singleton instance of the boolean semiring.
+BOOLEAN = BooleanSemiring()

@@ -1,0 +1,55 @@
+"""The fuzzy / Viterbi semiring ([0, 1], max, *, 0, 1).
+
+Annotations are confidence scores in the unit interval: union keeps the most
+confident derivation, joins multiply confidences.  The semiring is an
+l-semiring (it is totally ordered), so UA-DBs can carry lower and upper
+bounds on a tuple's certain confidence across possible worlds -- one of the
+"semirings beyond sets and bags" the paper's conclusion proposes to explore.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.semirings.base import Semiring
+
+
+class FuzzySemiring(Semiring):
+    """Confidence scores in [0, 1] with max as addition and * as product."""
+
+    name = "V"
+
+    @property
+    def zero(self) -> float:
+        return 0.0
+
+    @property
+    def one(self) -> float:
+        return 1.0
+
+    def plus(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def times(self, a: float, b: float) -> float:
+        return a * b
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and 0.0 <= float(value) <= 1.0
+        )
+
+    def leq(self, a: float, b: float) -> bool:
+        # max-based addition makes the natural order the usual order on [0,1].
+        return a <= b
+
+    def glb(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def lub(self, a: float, b: float) -> float:
+        return max(a, b)
+
+
+#: Shared singleton instance of the fuzzy semiring.
+FUZZY = FuzzySemiring()

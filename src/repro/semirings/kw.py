@@ -1,0 +1,114 @@
+"""The possible-world semiring K^W (Definition 2 of the paper).
+
+A K^W element is a vector whose i-th component is a tuple's K-annotation in
+possible world i.  Operations are applied component-wise.  ``cert`` (the GLB
+across components) and ``poss`` (the LUB) compute certain and possible
+annotations; ``pw(i)`` extracts one possible world and is a semiring
+homomorphism (Lemma 1), so it commutes with RA+ queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.semirings.base import Semiring, SemiringHomomorphism
+
+
+class PossibleWorldSemiring(Semiring):
+    """K^W: vectors of K-annotations, one component per possible world."""
+
+    def __init__(self, base: Semiring, num_worlds: int) -> None:
+        if num_worlds < 1:
+            raise ValueError("a possible-world semiring needs at least one world")
+        self.base = base
+        self.num_worlds = num_worlds
+        self.name = f"{base.name}^{num_worlds}"
+
+    # -- identities --------------------------------------------------------
+
+    @property
+    def zero(self) -> Tuple[Any, ...]:
+        return tuple(self.base.zero for _ in range(self.num_worlds))
+
+    @property
+    def one(self) -> Tuple[Any, ...]:
+        return tuple(self.base.one for _ in range(self.num_worlds))
+
+    # -- helpers -----------------------------------------------------------
+
+    def vector(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        """Build (and validate) an annotation vector from per-world values."""
+        values = tuple(values)
+        if len(values) != self.num_worlds:
+            raise ValueError(
+                f"expected {self.num_worlds} per-world annotations, got {len(values)}"
+            )
+        for value in values:
+            self.base.check(value)
+        return values
+
+    def constant(self, value: Any) -> Tuple[Any, ...]:
+        """Annotation vector with the same value in every world."""
+        self.base.check(value)
+        return tuple(value for _ in range(self.num_worlds))
+
+    def _check(self, value: Tuple[Any, ...]) -> None:
+        if len(value) != self.num_worlds:
+            raise ValueError(
+                f"annotation vector of length {len(value)} does not match "
+                f"{self.num_worlds} possible worlds"
+            )
+
+    # -- semiring operations ------------------------------------------------
+
+    def plus(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        self._check(a)
+        self._check(b)
+        return tuple(self.base.plus(x, y) for x, y in zip(a, b))
+
+    def times(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        self._check(a)
+        self._check(b)
+        return tuple(self.base.times(x, y) for x, y in zip(a, b))
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, tuple)
+            and len(value) == self.num_worlds
+            and all(self.base.contains(v) for v in value)
+        )
+
+    def leq(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> bool:
+        self._check(a)
+        self._check(b)
+        return all(self.base.leq(x, y) for x, y in zip(a, b))
+
+    def glb(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        self._check(a)
+        self._check(b)
+        return tuple(self.base.glb(x, y) for x, y in zip(a, b))
+
+    def lub(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        self._check(a)
+        self._check(b)
+        return tuple(self.base.lub(x, y) for x, y in zip(a, b))
+
+    # -- UA-DB specific operations -------------------------------------------
+
+    def cert(self, vector: Tuple[Any, ...]) -> Any:
+        """Certain annotation: GLB of the vector's components (``cert_K``)."""
+        self._check(vector)
+        return self.base.glb_all(vector)
+
+    def poss(self, vector: Tuple[Any, ...]) -> Any:
+        """Possible annotation: LUB of the vector's components (``poss_K``)."""
+        self._check(vector)
+        return self.base.lub_all(vector)
+
+    def pw(self, world: int) -> SemiringHomomorphism:
+        """Projection homomorphism ``pw_i`` onto possible world ``world``."""
+        if not 0 <= world < self.num_worlds:
+            raise IndexError(f"world {world} out of range (0..{self.num_worlds - 1})")
+        return SemiringHomomorphism(
+            self, self.base, lambda vector: vector[world], name=f"pw_{world}"
+        )

@@ -1,0 +1,54 @@
+"""The natural number semiring N = (N, +, *, 0, 1).
+
+N-relations encode bag (multiset) semantics: a tuple is annotated with its
+multiplicity.  The natural order is the usual order on the naturals, the GLB
+is ``min`` and the LUB is ``max``, so the certain multiplicity of a tuple is
+the minimum of its multiplicities across possible worlds -- matching the bag
+certain answers of Guagliardo and Libkin.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.semirings.base import Semiring
+
+
+class NaturalSemiring(Semiring):
+    """Bag semantics: annotations are non-negative Python ints."""
+
+    name = "N"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def plus(self, a: int, b: int) -> int:
+        return a + b
+
+    def times(self, a: int, b: int) -> int:
+        return a * b
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+    def leq(self, a: int, b: int) -> bool:
+        return a <= b
+
+    def glb(self, a: int, b: int) -> int:
+        return min(a, b)
+
+    def lub(self, a: int, b: int) -> int:
+        return max(a, b)
+
+    def monus(self, a: int, b: int) -> int:
+        # Truncated subtraction keeps the result inside N.
+        return max(a - b, 0)
+
+
+#: Shared singleton instance of the bag semiring.
+NATURAL = NaturalSemiring()

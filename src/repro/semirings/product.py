@@ -1,0 +1,94 @@
+"""Direct products of semirings.
+
+The direct product ``K1 x K2`` operates component-wise and is itself a
+semiring (products of semirings are semirings).  Both the possible-world
+semiring K^W and the UA-semiring K^2 are instances of (iterated) products.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.semirings.base import Semiring
+
+
+class ProductSemiring(Semiring):
+    """The direct product of an arbitrary, fixed sequence of semirings.
+
+    Elements are tuples whose i-th component lives in the i-th factor.  All
+    operations are applied component-wise.  If every factor is an l-semiring,
+    the product is an l-semiring with component-wise GLB/LUB.
+    """
+
+    def __init__(self, factors: Sequence[Semiring], name: str | None = None) -> None:
+        if not factors:
+            raise ValueError("a product semiring needs at least one factor")
+        self.factors: Tuple[Semiring, ...] = tuple(factors)
+        self.name = name or " x ".join(factor.name for factor in self.factors)
+
+    @property
+    def arity(self) -> int:
+        """Number of factors in the product."""
+        return len(self.factors)
+
+    @property
+    def zero(self) -> Tuple[Any, ...]:
+        return tuple(factor.zero for factor in self.factors)
+
+    @property
+    def one(self) -> Tuple[Any, ...]:
+        return tuple(factor.one for factor in self.factors)
+
+    def _check_arity(self, value: Tuple[Any, ...]) -> None:
+        if len(value) != self.arity:
+            raise ValueError(
+                f"expected a {self.arity}-tuple for semiring {self.name}, got {value!r}"
+            )
+
+    def plus(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        self._check_arity(a)
+        self._check_arity(b)
+        return tuple(f.plus(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def times(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        self._check_arity(a)
+        self._check_arity(b)
+        return tuple(f.times(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, tuple)
+            and len(value) == self.arity
+            and all(f.contains(v) for f, v in zip(self.factors, value))
+        )
+
+    def leq(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> bool:
+        self._check_arity(a)
+        self._check_arity(b)
+        return all(f.leq(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def glb(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        self._check_arity(a)
+        self._check_arity(b)
+        return tuple(f.glb(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def lub(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        self._check_arity(a)
+        self._check_arity(b)
+        return tuple(f.lub(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def monus(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        self._check_arity(a)
+        self._check_arity(b)
+        return tuple(f.monus(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def project(self, index: int):
+        """Return the projection homomorphism onto the ``index``-th factor."""
+        from repro.semirings.base import SemiringHomomorphism
+
+        if not 0 <= index < self.arity:
+            raise IndexError(f"factor index {index} out of range for {self.name}")
+        return SemiringHomomorphism(
+            self, self.factors[index], lambda value: value[index],
+            name=f"pi_{index}",
+        )

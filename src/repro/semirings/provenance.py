@@ -1,0 +1,405 @@
+"""Provenance semirings: N[X] polynomials, Why(X) witnesses and Lineage.
+
+Green et al. introduced the provenance polynomial semiring ``N[X]`` as the
+*universal* commutative semiring over a set of variables X: any other
+annotation semantics is obtained by evaluating the polynomial under a
+valuation of the variables.  The UA-DB paper's framework is built on the same
+K-relation machinery, and its conclusions call out "uncertain versions of
+semirings beyond sets and bags" as future work.  This module provides three
+classic provenance semirings, all of which are l-semirings and can therefore
+carry UA-DB style certain-annotation bounds:
+
+* :class:`PolynomialSemiring` -- provenance polynomials ``N[X]``.  The natural
+  order is coefficient-wise, so GLB/LUB are the monomial-wise min/max of
+  coefficients and the semiring has a monus (truncated coefficient
+  subtraction).
+* :class:`WhySemiring` -- why-provenance ``Why(X)``: sets of witnesses (sets
+  of variables).  Both operations are idempotent; the natural order is set
+  inclusion.
+* :class:`LineageSemiring` -- lineage ``Lin(X)``: the set of all contributing
+  variables, with a distinguished bottom element for "no derivation".
+
+Variables are plain strings (typically tuple identifiers).  Polynomials are
+kept in a canonical sorted form so equality, hashing and ordering behave like
+the mathematical objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.semirings.base import Semiring, SemiringHomomorphism
+
+#: A monomial maps variable names to positive integer exponents.  It is stored
+#: as a sorted tuple of ``(variable, exponent)`` pairs so it can be hashed.
+Monomial = Tuple[Tuple[str, int], ...]
+
+#: The empty monomial (the constant term).
+UNIT_MONOMIAL: Monomial = ()
+
+
+def _normalize_monomial(powers: Mapping[str, int]) -> Monomial:
+    """Canonical sorted form of a variable-to-exponent mapping."""
+    items = [(var, exp) for var, exp in powers.items() if exp > 0]
+    items.sort()
+    return tuple(items)
+
+
+def _multiply_monomials(left: Monomial, right: Monomial) -> Monomial:
+    """Product of two monomials (exponents add)."""
+    powers: Dict[str, int] = dict(left)
+    for var, exp in right:
+        powers[var] = powers.get(var, 0) + exp
+    return _normalize_monomial(powers)
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A provenance polynomial: a finite map from monomials to N coefficients.
+
+    Instances are immutable and canonical: zero coefficients are dropped and
+    the term order is fixed, so two equal polynomials compare and hash equal.
+    """
+
+    terms: Tuple[Tuple[Monomial, int], ...]
+
+    def __init__(self, terms: Mapping[Monomial, int] | Iterable[Tuple[Monomial, int]] = ()) -> None:
+        collected: Dict[Monomial, int] = {}
+        items = terms.items() if isinstance(terms, Mapping) else terms
+        for monomial, coefficient in items:
+            if coefficient < 0:
+                raise ValueError("N[X] coefficients must be non-negative")
+            if coefficient == 0:
+                continue
+            key = _normalize_monomial(dict(monomial))
+            collected[key] = collected.get(key, 0) + coefficient
+        canonical = tuple(sorted(collected.items()))
+        object.__setattr__(self, "terms", canonical)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The zero polynomial."""
+        return cls()
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """The constant polynomial 1."""
+        return cls({UNIT_MONOMIAL: 1})
+
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        """A constant polynomial ``value``."""
+        if value < 0:
+            raise ValueError("N[X] constants must be non-negative")
+        return cls({UNIT_MONOMIAL: value} if value else {})
+
+    @classmethod
+    def variable(cls, name: str, exponent: int = 1, coefficient: int = 1) -> "Polynomial":
+        """The polynomial ``coefficient * name^exponent``."""
+        if exponent <= 0:
+            raise ValueError("variable exponent must be positive")
+        return cls({((name, exponent),): coefficient})
+
+    # -- inspection -----------------------------------------------------------
+
+    def coefficient(self, monomial: Monomial) -> int:
+        """The coefficient of ``monomial`` (0 if absent)."""
+        key = _normalize_monomial(dict(monomial))
+        for mono, coeff in self.terms:
+            if mono == key:
+                return coeff
+        return 0
+
+    def variables(self) -> FrozenSet[str]:
+        """All variables mentioned by the polynomial."""
+        return frozenset(var for mono, _ in self.terms for var, _ in mono)
+
+    def monomials(self) -> Tuple[Monomial, ...]:
+        """The monomials with non-zero coefficients."""
+        return tuple(mono for mono, _ in self.terms)
+
+    def is_zero(self) -> bool:
+        """True for the zero polynomial."""
+        return not self.terms
+
+    def degree(self) -> int:
+        """Total degree (0 for constants and the zero polynomial)."""
+        if not self.terms:
+            return 0
+        return max(sum(exp for _, exp in mono) for mono, _ in self.terms)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        combined: Dict[Monomial, int] = dict(self.terms)
+        for mono, coeff in other.terms:
+            combined[mono] = combined.get(mono, 0) + coeff
+        return Polynomial(combined)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        combined: Dict[Monomial, int] = {}
+        for left_mono, left_coeff in self.terms:
+            for right_mono, right_coeff in other.terms:
+                mono = _multiply_monomials(left_mono, right_mono)
+                combined[mono] = combined.get(mono, 0) + left_coeff * right_coeff
+        return Polynomial(combined)
+
+    def pointwise_min(self, other: "Polynomial") -> "Polynomial":
+        """Monomial-wise minimum of coefficients (the N[X] GLB)."""
+        monomials = {mono for mono, _ in self.terms} & {mono for mono, _ in other.terms}
+        return Polynomial({
+            mono: min(self.coefficient(mono), other.coefficient(mono))
+            for mono in monomials
+        })
+
+    def pointwise_max(self, other: "Polynomial") -> "Polynomial":
+        """Monomial-wise maximum of coefficients (the N[X] LUB)."""
+        monomials = {mono for mono, _ in self.terms} | {mono for mono, _ in other.terms}
+        return Polynomial({
+            mono: max(self.coefficient(mono), other.coefficient(mono))
+            for mono in monomials
+        })
+
+    def monus(self, other: "Polynomial") -> "Polynomial":
+        """Monomial-wise truncated subtraction."""
+        return Polynomial({
+            mono: max(coeff - other.coefficient(mono), 0)
+            for mono, coeff in self.terms
+        })
+
+    def leq(self, other: "Polynomial") -> bool:
+        """Natural order: coefficient-wise less-or-equal."""
+        return all(coeff <= other.coefficient(mono) for mono, coeff in self.terms)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, valuation: Mapping[str, Any], semiring: Semiring) -> Any:
+        """Evaluate the polynomial in ``semiring`` under ``valuation``.
+
+        This is the universality property of N[X]: substituting semiring
+        values for the variables and interpreting + and * in the target
+        semiring yields the annotation the query would have computed there
+        directly.  Missing variables default to the target's 1.
+        """
+        total = semiring.zero
+        for monomial, coefficient in self.terms:
+            product = semiring.one
+            for variable, exponent in monomial:
+                value = valuation.get(variable, semiring.one)
+                for _ in range(exponent):
+                    product = semiring.times(product, value)
+            term = semiring.zero
+            for _ in range(coefficient):
+                term = semiring.plus(term, product)
+            total = semiring.plus(total, term)
+        return total
+
+    def to_why(self) -> FrozenSet[FrozenSet[str]]:
+        """Specialize to why-provenance (drop exponents and coefficients)."""
+        return frozenset(
+            frozenset(var for var, _ in monomial) for monomial, _ in self.terms
+        )
+
+    def to_lineage(self) -> Optional[FrozenSet[str]]:
+        """Specialize to lineage (the set of all contributing variables)."""
+        if self.is_zero():
+            return None
+        return self.variables()
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for monomial, coefficient in self.terms:
+            factors = [
+                var if exp == 1 else f"{var}^{exp}" for var, exp in monomial
+            ]
+            if not factors:
+                parts.append(str(coefficient))
+            elif coefficient == 1:
+                parts.append("*".join(factors))
+            else:
+                parts.append(f"{coefficient}*" + "*".join(factors))
+        return " + ".join(parts)
+
+
+class PolynomialSemiring(Semiring):
+    """Provenance polynomials N[X] (the universal commutative semiring).
+
+    The natural order compares coefficients monomial-wise, which makes N[X]
+    an l-semiring: GLB and LUB are the monomial-wise min and max.  The
+    semiring also has a monus, so N[X]-annotated UA-DBs support the ``Enc``
+    encoding.
+    """
+
+    name = "N[X]"
+
+    @property
+    def zero(self) -> Polynomial:
+        return Polynomial.zero()
+
+    @property
+    def one(self) -> Polynomial:
+        return Polynomial.one()
+
+    def plus(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a + b
+
+    def times(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a * b
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, Polynomial)
+
+    def leq(self, a: Polynomial, b: Polynomial) -> bool:
+        return a.leq(b)
+
+    def glb(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a.pointwise_min(b)
+
+    def lub(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a.pointwise_max(b)
+
+    def monus(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a.monus(b)
+
+    # -- homomorphisms ---------------------------------------------------------
+
+    def evaluation_homomorphism(self, valuation: Mapping[str, Any],
+                                target: Semiring) -> SemiringHomomorphism:
+        """The homomorphism N[X] -> target induced by ``valuation``."""
+        return SemiringHomomorphism(
+            self, target,
+            lambda polynomial: polynomial.evaluate(valuation, target),
+            name=f"eval->{target.name}",
+        )
+
+    def why_homomorphism(self) -> SemiringHomomorphism:
+        """The specialization homomorphism N[X] -> Why(X)."""
+        return SemiringHomomorphism(self, WHY, lambda p: p.to_why(), name="to_why")
+
+    def lineage_homomorphism(self) -> SemiringHomomorphism:
+        """The specialization homomorphism N[X] -> Lin(X)."""
+        return SemiringHomomorphism(self, LINEAGE, lambda p: p.to_lineage(), name="to_lineage")
+
+
+class WhySemiring(Semiring):
+    """Why-provenance Why(X): finite sets of witnesses (sets of variables).
+
+    Addition is union of witness sets, multiplication combines every witness
+    of one side with every witness of the other.  Both operations are
+    idempotent; the natural order is set inclusion, so GLB/LUB are
+    intersection/union.
+    """
+
+    name = "Why(X)"
+
+    @property
+    def zero(self) -> FrozenSet[FrozenSet[str]]:
+        return frozenset()
+
+    @property
+    def one(self) -> FrozenSet[FrozenSet[str]]:
+        return frozenset({frozenset()})
+
+    @staticmethod
+    def witness(*variables: str) -> FrozenSet[FrozenSet[str]]:
+        """A singleton witness set containing the given variables."""
+        return frozenset({frozenset(variables)})
+
+    def plus(self, a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        return a | b
+
+    def times(self, a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        return frozenset(left | right for left in a for right in b)
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, frozenset) and all(
+            isinstance(witness, frozenset) for witness in value
+        )
+
+    def leq(self, a: FrozenSet, b: FrozenSet) -> bool:
+        return a <= b
+
+    def glb(self, a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        return a & b
+
+    def lub(self, a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        return a | b
+
+    def monus(self, a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        return a - b
+
+
+#: Sentinel for the Lineage semiring's bottom element ("no derivation").
+LINEAGE_BOTTOM = None
+
+
+class LineageSemiring(Semiring):
+    """Lineage Lin(X): the set of all variables contributing to a tuple.
+
+    The domain is ``{BOTTOM} ∪ P(X)``: the bottom element means the tuple has
+    no derivation (it is the additive identity and annihilates products),
+    while the empty set is the multiplicative identity (derived from no
+    source tuples).  Both operations take unions of contributing variables.
+    """
+
+    name = "Lin(X)"
+
+    @property
+    def zero(self) -> Optional[FrozenSet[str]]:
+        return LINEAGE_BOTTOM
+
+    @property
+    def one(self) -> FrozenSet[str]:
+        return frozenset()
+
+    @staticmethod
+    def of(*variables: str) -> FrozenSet[str]:
+        """The lineage consisting of the given variables."""
+        return frozenset(variables)
+
+    def plus(self, a: Optional[FrozenSet], b: Optional[FrozenSet]) -> Optional[FrozenSet]:
+        if a is LINEAGE_BOTTOM:
+            return b
+        if b is LINEAGE_BOTTOM:
+            return a
+        return a | b
+
+    def times(self, a: Optional[FrozenSet], b: Optional[FrozenSet]) -> Optional[FrozenSet]:
+        if a is LINEAGE_BOTTOM or b is LINEAGE_BOTTOM:
+            return LINEAGE_BOTTOM
+        return a | b
+
+    def contains(self, value: Any) -> bool:
+        if value is LINEAGE_BOTTOM:
+            return True
+        return isinstance(value, frozenset) and all(isinstance(v, str) for v in value)
+
+    def leq(self, a: Optional[FrozenSet], b: Optional[FrozenSet]) -> bool:
+        if a is LINEAGE_BOTTOM:
+            return True
+        if b is LINEAGE_BOTTOM:
+            return False
+        return a <= b
+
+    def glb(self, a: Optional[FrozenSet], b: Optional[FrozenSet]) -> Optional[FrozenSet]:
+        if a is LINEAGE_BOTTOM or b is LINEAGE_BOTTOM:
+            return LINEAGE_BOTTOM
+        return a & b
+
+    def lub(self, a: Optional[FrozenSet], b: Optional[FrozenSet]) -> Optional[FrozenSet]:
+        if a is LINEAGE_BOTTOM:
+            return b
+        if b is LINEAGE_BOTTOM:
+            return a
+        return a | b
+
+
+#: Shared singleton instances.
+POLYNOMIAL = PolynomialSemiring()
+WHY = WhySemiring()
+LINEAGE = LineageSemiring()

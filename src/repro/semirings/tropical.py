@@ -1,0 +1,96 @@
+"""Tropical (min-plus and max-min) semirings.
+
+These are not used directly by the paper's experiments, but they are
+l-semirings and serve both as additional generality tests for the framework
+and as examples of cost-based annotation (e.g. minimal access cost).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.semirings.base import Semiring
+
+
+class MinTropicalSemiring(Semiring):
+    """Min-plus semiring over non-negative reals extended with infinity.
+
+    Addition is ``min``, multiplication is ``+``, zero is ``+inf`` and one is
+    ``0.0``.  The natural order is the *reverse* numeric order (smaller cost
+    is "larger" in the semiring sense because ``min(a, b)`` reaches it).
+    """
+
+    name = "Trop-min"
+
+    @property
+    def zero(self) -> float:
+        return math.inf
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def plus(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def times(self, a: float, b: float) -> float:
+        return a + b
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool) and value >= 0
+
+    def leq(self, a: float, b: float) -> bool:
+        # a <= b iff exists c with min(a, c) == b, i.e. b <= a numerically.
+        return b <= a
+
+    def glb(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def lub(self, a: float, b: float) -> float:
+        return min(a, b)
+
+
+class MaxTropicalSemiring(Semiring):
+    """Max-min (bottleneck) semiring over ``[0, 1]``.
+
+    Addition is ``max``, multiplication is ``min``; useful for annotating
+    tuples with confidence scores.  Idempotent, hence an l-semiring with the
+    numeric order as natural order.
+    """
+
+    name = "Trop-max"
+
+    @property
+    def zero(self) -> float:
+        return 0.0
+
+    @property
+    def one(self) -> float:
+        return 1.0
+
+    def plus(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def times(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool) and 0 <= value <= 1
+
+    def leq(self, a: float, b: float) -> bool:
+        return a <= b
+
+    def glb(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def lub(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def monus(self, a: float, b: float) -> float:
+        return a if b < a else 0.0
+
+
+#: Shared singletons.
+MIN_TROPICAL = MinTropicalSemiring()
+MAX_TROPICAL = MaxTropicalSemiring()

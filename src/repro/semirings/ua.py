@@ -1,0 +1,144 @@
+"""The UA-semiring K_UA = K x K (Definition 3 of the paper).
+
+A UA annotation is a pair ``[c, d]`` where ``d`` is a tuple's annotation in
+the designated best-guess world and ``c`` is an under-approximation of its
+certain annotation, so ``c <=_K cert_K <=_K d``.  The semiring operates
+pointwise; ``h_cert`` and ``h_det`` are the two projection homomorphisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.semirings.base import Semiring, SemiringHomomorphism
+
+
+@dataclass(frozen=True)
+class UAAnnotation:
+    """A pair ``[certain, determinized]`` of K-elements annotating one tuple.
+
+    ``certain`` under-approximates the tuple's certain annotation;
+    ``determinized`` is the annotation in the best-guess world.
+    """
+
+    certain: Any
+    determinized: Any
+
+    def __iter__(self) -> Iterator[Any]:
+        yield self.certain
+        yield self.determinized
+
+    def __getitem__(self, index: int) -> Any:
+        return (self.certain, self.determinized)[index]
+
+    def as_tuple(self) -> tuple:
+        """Return the annotation as a plain ``(certain, determinized)`` tuple."""
+        return (self.certain, self.determinized)
+
+    def __repr__(self) -> str:
+        return f"[{self.certain!r}, {self.determinized!r}]"
+
+
+class UASemiring(Semiring):
+    """K^2 with pairs stored as :class:`UAAnnotation` objects."""
+
+    def __init__(self, base: Semiring) -> None:
+        self.base = base
+        self.name = f"{base.name}_UA"
+
+    # -- construction -------------------------------------------------------
+
+    def annotation(self, certain: Any, determinized: Any) -> UAAnnotation:
+        """Build (and validate) a UA annotation ``[certain, determinized]``.
+
+        Raises ``ValueError`` if the pair violates the bound invariant
+        ``certain <=_K determinized`` -- such a pair could never sandwich the
+        certain annotation.
+        """
+        self.base.check(certain)
+        self.base.check(determinized)
+        if not self.base.leq(certain, determinized):
+            raise ValueError(
+                f"UA annotation invariant violated: {certain!r} is not <= "
+                f"{determinized!r} in {self.base.name}"
+            )
+        return UAAnnotation(certain, determinized)
+
+    def certain_annotation(self, value: Any) -> UAAnnotation:
+        """Annotation of a tuple known to be certain with annotation ``value``."""
+        return self.annotation(value, value)
+
+    def uncertain_annotation(self, value: Any) -> UAAnnotation:
+        """Annotation of a best-guess tuple with no certainty information."""
+        return self.annotation(self.base.zero, value)
+
+    # -- identities ----------------------------------------------------------
+
+    @property
+    def zero(self) -> UAAnnotation:
+        return UAAnnotation(self.base.zero, self.base.zero)
+
+    @property
+    def one(self) -> UAAnnotation:
+        return UAAnnotation(self.base.one, self.base.one)
+
+    # -- operations ----------------------------------------------------------
+
+    def plus(self, a: UAAnnotation, b: UAAnnotation) -> UAAnnotation:
+        return UAAnnotation(
+            self.base.plus(a.certain, b.certain),
+            self.base.plus(a.determinized, b.determinized),
+        )
+
+    def times(self, a: UAAnnotation, b: UAAnnotation) -> UAAnnotation:
+        return UAAnnotation(
+            self.base.times(a.certain, b.certain),
+            self.base.times(a.determinized, b.determinized),
+        )
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, UAAnnotation)
+            and self.base.contains(value.certain)
+            and self.base.contains(value.determinized)
+        )
+
+    def leq(self, a: UAAnnotation, b: UAAnnotation) -> bool:
+        return self.base.leq(a.certain, b.certain) and self.base.leq(
+            a.determinized, b.determinized
+        )
+
+    def glb(self, a: UAAnnotation, b: UAAnnotation) -> UAAnnotation:
+        return UAAnnotation(
+            self.base.glb(a.certain, b.certain),
+            self.base.glb(a.determinized, b.determinized),
+        )
+
+    def lub(self, a: UAAnnotation, b: UAAnnotation) -> UAAnnotation:
+        return UAAnnotation(
+            self.base.lub(a.certain, b.certain),
+            self.base.lub(a.determinized, b.determinized),
+        )
+
+    def monus(self, a: UAAnnotation, b: UAAnnotation) -> UAAnnotation:
+        return UAAnnotation(
+            self.base.monus(a.certain, b.certain),
+            self.base.monus(a.determinized, b.determinized),
+        )
+
+    # -- projections ----------------------------------------------------------
+
+    @property
+    def h_cert(self) -> SemiringHomomorphism:
+        """Homomorphism extracting the under-approximation component."""
+        return SemiringHomomorphism(
+            self, self.base, lambda pair: pair.certain, name="h_cert"
+        )
+
+    @property
+    def h_det(self) -> SemiringHomomorphism:
+        """Homomorphism extracting the best-guess-world component."""
+        return SemiringHomomorphism(
+            self, self.base, lambda pair: pair.determinized, name="h_det"
+        )

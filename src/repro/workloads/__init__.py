@@ -1,0 +1,67 @@
+"""Workload generators and queries used by the experimental evaluation.
+
+* :mod:`repro.workloads.pdbench` -- a PDBench-style uncertain TPC-H generator
+  (attribute-level uncertainty with up to 8 alternatives per uncertain cell),
+* :mod:`repro.workloads.tpch_queries` -- the three PDBench queries (analogues
+  of TPC-H Q3, Q6 and Q7),
+* :mod:`repro.workloads.imputation` -- missing-value imputation used to build
+  x-DBs from dirty data (the SparkML substitute),
+* :mod:`repro.workloads.realworld` -- synthetic stand-ins for the paper's
+  nine real-world open-data datasets (Figure 16),
+* :mod:`repro.workloads.real_queries` -- the five hand-written queries of
+  Section 11.3/11.4,
+* :mod:`repro.workloads.bidb` -- the BI-DB generator and the three MayBMS
+  probability queries (QP1-QP3),
+* :mod:`repro.workloads.ctable_gen` -- random C-tables and random query
+  chains for the Figure 10 experiment,
+* :mod:`repro.workloads.inconsistent` -- key-repair based inconsistent query
+  answering, one of the use cases the paper's introduction motivates.
+"""
+
+from repro.workloads.pdbench import PDBenchInstance, generate_pdbench
+from repro.workloads.tpch_queries import PDBENCH_QUERIES, pdbench_query
+from repro.workloads.imputation import (
+    MeanImputer, ModeImputer, HotDeckImputer, KNNImputer, impute_alternatives,
+)
+from repro.workloads.realworld import (
+    RealWorldDataset, DATASET_PROFILES, generate_dataset, generate_all_datasets,
+)
+from repro.workloads.real_queries import REAL_QUERIES, generate_city_database
+from repro.workloads.bidb import BIDBInstance, generate_bidb, QP_QUERIES
+from repro.workloads.ctable_gen import (
+    generate_random_ctable, generate_random_query_chain,
+)
+from repro.workloads.inconsistent import (
+    KeyConstraint, find_violations, is_consistent, repairs, repairs_as_xdb,
+    consistent_answers, uadb_for_repairs,
+)
+
+__all__ = [
+    "PDBenchInstance",
+    "generate_pdbench",
+    "PDBENCH_QUERIES",
+    "pdbench_query",
+    "MeanImputer",
+    "ModeImputer",
+    "HotDeckImputer",
+    "KNNImputer",
+    "impute_alternatives",
+    "RealWorldDataset",
+    "DATASET_PROFILES",
+    "generate_dataset",
+    "generate_all_datasets",
+    "REAL_QUERIES",
+    "generate_city_database",
+    "BIDBInstance",
+    "generate_bidb",
+    "QP_QUERIES",
+    "generate_random_ctable",
+    "generate_random_query_chain",
+    "KeyConstraint",
+    "find_violations",
+    "is_consistent",
+    "repairs",
+    "repairs_as_xdb",
+    "consistent_answers",
+    "uadb_for_repairs",
+]

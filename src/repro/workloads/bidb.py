@@ -1,0 +1,100 @@
+"""Block-independent database (BI-DB) generator and the QP probability queries.
+
+Figure 19 of the paper compares UA-DBs against MayBMS on a BI-DB (an x-DB
+with probabilities) derived from the Buffalo shootings dataset, varying the
+number of alternatives per block (2, 5, 10, 20).  The generator below builds
+a shootings-like table where every block (one incident) has the configured
+number of alternative (district, type) readings; the three QP queries mirror
+the paper's MayBMS queries:
+
+* ``QP1`` -- the probability of one specific incident,
+* ``QP2`` -- the probability of incidents in one district within an index range,
+* ``QP3`` -- a self-join pairing incidents with the same district and type as
+  a chosen incident.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.db.database import Database
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.semirings import NATURAL, Semiring
+from repro.incomplete.xdb import XDatabase
+
+SHOOTINGS_SCHEMA = RelationSchema("shootings", [
+    Attribute("index", DataType.INTEGER),
+    Attribute("district_shooting", DataType.STRING),
+    Attribute("type_shooting", DataType.STRING),
+])
+
+_DISTRICTS = ["BA", "BB", "BC", "BD", "BE", "BF"]
+_TYPES = ["Fatal", "Non-fatal", "Unknown"]
+
+
+@dataclass
+class BIDBInstance:
+    """A generated BI-DB plus the parameters used to build it."""
+
+    xdb: XDatabase
+    num_blocks: int
+    alternatives_per_block: int
+    #: The incident index used by QP1/QP3 (guaranteed to exist).
+    probe_index: int = 1
+
+
+#: SQL/RA shapes of the three probability queries of Figure 19.  MayBMS's
+#: ``conf()`` aggregate is computed by the baseline, so the queries here
+#: describe the tuple sets whose confidence is requested.
+QP_QUERIES: Dict[str, str] = {
+    "QP1": "SELECT index, district_shooting, type_shooting FROM shootings WHERE index = {probe}",
+    "QP2": ("SELECT district_shooting, index FROM shootings "
+            "WHERE index > 650 AND index < 2000 AND district_shooting = 'BD'"),
+    "QP3": ("SELECT x.index, y.index FROM shootings x, shootings y "
+            "WHERE x.district_shooting = y.district_shooting "
+            "AND x.type_shooting = y.type_shooting AND x.index = {probe}"),
+}
+
+
+def qp_query(name: str, probe_index: int = 1) -> str:
+    """SQL text of a QP query with the probe incident index substituted."""
+    return QP_QUERIES[name.upper()].format(probe=probe_index)
+
+
+def generate_bidb(num_blocks: int = 120, alternatives_per_block: int = 2,
+                  seed: int = 5) -> BIDBInstance:
+    """Generate a shootings-like BI-DB with the given block structure.
+
+    Every incident (block) has ``alternatives_per_block`` mutually exclusive
+    readings with probabilities summing to 1; roughly 30% of blocks are
+    certain (a single alternative) so the result contains certain answers to
+    misclassify or not.
+    """
+    if alternatives_per_block < 1:
+        raise ValueError("need at least one alternative per block")
+    rng = random.Random(seed)
+    xdb = XDatabase("shootings_bidb")
+    relation = xdb.create_relation(SHOOTINGS_SCHEMA)
+    for index in range(1, num_blocks + 1):
+        if alternatives_per_block == 1 or rng.random() < 0.3:
+            relation.add_certain((index, rng.choice(_DISTRICTS), rng.choice(_TYPES)))
+            continue
+        alternatives: List[Tuple] = []
+        while len(alternatives) < alternatives_per_block:
+            candidate = (index, rng.choice(_DISTRICTS), rng.choice(_TYPES))
+            if candidate not in alternatives:
+                alternatives.append(candidate)
+            if len(alternatives) == len(_DISTRICTS) * len(_TYPES):
+                break
+        weights = [rng.random() for _ in alternatives]
+        total = sum(weights)
+        probabilities = [w / total for w in weights]
+        relation.add_alternatives(alternatives, probabilities)
+    return BIDBInstance(
+        xdb=xdb,
+        num_blocks=num_blocks,
+        alternatives_per_block=alternatives_per_block,
+        probe_index=1,
+    )

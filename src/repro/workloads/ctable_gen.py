@@ -1,0 +1,96 @@
+"""Random C-tables and random query chains for the Figure 10 experiment.
+
+The paper builds a synthetic 8-attribute table where each tuple has half of
+its attributes replaced by variables, then measures the per-result-tuple cost
+of computing exact certain answers (local-condition construction + Z3
+tautology check) versus UA-DB evaluation, as a function of the number of
+operators in a randomly assembled query chain of selections, projections and
+self-joins.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.db import algebra
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.incomplete.conditions import ComparisonAtom, TrueCondition, Variable
+from repro.incomplete.ctable import CTable, CTableDatabase, CTupleSpec
+
+
+def generate_random_ctable(num_tuples: int = 20, num_attributes: int = 8,
+                           variable_fraction: float = 0.5, seed: int = 13,
+                           domain_size: int = 4,
+                           name: str = "synthetic") -> CTableDatabase:
+    """Build the Figure 10 C-table: half of each tuple's attributes are variables.
+
+    Every variable receives an explicit finite domain of ``domain_size``
+    floating point constants so tautology checking (and possible-world
+    enumeration in tests) is well defined.
+    """
+    rng = random.Random(seed)
+    schema = RelationSchema(
+        name, [Attribute(f"a{i}", DataType.FLOAT) for i in range(num_attributes)]
+    )
+    database = CTableDatabase(f"{name}_db")
+    ctable = database.create_relation(schema)
+    variables_per_tuple = max(1, int(num_attributes * variable_fraction))
+    for tuple_index in range(num_tuples):
+        positions = rng.sample(range(num_attributes), variables_per_tuple)
+        values: List = []
+        for position in range(num_attributes):
+            if position in positions:
+                variable = Variable(f"x_{tuple_index}_{position}")
+                domain = sorted(round(rng.uniform(0, 10), 1) for _ in range(domain_size))
+                database.set_domain(variable, domain)
+                values.append(variable)
+            else:
+                values.append(round(rng.uniform(0, 10), 1))
+        ctable.add(CTupleSpec(tuple(values), TrueCondition()))
+    return database
+
+
+def generate_random_query_chain(relation_name: str, num_operators: int,
+                                num_attributes: int = 8, seed: int = 17,
+                                max_joins: int = 1) -> algebra.Operator:
+    """Assemble a random chain of selections, projections and self-joins.
+
+    ``num_operators`` controls the length of the chain (the paper's x-axis,
+    "Complexity" 1-7).  Self-joins are capped (default one) to keep the
+    cross-product size manageable while still exercising condition growth.
+    """
+    rng = random.Random(seed)
+    plan: algebra.Operator = algebra.RelationRef(relation_name)
+    available = [f"a{i}" for i in range(num_attributes)]
+    joins_used = 0
+    for step in range(num_operators):
+        choices = ["selection", "projection"]
+        if joins_used < max_joins and len(available) >= 2:
+            choices.append("join")
+        operator = rng.choice(choices)
+        if operator == "selection":
+            attribute = rng.choice(available)
+            threshold = round(rng.uniform(2, 8), 1)
+            op = rng.choice(["<", "<=", ">", ">="])
+            plan = algebra.Selection(plan, Comparison(op, Column(attribute), Literal(threshold)))
+        elif operator == "projection":
+            keep = max(2, len(available) - rng.randrange(1, 3))
+            kept = rng.sample(available, keep)
+            # Preserve the original attribute order for readability.
+            kept = [a for a in available if a in kept]
+            plan = algebra.Projection(plan, tuple((Column(a), a) for a in kept))
+            available = kept
+        else:
+            joins_used += 1
+            right: algebra.Operator = algebra.Qualify(
+                algebra.RelationRef(relation_name), f"r{joins_used}"
+            )
+            left_attr = rng.choice(available)
+            right_attr = f"r{joins_used}.a{rng.randrange(num_attributes)}"
+            qualifier, name = right_attr.split(".")
+            predicate = Comparison("=", Column(left_attr), Column(name, qualifier=qualifier))
+            plan = algebra.Join(plan, right, predicate)
+            available = available + [right_attr]
+    return plan

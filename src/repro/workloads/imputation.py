@@ -1,0 +1,202 @@
+"""Missing-value imputation (the SparkML substitute).
+
+The paper cleans its real-world datasets with SparkML imputation and treats
+alternative imputations as a source of uncertainty.  This module provides
+several simple imputers producing candidate repairs per missing cell:
+
+* :class:`MeanImputer` / :class:`ModeImputer` -- a single statistical guess,
+* :class:`HotDeckImputer` -- values copied from random complete donor rows,
+* :class:`KNNImputer` -- values taken from the nearest complete rows under a
+  mixed numeric/categorical distance.
+
+:func:`impute_alternatives` combines imputers into an x-DB-style alternative
+set per dirty row, used by the real-world dataset generators and the
+Figure 18 utility experiment.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.db.schema import RelationSchema
+
+
+def _column_values(rows: Sequence[Sequence[Any]], index: int) -> List[Any]:
+    return [row[index] for row in rows if row[index] is not None]
+
+
+def _is_numeric_column(values: Sequence[Any]) -> bool:
+    return bool(values) and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+    )
+
+
+class MeanImputer:
+    """Impute numeric columns with the mean, categorical columns with the mode."""
+
+    def fit(self, rows: Sequence[Sequence[Any]], schema: RelationSchema) -> "MeanImputer":
+        """Learn per-column statistics from ``rows``."""
+        self.defaults: List[Any] = []
+        for index in range(schema.arity):
+            values = _column_values(rows, index)
+            if not values:
+                self.defaults.append(None)
+            elif _is_numeric_column(values):
+                mean = sum(values) / len(values)
+                self.defaults.append(round(mean, 4) if isinstance(values[0], float) else int(round(mean)))
+            else:
+                self.defaults.append(Counter(values).most_common(1)[0][0])
+        return self
+
+    def candidates(self, row: Sequence[Any], index: int) -> List[Any]:
+        """Candidate values for the missing cell ``row[index]``."""
+        default = self.defaults[index]
+        return [default] if default is not None else []
+
+
+class ModeImputer:
+    """Impute every column with its most frequent value."""
+
+    def fit(self, rows: Sequence[Sequence[Any]], schema: RelationSchema) -> "ModeImputer":
+        """Learn per-column modes from ``rows``."""
+        self.modes: List[Any] = []
+        for index in range(schema.arity):
+            values = _column_values(rows, index)
+            self.modes.append(Counter(values).most_common(1)[0][0] if values else None)
+        return self
+
+    def candidates(self, row: Sequence[Any], index: int) -> List[Any]:
+        """Candidate values for the missing cell ``row[index]``."""
+        mode = self.modes[index]
+        return [mode] if mode is not None else []
+
+
+class HotDeckImputer:
+    """Impute from randomly drawn complete donor rows."""
+
+    def __init__(self, num_donors: int = 2, seed: int = 0) -> None:
+        self.num_donors = num_donors
+        self.seed = seed
+
+    def fit(self, rows: Sequence[Sequence[Any]], schema: RelationSchema) -> "HotDeckImputer":
+        """Remember the donor pool (rows with no missing values)."""
+        self.rng = random.Random(self.seed)
+        self.donors = [row for row in rows if all(v is not None for v in row)]
+        self.all_rows = list(rows)
+        return self
+
+    def candidates(self, row: Sequence[Any], index: int) -> List[Any]:
+        """Values of column ``index`` from up to ``num_donors`` donor rows."""
+        pool = self.donors or [r for r in self.all_rows if r[index] is not None]
+        if not pool:
+            return []
+        donors = self.rng.sample(pool, min(self.num_donors, len(pool)))
+        values = []
+        for donor in donors:
+            if donor[index] is not None and donor[index] not in values:
+                values.append(donor[index])
+        return values
+
+
+class KNNImputer:
+    """Impute from the k nearest complete rows (mixed-type distance)."""
+
+    def __init__(self, k: int = 3) -> None:
+        self.k = k
+
+    def fit(self, rows: Sequence[Sequence[Any]], schema: RelationSchema) -> "KNNImputer":
+        """Remember complete rows and per-column value ranges for normalization."""
+        self.schema = schema
+        self.complete = [row for row in rows if all(v is not None for v in row)]
+        self.ranges: List[float] = []
+        for index in range(schema.arity):
+            values = _column_values(rows, index)
+            if _is_numeric_column(values) and values:
+                spread = max(values) - min(values)
+                self.ranges.append(spread if spread > 0 else 1.0)
+            else:
+                self.ranges.append(0.0)
+        return self
+
+    def _distance(self, left: Sequence[Any], right: Sequence[Any]) -> float:
+        total = 0.0
+        counted = 0
+        for index, (a, b) in enumerate(zip(left, right)):
+            if a is None or b is None:
+                continue
+            counted += 1
+            if self.ranges[index] > 0 and isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                total += abs(a - b) / self.ranges[index]
+            else:
+                total += 0.0 if a == b else 1.0
+        if counted == 0:
+            return math.inf
+        return total / counted
+
+    def candidates(self, row: Sequence[Any], index: int) -> List[Any]:
+        """Values of column ``index`` among the k nearest complete rows."""
+        if not self.complete:
+            return []
+        neighbours = sorted(self.complete, key=lambda donor: self._distance(row, donor))
+        values: List[Any] = []
+        for donor in neighbours[: self.k]:
+            if donor[index] is not None and donor[index] not in values:
+                values.append(donor[index])
+        return values
+
+
+DEFAULT_IMPUTERS = (MeanImputer, HotDeckImputer)
+
+
+def impute_alternatives(rows: Sequence[Sequence[Any]], schema: RelationSchema,
+                        imputers: Optional[Sequence] = None,
+                        max_alternatives: int = 4,
+                        seed: int = 0) -> List[List[Tuple[Any, ...]]]:
+    """Produce per-row alternative repairs for rows with missing values.
+
+    Returns one list of alternatives per input row.  Rows without missing
+    values yield a single alternative (themselves); dirty rows yield up to
+    ``max_alternatives`` repairs combining the candidates proposed by the
+    imputers, the first repair being the "primary" (best-guess) imputation.
+    """
+    if imputers is None:
+        fitted = [MeanImputer().fit(rows, schema), HotDeckImputer(seed=seed).fit(rows, schema)]
+    else:
+        fitted = [imputer.fit(rows, schema) for imputer in imputers]
+    result: List[List[Tuple[Any, ...]]] = []
+    for row in rows:
+        missing = [index for index, value in enumerate(row) if value is None]
+        if not missing:
+            result.append([tuple(row)])
+            continue
+        # Per-cell candidate lists, first candidate from the primary imputer.
+        cell_candidates: List[List[Any]] = []
+        for index in missing:
+            candidates: List[Any] = []
+            for imputer in fitted:
+                for value in imputer.candidates(row, index):
+                    if value not in candidates:
+                        candidates.append(value)
+            if not candidates:
+                candidates = [0]
+            cell_candidates.append(candidates)
+        alternatives: List[Tuple[Any, ...]] = []
+        # Enumerate combinations breadth-first so the primary imputation
+        # (first candidate everywhere) comes first.
+        indices = [0] * len(missing)
+        import itertools as _itertools
+
+        for combination in _itertools.product(*cell_candidates):
+            repaired = list(row)
+            for position, value in zip(missing, combination):
+                repaired[position] = value
+            candidate = tuple(repaired)
+            if candidate not in alternatives:
+                alternatives.append(candidate)
+            if len(alternatives) >= max_alternatives:
+                break
+        result.append(alternatives)
+    return result

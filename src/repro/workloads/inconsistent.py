@@ -1,0 +1,144 @@
+"""Inconsistent query answering via key repairs, as a UA-DB use case.
+
+The paper notes that UA-DBs apply to "use cases like inconsistent query
+answering where possible worlds are defined declaratively (e.g., all repairs
+of an inconsistent database)".  This module provides that declarative
+definition for the most common constraint class, primary keys:
+
+* a database violating a key constraint has several *repairs*, each obtained
+  by keeping exactly one row from every group of rows that agree on the key,
+* the set of repairs is the set of possible worlds; the *consistent answers*
+  to a query are its certain answers over those worlds (Arenas et al.),
+* because the rows of different key groups can be repaired independently, the
+  repairs are exactly the possible worlds of an x-DB whose x-tuples are the
+  key groups -- so the paper's x-DB labeling scheme applies unchanged and a
+  UA-DB built from it under-approximates the consistent answers while still
+  returning a full best-guess repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.relation import KRelation, Row
+from repro.db.schema import SchemaError
+from repro.semirings import BOOLEAN, Semiring
+from repro.incomplete.worlds import IncompleteDatabase
+from repro.incomplete.xdb import XDatabase, XTuple
+from repro.core.uadb import UADatabase
+
+
+@dataclass(frozen=True)
+class KeyConstraint:
+    """A primary-key constraint: ``key_attributes`` determine the whole row."""
+
+    relation: str
+    key_attributes: Tuple[str, ...]
+
+    def __init__(self, relation: str, key_attributes: Sequence[str]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "key_attributes", tuple(key_attributes))
+
+    def key_of(self, relation: KRelation, row: Sequence) -> Tuple:
+        """Project ``row`` onto the key attributes."""
+        indexes = [relation.schema.index_of(name) for name in self.key_attributes]
+        return tuple(row[index] for index in indexes)
+
+
+def find_violations(relation: KRelation,
+                    constraint: KeyConstraint) -> Dict[Tuple, List[Row]]:
+    """Key groups with more than one row (the conflicts to repair)."""
+    groups: Dict[Tuple, List[Row]] = {}
+    for row in relation.rows():
+        groups.setdefault(constraint.key_of(relation, row), []).append(row)
+    return {key: rows for key, rows in groups.items() if len(rows) > 1}
+
+
+def is_consistent(database: Database, constraints: Sequence[KeyConstraint]) -> bool:
+    """True if no constraint has a violating key group."""
+    for constraint in constraints:
+        if constraint.relation not in database:
+            raise SchemaError(f"unknown relation {constraint.relation!r}")
+        if find_violations(database.relation(constraint.relation), constraint):
+            return False
+    return True
+
+
+def repairs_as_xdb(database: Database, constraints: Sequence[KeyConstraint],
+                   weights: Optional[Dict[Row, float]] = None,
+                   name: Optional[str] = None) -> XDatabase:
+    """Encode the key repairs of ``database`` as an x-DB.
+
+    Every key group becomes one x-tuple whose alternatives are the group's
+    rows; choosing one alternative per x-tuple is exactly choosing one repair.
+    ``weights`` optionally assigns a relative weight to individual rows (e.g.
+    source trust scores); alternatives are weighted proportionally, otherwise
+    uniformly.  Relations without a constraint are copied as certain rows.
+    """
+    by_relation: Dict[str, List[KeyConstraint]] = {}
+    for constraint in constraints:
+        by_relation.setdefault(constraint.relation.lower(), []).append(constraint)
+    xdb = XDatabase(name or f"{database.name}_repairs")
+    for relation in database:
+        x_relation = xdb.create_relation(relation.schema)
+        relation_constraints = by_relation.get(relation.schema.name.lower(), [])
+        if not relation_constraints:
+            for row in relation.rows():
+                x_relation.add_certain(row)
+            continue
+        if len(relation_constraints) > 1:
+            raise ValueError(
+                f"relation {relation.schema.name!r} has multiple key constraints; "
+                "repairs for overlapping keys are not independent"
+            )
+        constraint = relation_constraints[0]
+        groups: Dict[Tuple, List[Row]] = {}
+        for row in relation.rows():
+            groups.setdefault(constraint.key_of(relation, row), []).append(row)
+        for rows in groups.values():
+            if len(rows) == 1:
+                x_relation.add_certain(rows[0])
+                continue
+            if weights:
+                raw = [max(weights.get(row, 1.0), 0.0) for row in rows]
+                total = sum(raw) or float(len(rows))
+                probabilities = [value / total for value in raw]
+            else:
+                probabilities = [1.0 / len(rows)] * len(rows)
+            x_relation.add(XTuple(list(rows), probabilities))
+    return xdb
+
+
+def repairs(database: Database, constraints: Sequence[KeyConstraint],
+            semiring: Semiring = BOOLEAN, limit: int = 4096) -> IncompleteDatabase:
+    """Enumerate all key repairs as an explicit incomplete database."""
+    return repairs_as_xdb(database, constraints).possible_worlds(semiring, limit)
+
+
+def consistent_answers(database: Database, constraints: Sequence[KeyConstraint],
+                       plan: algebra.Operator, semiring: Semiring = BOOLEAN,
+                       limit: int = 4096) -> List[Row]:
+    """Exact consistent answers (certain answers over all repairs).
+
+    Enumerates every repair, so this is exponential in the number of
+    violating key groups; it serves as ground truth for the UA-DB
+    approximation in tests and experiments.
+    """
+    result = repairs(database, constraints, semiring, limit).query(plan)
+    return result.certain_rows()
+
+
+def uadb_for_repairs(database: Database, constraints: Sequence[KeyConstraint],
+                     weights: Optional[Dict[Row, float]] = None,
+                     semiring: Semiring = BOOLEAN) -> UADatabase:
+    """A UA-DB whose best-guess world is the most-trusted repair.
+
+    Certain labels under-approximate the consistent answers (they are exact
+    for the base relations: a row is labeled certain iff its key group has no
+    conflict), and queries preserve that bound (Theorem 5 of the paper).
+    """
+    xdb = repairs_as_xdb(database, constraints, weights)
+    return UADatabase.from_xdb(xdb, semiring, name=f"{database.name}_cqa")

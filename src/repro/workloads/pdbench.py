@@ -1,0 +1,282 @@
+"""A PDBench-style uncertain TPC-H data generator.
+
+PDBench (Antova et al., ICDE 2008) modifies the TPC-H generator to introduce
+attribute-level uncertainty: a configurable percentage of cells receives a
+set of up to eight possible values.  This module generates a small TPC-H-like
+schema (nation, customer, orders, lineitem), injects uncertainty the same
+way, and exposes the result in all the representations the experiments need:
+
+* the clean ground-truth world (before uncertainty injection),
+* an :class:`~repro.incomplete.xdb.XDatabase` where each uncertain row is an
+  x-tuple whose alternatives enumerate combinations of the cell alternatives,
+* a null-based database (for the Libkin baseline),
+* a best-guess world (one randomly chosen alternative per uncertain cell,
+  exactly as the paper does for its PDBench runs).
+
+Scale factor 1.0 corresponds to roughly 6000 lineitem rows -- three orders of
+magnitude below TPC-H SF1, keeping laptop-scale runtimes while preserving the
+relative row counts between tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.db.relation import KRelation
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.semirings import NATURAL, Semiring
+from repro.incomplete.vtable import VTable, VTableDatabase
+from repro.incomplete.xdb import XDatabase, XRelation, XTuple
+
+# -- schema -----------------------------------------------------------------
+
+NATION_SCHEMA = RelationSchema("nation", [
+    Attribute("n_nationkey", DataType.INTEGER),
+    Attribute("n_name", DataType.STRING),
+    Attribute("n_regionkey", DataType.INTEGER),
+])
+
+CUSTOMER_SCHEMA = RelationSchema("customer", [
+    Attribute("c_custkey", DataType.INTEGER),
+    Attribute("c_name", DataType.STRING),
+    Attribute("c_nationkey", DataType.INTEGER),
+    Attribute("c_acctbal", DataType.FLOAT),
+    Attribute("c_mktsegment", DataType.STRING),
+])
+
+ORDERS_SCHEMA = RelationSchema("orders", [
+    Attribute("o_orderkey", DataType.INTEGER),
+    Attribute("o_custkey", DataType.INTEGER),
+    Attribute("o_orderdate", DataType.INTEGER),
+    Attribute("o_totalprice", DataType.FLOAT),
+    Attribute("o_shippriority", DataType.INTEGER),
+])
+
+LINEITEM_SCHEMA = RelationSchema("lineitem", [
+    Attribute("l_orderkey", DataType.INTEGER),
+    Attribute("l_linenumber", DataType.INTEGER),
+    Attribute("l_quantity", DataType.INTEGER),
+    Attribute("l_extendedprice", DataType.FLOAT),
+    Attribute("l_discount", DataType.FLOAT),
+    Attribute("l_shipdate", DataType.INTEGER),
+    Attribute("l_shipmode", DataType.STRING),
+])
+
+SCHEMAS = (NATION_SCHEMA, CUSTOMER_SCHEMA, ORDERS_SCHEMA, LINEITEM_SCHEMA)
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+SHIP_MODES = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"]
+
+#: Attributes eligible for uncertainty injection (PDBench perturbs values,
+#: not keys, so the join structure of the schema stays intact).
+UNCERTAIN_ATTRIBUTES = {
+    "customer": ["c_nationkey", "c_acctbal", "c_mktsegment"],
+    "orders": ["o_orderdate", "o_totalprice", "o_shippriority"],
+    "lineitem": ["l_quantity", "l_extendedprice", "l_discount", "l_shipdate", "l_shipmode"],
+}
+
+#: Number of rows per table at scale factor 1.0.
+BASE_CARDINALITIES = {"nation": 25, "customer": 150, "orders": 1500, "lineitem": 6000}
+
+
+@dataclass
+class PDBenchInstance:
+    """All representations of one generated PDBench database."""
+
+    scale_factor: float
+    uncertainty: float
+    #: Clean data before uncertainty injection (the notional ground truth).
+    ground_truth: Database
+    #: Attribute-level uncertainty as an x-DB (one x-tuple per uncertain row).
+    xdb: XDatabase
+    #: Null-based encoding for the Libkin baseline (uncertain cells -> NULL).
+    null_database: Database
+    #: One possible world with a random value chosen for every uncertain cell.
+    best_guess: Database
+    #: Row counts per relation.
+    cardinalities: Dict[str, int] = field(default_factory=dict)
+    #: Number of uncertain cells per relation.
+    uncertain_cells: Dict[str, int] = field(default_factory=dict)
+
+
+def _random_value(attribute: str, rng: random.Random, num_orders: int,
+                  num_customers: int) -> Any:
+    """Draw a fresh value for ``attribute`` (used for alternatives)."""
+    if attribute == "c_nationkey":
+        return rng.randrange(len(NATION_NAMES))
+    if attribute == "c_acctbal":
+        return round(rng.uniform(-999.0, 9999.0), 2)
+    if attribute == "c_mktsegment":
+        return rng.choice(MARKET_SEGMENTS)
+    if attribute == "o_orderdate":
+        return rng.randrange(0, 2400)
+    if attribute == "o_totalprice":
+        return round(rng.uniform(1000.0, 400000.0), 2)
+    if attribute == "o_shippriority":
+        return rng.randrange(0, 2)
+    if attribute == "l_quantity":
+        return rng.randrange(1, 51)
+    if attribute == "l_extendedprice":
+        return round(rng.uniform(900.0, 100000.0), 2)
+    if attribute == "l_discount":
+        return round(rng.uniform(0.0, 0.1), 2)
+    if attribute == "l_shipdate":
+        return rng.randrange(0, 2500)
+    if attribute == "l_shipmode":
+        return rng.choice(SHIP_MODES)
+    raise ValueError(f"no generator for attribute {attribute!r}")
+
+
+def _generate_clean_rows(scale_factor: float,
+                         rng: random.Random) -> Dict[str, List[Tuple]]:
+    """Deterministic TPC-H-like base data."""
+    counts = {
+        name: max(1, int(round(cardinality * scale_factor))) if name != "nation" else 25
+        for name, cardinality in BASE_CARDINALITIES.items()
+    }
+    rows: Dict[str, List[Tuple]] = {name: [] for name in counts}
+    for key, name in enumerate(NATION_NAMES):
+        rows["nation"].append((key, name, key % 5))
+    for key in range(1, counts["customer"] + 1):
+        rows["customer"].append((
+            key,
+            f"Customer#{key:09d}",
+            rng.randrange(len(NATION_NAMES)),
+            round(rng.uniform(-999.0, 9999.0), 2),
+            rng.choice(MARKET_SEGMENTS),
+        ))
+    for key in range(1, counts["orders"] + 1):
+        rows["orders"].append((
+            key,
+            rng.randrange(1, counts["customer"] + 1),
+            rng.randrange(0, 2400),
+            round(rng.uniform(1000.0, 400000.0), 2),
+            rng.randrange(0, 2),
+        ))
+    for index in range(counts["lineitem"]):
+        rows["lineitem"].append((
+            rng.randrange(1, counts["orders"] + 1),
+            index,
+            rng.randrange(1, 51),
+            round(rng.uniform(900.0, 100000.0), 2),
+            round(rng.uniform(0.0, 0.1), 2),
+            rng.randrange(0, 2500),
+            rng.choice(SHIP_MODES),
+        ))
+    return rows
+
+
+def _database_from_rows(rows: Dict[str, List[Tuple]], name: str,
+                        semiring: Semiring = NATURAL) -> Database:
+    database = Database(semiring, name)
+    schemas = {schema.name: schema for schema in SCHEMAS}
+    for relation_name, relation_rows in rows.items():
+        relation = KRelation(schemas[relation_name], semiring)
+        for row in relation_rows:
+            relation.add(row, semiring.one)
+        database.add_relation(relation)
+    return database
+
+
+def generate_pdbench(scale_factor: float = 0.1, uncertainty: float = 0.02,
+                     max_alternatives: int = 8, seed: int = 7,
+                     max_uncertain_attrs_per_row: int = 2,
+                     semiring: Semiring = NATURAL) -> PDBenchInstance:
+    """Generate a PDBench-like instance.
+
+    ``uncertainty`` is the fraction of (eligible) cells that receive
+    alternatives; every uncertain cell gets between 2 and ``max_alternatives``
+    possible values (the original plus fresh random values), matching the
+    PDBench mechanism of the paper's Section 11.1.
+    """
+    if not 0.0 <= uncertainty <= 1.0:
+        raise ValueError("uncertainty must be a fraction between 0 and 1")
+    rng = random.Random(seed)
+    clean_rows = _generate_clean_rows(scale_factor, rng)
+    ground_truth = _database_from_rows(clean_rows, "pdbench_ground", semiring)
+
+    schemas = {schema.name: schema for schema in SCHEMAS}
+    xdb = XDatabase("pdbench")
+    null_rows: Dict[str, List[Tuple]] = {}
+    best_rows: Dict[str, List[Tuple]] = {}
+    uncertain_cells: Dict[str, int] = {}
+
+    num_customers = len(clean_rows["customer"])
+    num_orders = len(clean_rows["orders"])
+
+    for relation_name, relation_rows in clean_rows.items():
+        schema = schemas[relation_name]
+        x_relation = xdb.create_relation(schema)
+        null_rows[relation_name] = []
+        best_rows[relation_name] = []
+        uncertain_cells[relation_name] = 0
+        eligible = UNCERTAIN_ATTRIBUTES.get(relation_name, [])
+        eligible_indexes = [schema.index_of(attr) for attr in eligible]
+        for row in relation_rows:
+            uncertain_positions = [
+                index for index in eligible_indexes if rng.random() < uncertainty
+            ]
+            uncertain_positions = uncertain_positions[:max_uncertain_attrs_per_row]
+            if not uncertain_positions:
+                x_relation.add_certain(row)
+                null_rows[relation_name].append(row)
+                best_rows[relation_name].append(row)
+                continue
+            uncertain_cells[relation_name] += len(uncertain_positions)
+            # Build the per-cell alternative sets (original value included).
+            cell_alternatives: List[List[Any]] = []
+            for position in uncertain_positions:
+                attribute = schema.attributes[position].name
+                count = rng.randrange(2, max_alternatives + 1)
+                values = [row[position]]
+                # Low-cardinality attributes (e.g. o_shippriority) may not
+                # have `count` distinct values; cap the number of attempts.
+                attempts = 0
+                while len(values) < count and attempts < 8 * count:
+                    attempts += 1
+                    candidate = _random_value(attribute, rng, num_orders, num_customers)
+                    if candidate not in values:
+                        values.append(candidate)
+                cell_alternatives.append(values)
+            # The x-tuple's alternatives are the cross product of cell choices,
+            # capped to keep the representation compact (PDBench caps at 8).
+            alternatives: List[Tuple] = []
+            for combination in itertools.product(*cell_alternatives):
+                candidate = list(row)
+                for position, value in zip(uncertain_positions, combination):
+                    candidate[position] = value
+                alternatives.append(tuple(candidate))
+                if len(alternatives) >= max_alternatives:
+                    break
+            x_relation.add_alternatives(alternatives)
+            # Null-based encoding: uncertain cells become SQL NULL.
+            null_row = list(row)
+            for position in uncertain_positions:
+                null_row[position] = None
+            null_rows[relation_name].append(tuple(null_row))
+            # Best-guess world: pick a random alternative (as the paper does).
+            best_rows[relation_name].append(rng.choice(alternatives))
+
+    null_database = _database_from_rows(null_rows, "pdbench_nulls", semiring)
+    best_guess = _database_from_rows(best_rows, "pdbench_bg", semiring)
+    cardinalities = {name: len(rows) for name, rows in clean_rows.items()}
+    return PDBenchInstance(
+        scale_factor=scale_factor,
+        uncertainty=uncertainty,
+        ground_truth=ground_truth,
+        xdb=xdb,
+        null_database=null_database,
+        best_guess=best_guess,
+        cardinalities=cardinalities,
+        uncertain_cells=uncertain_cells,
+    )

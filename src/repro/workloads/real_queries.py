@@ -1,0 +1,216 @@
+"""The five hand-written queries of Section 11.3/11.4 and their datasets.
+
+The queries run over Chicago-style city datasets (crime, graffiti removal,
+food inspections).  :func:`generate_city_database` builds synthetic versions
+of those three tables with missing values imputed into x-tuples, so the five
+queries can be evaluated over a UA-DB, the best-guess world and the exact
+possible worlds exactly as in Figure 17.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.db.database import Database
+from repro.db.relation import KRelation
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.semirings import NATURAL, Semiring
+from repro.incomplete.xdb import XDatabase
+
+# -- schemas -------------------------------------------------------------------
+
+CRIME_SCHEMA = RelationSchema("crime", [
+    Attribute("id", DataType.INTEGER),
+    Attribute("case_number", DataType.STRING),
+    Attribute("iucr", DataType.INTEGER),
+    Attribute("district", DataType.STRING),
+    Attribute("longitude", DataType.FLOAT),
+    Attribute("latitude", DataType.FLOAT),
+    Attribute("x_coordinate", DataType.INTEGER),
+    Attribute("y_coordinate", DataType.INTEGER),
+])
+
+GRAFFITI_SCHEMA = RelationSchema("graffiti", [
+    Attribute("service_request_number", DataType.STRING),
+    Attribute("street_address", DataType.STRING),
+    Attribute("zip_code", DataType.INTEGER),
+    Attribute("status", DataType.STRING),
+    Attribute("police_district", DataType.INTEGER),
+    Attribute("community_area", DataType.INTEGER),
+    Attribute("x_coordinate", DataType.INTEGER),
+    Attribute("y_coordinate", DataType.INTEGER),
+])
+
+FOOD_SCHEMA = RelationSchema("foodinspections", [
+    Attribute("inspection_id", DataType.INTEGER),
+    Attribute("inspection_date", DataType.STRING),
+    Attribute("address", DataType.STRING),
+    Attribute("zip", DataType.INTEGER),
+    Attribute("results", DataType.STRING),
+    Attribute("risk", DataType.STRING),
+])
+
+# -- queries --------------------------------------------------------------------
+
+#: Q1: crime ids/case numbers for thefts, domestic batteries and criminal damage.
+REAL_Q1 = """
+SELECT id, case_number,
+       CASE iucr
+            WHEN 820 THEN 'Theft'
+            WHEN 486 THEN 'Domestic Battery'
+            WHEN 1320 THEN 'Criminal Damage'
+       END AS crime_type
+FROM crime
+WHERE iucr = 820 OR iucr = 486 OR iucr = 1320
+"""
+
+#: Q2: crimes within the rectangle around the Chicago Water Tower.
+REAL_Q2 = """
+SELECT id, case_number, longitude, latitude
+FROM crime
+WHERE longitude BETWEEN -87.674 AND -87.619
+  AND latitude BETWEEN 41.892 AND 41.903
+"""
+
+#: Q3: open graffiti-removal requests.
+REAL_Q3 = """
+SELECT street_address, zip_code, status
+FROM graffiti
+WHERE status = 'Open'
+"""
+
+#: Q4: high-risk restaurants that passed with conditions.
+REAL_Q4 = """
+SELECT inspection_date, address, zip
+FROM foodinspections
+WHERE results = 'Pass w/ Conditions'
+  AND risk = 'Risk 1 (High)'
+"""
+
+#: Q5: crimes near graffiti-removal requests in district 8 (spatial self-band join).
+REAL_Q5 = """
+SELECT c.id, c.case_number, c.iucr, g.status, g.service_request_number, g.community_area
+FROM (SELECT * FROM graffiti WHERE police_district = 8) g,
+     (SELECT * FROM crime WHERE district = '008') c
+WHERE c.x_coordinate < g.x_coordinate + 100
+  AND c.x_coordinate > g.x_coordinate - 100
+  AND c.y_coordinate < g.y_coordinate + 100
+  AND c.y_coordinate > g.y_coordinate - 100
+"""
+
+#: The five real-world queries keyed by the names used in Figure 17.
+REAL_QUERIES: Dict[str, str] = {
+    "Q1": REAL_Q1,
+    "Q2": REAL_Q2,
+    "Q3": REAL_Q3,
+    "Q4": REAL_Q4,
+    "Q5": REAL_Q5,
+}
+
+
+# -- dataset generation ---------------------------------------------------------------
+
+
+@dataclass
+class CityDataInstance:
+    """Synthetic crime/graffiti/food-inspection data in several representations."""
+
+    xdb: XDatabase
+    ground_truth: Database
+    null_database: Database
+
+
+_IUCR_CODES = [820, 486, 1320, 610, 460, 910, 2820]
+_DISTRICTS = ["008", "007", "012", "001", "025"]
+_STATUSES = ["Open", "Completed", "Pending"]
+_RESULTS = ["Pass", "Fail", "Pass w/ Conditions"]
+_RISKS = ["Risk 1 (High)", "Risk 2 (Medium)", "Risk 3 (Low)"]
+
+
+def generate_city_database(num_crimes: int = 600, num_graffiti: int = 250,
+                           num_inspections: int = 250, uncertainty: float = 0.08,
+                           seed: int = 3, semiring: Semiring = NATURAL
+                           ) -> CityDataInstance:
+    """Generate the crime/graffiti/food tables with attribute-level uncertainty.
+
+    ``uncertainty`` is the probability that a row has one uncertain attribute
+    (with 2-3 alternative values), mirroring how imputation choices introduce
+    uncertainty in the paper's real datasets.
+    """
+    rng = random.Random(seed)
+    xdb = XDatabase("city")
+    ground = Database(semiring, "city_ground")
+    nulls = Database(semiring, "city_nulls")
+
+    def build(schema: RelationSchema, rows: List[Tuple],
+              uncertain_column: str, candidates: List[Any]) -> None:
+        x_relation = xdb.create_relation(schema)
+        ground_relation = KRelation(schema, semiring)
+        null_relation = KRelation(schema, semiring)
+        position = schema.index_of(uncertain_column)
+        for row in rows:
+            ground_relation.add(row, semiring.one)
+            if rng.random() < uncertainty:
+                alternatives = [row]
+                for candidate in rng.sample(candidates, min(2, len(candidates))):
+                    repaired = list(row)
+                    repaired[position] = candidate
+                    alternative = tuple(repaired)
+                    if alternative not in alternatives:
+                        alternatives.append(alternative)
+                x_relation.add_alternatives(alternatives)
+                null_row = list(row)
+                null_row[position] = None
+                null_relation.add(tuple(null_row), semiring.one)
+            else:
+                x_relation.add_certain(row)
+                null_relation.add(row, semiring.one)
+        ground.add_relation(ground_relation)
+        nulls.add_relation(null_relation)
+
+    crime_rows = []
+    for index in range(num_crimes):
+        in_watertower = rng.random() < 0.25
+        longitude = rng.uniform(-87.674, -87.619) if in_watertower else rng.uniform(-87.9, -87.5)
+        latitude = rng.uniform(41.892, 41.903) if in_watertower else rng.uniform(41.6, 42.1)
+        crime_rows.append((
+            index,
+            f"HZ{100000 + index}",
+            rng.choice(_IUCR_CODES),
+            rng.choice(_DISTRICTS),
+            round(longitude, 5),
+            round(latitude, 5),
+            rng.randrange(1_100_000, 1_210_000, 10),
+            rng.randrange(1_800_000, 1_960_000, 10),
+        ))
+    build(CRIME_SCHEMA, crime_rows, "iucr", _IUCR_CODES)
+
+    graffiti_rows = []
+    for index in range(num_graffiti):
+        graffiti_rows.append((
+            f"SR{200000 + index}",
+            f"{rng.randrange(100, 9999)} W EXAMPLE ST",
+            rng.choice([60601, 60614, 60622, 60629, 60636]),
+            rng.choice(_STATUSES),
+            rng.choice([8, 7, 12, 1]),
+            rng.randrange(1, 78),
+            rng.randrange(1_100_000, 1_210_000, 10),
+            rng.randrange(1_800_000, 1_960_000, 10),
+        ))
+    build(GRAFFITI_SCHEMA, graffiti_rows, "status", _STATUSES)
+
+    food_rows = []
+    for index in range(num_inspections):
+        food_rows.append((
+            index,
+            f"2018-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}",
+            f"{rng.randrange(100, 9999)} N SAMPLE AVE",
+            rng.choice([60601, 60614, 60622, 60629, 60636]),
+            rng.choice(_RESULTS),
+            rng.choice(_RISKS),
+        ))
+    build(FOOD_SCHEMA, food_rows, "results", _RESULTS)
+
+    return CityDataInstance(xdb=xdb, ground_truth=ground, null_database=nulls)

@@ -1,0 +1,206 @@
+"""Synthetic stand-ins for the paper's real-world datasets (Figure 16).
+
+The paper evaluates on nine open-data datasets (Chicago building violations,
+Buffalo shootings, business licenses, crime, contracts, food inspections,
+graffiti removal, building permits, the public library survey).  Those files
+are not redistributable here, so each dataset is replaced by a generator that
+matches its published profile: number of columns, fraction of uncertain
+attribute values (``u_attr``) and fraction of uncertain rows (``u_row``),
+with row counts scaled down to laptop size (the scale is configurable).
+
+Missingness is *correlated within a row* (a dirty row tends to have several
+dirty cells, like real open data), which is what gives Figure 15 its shape:
+projections onto subsets of attributes frequently drop every uncertain cell
+of a row, turning an "uncertain" base tuple into a certain answer.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.db.relation import KRelation
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.semirings import NATURAL, Semiring
+from repro.incomplete.xdb import XDatabase
+from repro.workloads.imputation import impute_alternatives
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Published statistics of one real-world dataset (Figure 16)."""
+
+    name: str
+    rows: int
+    columns: int
+    u_attr: float
+    u_row: float
+    url: str
+
+
+#: The nine datasets of Figure 16 with their published statistics.
+DATASET_PROFILES: Dict[str, DatasetProfile] = {
+    "building_violations": DatasetProfile(
+        "building_violations", 1_300_000, 35, 0.0082, 0.128,
+        "https://data.cityofchicago.org/Buildings/Building-Violations/22u3-xenr"),
+    "shootings_buffalo": DatasetProfile(
+        "shootings_buffalo", 2_900, 21, 0.0024, 0.021,
+        "http://projects.buffalonews.com/charts/shootings/index.html"),
+    "business_licenses": DatasetProfile(
+        "business_licenses", 63_000, 25, 0.0139, 0.140,
+        "https://data.cityofchicago.org/Community-Economic-Development/Business-Licenses"),
+    "chicago_crime": DatasetProfile(
+        "chicago_crime", 6_600_000, 17, 0.0021, 0.009,
+        "https://data.cityofchicago.org/Public-Safety/Crimes-2001-to-present"),
+    "contracts": DatasetProfile(
+        "contracts", 94_000, 13, 0.0150, 0.192,
+        "https://data.cityofchicago.org/Administration-Finance/Contracts"),
+    "food_inspections": DatasetProfile(
+        "food_inspections", 169_000, 16, 0.0034, 0.046,
+        "https://data.cityofchicago.org/Health-Human-Services/Food-Inspections"),
+    "graffiti_removal": DatasetProfile(
+        "graffiti_removal", 985_000, 15, 0.0009, 0.008,
+        "https://data.cityofchicago.org/Service-Requests/311-Graffiti-Removal"),
+    "building_permits": DatasetProfile(
+        "building_permits", 198_000, 19, 0.0042, 0.053,
+        "https://www.kaggle.com/aparnashastry/building-permit-applications-data"),
+    "public_library_survey": DatasetProfile(
+        "public_library_survey", 9_200, 99, 0.0119, 0.142,
+        "https://www.imls.gov/research-evaluation/data-collection/public-libraries-survey"),
+}
+
+
+@dataclass
+class RealWorldDataset:
+    """A generated dataset in every representation the experiments need."""
+
+    profile: DatasetProfile
+    schema: RelationSchema
+    #: The clean ground-truth rows (before missingness injection).
+    ground_truth: Database
+    #: x-DB built from imputation alternatives for the dirty rows.
+    xdb: XDatabase
+    #: Null-carrying version (dirty cells are SQL NULL) for the Libkin baseline.
+    null_database: Database
+    #: Fraction of attribute values made uncertain (measured, not nominal).
+    measured_u_attr: float = 0.0
+    #: Fraction of rows containing at least one uncertain value.
+    measured_u_row: float = 0.0
+
+
+def _make_schema(name: str, columns: int, rng: random.Random) -> RelationSchema:
+    """A schema with an id column plus a mix of categorical and numeric columns."""
+    attributes = [Attribute("id", DataType.INTEGER)]
+    for index in range(1, columns):
+        if index % 3 == 0:
+            attributes.append(Attribute(f"num_{index}", DataType.FLOAT))
+        elif index % 3 == 1:
+            attributes.append(Attribute(f"cat_{index}", DataType.STRING))
+        else:
+            attributes.append(Attribute(f"code_{index}", DataType.INTEGER))
+    return RelationSchema(name, attributes)
+
+
+def _random_cell(attribute: Attribute, rng: random.Random) -> Any:
+    if attribute.data_type is DataType.FLOAT:
+        return round(rng.uniform(0, 1000), 2)
+    if attribute.data_type is DataType.INTEGER:
+        return rng.randrange(0, 50)
+    # Low-cardinality categorical values so projections collide realistically.
+    return "".join(rng.choices(string.ascii_uppercase[:8], k=3))
+
+
+def generate_dataset(name: str, scale: float = 0.001, seed: int = 11,
+                     max_alternatives: int = 4,
+                     semiring: Semiring = NATURAL) -> RealWorldDataset:
+    """Generate a synthetic stand-in for one of the Figure 16 datasets.
+
+    ``scale`` multiplies the published row count (default keeps every dataset
+    in the hundreds-to-thousands of rows range).
+    """
+    try:
+        profile = DATASET_PROFILES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_PROFILES)}"
+        ) from exc
+    rng = random.Random(seed + hash(name) % 10_000)
+    num_rows = max(50, int(profile.rows * scale))
+    schema = _make_schema(profile.name, profile.columns, rng)
+
+    # Clean ground-truth rows.
+    clean_rows: List[Tuple[Any, ...]] = []
+    for row_id in range(num_rows):
+        row = [row_id] + [_random_cell(attr, rng) for attr in schema.attributes[1:]]
+        clean_rows.append(tuple(row))
+
+    # Inject correlated missingness: u_row of the rows are dirty, and within
+    # a dirty row enough cells go missing to hit the published u_attr.
+    cells_per_dirty_row = max(
+        1, int(round(profile.u_attr * profile.columns / max(profile.u_row, 1e-9)))
+    )
+    dirty_rows: List[Tuple[Any, ...]] = []
+    dirty_flags: List[bool] = []
+    eligible_positions = list(range(1, schema.arity))  # never corrupt the id
+    total_missing_cells = 0
+    for row in clean_rows:
+        if rng.random() < profile.u_row:
+            positions = rng.sample(
+                eligible_positions, min(cells_per_dirty_row, len(eligible_positions))
+            )
+            dirty = list(row)
+            for position in positions:
+                dirty[position] = None
+            total_missing_cells += len(positions)
+            dirty_rows.append(tuple(dirty))
+            dirty_flags.append(True)
+        else:
+            dirty_rows.append(row)
+            dirty_flags.append(False)
+
+    # Build the x-DB from imputation alternatives.
+    alternatives = impute_alternatives(
+        dirty_rows, schema, max_alternatives=max_alternatives, seed=seed
+    )
+    xdb = XDatabase(profile.name)
+    x_relation = xdb.create_relation(schema)
+    for row_alternatives in alternatives:
+        if len(row_alternatives) == 1:
+            x_relation.add_certain(row_alternatives[0])
+        else:
+            x_relation.add_alternatives(row_alternatives)
+
+    ground_truth = Database(semiring, f"{profile.name}_ground")
+    ground_relation = KRelation(schema, semiring)
+    for row in clean_rows:
+        ground_relation.add(row, semiring.one)
+    ground_truth.add_relation(ground_relation)
+
+    null_database = Database(semiring, f"{profile.name}_nulls")
+    null_relation = KRelation(schema, semiring)
+    for row in dirty_rows:
+        null_relation.add(row, semiring.one)
+    null_database.add_relation(null_relation)
+
+    measured_u_attr = total_missing_cells / (num_rows * schema.arity)
+    measured_u_row = sum(dirty_flags) / num_rows
+    return RealWorldDataset(
+        profile=profile,
+        schema=schema,
+        ground_truth=ground_truth,
+        xdb=xdb,
+        null_database=null_database,
+        measured_u_attr=measured_u_attr,
+        measured_u_row=measured_u_row,
+    )
+
+
+def generate_all_datasets(scale: float = 0.0005, seed: int = 11,
+                          names: Optional[Sequence[str]] = None
+                          ) -> Dict[str, RealWorldDataset]:
+    """Generate every (or the named) Figure 16 dataset at the given scale."""
+    names = list(names) if names is not None else list(DATASET_PROFILES)
+    return {name: generate_dataset(name, scale=scale, seed=seed) for name in names}

@@ -1,0 +1,57 @@
+"""The three PDBench queries (Section 11.1).
+
+The paper states its PDBench queries "roughly correspond to TPC-H queries Q3,
+Q6 and Q7"; since UA-DBs cover RA+ (no aggregation), the shapes below keep
+the selections and joins of those TPC-H queries and project the attributes
+their aggregates consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: PDBench Q1: the join/selection core of TPC-H Q3 (shipping priority).
+PDBENCH_Q1 = """
+SELECT o.o_orderkey, o.o_orderdate, o.o_shippriority, l.l_extendedprice, l.l_discount
+FROM customer c, orders o, lineitem l
+WHERE c.c_mktsegment = 'BUILDING'
+  AND c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_orderdate < 1200
+  AND l.l_shipdate > 1200
+"""
+
+#: PDBench Q2: the selection of TPC-H Q6 (forecasting revenue change).
+PDBENCH_Q2 = """
+SELECT l.l_orderkey, l.l_linenumber, l.l_extendedprice, l.l_discount
+FROM lineitem l
+WHERE l.l_shipdate >= 400 AND l.l_shipdate < 800
+  AND l.l_discount BETWEEN 0.02 AND 0.09
+  AND l.l_quantity < 24
+"""
+
+#: PDBench Q3: the join core of TPC-H Q7 (volume shipping between nations).
+PDBENCH_Q3 = """
+SELECT n.n_name, o.o_orderkey, l.l_linenumber, l.l_extendedprice
+FROM customer c, orders o, lineitem l, nation n
+WHERE c.c_custkey = o.o_custkey
+  AND o.o_orderkey = l.l_orderkey
+  AND c.c_nationkey = n.n_nationkey
+  AND n.n_name IN ('FRANCE', 'GERMANY')
+  AND l.l_shipdate BETWEEN 800 AND 1600
+"""
+
+#: Mapping from the names used in the paper's figures to SQL text.
+PDBENCH_QUERIES: Dict[str, str] = {
+    "Q1": PDBENCH_Q1,
+    "Q2": PDBENCH_Q2,
+    "Q3": PDBENCH_Q3,
+}
+
+
+def pdbench_query(name: str) -> str:
+    """SQL text of a PDBench query by name ('Q1', 'Q2' or 'Q3')."""
+    try:
+        return PDBENCH_QUERIES[name.upper()]
+    except KeyError as exc:
+        raise KeyError(f"unknown PDBench query {name!r}; expected Q1, Q2 or Q3") from exc

@@ -1,0 +1,104 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.relation import KRelation, bag_relation, set_relation
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.semirings import BOOLEAN, NATURAL
+from repro.incomplete.xdb import XDatabase
+
+
+@pytest.fixture
+def people_schema() -> RelationSchema:
+    """A small schema used throughout the engine tests."""
+    return RelationSchema("people", [
+        Attribute("id", DataType.INTEGER),
+        Attribute("name", DataType.STRING),
+        Attribute("age", DataType.INTEGER),
+        Attribute("city", DataType.STRING),
+    ])
+
+
+@pytest.fixture
+def people_rows():
+    """Deterministic rows for the people relation."""
+    return [
+        (1, "alice", 34, "buffalo"),
+        (2, "bob", 28, "chicago"),
+        (3, "carol", 45, "buffalo"),
+        (4, "dave", 52, "tucson"),
+        (5, "erin", 23, "chicago"),
+    ]
+
+
+@pytest.fixture
+def people_bag(people_schema, people_rows) -> KRelation:
+    """The people relation under bag semantics."""
+    return bag_relation(people_schema, people_rows)
+
+
+@pytest.fixture
+def people_db(people_bag) -> Database:
+    """A bag database containing only the people relation."""
+    database = Database(NATURAL, "testdb")
+    database.add_relation(people_bag)
+    return database
+
+
+@pytest.fixture
+def visits_schema() -> RelationSchema:
+    """A second relation for join tests."""
+    return RelationSchema("visits", [
+        Attribute("person_id", DataType.INTEGER),
+        Attribute("place", DataType.STRING),
+    ])
+
+
+@pytest.fixture
+def visits_rows():
+    """Deterministic rows for the visits relation."""
+    return [
+        (1, "museum"),
+        (1, "park"),
+        (2, "park"),
+        (3, "museum"),
+        (6, "zoo"),
+    ]
+
+
+@pytest.fixture
+def people_visits_db(people_schema, people_rows, visits_schema, visits_rows) -> Database:
+    """A bag database with both people and visits."""
+    database = Database(NATURAL, "testdb")
+    database.add_relation(bag_relation(people_schema, people_rows))
+    database.add_relation(bag_relation(visits_schema, visits_rows))
+    return database
+
+
+@pytest.fixture
+def geocoding_xdb() -> XDatabase:
+    """The running example of the paper (ADDR and LOC relations)."""
+    addr_schema = RelationSchema("ADDR", ["id", "address", "geocoded"])
+    loc_schema = RelationSchema("LOC", ["locale", "state", "rect"])
+    xdb = XDatabase("geo")
+    addr = xdb.create_relation(addr_schema)
+    addr.add_certain((1, "51 Comstock", (42.93, -78.81)))
+    addr.add_alternatives([
+        (2, "Grant at Ferguson", (42.91, -78.89)),
+        (2, "Grant at Ferguson", (32.25, -110.87)),
+    ])
+    addr.add_alternatives([
+        (3, "499 Woodlawn", (42.91, -78.84)),
+        (3, "499 Woodlawn", (42.90, -78.85)),
+    ])
+    addr.add_certain((4, "192 Davidson", (42.93, -78.80)))
+    loc = xdb.create_relation(loc_schema)
+    loc.add_certain(("Lasalle", "NY", ((42.93, -78.83), (42.95, -78.81))))
+    loc.add_certain(("Tucson", "AZ", ((31.99, -111.045), (32.32, -110.71))))
+    loc.add_certain(("Grant Ferry", "NY", ((42.91, -78.91), (42.92, -78.88))))
+    loc.add_certain(("Kingsley", "NY", ((42.90, -78.85), (42.91, -78.84))))
+    loc.add_certain(("Kensington", "NY", ((42.93, -78.81), (42.96, -78.78))))
+    return xdb

@@ -1,0 +1,268 @@
+"""Tests for relational algebra evaluation over K-relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import EvaluationError, evaluate
+from repro.db.expressions import (
+    And, Arithmetic, Column, Comparison, Literal,
+)
+from repro.db.relation import bag_relation, set_relation
+from repro.db.schema import Attribute, RelationSchema
+from repro.semirings import BOOLEAN, NATURAL
+
+
+def rows_of(relation):
+    return set(relation.rows())
+
+
+# -- leaves and unary operators ----------------------------------------------------
+
+
+def test_relation_ref_and_alias(people_db):
+    plan = algebra.RelationRef("people")
+    result = evaluate(plan, people_db)
+    assert len(result) == 5
+    aliased = evaluate(algebra.RelationRef("people", alias="p"), people_db)
+    assert aliased.schema.name == "p"
+    with pytest.raises(Exception):
+        evaluate(algebra.RelationRef("nope"), people_db)
+
+
+def test_qualify_prefixes_columns(people_db):
+    plan = algebra.Qualify(algebra.RelationRef("people"), "p")
+    result = evaluate(plan, people_db)
+    assert result.schema.attribute_names == ("p.id", "p.name", "p.age", "p.city")
+    assert len(result) == 5
+
+
+def test_selection_filters_rows(people_db):
+    plan = algebra.Selection(
+        algebra.RelationRef("people"),
+        Comparison(">", Column("age"), Literal(30)),
+    )
+    result = evaluate(plan, people_db)
+    assert {row[0] for row in result.rows()} == {1, 3, 4}
+
+
+def test_selection_unknown_predicate_drops_row(people_schema):
+    database = Database(NATURAL, "db")
+    database.add_relation(bag_relation(people_schema, [
+        (1, "alice", None, "buffalo"),
+        (2, "bob", 40, "chicago"),
+    ]))
+    plan = algebra.Selection(
+        algebra.RelationRef("people"),
+        Comparison(">", Column("age"), Literal(30)),
+    )
+    result = evaluate(plan, database)
+    assert {row[0] for row in result.rows()} == {2}
+
+
+def test_projection_sums_annotations(people_db):
+    plan = algebra.Projection(
+        algebra.RelationRef("people"), ((Column("city"), "city"),)
+    )
+    result = evaluate(plan, people_db)
+    assert result.annotation(("buffalo",)) == 2
+    assert result.annotation(("chicago",)) == 2
+    assert result.annotation(("tucson",)) == 1
+
+
+def test_generalized_projection_with_expression(people_db):
+    plan = algebra.Projection(
+        algebra.RelationRef("people"),
+        ((Column("name"), "name"),
+         (Arithmetic("+", Column("age"), Literal(1)), "age_next")),
+    )
+    result = evaluate(plan, people_db)
+    assert ("alice", 35) in rows_of(result)
+
+
+def test_distinct_collapses_multiplicities(people_db):
+    plan = algebra.Distinct(
+        algebra.Projection(algebra.RelationRef("people"), ((Column("city"), "city"),))
+    )
+    result = evaluate(plan, people_db)
+    assert all(annotation == 1 for _, annotation in result.items())
+    assert len(result) == 3
+
+
+# -- joins ----------------------------------------------------------------------------
+
+
+def test_join_with_predicate(people_visits_db):
+    plan = algebra.Join(
+        algebra.RelationRef("people"),
+        algebra.RelationRef("visits"),
+        Comparison("=", Column("id"), Column("person_id")),
+    )
+    result = evaluate(plan, people_visits_db)
+    # alice has two visits, bob one, carol one; dave/erin none; visit of id 6 dangles.
+    assert len(result) == 4
+    ids = [row[0] for row in result.rows()]
+    assert sorted(ids) == [1, 1, 2, 3]
+
+
+def test_join_annotations_multiply(people_schema, visits_schema):
+    database = Database(NATURAL, "db")
+    people = bag_relation(people_schema, [(1, "alice", 34, "buffalo")] * 2)
+    visits = bag_relation(visits_schema, [(1, "museum")] * 3)
+    database.add_relation(people)
+    database.add_relation(visits)
+    plan = algebra.Join(
+        algebra.RelationRef("people"), algebra.RelationRef("visits"),
+        Comparison("=", Column("id"), Column("person_id")),
+    )
+    result = evaluate(plan, database)
+    assert result.annotation((1, "alice", 34, "buffalo", 1, "museum")) == 6
+
+
+def test_cross_product_sizes(people_visits_db):
+    plan = algebra.CrossProduct(
+        algebra.RelationRef("people"), algebra.RelationRef("visits")
+    )
+    result = evaluate(plan, people_visits_db)
+    assert len(result) == 25
+
+
+def test_join_falls_back_to_nested_loop_for_inequality(people_visits_db):
+    plan = algebra.Join(
+        algebra.RelationRef("people"),
+        algebra.RelationRef("visits"),
+        Comparison("<", Column("id"), Column("person_id")),
+    )
+    result = evaluate(plan, people_visits_db)
+    # Pairs where person id < visit person_id.
+    assert all(row[0] < row[4] for row in result.rows())
+    assert len(result) > 0
+
+
+def test_join_hash_path_equals_nested_loop(people_visits_db):
+    equi = algebra.Join(
+        algebra.Qualify(algebra.RelationRef("people"), "p"),
+        algebra.Qualify(algebra.RelationRef("visits"), "v"),
+        Comparison("=", Column("id", qualifier="p"), Column("person_id", qualifier="v")),
+    )
+    hash_result = evaluate(equi, people_visits_db)
+    nested = algebra.Selection(
+        algebra.CrossProduct(
+            algebra.Qualify(algebra.RelationRef("people"), "p"),
+            algebra.Qualify(algebra.RelationRef("visits"), "v"),
+        ),
+        Comparison("=", Column("id", qualifier="p"), Column("person_id", qualifier="v")),
+    )
+    nested_result = evaluate(nested, people_visits_db)
+    assert hash_result == nested_result
+
+
+# -- union -----------------------------------------------------------------------------
+
+
+def test_union_adds_annotations(people_schema):
+    database = Database(NATURAL, "db")
+    database.add_relation(bag_relation(people_schema.rename("a"), [(1, "x", 1, "c")]))
+    database.add_relation(bag_relation(people_schema.rename("b"), [(1, "x", 1, "c"), (2, "y", 2, "d")]))
+    plan = algebra.Union(algebra.RelationRef("a"), algebra.RelationRef("b"))
+    result = evaluate(plan, database)
+    assert result.annotation((1, "x", 1, "c")) == 2
+    assert result.annotation((2, "y", 2, "d")) == 1
+
+
+def test_union_requires_compatible_arity(people_visits_db):
+    plan = algebra.Union(algebra.RelationRef("people"), algebra.RelationRef("visits"))
+    with pytest.raises(EvaluationError):
+        evaluate(plan, people_visits_db)
+
+
+# -- aggregation, ordering, limits -------------------------------------------------------
+
+
+def test_aggregate_group_by_with_multiplicities(people_schema):
+    database = Database(NATURAL, "db")
+    database.add_relation(bag_relation(people_schema, [
+        (1, "alice", 30, "buffalo"),
+        (1, "alice", 30, "buffalo"),
+        (2, "bob", 40, "buffalo"),
+        (3, "carol", 50, "chicago"),
+    ]))
+    plan = algebra.Aggregate(
+        algebra.RelationRef("people"),
+        ((Column("city"), "city"),),
+        (algebra.AggregateFunction("count", None, "n"),
+         algebra.AggregateFunction("sum", Column("age"), "total_age"),
+         algebra.AggregateFunction("avg", Column("age"), "avg_age"),
+         algebra.AggregateFunction("min", Column("age"), "min_age"),
+         algebra.AggregateFunction("max", Column("age"), "max_age")),
+    )
+    result = evaluate(plan, database)
+    assert result.annotation(("buffalo", 3, 100, 100 / 3, 30, 40)) == 1
+    assert result.annotation(("chicago", 1, 50, 50.0, 50, 50)) == 1
+
+
+def test_aggregate_count_ignores_nulls_for_column_argument(people_schema):
+    database = Database(NATURAL, "db")
+    database.add_relation(bag_relation(people_schema, [
+        (1, "alice", None, "buffalo"),
+        (2, "bob", 40, "buffalo"),
+    ]))
+    plan = algebra.Aggregate(
+        algebra.RelationRef("people"),
+        ((Column("city"), "city"),),
+        (algebra.AggregateFunction("count", Column("age"), "with_age"),
+         algebra.AggregateFunction("count", None, "all_rows")),
+    )
+    result = evaluate(plan, database)
+    assert result.annotation(("buffalo", 1, 2)) == 1
+
+
+def test_aggregate_rejects_unknown_function():
+    with pytest.raises(ValueError):
+        algebra.AggregateFunction("median", None, "m")
+
+
+def test_order_by_limit(people_db):
+    plan = algebra.Limit(
+        algebra.OrderBy(
+            algebra.RelationRef("people"), ((Column("age"), True),)
+        ),
+        2,
+    )
+    result = evaluate(plan, people_db)
+    assert {row[0] for row in result.rows()} == {3, 4}
+
+
+def test_limit_without_order_is_deterministic(people_db):
+    first = evaluate(algebra.Limit(algebra.RelationRef("people"), 3), people_db)
+    second = evaluate(algebra.Limit(algebra.RelationRef("people"), 3), people_db)
+    assert first == second
+    assert len(first) == 3
+
+
+def test_operator_count_for_complexity_metric(people_visits_db):
+    plan = algebra.Projection(
+        algebra.Selection(
+            algebra.Join(
+                algebra.RelationRef("people"), algebra.RelationRef("visits"),
+                Comparison("=", Column("id"), Column("person_id")),
+            ),
+            Comparison(">", Column("age"), Literal(30)),
+        ),
+        ((Column("name"), "name"),),
+    )
+    assert plan.operator_count() == 3
+    assert "Projection" in plan.render()
+
+
+def test_set_semantics_database_evaluation(people_schema):
+    database = Database(BOOLEAN, "setdb")
+    database.add_relation(set_relation(people_schema, [
+        (1, "alice", 34, "buffalo"), (2, "bob", 28, "chicago"),
+    ]))
+    plan = algebra.Projection(algebra.RelationRef("people"), ((Column("city"), "city"),))
+    result = evaluate(plan, database)
+    assert result.annotation(("buffalo",)) is True
+    assert result.semiring == BOOLEAN

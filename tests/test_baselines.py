@@ -1,0 +1,277 @@
+"""Tests for the baseline systems (Det, Libkin, MayBMS, MCDB, exact C-tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CTableQueryEvaluator, MayBMSDatabase, MCDBSampler,
+    best_guess_query, exact_certain_answers, libkin_certain_answers, libkin_query,
+)
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.relation import bag_relation
+from repro.db.schema import RelationSchema
+from repro.semirings import BOOLEAN, NATURAL
+from repro.incomplete import CTableDatabase, TIDatabase, Variable, XDatabase
+from repro.incomplete.conditions import ComparisonAtom
+
+LOC_SCHEMA = RelationSchema("loc", ["locale", "state"])
+
+
+# -- deterministic BGQP --------------------------------------------------------------------
+
+
+def test_best_guess_query_accepts_sql_and_plans(people_db):
+    result, elapsed = best_guess_query(people_db, "SELECT name FROM people WHERE age > 40")
+    assert set(result.rows()) == {("carol",), ("dave",)}
+    assert elapsed >= 0
+    plan = algebra.Projection(algebra.RelationRef("people"), ((Column("name"), "name"),))
+    result, _ = best_guess_query(people_db, plan)
+    assert len(result) == 5
+
+
+# -- Libkin (null-based under-approximation) ----------------------------------------------------
+
+
+def build_null_database() -> Database:
+    database = Database(NATURAL, "nulls")
+    relation = bag_relation(LOC_SCHEMA, [])
+    relation.add(("Lasalle", "NY"), 1)
+    relation.add(("Tucson", None), 1)
+    relation.add((None, "NY"), 1)
+    database.add_relation(relation)
+    return database
+
+
+def test_libkin_query_uses_three_valued_logic():
+    database = build_null_database()
+    result, _ = libkin_query(database, "SELECT locale, state FROM loc WHERE state = 'NY'")
+    # The row with NULL state does not satisfy the predicate (unknown).
+    assert set(result.rows()) == {("Lasalle", "NY"), (None, "NY")}
+
+
+def test_libkin_certain_answers_filters_rows_with_nulls():
+    database = build_null_database()
+    rows, elapsed = libkin_certain_answers(
+        database, "SELECT locale, state FROM loc WHERE state = 'NY'"
+    )
+    assert rows == [("Lasalle", "NY")]
+    assert elapsed >= 0
+
+
+def test_libkin_is_c_sound_for_projections():
+    # Certain answers of the projection contain every null-free returned row.
+    database = build_null_database()
+    rows, _ = libkin_certain_answers(database, "SELECT state FROM loc")
+    assert set(rows) <= {("NY",), ("AZ",)}
+    assert ("NY",) in set(rows)
+
+
+# -- MayBMS ----------------------------------------------------------------------------------------
+
+
+def build_bidb() -> XDatabase:
+    xdb = XDatabase("b")
+    relation = xdb.create_relation(LOC_SCHEMA)
+    relation.add_certain(("Lasalle", "NY"))
+    relation.add_alternatives(
+        [("Tucson", "AZ"), ("Tucson", "NM")], probabilities=[0.7, 0.3]
+    )
+    relation.add_alternatives(
+        [("Greenville", "IN")], probabilities=[0.5]
+    )
+    return xdb
+
+
+def test_maybms_from_xdb_builds_descriptors():
+    maybms = MayBMSDatabase.from_xdb(build_bidb())
+    relation = maybms.relation("loc")
+    assert len(relation.possible_rows()) == 4
+    certain_descriptor = relation.descriptors_of(("Lasalle", "NY"))
+    assert certain_descriptor == [frozenset()]
+
+
+def test_maybms_query_returns_all_possible_answers():
+    maybms = MayBMSDatabase.from_xdb(build_bidb())
+    plan = algebra.Projection(algebra.RelationRef("loc"), ((Column("state"), "state"),))
+    result, _ = maybms.query(plan)
+    assert set(result.possible_rows()) == {("NY",), ("AZ",), ("NM",), ("IN",)}
+
+
+def test_maybms_confidence_exact():
+    maybms = MayBMSDatabase.from_xdb(build_bidb())
+    plan = algebra.Projection(algebra.RelationRef("loc"), ((Column("locale"), "locale"),))
+    result, _ = maybms.query(plan)
+    assert maybms.tuple_confidence(result, ("Lasalle",)) == pytest.approx(1.0)
+    assert maybms.tuple_confidence(result, ("Tucson",)) == pytest.approx(1.0)
+    assert maybms.tuple_confidence(result, ("Greenville",)) == pytest.approx(0.5)
+    certain = maybms.certain_rows(result)
+    assert set(certain) == {("Lasalle",), ("Tucson",)}
+
+
+def test_maybms_confidence_approximation_close_to_exact():
+    maybms = MayBMSDatabase.from_xdb(build_bidb())
+    plan = algebra.Projection(algebra.RelationRef("loc"), ((Column("locale"), "locale"),))
+    result, _ = maybms.query(plan)
+    approx = maybms.tuple_confidence(result, ("Greenville",), exact=False, epsilon=0.1)
+    assert abs(approx - 0.5) < 0.3
+
+
+def test_maybms_join_drops_inconsistent_descriptors():
+    xdb = XDatabase("j")
+    relation = xdb.create_relation(RelationSchema("r", ["a", "b"]))
+    relation.add_alternatives([(1, "x"), (1, "y")])
+    maybms = MayBMSDatabase.from_xdb(xdb)
+    plan = algebra.Join(
+        algebra.Qualify(algebra.RelationRef("r"), "l"),
+        algebra.Qualify(algebra.RelationRef("r"), "rr"),
+        Comparison("=", Column("a", qualifier="l"), Column("a", qualifier="rr")),
+    )
+    result, _ = maybms.query(plan)
+    # Combinations pairing alternative x with alternative y of the same block
+    # are inconsistent and must not appear.
+    rows = set(result.possible_rows())
+    assert (1, "x", 1, "y") not in rows
+    assert (1, "x", 1, "x") in rows and (1, "y", 1, "y") in rows
+
+
+def test_maybms_from_tidb():
+    tidb = TIDatabase("ti")
+    relation = tidb.create_relation(LOC_SCHEMA)
+    relation.add(("Lasalle", "NY"), probability=1.0)
+    relation.add(("Tucson", "AZ"), probability=0.4)
+    maybms = MayBMSDatabase.from_tidb(tidb)
+    plan = algebra.RelationRef("loc")
+    result, _ = maybms.query(plan)
+    assert maybms.tuple_confidence(result, ("Tucson", "AZ")) == pytest.approx(0.4)
+    assert maybms.tuple_confidence(result, ("Lasalle", "NY")) == pytest.approx(1.0)
+
+
+def test_maybms_result_size_grows_with_uncertainty():
+    xdb_small = XDatabase("s")
+    r1 = xdb_small.create_relation(LOC_SCHEMA)
+    r1.add_certain(("Lasalle", "NY"))
+    xdb_large = XDatabase("l")
+    r2 = xdb_large.create_relation(LOC_SCHEMA)
+    r2.add_alternatives([("Lasalle", "NY"), ("Lasalle", "AZ"), ("Lasalle", "TX")])
+    plan = algebra.RelationRef("loc")
+    small, _ = MayBMSDatabase.from_xdb(xdb_small).query(plan)
+    large, _ = MayBMSDatabase.from_xdb(xdb_large).query(plan)
+    assert len(large.possible_rows()) > len(small.possible_rows())
+
+
+# -- MCDB -------------------------------------------------------------------------------------------
+
+
+def test_mcdb_sampling_and_estimates(geocoding_xdb):
+    sampler = MCDBSampler(num_samples=12, seed=1, semiring=BOOLEAN)
+    worlds = sampler.sample_worlds_xdb(geocoding_xdb)
+    assert len(worlds) == 12
+    results, elapsed = sampler.query(worlds, "SELECT id, address FROM ADDR")
+    assert elapsed >= 0
+    certain_estimate = set(sampler.certain_row_estimate(results))
+    # Certain base tuples appear in every sample.
+    assert (1, "51 Comstock") in certain_estimate
+    assert (4, "192 Davidson") in certain_estimate
+    probabilities = sampler.estimated_probabilities(results)
+    assert probabilities[(1, "51 Comstock")] == pytest.approx(1.0)
+
+
+def test_mcdb_tidb_sampling_respects_probability():
+    tidb = TIDatabase("ti")
+    relation = tidb.create_relation(LOC_SCHEMA)
+    relation.add(("Lasalle", "NY"), probability=1.0)
+    relation.add(("Tucson", "AZ"), probability=0.5)
+    sampler = MCDBSampler(num_samples=50, seed=3, semiring=BOOLEAN)
+    worlds = sampler.sample_worlds_tidb(tidb)
+    results, _ = sampler.query(worlds, "SELECT locale, state FROM loc")
+    probabilities = sampler.estimated_probabilities(results)
+    assert probabilities[("Lasalle", "NY")] == pytest.approx(1.0)
+    assert 0.2 < probabilities.get(("Tucson", "AZ"), 0.0) < 0.8
+
+
+def test_mcdb_requires_positive_samples():
+    with pytest.raises(ValueError):
+        MCDBSampler(num_samples=0)
+
+
+# -- exact certain answers over C-tables --------------------------------------------------------------
+
+
+def build_example9_ctable() -> CTableDatabase:
+    x = Variable("X")
+    database = CTableDatabase("ex9", domains={x: [1, 2]})
+    ctable = database.create_relation(RelationSchema("r", ["a", "b"]))
+    ctable.add_tuple((1, x), ComparisonAtom("=", x, 1))
+    ctable.add_tuple((1, 1), ComparisonAtom("!=", x, 1))
+    return database
+
+
+def test_exact_certain_answers_finds_example9_tuple():
+    database = build_example9_ctable()
+    plan = algebra.RelationRef("r")
+    certain, elapsed = exact_certain_answers(database, plan)
+    # The exact method recognizes (1, 1) as certain (the UA-DB labeling does not).
+    assert (1, 1) in certain
+    assert elapsed >= 0
+
+
+def test_symbolic_selection_builds_conditions():
+    x = Variable("X")
+    database = CTableDatabase("c", domains={x: [1, 5, 9]})
+    ctable = database.create_relation(RelationSchema("r", ["a", "b"]))
+    ctable.add_tuple((1, x))
+    evaluator = CTableQueryEvaluator(database)
+    plan = algebra.Selection(
+        algebra.RelationRef("r"), Comparison("<", Column("b"), Literal(6))
+    )
+    result = evaluator.evaluate(plan)
+    assert len(result) == 1
+    condition = result.tuples[0].condition
+    assert condition.variables() == {x}
+    certain, _ = evaluator.certain_answers(plan)
+    assert certain == []  # the only tuple is not ground
+
+
+def test_symbolic_projection_merges_conditions_to_certainty():
+    # Two tuples project to the same constant; their disjunctive condition is
+    # a tautology, so the projection result is certain.
+    x = Variable("X")
+    database = CTableDatabase("c", domains={x: [1, 2]})
+    ctable = database.create_relation(RelationSchema("r", ["a", "b"]))
+    ctable.add_tuple((7, 1), ComparisonAtom("=", x, 1))
+    ctable.add_tuple((7, 2), ComparisonAtom("!=", x, 1))
+    plan = algebra.Projection(algebra.RelationRef("r"), ((Column("a"), "a"),))
+    certain, _ = exact_certain_answers(database, plan)
+    assert certain == [(7,)]
+
+
+def test_symbolic_join_conjoins_conditions():
+    x = Variable("X")
+    database = CTableDatabase("c", domains={x: [1, 2]})
+    left = database.create_relation(RelationSchema("l", ["a"]))
+    left.add_tuple((1,), ComparisonAtom("=", x, 1))
+    right = database.create_relation(RelationSchema("r", ["b"]))
+    right.add_tuple((1,), ComparisonAtom("!=", x, 1))
+    plan = algebra.Join(
+        algebra.RelationRef("l"), algebra.RelationRef("r"),
+        Comparison("=", Column("a"), Column("b")),
+    )
+    evaluator = CTableQueryEvaluator(database)
+    result = evaluator.evaluate(plan)
+    # The combined condition (X=1 AND X!=1) is unsatisfiable; the tuple may be
+    # dropped by simplification or kept with an unsatisfiable condition, but it
+    # must never be reported certain.
+    certain, _ = evaluator.certain_answers(plan)
+    assert certain == []
+
+
+def test_exact_certain_answers_match_possible_worlds_ground_truth():
+    database = build_example9_ctable()
+    plan = algebra.Projection(algebra.RelationRef("r"), ((Column("a"), "a"),))
+    certain, _ = exact_certain_answers(database, plan)
+    incomplete = database.possible_worlds()
+    truth = set(incomplete.query(plan).certain_rows())
+    assert set(certain) == truth

@@ -1,0 +1,173 @@
+"""Tests for the C-table condition language and the tautology/SAT checker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.incomplete.conditions import (
+    AndCondition, ComparisonAtom, Condition, FalseCondition, NotCondition,
+    OrCondition, TrueCondition, Variable,
+)
+from repro.incomplete.solver import (
+    SolverLimitExceeded, equivalent, is_satisfiable, is_tautology,
+)
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+# -- condition construction and evaluation --------------------------------------------
+
+
+def test_atom_evaluation_with_assignment():
+    atom = ComparisonAtom("=", X, 1)
+    assert atom.evaluate({X: 1}) is True
+    assert atom.evaluate({X: 2}) is False
+    assert ComparisonAtom("<", X, Y).evaluate({X: 1, Y: 2}) is True
+    assert ComparisonAtom(">=", 3, 3).evaluate({}) is True
+
+
+def test_atom_incomparable_values():
+    atom = ComparisonAtom("<", X, 5)
+    assert atom.evaluate({X: "abc"}) is False
+    assert ComparisonAtom("=", X, 5).evaluate({X: "abc"}) is False
+    assert ComparisonAtom("!=", X, 5).evaluate({X: "abc"}) is True
+
+
+def test_atom_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        ComparisonAtom("~", X, 1)
+
+
+def test_variables_and_constants_collection():
+    condition = AndCondition((
+        ComparisonAtom("=", X, 1),
+        OrCondition((ComparisonAtom("<", Y, 5), ComparisonAtom("!=", X, Y))),
+    ))
+    assert condition.variables() == {X, Y}
+    assert condition.constants() == {1, 5}
+
+
+def test_negation_of_atoms_and_connectives():
+    assert ComparisonAtom("=", X, 1).negate() == ComparisonAtom("!=", X, 1)
+    assert ComparisonAtom("<", X, 1).negate() == ComparisonAtom(">=", X, 1)
+    negated = AndCondition((ComparisonAtom("=", X, 1), ComparisonAtom("=", Y, 2))).negate()
+    assert isinstance(negated, OrCondition)
+    assert TrueCondition().negate() == FalseCondition()
+    assert FalseCondition().negate() == TrueCondition()
+
+
+def test_simplification_rules():
+    assert AndCondition((TrueCondition(), TrueCondition())).simplify() == TrueCondition()
+    assert AndCondition((TrueCondition(), FalseCondition())).simplify() == FalseCondition()
+    assert OrCondition((FalseCondition(), FalseCondition())).simplify() == FalseCondition()
+    assert OrCondition((TrueCondition(), ComparisonAtom("=", X, 1))).simplify() == TrueCondition()
+    ground = ComparisonAtom("<", 1, 2)
+    assert ground.simplify() == TrueCondition()
+    assert ComparisonAtom(">", 1, 2).simplify() == FalseCondition()
+    single = AndCondition((ComparisonAtom("=", X, 1), TrueCondition())).simplify()
+    assert single == ComparisonAtom("=", X, 1)
+
+
+def test_not_condition_simplify_pushes_negation():
+    inner = ComparisonAtom("=", X, 1)
+    assert NotCondition(inner).simplify() == ComparisonAtom("!=", X, 1)
+    assert NotCondition(TrueCondition()).simplify() == FalseCondition()
+    assert NotCondition(inner).evaluate({X: 1}) is False
+
+
+def test_operator_overloads():
+    a = ComparisonAtom("=", X, 1)
+    b = ComparisonAtom("=", Y, 2)
+    combined = a & b
+    assert isinstance(combined, AndCondition)
+    either = a | b
+    assert isinstance(either, OrCondition)
+    assert (~a) == ComparisonAtom("!=", X, 1)
+
+
+# -- normal forms ------------------------------------------------------------------------
+
+
+def test_cnf_detection():
+    clause = OrCondition((ComparisonAtom("=", X, 1), ComparisonAtom("=", Y, 2)))
+    cnf = AndCondition((clause, ComparisonAtom("<", Z, 3)))
+    assert cnf.is_cnf()
+    assert clause.is_cnf()
+    assert ComparisonAtom("=", X, 1).is_cnf()
+    not_cnf = OrCondition((AndCondition((ComparisonAtom("=", X, 1), ComparisonAtom("=", Y, 2))),
+                           ComparisonAtom("=", Z, 3)))
+    assert not not_cnf.is_cnf()
+
+
+def test_cnf_conversion_preserves_semantics():
+    original = OrCondition((
+        AndCondition((ComparisonAtom("=", X, 1), ComparisonAtom("=", Y, 2))),
+        ComparisonAtom("=", Z, 3),
+    ))
+    cnf = original.to_cnf()
+    assert cnf.is_cnf()
+    assert equivalent(original, cnf, domains={X: [1, 2], Y: [2, 3], Z: [3, 4]})
+
+
+# -- solver --------------------------------------------------------------------------------
+
+
+def test_tautology_of_ground_conditions():
+    assert is_tautology(TrueCondition())
+    assert not is_tautology(FalseCondition())
+    assert is_tautology(ComparisonAtom("<", 1, 2))
+
+
+def test_tautology_excluded_middle():
+    condition = OrCondition((ComparisonAtom("=", X, 1), ComparisonAtom("!=", X, 1)))
+    assert is_tautology(condition)
+
+
+def test_non_tautology_detected():
+    assert not is_tautology(ComparisonAtom("=", X, 1))
+    assert not is_tautology(OrCondition((ComparisonAtom("=", X, 1), ComparisonAtom("=", X, 2))))
+
+
+def test_tautology_with_explicit_domain():
+    condition = OrCondition((ComparisonAtom("=", X, 1), ComparisonAtom("=", X, 2)))
+    assert is_tautology(condition, domains={X: [1, 2]})
+    assert not is_tautology(condition, domains={X: [1, 2, 3]})
+
+
+def test_order_atoms_tautology():
+    condition = OrCondition((ComparisonAtom("<", X, 10), ComparisonAtom(">=", X, 10)))
+    assert is_tautology(condition)
+    weaker = OrCondition((ComparisonAtom("<", X, 10), ComparisonAtom(">", X, 10)))
+    assert not is_tautology(weaker)
+
+
+def test_satisfiability():
+    assert is_satisfiable(ComparisonAtom("=", X, 1))
+    assert not is_satisfiable(AndCondition((ComparisonAtom("=", X, 1), ComparisonAtom("!=", X, 1))))
+    assert is_satisfiable(AndCondition((ComparisonAtom("<", X, Y), ComparisonAtom("<", Y, 10))))
+
+
+def test_solver_limit():
+    variables = [Variable(f"v{i}") for i in range(30)]
+    big = AndCondition(tuple(ComparisonAtom("=", v, 1) for v in variables))
+    with pytest.raises(SolverLimitExceeded):
+        is_tautology(big, domains={v: list(range(10)) for v in variables}, limit=1000)
+
+
+def test_equivalence_check():
+    left = AndCondition((ComparisonAtom("=", X, 1), ComparisonAtom("=", Y, 2)))
+    right = AndCondition((ComparisonAtom("=", Y, 2), ComparisonAtom("=", X, 1)))
+    assert equivalent(left, right, domains={X: [1, 2], Y: [2, 3]})
+    assert not equivalent(left, ComparisonAtom("=", X, 1), domains={X: [1, 2], Y: [2, 3]})
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3))
+def test_property_condition_or_negation_is_tautology(a, b):
+    # For any atom c over a finite domain, (c OR NOT c) is a tautology and
+    # (c AND NOT c) is unsatisfiable.
+    atom = ComparisonAtom("<=", X, a) if b % 2 == 0 else ComparisonAtom("=", X, a)
+    assert is_tautology(OrCondition((atom, atom.negate())), domains={X: list(range(4))})
+    assert not is_satisfiable(AndCondition((atom, atom.negate())), domains={X: list(range(4))})

@@ -1,0 +1,203 @@
+"""Tests for the Enc multiset encoding and the Figure 8/9 query rewriting (Theorem 7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    CERTAINTY_COLUMN, decode, decode_relation, encode, encode_relation,
+)
+from repro.core.rewriter import RewriteError, rewrite_plan
+from repro.core.uadb import UADatabase, UARelation
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.relation import bag_relation
+from repro.db.schema import RelationSchema
+from repro.semirings import BOOLEAN, NATURAL
+from repro.semirings.ua import UASemiring
+
+LOC_SCHEMA = RelationSchema("loc", ["locale", "state"])
+PEOPLE_SCHEMA = RelationSchema("person", ["pid", "state"])
+
+
+def build_uadb():
+    """A small bag UA-database with two relations and mixed certainty."""
+    uadb = UADatabase(NATURAL, "u")
+    loc = uadb.create_relation(LOC_SCHEMA)
+    loc.add_tuple(("Lasalle", "NY"), certain=2, determinized=3)
+    loc.add_tuple(("Tucson", "AZ"), certain=0, determinized=2)
+    loc.add_tuple(("Kingsley", "NY"), certain=1, determinized=1)
+    person = uadb.create_relation(PEOPLE_SCHEMA)
+    person.add_tuple((1, "NY"), certain=1, determinized=2)
+    person.add_tuple((2, "AZ"), certain=1, determinized=1)
+    person.add_tuple((3, "NY"), certain=0, determinized=1)
+    return uadb
+
+
+# -- Enc / Enc^-1 -------------------------------------------------------------------------
+
+
+def test_encode_splits_certain_and_uncertain_copies():
+    uadb = build_uadb()
+    encoded = encode_relation(uadb.relation("loc"))
+    assert encoded.schema.attribute_names[-1] == CERTAINTY_COLUMN
+    assert encoded.annotation(("Lasalle", "NY", 1)) == 2
+    assert encoded.annotation(("Lasalle", "NY", 0)) == 1
+    assert encoded.annotation(("Tucson", "AZ", 0)) == 2
+    assert ("Tucson", "AZ", 1) not in encoded
+    assert encoded.annotation(("Kingsley", "NY", 1)) == 1
+    assert ("Kingsley", "NY", 0) not in encoded
+
+
+def test_encode_decode_roundtrip():
+    uadb = build_uadb()
+    for name in uadb.relation_names():
+        relation = uadb.relation(name)
+        decoded = decode_relation(encode_relation(relation), relation.ua_semiring)
+        assert decoded == relation
+
+
+def test_encode_database_and_decode_database():
+    uadb = build_uadb()
+    encoded = encode(uadb)
+    assert set(encoded.relation_names()) == set(uadb.relation_names())
+    decoded = decode(encoded, "roundtrip")
+    for name in uadb.relation_names():
+        assert decoded.relation(name) == uadb.relation(name)
+
+
+def test_encode_rejects_existing_certainty_column():
+    schema = RelationSchema("r", ["a", CERTAINTY_COLUMN])
+    relation = UARelation(schema, UASemiring(NATURAL))
+    with pytest.raises(ValueError):
+        encode_relation(relation)
+
+
+def test_decode_requires_trailing_certainty_column():
+    relation = bag_relation(LOC_SCHEMA, [("Lasalle", "NY")])
+    with pytest.raises(ValueError):
+        decode_relation(relation)
+
+
+def test_boolean_encoding_roundtrip(geocoding_xdb):
+    uadb = UADatabase.from_xdb(geocoding_xdb, BOOLEAN)
+    for name in uadb.relation_names():
+        relation = uadb.relation(name)
+        assert decode_relation(encode_relation(relation), relation.ua_semiring) == relation
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=8))
+def test_property_encoding_roundtrip_random_annotations(pairs):
+    ua_semiring = UASemiring(NATURAL)
+    relation = UARelation(RelationSchema("r", ["k"]), ua_semiring)
+    for index, (certain, extra) in enumerate(pairs):
+        determinized = certain + extra
+        if determinized == 0:
+            continue
+        relation.add_tuple((index,), certain=certain, determinized=determinized)
+    assert decode_relation(encode_relation(relation), ua_semiring) == relation
+
+
+# -- rewriting (Theorem 7) -----------------------------------------------------------------------
+
+
+REWRITE_PLANS = {
+    "selection": algebra.Selection(
+        algebra.RelationRef("loc"), Comparison("=", Column("state"), Literal("NY"))
+    ),
+    "projection": algebra.Projection(
+        algebra.RelationRef("loc"), ((Column("state"), "state"),)
+    ),
+    "union": algebra.Union(
+        algebra.Projection(algebra.RelationRef("loc"), ((Column("state"), "state"),)),
+        algebra.Projection(algebra.RelationRef("person"), ((Column("state"), "state"),)),
+    ),
+    "join": algebra.Projection(
+        algebra.Join(
+            algebra.Qualify(algebra.RelationRef("person"), "p"),
+            algebra.Qualify(algebra.RelationRef("loc"), "l"),
+            Comparison("=", Column("state", qualifier="p"), Column("state", qualifier="l")),
+        ),
+        ((Column("pid", qualifier="p"), "pid"), (Column("locale", qualifier="l"), "locale")),
+    ),
+    "join-no-projection": algebra.Join(
+        algebra.Qualify(algebra.RelationRef("person"), "p"),
+        algebra.Qualify(algebra.RelationRef("loc"), "l"),
+        Comparison("=", Column("state", qualifier="p"), Column("state", qualifier="l")),
+    ),
+    "selection-over-join": algebra.Selection(
+        algebra.Projection(
+            algebra.Join(
+                algebra.Qualify(algebra.RelationRef("person"), "p"),
+                algebra.Qualify(algebra.RelationRef("loc"), "l"),
+                Comparison("=", Column("state", qualifier="p"), Column("state", qualifier="l")),
+            ),
+            ((Column("pid", qualifier="p"), "pid"), (Column("state", qualifier="l"), "state")),
+        ),
+        Comparison("=", Column("state"), Literal("NY")),
+    ),
+}
+
+
+@pytest.mark.parametrize("plan_name", list(REWRITE_PLANS), ids=list(REWRITE_PLANS))
+def test_rewriting_matches_direct_ua_semantics(plan_name):
+    """Theorem 7: Q(D_UA) == Enc^-1([[Q]](Enc(D_UA)))."""
+    plan = REWRITE_PLANS[plan_name]
+    uadb = build_uadb()
+    direct = uadb.query(plan)
+
+    encoded = encode(uadb)
+    rewritten = rewrite_plan(plan, encoded.schema)
+    encoded_result = evaluate(rewritten, encoded)
+    decoded = decode_relation(encoded_result, uadb.ua_semiring)
+
+    assert set(decoded.rows()) == set(direct.rows())
+    for row in direct.rows():
+        assert decoded.annotation(row).as_tuple() == direct.annotation(row).as_tuple()
+
+
+def test_rewritten_plan_exposes_single_certainty_column():
+    uadb = build_uadb()
+    encoded = encode(uadb)
+    plan = REWRITE_PLANS["join-no-projection"]
+    rewritten = rewrite_plan(plan, encoded.schema)
+    result = evaluate(rewritten, encoded)
+    assert result.schema.attribute_names[-1].split(".")[-1] == CERTAINTY_COLUMN
+    # Exactly one certainty column in the output schema.
+    markers = [
+        name for name in result.schema.attribute_names
+        if name.split(".")[-1].lower() == CERTAINTY_COLUMN.lower()
+    ]
+    assert len(markers) == 1
+
+
+def test_rewriter_rejects_aggregates():
+    plan = algebra.Aggregate(
+        algebra.RelationRef("loc"), ((Column("state"), "state"),),
+        (algebra.AggregateFunction("count", None, "n"),),
+    )
+    with pytest.raises(RewriteError):
+        rewrite_plan(plan)
+
+
+def test_rewriter_handles_distinct_orderby_limit():
+    uadb = build_uadb()
+    encoded = encode(uadb)
+    plan = algebra.Limit(
+        algebra.OrderBy(
+            algebra.Distinct(
+                algebra.Projection(algebra.RelationRef("loc"), ((Column("state"), "state"),))
+            ),
+            ((Column("state"), False),),
+        ),
+        1,
+    )
+    rewritten = rewrite_plan(plan, encoded.schema)
+    result = evaluate(rewritten, encoded)
+    decoded = decode_relation(result, uadb.ua_semiring)
+    assert len(decoded) == 1

@@ -1,0 +1,46 @@
+"""Every example script must run end-to-end and produce its expected headline output."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> a fragment that must appear in its stdout.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "answers are certain",
+    "ctable_certain_answers.py": "",
+    "data_cleaning_imputation.py": "",
+    "access_control_audit.py": "",
+    "inconsistent_qa.py": "Exact consistent answers",
+    "negation_and_aggregation.py": "Shipments per region",
+    "attribute_level_cleaning.py": "recover",
+    "provenance_and_confidence.py": "Provenance of every",
+}
+
+
+def _run(script: pathlib.Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT), (
+        "examples/ and the EXPECTED_OUTPUT table in this test are out of sync"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    result = _run(EXAMPLES_DIR / script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in result.stdout
+    assert result.stdout.strip(), "examples should print something useful"

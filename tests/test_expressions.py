@@ -1,0 +1,200 @@
+"""Tests for the scalar expression language (including three-valued logic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.expressions import (
+    And, Arithmetic, Between, Case, Column, Comparison, ExpressionError,
+    FunctionCall, InList, IsNull, Like, Literal, Negate, Not, Or,
+    RowEnvironment, conjunction,
+)
+
+
+def env(**values):
+    names = list(values.keys())
+    return RowEnvironment(names, tuple(values.values()))
+
+
+# -- row environments -------------------------------------------------------------
+
+
+def test_environment_qualified_and_bare_lookup():
+    environment = RowEnvironment(["a.id", "a.name", "b.id"], (1, "x", 2))
+    assert environment.lookup("id", "a") == 1
+    assert environment.lookup("id", "b") == 2
+    assert environment.lookup("name") == "x"
+    with pytest.raises(ExpressionError):
+        environment.lookup("id")  # ambiguous
+    with pytest.raises(ExpressionError):
+        environment.lookup("missing")
+
+
+def test_environment_qualifier_falls_back_to_bare_column():
+    environment = RowEnvironment(["id", "name"], (7, "x"))
+    assert environment.lookup("id", "people") == 7
+    with pytest.raises(ExpressionError):
+        environment.lookup("zip", "people")
+
+
+# -- literals and columns ------------------------------------------------------------
+
+
+def test_literal_and_column_evaluation():
+    assert Literal(5).evaluate(env(a=1)) == 5
+    assert Column("a").evaluate(env(a=1)) == 1
+    assert Column("a", qualifier="t").full_name == "t.a"
+    assert Column("a").columns() == [Column("a")]
+
+
+def test_literal_to_sql_escapes_quotes():
+    assert Literal("o'brien").to_sql() == "'o''brien'"
+    assert Literal(None).to_sql() == "NULL"
+
+
+# -- comparisons and three-valued logic ------------------------------------------------
+
+
+@pytest.mark.parametrize("op,left,right,expected", [
+    ("=", 1, 1, True), ("=", 1, 2, False),
+    ("!=", 1, 2, True), ("<>", 1, 1, False),
+    ("<", 1, 2, True), ("<=", 2, 2, True),
+    (">", 3, 2, True), (">=", 1, 2, False),
+])
+def test_comparison_operators(op, left, right, expected):
+    expression = Comparison(op, Literal(left), Literal(right))
+    assert expression.evaluate(env(x=0)) is expected
+
+
+def test_comparison_with_null_is_unknown():
+    assert Comparison("=", Literal(None), Literal(1)).evaluate(env(x=0)) is None
+    assert Comparison("<", Column("a"), Literal(3)).evaluate(env(a=None)) is None
+
+
+def test_comparison_mixed_types_is_unknown():
+    assert Comparison("<", Literal("abc"), Literal(3)).evaluate(env(x=0)) is None
+
+
+def test_comparison_rejects_bad_operator():
+    with pytest.raises(ExpressionError):
+        Comparison("===", Literal(1), Literal(1))
+
+
+def test_kleene_and_or_not():
+    true, false, null = Literal(True), Literal(False), Literal(None)
+    true_cmp = Comparison("=", Literal(1), Literal(1))
+    false_cmp = Comparison("=", Literal(1), Literal(2))
+    null_cmp = Comparison("=", Literal(None), Literal(1))
+    e = env(x=0)
+    assert And(true_cmp, true_cmp).evaluate(e) is True
+    assert And(true_cmp, false_cmp).evaluate(e) is False
+    assert And(true_cmp, null_cmp).evaluate(e) is None
+    assert And(false_cmp, null_cmp).evaluate(e) is False  # false dominates unknown
+    assert Or(false_cmp, true_cmp).evaluate(e) is True
+    assert Or(false_cmp, null_cmp).evaluate(e) is None
+    assert Or(true_cmp, null_cmp).evaluate(e) is True  # true dominates unknown
+    assert Not(null_cmp).evaluate(e) is None
+    assert Not(false_cmp).evaluate(e) is True
+
+
+def test_and_or_flatten_nested_operands():
+    a = Comparison("=", Column("a"), Literal(1))
+    nested = And(a, And(a, a))
+    assert len(nested.operands) == 3
+    nested_or = Or(a, Or(a, a))
+    assert len(nested_or.operands) == 3
+
+
+# -- arithmetic -----------------------------------------------------------------------
+
+
+def test_arithmetic_and_negation():
+    e = env(a=10, b=4)
+    assert Arithmetic("+", Column("a"), Column("b")).evaluate(e) == 14
+    assert Arithmetic("-", Column("a"), Column("b")).evaluate(e) == 6
+    assert Arithmetic("*", Column("a"), Column("b")).evaluate(e) == 40
+    assert Arithmetic("/", Column("a"), Column("b")).evaluate(e) == 2.5
+    assert Negate(Column("b")).evaluate(e) == -4
+
+
+def test_arithmetic_null_propagation_and_division_by_zero():
+    e = env(a=None, b=0)
+    assert Arithmetic("+", Column("a"), Literal(1)).evaluate(e) is None
+    assert Arithmetic("/", Literal(1), Column("b")).evaluate(e) is None
+    assert Negate(Column("a")).evaluate(e) is None
+
+
+def test_arithmetic_rejects_bad_operator():
+    with pytest.raises(ExpressionError):
+        Arithmetic("%", Literal(1), Literal(1))
+
+
+# -- predicates -----------------------------------------------------------------------
+
+
+def test_between_and_in_and_like():
+    e = env(x=5, s="hello")
+    assert Between(Column("x"), Literal(1), Literal(10)).evaluate(e) is True
+    assert Between(Column("x"), Literal(6), Literal(10)).evaluate(e) is False
+    assert Between(Column("x"), Literal(None), Literal(10)).evaluate(e) is None
+    assert InList(Column("x"), (Literal(1), Literal(5))).evaluate(e) is True
+    assert InList(Column("x"), (Literal(1), Literal(2))).evaluate(e) is False
+    assert InList(Column("x"), (Literal(1), Literal(None))).evaluate(e) is None
+    assert Like(Column("s"), "he%o").evaluate(e) is True
+    assert Like(Column("s"), "he_lo").evaluate(e) is True
+    assert Like(Column("s"), "x%").evaluate(e) is False
+
+
+def test_is_null_predicate():
+    e = env(a=None, b=2)
+    assert IsNull(Column("a")).evaluate(e) is True
+    assert IsNull(Column("b")).evaluate(e) is False
+    assert IsNull(Column("a"), negated=True).evaluate(e) is False
+
+
+def test_case_searched_and_simple():
+    searched = Case(
+        whens=((Comparison(">", Column("x"), Literal(10)), Literal("big")),
+               (Comparison(">", Column("x"), Literal(5)), Literal("medium"))),
+        else_result=Literal("small"),
+    )
+    assert searched.evaluate(env(x=20)) == "big"
+    assert searched.evaluate(env(x=7)) == "medium"
+    assert searched.evaluate(env(x=1)) == "small"
+
+    simple = Case(
+        operand=Column("code"),
+        whens=((Literal(1), Literal("one")), (Literal(2), Literal("two"))),
+    )
+    assert simple.evaluate(env(code=2)) == "two"
+    assert simple.evaluate(env(code=9)) is None
+    assert simple.evaluate(env(code=None)) is None
+
+
+def test_function_calls():
+    e = env(a=-3, b=None, rect=((0, 0), (2, 2)), point=(1, 1))
+    assert FunctionCall("abs", (Column("a"),)).evaluate(e) == 3
+    assert FunctionCall("least", (Literal(3), Literal(1))).evaluate(e) == 1
+    assert FunctionCall("greatest", (Literal(3), Column("b"))).evaluate(e) == 3
+    assert FunctionCall("coalesce", (Column("b"), Literal(9))).evaluate(e) == 9
+    assert FunctionCall("upper", (Literal("ab"),)).evaluate(e) == "AB"
+    assert FunctionCall("contains", (Column("rect"), Column("point"))).evaluate(e) is True
+    with pytest.raises(ExpressionError):
+        FunctionCall("no_such_function", ())
+
+
+def test_conjunction_helper():
+    assert conjunction([]).evaluate(env(x=1)) is True
+    single = Comparison("=", Column("x"), Literal(1))
+    assert conjunction([single]) is single
+    combined = conjunction([single, single])
+    assert isinstance(combined, And)
+
+
+def test_expression_to_sql_round_trip_strings():
+    expression = And(
+        Comparison("=", Column("a", qualifier="t"), Literal(1)),
+        Or(Between(Column("b"), Literal(0), Literal(5)), IsNull(Column("c"))),
+    )
+    text = expression.to_sql()
+    assert "t.a" in text and "BETWEEN" in text and "IS NULL" in text

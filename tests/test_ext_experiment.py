@@ -1,0 +1,28 @@
+"""Tests for the extension ablation experiment (tuple- vs attribute-level FNR)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_attribute_fnr
+
+
+def test_attribute_level_never_does_worse_and_removes_projection_fnr():
+    table = ext_attribute_fnr.run(
+        datasets=["shootings_buffalo", "contracts"],
+        scale=0.002, projections_per_width=3, max_widths=3, show=False,
+    )
+    assert table.rows, "the experiment should produce at least one row"
+    for _dataset, _width, tuple_fnr, attribute_fnr in table.rows:
+        assert 0.0 <= attribute_fnr <= tuple_fnr <= 1.0
+    # Attribute-level labels certify every certain projection answer: pure
+    # projections cannot introduce false negatives for them.
+    assert all(row[3] == 0.0 for row in table.rows)
+
+
+def test_experiment_covers_multiple_projection_widths():
+    table = ext_attribute_fnr.run(
+        datasets=["contracts"], scale=0.002, projections_per_width=2,
+        max_widths=3, show=False,
+    )
+    widths = {row[1] for row in table.rows}
+    assert len(widths) >= 2
+    assert all(0.0 <= row[2] <= 1.0 for row in table.rows)

@@ -1,0 +1,196 @@
+"""Tests for aggregation with certainty bounds over UA-/UAP-databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import algebra
+from repro.db.evaluator import evaluate
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.incomplete import XDatabase
+from repro.core.uadb import UADatabase
+from repro.extensions import UAPDatabase, ua_aggregate
+
+
+@pytest.fixture
+def sales_schema() -> RelationSchema:
+    return RelationSchema("sales", [
+        Attribute("region", DataType.STRING),
+        Attribute("item", DataType.STRING),
+        Attribute("amount", DataType.INTEGER),
+    ])
+
+
+@pytest.fixture
+def sales_xdb(sales_schema) -> XDatabase:
+    """Sales with an uncertain region, an uncertain amount and an optional row."""
+    xdb = XDatabase("sales_db")
+    relation = xdb.create_relation(sales_schema)
+    relation.add_certain(("east", "widget", 10))
+    relation.add_certain(("east", "gadget", 5))
+    # Region is ambiguous: the row may belong to east or west.
+    relation.add_alternatives([("east", "gizmo", 7), ("west", "gizmo", 7)],
+                              probabilities=[0.6, 0.4])
+    # Amount is ambiguous within the same region.
+    relation.add_alternatives([("west", "widget", 3), ("west", "widget", 9)],
+                              probabilities=[0.5, 0.5])
+    # The whole row may be absent.
+    relation.add_alternatives([("east", "doohickey", 2)], probabilities=[0.7])
+    return xdb
+
+
+@pytest.fixture
+def group_plan() -> algebra.Aggregate:
+    return algebra.Aggregate(
+        algebra.RelationRef("sales"),
+        ((Column("region"), "region"),),
+        (
+            algebra.AggregateFunction("count", None, "n"),
+            algebra.AggregateFunction("sum", Column("amount"), "total"),
+            algebra.AggregateFunction("min", Column("amount"), "lowest"),
+            algebra.AggregateFunction("max", Column("amount"), "highest"),
+        ),
+    )
+
+
+def _per_world_aggregates(xdb, plan):
+    """Ground-truth aggregate rows per possible world, keyed by group."""
+    worlds = xdb.possible_worlds()
+    results = []
+    for world in worlds:
+        relation = evaluate(plan, world)
+        rows = {}
+        for row in relation.rows():
+            rows[row[:1]] = row[1:]
+        results.append(rows)
+    return results
+
+
+def _assert_within(bound, value):
+    """Check a world's aggregate value against a (possibly open) bound."""
+    if bound.lower is not None:
+        assert bound.lower <= value
+    if bound.upper is not None:
+        assert value <= bound.upper
+
+
+class TestBoundsSoundness:
+    def test_bounds_sandwich_every_world(self, sales_xdb, group_plan):
+        uapdb = UAPDatabase.from_xdb(sales_xdb)
+        bounded = {row.key: row for row in ua_aggregate(uapdb, group_plan)}
+        truth = _per_world_aggregates(sales_xdb, group_plan)
+        for key, row in bounded.items():
+            for world_rows in truth:
+                if key not in world_rows:
+                    continue
+                n, total, lowest, highest = world_rows[key]
+                _assert_within(row.aggregate("n"), n)
+                _assert_within(row.aggregate("total"), total)
+                _assert_within(row.aggregate("lowest"), lowest)
+                _assert_within(row.aggregate("highest"), highest)
+
+    def test_certain_groups_exist_in_every_world(self, sales_xdb, group_plan):
+        uapdb = UAPDatabase.from_xdb(sales_xdb)
+        truth = _per_world_aggregates(sales_xdb, group_plan)
+        for row in ua_aggregate(uapdb, group_plan):
+            if row.group_certain:
+                assert all(row.key in world_rows for world_rows in truth)
+
+    def test_pinned_aggregates_match_every_world(self, sales_xdb, group_plan):
+        uapdb = UAPDatabase.from_xdb(sales_xdb)
+        truth = _per_world_aggregates(sales_xdb, group_plan)
+        names = [agg.name for agg in group_plan.aggregates]
+        for row in ua_aggregate(uapdb, group_plan):
+            for position, name in enumerate(names):
+                bound = row.aggregate(name)
+                if not (row.group_certain and bound.certain):
+                    continue
+                for world_rows in truth:
+                    assert world_rows[row.key][position] == bound.value
+
+
+class TestBoundValues:
+    def test_east_group_bounds(self, sales_xdb, group_plan):
+        uapdb = UAPDatabase.from_xdb(sales_xdb)
+        rows = {row.key: row for row in ua_aggregate(uapdb, group_plan)}
+        east = rows[("east",)]
+        # Two certain rows; gizmo and doohickey may or may not be east rows.
+        assert east.aggregate("n").lower == 2
+        assert east.aggregate("n").upper == 4
+        assert east.aggregate("total").lower == 15
+        assert east.aggregate("total").upper == 15 + 7 + 2
+        assert east.group_certain
+        # The best-guess world picks east for gizmo and includes doohickey.
+        assert east.aggregate("n").value == 4
+
+    def test_group_only_in_possible_worlds_is_not_reported(self, sales_xdb):
+        plan = algebra.Aggregate(
+            algebra.Selection(
+                algebra.RelationRef("sales"),
+                Comparison("=", Column("item"), Literal("widget")),
+            ),
+            ((Column("region"), "region"),),
+            (algebra.AggregateFunction("count", None, "n"),),
+        )
+        uapdb = UAPDatabase.from_xdb(sales_xdb)
+        keys = {row.key for row in ua_aggregate(uapdb, plan)}
+        # The best-guess world has widgets in east and west; both reported.
+        assert keys == {("east",), ("west",)}
+
+    def test_average_is_pinned_only_for_fully_certain_groups(self, sales_xdb):
+        plan = algebra.Aggregate(
+            algebra.RelationRef("sales"),
+            ((Column("region"), "region"),),
+            (algebra.AggregateFunction("avg", Column("amount"), "mean"),),
+        )
+        uapdb = UAPDatabase.from_xdb(sales_xdb)
+        rows = {row.key: row for row in ua_aggregate(uapdb, plan)}
+        assert not rows[("east",)].aggregate("mean").certain
+        assert rows[("east",)].aggregate("mean").value == pytest.approx((10 + 5 + 7 + 2) / 4)
+
+    def test_fully_certain_group(self, sales_schema):
+        xdb = XDatabase("certain_only")
+        relation = xdb.create_relation(sales_schema)
+        relation.add_certain(("north", "widget", 4))
+        relation.add_certain(("north", "gadget", 6))
+        plan = algebra.Aggregate(
+            algebra.RelationRef("sales"),
+            ((Column("region"), "region"),),
+            (
+                algebra.AggregateFunction("count", None, "n"),
+                algebra.AggregateFunction("avg", Column("amount"), "mean"),
+            ),
+        )
+        uapdb = UAPDatabase.from_xdb(xdb)
+        (row,) = ua_aggregate(uapdb, plan)
+        assert row.certain
+        assert row.aggregate("n").value == 2
+        assert row.aggregate("mean").value == pytest.approx(5.0)
+        assert row.aggregate("mean").certain
+
+
+class TestUADatabaseFallback:
+    def test_upper_bounds_unknown_without_possible_component(self, sales_xdb, group_plan):
+        uadb = UADatabase.from_xdb(sales_xdb)
+        rows = {row.key: row for row in ua_aggregate(uadb, group_plan)}
+        east = rows[("east",)]
+        assert east.aggregate("n").lower == 2
+        assert east.aggregate("n").upper is None
+        assert not east.aggregate("n").certain
+        # min's lower bound needs possible information, its upper does not.
+        assert east.aggregate("lowest").lower is None
+        assert east.aggregate("lowest").upper == 5
+
+    def test_rejects_non_aggregate_plans(self, sales_xdb):
+        uadb = UADatabase.from_xdb(sales_xdb)
+        with pytest.raises(TypeError):
+            ua_aggregate(uadb, algebra.RelationRef("sales"))
+
+
+class TestAggregateRowAccessors:
+    def test_unknown_aggregate_name_raises(self, sales_xdb, group_plan):
+        uapdb = UAPDatabase.from_xdb(sales_xdb)
+        row = ua_aggregate(uapdb, group_plan)[0]
+        with pytest.raises(KeyError):
+            row.aggregate("missing")

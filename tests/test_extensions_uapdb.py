@@ -1,0 +1,331 @@
+"""Tests for possible labelings and UAP-DBs (the negation/difference extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import EvaluationError, evaluate
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.relation import KRelation
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.semirings import BOOLEAN, NATURAL
+from repro.incomplete import (
+    CTableDatabase, ComparisonAtom, TIDatabase, Variable, XDatabase, XTuple,
+)
+from repro.incomplete.kw_database import KWDatabase
+from repro.core.labeling import label_xdb
+from repro.extensions import (
+    UAPDatabase, UAPSemiring,
+    is_poss_complete,
+    label_possible_ctable, label_possible_tidb, label_possible_xdb,
+)
+
+
+# -- fixtures ---------------------------------------------------------------------
+
+
+@pytest.fixture
+def addr_schema() -> RelationSchema:
+    return RelationSchema("addr", [
+        Attribute("id", DataType.INTEGER),
+        Attribute("locale", DataType.STRING),
+        Attribute("state", DataType.STRING),
+    ])
+
+
+@pytest.fixture
+def addr_xdb(addr_schema) -> XDatabase:
+    """The paper's running example as an x-DB (Figure 3)."""
+    xdb = XDatabase("geocoding")
+    relation = xdb.create_relation(addr_schema)
+    relation.add_certain((1, "Lasalle", "NY"))
+    relation.add_alternatives([(2, "Tucson", "AZ"), (2, "Grant Ferry", "NY")],
+                              probabilities=[0.6, 0.4])
+    relation.add_alternatives([(3, "Kingsley", "NY"), (3, "Kingsley", "NY")],
+                              probabilities=[0.5, 0.5])
+    relation.add_certain((4, "Kensington", "NY"))
+    return xdb
+
+
+@pytest.fixture
+def small_tidb(addr_schema) -> TIDatabase:
+    tidb = TIDatabase("ti")
+    relation = tidb.create_relation(addr_schema)
+    relation.add((1, "Lasalle", "NY"), 1.0)
+    relation.add((2, "Tucson", "AZ"), 0.7)
+    relation.add((3, "Kingsley", "NY"), 0.3)
+    return tidb
+
+
+@pytest.fixture
+def small_ctable(addr_schema) -> CTableDatabase:
+    x = Variable("x")
+    ctdb = CTableDatabase("ct")
+    ctdb.set_domain(x, [1, 2])
+    relation = ctdb.create_relation(addr_schema)
+    relation.add_tuple((1, "Lasalle", "NY"))
+    relation.add_tuple((2, "Tucson", "AZ"), ComparisonAtom("=", x, 1))
+    relation.add_tuple((2, "Grant Ferry", "NY"), ComparisonAtom("!=", x, 1))
+    return ctdb
+
+
+# -- possible labelings --------------------------------------------------------------
+
+
+class TestPossibleLabelings:
+    def test_xdb_possible_labeling_is_complete(self, addr_xdb):
+        kwdb = KWDatabase.from_incomplete(addr_xdb.possible_worlds())
+        labeling = label_possible_xdb(addr_xdb)
+        assert is_poss_complete(labeling, kwdb)
+
+    def test_xdb_possible_labeling_lists_all_alternatives(self, addr_xdb):
+        labeling = label_possible_xdb(addr_xdb)
+        relation = labeling.relation("addr")
+        assert (2, "Tucson", "AZ") in relation
+        assert (2, "Grant Ferry", "NY") in relation
+        assert (1, "Lasalle", "NY") in relation
+
+    def test_tidb_possible_labeling_is_complete(self, small_tidb):
+        kwdb = KWDatabase.from_incomplete(small_tidb.possible_worlds())
+        labeling = label_possible_tidb(small_tidb)
+        assert is_poss_complete(labeling, kwdb)
+        # Even a low-probability tuple is possible.
+        assert (3, "Kingsley", "NY") in labeling.relation("addr")
+
+    def test_ctable_possible_labeling_is_complete(self, small_ctable):
+        kwdb = KWDatabase.from_incomplete(small_ctable.possible_worlds())
+        labeling = label_possible_ctable(small_ctable)
+        assert is_poss_complete(labeling, kwdb)
+        relation = labeling.relation("addr")
+        assert (2, "Tucson", "AZ") in relation
+        assert (2, "Grant Ferry", "NY") in relation
+
+    def test_ctable_possible_labeling_respects_assignment_limit(self, small_ctable):
+        with pytest.raises(ValueError):
+            label_possible_ctable(small_ctable, assignment_limit=1)
+
+
+# -- the UAP semiring ------------------------------------------------------------------
+
+
+class TestUAPSemiring:
+    def test_invariant_enforced(self):
+        semiring = UAPSemiring(NATURAL)
+        with pytest.raises(ValueError):
+            semiring.annotation(2, 1, 3)
+        with pytest.raises(ValueError):
+            semiring.annotation(0, 3, 1)
+
+    def test_identities_and_pointwise_operations(self):
+        semiring = UAPSemiring(NATURAL)
+        a = semiring.annotation(1, 2, 4)
+        assert semiring.plus(a, semiring.zero) == a
+        assert semiring.times(a, semiring.one) == a
+        assert semiring.plus(a, a).as_tuple() == (2, 4, 8)
+        assert semiring.times(a, a).as_tuple() == (1, 4, 16)
+
+    def test_monus_mixes_components(self):
+        semiring = UAPSemiring(NATURAL)
+        a = semiring.annotation(2, 3, 5)
+        b = semiring.annotation(1, 2, 4)
+        difference = semiring.monus(a, b)
+        assert difference.as_tuple() == (max(2 - 4, 0), 3 - 2, 5 - 1)
+
+    def test_monus_preserves_invariant(self):
+        semiring = UAPSemiring(NATURAL)
+        for a in [(0, 1, 2), (2, 2, 3), (1, 4, 6)]:
+            for b in [(0, 0, 1), (1, 2, 2), (0, 3, 5)]:
+                result = semiring.monus(semiring.annotation(*a), semiring.annotation(*b))
+                assert NATURAL.leq(result.certain, result.determinized)
+                assert NATURAL.leq(result.determinized, result.possible)
+
+    def test_projection_homomorphisms(self):
+        semiring = UAPSemiring(NATURAL)
+        a = semiring.annotation(1, 2, 3)
+        assert semiring.h_cert(a) == 1
+        assert semiring.h_det(a) == 2
+        assert semiring.h_poss(a) == 3
+
+    def test_boolean_base(self):
+        semiring = UAPSemiring(BOOLEAN)
+        a = semiring.annotation(False, True, True)
+        b = semiring.certain_annotation(True)
+        assert semiring.times(a, b).as_tuple() == (False, True, True)
+        assert semiring.monus(b, a).as_tuple() == (False, False, True)
+
+
+# -- UAP databases ---------------------------------------------------------------------
+
+
+def _ground_truth(incomplete, plan):
+    """Per-row (certain, possible) annotations of the query over all worlds."""
+    results = [evaluate(plan, world) for world in incomplete.worlds]
+    semiring = results[0].semiring
+    rows = {row for result in results for row in result.rows()}
+    truth = {}
+    for row in rows:
+        vector = [result.annotation(row) for result in results]
+        truth[row] = (semiring.glb_all(vector), semiring.lub_all(vector))
+    return truth
+
+
+class TestUAPDatabase:
+    def test_from_xdb_invariant_and_components(self, addr_xdb):
+        uapdb = UAPDatabase.from_xdb(addr_xdb)
+        relation = uapdb.relation("addr")
+        assert relation.check_invariant()
+        # Certain rows coincide with the paper's tuple-level labeling.
+        label = label_xdb(addr_xdb).relation("addr")
+        assert set(relation.certain_rows()) == set(label.rows())
+        # Every alternative is in the possible component.
+        assert (2, "Grant Ferry", "NY") in set(relation.possible_rows())
+        # Best-guess rows exclude possible-only rows.
+        assert (2, "Grant Ferry", "NY") not in set(relation.best_guess_rows())
+
+    def test_queries_preserve_all_three_bounds(self, addr_xdb):
+        uapdb = UAPDatabase.from_xdb(addr_xdb)
+        incomplete = addr_xdb.possible_worlds()
+        plan = algebra.Projection(
+            algebra.Selection(
+                algebra.RelationRef("addr"),
+                Comparison("=", Column("state"), Literal("NY")),
+            ),
+            ((Column("id"), "id"), (Column("state"), "state")),
+        )
+        result = uapdb.query(plan)
+        truth = _ground_truth(incomplete, plan)
+        bgw = evaluate(plan, uapdb.best_guess_database())
+        for row in bgw.rows():
+            annotation = result.annotation(row)
+            certain, possible = truth.get(row, (False, False))
+            assert BOOLEAN.leq(annotation.certain, certain)
+            assert BOOLEAN.leq(possible, annotation.possible)
+            assert annotation.determinized == bgw.annotation(row)
+
+    def test_difference_query_bounds_are_sound(self, addr_xdb):
+        uapdb = UAPDatabase.from_xdb(addr_xdb)
+        incomplete = addr_xdb.possible_worlds()
+        ny = algebra.Projection(
+            algebra.Selection(
+                algebra.RelationRef("addr"),
+                Comparison("=", Column("state"), Literal("NY")),
+            ),
+            ((Column("id"), "id"),),
+        )
+        low_ids = algebra.Projection(
+            algebra.Selection(
+                algebra.RelationRef("addr"),
+                Comparison("<", Column("id"), Literal(3)),
+            ),
+            ((Column("id"), "id"),),
+        )
+        plan = algebra.Difference(ny, low_ids)
+        result = uapdb.query(plan)
+        truth = _ground_truth(incomplete, plan)
+        for row, (certain, possible) in truth.items():
+            annotation = result.annotation(row)
+            if result.semiring.is_zero(annotation):
+                # Rows the UAP-DB does not store must not be certain answers.
+                assert certain == BOOLEAN.zero
+            else:
+                assert BOOLEAN.leq(annotation.certain, certain)
+                assert BOOLEAN.leq(possible, annotation.possible)
+        # id 4 is NY in every world and never has id < 3: certain in the result.
+        assert result.annotation((4,)).certain is True
+
+    def test_intersection_query(self, addr_xdb):
+        uapdb = UAPDatabase.from_xdb(addr_xdb)
+        ids = algebra.Projection(algebra.RelationRef("addr"), ((Column("id"), "id"),))
+        plan = algebra.Intersection(ids, ids)
+        result = uapdb.query(plan)
+        assert result.annotation((1,)).certain is True
+        assert result.check_invariant()
+
+    def test_sql_entry_point(self, addr_xdb):
+        uapdb = UAPDatabase.from_xdb(addr_xdb)
+        result = uapdb.sql("SELECT id FROM addr WHERE state = 'NY'")
+        assert (1,) in set(result.certain_rows())
+        assert (4,) in set(result.certain_rows())
+
+    def test_to_ua_database_drops_possible_only_rows(self, addr_xdb):
+        uapdb = UAPDatabase.from_xdb(addr_xdb)
+        uadb = uapdb.to_ua_database()
+        relation = uadb.relation("addr")
+        assert (2, "Grant Ferry", "NY") not in relation
+        assert relation.is_certain((1, "Lasalle", "NY"))
+        assert not relation.is_certain((2, "Tucson", "AZ"))
+
+    def test_from_tidb_and_ctable(self, small_tidb, small_ctable):
+        for source, builder in ((small_tidb, UAPDatabase.from_tidb),
+                                (small_ctable, UAPDatabase.from_ctable)):
+            uapdb = builder(source)
+            kwdb = KWDatabase.from_incomplete(source.possible_worlds())
+            assert is_poss_complete(uapdb.possible_database(), kwdb)
+            for relation in uapdb:
+                assert relation.check_invariant()
+
+    def test_from_incomplete_uses_exact_labelings(self, addr_xdb):
+        incomplete = addr_xdb.possible_worlds()
+        uapdb = UAPDatabase.from_incomplete(incomplete)
+        relation = uapdb.relation("addr")
+        # The exact labeling certifies tuple 3, which label_xdb misses because
+        # its two identical alternatives hide its certainty.
+        assert relation.is_certain((3, "Kingsley", "NY"))
+
+    def test_difference_without_monus_is_rejected(self):
+        from repro.semirings import FUZZY
+
+        schema = RelationSchema("r", [Attribute("a", DataType.INTEGER)])
+        database = Database(FUZZY, "confidences")
+        relation = KRelation(schema, FUZZY)
+        relation.add((1,), 0.5)
+        database.add_relation(relation)
+        plan = algebra.Difference(algebra.RelationRef("r"), algebra.RelationRef("r"))
+        with pytest.raises(EvaluationError):
+            evaluate(plan, database)
+
+
+class TestDifferenceAndIntersectionOperators:
+    """The plain K-relation semantics of the new algebra operators."""
+
+    @pytest.fixture
+    def two_bags(self):
+        schema = RelationSchema("r", [Attribute("a", DataType.INTEGER)])
+        left = KRelation(schema, NATURAL, {(1,): 3, (2,): 1})
+        right = KRelation(schema.rename("s"), NATURAL, {(1,): 2, (3,): 5})
+        database = Database(NATURAL, "bags")
+        database.add_relation(left)
+        database.add_relation(right)
+        return database
+
+    def test_except_all_uses_monus(self, two_bags):
+        plan = algebra.Difference(algebra.RelationRef("r"), algebra.RelationRef("s"))
+        result = evaluate(plan, two_bags)
+        assert result.annotation((1,)) == 1
+        assert result.annotation((2,)) == 1
+        assert (3,) not in result
+
+    def test_intersect_all_uses_glb(self, two_bags):
+        plan = algebra.Intersection(algebra.RelationRef("r"), algebra.RelationRef("s"))
+        result = evaluate(plan, two_bags)
+        assert result.annotation((1,)) == 2
+        assert (2,) not in result
+        assert (3,) not in result
+
+    def test_schema_compatibility_is_checked(self, two_bags):
+        wide = RelationSchema("wide", [Attribute("a"), Attribute("b")])
+        relation = KRelation(wide, NATURAL, {(1, 2): 1})
+        two_bags.add_relation(relation)
+        for operator in (algebra.Difference, algebra.Intersection):
+            plan = operator(algebra.RelationRef("r"), algebra.RelationRef("wide"))
+            with pytest.raises(EvaluationError):
+                evaluate(plan, two_bags)
+
+    def test_operator_counts_include_new_operators(self, two_bags):
+        plan = algebra.Difference(
+            algebra.RelationRef("r"),
+            algebra.Intersection(algebra.RelationRef("r"), algebra.RelationRef("s")),
+        )
+        assert plan.operator_count() == 2

@@ -1,0 +1,311 @@
+"""Tests for the incomplete data models: worlds, K^W, TI-DBs, x-DBs, C-tables, V-tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.relation import bag_relation, set_relation
+from repro.db.schema import RelationSchema
+from repro.semirings import BOOLEAN, NATURAL
+from repro.incomplete import (
+    CTableDatabase, CTupleSpec, IncompleteDatabase, KWDatabase, NamedNull,
+    TIDatabase, VTableDatabase, Variable, XDatabase, XTuple,
+)
+from repro.incomplete.conditions import ComparisonAtom, TrueCondition
+
+LOC_SCHEMA = RelationSchema("loc", ["locale", "state"])
+
+
+def make_example7_incomplete() -> IncompleteDatabase:
+    """The bag incomplete database of paper Example 7."""
+    world1 = Database(NATURAL, "d1")
+    world2 = Database(NATURAL, "d2")
+    rel1 = bag_relation(LOC_SCHEMA, [])
+    rel1.add(("Lasalle", "NY"), 3)
+    rel1.add(("Tucson", "AZ"), 2)
+    rel2 = bag_relation(LOC_SCHEMA, [])
+    rel2.add(("Lasalle", "NY"), 2)
+    rel2.add(("Tucson", "AZ"), 1)
+    rel2.add(("Greenville", "IN"), 5)
+    world1.add_relation(rel1)
+    world2.add_relation(rel2)
+    return IncompleteDatabase([world1, world2])
+
+
+# -- explicit possible worlds -----------------------------------------------------------
+
+
+def test_incomplete_database_certain_and_possible_annotations():
+    incomplete = make_example7_incomplete()
+    assert incomplete.certain_annotation("loc", ("Lasalle", "NY")) == 2
+    assert incomplete.certain_annotation("loc", ("Tucson", "AZ")) == 1
+    assert incomplete.certain_annotation("loc", ("Greenville", "IN")) == 0
+    assert incomplete.possible_annotation("loc", ("Greenville", "IN")) == 5
+    certain = set(incomplete.certain_rows("loc"))
+    assert certain == {("Lasalle", "NY"), ("Tucson", "AZ")}
+    assert len(incomplete.possible_rows("loc")) == 3
+
+
+def test_incomplete_database_validation():
+    with pytest.raises(ValueError):
+        IncompleteDatabase([])
+    world_bag = Database(NATURAL, "d1")
+    world_set = Database(BOOLEAN, "d2")
+    with pytest.raises(ValueError):
+        IncompleteDatabase([world_bag, world_set])
+    with pytest.raises(ValueError):
+        IncompleteDatabase([world_bag], probabilities=[0.4, 0.6])
+
+
+def test_incomplete_database_query_possible_world_semantics():
+    incomplete = make_example7_incomplete()
+    plan = algebra.Selection(
+        algebra.RelationRef("loc"), Comparison("=", Column("state"), Literal("NY"))
+    )
+    result = incomplete.query(plan)
+    assert result.certain_annotation(("Lasalle", "NY")) == 2
+    assert result.possible_annotation(("Lasalle", "NY")) == 3
+    assert set(result.certain_rows()) == {("Lasalle", "NY")}
+    assert result.tuple_probability(("Lasalle", "NY")) == pytest.approx(1.0)
+
+
+def test_best_guess_world_uses_probabilities():
+    incomplete = make_example7_incomplete()
+    assert incomplete.best_guess_index() == 0
+    weighted = IncompleteDatabase(incomplete.worlds, probabilities=[0.2, 0.8])
+    assert weighted.best_guess_index() == 1
+    assert weighted.probabilities == pytest.approx([0.2, 0.8])
+
+
+# -- K^W databases ------------------------------------------------------------------------
+
+
+def test_kw_roundtrip_with_incomplete():
+    incomplete = make_example7_incomplete()
+    kwdb = KWDatabase.from_incomplete(incomplete)
+    assert kwdb.num_worlds == 2
+    relation = kwdb.relation("loc")
+    assert relation.annotation(("Lasalle", "NY")) == (3, 2)
+    assert relation.certain_annotation(("Lasalle", "NY")) == 2
+    assert relation.possible_annotation(("Greenville", "IN")) == 5
+    back = kwdb.to_incomplete()
+    assert back.certain_annotation("loc", ("Tucson", "AZ")) == 1
+
+
+def test_kw_queries_commute_with_world_extraction():
+    # pw_i(Q(D)) == Q(pw_i(D)) -- Lemma 1 lifted to databases.
+    incomplete = make_example7_incomplete()
+    kwdb = KWDatabase.from_incomplete(incomplete)
+    plan = algebra.Projection(algebra.RelationRef("loc"), ((Column("state"), "state"),))
+    kw_result = kwdb.query(plan)
+    for index in range(kwdb.num_worlds):
+        direct = kwdb.world(index)
+        from repro.db.evaluator import evaluate
+
+        expected = evaluate(plan, direct)
+        extracted = kw_result.world(index)
+        assert extracted == expected
+
+
+def test_kw_certain_rows_and_best_guess():
+    incomplete = make_example7_incomplete()
+    kwdb = KWDatabase.from_incomplete(incomplete)
+    assert set(kwdb.relation("loc").certain_rows()) == {("Lasalle", "NY"), ("Tucson", "AZ")}
+    world = kwdb.best_guess_world()
+    assert world.relation("loc").annotation(("Lasalle", "NY")) == 3
+
+
+# -- TI-DBs --------------------------------------------------------------------------------
+
+
+def build_tidb() -> TIDatabase:
+    tidb = TIDatabase("ti")
+    relation = tidb.create_relation(LOC_SCHEMA)
+    relation.add(("Lasalle", "NY"), probability=1.0)
+    relation.add(("Tucson", "AZ"), probability=0.7)
+    relation.add(("Greenville", "IN"), probability=0.3)
+    return tidb
+
+
+def test_tidb_possible_worlds_and_probabilities():
+    tidb = build_tidb()
+    assert tidb.num_possible_worlds() == 4
+    incomplete = tidb.possible_worlds()
+    assert incomplete.num_worlds == 4
+    assert sum(incomplete.probabilities) == pytest.approx(1.0)
+    # The required tuple is in every world.
+    assert set(incomplete.certain_rows("loc")) == {("Lasalle", "NY")}
+
+
+def test_tidb_best_guess_world_threshold():
+    tidb = build_tidb()
+    world = tidb.best_guess_world()
+    rows = set(world.relation("loc").rows())
+    assert ("Lasalle", "NY") in rows and ("Tucson", "AZ") in rows
+    assert ("Greenville", "IN") not in rows
+
+
+def test_tidb_validation():
+    tidb = build_tidb()
+    with pytest.raises(ValueError):
+        tidb.relation("loc").add(("Lasalle", "NY"), probability=0.5)  # duplicate
+    with pytest.raises(ValueError):
+        tidb.relation("loc").add(("Elsewhere", "TX"), probability=0.0)
+    with pytest.raises(ValueError):
+        tidb.possible_worlds(limit=2)
+
+
+# -- x-DBs -----------------------------------------------------------------------------------
+
+
+def test_xtuple_semantics():
+    certain = XTuple([("a", 1)])
+    assert certain.is_certain_singleton()
+    optional = XTuple([("a", 1)], probabilities=[0.6])
+    assert optional.optional and not optional.is_certain_singleton()
+    multi = XTuple([("a", 1), ("b", 2)], probabilities=[0.7, 0.3])
+    assert multi.best_alternative() == ("a", 1)
+    unlikely = XTuple([("a", 1)], probabilities=[0.2])
+    assert unlikely.best_alternative() is None
+    assert multi.choice_probability(("b", 2)) == pytest.approx(0.3)
+    assert multi.choice_probability(None) == pytest.approx(0.0)
+    with pytest.raises(ValueError):
+        XTuple([])
+    with pytest.raises(ValueError):
+        XTuple([("a", 1)], probabilities=[0.5, 0.5])
+    with pytest.raises(ValueError):
+        XTuple([("a", 1), ("b", 2)], probabilities=[0.8, 0.8])
+
+
+def test_xdb_possible_worlds_certainty(geocoding_xdb):
+    addr = geocoding_xdb.relation("ADDR")
+    assert addr.num_possible_worlds() == 4
+    assert geocoding_xdb.num_possible_worlds() == 4
+    incomplete = geocoding_xdb.possible_worlds()
+    certain = set(incomplete.certain_rows("ADDR"))
+    assert (1, "51 Comstock", (42.93, -78.81)) in certain
+    assert (4, "192 Davidson", (42.93, -78.80)) in certain
+    assert all(row[0] not in (2, 3) for row in certain)
+
+
+def test_xdb_best_guess_world(geocoding_xdb):
+    world = geocoding_xdb.best_guess_world()
+    rows = list(world.relation("ADDR").rows())
+    assert len(rows) == 4  # one alternative per x-tuple
+
+
+def test_xdb_world_limit(geocoding_xdb):
+    with pytest.raises(ValueError):
+        geocoding_xdb.possible_worlds(limit=2)
+
+
+# -- C-tables ----------------------------------------------------------------------------------
+
+
+def build_example9_ctable() -> CTableDatabase:
+    """The C-table of paper Example 9: t1=(1, X) with X=1, t2=(1,1) with X != 1."""
+    x = Variable("X")
+    database = CTableDatabase("ex9", domains={x: [1, 2]})
+    ctable = database.create_relation(RelationSchema("r", ["a", "b"]))
+    ctable.add_tuple((1, x), ComparisonAtom("=", x, 1))
+    ctable.add_tuple((1, 1), ComparisonAtom("!=", x, 1))
+    return database
+
+
+def test_ctable_possible_worlds_example9():
+    database = build_example9_ctable()
+    incomplete = database.possible_worlds()
+    assert incomplete.num_worlds == 2
+    # (1, 1) is certain: produced by t1 when X=1 and by t2 when X != 1.
+    assert set(incomplete.certain_rows("r")) == {(1, 1)}
+
+
+def test_ctable_variables_and_domains():
+    database = build_example9_ctable()
+    assert database.variables() == [Variable("X")]
+    assert database.num_possible_worlds() == 2
+    spec = database.relation("r").tuples[0]
+    assert not spec.is_ground()
+    assert spec.variables() == {Variable("X")}
+
+
+def test_ctable_instantiation_respects_condition():
+    x = Variable("X")
+    spec = CTupleSpec((1, x), ComparisonAtom("=", x, 1))
+    assert spec.instantiate({x: 1}) == (1, 1)
+    assert spec.instantiate({x: 2}) is None
+
+
+def test_pc_table_distributions_and_best_guess():
+    x = Variable("X")
+    database = CTableDatabase("pc")
+    ctable = database.create_relation(RelationSchema("r", ["a", "b"]))
+    ctable.add_tuple((1, x))
+    database.set_distribution(x, {10: 0.2, 20: 0.8})
+    incomplete = database.possible_worlds()
+    assert incomplete.probabilities == pytest.approx([0.2, 0.8])
+    best = database.best_guess_world()
+    assert set(best.relation("r").rows()) == {(1, 20)}
+    with pytest.raises(ValueError):
+        database.set_distribution(x, {10: 0.2, 20: 0.2})
+
+
+def test_ctable_global_condition_filters_worlds():
+    x = Variable("X")
+    database = CTableDatabase(
+        "gc", global_condition=ComparisonAtom("!=", x, 1), domains={x: [1, 2, 3]}
+    )
+    ctable = database.create_relation(RelationSchema("r", ["a"]))
+    ctable.add_tuple((x,))
+    incomplete = database.possible_worlds()
+    assert incomplete.num_worlds == 2
+    rows = {row for world in incomplete for row in world.relation("r").rows()}
+    assert rows == {(2,), (3,)}
+
+
+def test_ctable_arity_check():
+    database = CTableDatabase("bad")
+    ctable = database.create_relation(RelationSchema("r", ["a", "b"]))
+    with pytest.raises(ValueError):
+        ctable.add_tuple((1,))
+
+
+# -- V-tables -------------------------------------------------------------------------------------
+
+
+def test_vtable_possible_worlds_and_sql_encoding():
+    null = NamedNull("n1")
+    database = VTableDatabase("v", domains={null: ["NY", "AZ"]})
+    vtable = database.create_relation(LOC_SCHEMA)
+    vtable.add(("Lasalle", "NY"))
+    vtable.add(("Tucson", null))
+    incomplete = database.possible_worlds()
+    assert incomplete.num_worlds == 2
+    assert set(incomplete.certain_rows("loc")) == {("Lasalle", "NY")}
+    sql_db = database.to_sql_database()
+    assert ("Tucson", None) in set(sql_db.relation("loc").rows())
+    assert vtable.ground_rows() == [("Lasalle", "NY")]
+    assert database.nulls() == [null]
+
+
+def test_vtable_shared_nulls_are_correlated():
+    # The same named null in two rows takes the same value in every world.
+    null = NamedNull("shared")
+    database = VTableDatabase("v", domains={null: [1, 2]})
+    vtable = database.create_relation(RelationSchema("r", ["a", "b"]))
+    vtable.add((1, null))
+    vtable.add((2, null))
+    incomplete = database.possible_worlds()
+    for world in incomplete:
+        rows = dict(world.relation("r").rows())
+        assert rows[1] == rows[2]
+
+
+def test_vtable_arity_validation():
+    database = VTableDatabase("v")
+    vtable = database.create_relation(LOC_SCHEMA)
+    with pytest.raises(ValueError):
+        vtable.add(("only-one",))

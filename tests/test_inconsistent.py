@@ -1,0 +1,194 @@
+"""Tests for inconsistent query answering via key repairs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.relation import set_relation
+from repro.db.schema import Attribute, DataType, RelationSchema, SchemaError
+from repro.semirings import BOOLEAN
+from repro.workloads.inconsistent import (
+    KeyConstraint, consistent_answers, find_violations, is_consistent,
+    repairs, repairs_as_xdb, uadb_for_repairs,
+)
+
+
+@pytest.fixture
+def employee_schema() -> RelationSchema:
+    return RelationSchema("employee", [
+        Attribute("emp_id", DataType.INTEGER),
+        Attribute("name", DataType.STRING),
+        Attribute("dept", DataType.STRING),
+    ])
+
+
+@pytest.fixture
+def dirty_database(employee_schema) -> Database:
+    """Two sources disagree about bob's department; carol is duplicated cleanly."""
+    relation = set_relation(employee_schema, [
+        (1, "alice", "sales"),
+        (2, "bob", "sales"),
+        (2, "bob", "marketing"),
+        (3, "carol", "engineering"),
+    ])
+    database = Database(BOOLEAN, "hr")
+    database.add_relation(relation)
+    return database
+
+
+@pytest.fixture
+def key() -> KeyConstraint:
+    return KeyConstraint("employee", ["emp_id"])
+
+
+# -- violations and repairs ---------------------------------------------------------
+
+
+class TestViolations:
+    def test_find_violations(self, dirty_database, key):
+        violations = find_violations(dirty_database.relation("employee"), key)
+        assert set(violations.keys()) == {(2,)}
+        assert len(violations[(2,)]) == 2
+
+    def test_is_consistent(self, dirty_database, employee_schema, key):
+        assert not is_consistent(dirty_database, [key])
+        clean = Database(BOOLEAN, "clean")
+        clean.add_relation(set_relation(employee_schema, [(1, "alice", "sales")]))
+        assert is_consistent(clean, [key])
+
+    def test_unknown_relation_raises(self, dirty_database):
+        with pytest.raises(SchemaError):
+            is_consistent(dirty_database, [KeyConstraint("payroll", ["emp_id"])])
+
+
+class TestRepairs:
+    def test_repairs_as_xdb_structure(self, dirty_database, key):
+        xdb = repairs_as_xdb(dirty_database, [key])
+        relation = xdb.relation("employee")
+        # Three key groups: two singletons (certain) and one conflict.
+        certain = [t for t in relation if t.is_certain_singleton()]
+        conflicted = [t for t in relation if not t.is_certain_singleton()]
+        assert len(certain) == 2
+        assert len(conflicted) == 1
+        assert conflicted[0].num_alternatives == 2
+
+    def test_every_repair_is_consistent(self, dirty_database, key):
+        for world in repairs(dirty_database, [key]):
+            assert is_consistent(world, [key])
+
+    def test_number_of_repairs(self, dirty_database, key):
+        assert len(repairs(dirty_database, [key])) == 2
+
+    def test_weights_pick_the_trusted_repair(self, dirty_database, key):
+        weights = {(2, "bob", "marketing"): 3.0, (2, "bob", "sales"): 1.0}
+        xdb = repairs_as_xdb(dirty_database, [key], weights=weights)
+        best = xdb.best_guess_world().relation("employee")
+        assert (2, "bob", "marketing") in best
+        assert (2, "bob", "sales") not in best
+
+    def test_relations_without_constraints_are_certain(self, dirty_database, key,
+                                                       employee_schema):
+        extra = set_relation(employee_schema.rename("department"),
+                             [(1, "sales", "nyc")])
+        dirty_database.add_relation(extra)
+        xdb = repairs_as_xdb(dirty_database, [key])
+        assert all(t.is_certain_singleton() for t in xdb.relation("department"))
+
+    def test_multiple_keys_on_one_relation_rejected(self, dirty_database):
+        constraints = [KeyConstraint("employee", ["emp_id"]),
+                       KeyConstraint("employee", ["name"])]
+        with pytest.raises(ValueError):
+            repairs_as_xdb(dirty_database, constraints)
+
+
+# -- consistent answers vs. UA-DB ------------------------------------------------------
+
+
+@pytest.fixture
+def name_dept_plan() -> algebra.Operator:
+    return algebra.Projection(
+        algebra.RelationRef("employee"),
+        ((Column("name"), "name"), (Column("dept"), "dept")),
+    )
+
+
+class TestConsistentAnswers:
+    def test_exact_consistent_answers(self, dirty_database, key, name_dept_plan):
+        answers = set(consistent_answers(dirty_database, [key], name_dept_plan))
+        assert answers == {("alice", "sales"), ("carol", "engineering")}
+
+    def test_uadb_under_approximates_consistent_answers(self, dirty_database, key,
+                                                        name_dept_plan):
+        uadb = uadb_for_repairs(dirty_database, [key])
+        result = uadb.query(name_dept_plan)
+        certain = set(result.certain_rows())
+        exact = set(consistent_answers(dirty_database, [key], name_dept_plan))
+        assert certain <= exact
+        assert certain == exact  # no false negatives in this simple case
+
+    def test_uadb_best_guess_includes_uncertain_answers(self, dirty_database, key,
+                                                        name_dept_plan):
+        uadb = uadb_for_repairs(dirty_database, [key])
+        result = uadb.query(name_dept_plan)
+        rows = set(result.rows())
+        # Best-guess query processing still reports one answer for bob.
+        assert ("bob", "sales") in rows or ("bob", "marketing") in rows
+        bob_rows = {row for row in rows if row[0] == "bob"}
+        assert all(not result.is_certain(row) for row in bob_rows)
+
+    def test_projection_onto_key_recovers_certainty(self, dirty_database, key):
+        """Projecting onto the key yields a consistent answer for bob as well."""
+        plan = algebra.Projection(
+            algebra.RelationRef("employee"), ((Column("name"), "name"),),
+        )
+        exact = set(consistent_answers(dirty_database, [key], plan))
+        assert ("bob",) in exact
+        uadb = uadb_for_repairs(dirty_database, [key])
+        certain = set(uadb.query(plan).certain_rows())
+        # The tuple-level labeling misses bob (a false negative) but stays sound.
+        assert certain <= exact
+
+    def test_selection_on_conflicting_attribute(self, dirty_database, key):
+        plan = algebra.Selection(
+            algebra.RelationRef("employee"),
+            Comparison("=", Column("dept"), Literal("sales")),
+        )
+        uadb = uadb_for_repairs(dirty_database, [key])
+        result = uadb.query(plan)
+        assert result.is_certain((1, "alice", "sales"))
+        assert not result.is_certain((2, "bob", "sales"))
+
+
+# -- property: the UA-DB under-approximation is always sound ------------------------------
+
+
+@st.composite
+def dirty_databases(draw):
+    schema = RelationSchema("r", [
+        Attribute("k", DataType.INTEGER),
+        Attribute("v", DataType.INTEGER),
+    ])
+    rows = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=2)),
+        min_size=1, max_size=6, unique=True,
+    ))
+    database = Database(BOOLEAN, "fuzz")
+    database.add_relation(set_relation(schema, rows))
+    return database
+
+
+@settings(max_examples=40, deadline=None)
+@given(dirty_databases(), st.sampled_from(["k", "v"]))
+def test_uadb_certain_answers_are_consistent_answers(database, project_on):
+    constraint = KeyConstraint("r", ["k"])
+    plan = algebra.Projection(algebra.RelationRef("r"), ((Column(project_on), project_on),))
+    exact = set(consistent_answers(database, [constraint], plan))
+    uadb = uadb_for_repairs(database, [constraint])
+    certain = set(uadb.query(plan).certain_rows())
+    assert certain <= exact

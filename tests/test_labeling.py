@@ -1,0 +1,163 @@
+"""Tests for the labeling schemes and best-guess-world extraction (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bestguess import (
+    best_guess_world_ctable, best_guess_world_tidb, best_guess_world_xdb,
+    random_guess_world_xdb,
+)
+from repro.core.labeling import (
+    is_c_complete, is_c_correct, is_c_sound,
+    label_ctable, label_kw_exact, label_tidb, label_xdb,
+)
+from repro.db.schema import RelationSchema
+from repro.semirings import BOOLEAN
+from repro.incomplete import (
+    CTableDatabase, KWDatabase, TIDatabase, Variable, XDatabase,
+)
+from repro.incomplete.conditions import ComparisonAtom, OrCondition, TrueCondition
+
+LOC_SCHEMA = RelationSchema("loc", ["locale", "state"])
+
+
+def build_tidb() -> TIDatabase:
+    tidb = TIDatabase("ti")
+    relation = tidb.create_relation(LOC_SCHEMA)
+    relation.add(("Lasalle", "NY"), probability=1.0)
+    relation.add(("Tucson", "AZ"), probability=0.7)
+    relation.add(("Greenville", "IN"), probability=0.3)
+    return tidb
+
+
+# -- TI-DB labeling (Theorem 1: c-correct) ---------------------------------------------
+
+
+def test_label_tidb_marks_required_tuples_only():
+    labeling = label_tidb(build_tidb())
+    relation = labeling.relation("loc")
+    assert relation.annotation(("Lasalle", "NY")) is True
+    assert ("Tucson", "AZ") not in relation
+    assert ("Greenville", "IN") not in relation
+
+
+def test_label_tidb_is_c_correct():
+    tidb = build_tidb()
+    kwdb = KWDatabase.from_incomplete(tidb.possible_worlds())
+    labeling = label_tidb(tidb)
+    assert is_c_sound(labeling, kwdb)
+    assert is_c_complete(labeling, kwdb)
+    assert is_c_correct(labeling, kwdb)
+
+
+def test_best_guess_world_tidb_is_most_probable():
+    tidb = build_tidb()
+    incomplete = tidb.possible_worlds()
+    best = best_guess_world_tidb(tidb)
+    expected = incomplete.best_guess_world()
+    assert set(best.relation("loc").rows()) == set(expected.relation("loc").rows())
+
+
+# -- x-DB labeling (Theorem 3: c-correct) -----------------------------------------------
+
+
+def test_label_xdb_is_c_correct(geocoding_xdb):
+    labeling = label_xdb(geocoding_xdb)
+    kwdb = KWDatabase.from_incomplete(geocoding_xdb.possible_worlds())
+    assert is_c_correct(labeling, kwdb)
+    relation = labeling.relation("ADDR")
+    assert relation.annotation((1, "51 Comstock", (42.93, -78.81))) is True
+    assert len(relation) == 2  # only the two single-alternative addresses
+
+
+def test_label_xdb_optional_singleton_is_uncertain():
+    xdb = XDatabase("x")
+    relation = xdb.create_relation(LOC_SCHEMA)
+    relation.add_alternatives([("Lasalle", "NY")], probabilities=[0.6])
+    labeling = label_xdb(xdb)
+    assert ("Lasalle", "NY") not in labeling.relation("loc")
+    kwdb = KWDatabase.from_incomplete(xdb.possible_worlds())
+    assert is_c_correct(labeling, kwdb)
+
+
+def test_random_guess_world_is_a_possible_world(geocoding_xdb):
+    world = random_guess_world_xdb(geocoding_xdb)
+    incomplete = geocoding_xdb.possible_worlds()
+    candidates = [set(w.relation("ADDR").rows()) for w in incomplete]
+    assert set(world.relation("ADDR").rows()) in candidates
+
+
+# -- C-table labeling (Theorem 2: c-sound but not c-complete) ------------------------------
+
+
+def build_example9_ctable() -> CTableDatabase:
+    x = Variable("X")
+    database = CTableDatabase("ex9", domains={x: [1, 2]})
+    ctable = database.create_relation(RelationSchema("r", ["a", "b"]))
+    ctable.add_tuple((1, x), ComparisonAtom("=", x, 1))
+    ctable.add_tuple((1, 1), ComparisonAtom("!=", x, 1))
+    return database
+
+
+def test_label_ctable_is_c_sound_but_misses_example9():
+    database = build_example9_ctable()
+    labeling = label_ctable(database)
+    kwdb = KWDatabase.from_incomplete(database.possible_worlds())
+    assert is_c_sound(labeling, kwdb)
+    # (1, 1) is certain but the paper's scheme mislabels it (Example 9).
+    assert (1, 1) not in labeling.relation("r")
+    assert not is_c_complete(labeling, kwdb)
+
+
+def test_label_ctable_certifies_ground_tautologies():
+    x = Variable("X")
+    database = CTableDatabase("c", domains={x: [1, 2]})
+    ctable = database.create_relation(RelationSchema("r", ["a"]))
+    ctable.add_tuple((7,), TrueCondition())
+    ctable.add_tuple((8,), OrCondition((ComparisonAtom("=", x, 1), ComparisonAtom("!=", x, 1))))
+    ctable.add_tuple((9,), ComparisonAtom("=", x, 1))
+    ctable.add_tuple((x,), TrueCondition())
+    labeling = label_ctable(database)
+    relation = labeling.relation("r")
+    assert (7,) in relation
+    assert (8,) in relation       # CNF (single clause) tautology
+    assert (9,) not in relation   # satisfiable but not a tautology
+    assert len(relation) == 2     # the variable tuple is never certified
+
+
+def test_label_ctable_solver_ablation_certifies_non_cnf():
+    # A tautology that is not in CNF: (X=1 AND X=1) OR (X!=1).
+    x = Variable("X")
+    database = CTableDatabase("c", domains={x: [1, 2]})
+    ctable = database.create_relation(RelationSchema("r", ["a"]))
+    from repro.incomplete.conditions import AndCondition
+
+    condition = OrCondition((
+        AndCondition((ComparisonAtom("=", x, 1), ComparisonAtom("=", x, 1))),
+        ComparisonAtom("!=", x, 1),
+    ))
+    ctable.add_tuple((5,), condition)
+    strict = label_ctable(database)
+    relaxed = label_ctable(database, use_solver_for_non_cnf=True)
+    assert (5,) not in strict.relation("r")
+    assert (5,) in relaxed.relation("r")
+
+
+def test_best_guess_world_ctable_uses_distribution():
+    x = Variable("X")
+    database = CTableDatabase("pc")
+    ctable = database.create_relation(RelationSchema("r", ["a", "b"]))
+    ctable.add_tuple((1, x))
+    database.set_distribution(x, {10: 0.1, 20: 0.9})
+    world = best_guess_world_ctable(database)
+    assert set(world.relation("r").rows()) == {(1, 20)}
+
+
+# -- exact labeling ---------------------------------------------------------------------------
+
+
+def test_label_kw_exact_is_c_correct(geocoding_xdb):
+    kwdb = KWDatabase.from_incomplete(geocoding_xdb.possible_worlds())
+    labeling = label_kw_exact(kwdb)
+    assert is_c_correct(labeling, kwdb)

@@ -1,0 +1,79 @@
+"""Tests for the classification and utility metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import (
+    ClassificationReport, classification_report, false_negative_rate,
+    false_positive_rate, precision_recall,
+)
+from repro.metrics.classification import annotation_distance
+from repro.semirings import AccessLevel
+
+
+def test_classification_report_counts():
+    report = classification_report(
+        labeled_certain={"a", "b"},
+        labeled_uncertain={"c", "d"},
+        ground_truth_certain={"a", "c"},
+    )
+    assert report.true_positives == 1    # a
+    assert report.false_positives == 1   # b
+    assert report.false_negatives == 1   # c
+    assert report.true_negatives == 1    # d
+    assert report.false_negative_rate == pytest.approx(0.5)
+    assert report.false_positive_rate == pytest.approx(0.5)
+    assert report.error_rate == pytest.approx(0.5)
+    assert report.accuracy == pytest.approx(0.5)
+
+
+def test_classification_report_degenerate_cases():
+    empty = classification_report(set(), set(), set())
+    assert empty.false_negative_rate == 0.0
+    assert empty.false_positive_rate == 0.0
+    assert empty.error_rate == 0.0
+    all_certain = classification_report({"a"}, set(), {"a"})
+    assert all_certain.false_negative_rate == 0.0
+    assert all_certain.accuracy == 1.0
+
+
+def test_false_negative_and_positive_rate_helpers():
+    labeled = {"a"}
+    answers = {"a", "b", "c"}
+    truth = {"a", "b"}
+    assert false_negative_rate(labeled, answers, truth) == pytest.approx(0.5)
+    assert false_positive_rate(labeled, answers, truth) == 0.0
+    assert false_negative_rate({"a", "b"}, answers, truth) == 0.0
+    assert false_positive_rate({"a", "c"}, answers, truth) == pytest.approx(1.0)
+    assert false_negative_rate(set(), answers, set()) == 0.0
+
+
+def test_precision_recall():
+    report = precision_recall({"a", "b", "c"}, {"b", "c", "d"})
+    assert report.precision == pytest.approx(2 / 3)
+    assert report.recall == pytest.approx(2 / 3)
+    assert report.f1 == pytest.approx(2 / 3)
+    assert report.returned == 3 and report.expected == 3
+
+
+def test_precision_recall_edge_cases():
+    assert precision_recall(set(), {"a"}).precision == 0.0
+    assert precision_recall(set(), set()).precision == 1.0
+    assert precision_recall({"a"}, set()).recall == 1.0
+    perfect = precision_recall({"a"}, {"a"})
+    assert perfect.precision == perfect.recall == perfect.f1 == 1.0
+    empty = precision_recall(set(), {"a"})
+    assert empty.f1 == 0.0
+
+
+def test_annotation_distance_access_levels():
+    truth = {"r1": AccessLevel.PUBLIC, "r2": AccessLevel.SECRET}
+    labeled = {"r1": AccessLevel.CONFIDENTIAL}
+    distance = annotation_distance(
+        labeled, truth,
+        distance=lambda a, b: (a or AccessLevel.NONE).distance(b),
+    )
+    # r1: |4-3|/5 = 0.2; r2 missing -> |0-2|/5 = 0.4; mean = 0.3.
+    assert distance == pytest.approx(0.3)
+    assert annotation_distance({}, {}, distance=lambda a, b: 1.0) == 0.0

@@ -1,0 +1,292 @@
+"""Tests for the provenance semirings (N[X], Why(X), Lin(X)) and the fuzzy semiring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.relation import KRelation
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.semirings import (
+    BOOLEAN, FUZZY, LINEAGE, LINEAGE_BOTTOM, NATURAL, POLYNOMIAL, WHY,
+    Polynomial, is_homomorphism,
+)
+
+# -- strategies ----------------------------------------------------------------
+
+VARIABLES = ["x", "y", "z"]
+
+
+@st.composite
+def polynomials(draw):
+    """Random small provenance polynomials built from sums and products."""
+    num_terms = draw(st.integers(min_value=0, max_value=3))
+    result = Polynomial.zero()
+    for _ in range(num_terms):
+        coefficient = draw(st.integers(min_value=1, max_value=3))
+        term = Polynomial.constant(coefficient)
+        for variable in draw(st.lists(st.sampled_from(VARIABLES), max_size=2)):
+            term = term * Polynomial.variable(variable)
+        result = result + term
+    return result
+
+
+@st.composite
+def why_values(draw):
+    """Random Why(X) elements: small sets of small witness sets."""
+    witnesses = draw(st.lists(
+        st.frozensets(st.sampled_from(VARIABLES), max_size=2), max_size=3,
+    ))
+    return frozenset(witnesses)
+
+
+@st.composite
+def lineage_values(draw):
+    """Random Lin(X) elements including the bottom element."""
+    if draw(st.booleans()):
+        return LINEAGE_BOTTOM
+    return frozenset(draw(st.lists(st.sampled_from(VARIABLES), max_size=3)))
+
+
+fuzzy_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+# -- polynomial basics ------------------------------------------------------------
+
+
+class TestPolynomial:
+    def test_canonical_form_merges_terms(self):
+        p = Polynomial.variable("x") + Polynomial.variable("x")
+        assert p.coefficient((("x", 1),)) == 2
+        assert len(p.terms) == 1
+
+    def test_zero_coefficients_are_dropped(self):
+        assert Polynomial({(): 0}).is_zero()
+        assert Polynomial.constant(0) == Polynomial.zero()
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial({(): -1})
+        with pytest.raises(ValueError):
+            Polynomial.constant(-2)
+
+    def test_multiplication_adds_exponents(self):
+        x = Polynomial.variable("x")
+        assert (x * x).coefficient((("x", 2),)) == 1
+        assert (x * x).degree() == 2
+
+    def test_variables_and_degree(self):
+        p = Polynomial.variable("x") * Polynomial.variable("y") + Polynomial.constant(3)
+        assert p.variables() == frozenset({"x", "y"})
+        assert p.degree() == 2
+        assert Polynomial.zero().degree() == 0
+
+    def test_repr_is_readable(self):
+        p = Polynomial.variable("x", coefficient=2) + Polynomial.constant(1)
+        text = repr(p)
+        assert "2*x" in text and "1" in text
+        assert repr(Polynomial.zero()) == "0"
+
+    def test_equality_and_hash_are_canonical(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        assert x + y == y + x
+        assert hash(x + y) == hash(y + x)
+
+    def test_specialization_to_why(self):
+        x, y, z = (Polynomial.variable(v) for v in "xyz")
+        p = x * y + z + z  # coefficient and exponent information is dropped
+        assert p.to_why() == frozenset({frozenset({"x", "y"}), frozenset({"z"})})
+
+    def test_specialization_to_lineage(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        assert (x * y + x).to_lineage() == frozenset({"x", "y"})
+        assert Polynomial.zero().to_lineage() is LINEAGE_BOTTOM
+        assert Polynomial.one().to_lineage() == frozenset()
+
+
+# -- semiring axioms (property-based) -------------------------------------------------
+
+AXIOM_CASES = [
+    (POLYNOMIAL, polynomials()),
+    (WHY, why_values()),
+    (LINEAGE, lineage_values()),
+]
+
+
+@pytest.mark.parametrize("semiring,strategy", AXIOM_CASES, ids=lambda case: getattr(case, "name", ""))
+def test_identities_hold(semiring, strategy):
+    @settings(max_examples=50, deadline=None)
+    @given(strategy)
+    def run(a):
+        assert semiring.plus(a, semiring.zero) == a
+        assert semiring.times(a, semiring.one) == a
+        assert semiring.times(a, semiring.zero) == semiring.zero
+
+    run()
+
+
+@pytest.mark.parametrize("semiring,strategy", AXIOM_CASES, ids=lambda case: getattr(case, "name", ""))
+def test_commutativity_and_distributivity(semiring, strategy):
+    @settings(max_examples=50, deadline=None)
+    @given(strategy, strategy, strategy)
+    def run(a, b, c):
+        assert semiring.plus(a, b) == semiring.plus(b, a)
+        assert semiring.times(a, b) == semiring.times(b, a)
+        left = semiring.times(a, semiring.plus(b, c))
+        right = semiring.plus(semiring.times(a, b), semiring.times(a, c))
+        assert left == right
+
+    run()
+
+
+@pytest.mark.parametrize("semiring,strategy", AXIOM_CASES, ids=lambda case: getattr(case, "name", ""))
+def test_lattice_laws(semiring, strategy):
+    @settings(max_examples=50, deadline=None)
+    @given(strategy, strategy)
+    def run(a, b):
+        glb = semiring.glb(a, b)
+        lub = semiring.lub(a, b)
+        assert semiring.leq(glb, a) and semiring.leq(glb, b)
+        assert semiring.leq(a, lub) and semiring.leq(b, lub)
+        # absorption
+        assert semiring.lub(a, semiring.glb(a, b)) == a
+        assert semiring.glb(a, semiring.lub(a, b)) == a
+
+    run()
+
+
+@settings(max_examples=50, deadline=None)
+@given(polynomials(), polynomials())
+def test_polynomial_natural_order_matches_definition(a, b):
+    # a <= b iff some c exists with a + c == b; for N[X] that c is b monus a.
+    if POLYNOMIAL.leq(a, b):
+        assert a + b.monus(a) == b
+    else:
+        assert a + b.monus(a) != b
+
+
+@settings(max_examples=50, deadline=None)
+@given(polynomials(), polynomials())
+def test_polynomial_monus_laws(a, b):
+    assert POLYNOMIAL.leq(a.monus(b), a)
+    assert a.monus(Polynomial.zero()) == a
+    assert Polynomial.zero().monus(a) == Polynomial.zero()
+
+
+@settings(max_examples=50, deadline=None)
+@given(why_values(), why_values())
+def test_why_monus_is_set_difference(a, b):
+    assert WHY.monus(a, b) == a - b
+    assert WHY.leq(WHY.monus(a, b), a)
+
+
+# -- evaluation homomorphisms -----------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(polynomials(), polynomials())
+def test_evaluation_into_naturals_is_homomorphism(a, b):
+    valuation = {"x": 2, "y": 0, "z": 3}
+    h = POLYNOMIAL.evaluation_homomorphism(valuation, NATURAL)
+    assert h(a + b) == NATURAL.plus(h(a), h(b))
+    assert h(a * b) == NATURAL.times(h(a), h(b))
+    assert h(Polynomial.zero()) == 0
+    assert h(Polynomial.one()) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(polynomials(), polynomials())
+def test_evaluation_into_booleans_is_homomorphism(a, b):
+    valuation = {"x": True, "y": False, "z": True}
+    h = POLYNOMIAL.evaluation_homomorphism(valuation, BOOLEAN)
+    assert h(a + b) == BOOLEAN.plus(h(a), h(b))
+    assert h(a * b) == BOOLEAN.times(h(a), h(b))
+
+
+def test_specialization_homomorphisms_on_samples():
+    samples = [
+        Polynomial.zero(), Polynomial.one(), Polynomial.variable("x"),
+        Polynomial.variable("x") * Polynomial.variable("y") + Polynomial.variable("z"),
+    ]
+    assert is_homomorphism(POLYNOMIAL, WHY, lambda p: p.to_why(), samples)
+
+
+def test_polynomial_annotated_query_evaluates_to_bag_result():
+    """Universality: evaluating N[X] annotations after the query equals
+    running the query directly over the bag database (Green et al.)."""
+    schema_r = RelationSchema("r", [Attribute("a", DataType.INTEGER),
+                                    Attribute("b", DataType.INTEGER)])
+    schema_s = RelationSchema("s", [Attribute("b", DataType.INTEGER),
+                                    Attribute("c", DataType.INTEGER)])
+    rows_r = {(1, 10): "r1", (2, 10): "r2", (3, 20): "r3"}
+    rows_s = {(10, 100): "s1", (20, 200): "s2", (20, 300): "s3"}
+    multiplicities = {"r1": 1, "r2": 2, "r3": 1, "s1": 3, "s2": 1, "s3": 2}
+
+    poly_db = Database(POLYNOMIAL, "prov")
+    bag_db = Database(NATURAL, "bag")
+    for schema, rows in ((schema_r, rows_r), (schema_s, rows_s)):
+        poly_rel = KRelation(schema, POLYNOMIAL)
+        bag_rel = KRelation(schema, NATURAL)
+        for row, var in rows.items():
+            poly_rel.add(row, Polynomial.variable(var))
+            bag_rel.add(row, multiplicities[var])
+        poly_db.add_relation(poly_rel)
+        bag_db.add_relation(bag_rel)
+
+    plan = algebra.Projection(
+        algebra.Join(
+            algebra.RelationRef("r"), algebra.RelationRef("s"),
+            Comparison("=", Column("b"), Column("s.b")),
+        ),
+        ((Column("c"), "c"),),
+    )
+    poly_result = evaluate(plan, poly_db)
+    bag_result = evaluate(plan, bag_db)
+
+    assert len(poly_result) == len(bag_result)
+    for row, polynomial in poly_result.items():
+        assert polynomial.evaluate(multiplicities, NATURAL) == bag_result.annotation(row)
+
+
+# -- fuzzy semiring --------------------------------------------------------------
+
+
+class TestFuzzySemiring:
+    @settings(max_examples=50, deadline=None)
+    @given(fuzzy_values, fuzzy_values, fuzzy_values)
+    def test_axioms(self, a, b, c):
+        assert FUZZY.plus(a, FUZZY.zero) == a
+        assert FUZZY.times(a, FUZZY.one) == a
+        assert FUZZY.plus(a, b) == FUZZY.plus(b, a)
+        assert FUZZY.times(a, b) == pytest.approx(FUZZY.times(b, a))
+        left = FUZZY.times(a, FUZZY.plus(b, c))
+        right = FUZZY.plus(FUZZY.times(a, b), FUZZY.times(a, c))
+        assert left == pytest.approx(right)
+
+    @settings(max_examples=50, deadline=None)
+    @given(fuzzy_values, fuzzy_values)
+    def test_lattice(self, a, b):
+        assert FUZZY.glb(a, b) == min(a, b)
+        assert FUZZY.lub(a, b) == max(a, b)
+        assert FUZZY.leq(FUZZY.glb(a, b), a)
+
+    def test_membership(self):
+        assert FUZZY.contains(0.5)
+        assert FUZZY.contains(0)
+        assert not FUZZY.contains(1.5)
+        assert not FUZZY.contains(True)
+        assert not FUZZY.contains("high")
+
+    def test_idempotent_addition(self):
+        assert FUZZY.is_idempotent
+
+    def test_certain_confidence_across_worlds(self):
+        """GLB over worlds is the guaranteed confidence, LUB the best case."""
+        annotations = [0.9, 0.6, 0.75]
+        assert FUZZY.glb_all(annotations) == 0.6
+        assert FUZZY.lub_all(annotations) == 0.9

@@ -1,0 +1,204 @@
+"""Tests for schemas, K-relations and databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.relation import KRelation, bag_relation, set_relation
+from repro.db.schema import (
+    Attribute, DataType, DatabaseSchema, RelationSchema, SchemaError,
+)
+from repro.semirings import BOOLEAN, NATURAL
+from repro.semirings.base import SemiringHomomorphism
+
+
+# -- schema ---------------------------------------------------------------------
+
+
+def test_schema_basic_properties(people_schema):
+    assert people_schema.arity == 4
+    assert people_schema.attribute_names == ("id", "name", "age", "city")
+    assert people_schema.index_of("AGE") == 2
+    assert people_schema.has_attribute("City")
+    assert not people_schema.has_attribute("zip")
+
+
+def test_schema_rejects_duplicate_attributes():
+    with pytest.raises(SchemaError):
+        RelationSchema("r", ["a", "A"])
+
+
+def test_schema_project_and_rename(people_schema):
+    projected = people_schema.project(["name", "city"], "names")
+    assert projected.name == "names"
+    assert projected.attribute_names == ("name", "city")
+    renamed = people_schema.rename("persons")
+    assert renamed.name == "persons"
+    assert renamed.attributes == people_schema.attributes
+
+
+def test_schema_concat_disambiguates_collisions(people_schema):
+    other = RelationSchema("jobs", ["id", "title"])
+    combined = people_schema.concat(other)
+    assert combined.attribute_names == (
+        "id", "name", "age", "city", "jobs.id", "title",
+    )
+
+
+def test_schema_validates_rows(people_schema):
+    with pytest.raises(SchemaError):
+        people_schema.validate_row((1, "alice", 34))
+    with pytest.raises(SchemaError):
+        people_schema.validate_row(("x", "alice", 34, "buffalo"))
+    assert people_schema.validate_row((1, "alice", None, "buffalo")) == (1, "alice", None, "buffalo")
+
+
+def test_datatype_accepts():
+    assert DataType.INTEGER.accepts(3)
+    assert not DataType.INTEGER.accepts(3.5)
+    assert not DataType.INTEGER.accepts(True)
+    assert DataType.FLOAT.accepts(3)
+    assert DataType.STRING.accepts("x")
+    assert DataType.BOOLEAN.accepts(False)
+    assert DataType.ANY.accepts(object())
+    assert DataType.STRING.accepts(None)  # NULL is always allowed
+
+
+def test_database_schema_lookup(people_schema):
+    schema = DatabaseSchema()
+    schema.add(people_schema)
+    assert "PEOPLE" in schema
+    assert schema.get("people") is people_schema
+    with pytest.raises(SchemaError):
+        schema.add(people_schema)
+    with pytest.raises(SchemaError):
+        schema.get("unknown")
+    assert len(schema) == 1
+
+
+# -- relations ------------------------------------------------------------------------
+
+
+def test_bag_relation_accumulates_duplicates(people_schema):
+    relation = bag_relation(people_schema, [
+        (1, "alice", 34, "buffalo"),
+        (1, "alice", 34, "buffalo"),
+    ])
+    assert relation.annotation((1, "alice", 34, "buffalo")) == 2
+    assert len(relation) == 1
+    assert relation.total_multiplicity() == 2
+
+
+def test_set_relation_collapses_duplicates(people_schema):
+    relation = set_relation(people_schema, [
+        (1, "alice", 34, "buffalo"),
+        (1, "alice", 34, "buffalo"),
+    ])
+    assert relation.annotation((1, "alice", 34, "buffalo")) is True
+    assert len(relation) == 1
+
+
+def test_relation_zero_annotations_are_dropped(people_schema):
+    relation = KRelation(people_schema, NATURAL)
+    relation.add((1, "alice", 34, "buffalo"), 2)
+    relation.set_annotation((1, "alice", 34, "buffalo"), 0)
+    assert (1, "alice", 34, "buffalo") not in relation
+    assert relation.is_empty()
+
+
+def test_relation_annotation_of_missing_row_is_zero(people_bag):
+    assert people_bag.annotation((99, "nobody", 1, "nowhere")) == 0
+    assert people_bag[(99, "nobody", 1, "nowhere")] == 0
+
+
+def test_relation_map_annotations_to_set(people_bag):
+    support = SemiringHomomorphism(NATURAL, BOOLEAN, lambda n: n > 0)
+    as_set = people_bag.map_annotations(support)
+    assert as_set.semiring == BOOLEAN
+    assert len(as_set) == len(people_bag)
+    assert all(annotation is True for _, annotation in as_set.items())
+
+
+def test_relation_copy_is_independent(people_bag):
+    copy = people_bag.copy()
+    copy.add((9, "zed", 30, "nowhere"), 1)
+    assert (9, "zed", 30, "nowhere") in copy
+    assert (9, "zed", 30, "nowhere") not in people_bag
+
+
+def test_relation_equality(people_schema, people_rows):
+    left = bag_relation(people_schema, people_rows)
+    right = bag_relation(people_schema, people_rows)
+    assert left == right
+    right.add(people_rows[0], 1)
+    assert left != right
+
+
+def test_relation_to_rows_expansion(people_schema):
+    relation = bag_relation(people_schema, [
+        (1, "alice", 34, "buffalo"),
+        (1, "alice", 34, "buffalo"),
+        (2, "bob", 28, "chicago"),
+    ])
+    expanded = relation.to_rows(expand_multiplicity=True)
+    assert len(expanded) == 3
+    assert len(relation.to_rows()) == 2
+
+
+def test_relation_pretty_renders_rows(people_bag):
+    text = people_bag.pretty(limit=2)
+    assert "id" in text and "N" in text
+    assert "more rows" in text
+
+
+def test_relation_is_unhashable(people_bag):
+    with pytest.raises(TypeError):
+        hash(people_bag)
+
+
+def test_relation_rejects_wrong_annotation(people_schema):
+    relation = KRelation(people_schema, NATURAL)
+    with pytest.raises(Exception):
+        relation.add((1, "alice", 34, "buffalo"), True)
+
+
+# -- databases -------------------------------------------------------------------------
+
+
+def test_database_registration_and_lookup(people_bag):
+    database = Database(NATURAL, "db")
+    database.add_relation(people_bag)
+    assert "People" in database
+    assert database.relation("PEOPLE") is people_bag
+    assert database.relation_names() == ("people",)
+    with pytest.raises(SchemaError):
+        database.add_relation(people_bag)
+    database.add_relation(people_bag, replace=True)
+    assert len(database) == 1
+
+
+def test_database_rejects_foreign_semiring(people_schema):
+    database = Database(NATURAL, "db")
+    set_rel = set_relation(people_schema, [(1, "alice", 34, "buffalo")])
+    with pytest.raises(ValueError):
+        database.add_relation(set_rel)
+
+
+def test_database_map_annotations(people_db):
+    support = SemiringHomomorphism(NATURAL, BOOLEAN, lambda n: n > 0)
+    as_set = people_db.map_annotations(support)
+    assert as_set.semiring == BOOLEAN
+    assert len(as_set) == len(people_db)
+
+
+def test_database_copy_is_deep_for_contents(people_db):
+    copy = people_db.copy()
+    copy.relation("people").add((9, "zed", 30, "nowhere"), 1)
+    assert (9, "zed", 30, "nowhere") not in people_db.relation("people")
+
+
+def test_database_drop_relation(people_db):
+    people_db.drop_relation("people")
+    assert "people" not in people_db
+    people_db.drop_relation("people")  # no-op

@@ -1,0 +1,302 @@
+"""Unit and property-based tests for the semiring framework."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings import (
+    ACCESS, BOOLEAN, MAX_TROPICAL, MIN_TROPICAL, NATURAL,
+    AccessLevel, PossibleWorldSemiring, ProductSemiring, SemiringElementError,
+    UASemiring, is_homomorphism,
+)
+from repro.semirings.base import SemiringHomomorphism
+
+ALL_SEMIRINGS = [BOOLEAN, NATURAL, ACCESS, MAX_TROPICAL]
+
+SAMPLES = {
+    "B": [False, True],
+    "N": [0, 1, 2, 3, 7],
+    "A": list(AccessLevel),
+    "Trop-max": [0.0, 0.25, 0.5, 1.0],
+}
+
+
+def elements_of(semiring):
+    return SAMPLES[semiring.name]
+
+
+# -- axioms ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_additive_identity(semiring):
+    for a in elements_of(semiring):
+        assert semiring.plus(a, semiring.zero) == a
+        assert semiring.plus(semiring.zero, a) == a
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_multiplicative_identity_and_annihilation(semiring):
+    for a in elements_of(semiring):
+        assert semiring.times(a, semiring.one) == a
+        assert semiring.times(semiring.one, a) == a
+        assert semiring.times(a, semiring.zero) == semiring.zero
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_commutativity_and_associativity(semiring):
+    values = elements_of(semiring)
+    for a in values:
+        for b in values:
+            assert semiring.plus(a, b) == semiring.plus(b, a)
+            assert semiring.times(a, b) == semiring.times(b, a)
+            for c in values:
+                assert semiring.plus(semiring.plus(a, b), c) == semiring.plus(a, semiring.plus(b, c))
+                assert semiring.times(semiring.times(a, b), c) == semiring.times(a, semiring.times(b, c))
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_distributivity(semiring):
+    values = elements_of(semiring)
+    for a in values:
+        for b in values:
+            for c in values:
+                left = semiring.times(a, semiring.plus(b, c))
+                right = semiring.plus(semiring.times(a, b), semiring.times(a, c))
+                assert left == right
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_lattice_absorption(semiring):
+    values = elements_of(semiring)
+    for a in values:
+        for b in values:
+            assert semiring.lub(a, semiring.glb(a, b)) == a
+            assert semiring.glb(a, semiring.lub(a, b)) == a
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_glb_is_lower_bound(semiring):
+    values = elements_of(semiring)
+    for a in values:
+        for b in values:
+            glb = semiring.glb(a, b)
+            assert semiring.leq(glb, a)
+            assert semiring.leq(glb, b)
+
+
+# -- natural order ---------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=100), st.integers(min_value=0, max_value=100))
+def test_natural_order_matches_definition_for_bags(a, b):
+    # a <= b iff exists c with a + c == b.
+    assert NATURAL.leq(a, b) == (b - a >= 0)
+
+
+@given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50),
+       st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50))
+def test_monotonicity_lemma2_for_bags(k1, k2, k3, k4):
+    # Lemma 2: the natural order factors through addition and multiplication.
+    if NATURAL.leq(k1, k3) and NATURAL.leq(k2, k4):
+        assert NATURAL.leq(NATURAL.plus(k1, k2), NATURAL.plus(k3, k4))
+        assert NATURAL.leq(NATURAL.times(k1, k2), NATURAL.times(k3, k4))
+
+
+def test_boolean_order():
+    assert BOOLEAN.leq(False, True)
+    assert not BOOLEAN.leq(True, False)
+    assert BOOLEAN.glb(True, False) is False
+    assert BOOLEAN.lub(True, False) is True
+
+
+def test_access_levels_order_and_symbols():
+    assert ACCESS.leq(AccessLevel.TOP_SECRET, AccessLevel.PUBLIC)
+    assert ACCESS.glb(AccessLevel.SECRET, AccessLevel.PUBLIC) is AccessLevel.SECRET
+    assert ACCESS.lub(AccessLevel.SECRET, AccessLevel.CONFIDENTIAL) is AccessLevel.CONFIDENTIAL
+    assert AccessLevel.from_symbol("S") is AccessLevel.SECRET
+    assert AccessLevel.SECRET.symbol == "S"
+    with pytest.raises(ValueError):
+        AccessLevel.from_symbol("X")
+
+
+def test_access_distance_is_normalized():
+    assert AccessLevel.NONE.distance(AccessLevel.PUBLIC) == pytest.approx(0.8)
+    assert AccessLevel.SECRET.distance(AccessLevel.SECRET) == 0.0
+
+
+def test_min_tropical_semiring_orders_by_reachability():
+    assert MIN_TROPICAL.plus(3.0, 5.0) == 3.0
+    assert MIN_TROPICAL.times(3.0, 5.0) == 8.0
+    assert MIN_TROPICAL.leq(5.0, 3.0)  # 3 is reachable from 5 by adding (min'ing)
+    assert MIN_TROPICAL.zero == float("inf")
+
+
+# -- membership checking ------------------------------------------------------------
+
+
+def test_natural_rejects_negative_and_bool():
+    with pytest.raises(SemiringElementError):
+        NATURAL.check(-1)
+    with pytest.raises(SemiringElementError):
+        NATURAL.check(True)
+    assert NATURAL.check(5) == 5
+
+
+def test_boolean_rejects_ints():
+    with pytest.raises(SemiringElementError):
+        BOOLEAN.check(1)
+
+
+def test_monus_definitions():
+    assert NATURAL.monus(5, 3) == 2
+    assert NATURAL.monus(3, 5) == 0
+    assert BOOLEAN.monus(True, False) is True
+    assert BOOLEAN.monus(True, True) is False
+    assert NATURAL.has_monus and BOOLEAN.has_monus
+    assert not MIN_TROPICAL.has_monus
+
+
+def test_sum_and_product_folds():
+    assert NATURAL.sum([1, 2, 3]) == 6
+    assert NATURAL.product([2, 3, 4]) == 24
+    assert NATURAL.sum([]) == 0
+    assert NATURAL.product([]) == 1
+    assert BOOLEAN.sum([False, False, True]) is True
+
+
+def test_glb_all_requires_elements():
+    with pytest.raises(ValueError):
+        NATURAL.glb_all([])
+    assert NATURAL.glb_all([3, 7, 5]) == 3
+    assert NATURAL.lub_all([3, 7, 5]) == 7
+
+
+# -- possible world semiring ------------------------------------------------------------
+
+
+def test_kw_semiring_operations_are_pointwise():
+    kw = PossibleWorldSemiring(NATURAL, 3)
+    a = kw.vector([1, 2, 3])
+    b = kw.vector([4, 0, 1])
+    assert kw.plus(a, b) == (5, 2, 4)
+    assert kw.times(a, b) == (4, 0, 3)
+    assert kw.zero == (0, 0, 0)
+    assert kw.one == (1, 1, 1)
+
+
+def test_kw_cert_and_poss_match_paper_example7():
+    # Example 7/8: annotations [3,2], [2,1], [0,5].
+    kw = PossibleWorldSemiring(NATURAL, 2)
+    assert kw.cert(kw.vector([3, 2])) == 2
+    assert kw.cert(kw.vector([2, 1])) == 1
+    assert kw.cert(kw.vector([0, 5])) == 0
+    assert kw.poss(kw.vector([0, 5])) == 5
+
+
+def test_kw_pw_is_homomorphism():
+    kw = PossibleWorldSemiring(NATURAL, 2)
+    samples = [kw.vector([0, 1]), kw.vector([2, 3]), kw.vector([5, 0])]
+    for index in range(2):
+        assert is_homomorphism(kw, NATURAL, kw.pw(index), samples)
+
+
+def test_kw_vector_validation():
+    kw = PossibleWorldSemiring(NATURAL, 2)
+    with pytest.raises(ValueError):
+        kw.vector([1, 2, 3])
+    with pytest.raises(SemiringElementError):
+        kw.vector([1, -1])
+    with pytest.raises(IndexError):
+        kw.pw(5)
+    assert kw.constant(4) == (4, 4)
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=6))
+def test_cert_is_superadditive_and_supermultiplicative(vectors):
+    # Lemma 3: cert(k1 + k2) >= cert(k1) + cert(k2), same for product.
+    kw = PossibleWorldSemiring(NATURAL, 2)
+    for left in vectors:
+        for right in vectors:
+            a, b = kw.vector(left), kw.vector(right)
+            assert NATURAL.leq(
+                NATURAL.plus(kw.cert(a), kw.cert(b)), kw.cert(kw.plus(a, b))
+            )
+            assert NATURAL.leq(
+                NATURAL.times(kw.cert(a), kw.cert(b)), kw.cert(kw.times(a, b))
+            )
+
+
+# -- product and UA semirings --------------------------------------------------------------
+
+
+def test_product_semiring_componentwise():
+    product = ProductSemiring([NATURAL, BOOLEAN])
+    assert product.plus((1, False), (2, True)) == (3, True)
+    assert product.times((2, True), (3, True)) == (6, True)
+    assert product.zero == (0, False)
+    assert product.one == (1, True)
+    assert product.contains((1, True))
+    assert not product.contains((1, 1))
+    projection = product.project(0)
+    assert projection((5, True)) == 5
+
+
+def test_product_semiring_requires_matching_arity():
+    product = ProductSemiring([NATURAL, BOOLEAN])
+    with pytest.raises(ValueError):
+        product.plus((1,), (2, True))
+    with pytest.raises(IndexError):
+        product.project(3)
+    with pytest.raises(ValueError):
+        ProductSemiring([])
+
+
+def test_ua_annotation_invariant_enforced():
+    ua = UASemiring(NATURAL)
+    annotation = ua.annotation(2, 5)
+    assert annotation.certain == 2 and annotation.determinized == 5
+    with pytest.raises(ValueError):
+        ua.annotation(5, 2)
+
+
+def test_ua_operations_are_pairwise():
+    ua = UASemiring(NATURAL)
+    a = ua.annotation(1, 2)
+    b = ua.annotation(2, 3)
+    assert ua.plus(a, b).as_tuple() == (3, 5)
+    assert ua.times(a, b).as_tuple() == (2, 6)
+    assert ua.h_cert(a) == 1
+    assert ua.h_det(a) == 2
+    assert tuple(a) == (1, 2)
+    assert a[0] == 1 and a[1] == 2
+
+
+def test_ua_homomorphisms_commute_with_operations():
+    ua = UASemiring(NATURAL)
+    samples = [ua.annotation(0, 1), ua.annotation(1, 1), ua.annotation(2, 5)]
+    assert is_homomorphism(ua, NATURAL, ua.h_cert, samples)
+    assert is_homomorphism(ua, NATURAL, ua.h_det, samples)
+
+
+def test_ua_certain_and_uncertain_constructors():
+    ua = UASemiring(BOOLEAN)
+    certain = ua.certain_annotation(True)
+    uncertain = ua.uncertain_annotation(True)
+    assert certain.certain is True
+    assert uncertain.certain is False and uncertain.determinized is True
+
+
+def test_homomorphism_wrapper_verification():
+    to_bool = SemiringHomomorphism(NATURAL, BOOLEAN, lambda n: n > 0, name="support")
+    assert to_bool.verify([0, 1, 2, 5])
+    broken = SemiringHomomorphism(NATURAL, BOOLEAN, lambda n: n > 1, name="broken")
+    assert not broken.verify([0, 1, 2, 5])
+
+
+def test_is_idempotent_flags():
+    assert BOOLEAN.is_idempotent
+    assert ACCESS.is_idempotent
+    assert not NATURAL.is_idempotent

@@ -1,0 +1,271 @@
+"""Tests for the SQL lexer, parser and translator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import algebra
+from repro.db.evaluator import evaluate
+from repro.db.expressions import Between, Case, Column, Comparison, InList, Like
+from repro.db.sql import SQLSyntaxError, parse, parse_query, tokenize
+from repro.db.sql.ast import SubqueryRef, TableRef
+from repro.db.sql.lexer import TokenType
+
+
+# -- lexer ---------------------------------------------------------------------
+
+
+def test_tokenize_basic_query():
+    tokens = tokenize("SELECT a, b FROM t WHERE a = 1")
+    kinds = [token.type for token in tokens]
+    assert kinds[0] is TokenType.KEYWORD
+    assert kinds[-1] is TokenType.EOF
+    values = [token.value for token in tokens if token.type is TokenType.IDENTIFIER]
+    assert values == ["a", "b", "t", "a"]
+
+
+def test_tokenize_strings_and_numbers():
+    tokens = tokenize("SELECT 'it''s', 3.25, 42 FROM t")
+    strings = [t.value for t in tokens if t.type is TokenType.STRING]
+    numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+    assert strings == ["it's"]
+    assert numbers == [3.25, 42]
+
+
+def test_tokenize_operators_and_comments():
+    tokens = tokenize("SELECT a FROM t WHERE a <= 3 -- trailing comment\n AND b <> 4")
+    operators = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+    assert "<=" in operators and "<>" in operators
+
+
+def test_tokenize_quoted_identifier():
+    tokens = tokenize('SELECT "District_shooting" FROM t')
+    identifiers = [t.value for t in tokens if t.type is TokenType.IDENTIFIER]
+    assert identifiers[0] == "District_shooting"
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("SELECT a FROM t WHERE a = @")
+    with pytest.raises(SQLSyntaxError):
+        tokenize("SELECT 'unterminated FROM t")
+
+
+# -- parser -----------------------------------------------------------------------
+
+
+def test_parse_select_items_and_aliases():
+    statement = parse("SELECT a, b AS bee, a + 1 plus FROM t")
+    assert len(statement.items) == 3
+    assert statement.items[1].alias == "bee"
+    assert statement.items[2].alias == "plus"
+    assert isinstance(statement.from_items[0], TableRef)
+
+
+def test_parse_star_and_qualified_star():
+    statement = parse("SELECT * FROM t")
+    assert statement.items[0].is_star
+    statement = parse("SELECT t.* , a FROM t")
+    assert statement.items[0].is_star and statement.items[0].qualifier == "t"
+
+
+def test_parse_where_with_boolean_structure():
+    statement = parse(
+        "SELECT a FROM t WHERE a = 1 AND (b < 2 OR c >= 3) AND NOT d = 4"
+    )
+    assert statement.where is not None
+    text = statement.where.to_sql()
+    assert "AND" in text and "OR" in text and "NOT" in text
+
+
+def test_parse_between_in_like_is_null():
+    statement = parse(
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2) "
+        "AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (3)"
+    )
+    text = statement.where.to_sql()
+    assert "BETWEEN" in text and "IN" in text and "LIKE" in text and "IS NOT NULL" in text
+
+
+def test_parse_case_expression():
+    statement = parse(
+        "SELECT CASE code WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END AS label FROM t"
+    )
+    expression = statement.items[0].expression
+    assert isinstance(expression, Case)
+    assert statement.items[0].alias == "label"
+
+
+def test_parse_group_by_and_aggregates():
+    statement = parse(
+        "SELECT city, count(*) AS n, sum(age) AS total FROM people GROUP BY city"
+    )
+    assert len(statement.group_by) == 1
+    assert len(statement.aggregates) == 2
+    funcs = {call.func for _, call in statement.aggregates}
+    assert funcs == {"count", "sum"}
+
+
+def test_parse_order_limit_distinct_union():
+    statement = parse(
+        "SELECT DISTINCT a FROM t ORDER BY a DESC, b LIMIT 10"
+    )
+    assert statement.distinct
+    assert statement.limit == 10
+    assert statement.order_by[0].descending is True
+    assert statement.order_by[1].descending is False
+
+    compound = parse("SELECT a FROM t UNION ALL SELECT a FROM s")
+    assert compound.union_all is not None
+
+
+def test_parse_subquery_in_from():
+    statement = parse("SELECT x.a FROM (SELECT a FROM t WHERE a > 1) x")
+    assert isinstance(statement.from_items[0], SubqueryRef)
+    assert statement.from_items[0].alias == "x"
+
+
+def test_parse_errors():
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT FROM t")
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT a FROM (SELECT a FROM t)")  # subquery without alias
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT a FROM t LIMIT x")
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT a FROM t WHERE a LIKE 5")
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT a FROM t extra garbage ,")
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT CASE END FROM t")
+
+
+# -- translator + end-to-end evaluation ------------------------------------------------
+
+
+def run_sql(sql, database):
+    plan = parse_query(sql, database.schema)
+    return evaluate(plan, database)
+
+
+def test_select_projection(people_db):
+    result = run_sql("SELECT name, age FROM people WHERE age > 30", people_db)
+    assert set(result.rows()) == {("alice", 34), ("carol", 45), ("dave", 52)}
+
+
+def test_select_star_single_table(people_db):
+    result = run_sql("SELECT * FROM people", people_db)
+    assert len(result) == 5
+    assert result.schema.arity == 4
+
+
+def test_select_with_case_and_in(people_db):
+    result = run_sql(
+        "SELECT name, CASE WHEN age >= 40 THEN 'senior' ELSE 'junior' END AS bracket "
+        "FROM people WHERE city IN ('buffalo', 'tucson')",
+        people_db,
+    )
+    assert ("carol", "senior") in set(result.rows())
+    assert ("alice", "junior") in set(result.rows())
+
+
+def test_join_via_where_clause(people_visits_db):
+    result = run_sql(
+        "SELECT p.name, v.place FROM people p, visits v WHERE p.id = v.person_id",
+        people_visits_db,
+    )
+    assert set(result.rows()) == {
+        ("alice", "museum"), ("alice", "park"), ("bob", "park"), ("carol", "museum"),
+    }
+
+
+def test_join_unqualified_columns(people_visits_db):
+    result = run_sql(
+        "SELECT name, place FROM people, visits WHERE id = person_id AND age > 30",
+        people_visits_db,
+    )
+    assert set(result.rows()) == {("alice", "museum"), ("alice", "park"), ("carol", "museum")}
+
+
+def test_join_produces_hash_join_plan(people_visits_db):
+    plan = parse_query(
+        "SELECT p.name FROM people p, visits v WHERE p.id = v.person_id AND v.place = 'park'",
+        people_visits_db.schema,
+    )
+    rendered = plan.render()
+    assert "Join" in rendered
+    result = evaluate(plan, people_visits_db)
+    assert set(result.rows()) == {("alice",), ("bob",)}
+
+
+def test_three_way_join_ordering(people_visits_db):
+    # Self-join visits twice through people to check the greedy join planner.
+    result = run_sql(
+        "SELECT p.name, v1.place, v2.place "
+        "FROM people p, visits v1, visits v2 "
+        "WHERE p.id = v1.person_id AND p.id = v2.person_id AND v1.place <> v2.place",
+        people_visits_db,
+    )
+    assert set(result.rows()) == {("alice", "museum", "park"), ("alice", "park", "museum")}
+
+
+def test_group_by_aggregation_sql(people_db):
+    result = run_sql(
+        "SELECT city, count(*) AS n, max(age) AS oldest FROM people GROUP BY city",
+        people_db,
+    )
+    assert ("buffalo", 2, 45) in set(result.rows())
+    assert ("chicago", 2, 28) in set(result.rows())
+    assert ("tucson", 1, 52) in set(result.rows())
+
+
+def test_group_by_with_having(people_db):
+    result = run_sql(
+        "SELECT city, count(*) AS n FROM people GROUP BY city HAVING n > 1",
+        people_db,
+    )
+    assert set(result.rows()) == {("buffalo", 2), ("chicago", 2)}
+
+
+def test_union_all_sql(people_db):
+    result = run_sql(
+        "SELECT name FROM people WHERE city = 'buffalo' "
+        "UNION ALL SELECT name FROM people WHERE age > 40",
+        people_db,
+    )
+    # carol is in both branches: bag union keeps multiplicity 2.
+    assert result.annotation(("carol",)) == 2
+    assert result.annotation(("alice",)) == 1
+
+
+def test_distinct_order_by_limit_sql(people_db):
+    result = run_sql(
+        "SELECT DISTINCT city FROM people ORDER BY city LIMIT 2", people_db
+    )
+    assert set(result.rows()) == {("buffalo",), ("chicago",)}
+
+
+def test_subquery_in_from_sql(people_visits_db):
+    result = run_sql(
+        "SELECT g.name FROM (SELECT * FROM people WHERE age < 35) g, visits v "
+        "WHERE g.id = v.person_id",
+        people_visits_db,
+    )
+    assert set(result.rows()) == {("alice",), ("bob",)}
+
+
+def test_translator_without_catalog_falls_back(people_visits_db):
+    # Translating without a catalog still works (cross product + selection).
+    plan = parse_query(
+        "SELECT p.name, v.place FROM people p, visits v WHERE p.id = v.person_id"
+    )
+    result = evaluate(plan, people_visits_db)
+    assert len(result) == 4
+
+
+def test_scalar_function_in_sql(people_db):
+    result = run_sql(
+        "SELECT name, least(age, 30) AS capped FROM people WHERE city = 'buffalo'",
+        people_db,
+    )
+    assert set(result.rows()) == {("alice", 30), ("carol", 30)}

@@ -1,0 +1,270 @@
+"""Randomized property tests for the paper's formal results.
+
+Each test here checks one of the paper's theorems or lemmas on randomly
+generated incomplete databases and randomly generated RA+ plans:
+
+* Lemma 1  -- ``pw_i`` is a homomorphism, i.e. K^W evaluation commutes with
+  extracting a possible world,
+* Lemma 3  -- ``cert_K`` is superadditive and supermultiplicative,
+* Theorem 4 -- queries over UA-DBs preserve the certain-annotation sandwich,
+* Theorem 5 -- RA+ over a (merely) c-sound labeling stays c-sound,
+* Theorem 7 -- the Figure 9 rewriting over the ``Enc`` encoding agrees with
+  direct K_UA evaluation,
+* the mirror of Lemma 3 used by the UAP extension -- possible annotations are
+  over-approximated through queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.relation import KRelation
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.semirings import BOOLEAN, NATURAL, PossibleWorldSemiring
+from repro.incomplete.kw_database import KWDatabase
+from repro.incomplete.worlds import IncompleteDatabase
+from repro.core.encoding import decode_relation, encode
+from repro.core.labeling import label_kw_exact
+from repro.core.rewriter import rewrite_plan
+from repro.core.uadb import UADatabase
+from repro.extensions import UAPDatabase
+
+R_SCHEMA = RelationSchema("r", [Attribute("a", DataType.INTEGER),
+                                Attribute("b", DataType.INTEGER)])
+S_SCHEMA = RelationSchema("s", [Attribute("e", DataType.INTEGER),
+                                Attribute("d", DataType.INTEGER)])
+
+VALUES = [0, 1, 2]
+
+
+# -- strategies --------------------------------------------------------------------------
+
+
+@st.composite
+def incomplete_databases(draw, semiring):
+    """A random incomplete database with 2-3 worlds over relations r(a,b), s(c,d)."""
+    num_worlds = draw(st.integers(min_value=2, max_value=3))
+    worlds = []
+    for _ in range(num_worlds):
+        world = Database(semiring, "w")
+        for schema in (R_SCHEMA, S_SCHEMA):
+            relation = KRelation(schema, semiring)
+            rows = draw(st.lists(
+                st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES)),
+                min_size=0, max_size=4, unique=True,
+            ))
+            for row in rows:
+                if semiring is NATURAL:
+                    relation.add(row, draw(st.integers(min_value=1, max_value=3)))
+                else:
+                    relation.add(row, True)
+            world.add_relation(relation)
+        worlds.append(world)
+    return IncompleteDatabase(worlds)
+
+
+@st.composite
+def ra_plans(draw):
+    """A random RA+ plan over r (optionally joined with s, filtered, projected, unioned)."""
+    plan: algebra.Operator = algebra.RelationRef("r")
+    columns = ["a", "b"]
+
+    if draw(st.booleans()):
+        plan = algebra.Selection(
+            plan,
+            Comparison(draw(st.sampled_from(["=", "<", ">="])),
+                       Column(draw(st.sampled_from(columns))),
+                       Literal(draw(st.sampled_from(VALUES)))),
+        )
+    if draw(st.booleans()):
+        plan = algebra.Join(
+            plan, algebra.RelationRef("s"),
+            Comparison("=", Column("b"), Column("e")),
+        )
+        columns = columns + ["e", "d"]
+    if draw(st.booleans()):
+        keep = draw(st.lists(st.sampled_from(columns), min_size=1,
+                             max_size=len(columns), unique=True))
+        plan = algebra.Projection(plan, tuple((Column(name), name) for name in keep))
+        columns = keep
+    if draw(st.booleans()):
+        other = algebra.Selection(
+            plan,
+            Comparison(draw(st.sampled_from(["=", "!="])),
+                       Column(draw(st.sampled_from(columns))),
+                       Literal(draw(st.sampled_from(VALUES)))),
+        )
+        plan = algebra.Union(plan, other)
+    return plan
+
+
+def _certain_and_possible(incomplete: IncompleteDatabase, plan: algebra.Operator):
+    """Exact per-row (certain, possible) annotations of the query result."""
+    results = [evaluate(plan, world) for world in incomplete.worlds]
+    semiring = incomplete.semiring
+    rows = {row for result in results for row in result.rows()}
+    return {
+        row: (
+            semiring.glb_all([result.annotation(row) for result in results]),
+            semiring.lub_all([result.annotation(row) for result in results]),
+        )
+        for row in rows
+    }, results
+
+
+def _degraded_labeling(kwdb: KWDatabase, seed: int) -> Database:
+    """A c-sound (not necessarily c-correct) labeling: randomly weaken the exact one."""
+    rng = random.Random(seed)
+    base = kwdb.base_semiring
+    exact = label_kw_exact(kwdb)
+    degraded = Database(base, "degraded")
+    for relation in exact:
+        weakened = KRelation(relation.schema, base)
+        for row, annotation in relation.items():
+            if rng.random() < 0.4:
+                continue  # drop the certainty information entirely
+            if base is NATURAL and rng.random() < 0.5 and annotation > 1:
+                annotation = annotation - 1  # under-report the multiplicity
+            weakened.add(row, annotation)
+        degraded.add_relation(weakened)
+    return degraded
+
+
+# -- Lemma 1: pw_i commutes with queries -----------------------------------------------------
+
+
+@pytest.mark.parametrize("semiring", [BOOLEAN, NATURAL], ids=lambda s: s.name)
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_lemma1_world_extraction_commutes_with_queries(semiring, data):
+    incomplete = data.draw(incomplete_databases(semiring))
+    plan = data.draw(ra_plans())
+    kwdb = KWDatabase.from_incomplete(incomplete)
+    kw_result = kwdb.query(plan)
+    for index, world in enumerate(incomplete.worlds):
+        direct = evaluate(plan, world)
+        extracted = kw_result.map_annotations(kwdb.kw_semiring.pw(index))
+        assert {row: extracted.annotation(row) for row in extracted.rows()} == \
+               {row: direct.annotation(row) for row in direct.rows()}
+
+
+# -- Lemma 3: cert is superadditive / supermultiplicative ---------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=4),
+       st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=4))
+def test_lemma3_superadditivity_for_bags(left, right):
+    size = min(len(left), len(right))
+    left, right = left[:size], right[:size]
+    kw = PossibleWorldSemiring(NATURAL, size)
+    cert = kw.cert
+    added = kw.plus(tuple(left), tuple(right))
+    multiplied = kw.times(tuple(left), tuple(right))
+    assert NATURAL.plus(cert(tuple(left)), cert(tuple(right))) <= cert(added)
+    assert NATURAL.times(cert(tuple(left)), cert(tuple(right))) <= cert(multiplied)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.booleans(), min_size=2, max_size=4),
+       st.lists(st.booleans(), min_size=2, max_size=4))
+def test_lemma3_superadditivity_for_sets(left, right):
+    size = min(len(left), len(right))
+    left, right = left[:size], right[:size]
+    kw = PossibleWorldSemiring(BOOLEAN, size)
+    cert = kw.cert
+    assert BOOLEAN.leq(BOOLEAN.plus(cert(tuple(left)), cert(tuple(right))),
+                       cert(kw.plus(tuple(left), tuple(right))))
+    assert BOOLEAN.leq(BOOLEAN.times(cert(tuple(left)), cert(tuple(right))),
+                       cert(kw.times(tuple(left), tuple(right))))
+
+
+# -- Theorem 5: queries preserve c-soundness ------------------------------------------------------
+
+
+@pytest.mark.parametrize("semiring", [BOOLEAN, NATURAL], ids=lambda s: s.name)
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_theorem5_csound_labelings_stay_csound(semiring, data):
+    incomplete = data.draw(incomplete_databases(semiring))
+    plan = data.draw(ra_plans())
+    seed = data.draw(st.integers(min_value=0, max_value=10_000))
+    kwdb = KWDatabase.from_incomplete(incomplete)
+    labeling = _degraded_labeling(kwdb, seed)
+    truth, _ = _certain_and_possible(incomplete, plan)
+    labeled_result = evaluate(plan, labeling)
+    for row in labeled_result.rows():
+        certain = truth.get(row, (semiring.zero, semiring.zero))[0]
+        assert semiring.leq(labeled_result.annotation(row), certain)
+
+
+# -- Theorem 4: UA-DB queries preserve the sandwich -----------------------------------------------
+
+
+@pytest.mark.parametrize("semiring", [BOOLEAN, NATURAL], ids=lambda s: s.name)
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_theorem4_uadb_queries_preserve_bounds(semiring, data):
+    incomplete = data.draw(incomplete_databases(semiring))
+    plan = data.draw(ra_plans())
+    world_index = data.draw(st.integers(min_value=0, max_value=len(incomplete) - 1))
+    uadb = UADatabase.from_incomplete(incomplete, world_index=world_index)
+    result = uadb.query(plan)
+    truth, per_world = _certain_and_possible(incomplete, plan)
+    bgw_result = per_world[world_index]
+    for row in set(result.rows()) | set(bgw_result.rows()):
+        annotation = result.annotation(row)
+        certain = truth.get(row, (semiring.zero, semiring.zero))[0]
+        if result.semiring.is_zero(annotation):
+            # Rows outside the best-guess result must not be certain.
+            assert semiring.is_zero(bgw_result.annotation(row))
+            continue
+        assert semiring.leq(annotation.certain, certain)
+        assert annotation.determinized == bgw_result.annotation(row)
+
+
+# -- possible-bound mirror (UAP extension) ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("semiring", [BOOLEAN, NATURAL], ids=lambda s: s.name)
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_uap_queries_over_approximate_possible(semiring, data):
+    incomplete = data.draw(incomplete_databases(semiring))
+    plan = data.draw(ra_plans())
+    uapdb = UAPDatabase.from_incomplete(incomplete)
+    result = uapdb.query(plan)
+    truth, _ = _certain_and_possible(incomplete, plan)
+    for row, (certain, possible) in truth.items():
+        annotation = result.annotation(row)
+        if result.semiring.is_zero(annotation):
+            assert semiring.is_zero(possible)
+            continue
+        assert semiring.leq(annotation.certain, certain)
+        assert semiring.leq(possible, annotation.possible)
+
+
+# -- Theorem 7: the rewriting over Enc agrees with direct K_UA evaluation ----------------------------
+
+
+@pytest.mark.parametrize("semiring", [BOOLEAN, NATURAL], ids=lambda s: s.name)
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_theorem7_rewriting_matches_direct_evaluation(semiring, data):
+    incomplete = data.draw(incomplete_databases(semiring))
+    plan = data.draw(ra_plans())
+    uadb = UADatabase.from_incomplete(incomplete)
+    direct = uadb.query(plan)
+    encoded = encode(uadb)
+    rewritten = rewrite_plan(plan, encoded.schema)
+    decoded = decode_relation(evaluate(rewritten, encoded), uadb.ua_semiring)
+    assert {row: decoded.annotation(row).as_tuple() for row in decoded.rows()} == \
+           {row: direct.annotation(row).as_tuple() for row in direct.rows()}

@@ -1,0 +1,211 @@
+"""Tests for UA-relations and UA-databases, including the bound-preservation theorem."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labeling import label_kw_exact, label_xdb
+from repro.core.uadb import UADatabase, UARelation
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.relation import bag_relation
+from repro.db.schema import RelationSchema
+from repro.semirings import BOOLEAN, NATURAL
+from repro.semirings.ua import UASemiring
+from repro.incomplete import IncompleteDatabase, KWDatabase
+
+LOC_SCHEMA = RelationSchema("loc", ["locale", "state"])
+
+
+def make_bag_incomplete(worlds_rows):
+    """Build an incomplete bag database from a list of {row: multiplicity} maps."""
+    worlds = []
+    for world_rows in worlds_rows:
+        world = Database(NATURAL, "d")
+        relation = bag_relation(LOC_SCHEMA, [])
+        for row, multiplicity in world_rows.items():
+            relation.add(row, multiplicity)
+        world.add_relation(relation)
+        worlds.append(world)
+    return IncompleteDatabase(worlds)
+
+
+EXAMPLE7 = [
+    {("Lasalle", "NY"): 3, ("Tucson", "AZ"): 2},
+    {("Lasalle", "NY"): 2, ("Tucson", "AZ"): 1, ("Greenville", "IN"): 5},
+]
+
+
+# -- construction and inspection ---------------------------------------------------------
+
+
+def test_uarelation_components_and_certainty():
+    ua = UASemiring(NATURAL)
+    relation = UARelation(LOC_SCHEMA, ua)
+    relation.add_tuple(("Lasalle", "NY"), certain=2, determinized=3)
+    relation.add_tuple(("Tucson", "AZ"), determinized=1)
+    assert relation.certain_component(("Lasalle", "NY")) == 2
+    assert relation.determinized_component(("Lasalle", "NY")) == 3
+    assert relation.is_certain(("Lasalle", "NY"))
+    assert not relation.is_certain(("Tucson", "AZ"))
+    assert relation.certain_component(("missing", "XX")) == 0
+    assert set(relation.certain_rows()) == {("Lasalle", "NY")}
+    assert set(relation.uncertain_rows()) == {("Tucson", "AZ")}
+    assert relation.check_invariant()
+
+
+def test_uarelation_from_world_and_labeling_clamps():
+    world = bag_relation(LOC_SCHEMA, [])
+    world.add(("Lasalle", "NY"), 2)
+    labeling = bag_relation(LOC_SCHEMA, [])
+    labeling.add(("Lasalle", "NY"), 5)  # claims more certainty than the world has
+    relation = UARelation.from_world_and_labeling(world, labeling)
+    annotation = relation.annotation(("Lasalle", "NY"))
+    assert annotation.certain == 2 and annotation.determinized == 2
+    assert relation.check_invariant()
+
+
+def test_uadatabase_from_kw_bounds_certain_annotations():
+    incomplete = make_bag_incomplete(EXAMPLE7)
+    kwdb = KWDatabase.from_incomplete(incomplete)
+    uadb = UADatabase.from_kw(kwdb)
+    relation = uadb.relation("loc")
+    # World 0 is the designated world; labels are the exact certain annotations.
+    assert relation.annotation(("Lasalle", "NY")).as_tuple() == (2, 3)
+    assert relation.annotation(("Tucson", "AZ")).as_tuple() == (1, 2)
+    assert ("Greenville", "IN") not in relation
+    assert relation.check_invariant()
+
+
+def test_uadatabase_views_recover_world_and_labeling():
+    incomplete = make_bag_incomplete(EXAMPLE7)
+    kwdb = KWDatabase.from_incomplete(incomplete)
+    uadb = UADatabase.from_kw(kwdb)
+    best_guess = uadb.best_guess_database()
+    labeling = uadb.labeling_database()
+    assert best_guess.relation("loc").annotation(("Lasalle", "NY")) == 3
+    assert labeling.relation("loc").annotation(("Lasalle", "NY")) == 2
+    assert best_guess.semiring == NATURAL
+
+
+def test_uadatabase_from_xdb_matches_paper_example(geocoding_xdb):
+    uadb = UADatabase.from_xdb(geocoding_xdb, BOOLEAN)
+    addr = uadb.relation("ADDR")
+    assert addr.is_certain((1, "51 Comstock", (42.93, -78.81)))
+    assert addr.is_certain((4, "192 Davidson", (42.93, -78.80)))
+    assert len(addr.uncertain_rows()) == 2
+
+
+# -- queries preserve bounds (Theorem 4 / Theorem 5) --------------------------------------------
+
+
+def certain_annotation_of_query(incomplete, plan, row):
+    result = incomplete.query(plan)
+    return result.certain_annotation(row)
+
+
+QUERY_PLANS = [
+    algebra.Selection(
+        algebra.RelationRef("loc"), Comparison("=", Column("state"), Literal("NY"))
+    ),
+    algebra.Projection(algebra.RelationRef("loc"), ((Column("state"), "state"),)),
+    algebra.Union(algebra.RelationRef("loc"), algebra.RelationRef("loc")),
+    algebra.Projection(
+        algebra.Join(
+            algebra.Qualify(algebra.RelationRef("loc"), "l"),
+            algebra.Qualify(algebra.RelationRef("loc"), "r"),
+            Comparison("=", Column("state", qualifier="l"), Column("state", qualifier="r")),
+        ),
+        ((Column("locale", qualifier="l"), "locale"), (Column("state", qualifier="r"), "state")),
+    ),
+]
+
+
+@pytest.mark.parametrize("plan", QUERY_PLANS, ids=["selection", "projection", "union", "join"])
+def test_queries_preserve_bounds_exact_labeling(plan):
+    incomplete = make_bag_incomplete(EXAMPLE7)
+    kwdb = KWDatabase.from_incomplete(incomplete)
+    uadb = UADatabase.from_kw(kwdb)
+    result = uadb.query(plan)
+    query_result = incomplete.query(plan)
+    designated = query_result.world(0)
+    for row in result.rows():
+        annotation = result.annotation(row)
+        certain = query_result.certain_annotation(row)
+        # c <= cert_K(Q(D), t) <= d and d equals the designated world's annotation.
+        assert NATURAL.leq(annotation.certain, certain)
+        assert NATURAL.leq(certain, annotation.determinized)
+        assert annotation.determinized == designated.annotation(row)
+    # Every certain answer appears in the UA result (the over-approximation).
+    for row in query_result.certain_rows():
+        assert row in result
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+    min_size=1, max_size=5,
+))
+def test_property_random_bag_worlds_queries_preserve_bounds(annotations):
+    # Build a 2-world incomplete bag database over a fixed set of rows with
+    # random multiplicities, then check bound preservation for a join query.
+    rows = [("a", "NY"), ("b", "AZ"), ("c", "NY"), ("d", "IN"), ("e", "TX")]
+    world1 = {}
+    world2 = {}
+    for (m1, m2, _), row in zip(annotations, rows):
+        if m1:
+            world1[row] = m1
+        if m2:
+            world2[row] = m2
+    if not world1 and not world2:
+        return
+    incomplete = make_bag_incomplete([world1 or {rows[0]: 1}, world2 or {rows[0]: 1}])
+    kwdb = KWDatabase.from_incomplete(incomplete)
+    uadb = UADatabase.from_kw(kwdb)
+    plan = QUERY_PLANS[3]
+    result = uadb.query(plan)
+    query_result = incomplete.query(plan)
+    for row in set(result.rows()) | set(query_result.all_rows()):
+        annotation = result.annotation(row)
+        certain = query_result.certain_annotation(row)
+        lower = annotation.certain if not result.semiring.is_zero(annotation) else 0
+        upper = annotation.determinized if not result.semiring.is_zero(annotation) else 0
+        assert lower <= certain
+        # The upper bound is the designated world, which always contains the
+        # certain answers of the query.
+        assert certain <= max(upper, certain)
+        if certain > 0:
+            assert upper > 0
+
+
+def test_queries_with_c_sound_labeling_stay_c_sound(geocoding_xdb):
+    # Use the (c-correct, hence c-sound) x-DB labeling, evaluate a join query,
+    # and verify the result labels only certain answers as certain.
+    uadb = UADatabase.from_xdb(geocoding_xdb, BOOLEAN)
+    incomplete = geocoding_xdb.possible_worlds()
+    plan = algebra.Projection(
+        algebra.Join(
+            algebra.Qualify(algebra.RelationRef("ADDR"), "a"),
+            algebra.Qualify(algebra.RelationRef("LOC"), "l"),
+            Comparison("=", Column("state", qualifier="l"), Literal("NY")),
+        ),
+        ((Column("id", qualifier="a"), "id"), (Column("locale", qualifier="l"), "locale")),
+    )
+    result = uadb.query(plan)
+    query_result = incomplete.query(plan)
+    truly_certain = set(query_result.certain_rows())
+    for row in result.certain_rows():
+        assert row in truly_certain
+
+
+def test_uadb_sql_interface(geocoding_xdb):
+    uadb = UADatabase.from_xdb(geocoding_xdb, BOOLEAN)
+    result = uadb.sql("SELECT id, address FROM ADDR WHERE id < 3")
+    assert result.is_certain((1, "51 Comstock"))
+    assert not result.is_certain((2, "Grant at Ferguson"))

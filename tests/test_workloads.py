@@ -1,0 +1,225 @@
+"""Tests for the workload generators (PDBench, real-world, BI-DB, C-tables, imputation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sql import parse_query
+from repro.db.evaluator import evaluate
+from repro.db.schema import RelationSchema
+from repro.workloads import (
+    DATASET_PROFILES, PDBENCH_QUERIES, QP_QUERIES, REAL_QUERIES,
+    generate_bidb, generate_city_database, generate_dataset, generate_pdbench,
+    generate_random_ctable, generate_random_query_chain, impute_alternatives,
+    pdbench_query,
+)
+from repro.workloads.bidb import qp_query
+from repro.workloads.imputation import (
+    HotDeckImputer, KNNImputer, MeanImputer, ModeImputer,
+)
+from repro.workloads.pdbench import BASE_CARDINALITIES, UNCERTAIN_ATTRIBUTES
+
+
+# -- PDBench ----------------------------------------------------------------------------
+
+
+def test_pdbench_generator_structure():
+    instance = generate_pdbench(scale_factor=0.02, uncertainty=0.05, seed=1)
+    assert set(instance.cardinalities) == set(BASE_CARDINALITIES)
+    assert instance.cardinalities["nation"] == 25
+    assert instance.cardinalities["lineitem"] == int(6000 * 0.02)
+    # All representations agree on the number of rows per relation.
+    for name, count in instance.cardinalities.items():
+        assert len(list(instance.ground_truth.relation(name).rows())) == count
+        assert len(instance.xdb.relation(name).x_tuples) == count
+        assert len(list(instance.null_database.relation(name).rows())) <= count
+        assert len(list(instance.best_guess.relation(name).rows())) <= count
+
+
+def test_pdbench_uncertainty_injection_rate():
+    low = generate_pdbench(scale_factor=0.05, uncertainty=0.02, seed=2)
+    high = generate_pdbench(scale_factor=0.05, uncertainty=0.30, seed=2)
+    assert sum(high.uncertain_cells.values()) > sum(low.uncertain_cells.values())
+    assert sum(low.uncertain_cells.values()) > 0
+    # Keys are never uncertain, so joins stay intact.
+    for relation, attributes in UNCERTAIN_ATTRIBUTES.items():
+        assert not any(attr.endswith("key") and attr != "c_nationkey" for attr in attributes)
+
+
+def test_pdbench_zero_uncertainty_is_deterministic():
+    instance = generate_pdbench(scale_factor=0.02, uncertainty=0.0, seed=3)
+    assert sum(instance.uncertain_cells.values()) == 0
+    for name in instance.cardinalities:
+        ground = set(instance.ground_truth.relation(name).rows())
+        best = set(instance.best_guess.relation(name).rows())
+        assert ground == best
+
+
+def test_pdbench_queries_run_on_best_guess_world():
+    instance = generate_pdbench(scale_factor=0.05, uncertainty=0.05, seed=4)
+    for name in ("Q1", "Q2", "Q3"):
+        plan = parse_query(pdbench_query(name), instance.best_guess.schema)
+        result = evaluate(plan, instance.best_guess)
+        assert result is not None
+    with pytest.raises(KeyError):
+        pdbench_query("Q9")
+    assert set(PDBENCH_QUERIES) == {"Q1", "Q2", "Q3"}
+
+
+def test_pdbench_rejects_bad_uncertainty():
+    with pytest.raises(ValueError):
+        generate_pdbench(uncertainty=1.5)
+
+
+# -- imputation --------------------------------------------------------------------------
+
+
+IMPUTE_SCHEMA = RelationSchema("t", ["id", "num", "cat"])
+IMPUTE_ROWS = [
+    (1, 10, "a"),
+    (2, 20, "b"),
+    (3, None, "a"),
+    (4, 40, None),
+    (5, 30, "a"),
+]
+
+
+def test_mean_imputer_uses_mean_and_mode():
+    imputer = MeanImputer().fit(IMPUTE_ROWS, IMPUTE_SCHEMA)
+    assert imputer.candidates(IMPUTE_ROWS[2], 1) == [25]
+    assert imputer.candidates(IMPUTE_ROWS[3], 2) == ["a"]
+
+
+def test_mode_imputer():
+    imputer = ModeImputer().fit(IMPUTE_ROWS, IMPUTE_SCHEMA)
+    assert imputer.candidates(IMPUTE_ROWS[3], 2) == ["a"]
+
+
+def test_hotdeck_imputer_draws_from_donors():
+    imputer = HotDeckImputer(num_donors=3, seed=1).fit(IMPUTE_ROWS, IMPUTE_SCHEMA)
+    candidates = imputer.candidates(IMPUTE_ROWS[2], 1)
+    assert candidates and all(value in {10, 20, 30, 40} for value in candidates)
+
+
+def test_knn_imputer_prefers_similar_rows():
+    imputer = KNNImputer(k=2).fit(IMPUTE_ROWS, IMPUTE_SCHEMA)
+    candidates = imputer.candidates((6, 11, "a"), 1)
+    assert candidates
+    assert candidates[0] in {10, 20, 30}
+
+
+def test_impute_alternatives_structure():
+    alternatives = impute_alternatives(IMPUTE_ROWS, IMPUTE_SCHEMA, max_alternatives=3)
+    assert len(alternatives) == len(IMPUTE_ROWS)
+    # Clean rows keep a single alternative (themselves).
+    assert alternatives[0] == [(1, 10, "a")]
+    # Dirty rows get at least one repair with no remaining nulls.
+    for options in alternatives:
+        assert 1 <= len(options) <= 3
+        assert all(None not in option for option in options)
+
+
+# -- real-world datasets --------------------------------------------------------------------
+
+
+def test_dataset_profiles_cover_all_nine():
+    assert len(DATASET_PROFILES) == 9
+
+
+def test_generate_dataset_matches_profile():
+    dataset = generate_dataset("contracts", scale=0.002, seed=5)
+    assert dataset.schema.arity == DATASET_PROFILES["contracts"].columns
+    rows = list(dataset.ground_truth.relation("contracts").rows())
+    assert len(rows) == max(50, int(DATASET_PROFILES["contracts"].rows * 0.002))
+    # The measured uncertainty is in the right ballpark of the published one.
+    assert dataset.measured_u_row == pytest.approx(DATASET_PROFILES["contracts"].u_row, abs=0.08)
+    # x-DB alternatives only exist for dirty rows.
+    dirty = sum(1 for x in dataset.xdb.relation("contracts") if x.num_alternatives > 1)
+    assert dirty > 0
+
+
+def test_generate_dataset_unknown_name():
+    with pytest.raises(KeyError):
+        generate_dataset("not_a_dataset")
+
+
+# -- city data and real queries -----------------------------------------------------------------
+
+
+def test_city_database_and_real_queries_run():
+    instance = generate_city_database(
+        num_crimes=120, num_graffiti=60, num_inspections=60, uncertainty=0.1, seed=6
+    )
+    assert set(REAL_QUERIES) == {"Q1", "Q2", "Q3", "Q4", "Q5"}
+    for sql in REAL_QUERIES.values():
+        plan = parse_query(sql, instance.ground_truth.schema)
+        result = evaluate(plan, instance.ground_truth)
+        assert result is not None
+    # Q1 returns only the three listed IUCR codes.
+    plan = parse_query(REAL_QUERIES["Q1"], instance.ground_truth.schema)
+    result = evaluate(plan, instance.ground_truth)
+    assert all(row[2] in ("Theft", "Domestic Battery", "Criminal Damage")
+               for row in result.rows())
+
+
+# -- BI-DB ------------------------------------------------------------------------------------------
+
+
+def test_generate_bidb_block_structure():
+    instance = generate_bidb(num_blocks=30, alternatives_per_block=5, seed=7)
+    relation = instance.xdb.relation("shootings")
+    assert len(relation.x_tuples) == 30
+    sizes = {x.num_alternatives for x in relation}
+    assert max(sizes) <= 5
+    assert any(size > 1 for size in sizes)
+    # Probabilities of multi-alternative blocks sum to 1 (non-optional blocks).
+    for x_tuple in relation:
+        if x_tuple.probabilities is not None:
+            assert sum(x_tuple.probabilities) == pytest.approx(1.0)
+
+
+def test_qp_queries_format_probe():
+    assert "index = 7" in qp_query("QP1", 7)
+    assert set(QP_QUERIES) == {"QP1", "QP2", "QP3"}
+    with pytest.raises(KeyError):
+        qp_query("QP9")
+
+
+def test_generate_bidb_rejects_zero_alternatives():
+    with pytest.raises(ValueError):
+        generate_bidb(alternatives_per_block=0)
+
+
+# -- random C-tables ------------------------------------------------------------------------------
+
+
+def test_generate_random_ctable_structure():
+    database = generate_random_ctable(num_tuples=10, num_attributes=6, seed=8)
+    ctable = database.relation("synthetic")
+    assert len(ctable) == 10
+    for spec in ctable:
+        variables = [v for v in spec.values if hasattr(v, "name")]
+        assert len(variables) == 3  # half of 6 attributes
+    # Every variable has an explicit finite domain.
+    assert all(variable in database.domains for variable in database.variables())
+
+
+def test_generate_random_query_chain_operator_count():
+    for complexity in (1, 3, 5):
+        plan = generate_random_query_chain("synthetic", complexity, seed=9)
+        assert plan.operator_count() == complexity
+
+
+def test_random_query_chain_evaluates_on_ctable_and_uadb():
+    from repro.baselines.ctables_exact import CTableQueryEvaluator
+    from repro.core.uadb import UADatabase
+    from repro.semirings import BOOLEAN
+
+    database = generate_random_ctable(num_tuples=6, seed=10)
+    plan = generate_random_query_chain("synthetic", 3, seed=10)
+    evaluator = CTableQueryEvaluator(database)
+    symbolic = evaluator.evaluate(plan)
+    assert symbolic is not None
+    uadb = UADatabase.from_ctable(database, BOOLEAN)
+    result = uadb.query(plan)
+    assert result is not None
