@@ -1,0 +1,139 @@
+"""RowEngine vs ColumnarEngine on the Figure 14 scaling workload.
+
+Runs the three PDBench queries through the full UA-DB rewriting pipeline on
+both execution engines at the Figure 14 scale factors, verifies the engines
+return identical relations, and writes ``BENCH_engines.json`` so the
+performance trajectory of the engine work is tracked in-repo.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py          # full run
+    PYTHONPATH=src python benchmarks/bench_engines.py --quick  # smallest scale
+
+CI's engine-benchmark job runs ``--quick`` on every push so the benchmark
+cannot rot; ``pytest benchmarks/bench_engines.py`` runs the same smoke check
+(the file is not collected by a bare ``pytest`` run, which only matches
+``test_*.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.experiments.pdbench_harness import build_frontend
+from repro.workloads.pdbench import generate_pdbench
+from repro.workloads.tpch_queries import pdbench_query
+
+SCALES = (0.025, 0.1, 0.4)
+QUERIES = ("Q1", "Q2", "Q3")
+ENGINES = ("row", "columnar")
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engines.json"
+
+
+def _measure(frontend, sql: str, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        frontend.query(sql)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_benchmark(scales: Iterable[float] = SCALES,
+                  queries: Iterable[str] = QUERIES,
+                  repeats: int = 3,
+                  uncertainty: float = 0.02,
+                  seed: int = 7) -> Dict:
+    """Measure both engines on every (scale, query) pair."""
+    measurements: List[Dict] = []
+    for scale in scales:
+        instance = generate_pdbench(
+            scale_factor=scale, uncertainty=uncertainty, seed=seed
+        )
+        frontends = {
+            engine: build_frontend(instance, engine=engine) for engine in ENGINES
+        }
+        for query in queries:
+            sql = pdbench_query(query)
+            results = {
+                engine: frontends[engine].query(sql).relation for engine in ENGINES
+            }
+            if results["row"] != results["columnar"]:
+                raise AssertionError(
+                    f"engine results diverge on {query} at scale {scale}"
+                )
+            times = {
+                engine: _measure(frontends[engine], sql, repeats)
+                for engine in ENGINES
+            }
+            measurements.append({
+                "scale_factor": scale,
+                "query": query,
+                "result_rows": len(results["row"]),
+                "row_seconds": times["row"],
+                "columnar_seconds": times["columnar"],
+                "speedup": times["row"] / times["columnar"],
+            })
+    largest = max(m["scale_factor"] for m in measurements)
+    at_largest = [m for m in measurements if m["scale_factor"] == largest]
+    return {
+        "workload": "Figure 14 PDBench scaling (2% uncertainty)",
+        "engines": list(ENGINES),
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "measurements": measurements,
+        "summary": {
+            "largest_scale": largest,
+            "min_speedup_at_largest_scale": min(m["speedup"] for m in at_largest),
+            "geomean_speedup": _geomean([m["speedup"] for m in measurements]),
+        },
+    }
+
+
+def _geomean(values: List[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="only run the smallest scale factor")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+    scales = SCALES[:1] if args.quick else SCALES
+    report = run_benchmark(scales=scales, repeats=args.repeats)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for measurement in report["measurements"]:
+        print(
+            f"scale={measurement['scale_factor']:<6} {measurement['query']}: "
+            f"row={measurement['row_seconds']:.4f}s "
+            f"columnar={measurement['columnar_seconds']:.4f}s "
+            f"speedup={measurement['speedup']:.2f}x"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_bench_engines_smoke():
+    """The benchmark runs, engines agree, and the columnar engine is faster."""
+    report = run_benchmark(scales=(0.025,), repeats=2)
+    assert report["measurements"], "no measurements collected"
+    for measurement in report["measurements"]:
+        assert measurement["result_rows"] >= 0
+    # The speedup bar is asserted loosely here (tiny inputs are noisy); the
+    # >= 2x acceptance criterion applies to the largest scale of a full run.
+    assert report["summary"]["geomean_speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

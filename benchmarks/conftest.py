@@ -7,12 +7,31 @@ run, keeping ``pytest benchmarks/ --benchmark-only`` laptop-friendly.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.db.engine import ENGINE_ENV_VAR, available_engines
 from repro.experiments.pdbench_harness import build_frontend
 from repro.workloads.pdbench import generate_pdbench
 from repro.workloads.real_queries import generate_city_database
 from repro.workloads.bidb import generate_bidb
+
+
+@pytest.fixture(scope="session")
+def engine_name():
+    """Execution engine the benchmark suite runs on.
+
+    Select with ``REPRO_ENGINE=columnar pytest benchmarks/`` (any name from
+    :func:`repro.db.engine.available_engines`); default is the row engine, so
+    historical numbers stay comparable.
+    """
+    name = os.environ.get(ENGINE_ENV_VAR)
+    if name and name.lower() not in available_engines():
+        raise pytest.UsageError(
+            f"unknown {ENGINE_ENV_VAR}={name!r}; available: {available_engines()}"
+        )
+    return name
 
 
 @pytest.fixture(scope="session")
@@ -28,11 +47,11 @@ def pdbench_high_uncertainty():
 
 
 @pytest.fixture(scope="session")
-def pdbench_frontends(pdbench_low_uncertainty, pdbench_high_uncertainty):
+def pdbench_frontends(pdbench_low_uncertainty, pdbench_high_uncertainty, engine_name):
     """UA-DB front-ends registered for both uncertainty levels."""
     return {
-        0.02: build_frontend(pdbench_low_uncertainty),
-        0.30: build_frontend(pdbench_high_uncertainty),
+        0.02: build_frontend(pdbench_low_uncertainty, engine=engine_name),
+        0.30: build_frontend(pdbench_high_uncertainty, engine=engine_name),
     }
 
 

@@ -82,12 +82,18 @@ class UAQueryResult:
 class UADBFrontend:
     """Registers uncertain sources and answers SQL queries over them."""
 
-    def __init__(self, semiring: Semiring = NATURAL, name: str = "uadb") -> None:
+    def __init__(self, semiring: Semiring = NATURAL, name: str = "uadb",
+                 engine: Optional[object] = None,
+                 optimize: Optional[bool] = None) -> None:
         self.semiring = semiring
         self.name = name
-        self.uadb = UADatabase(semiring, name)
+        #: Execution engine used for every query path (None = default engine).
+        self.engine = engine
+        #: Optimizer toggle for every query path (None = default behaviour).
+        self.optimize = optimize
+        self.uadb = UADatabase(semiring, name, engine=engine)
         #: The encoded backing store the rewritten queries run against.
-        self.encoded = Database(semiring, f"{name}_enc")
+        self.encoded = Database(semiring, f"{name}_enc", engine=engine)
 
     # -- source registration ------------------------------------------------------
 
@@ -152,7 +158,8 @@ class UADBFrontend:
         started = time.perf_counter()
         logical = self.plan(query)
         rewritten = self.rewrite(logical)
-        encoded_result = evaluate(rewritten, self.encoded)
+        encoded_result = evaluate(rewritten, self.encoded,
+                                  engine=self.engine, optimize=self.optimize)
         relation = decode_relation(encoded_result, self.uadb.ua_semiring)
         elapsed = time.perf_counter() - started
         return UAQueryResult(relation, elapsed)
@@ -161,7 +168,8 @@ class UADBFrontend:
         """Answer an already-built logical plan with UA semantics."""
         started = time.perf_counter()
         rewritten = self.rewrite(plan)
-        encoded_result = evaluate(rewritten, self.encoded)
+        encoded_result = evaluate(rewritten, self.encoded,
+                                  engine=self.engine, optimize=self.optimize)
         relation = decode_relation(encoded_result, self.uadb.ua_semiring)
         elapsed = time.perf_counter() - started
         return UAQueryResult(relation, elapsed)
@@ -173,7 +181,7 @@ class UADBFrontend:
         produce the same annotated result.
         """
         started = time.perf_counter()
-        relation = self.uadb.sql(query)
+        relation = self.uadb.sql(query, engine=self.engine, optimize=self.optimize)
         elapsed = time.perf_counter() - started
         return UAQueryResult(relation, elapsed)
 
@@ -186,7 +194,7 @@ class UADBFrontend:
         best_guess = self.uadb.best_guess_database()
         started = time.perf_counter()
         plan = parse_query(query, best_guess.schema)
-        result = evaluate(plan, best_guess)
+        result = evaluate(plan, best_guess, engine=self.engine, optimize=self.optimize)
         elapsed = time.perf_counter() - started
         return result, elapsed
 

@@ -122,11 +122,21 @@ class UARelation(KRelation):
 class UADatabase:
     """A database of UA-relations over a shared base semiring."""
 
-    def __init__(self, base_semiring: Semiring = NATURAL, name: str = "uadb") -> None:
+    def __init__(self, base_semiring: Semiring = NATURAL, name: str = "uadb",
+                 engine: Optional[object] = None) -> None:
         self.base_semiring = base_semiring
         self.ua_semiring = UASemiring(base_semiring)
-        self.database = Database(self.ua_semiring, name)
+        self.database = Database(self.ua_semiring, name, engine=engine)
         self.name = name
+
+    @property
+    def engine(self) -> Optional[object]:
+        """Default execution engine for direct K_UA queries."""
+        return self.database.engine
+
+    @engine.setter
+    def engine(self, engine: Optional[object]) -> None:
+        self.database.engine = engine
 
     # -- population ---------------------------------------------------------------
 
@@ -238,20 +248,25 @@ class UADatabase:
 
     # -- queries ------------------------------------------------------------------
 
-    def query(self, plan: algebra.Operator) -> UARelation:
-        """Evaluate an algebra plan directly with K_UA semantics."""
-        result = evaluate(plan, self.database)
-        ua_result = UARelation(result.schema, self.ua_semiring)
-        for row, annotation in result.items():
-            ua_result.set_annotation(row, annotation)
-        return ua_result
+    def query(self, plan: algebra.Operator, engine: Optional[object] = None,
+              optimize: Optional[bool] = None) -> UARelation:
+        """Evaluate an algebra plan directly with K_UA semantics.
 
-    def sql(self, query: str) -> UARelation:
+        ``engine`` and ``optimize`` override the database default and the
+        optimizer toggle for this call (see :func:`repro.db.evaluator.evaluate`).
+        """
+        result = evaluate(plan, self.database, engine=engine, optimize=optimize)
+        return UARelation._from_validated(
+            result.schema, self.ua_semiring, dict(result.items())
+        )
+
+    def sql(self, query: str, engine: Optional[object] = None,
+            optimize: Optional[bool] = None) -> UARelation:
         """Parse and evaluate a SQL query with K_UA semantics."""
         from repro.db.sql import parse_query
 
         plan = parse_query(query, self.database.schema)
-        return self.query(plan)
+        return self.query(plan, engine=engine, optimize=optimize)
 
     # -- views --------------------------------------------------------------------
 

@@ -11,7 +11,9 @@ here the backend is a small but complete relational engine:
 * :mod:`repro.db.expressions` -- scalar expressions and predicates,
 * :mod:`repro.db.algebra` -- relational algebra operator trees (RA+ plus
   distinct, aggregation, ordering needed by the workload queries),
-* :mod:`repro.db.evaluator` -- evaluation of algebra trees over K-relations,
+* :mod:`repro.db.optimizer` -- logical plan rewrites (pushdown, pruning, ...),
+* :mod:`repro.db.engine` -- pluggable execution engines (row, columnar),
+* :mod:`repro.db.evaluator` -- the optimize-then-execute facade,
 * :mod:`repro.db.sql` -- a SQL subset front-end (lexer, parser, translator).
 """
 
@@ -19,6 +21,15 @@ from repro.db.schema import Attribute, RelationSchema, DatabaseSchema, DataType
 from repro.db.relation import KRelation, bag_relation, set_relation
 from repro.db.database import Database
 from repro.db.evaluator import evaluate
+from repro.db.engine import (
+    ColumnarEngine,
+    ExecutionEngine,
+    RowEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from repro.db.optimizer import optimize_plan
 
 __all__ = [
     "Attribute",
@@ -30,4 +41,11 @@ __all__ = [
     "set_relation",
     "Database",
     "evaluate",
+    "ColumnarEngine",
+    "ExecutionEngine",
+    "RowEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "optimize_plan",
 ]

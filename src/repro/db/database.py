@@ -16,9 +16,14 @@ class Database:
     Relation names are case-insensitive, matching the SQL front-end.
     """
 
-    def __init__(self, semiring: Semiring, name: str = "db") -> None:
+    def __init__(self, semiring: Semiring, name: str = "db",
+                 engine: Optional[object] = None) -> None:
         self.semiring = semiring
         self.name = name
+        #: Default execution engine for queries over this database: an engine
+        #: name or instance, or None for the process-wide default (see
+        #: :func:`repro.db.engine.get_engine`).
+        self.engine = engine
         self._relations: Dict[str, KRelation] = {}
 
     # -- population ----------------------------------------------------------
@@ -74,14 +79,14 @@ class Database:
     def map_annotations(self, homomorphism: SemiringHomomorphism,
                         name: Optional[str] = None) -> "Database":
         """Apply a semiring homomorphism to every relation's annotations."""
-        result = Database(homomorphism.target, name or self.name)
+        result = Database(homomorphism.target, name or self.name, engine=self.engine)
         for relation in self._relations.values():
             result.add_relation(relation.map_annotations(homomorphism))
         return result
 
     def copy(self, name: Optional[str] = None) -> "Database":
         """Deep copy of relation contents (schemas are shared, rows copied)."""
-        result = Database(self.semiring, name or self.name)
+        result = Database(self.semiring, name or self.name, engine=self.engine)
         for relation in self._relations.values():
             result.add_relation(relation.copy())
         return result

@@ -1,0 +1,80 @@
+"""Pluggable execution engines.
+
+The engine package decouples *what* a plan computes (K-relational semantics,
+defined once) from *how* it is computed.  Two engines ship by default:
+
+* ``"row"`` -- the tuple-at-a-time reference interpreter,
+* ``"columnar"`` -- vectorized evaluation over column-major batches with
+  numpy-accelerated annotation vectors.
+
+Engines are looked up by name through :func:`get_engine`; third parties can
+add their own with :func:`register_engine` (the planned SQLite/DBMS encoded
+backend will plug in here).  The process-wide default is ``"row"`` and can be
+overridden with the ``REPRO_ENGINE`` environment variable, per database via
+``Database(engine=...)``, or per call via ``evaluate(plan, db, engine=...)``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.db.engine.base import EvaluationError, ExecutionEngine
+from repro.db.engine.columnar import ColumnarEngine
+from repro.db.engine.row import Evaluator, RowEngine
+
+#: Environment variable naming the process-wide default engine.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Fallback engine when neither the caller nor the environment chooses one.
+DEFAULT_ENGINE = "row"
+
+EngineSpec = Union[None, str, ExecutionEngine]
+
+_FACTORIES: Dict[str, Callable[[], ExecutionEngine]] = {}
+_INSTANCES: Dict[str, ExecutionEngine] = {}
+
+
+def register_engine(name: str, factory: Callable[[], ExecutionEngine]) -> None:
+    """Register an engine factory under ``name`` (case-insensitive)."""
+    _FACTORIES[name.lower()] = factory
+    _INSTANCES.pop(name.lower(), None)
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names of all registered engines."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_engine(spec: EngineSpec = None) -> ExecutionEngine:
+    """Resolve an engine name (or instance, or None for the default)."""
+    if isinstance(spec, ExecutionEngine):
+        return spec
+    if spec is None:
+        spec = os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE
+    name = spec.lower()
+    if name not in _FACTORIES:
+        raise EvaluationError(
+            f"unknown execution engine {spec!r}; available: "
+            + ", ".join(available_engines())
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+register_engine(RowEngine.name, RowEngine)
+register_engine(ColumnarEngine.name, ColumnarEngine)
+
+__all__ = [
+    "ColumnarEngine",
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV_VAR",
+    "EvaluationError",
+    "Evaluator",
+    "ExecutionEngine",
+    "RowEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+]

@@ -1,0 +1,43 @@
+"""The execution-engine interface.
+
+Query evaluation is split into three stages: the SQL front-end builds a
+logical :mod:`repro.db.algebra` plan, :mod:`repro.db.optimizer` rewrites it
+into an equivalent cheaper plan, and an :class:`ExecutionEngine` evaluates the
+plan against a :class:`~repro.db.database.Database`.  Engines are
+interchangeable: every engine must produce the *same* :class:`KRelation` for
+the same plan and database, so correctness properties (and the paper's
+theorems) can be validated on one engine and performance measured on another.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db import algebra
+    from repro.db.database import Database
+    from repro.db.relation import KRelation
+
+
+class EvaluationError(RuntimeError):
+    """Raised when a plan cannot be evaluated against a database."""
+
+
+class ExecutionEngine(ABC):
+    """Evaluates relational algebra plans over a database.
+
+    Engines are stateless between calls; all per-query state lives in the
+    executor objects they create internally.  ``name`` identifies the engine
+    in the registry (see :func:`repro.db.engine.get_engine`).
+    """
+
+    #: Registry name of the engine (e.g. ``"row"`` or ``"columnar"``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(self, plan: "algebra.Operator", database: "Database") -> "KRelation":
+        """Evaluate ``plan`` against ``database`` and return the result."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

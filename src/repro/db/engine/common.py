@@ -1,0 +1,178 @@
+"""Helpers shared by the row and columnar execution engines.
+
+Both engines must produce byte-identical :class:`KRelation` results, so any
+semantics that involve a choice (sort tie-breaking, aggregate weighting, hash
+join key extraction, union compatibility) live here and are used by both.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.db.expressions import (
+    And,
+    Column,
+    Comparison,
+    Expression,
+    RowEnvironment,
+)
+from repro.db.relation import KRelation, Row, _row_sort_key
+from repro.db.engine.base import EvaluationError
+from repro.semirings.ua import UAAnnotation
+
+
+def annotation_weight(annotation: Any) -> int:
+    """Bag multiplicity carried by an annotation (1 when not applicable).
+
+    Integer annotations (the N semiring) weight SUM/COUNT/AVG directly.  A
+    :class:`UAAnnotation` contributes the multiplicity of its best-guess
+    component when that component is an integer -- collapsing it to 1 would
+    silently drop bag multiplicity from aggregates over UA-relations.
+    """
+    if isinstance(annotation, UAAnnotation):
+        annotation = annotation.determinized
+    if isinstance(annotation, int) and not isinstance(annotation, bool):
+        return annotation
+    return 1
+
+
+def combine_aggregate(func: str, has_argument: bool,
+                      weighted: List[Tuple[Any, int]]) -> Any:
+    """Fold one aggregate function over ``(value, weight)`` pairs.
+
+    ``weighted`` holds one entry per group member; for ``COUNT(*)`` the value
+    slot is 1.  NULL values are ignored except by ``COUNT(*)``, matching SQL.
+    """
+    func = func.lower()
+    non_null = [(v, w) for v, w in weighted if v is not None]
+    if func == "count":
+        if not has_argument:
+            return sum(w for _, w in weighted)
+        return sum(w for _, w in non_null)
+    if not non_null:
+        return None
+    if func == "sum":
+        return sum(v * w for v, w in non_null)
+    if func == "avg":
+        total_weight = sum(w for _, w in non_null)
+        return sum(v * w for v, w in non_null) / total_weight
+    if func == "min":
+        return min(v for v, _ in non_null)
+    if func == "max":
+        return max(v for v, _ in non_null)
+    raise EvaluationError(f"unsupported aggregate {func!r}")
+
+
+class _OrderKey:
+    """Comparable wrapper handling NULLs and descending order."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: Any, descending: bool) -> None:
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return not self.descending
+        if b is None:
+            return self.descending
+        try:
+            less = a < b
+        except TypeError:
+            less = str(a) < str(b)
+        return not less if self.descending else less
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _OrderKey) and self.value == other.value
+
+
+def select_limit_rows(items: Iterable[Tuple[Row, Any]],
+                      names: Tuple[str, ...],
+                      keys: Tuple[Tuple[Expression, bool], ...],
+                      count: int) -> List[Tuple[Row, Any]]:
+    """The first ``count`` rows under the ORDER BY ``keys``.
+
+    Without keys the rows are ordered by :func:`_row_sort_key`; with keys,
+    ties are broken by the full row so both engines agree on the result.
+    ``heapq.nsmallest`` keeps the cost at O(n log count) instead of a full
+    sort of the child relation.
+    """
+    if count <= 0:
+        return []
+    if not keys:
+        return heapq.nsmallest(count, items, key=lambda item: _row_sort_key(item[0]))
+
+    def sort_key(item: Tuple[Row, Any]):
+        env = RowEnvironment(names, item[0])
+        parts = [_OrderKey(expr.evaluate(env), descending) for expr, descending in keys]
+        return (tuple(parts), _row_sort_key(item[0]))
+
+    return heapq.nsmallest(count, items, key=sort_key)
+
+
+def check_union_compatible(left_schema, right_schema, left_semiring,
+                           right_semiring, operator: str) -> None:
+    """Raise :class:`EvaluationError` unless the inputs can be combined.
+
+    Besides the arity check, the two inputs must share a semiring -- adding a
+    B-annotation to an N-relation would silently coerce annotations.
+    """
+    if left_schema.arity != right_schema.arity:
+        raise EvaluationError(
+            f"{operator} requires union-compatible schemas: "
+            f"{left_schema} vs {right_schema}"
+        )
+    if left_semiring is not right_semiring and left_semiring.name != right_semiring.name:
+        raise EvaluationError(
+            f"{operator} requires both inputs to use the same semiring: "
+            f"{left_semiring.name} vs {right_semiring.name}"
+        )
+
+
+def equality_columns(predicate: Optional[Expression],
+                     left_names: Tuple[str, ...],
+                     right_names: Tuple[str, ...]) -> List[Tuple[str, str]]:
+    """Extract ``left.col = right.col`` conjuncts usable for a hash join."""
+    if predicate is None:
+        return []
+    conjuncts: List[Expression] = []
+    if isinstance(predicate, And):
+        conjuncts.extend(predicate.operands)
+    else:
+        conjuncts.append(predicate)
+    left_lower = {n.lower(): n for n in left_names}
+    left_bases = {n.lower().split(".")[-1]: n for n in left_names}
+    right_lower = {n.lower(): n for n in right_names}
+    right_bases = {n.lower().split(".")[-1]: n for n in right_names}
+
+    def resolve(column: Column, full: Dict[str, str], bases: Dict[str, str]) -> Optional[str]:
+        key = column.full_name.lower()
+        if key in full:
+            return full[key]
+        if column.qualifier is None and column.name.lower() in bases:
+            return bases[column.name.lower()]
+        return None
+
+    pairs: List[Tuple[str, str]] = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            continue
+        if not isinstance(conjunct.left, Column) or not isinstance(conjunct.right, Column):
+            continue
+        # Only use a conjunct for hashing when each operand resolves on
+        # exactly one side; otherwise a mis-paired bucket key could drop
+        # legitimate matches.
+        a_left = resolve(conjunct.left, left_lower, left_bases)
+        a_right = resolve(conjunct.left, right_lower, right_bases)
+        b_left = resolve(conjunct.right, left_lower, left_bases)
+        b_right = resolve(conjunct.right, right_lower, right_bases)
+        if a_left and b_right and not a_right and not b_left:
+            pairs.append((a_left, b_right))
+        elif b_left and a_right and not b_right and not a_left:
+            pairs.append((b_left, a_right))
+    return pairs

@@ -1,0 +1,261 @@
+"""The row-at-a-time reference engine.
+
+RA+ operators combine annotations with the semiring operations exactly as in
+Green et al. (and Section 2.3 of the UA-DB paper):
+
+* union adds annotations,
+* join multiplies the annotations of the joined tuples,
+* projection sums the annotations of all input tuples mapping to the same
+  output tuple,
+* selection multiplies by 1_K or 0_K depending on the predicate.
+
+The additional operators (distinct, aggregation, ordering, limit) are
+evaluated with conventional SQL semantics.  This engine favours clarity over
+speed; :mod:`repro.db.engine.columnar` is the vectorized counterpart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.expressions import Expression, RowEnvironment
+from repro.db.relation import KRelation, Row
+from repro.db.schema import Attribute, RelationSchema
+from repro.db.engine.base import EvaluationError, ExecutionEngine
+from repro.db.engine.common import (
+    annotation_weight,
+    check_union_compatible,
+    combine_aggregate,
+    equality_columns,
+    select_limit_rows,
+)
+
+
+class RowEngine(ExecutionEngine):
+    """Tuple-at-a-time interpretation of algebra plans (the reference engine)."""
+
+    name = "row"
+
+    def execute(self, plan: algebra.Operator, database: Database) -> KRelation:
+        return Evaluator(database).run(plan)
+
+
+class Evaluator:
+    """Stateless-per-call evaluator over a fixed database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.semiring = database.semiring
+
+    def run(self, plan: algebra.Operator) -> KRelation:
+        """Dispatch on the operator type."""
+        method = getattr(self, f"_eval_{type(plan).__name__.lower()}", None)
+        if method is None:
+            raise EvaluationError(f"cannot evaluate operator {type(plan).__name__}")
+        return method(plan)
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _eval_relationref(self, plan: algebra.RelationRef) -> KRelation:
+        relation = self.database.relation(plan.name)
+        if plan.alias and plan.alias.lower() != plan.name.lower():
+            return relation.rename(plan.alias)
+        return relation
+
+    # -- unary operators --------------------------------------------------------
+
+    def _eval_qualify(self, plan: algebra.Qualify) -> KRelation:
+        child = self.run(plan.child)
+        attributes = [
+            Attribute(f"{plan.qualifier}.{attr.name.split('.')[-1]}", attr.data_type)
+            for attr in child.schema.attributes
+        ]
+        schema = RelationSchema(plan.qualifier, attributes)
+        result = KRelation(schema, child.semiring)
+        for row, annotation in child.items():
+            result.add(row, annotation)
+        return result
+
+    def _eval_selection(self, plan: algebra.Selection) -> KRelation:
+        child = self.run(plan.child)
+        names = child.schema.attribute_names
+        result = KRelation(child.schema, child.semiring)
+        for row, annotation in child.items():
+            env = RowEnvironment(names, row)
+            if plan.predicate.evaluate(env) is True:
+                result.add(row, annotation)
+        return result
+
+    def _eval_projection(self, plan: algebra.Projection) -> KRelation:
+        child = self.run(plan.child)
+        names = child.schema.attribute_names
+        schema = RelationSchema(
+            child.schema.name,
+            [Attribute(name) for _, name in plan.items],
+        )
+        result = KRelation(schema, child.semiring)
+        for row, annotation in child.items():
+            env = RowEnvironment(names, row)
+            out_row = tuple(expr.evaluate(env) for expr, _ in plan.items)
+            result.add(out_row, annotation)
+        return result
+
+    def _eval_distinct(self, plan: algebra.Distinct) -> KRelation:
+        child = self.run(plan.child)
+        result = KRelation(child.schema, child.semiring)
+        for row, _annotation in child.items():
+            result.set_annotation(row, child.semiring.one)
+        return result
+
+    # -- binary operators ---------------------------------------------------------
+
+    def _product_schema(self, left: KRelation, right: KRelation) -> RelationSchema:
+        return left.schema.concat(right.schema)
+
+    def _eval_crossproduct(self, plan: algebra.CrossProduct) -> KRelation:
+        left = self.run(plan.left)
+        right = self.run(plan.right)
+        schema = self._product_schema(left, right)
+        result = KRelation(schema, left.semiring)
+        for left_row, left_annotation in left.items():
+            for right_row, right_annotation in right.items():
+                result.add(
+                    left_row + right_row,
+                    left.semiring.times(left_annotation, right_annotation),
+                )
+        return result
+
+    def _eval_join(self, plan: algebra.Join) -> KRelation:
+        left = self.run(plan.left)
+        right = self.run(plan.right)
+        schema = self._product_schema(left, right)
+        names = schema.attribute_names
+        semiring = left.semiring
+        result = KRelation(schema, semiring)
+        predicate = plan.predicate
+        # Hash join on equality conjuncts when possible, else nested loops.
+        equi = equality_columns(predicate, left.schema.attribute_names,
+                                right.schema.attribute_names) if predicate else []
+        if equi:
+            left_idx = [left.schema.index_of(l) for l, _ in equi]
+            right_idx = [right.schema.index_of(r) for _, r in equi]
+            buckets: Dict[Tuple, List[Tuple[Row, Any]]] = {}
+            for right_row, right_annotation in right.items():
+                key = tuple(right_row[i] for i in right_idx)
+                buckets.setdefault(key, []).append((right_row, right_annotation))
+            for left_row, left_annotation in left.items():
+                key = tuple(left_row[i] for i in left_idx)
+                for right_row, right_annotation in buckets.get(key, ()):  # noqa: B020
+                    combined = left_row + right_row
+                    if predicate is None or predicate.evaluate(
+                        RowEnvironment(names, combined)
+                    ) is True:
+                        result.add(
+                            combined, semiring.times(left_annotation, right_annotation)
+                        )
+            return result
+        for left_row, left_annotation in left.items():
+            for right_row, right_annotation in right.items():
+                combined = left_row + right_row
+                if predicate is None or predicate.evaluate(
+                    RowEnvironment(names, combined)
+                ) is True:
+                    result.add(
+                        combined, semiring.times(left_annotation, right_annotation)
+                    )
+        return result
+
+    def _eval_union(self, plan: algebra.Union) -> KRelation:
+        left = self.run(plan.left)
+        right = self.run(plan.right)
+        check_union_compatible(left.schema, right.schema, left.semiring,
+                               right.semiring, "UNION")
+        result = KRelation(left.schema, left.semiring)
+        for row, annotation in left.items():
+            result.add(row, annotation)
+        for row, annotation in right.items():
+            result.add(row, annotation)
+        return result
+
+    def _eval_difference(self, plan: algebra.Difference) -> KRelation:
+        left = self.run(plan.left)
+        right = self.run(plan.right)
+        check_union_compatible(left.schema, right.schema, left.semiring,
+                               right.semiring, "EXCEPT")
+        semiring = left.semiring
+        if not semiring.has_monus:
+            raise EvaluationError(
+                f"difference requires a semiring with a monus; {semiring.name} has none"
+            )
+        result = KRelation(left.schema, semiring)
+        for row, annotation in left.items():
+            remaining = semiring.monus(annotation, right.annotation(row))
+            result.set_annotation(row, remaining)
+        return result
+
+    def _eval_intersection(self, plan: algebra.Intersection) -> KRelation:
+        left = self.run(plan.left)
+        right = self.run(plan.right)
+        check_union_compatible(left.schema, right.schema, left.semiring,
+                               right.semiring, "INTERSECT")
+        semiring = left.semiring
+        result = KRelation(left.schema, semiring)
+        for row, annotation in left.items():
+            shared = semiring.glb(annotation, right.annotation(row))
+            result.set_annotation(row, shared)
+        return result
+
+    # -- extended operators ----------------------------------------------------------
+
+    def _eval_aggregate(self, plan: algebra.Aggregate) -> KRelation:
+        child = self.run(plan.child)
+        names = child.schema.attribute_names
+        semiring = child.semiring
+        group_names = [name for _, name in plan.group_by]
+        out_names = group_names + [agg.name for agg in plan.aggregates]
+        schema = RelationSchema(child.schema.name, [Attribute(n) for n in out_names])
+        groups: Dict[Tuple, List[Tuple[Row, Any]]] = {}
+        for row, annotation in child.items():
+            env = RowEnvironment(names, row)
+            key = tuple(expr.evaluate(env) for expr, _ in plan.group_by)
+            groups.setdefault(key, []).append((row, annotation))
+        result = KRelation(schema, semiring)
+        for key, members in groups.items():
+            values = list(key)
+            for agg in plan.aggregates:
+                values.append(self._aggregate_value(agg, members, names))
+            result.add(tuple(values), semiring.one)
+        return result
+
+    def _aggregate_value(self, agg: algebra.AggregateFunction,
+                         members: List[Tuple[Row, Any]],
+                         names: Tuple[str, ...]) -> Any:
+        weighted: List[Tuple[Any, int]] = []
+        for row, annotation in members:
+            weight = annotation_weight(annotation)
+            if agg.argument is None:
+                value: Any = 1
+            else:
+                value = agg.argument.evaluate(RowEnvironment(names, row))
+            weighted.append((value, weight))
+        return combine_aggregate(agg.func, agg.argument is not None, weighted)
+
+    def _eval_orderby(self, plan: algebra.OrderBy) -> KRelation:
+        # Relations are unordered; ordering matters only below a Limit, which
+        # handles the sort itself.  Evaluating OrderBy alone is the identity.
+        return self.run(plan.child)
+
+    def _eval_limit(self, plan: algebra.Limit) -> KRelation:
+        child_plan = plan.child
+        keys: Tuple[Tuple[Expression, bool], ...] = ()
+        if isinstance(child_plan, algebra.OrderBy):
+            keys = child_plan.keys
+            child_plan = child_plan.child
+        child = self.run(child_plan)
+        names = child.schema.attribute_names
+        result = KRelation(child.schema, child.semiring)
+        for row, annotation in select_limit_rows(child.items(), names, keys, plan.count):
+            result.add(row, annotation)
+        return result

@@ -1,0 +1,194 @@
+"""Annotation vectors for the columnar engine.
+
+A batch of tuples carries its annotations as a vector with elementwise
+semiring operations.  For the hot semirings -- N (bag multiplicities), B
+(set membership) and the UA pair semiring over either -- the vector is backed
+by numpy arrays when numpy is installed, so join products and filters are
+single array operations.  Every other semiring falls back to plain Python
+lists with the semiring's own ``times``.
+
+All implementations share one interface:
+
+* ``from_annotations(values, n)`` -- build a vector from ``n`` annotations,
+* ``ones(n)`` -- a vector of ``n`` copies of 1_K,
+* ``take(vec, indices)`` / ``compress(vec, mask)`` -- gather / filter,
+* ``concat(a, b)`` -- vector concatenation,
+* ``multiply(a, b)`` -- elementwise semiring multiplication,
+* ``annotations(vec)`` -- back to a list of plain annotation objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+from repro.semirings import Semiring
+from repro.semirings.boolean import BooleanSemiring
+from repro.semirings.natural import NaturalSemiring
+from repro.semirings.ua import UAAnnotation, UASemiring
+
+try:  # pragma: no cover - exercised indirectly via the fast path
+    import numpy as _np
+except ImportError:  # pragma: no cover - the pure-Python path is always tested
+    _np = None
+
+
+class GenericVectorOps:
+    """Pure-Python annotation vectors; valid for any semiring."""
+
+    def __init__(self, semiring: Semiring) -> None:
+        self.semiring = semiring
+
+    def from_annotations(self, values: Iterable[Any], n: int) -> List[Any]:
+        return list(values)
+
+    def ones(self, n: int) -> List[Any]:
+        return [self.semiring.one] * n
+
+    def take(self, vec: List[Any], indices: Sequence[int]) -> List[Any]:
+        return [vec[i] for i in indices]
+
+    def compress(self, vec: List[Any], mask: Sequence[bool]) -> List[Any]:
+        return [value for value, keep in zip(vec, mask) if keep]
+
+    def concat(self, a: List[Any], b: List[Any]) -> List[Any]:
+        return a + b
+
+    def multiply(self, a: List[Any], b: List[Any]) -> List[Any]:
+        times = self.semiring.times
+        return [times(x, y) for x, y in zip(a, b)]
+
+    def annotations(self, vec: List[Any]) -> List[Any]:
+        return list(vec)
+
+
+#: Largest product of two int64 vector maxima that cannot have overflowed.
+_INT64_MAX = 2**63 - 1
+
+
+class NumpyScalarOps:
+    """numpy-backed vectors for semirings over plain scalars (N and B).
+
+    N-annotations are unbounded Python ints, while the fast path stores them
+    as int64.  ``guard_overflow`` keeps the engines observationally identical
+    anyway: vectors whose values do not fit int64 fall back to object dtype
+    (exact Python ints), and ``multiply`` switches to exact arithmetic
+    whenever the product of the two vector maxima could exceed int64 -- a
+    cheap sound bound since N-annotations are non-negative.
+    """
+
+    def __init__(self, semiring: Semiring, dtype: Any, times: Any,
+                 guard_overflow: bool = False) -> None:
+        self.semiring = semiring
+        self.dtype = dtype
+        self._times = times
+        self._guard = guard_overflow
+
+    def _exact(self, values: List[Any]):
+        vec = _np.empty(len(values), dtype=object)
+        vec[:] = values
+        return vec
+
+    def from_annotations(self, values: Iterable[Any], n: int):
+        if not self._guard:
+            return _np.fromiter(values, dtype=self.dtype, count=n)
+        materialized = list(values)
+        try:
+            return _np.fromiter(materialized, dtype=self.dtype, count=n)
+        except OverflowError:
+            return self._exact(materialized)
+
+    def ones(self, n: int):
+        return _np.full(n, self.semiring.one, dtype=self.dtype)
+
+    def take(self, vec, indices):
+        return vec[_np.asarray(indices, dtype=_np.intp)]
+
+    def compress(self, vec, mask):
+        return vec[_np.asarray(mask, dtype=bool)]
+
+    def concat(self, a, b):
+        return _np.concatenate((a, b))
+
+    def multiply(self, a, b):
+        if self._guard and a.size:
+            if a.dtype == object or b.dtype == object:
+                return self._exact([int(x) * int(y) for x, y in zip(a.tolist(), b.tolist())])
+            if int(a.max()) * int(b.max()) > _INT64_MAX:
+                return self._exact([int(x) * int(y) for x, y in zip(a.tolist(), b.tolist())])
+        return self._times(a, b)
+
+    def annotations(self, vec) -> List[Any]:
+        if self._guard and vec.dtype == object:
+            # Object vectors may hold np.int64 scalars (e.g. after a mixed
+            # concat); annotations leaving the engine must be plain ints.
+            return [int(value) for value in vec.tolist()]
+        return vec.tolist()
+
+
+class UAPairOps:
+    """UA annotation vectors as a pair of component vectors.
+
+    The pair semiring operates componentwise, so each component vector uses
+    the fast scalar representation of the base semiring.
+    """
+
+    def __init__(self, semiring: UASemiring, component_ops) -> None:
+        self.semiring = semiring
+        self._ops = component_ops
+
+    def from_annotations(self, values: Iterable[Any], n: int):
+        certain: List[Any] = []
+        determinized: List[Any] = []
+        for annotation in values:
+            certain.append(annotation.certain)
+            determinized.append(annotation.determinized)
+        return (
+            self._ops.from_annotations(certain, n),
+            self._ops.from_annotations(determinized, n),
+        )
+
+    def ones(self, n: int):
+        return (self._ops.ones(n), self._ops.ones(n))
+
+    def take(self, vec, indices):
+        return (self._ops.take(vec[0], indices), self._ops.take(vec[1], indices))
+
+    def compress(self, vec, mask):
+        return (self._ops.compress(vec[0], mask), self._ops.compress(vec[1], mask))
+
+    def concat(self, a, b):
+        return (self._ops.concat(a[0], b[0]), self._ops.concat(a[1], b[1]))
+
+    def multiply(self, a, b):
+        return (self._ops.multiply(a[0], b[0]), self._ops.multiply(a[1], b[1]))
+
+    def annotations(self, vec) -> List[Any]:
+        return [
+            UAAnnotation(certain, determinized)
+            for certain, determinized in zip(
+                self._ops.annotations(vec[0]), self._ops.annotations(vec[1])
+            )
+        ]
+
+
+def _scalar_ops(semiring: Semiring):
+    """numpy ops for a scalar semiring, or None when no fast path applies."""
+    if _np is None:
+        return None
+    if isinstance(semiring, NaturalSemiring):
+        return NumpyScalarOps(semiring, _np.int64, _np.multiply, guard_overflow=True)
+    if isinstance(semiring, BooleanSemiring):
+        return NumpyScalarOps(semiring, bool, _np.logical_and)
+    return None
+
+
+def annotation_ops(semiring: Semiring):
+    """The fastest available vector implementation for ``semiring``."""
+    scalar = _scalar_ops(semiring)
+    if scalar is not None:
+        return scalar
+    if isinstance(semiring, UASemiring):
+        component = _scalar_ops(semiring.base) or GenericVectorOps(semiring.base)
+        # The generic component path still beats per-pair semiring dispatch.
+        return UAPairOps(semiring, component)
+    return GenericVectorOps(semiring)

@@ -1,365 +1,48 @@
-"""Evaluation of relational algebra trees over K-relations.
+"""Evaluation facade: plan -> optimizer -> execution engine.
 
-RA+ operators combine annotations with the semiring operations exactly as in
-Green et al. (and Section 2.3 of the UA-DB paper):
+Historically this module *was* the row-at-a-time interpreter; that code now
+lives in :mod:`repro.db.engine.row` as the ``RowEngine``, one of several
+pluggable backends (see :mod:`repro.db.engine`).  ``evaluate`` remains the
+single entry point used throughout the codebase: it optionally optimizes the
+plan (:mod:`repro.db.optimizer`) and dispatches to the selected engine.
 
-* union adds annotations,
-* join multiplies the annotations of the joined tuples,
-* projection sums the annotations of all input tuples mapping to the same
-  output tuple,
-* selection multiplies by 1_K or 0_K depending on the predicate.
-
-The additional operators (distinct, aggregation, ordering, limit) are
-evaluated with conventional SQL semantics.
+Engine precedence: explicit ``engine`` argument, then the database's
+``engine`` attribute, then the ``REPRO_ENGINE`` environment variable, then
+the row engine.  The optimizer runs by default and can be bypassed per call
+(``optimize=False``) or process-wide (``REPRO_OPTIMIZE=0``) for A/B testing.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import os
+from typing import Optional
 
 from repro.db import algebra
 from repro.db.database import Database
-from repro.db.expressions import Expression, RowEnvironment
-from repro.db.relation import KRelation, Row, _row_sort_key
-from repro.db.schema import Attribute, RelationSchema, SchemaError
+from repro.db.engine import EngineSpec, Evaluator, get_engine
+from repro.db.engine.base import EvaluationError
+from repro.db.optimizer import optimize_plan
+from repro.db.relation import KRelation
+
+#: Environment variable disabling the optimizer when set to 0/false/off.
+OPTIMIZE_ENV_VAR = "REPRO_OPTIMIZE"
+
+__all__ = ["EvaluationError", "Evaluator", "evaluate", "OPTIMIZE_ENV_VAR"]
 
 
-class EvaluationError(RuntimeError):
-    """Raised when a plan cannot be evaluated against a database."""
+def _optimize_default() -> bool:
+    return os.environ.get(OPTIMIZE_ENV_VAR, "1").lower() not in ("0", "false", "off", "no")
 
 
-def evaluate(plan: algebra.Operator, database: Database) -> KRelation:
+def evaluate(plan: algebra.Operator, database: Database,
+             engine: EngineSpec = None,
+             optimize: Optional[bool] = None) -> KRelation:
     """Evaluate ``plan`` against ``database`` and return the result relation."""
-    evaluator = Evaluator(database)
-    return evaluator.run(plan)
-
-
-class Evaluator:
-    """Stateless-per-call evaluator over a fixed database."""
-
-    def __init__(self, database: Database) -> None:
-        self.database = database
-        self.semiring = database.semiring
-
-    def run(self, plan: algebra.Operator) -> KRelation:
-        """Dispatch on the operator type."""
-        method = getattr(self, f"_eval_{type(plan).__name__.lower()}", None)
-        if method is None:
-            raise EvaluationError(f"cannot evaluate operator {type(plan).__name__}")
-        return method(plan)
-
-    # -- leaves ---------------------------------------------------------------
-
-    def _eval_relationref(self, plan: algebra.RelationRef) -> KRelation:
-        relation = self.database.relation(plan.name)
-        if plan.alias and plan.alias.lower() != plan.name.lower():
-            return relation.rename(plan.alias)
-        return relation
-
-    # -- unary operators --------------------------------------------------------
-
-    def _eval_qualify(self, plan: algebra.Qualify) -> KRelation:
-        child = self.run(plan.child)
-        attributes = [
-            Attribute(f"{plan.qualifier}.{attr.name.split('.')[-1]}", attr.data_type)
-            for attr in child.schema.attributes
-        ]
-        schema = RelationSchema(plan.qualifier, attributes)
-        result = KRelation(schema, child.semiring)
-        for row, annotation in child.items():
-            result.add(row, annotation)
-        return result
-
-    def _eval_selection(self, plan: algebra.Selection) -> KRelation:
-        child = self.run(plan.child)
-        names = child.schema.attribute_names
-        result = KRelation(child.schema, child.semiring)
-        for row, annotation in child.items():
-            env = RowEnvironment(names, row)
-            if plan.predicate.evaluate(env) is True:
-                result.add(row, annotation)
-        return result
-
-    def _eval_projection(self, plan: algebra.Projection) -> KRelation:
-        child = self.run(plan.child)
-        names = child.schema.attribute_names
-        schema = RelationSchema(
-            child.schema.name,
-            [Attribute(name) for _, name in plan.items],
-        )
-        result = KRelation(schema, child.semiring)
-        for row, annotation in child.items():
-            env = RowEnvironment(names, row)
-            out_row = tuple(expr.evaluate(env) for expr, _ in plan.items)
-            result.add(out_row, annotation)
-        return result
-
-    def _eval_distinct(self, plan: algebra.Distinct) -> KRelation:
-        child = self.run(plan.child)
-        result = KRelation(child.schema, child.semiring)
-        for row, _annotation in child.items():
-            result.set_annotation(row, child.semiring.one)
-        return result
-
-    # -- binary operators ---------------------------------------------------------
-
-    def _product_schema(self, left: KRelation, right: KRelation) -> RelationSchema:
-        return left.schema.concat(right.schema)
-
-    def _eval_crossproduct(self, plan: algebra.CrossProduct) -> KRelation:
-        left = self.run(plan.left)
-        right = self.run(plan.right)
-        schema = self._product_schema(left, right)
-        result = KRelation(schema, left.semiring)
-        for left_row, left_annotation in left.items():
-            for right_row, right_annotation in right.items():
-                result.add(
-                    left_row + right_row,
-                    left.semiring.times(left_annotation, right_annotation),
-                )
-        return result
-
-    def _eval_join(self, plan: algebra.Join) -> KRelation:
-        left = self.run(plan.left)
-        right = self.run(plan.right)
-        schema = self._product_schema(left, right)
-        names = schema.attribute_names
-        semiring = left.semiring
-        result = KRelation(schema, semiring)
-        predicate = plan.predicate
-        # Hash join on equality conjuncts when possible, else nested loops.
-        equi = _equality_columns(predicate, left.schema.attribute_names,
-                                 right.schema.attribute_names) if predicate else []
-        if equi:
-            left_idx = [left.schema.index_of(l) for l, _ in equi]
-            right_idx = [right.schema.index_of(r) for _, r in equi]
-            buckets: Dict[Tuple, List[Tuple[Row, Any]]] = {}
-            for right_row, right_annotation in right.items():
-                key = tuple(right_row[i] for i in right_idx)
-                buckets.setdefault(key, []).append((right_row, right_annotation))
-            for left_row, left_annotation in left.items():
-                key = tuple(left_row[i] for i in left_idx)
-                for right_row, right_annotation in buckets.get(key, ()):  # noqa: B020
-                    combined = left_row + right_row
-                    if predicate is None or predicate.evaluate(
-                        RowEnvironment(names, combined)
-                    ) is True:
-                        result.add(
-                            combined, semiring.times(left_annotation, right_annotation)
-                        )
-            return result
-        for left_row, left_annotation in left.items():
-            for right_row, right_annotation in right.items():
-                combined = left_row + right_row
-                if predicate is None or predicate.evaluate(
-                    RowEnvironment(names, combined)
-                ) is True:
-                    result.add(
-                        combined, semiring.times(left_annotation, right_annotation)
-                    )
-        return result
-
-    def _eval_union(self, plan: algebra.Union) -> KRelation:
-        left = self.run(plan.left)
-        right = self.run(plan.right)
-        if left.schema.arity != right.schema.arity:
-            raise EvaluationError(
-                "UNION requires union-compatible schemas: "
-                f"{left.schema} vs {right.schema}"
-            )
-        result = KRelation(left.schema, left.semiring)
-        for row, annotation in left.items():
-            result.add(row, annotation)
-        for row, annotation in right.items():
-            result.add(row, annotation)
-        return result
-
-    def _eval_difference(self, plan: algebra.Difference) -> KRelation:
-        left = self.run(plan.left)
-        right = self.run(plan.right)
-        if left.schema.arity != right.schema.arity:
-            raise EvaluationError(
-                "EXCEPT requires union-compatible schemas: "
-                f"{left.schema} vs {right.schema}"
-            )
-        semiring = left.semiring
-        if not semiring.has_monus:
-            raise EvaluationError(
-                f"difference requires a semiring with a monus; {semiring.name} has none"
-            )
-        result = KRelation(left.schema, semiring)
-        for row, annotation in left.items():
-            remaining = semiring.monus(annotation, right.annotation(row))
-            result.set_annotation(row, remaining)
-        return result
-
-    def _eval_intersection(self, plan: algebra.Intersection) -> KRelation:
-        left = self.run(plan.left)
-        right = self.run(plan.right)
-        if left.schema.arity != right.schema.arity:
-            raise EvaluationError(
-                "INTERSECT requires union-compatible schemas: "
-                f"{left.schema} vs {right.schema}"
-            )
-        semiring = left.semiring
-        result = KRelation(left.schema, semiring)
-        for row, annotation in left.items():
-            shared = semiring.glb(annotation, right.annotation(row))
-            result.set_annotation(row, shared)
-        return result
-
-    # -- extended operators ----------------------------------------------------------
-
-    def _eval_aggregate(self, plan: algebra.Aggregate) -> KRelation:
-        child = self.run(plan.child)
-        names = child.schema.attribute_names
-        semiring = child.semiring
-        group_names = [name for _, name in plan.group_by]
-        out_names = group_names + [agg.name for agg in plan.aggregates]
-        schema = RelationSchema(child.schema.name, [Attribute(n) for n in out_names])
-        groups: Dict[Tuple, List[Tuple[Row, Any]]] = {}
-        for row, annotation in child.items():
-            env = RowEnvironment(names, row)
-            key = tuple(expr.evaluate(env) for expr, _ in plan.group_by)
-            groups.setdefault(key, []).append((row, annotation))
-        result = KRelation(schema, semiring)
-        for key, members in groups.items():
-            values = list(key)
-            for agg in plan.aggregates:
-                values.append(self._aggregate_value(agg, members, names))
-            result.add(tuple(values), semiring.one)
-        return result
-
-    def _aggregate_value(self, agg: algebra.AggregateFunction,
-                         members: List[Tuple[Row, Any]],
-                         names: Tuple[str, ...]) -> Any:
-        func = agg.func.lower()
-        weighted: List[Tuple[Any, int]] = []
-        for row, annotation in members:
-            weight = annotation if isinstance(annotation, int) and not isinstance(annotation, bool) else 1
-            if agg.argument is None:
-                value: Any = 1
-            else:
-                value = agg.argument.evaluate(RowEnvironment(names, row))
-            weighted.append((value, weight))
-        non_null = [(v, w) for v, w in weighted if v is not None]
-        if func == "count":
-            if agg.argument is None:
-                return sum(w for _, w in weighted)
-            return sum(w for _, w in non_null)
-        if not non_null:
-            return None
-        if func == "sum":
-            return sum(v * w for v, w in non_null)
-        if func == "avg":
-            total_weight = sum(w for _, w in non_null)
-            return sum(v * w for v, w in non_null) / total_weight
-        if func == "min":
-            return min(v for v, _ in non_null)
-        if func == "max":
-            return max(v for v, _ in non_null)
-        raise EvaluationError(f"unsupported aggregate {agg.func!r}")
-
-    def _eval_orderby(self, plan: algebra.OrderBy) -> KRelation:
-        # Relations are unordered; ordering matters only below a Limit, which
-        # handles the sort itself.  Evaluating OrderBy alone is the identity.
-        return self.run(plan.child)
-
-    def _eval_limit(self, plan: algebra.Limit) -> KRelation:
-        child_plan = plan.child
-        keys: Tuple[Tuple[Expression, bool], ...] = ()
-        if isinstance(child_plan, algebra.OrderBy):
-            keys = child_plan.keys
-            child_plan = child_plan.child
-        child = self.run(child_plan)
-        names = child.schema.attribute_names
-        rows = list(child.items())
-        if keys:
-            def sort_key(item: Tuple[Row, Any]):
-                env = RowEnvironment(names, item[0])
-                parts = []
-                for expr, descending in keys:
-                    value = expr.evaluate(env)
-                    parts.append(_OrderKey(value, descending))
-                return tuple(parts)
-
-            rows.sort(key=sort_key)
-        else:
-            rows.sort(key=lambda item: _row_sort_key(item[0]))
-        result = KRelation(child.schema, child.semiring)
-        for row, annotation in rows[: plan.count]:
-            result.add(row, annotation)
-        return result
-
-
-class _OrderKey:
-    """Comparable wrapper handling NULLs and descending order."""
-
-    __slots__ = ("value", "descending")
-
-    def __init__(self, value: Any, descending: bool) -> None:
-        self.value = value
-        self.descending = descending
-
-    def __lt__(self, other: "_OrderKey") -> bool:
-        a, b = self.value, other.value
-        if a is None and b is None:
-            return False
-        if a is None:
-            return not self.descending
-        if b is None:
-            return self.descending
-        try:
-            less = a < b
-        except TypeError:
-            less = str(a) < str(b)
-        return not less if self.descending else less
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _OrderKey) and self.value == other.value
-
-
-def _equality_columns(predicate: Optional[Expression],
-                      left_names: Tuple[str, ...],
-                      right_names: Tuple[str, ...]) -> List[Tuple[str, str]]:
-    """Extract ``left.col = right.col`` conjuncts usable for a hash join."""
-    from repro.db.expressions import And, Column, Comparison
-
-    if predicate is None:
-        return []
-    conjuncts: List[Expression] = []
-    if isinstance(predicate, And):
-        conjuncts.extend(predicate.operands)
-    else:
-        conjuncts.append(predicate)
-    left_lower = {n.lower(): n for n in left_names}
-    left_bases = {n.lower().split(".")[-1]: n for n in left_names}
-    right_lower = {n.lower(): n for n in right_names}
-    right_bases = {n.lower().split(".")[-1]: n for n in right_names}
-
-    def resolve(column: Column, full: Dict[str, str], bases: Dict[str, str]) -> Optional[str]:
-        key = column.full_name.lower()
-        if key in full:
-            return full[key]
-        if column.qualifier is None and column.name.lower() in bases:
-            return bases[column.name.lower()]
-        return None
-
-    pairs: List[Tuple[str, str]] = []
-    for conjunct in conjuncts:
-        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
-            continue
-        if not isinstance(conjunct.left, Column) or not isinstance(conjunct.right, Column):
-            continue
-        # Only use a conjunct for hashing when each operand resolves on
-        # exactly one side; otherwise a mis-paired bucket key could drop
-        # legitimate matches.
-        a_left = resolve(conjunct.left, left_lower, left_bases)
-        a_right = resolve(conjunct.left, right_lower, right_bases)
-        b_left = resolve(conjunct.right, left_lower, left_bases)
-        b_right = resolve(conjunct.right, right_lower, right_bases)
-        if a_left and b_right and not a_right and not b_left:
-            pairs.append((a_left, b_right))
-        elif b_left and a_right and not b_right and not a_left:
-            pairs.append((b_left, a_right))
-    return pairs
+    if engine is None:
+        engine = getattr(database, "engine", None)
+    resolved = get_engine(engine)
+    if optimize is None:
+        optimize = _optimize_default()
+    if optimize:
+        plan = optimize_plan(plan, database.schema)
+    return resolved.execute(plan, database)

@@ -70,6 +70,63 @@ class RowEnvironment:
         raise ExpressionError(f"unknown column {name!r}")
 
 
+class NameLookup:
+    """Column-name resolution maps built once and reused many times.
+
+    Applies exactly the precedence rules of :meth:`RowEnvironment.lookup`
+    (qualified name, then bare-name fallback, then unambiguous suffix match),
+    but maps names to arbitrary payloads instead of one row's values.  The
+    columnar engine (payload = column vectors) and the plan optimizer
+    (payload = expressions or canonical names) build on this class so their
+    static resolution can never drift from the row engine's per-row lookup.
+    ``RowEnvironment`` keeps its own inlined copy of the rules because it is
+    rebuilt per tuple on the row engine's hot path.
+    """
+
+    __slots__ = ("_full", "_short")
+
+    def __init__(self, names: Sequence[str], payloads: Sequence[Any]) -> None:
+        self._full: Dict[str, Any] = {}
+        self._short: Dict[str, Any] = {}
+        seen_bases = set()
+        for name, payload in zip(names, payloads):
+            lowered = name.lower()
+            self._full[lowered] = payload
+            base = lowered.split(".")[-1]
+            if base in seen_bases:
+                self._short[base] = _AMBIGUOUS
+            else:
+                self._short[base] = payload
+                seen_bases.add(base)
+
+    def lookup(self, name: str, qualifier: Optional[str] = None) -> Any:
+        """Resolve a reference; raises :class:`ExpressionError` on failure."""
+        if qualifier:
+            key = f"{qualifier}.{name}".lower()
+            if key in self._full:
+                return self._full[key]
+            bare = name.lower()
+            if bare in self._full:
+                return self._full[bare]
+            raise ExpressionError(f"unknown column {qualifier}.{name}")
+        lowered = name.lower()
+        if lowered in self._full:
+            return self._full[lowered]
+        if lowered in self._short:
+            payload = self._short[lowered]
+            if payload is _AMBIGUOUS:
+                raise ExpressionError(f"ambiguous column reference {name!r}")
+            return payload
+        raise ExpressionError(f"unknown column {name!r}")
+
+    def find(self, name: str, qualifier: Optional[str] = None) -> Any:
+        """Like :meth:`lookup` but returns None on unknown/ambiguous names."""
+        try:
+            return self.lookup(name, qualifier)
+        except ExpressionError:
+            return None
+
+
 class Expression:
     """Base class for scalar expressions."""
 

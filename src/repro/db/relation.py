@@ -53,9 +53,25 @@ class KRelation:
         else:
             self._data[row] = annotation
 
+    @classmethod
+    def _from_validated(cls, schema: RelationSchema, semiring: Semiring,
+                        data: Dict[Row, Any]) -> "KRelation":
+        """Wrap an already-validated ``row -> non-zero annotation`` mapping.
+
+        Internal fast path for operators that copy or transform whole
+        relations: it skips the per-row schema validation and semiring checks
+        of :meth:`add`, which the source rows have already passed.  The caller
+        transfers ownership of ``data``.
+        """
+        relation = cls.__new__(cls)
+        relation.schema = schema
+        relation.semiring = semiring
+        relation._data = data
+        return relation
+
     def copy(self) -> "KRelation":
         """Shallow copy (rows and annotations are immutable values)."""
-        return KRelation(self.schema, self.semiring, dict(self._data))
+        return KRelation._from_validated(self.schema, self.semiring, dict(self._data))
 
     # -- access -------------------------------------------------------------
 
@@ -100,17 +116,20 @@ class KRelation:
         The result is a relation over the homomorphism's target semiring.
         Rows whose image is the target's zero are dropped.
         """
-        result = KRelation(self.schema, homomorphism.target)
+        target = homomorphism.target
+        is_zero = target.is_zero
+        data = {}
         for row, annotation in self._data.items():
-            result.add(row, homomorphism(annotation))
-        return result
+            image = homomorphism(annotation)
+            if not is_zero(image):
+                data[row] = image
+        return KRelation._from_validated(self.schema, target, data)
 
     def rename(self, new_name: str) -> "KRelation":
         """Same contents under a renamed schema."""
-        result = KRelation(self.schema.rename(new_name), self.semiring)
-        for row, annotation in self._data.items():
-            result.add(row, annotation)
-        return result
+        return KRelation._from_validated(
+            self.schema.rename(new_name), self.semiring, dict(self._data)
+        )
 
     def to_rows(self, expand_multiplicity: bool = False) -> List[Row]:
         """Materialize rows as a list.

@@ -59,9 +59,15 @@ class PDBenchMeasurement:
         return (measurement.certain_size or 0) / measurement.result_size
 
 
-def build_frontend(instance: PDBenchInstance) -> UADBFrontend:
-    """Register the PDBench x-DB with its designated best-guess world."""
-    frontend = UADBFrontend(NATURAL, "pdbench")
+def build_frontend(instance: PDBenchInstance,
+                   engine: Optional[object] = None) -> UADBFrontend:
+    """Register the PDBench x-DB with its designated best-guess world.
+
+    ``engine`` selects the execution engine for every query the front-end
+    runs (None = the process default), so the figure benchmarks can compare
+    backends on identical instances.
+    """
+    frontend = UADBFrontend(NATURAL, "pdbench", engine=engine)
     frontend.register_xdb(instance.xdb, world=instance.best_guess)
     return frontend
 

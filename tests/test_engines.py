@@ -1,0 +1,394 @@
+"""Engine equivalence: RowEngine and ColumnarEngine must agree everywhere.
+
+The columnar engine is only allowed to be *faster* than the row engine, never
+different: every test evaluates the same plan (or SQL query) on both engines,
+optimized and unoptimized, and asserts identical annotated results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.engine import (
+    ColumnarEngine,
+    ENGINE_ENV_VAR,
+    ExecutionEngine,
+    RowEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from repro.db.engine.base import EvaluationError
+from repro.db.engine.common import check_union_compatible
+from repro.db.evaluator import evaluate
+from repro.db.expressions import Column, Comparison, Literal
+from repro.db.relation import KRelation, bag_relation, set_relation
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.db.sql import parse_query
+from repro.semirings import BOOLEAN, NATURAL
+from repro.semirings.ua import UASemiring
+from repro.core.uadb import UADatabase, UARelation
+
+
+# -- fixtures -------------------------------------------------------------------
+
+
+@pytest.fixture
+def store() -> Database:
+    """A small bag database exercising joins, NULLs and duplicates."""
+    db = Database(NATURAL, "store")
+    items = bag_relation(
+        RelationSchema("items", [
+            Attribute("item_id", DataType.INTEGER),
+            Attribute("name", DataType.STRING),
+            Attribute("price", DataType.FLOAT),
+            Attribute("category", DataType.STRING),
+        ]),
+        [
+            (1, "apple", 1.5, "fruit"),
+            (2, "banana", 0.5, "fruit"),
+            (3, "carrot", None, "veg"),
+            (4, "donut", 2.5, "bakery"),
+            (4, "donut", 2.5, "bakery"),  # duplicate -> multiplicity 2
+            (5, "egg", 0.25, None),
+        ],
+    )
+    sales = bag_relation(
+        RelationSchema("sales", [
+            Attribute("sale_id", DataType.INTEGER),
+            Attribute("item_id", DataType.INTEGER),
+            Attribute("qty", DataType.INTEGER),
+        ]),
+        [
+            (100, 1, 3),
+            (101, 1, 1),
+            (102, 2, 2),
+            (103, 3, 5),
+            (104, None, 7),
+            (105, 9, 1),
+            (105, 9, 1),
+        ],
+    )
+    db.add_relation(items)
+    db.add_relation(sales)
+    return db
+
+
+#: SQL corpus covering every operator both engines implement.
+QUERIES = [
+    "SELECT * FROM items",
+    "SELECT name, price FROM items WHERE price > 0.4",
+    "SELECT name FROM items WHERE price IS NULL",
+    "SELECT name FROM items WHERE category IS NOT NULL AND price < 2",
+    "SELECT name FROM items WHERE name LIKE '%a%'",
+    "SELECT name FROM items WHERE category IN ('fruit', 'bakery')",
+    "SELECT name FROM items WHERE price BETWEEN 0.3 AND 2.0",
+    "SELECT name, price * 2 AS double_price FROM items",
+    "SELECT DISTINCT category FROM items",
+    "SELECT i.name, s.qty FROM items i, sales s WHERE i.item_id = s.item_id",
+    "SELECT i.name, s.qty FROM items i, sales s "
+    "WHERE i.item_id = s.item_id AND s.qty > 2",
+    "SELECT i.name FROM items i, sales s "
+    "WHERE i.item_id = s.item_id AND i.category = 'fruit'",
+    "SELECT category, count(*) AS n FROM items GROUP BY category",
+    "SELECT category, sum(price) AS total, min(price) AS cheapest "
+    "FROM items GROUP BY category",
+    "SELECT count(*) AS n FROM sales",
+    "SELECT avg(qty) AS mean_qty FROM sales",
+    "SELECT name, price FROM items ORDER BY price DESC LIMIT 3",
+    "SELECT name FROM items LIMIT 2",
+    "SELECT name FROM items WHERE 1 = 1",
+    "SELECT name FROM items WHERE 1 = 2",
+    "SELECT upper(name) AS shout FROM items WHERE length(name) > 3",
+    "SELECT name, CASE WHEN price > 1 THEN 'pricey' ELSE 'cheap' END AS tier "
+    "FROM items",
+]
+
+
+def _assert_engines_agree(plan: algebra.Operator, database: Database) -> KRelation:
+    results = []
+    for engine in ("row", "columnar"):
+        for optimize in (False, True):
+            results.append(evaluate(plan, database, engine=engine, optimize=optimize))
+    baseline = results[0]
+    for other in results[1:]:
+        assert other == baseline
+    return baseline
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_sql_corpus_engine_equivalence(store, sql):
+    plan = parse_query(sql, store.schema)
+    _assert_engines_agree(plan, store)
+
+
+def test_set_semantics_engine_equivalence():
+    db = Database(BOOLEAN, "sets")
+    db.add_relation(set_relation(
+        RelationSchema("r", ["a", "b"]), [(1, "x"), (2, "y"), (3, "z")]
+    ))
+    db.add_relation(set_relation(
+        RelationSchema("s", ["a", "c"]), [(1, True), (3, False), (4, True)]
+    ))
+    for sql in [
+        "SELECT r.b FROM r, s WHERE r.a = s.a",
+        "SELECT DISTINCT b FROM r",
+        "SELECT a, count(*) AS n FROM r GROUP BY a",
+    ]:
+        plan = parse_query(sql, db.schema)
+        _assert_engines_agree(plan, db)
+
+
+def test_difference_and_intersection_engine_equivalence(store):
+    left = algebra.RelationRef("sales")
+    right = algebra.Selection(
+        algebra.RelationRef("sales"),
+        Comparison(">", Column("qty"), Literal(2)),
+    )
+    for plan in (algebra.Difference(left, right), algebra.Intersection(left, right)):
+        _assert_engines_agree(plan, store)
+
+
+def test_union_engine_equivalence(store):
+    ref = algebra.RelationRef("sales")
+    filtered = algebra.Selection(ref, Comparison(">", Column("qty"), Literal(1)))
+    _assert_engines_agree(algebra.Union(ref, filtered), store)
+
+
+def test_cross_product_engine_equivalence(store):
+    plan = algebra.CrossProduct(
+        algebra.RelationRef("items"), algebra.RelationRef("sales")
+    )
+    _assert_engines_agree(plan, store)
+
+
+def test_ua_semantics_engine_equivalence():
+    uadb = UADatabase(NATURAL, "ua")
+    relation = uadb.create_relation(RelationSchema("obs", ["sensor", "reading"]))
+    relation.add_tuple(("s1", 10), certain=1, determinized=2)
+    relation.add_tuple(("s1", 11), certain=0, determinized=1)
+    relation.add_tuple(("s2", 10), certain=3, determinized=3)
+    for sql in [
+        "SELECT sensor FROM obs WHERE reading = 10",
+        "SELECT sensor, reading FROM obs",
+        "SELECT DISTINCT sensor FROM obs",
+    ]:
+        row = uadb.sql(sql, engine="row", optimize=False)
+        for engine, optimize in (("row", True), ("columnar", False), ("columnar", True)):
+            assert uadb.sql(sql, engine=engine, optimize=optimize) == row
+
+
+# -- randomized property tests ---------------------------------------------------
+
+
+def _random_database(rng: random.Random) -> Database:
+    db = Database(NATURAL, "rand")
+    r = KRelation(RelationSchema("r", ["a", "b", "c"]), NATURAL)
+    for _ in range(rng.randint(0, 25)):
+        row = (
+            rng.randint(0, 5),
+            rng.choice(["x", "y", "z", None]),
+            rng.choice([None, 0.5, 1.5, 2.5, 10]),
+        )
+        r.add(row, rng.randint(1, 3))
+    s = KRelation(RelationSchema("s", ["a", "d"]), NATURAL)
+    for _ in range(rng.randint(0, 25)):
+        s.add((rng.randint(0, 5), rng.randint(0, 3)), rng.randint(1, 2))
+    db.add_relation(r)
+    db.add_relation(s)
+    return db
+
+
+def _random_plan(rng: random.Random) -> algebra.Operator:
+    base: algebra.Operator = algebra.RelationRef("r")
+    shape = rng.choice(["select", "project", "join", "union", "aggregate", "limit"])
+    predicate = Comparison(
+        rng.choice(["<", "<=", "=", ">="]), Column("a"), Literal(rng.randint(0, 5))
+    )
+    if shape == "select":
+        return algebra.Selection(base, predicate)
+    if shape == "project":
+        return algebra.Projection(
+            algebra.Selection(base, predicate),
+            ((Column("b"), "b"), (Column("a"), "a")),
+        )
+    if shape == "join":
+        join = algebra.Join(
+            base, algebra.RelationRef("s"),
+            Comparison("=", Column("r.a", None), Column("d")),
+        )
+        # Qualified refs resolve by suffix against the concatenated schema.
+        join = algebra.Join(base, algebra.RelationRef("s"),
+                            Comparison("=", Column("a", "r"), Column("d", "s")))
+        return algebra.Selection(join, predicate)
+    if shape == "union":
+        return algebra.Union(algebra.Selection(base, predicate), base)
+    if shape == "aggregate":
+        return algebra.Aggregate(
+            algebra.Selection(base, predicate),
+            ((Column("a"), "a"),),
+            (
+                algebra.AggregateFunction("count", None, "n"),
+                algebra.AggregateFunction("sum", Column("c"), "total"),
+            ),
+        )
+    return algebra.Limit(
+        algebra.OrderBy(base, ((Column("a"), rng.choice([True, False])),)),
+        rng.randint(0, 4),
+    )
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_randomized_plan_engine_equivalence(seed):
+    rng = random.Random(seed)
+    db = _random_database(rng)
+    for _ in range(4):
+        plan = _random_plan(rng)
+        _assert_engines_agree(plan, db)
+
+
+# -- engine selection and registry -----------------------------------------------
+
+
+def test_get_engine_resolution(monkeypatch):
+    monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+    assert isinstance(get_engine("row"), RowEngine)
+    assert isinstance(get_engine("columnar"), ColumnarEngine)
+    assert isinstance(get_engine(None), RowEngine)
+    instance = ColumnarEngine()
+    assert get_engine(instance) is instance
+    with pytest.raises(EvaluationError):
+        get_engine("no-such-engine")
+    assert set(available_engines()) >= {"row", "columnar"}
+
+
+def test_engine_env_var_default(monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV_VAR, "columnar")
+    assert isinstance(get_engine(None), ColumnarEngine)
+    monkeypatch.delenv(ENGINE_ENV_VAR)
+    assert isinstance(get_engine(None), RowEngine)
+
+
+def test_full_corpus_under_env_engine(store, monkeypatch):
+    """The suite-level REPRO_ENGINE override routes evaluate() transparently."""
+    monkeypatch.setenv(ENGINE_ENV_VAR, "columnar")
+    plan = parse_query(QUERIES[9], store.schema)
+    via_env = evaluate(plan, store)
+    monkeypatch.delenv(ENGINE_ENV_VAR)
+    assert via_env == evaluate(plan, store, engine="row")
+
+
+def test_register_custom_engine(store):
+    class CountingEngine(RowEngine):
+        name = "counting"
+        calls = 0
+
+        def execute(self, plan, database):
+            type(self).calls += 1
+            return super().execute(plan, database)
+
+    register_engine("counting", CountingEngine)
+    try:
+        plan = parse_query("SELECT name FROM items", store.schema)
+        result = evaluate(plan, store, engine="counting")
+        assert CountingEngine.calls == 1
+        assert result == evaluate(plan, store, engine="row")
+    finally:
+        import repro.db.engine as engine_module
+        engine_module._FACTORIES.pop("counting", None)
+        engine_module._INSTANCES.pop("counting", None)
+
+
+def test_database_default_engine(store):
+    class MarkerEngine(RowEngine):
+        name = "marker"
+        used = False
+
+        def execute(self, plan, database):
+            type(self).used = True
+            return super().execute(plan, database)
+
+    store.engine = MarkerEngine()
+    plan = parse_query("SELECT name FROM items", store.schema)
+    evaluate(plan, store)
+    assert MarkerEngine.used
+
+
+# -- satellite regressions --------------------------------------------------------
+
+
+def test_union_rejects_mismatched_semirings():
+    left = RelationSchema("l", ["a"])
+    right = RelationSchema("r", ["a"])
+    with pytest.raises(EvaluationError, match="semiring"):
+        check_union_compatible(left, right, NATURAL, BOOLEAN, "UNION")
+    # Arity mismatches still raise the schema error.
+    with pytest.raises(EvaluationError, match="union-compatible"):
+        check_union_compatible(
+            RelationSchema("l", ["a", "b"]), right, NATURAL, NATURAL, "UNION"
+        )
+
+
+def test_limit_without_order_by_matches_sorted_prefix(store):
+    plan = parse_query("SELECT name FROM items LIMIT 3", store.schema)
+    result = _assert_engines_agree(plan, store)
+    full = parse_query("SELECT name FROM items", store.schema)
+    everything = evaluate(full, store, engine="row").to_rows()
+    assert sorted(result.to_rows()) == sorted(everything[:3])
+
+
+def test_ua_aggregate_uses_best_guess_multiplicity():
+    """SUM/COUNT over a UA bag relation must honour bag multiplicities."""
+    uadb = UADatabase(NATURAL, "agg")
+    relation = uadb.create_relation(RelationSchema("t", ["g", "v"]))
+    relation.add_tuple(("a", 10), certain=2, determinized=3)
+    relation.add_tuple(("a", 5), certain=0, determinized=1)
+    relation.add_tuple(("b", 7), certain=1, determinized=1)
+    result = uadb.sql("SELECT g, count(*) AS n, sum(v) AS total FROM t GROUP BY g")
+    rows = {row[0]: row for row in result.to_rows()}
+    # Group "a": multiplicities 3 and 1 -> count 4, sum 3*10 + 1*5 = 35.
+    assert rows["a"] == ("a", 4, 35)
+    assert rows["b"] == ("b", 1, 7)
+
+
+def test_columnar_huge_multiplicities_do_not_overflow():
+    """int64 fast-path vectors must fall back to exact ints, not wrap."""
+    db = Database(NATURAL, "huge")
+    left = KRelation(RelationSchema("l", ["a"]), NATURAL)
+    left.add((1,), 2**40)
+    left.add((2,), 2**70)  # does not even fit int64 on load
+    right = KRelation(RelationSchema("r", ["b"]), NATURAL)
+    right.add((1,), 2**40)
+    db.add_relation(left)
+    db.add_relation(right)
+    plan = algebra.CrossProduct(algebra.RelationRef("l"), algebra.RelationRef("r"))
+    baseline = evaluate(plan, db, engine="row", optimize=False)
+    assert baseline.annotation((1, 1)) == 2**80
+    assert baseline.annotation((2, 1)) == 2**110
+    result = _assert_engines_agree(plan, db)
+    assert all(isinstance(ann, int) for _, ann in result.items())
+
+
+def test_krelation_copy_rename_map_fast_paths():
+    schema = RelationSchema("t", ["a"])
+    relation = bag_relation(schema, [(1,), (1,), (2,)])
+    copied = relation.copy()
+    assert copied == relation and copied is not relation
+    copied.add((3,))
+    assert (3,) not in relation
+    renamed = relation.rename("t2")
+    assert renamed.schema.name == "t2"
+    assert dict(renamed.items()) == dict(relation.items())
+    ua = UASemiring(NATURAL)
+    ua_relation = UARelation(schema, ua)
+    ua_relation.add_tuple((1,), certain=1, determinized=2)
+    ua_relation.add_tuple((2,), certain=0, determinized=1)
+    best_guess = ua_relation.best_guess_relation()
+    assert dict(best_guess.items()) == {(1,): 2, (2,): 1}
+    labeling = ua_relation.labeling_relation()
+    # Rows with a zero image are dropped by the homomorphism.
+    assert dict(labeling.items()) == {(1,): 1}

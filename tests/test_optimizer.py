@@ -1,0 +1,310 @@
+"""Tests for the logical plan optimizer.
+
+Two layers: unit tests asserting the *structure* each rewrite rule produces,
+and property-style tests asserting plan-result equivalence (optimized vs.
+unoptimized, row vs. columnar engine) over randomized databases.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import evaluate
+from repro.db.expressions import (
+    And,
+    Arithmetic,
+    Column,
+    Comparison,
+    FunctionCall,
+    Literal,
+    Or,
+)
+from repro.db.optimizer import (
+    drop_redundant_orderby,
+    fold_constants,
+    fold_expression,
+    optimize_plan,
+    prune_projections,
+    push_selections,
+)
+from repro.db.relation import KRelation, bag_relation
+from repro.db.schema import RelationSchema
+from repro.db.sql import parse_query
+from repro.semirings import NATURAL
+
+
+# -- helpers --------------------------------------------------------------------
+
+
+def _db() -> Database:
+    db = Database(NATURAL, "opt")
+    db.add_relation(bag_relation(
+        RelationSchema("r", ["a", "b", "c"]),
+        [(1, "x", 10), (2, "y", 20), (3, "x", 30), (1, "z", 40)],
+    ))
+    db.add_relation(bag_relation(
+        RelationSchema("s", ["d", "e"]),
+        [(1, 100), (2, 200), (9, 900)],
+    ))
+    return db
+
+
+def _operators(plan: algebra.Operator):
+    yield plan
+    for child in plan.children():
+        yield from _operators(child)
+
+
+def _count(plan: algebra.Operator, kind) -> int:
+    return sum(1 for op in _operators(plan) if isinstance(op, kind))
+
+
+# -- constant folding -------------------------------------------------------------
+
+
+def test_fold_expression_arithmetic_and_comparison():
+    expr = Comparison("<", Arithmetic("+", Literal(1), Literal(2)), Literal(5))
+    assert fold_expression(expr) == Literal(True)
+    expr = Arithmetic("*", Literal(3), Arithmetic("-", Literal(7), Literal(5)))
+    assert fold_expression(expr) == Literal(6)
+
+
+def test_fold_expression_boolean_simplification():
+    pred = Comparison("=", Column("a"), Literal(1))
+    assert fold_expression(And(Literal(True), pred)) == pred
+    assert fold_expression(And(Literal(False), pred)) == Literal(False)
+    assert fold_expression(Or(Literal(True), pred)) == Literal(True)
+    assert fold_expression(Or(Literal(False), pred)) == pred
+
+
+def test_fold_expression_functions_and_null():
+    expr = FunctionCall("least", (Literal(3), Literal(1)))
+    assert fold_expression(expr) == Literal(1)
+    # Division by zero folds to NULL rather than raising.
+    expr = Arithmetic("/", Literal(1), Literal(0))
+    assert fold_expression(expr) == Literal(None)
+
+
+def test_fold_constants_removes_true_selection():
+    plan = algebra.Selection(
+        algebra.RelationRef("r"), Comparison("=", Literal(1), Literal(1))
+    )
+    assert fold_constants(plan) == algebra.RelationRef("r")
+
+
+def test_fold_constants_drops_true_join_predicate():
+    plan = algebra.Join(
+        algebra.RelationRef("r"), algebra.RelationRef("s"),
+        Comparison("=", Literal(2), Literal(2)),
+    )
+    folded = fold_constants(plan)
+    assert isinstance(folded, algebra.Join) and folded.predicate is None
+
+
+# -- selection pushdown -----------------------------------------------------------
+
+
+def test_pushdown_through_projection_substitutes_expressions():
+    plan = algebra.Selection(
+        algebra.Projection(
+            algebra.RelationRef("r"),
+            ((Arithmetic("+", Column("a"), Literal(1)), "a1"), (Column("b"), "b")),
+        ),
+        Comparison(">", Column("a1"), Literal(2)),
+    )
+    pushed = push_selections(plan, _db().schema)
+    assert isinstance(pushed, algebra.Projection)
+    selection = pushed.child
+    assert isinstance(selection, algebra.Selection)
+    # The predicate was rewritten in terms of the child's columns.
+    assert "a + 1" in selection.predicate.to_sql().replace("(", "").replace(")", "")
+
+
+def test_pushdown_splits_conjuncts_across_join():
+    db = _db()
+    predicate = And(
+        Comparison("=", Column("a"), Column("d")),
+        Comparison(">", Column("c"), Literal(15)),
+        Comparison("<", Column("e"), Literal(500)),
+    )
+    plan = algebra.Selection(
+        algebra.Join(algebra.RelationRef("r"), algebra.RelationRef("s"), None),
+        predicate,
+    )
+    pushed = push_selections(plan, db.schema)
+    assert isinstance(pushed, algebra.Join)
+    # Single-side conjuncts became selections directly over the scans.
+    assert isinstance(pushed.left, algebra.Selection)
+    assert "c" in pushed.left.predicate.to_sql()
+    assert isinstance(pushed.right, algebra.Selection)
+    assert "e" in pushed.right.predicate.to_sql()
+    # The cross-side equality stayed as the join predicate (hash-joinable).
+    assert pushed.predicate is not None and "=" in pushed.predicate.to_sql()
+
+
+def test_pushdown_converts_cross_product_to_join():
+    db = _db()
+    plan = algebra.Selection(
+        algebra.CrossProduct(algebra.RelationRef("r"), algebra.RelationRef("s")),
+        Comparison("=", Column("a"), Column("d")),
+    )
+    pushed = push_selections(plan, db.schema)
+    assert isinstance(pushed, algebra.Join)
+    assert pushed.predicate is not None
+    assert _count(pushed, algebra.CrossProduct) == 0
+
+
+def test_pushdown_through_union_requires_matching_columns():
+    db = _db()
+    matching = algebra.Union(algebra.RelationRef("r"), algebra.RelationRef("r"))
+    predicate = Comparison("=", Column("a"), Literal(1))
+    pushed = push_selections(algebra.Selection(matching, predicate), db.schema)
+    assert isinstance(pushed, algebra.Union)
+    assert isinstance(pushed.left, algebra.Selection)
+    assert isinstance(pushed.right, algebra.Selection)
+    # r and s expose different columns: the selection must stay above.
+    mismatched = algebra.Union(
+        algebra.Projection(algebra.RelationRef("r"),
+                           ((Column("a"), "a"), (Column("c"), "c"))),
+        algebra.RelationRef("s"),
+    )
+    kept = push_selections(algebra.Selection(mismatched, predicate), db.schema)
+    assert isinstance(kept, algebra.Selection)
+
+
+def test_pushdown_stops_at_limit():
+    db = _db()
+    plan = algebra.Selection(
+        algebra.Limit(algebra.RelationRef("r"), 2),
+        Comparison("=", Column("a"), Literal(1)),
+    )
+    pushed = push_selections(plan, db.schema)
+    # Filtering before a LIMIT changes which rows survive; must not reorder.
+    assert isinstance(pushed, algebra.Selection)
+    assert isinstance(pushed.child, algebra.Limit)
+
+
+def test_pushdown_enters_left_side_of_difference():
+    db = _db()
+    plan = algebra.Selection(
+        algebra.Difference(algebra.RelationRef("r"), algebra.RelationRef("r")),
+        Comparison("=", Column("a"), Literal(1)),
+    )
+    pushed = push_selections(plan, db.schema)
+    assert isinstance(pushed, algebra.Difference)
+    assert isinstance(pushed.left, algebra.Selection)
+    assert isinstance(pushed.right, algebra.RelationRef)
+
+
+# -- projection pruning -----------------------------------------------------------
+
+
+def test_prune_narrows_scans_below_join():
+    db = _db()
+    plan = parse_query(
+        "SELECT r.b FROM r, s WHERE r.a = s.d", db.schema
+    )
+    pruned = prune_projections(push_selections(plan, db.schema), db.schema)
+    # Every scan is wrapped in a projection keeping only referenced columns:
+    # r contributes a and b (c is never used), s contributes only d.
+    widths = [
+        len(op.items) for op in _operators(pruned)
+        if isinstance(op, algebra.Projection) and isinstance(
+            op.child, algebra.RelationRef
+        )
+    ]
+    assert sorted(widths) == [1, 2]
+    assert evaluate(pruned, db, optimize=False) == evaluate(plan, db, optimize=False)
+
+
+def test_prune_keeps_full_rows_below_distinct_and_limit():
+    db = _db()
+    for sql in ["SELECT DISTINCT b FROM r", "SELECT b FROM r LIMIT 2"]:
+        plan = parse_query(sql, db.schema)
+        pruned = prune_projections(plan, db.schema)
+        assert evaluate(pruned, db, optimize=False) == evaluate(plan, db, optimize=False)
+
+
+# -- order-by elimination ----------------------------------------------------------
+
+
+def test_orderby_dropped_unless_under_limit():
+    db = _db()
+    keys = ((Column("a"), False),)
+    bare = algebra.OrderBy(algebra.RelationRef("r"), keys)
+    assert drop_redundant_orderby(bare) == algebra.RelationRef("r")
+    limited = algebra.Limit(algebra.OrderBy(algebra.RelationRef("r"), keys), 2)
+    kept = drop_redundant_orderby(limited)
+    assert isinstance(kept, algebra.Limit)
+    assert isinstance(kept.child, algebra.OrderBy)
+    assert evaluate(limited, db, optimize=True) == evaluate(limited, db, optimize=False)
+
+
+# -- end-to-end equivalence --------------------------------------------------------
+
+
+CORPUS = [
+    "SELECT * FROM r",
+    "SELECT a, b FROM r WHERE a = 1",
+    "SELECT r.b, s.e FROM r, s WHERE r.a = s.d AND r.c > 5 AND s.e < 500",
+    "SELECT b, count(*) AS n, sum(c) AS total FROM r GROUP BY b",
+    "SELECT DISTINCT b FROM r WHERE c >= 10",
+    "SELECT a, b FROM r ORDER BY a DESC LIMIT 2",
+    "SELECT a + 1 AS a1, c FROM r WHERE 2 > 1",
+    "SELECT r.a FROM r, s WHERE r.a = s.d AND 1 = 1",
+]
+
+
+@pytest.mark.parametrize("sql", CORPUS)
+def test_optimized_plan_equivalence(sql):
+    db = _db()
+    plan = parse_query(sql, db.schema)
+    baseline = evaluate(plan, db, engine="row", optimize=False)
+    for engine in ("row", "columnar"):
+        assert evaluate(plan, db, engine=engine, optimize=True) == baseline
+        assert evaluate(plan, db, engine=engine, optimize=False) == baseline
+
+
+def _random_database(rng: random.Random) -> Database:
+    db = Database(NATURAL, "rand")
+    r = KRelation(RelationSchema("r", ["a", "b", "c"]), NATURAL)
+    for _ in range(rng.randint(0, 30)):
+        r.add(
+            (rng.randint(0, 4), rng.choice(["u", "v", None]), rng.randint(0, 50)),
+            rng.randint(1, 3),
+        )
+    s = KRelation(RelationSchema("s", ["d", "e"]), NATURAL)
+    for _ in range(rng.randint(0, 20)):
+        s.add((rng.randint(0, 4), rng.randint(0, 9)), 1)
+    db.add_relation(r)
+    db.add_relation(s)
+    return db
+
+
+RANDOM_TEMPLATES = [
+    "SELECT a, b FROM r WHERE a <= {k}",
+    "SELECT r.b, s.e FROM r, s WHERE r.a = s.d AND r.c > {c}",
+    "SELECT r.c FROM r, s WHERE r.a = s.d AND s.e < {c}",
+    "SELECT b, count(*) AS n FROM r GROUP BY b",
+    "SELECT b, sum(c) AS t, max(c) AS m FROM r WHERE a >= {k} GROUP BY b",
+    "SELECT DISTINCT a FROM r WHERE c BETWEEN {k} AND {c}",
+    "SELECT a, c FROM r ORDER BY c LIMIT {k}",
+]
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_randomized_optimizer_equivalence(seed):
+    """Property test: optimization never changes results on any engine."""
+    rng = random.Random(1000 + seed)
+    db = _random_database(rng)
+    for template in rng.sample(RANDOM_TEMPLATES, 4):
+        sql = template.format(k=rng.randint(0, 4), c=rng.randint(5, 45))
+        plan = parse_query(sql, db.schema)
+        baseline = evaluate(plan, db, engine="row", optimize=False)
+        for engine in ("row", "columnar"):
+            assert evaluate(plan, db, engine=engine, optimize=True) == baseline, sql
+            assert evaluate(plan, db, engine=engine, optimize=False) == baseline, sql
