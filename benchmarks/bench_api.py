@@ -1,0 +1,209 @@
+"""Cold vs warm statement execution through the `repro.connect()` session.
+
+Measures repeated small-query throughput on both execution engines:
+
+* **cold** -- every execution pays the whole front half of the pipeline
+  (parse -> UA rewrite -> optimize) because the prepared-plan cache is
+  cleared between calls,
+* **warm** -- the statement is prepared once and re-executed with fresh
+  parameter bindings, so each call is bind + execute only.
+
+The warm/cold ratio is the amortization the session API exists to provide;
+the acceptance bar is >= 2x on the warm path.  Results go to
+``BENCH_api.json`` next to ``BENCH_engines.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_api.py          # full run
+    PYTHONPATH=src python benchmarks/bench_api.py --quick  # fewer iterations
+
+CI's benchmark job runs ``--quick`` on every push and uploads the JSON as an
+artifact; ``pytest benchmarks/bench_api.py`` runs the same smoke check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.api import connect
+from repro.semirings import NATURAL
+from repro.incomplete.tidb import TIDatabase
+from repro.db.schema import RelationSchema
+
+ENGINES = ("row", "columnar")
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_api.json"
+
+#: The repeated-small-query workload: selective multi-join lookups over a
+#: compact store, the shape a service in front of a UA-DB serves all day.
+#: Queries are deliberately *small* (tiny result sets over small relations):
+#: that is the regime where the parse -> rewrite -> optimize front half
+#: dominates a one-shot call and where prepared plans pay off.
+QUERIES = (
+    ("point", "SELECT o.oid, c.name, p.label FROM orders o, customers c, products p "
+              "WHERE o.cid = c.cid AND o.pid = p.pid AND o.oid = ?"),
+    ("range", "SELECT o.oid, c.name, p.label FROM orders o, customers c, products p "
+              "WHERE o.cid = c.cid AND o.pid = p.pid "
+              "AND o.qty >= ? AND o.qty <= ? AND p.price >= ?"),
+    ("lookup", "SELECT DISTINCT c.name FROM orders o, customers c "
+               "WHERE o.cid = c.cid AND o.qty >= ? AND c.city = ?"),
+)
+
+N_CUSTOMERS = 12
+N_PRODUCTS = 15
+N_ORDERS = 60
+
+
+def build_session(engine: str, customers: int = N_CUSTOMERS,
+                  products: int = N_PRODUCTS, orders: int = N_ORDERS,
+                  uncertainty: float = 0.1, seed: int = 11):
+    """A session over a small TI-DB order database."""
+    rng = random.Random(seed)
+    tidb = TIDatabase("shop")
+    cust = tidb.create_relation(
+        RelationSchema("customers", ["cid", "name", "city"])
+    )
+    for cid in range(customers):
+        cust.add((cid, f"customer_{cid}", f"city_{cid % 3}"), probability=1.0)
+    prod = tidb.create_relation(
+        RelationSchema("products", ["pid", "label", "price"])
+    )
+    for pid in range(products):
+        prod.add((pid, f"product_{pid}", float(pid)), probability=1.0)
+    orders_rel = tidb.create_relation(
+        RelationSchema("orders", ["oid", "cid", "pid", "qty"])
+    )
+    for oid in range(orders):
+        probability = 1.0 if rng.random() > uncertainty else 0.6 + 0.3 * rng.random()
+        orders_rel.add(
+            (oid, rng.randrange(customers), rng.randrange(products),
+             rng.randrange(1, 10)),
+            probability=probability,
+        )
+    conn = connect(NATURAL, name="shop", engine=engine)
+    conn.register_tidb(tidb)
+    return conn
+
+
+def _bindings(name: str, rng: random.Random) -> List[object]:
+    if name == "point":
+        return [rng.randrange(N_ORDERS)]
+    if name == "range":
+        low = rng.randrange(1, 8)
+        return [low, low + 2, float(rng.randrange(N_PRODUCTS // 2))]
+    return [rng.randrange(1, 6), f"city_{rng.randrange(3)}"]
+
+
+def _measure_cold(conn, sql: str, name: str, iterations: int, seed: int) -> float:
+    rng = random.Random(seed)
+    started = time.perf_counter()
+    for _ in range(iterations):
+        conn.plan_cache.clear()  # every call recompiles: the one-shot cost
+        conn.query(sql, _bindings(name, rng))
+    return (time.perf_counter() - started) / iterations
+
+
+def _measure_warm(conn, sql: str, name: str, iterations: int, seed: int) -> float:
+    rng = random.Random(seed)
+    statement = conn.prepare(sql)
+    statement.execute(_bindings(name, rng))  # absorb the compile miss
+    started = time.perf_counter()
+    for _ in range(iterations):
+        statement.execute(_bindings(name, rng))
+    return (time.perf_counter() - started) / iterations
+
+
+def run_benchmark(iterations: int = 200, seed: int = 11) -> Dict:
+    """Cold vs warm per (engine, query); verifies identical results first."""
+    measurements: List[Dict] = []
+    for engine in ENGINES:
+        conn = build_session(engine)
+        for name, sql in QUERIES:
+            rng = random.Random(seed)
+            bindings = _bindings(name, rng)
+            statement = conn.prepare(sql)
+            warm_result = statement.execute(bindings)
+            conn.plan_cache.clear()
+            cold_result = conn.query(sql, bindings)
+            if warm_result.labeled_rows() != cold_result.labeled_rows():
+                raise AssertionError(
+                    f"warm and cold paths diverge on {name} ({engine})"
+                )
+            cold = _measure_cold(conn, sql, name, iterations, seed)
+            warm = _measure_warm(conn, sql, name, iterations, seed)
+            measurements.append({
+                "engine": engine,
+                "query": name,
+                "sql": sql,
+                "iterations": iterations,
+                "cold_seconds_per_query": cold,
+                "warm_seconds_per_query": warm,
+                "warm_speedup": cold / warm,
+                "cold_qps": 1.0 / cold,
+                "warm_qps": 1.0 / warm,
+            })
+    return {
+        "workload": "repeated parameterized small queries over a TI-DB "
+                    f"({N_CUSTOMERS} customers x {N_PRODUCTS} products x "
+                    f"{N_ORDERS} orders, 10% uncertain)",
+        "engines": list(ENGINES),
+        "python": platform.python_version(),
+        "measurements": measurements,
+        "summary": {
+            "min_warm_speedup": min(m["warm_speedup"] for m in measurements),
+            "geomean_warm_speedup": _geomean(
+                [m["warm_speedup"] for m in measurements]
+            ),
+        },
+    }
+
+
+def _geomean(values: List[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations (CI smoke run)")
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+    iterations = args.iterations or (40 if args.quick else 200)
+    report = run_benchmark(iterations=iterations)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for measurement in report["measurements"]:
+        print(
+            f"{measurement['engine']:<9} {measurement['query']:<6} "
+            f"cold={measurement['cold_seconds_per_query'] * 1e3:7.3f}ms "
+            f"warm={measurement['warm_seconds_per_query'] * 1e3:7.3f}ms "
+            f"speedup={measurement['warm_speedup']:5.2f}x"
+        )
+    print(f"geomean warm speedup: {report['summary']['geomean_warm_speedup']:.2f}x")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_bench_api_smoke():
+    """The benchmark runs, warm and cold paths agree, and caching pays off."""
+    report = run_benchmark(iterations=20)
+    assert report["measurements"], "no measurements collected"
+    # The speedup bar is asserted loosely here (tiny runs are noisy); the
+    # >= 2x acceptance criterion applies to the geomean of a full run, which
+    # is the committed BENCH_api.json.
+    for measurement in report["measurements"]:
+        assert measurement["warm_speedup"] > 1.0
+    assert report["summary"]["geomean_warm_speedup"] > 1.3
+
+
+if __name__ == "__main__":
+    sys.exit(main())

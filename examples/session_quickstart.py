@@ -1,0 +1,82 @@
+"""Session quickstart: drive a UA-DB through `repro.connect()`.
+
+The DB-API-style session layer wraps the paper's middleware in a familiar
+connection/cursor surface: create and load deterministic tables entirely
+through SQL, register uncertain sources next to them, and run parameterized
+queries whose plans are compiled once (parse -> UA rewrite -> optimize) and
+then served from the prepared-plan cache.
+
+Run with::
+
+    python examples/session_quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.incomplete import XDatabase
+from repro.db.schema import RelationSchema
+from repro.semirings import NATURAL
+
+
+def build_sightings_xdb() -> XDatabase:
+    """An uncertain table: bird sightings with ambiguous species labels."""
+    xdb = XDatabase("field_notes")
+    sightings = xdb.create_relation(
+        RelationSchema("SIGHTING", ["sid", "species", "park_id"])
+    )
+    sightings.add_certain((1, "cardinal", 10))
+    # The observer could not tell which of two species this was.
+    sightings.add_alternatives([
+        (2, "cooper's hawk", 10),
+        (2, "sharp-shinned hawk", 10),
+    ])
+    sightings.add_certain((3, "blue jay", 20))
+    sightings.add_alternatives([
+        (4, "downy woodpecker", 20),
+        (4, "hairy woodpecker", 20),
+    ])
+    return xdb
+
+
+def main() -> None:
+    conn = repro.connect(NATURAL, name="birds")
+
+    # Deterministic reference data, loaded through SQL.
+    conn.execute("CREATE TABLE PARK (park_id INT, name TEXT, city TEXT)")
+    conn.executemany(
+        "INSERT INTO PARK VALUES (?, ?, ?)",
+        [(10, "Delaware Park", "Buffalo"), (20, "Chestnut Ridge", "Orchard Park")],
+    )
+
+    # The uncertain source sits right next to it in the same session.
+    conn.register_xdb(build_sightings_xdb())
+
+    # Prepare once: the plan is parsed, UA-rewritten and optimized a single
+    # time; every execution below only binds the parameter and runs.
+    statement = conn.prepare(
+        "SELECT s.sid, s.species, p.name "
+        "FROM SIGHTING s, PARK p "
+        "WHERE s.park_id = p.park_id AND p.park_id = :park"
+    )
+
+    for park_id in (10, 20):
+        result = statement.execute({"park": park_id})
+        print(f"Sightings in park {park_id} (certain answers marked):")
+        print(result.pretty())
+        certain = len(result.certain_rows())
+        print(f"-> {certain} of {len(result)} answers are certain\n")
+
+    stats = conn.plan_cache.stats()
+    print(
+        f"Plan cache: {stats['hits']} hits / {stats['misses']} misses -- "
+        "the second execution reused the prepared plan."
+    )
+
+    # Cursors give the classic fetch interface over the best-guess world.
+    cur = conn.execute("SELECT species FROM SIGHTING WHERE sid = ?", [2])
+    print(f"Best guess for sighting 2: {cur.fetchone()[0]} (uncertain)")
+
+
+if __name__ == "__main__":
+    main()

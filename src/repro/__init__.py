@@ -6,6 +6,9 @@ The package is organized bottom-up:
 * :mod:`repro.db`        -- the in-memory relational engine and SQL front-end,
 * :mod:`repro.incomplete` -- incomplete / probabilistic data models,
 * :mod:`repro.core`      -- UA-DBs: labelings, encodings, rewriting, front-end,
+* :mod:`repro.api`       -- the DB-API-style session layer behind
+  :func:`repro.connect`: connections, cursors, parameterized queries and the
+  prepared-plan cache,
 * :mod:`repro.extensions` -- the paper's future-work items: possible-annotation
   bounds (UAP-DBs with difference/negation), aggregation with certainty
   bounds, attribute-level uncertainty labels,
@@ -15,8 +18,19 @@ The package is organized bottom-up:
 * :mod:`repro.experiments` -- one module per table/figure of the paper.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import UADatabase, UADBFrontend, UARelation
+from repro.api import Connection, Cursor, PreparedStatement, UAQueryResult, connect
 
-__all__ = ["UADatabase", "UADBFrontend", "UARelation", "__version__"]
+__all__ = [
+    "Connection",
+    "Cursor",
+    "PreparedStatement",
+    "UADatabase",
+    "UADBFrontend",
+    "UAQueryResult",
+    "UARelation",
+    "connect",
+    "__version__",
+]

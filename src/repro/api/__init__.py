@@ -1,0 +1,34 @@
+"""The public session API: ``repro.connect()`` and friends.
+
+A DB-API-2.0-flavored front door to UA-DBs (see :mod:`repro.api.session`):
+
+* :func:`connect` opens a :class:`Connection`,
+* connections register uncertain sources (or ``CREATE TABLE`` / ``INSERT``
+  through SQL) and hand out :class:`Cursor` objects,
+* statements support ``?`` / ``:name`` parameter placeholders,
+* every compiled plan lands in an LRU :class:`PlanCache`, so repeated and
+  prepared statements skip the parse -> rewrite -> optimize front half of
+  the pipeline entirely.
+"""
+
+from repro.api.cache import PlanCache
+from repro.api.session import (
+    Connection,
+    Cursor,
+    PreparedPlan,
+    PreparedStatement,
+    SessionError,
+    UAQueryResult,
+    connect,
+)
+
+__all__ = [
+    "Connection",
+    "Cursor",
+    "PlanCache",
+    "PreparedPlan",
+    "PreparedStatement",
+    "SessionError",
+    "UAQueryResult",
+    "connect",
+]

@@ -1,0 +1,87 @@
+"""An LRU cache for prepared query plans.
+
+The cache is what makes the session API cheap on hot paths: the parse ->
+rewrite -> optimize front half of the pipeline runs once per distinct
+statement, and every later execution is a dictionary hit plus parameter
+binding.  Entries are keyed by the statement text (plus compilation mode and
+optimizer toggle) and carry the catalog version they were compiled against;
+a lookup under a newer catalog version is treated as a miss and the stale
+entry is dropped, so registering or creating a relation transparently
+invalidates every plan compiled before it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+
+class PlanCache:
+    """A bounded mapping from statement keys to prepared plans.
+
+    Not a general-purpose cache: :meth:`get` takes the *current* catalog
+    version and discards entries compiled against an older catalog, counting
+    them as invalidations.  ``max_size <= 0`` disables caching entirely
+    (every lookup misses), which keeps the session code path uniform.
+    """
+
+    def __init__(self, max_size: int = 128) -> None:
+        self.max_size = max_size
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: Hashable, catalog_version: int) -> Optional[Any]:
+        """The cached entry for ``key``, or None on a miss/stale entry."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.catalog_version != catalog_version:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, entry: Any) -> None:
+        """Insert ``entry``, evicting the least recently used one if full."""
+        if self.max_size <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for observability and tests."""
+        return {
+            "size": len(self._entries),
+            "max_size": self.max_size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<PlanCache {len(self._entries)}/{self.max_size} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

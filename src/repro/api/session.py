@@ -1,0 +1,680 @@
+"""A DB-API-2.0-flavored session layer for UA-DBs.
+
+:func:`repro.connect` opens a :class:`Connection` -- the paper's middleware
+as a database session.  Uncertain sources are registered (or created and
+loaded entirely through SQL with ``CREATE TABLE`` / ``INSERT``), and SQL
+queries run through cursors with the familiar ``execute`` / ``fetchall``
+shape plus the UA-specific accessors (``certain_rows``, ``labeled_rows``).
+
+What the session adds over one-shot :func:`repro.db.evaluator.evaluate`
+calls is *amortization*: every statement is compiled once -- parse ->
+translate -> Figure 8/9 rewrite -> optimize -- into a prepared plan stored
+in an LRU :class:`~repro.api.cache.PlanCache`, and re-executions (the same
+SQL text again, an explicit :class:`PreparedStatement`, or ``executemany``)
+skip straight to parameter binding and engine execution.  Placeholders
+(``?`` positional, ``:name`` named) keep the cache hot across queries that
+differ only in constants.
+
+Cache entries are keyed by (SQL, mode, optimizer toggle) and stamped with
+the catalog version they were compiled against; registering a source or
+creating a table bumps the version, so stale plans are recompiled
+transparently (see :class:`~repro.api.cache.PlanCache`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.evaluator import _optimize_default, evaluate
+from repro.db.expressions import Parameter, RowEnvironment
+from repro.db.params import (
+    ParameterBinder, Params, check_bindings,
+    expression_parameters, plan_parameters,
+)
+from repro.db.optimizer import optimize_plan
+from repro.db.relation import KRelation, Row, _row_sort_key
+from repro.db.schema import (
+    Attribute, DataType, DatabaseSchema, RelationSchema, SchemaError,
+)
+from repro.db.sql.ast import CreateTableStatement, InsertStatement, Statement
+from repro.db.sql.parser import parse_statement
+from repro.db.sql.translator import parse_query, translate
+from repro.semirings import NATURAL, Semiring
+from repro.core.encoding import decode_relation, encode_relation
+from repro.core.rewriter import rewrite_plan
+from repro.core.uadb import UADatabase, UARelation
+from repro.incomplete.ctable import CTableDatabase
+from repro.incomplete.tidb import TIDatabase
+from repro.incomplete.xdb import XDatabase
+
+
+class SessionError(RuntimeError):
+    """Raised for misuse of the session API (closed connections, bad ops)."""
+
+
+#: SQL type names accepted by ``CREATE TABLE``.
+SQL_TYPES: Dict[str, DataType] = {
+    "int": DataType.INTEGER, "integer": DataType.INTEGER,
+    "bigint": DataType.INTEGER, "smallint": DataType.INTEGER,
+    "float": DataType.FLOAT, "real": DataType.FLOAT,
+    "double": DataType.FLOAT, "numeric": DataType.FLOAT,
+    "decimal": DataType.FLOAT,
+    "text": DataType.STRING, "string": DataType.STRING,
+    "varchar": DataType.STRING, "char": DataType.STRING,
+    "bool": DataType.BOOLEAN, "boolean": DataType.BOOLEAN,
+    "any": DataType.ANY,
+}
+
+_EMPTY_ENV = RowEnvironment((), ())
+
+
+
+
+@dataclass
+class UAQueryResult:
+    """Result of a UA-DB query: rows paired with certainty information."""
+
+    relation: UARelation
+    #: Wall-clock evaluation time in seconds (binding + execution; includes
+    #: compilation only when the statement was not already cached).
+    elapsed: float = 0.0
+
+    def rows(self) -> List[Row]:
+        """All result rows (the best-guess-world answer)."""
+        return self.relation.to_rows()
+
+    def certain_rows(self) -> List[Row]:
+        """Rows labeled certain (the under-approximation)."""
+        return self.relation.certain_rows()
+
+    def uncertain_rows(self) -> List[Row]:
+        """Rows not labeled certain."""
+        return self.relation.uncertain_rows()
+
+    def labeled_rows(self) -> List[Tuple[Row, bool]]:
+        """``(row, certain?)`` pairs, sorted for stable output."""
+        pairs = [(row, self.relation.is_certain(row))
+                 for row in self.relation.to_rows()]
+        pairs.sort(key=lambda pair: _row_sort_key(pair[0]))
+        return pairs
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def pretty(self, limit: int = 20) -> str:
+        """Human-readable rendering with a Certain? column."""
+        header = list(self.relation.schema.attribute_names) + ["Certain?"]
+        rows = [
+            [repr(value) for value in row] + [str(certain).lower()]
+            for row, certain in self.labeled_rows()
+        ]
+        shown = rows[:limit]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in shown)) if shown else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(" | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in shown)
+        if len(rows) > limit:
+            lines.append(f"... ({len(rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+@dataclass
+class PreparedPlan:
+    """A compiled statement: everything the execute path needs, parse-free.
+
+    For SELECTs, ``plan`` is the fully rewritten + optimized algebra tree
+    (over the encoded database in ``"rewritten"`` mode, over the logical
+    UA-database in ``"direct"`` mode).  For CREATE/INSERT, ``statement``
+    keeps the parsed AST.  ``parameters`` lists the placeholders of the
+    *original* statement (before optimization, which may prune some away),
+    used for exact argument-count checking.
+    """
+
+    sql: str
+    kind: str  # "select" | "create" | "insert"
+    mode: str  # "rewritten" | "direct"
+    catalog_version: int
+    plan: Optional[algebra.Operator] = None
+    statement: Optional[Statement] = None
+    parameters: Tuple[Parameter, ...] = ()
+
+
+class Connection:
+    """A session against one UA-database: sources, cursors, prepared plans.
+
+    Open one with :func:`repro.connect`.  ``engine`` / ``optimize`` follow
+    the same precedence rules as the rest of the stack (explicit argument,
+    then ``REPRO_ENGINE`` / ``REPRO_OPTIMIZE``, then defaults) and apply to
+    every statement executed through the connection.
+    """
+
+    def __init__(self, semiring: Semiring = NATURAL, name: str = "uadb",
+                 engine: Optional[object] = None,
+                 optimize: Optional[bool] = None,
+                 cache_size: int = 128) -> None:
+        from repro.api.cache import PlanCache
+
+        self.semiring = semiring
+        self.name = name
+        #: Execution engine used for every statement (None = default engine).
+        self.engine = engine
+        #: Optimizer toggle for every statement (None = default behaviour).
+        self.optimize = optimize
+        self.uadb = UADatabase(semiring, name, engine=engine)
+        #: The encoded backing store the rewritten queries run against.
+        self.encoded = Database(semiring, f"{name}_enc", engine=engine)
+        #: Prepared-plan cache; inspect ``plan_cache.stats()`` for hit rates.
+        self.plan_cache = PlanCache(cache_size)
+        self._catalog_version = 0
+        self._closed = False
+
+    # -- source registration ------------------------------------------------------
+
+    def _register(self, relation: UARelation) -> None:
+        self.uadb.add_relation(relation)
+        self.encoded.add_relation(encode_relation(relation))
+        self._catalog_version += 1
+
+    def register_ua_relation(self, relation: UARelation) -> None:
+        """Register an already-built UA-relation."""
+        self._check_open()
+        self._register(relation)
+
+    def register_ua_database(self, uadb: UADatabase) -> None:
+        """Register every relation of an existing UA-database."""
+        self._check_open()
+        for relation in uadb:
+            self._register(relation)  # type: ignore[arg-type]
+
+    def register_deterministic(self, relation: KRelation) -> None:
+        """Register a deterministic relation: every tuple is certain."""
+        self._check_open()
+        self._register(UARelation.from_world_and_labeling(relation, relation))
+
+    def register_tidb(self, tidb: TIDatabase) -> None:
+        """Register a TI-DB source (best-guess world + c-correct labeling)."""
+        self.register_ua_database(UADatabase.from_tidb(tidb, self.semiring))
+
+    def register_xdb(self, xdb: XDatabase, world: Optional[Database] = None) -> None:
+        """Register an x-DB / BI-DB source (best-guess world + c-correct labeling)."""
+        self.register_ua_database(UADatabase.from_xdb(xdb, self.semiring, world=world))
+
+    def register_ctable(self, ctable_db: CTableDatabase) -> None:
+        """Register a C-table source (best-guess world + c-sound labeling)."""
+        self.register_ua_database(UADatabase.from_ctable(ctable_db, self.semiring))
+
+    def register_ordb(self, ordb) -> None:
+        """Register an OR-database source (best-guess world + c-correct labeling)."""
+        self.register_ua_database(UADatabase.from_ordb(ordb, self.semiring))
+
+    # -- catalogs -----------------------------------------------------------------
+
+    @property
+    def catalog(self) -> DatabaseSchema:
+        """Schema of the logical (un-encoded) UA relations."""
+        return self.uadb.database.schema
+
+    @property
+    def encoded_catalog(self) -> DatabaseSchema:
+        """Schema of the encoded backing relations (with the ``C`` column)."""
+        return self.encoded.schema
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotonic counter bumped by every registration / CREATE TABLE."""
+        return self._catalog_version
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection; further statements raise :class:`SessionError`."""
+        self._closed = True
+        self.plan_cache.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def commit(self) -> None:
+        """No-op (the store is in-memory and auto-committed), kept for DB-API shape."""
+        self._check_open()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionError("connection is closed")
+
+    # -- statement compilation ----------------------------------------------------
+
+    def _optimize_resolved(self) -> bool:
+        return _optimize_default() if self.optimize is None else bool(self.optimize)
+
+    def _entry(self, sql: str, mode: str) -> PreparedPlan:
+        """The cached prepared plan for ``sql``; compiles on a miss."""
+        self._check_open()
+        key = (sql, mode, self._optimize_resolved())
+        entry = self.plan_cache.get(key, self._catalog_version)
+        if entry is None:
+            entry = self._compile(sql, mode)
+            self.plan_cache.put(key, entry)
+        return entry
+
+    def _compile(self, sql: str, mode: str) -> PreparedPlan:
+        statement = parse_statement(sql)
+        if isinstance(statement, CreateTableStatement):
+            return PreparedPlan(sql, "create", mode, self._catalog_version,
+                                statement=statement)
+        if isinstance(statement, InsertStatement):
+            parameters = [parameter
+                          for row in statement.rows
+                          for expression in row
+                          for parameter in expression_parameters(expression)]
+            return PreparedPlan(sql, "insert", mode, self._catalog_version,
+                                statement=statement,
+                                parameters=tuple(parameters))
+        if mode == "rewritten":
+            logical = translate(statement, self.catalog)
+            plan = rewrite_plan(logical, self.encoded_catalog)
+            optimize_catalog = self.encoded_catalog
+        elif mode == "direct":
+            logical = translate(statement, self.catalog)
+            plan = logical
+            optimize_catalog = self.catalog
+        else:
+            raise SessionError(f"unknown compilation mode {mode!r}")
+        parameters = plan_parameters(logical)
+        if self._optimize_resolved():
+            plan = optimize_plan(plan, optimize_catalog)
+        return PreparedPlan(sql, "select", mode, self._catalog_version,
+                            plan=plan, parameters=tuple(parameters))
+
+    # -- statement execution ------------------------------------------------------
+
+    def _execute_entry(self, entry: PreparedPlan,
+                       params: Params = None) -> Union[UAQueryResult, int]:
+        """Run a prepared plan: a :class:`UAQueryResult` for SELECTs, a row
+        count for INSERTs, 0 for CREATE TABLE."""
+        self._check_open()
+        check_bindings(entry.parameters, params, exact=True)
+        if entry.kind == "create":
+            self._run_create(entry.statement)  # type: ignore[arg-type]
+            return 0
+        if entry.kind == "insert":
+            return self._run_insert(entry.statement, params)  # type: ignore[arg-type]
+        started = time.perf_counter()
+        if entry.mode == "rewritten":
+            encoded_result = evaluate(entry.plan, self.encoded, engine=self.engine,
+                                      optimize=False, params=params)
+            relation = decode_relation(encoded_result, self.uadb.ua_semiring)
+        else:
+            result = evaluate(entry.plan, self.uadb.database, engine=self.engine,
+                              optimize=False, params=params)
+            relation = UARelation._from_validated(
+                result.schema, self.uadb.ua_semiring, dict(result.items())
+            )
+        elapsed = time.perf_counter() - started
+        return UAQueryResult(relation, elapsed)
+
+    def _run_create(self, statement: CreateTableStatement) -> None:
+        attributes = []
+        for column in statement.columns:
+            type_name = column.type_name or "any"
+            if type_name not in SQL_TYPES:
+                raise SchemaError(
+                    f"unknown SQL type {type_name!r} for column {column.name!r}; "
+                    f"supported: {', '.join(sorted(SQL_TYPES))}"
+                )
+            attributes.append(Attribute(column.name, SQL_TYPES[type_name]))
+        schema = RelationSchema(statement.name, attributes)
+        self._register(UARelation(schema, self.uadb.ua_semiring))
+
+    def _run_insert(self, statement: InsertStatement, params: Params) -> int:
+        ua_relation: UARelation = self.uadb.relation(statement.table)
+        encoded_relation = self.encoded.relation(statement.table)
+        schema = ua_relation.schema
+        for name in statement.columns:
+            schema.index_of(name)  # unknown column names fail fast
+        base = self.uadb.base_semiring
+        binder = ParameterBinder(params)
+        inserted = 0
+        for row_expressions in statement.rows:
+            values = [binder.bind(expression).evaluate(_EMPTY_ENV)
+                      for expression in row_expressions]
+            if statement.columns:
+                by_name = {name.lower(): value
+                           for name, value in zip(statement.columns, values)}
+                row = tuple(by_name.get(attribute.name.lower())
+                            for attribute in schema.attributes)
+            else:
+                row = tuple(values)
+            # Inserted tuples are deterministic facts: certain in every world.
+            ua_relation.add_tuple(row, certain=base.one, determinized=base.one)
+            encoded_relation.add(row + (1,), base.one)
+            inserted += 1
+        return inserted
+
+    # -- DB-API-style entry points ------------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        """A new cursor over this connection."""
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Params = None) -> "Cursor":
+        """Shortcut: create a cursor and execute ``sql`` on it."""
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Params]) -> "Cursor":
+        """Shortcut: create a cursor and run ``sql`` once per parameter set."""
+        return self.cursor().executemany(sql, seq_of_params)
+
+    def prepare(self, sql: str, mode: str = "rewritten") -> "PreparedStatement":
+        """Compile ``sql`` now and return a reusable prepared statement."""
+        return PreparedStatement(self, sql, mode)
+
+    # -- query paths (result-object API) ------------------------------------------
+
+    def query(self, sql: str, params: Params = None) -> UAQueryResult:
+        """Answer a SQL query with UA semantics via the rewriting pipeline."""
+        started = time.perf_counter()
+        entry = self._entry(sql, "rewritten")
+        if entry.kind != "select":
+            raise SessionError("query() expects a SELECT statement")
+        result = self._execute_entry(entry, params)
+        result.elapsed = time.perf_counter() - started  # type: ignore[union-attr]
+        return result  # type: ignore[return-value]
+
+    def query_direct(self, sql: str, params: Params = None) -> UAQueryResult:
+        """Answer a SQL query by evaluating K_UA semantics directly (no rewriting).
+
+        Used to validate the rewriting (Theorem 7): both paths must produce
+        the same annotated result.
+        """
+        started = time.perf_counter()
+        entry = self._entry(sql, "direct")
+        if entry.kind != "select":
+            raise SessionError("query_direct() expects a SELECT statement")
+        result = self._execute_entry(entry, params)
+        result.elapsed = time.perf_counter() - started  # type: ignore[union-attr]
+        return result  # type: ignore[return-value]
+
+    def query_plan(self, plan: algebra.Operator,
+                   params: Params = None) -> UAQueryResult:
+        """Answer an already-built logical plan with UA semantics (uncached)."""
+        self._check_open()
+        started = time.perf_counter()
+        rewritten = rewrite_plan(plan, self.encoded_catalog)
+        encoded_result = evaluate(rewritten, self.encoded, engine=self.engine,
+                                  optimize=self.optimize, params=params)
+        relation = decode_relation(encoded_result, self.uadb.ua_semiring)
+        elapsed = time.perf_counter() - started
+        return UAQueryResult(relation, elapsed)
+
+    def query_deterministic(self, sql: str,
+                            params: Params = None) -> Tuple[KRelation, float]:
+        """Answer a SQL query over the best-guess world only (BGQP baseline).
+
+        Returns the plain relation and the elapsed wall-clock time; used to
+        measure the overhead of UA-DBs relative to deterministic processing.
+        Deliberately uncached (it re-extracts the best-guess world), matching
+        the baseline it exists to measure.
+        """
+        self._check_open()
+        best_guess = self.uadb.best_guess_database()
+        started = time.perf_counter()
+        plan = parse_query(sql, best_guess.schema)
+        result = evaluate(plan, best_guess, engine=self.engine,
+                          optimize=self.optimize, params=params)
+        elapsed = time.perf_counter() - started
+        return result, elapsed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{len(self.uadb)} relations"
+        return f"<Connection {self.name!r} [{self.semiring.name}] {state}>"
+
+
+class Cursor:
+    """A DB-API-style cursor: execute statements, fetch (labeled) rows.
+
+    ``fetchone`` / ``fetchmany`` / ``fetchall`` return plain best-guess rows;
+    the UA-specific view lives in :meth:`certain_rows`, :meth:`labeled_rows`
+    and the full :attr:`result`.
+    """
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        self._result: Optional[UAQueryResult] = None
+        self._rows: List[Row] = []
+        self._cursor_index = 0
+        self._rowcount = -1
+        self._description: Optional[List[Tuple]] = None
+        self._closed = False
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(self, sql: str, params: Params = None) -> "Cursor":
+        """Execute a statement; returns the cursor itself (chainable)."""
+        self._check_open()
+        entry = self.connection._entry(sql, "rewritten")
+        outcome = self.connection._execute_entry(entry, params)
+        if isinstance(outcome, UAQueryResult):
+            self._install_result(outcome)
+        else:
+            self._result = None
+            self._rows = []
+            self._cursor_index = 0
+            self._description = None
+            self._rowcount = int(outcome)
+        return self
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Params]) -> "Cursor":
+        """Execute a DML statement once per parameter set (compiled once).
+
+        Per DB-API, ``executemany`` is for data modification; use
+        :meth:`execute` (or a :class:`PreparedStatement`) for queries.
+        """
+        self._check_open()
+        entry = self.connection._entry(sql, "rewritten")
+        if entry.kind == "select":
+            raise SessionError(
+                "executemany() is for INSERT-style statements; use execute() "
+                "or Connection.prepare() for queries"
+            )
+        total = 0
+        for params in seq_of_params:
+            outcome = self.connection._execute_entry(entry, params)
+            total += int(outcome)  # type: ignore[arg-type]
+        self._result = None
+        self._rows = []
+        self._cursor_index = 0
+        self._description = None
+        self._rowcount = total
+        return self
+
+    def _install_result(self, result: UAQueryResult) -> None:
+        self._result = result
+        self._rows = result.rows()
+        self._cursor_index = 0
+        self._rowcount = len(self._rows)
+        self._description = [
+            (attribute.name, attribute.data_type, None, None, None, None, None)
+            for attribute in result.relation.schema.attributes
+        ]
+
+    # -- fetching -----------------------------------------------------------------
+
+    @property
+    def description(self) -> Optional[List[Tuple]]:
+        """Per-column 7-tuples ``(name, type_code, ...)``; None for non-queries."""
+        return self._description
+
+    @property
+    def rowcount(self) -> int:
+        """Rows returned by the last query / affected by the last DML (-1 if none)."""
+        return self._rowcount
+
+    @property
+    def result(self) -> UAQueryResult:
+        """The full annotated result of the last query."""
+        if self._result is None:
+            raise SessionError("no query result; execute a SELECT first")
+        return self._result
+
+    def fetchone(self) -> Optional[Row]:
+        """The next row, or None when exhausted."""
+        self._check_open()
+        if self._cursor_index >= len(self._rows):
+            return None
+        row = self._rows[self._cursor_index]
+        self._cursor_index += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Row]:
+        """The next ``size`` rows (default :attr:`arraysize`)."""
+        self._check_open()
+        size = self.arraysize if size is None else size
+        rows = self._rows[self._cursor_index:self._cursor_index + size]
+        self._cursor_index += len(rows)
+        return rows
+
+    def fetchall(self) -> List[Row]:
+        """All remaining rows."""
+        self._check_open()
+        rows = self._rows[self._cursor_index:]
+        self._cursor_index = len(self._rows)
+        return rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return self
+
+    def __next__(self) -> Row:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    # -- UA-specific views ---------------------------------------------------------
+
+    def certain_rows(self) -> List[Row]:
+        """Rows of the last query labeled certain."""
+        return self.result.certain_rows()
+
+    def uncertain_rows(self) -> List[Row]:
+        """Rows of the last query not labeled certain."""
+        return self.result.uncertain_rows()
+
+    def labeled_rows(self) -> List[Tuple[Row, bool]]:
+        """Sorted ``(row, certain?)`` pairs of the last query."""
+        return self.result.labeled_rows()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the cursor's result; further fetches raise."""
+        self._closed = True
+        self._result = None
+        self._rows = []
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionError("cursor is closed")
+        self.connection._check_open()
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PreparedStatement:
+    """A statement compiled once, executable many times with fresh bindings.
+
+    The hot path of the session API: ``execute`` re-validates nothing but the
+    catalog version (a cache lookup), binds the parameters into the cached
+    plan and runs the engine.  If the catalog changed since compilation the
+    statement transparently recompiles.
+    """
+
+    def __init__(self, connection: Connection, sql: str,
+                 mode: str = "rewritten") -> None:
+        if mode not in ("rewritten", "direct"):
+            raise SessionError(f"unknown compilation mode {mode!r}")
+        self.connection = connection
+        self.sql = sql
+        self.mode = mode
+        # Compile eagerly so unknown relations / syntax errors surface here.
+        self._entry = connection._entry(sql, mode)
+
+    @property
+    def kind(self) -> str:
+        """``"select"``, ``"insert"`` or ``"create"``."""
+        return self._entry.kind
+
+    @property
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """The statement's placeholders, in source order."""
+        return self._entry.parameters
+
+    def execute(self, params: Params = None) -> Union[UAQueryResult, int]:
+        """Run with ``params``: a result for SELECTs, a row count for DML."""
+        started = time.perf_counter()
+        self._entry = self.connection._entry(self.sql, self.mode)
+        outcome = self.connection._execute_entry(self._entry, params)
+        if isinstance(outcome, UAQueryResult):
+            outcome.elapsed = time.perf_counter() - started
+        return outcome
+
+    def executemany(self, seq_of_params: Iterable[Params]) -> Union[List[UAQueryResult], int]:
+        """Run once per parameter set: results for SELECTs, total count for DML."""
+        if self._entry.kind == "select":
+            return [self.execute(params) for params in seq_of_params]  # type: ignore[misc]
+        total = 0
+        for params in seq_of_params:
+            total += self.execute(params)  # type: ignore[operator]
+        return total
+
+    def __repr__(self) -> str:
+        return f"<PreparedStatement {self.kind} mode={self.mode!r} {self.sql!r}>"
+
+
+def connect(semiring: Semiring = NATURAL, name: str = "uadb",
+            engine: Optional[object] = None,
+            optimize: Optional[bool] = None,
+            cache_size: int = 128) -> Connection:
+    """Open a UA-DB session.
+
+    Example::
+
+        import repro
+
+        conn = repro.connect(engine="columnar")
+        conn.execute("CREATE TABLE t (a INT, b TEXT)")
+        conn.executemany("INSERT INTO t VALUES (?, ?)", [(1, "x"), (2, "y")])
+        statement = conn.prepare("SELECT a, b FROM t WHERE a >= ?")
+        result = statement.execute([2])
+        print(result.labeled_rows())
+
+    ``semiring`` picks the annotation domain (bag multiplicities by default),
+    ``engine`` the execution backend (``"row"`` / ``"columnar"`` / instance),
+    ``optimize`` toggles the logical optimizer, and ``cache_size`` bounds the
+    prepared-plan LRU cache (0 disables caching).
+    """
+    return Connection(semiring=semiring, name=name, engine=engine,
+                      optimize=optimize, cache_size=cache_size)

@@ -1,4 +1,4 @@
-"""User-facing UA-DB front-end.
+"""User-facing UA-DB front-end (legacy surface).
 
 The front-end mirrors the paper's middleware: uncertain sources (TI-DBs,
 x-DBs, C-tables, or pre-built UA-relations) are registered, translated into
@@ -6,142 +6,141 @@ the encoded representation (plain relations with a certainty column), and SQL
 queries are compiled with the Figure 8/9 rewriting and executed on the
 relational engine.  Results come back as :class:`UAQueryResult`, pairing each
 row with its certainty label.
+
+Since the session API landed, :class:`UADBFrontend` is a thin
+backward-compatible shim over :class:`repro.api.Connection` -- one front-end
+wraps one connection, and every query path (rewritten, direct, deterministic)
+delegates to it.  New code should use :func:`repro.connect` directly; it
+additionally offers cursors, parameter placeholders, ``executemany``,
+explicit prepared statements and SQL-level ``CREATE TABLE`` / ``INSERT``.
+
+The shim's plan cache is **off by default** (``cache_size=0``): the paper's
+experiments time ``query()`` against the uncached deterministic baseline, so
+the legacy surface must keep paying the parse/rewrite/optimize cost on every
+call to preserve that measurement methodology.  Pass ``cache_size > 0`` to
+opt in to prepared-plan caching on the legacy surface too.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from repro.db import algebra
 from repro.db.database import Database
-from repro.db.evaluator import evaluate
-from repro.db.relation import KRelation, Row
+from repro.db.params import Params
+from repro.db.relation import KRelation
 from repro.db.schema import DatabaseSchema
 from repro.db.sql import parse_query
-from repro.semirings import BOOLEAN, NATURAL, Semiring
-from repro.core.encoding import CERTAINTY_COLUMN, decode_relation, encode_relation
-from repro.core.labeling import label_ctable, label_tidb, label_xdb
+from repro.semirings import NATURAL, Semiring
+from repro.api.session import Connection, UAQueryResult
 from repro.core.rewriter import rewrite_plan
 from repro.core.uadb import UADatabase, UARelation
 from repro.incomplete.ctable import CTableDatabase
 from repro.incomplete.tidb import TIDatabase
 from repro.incomplete.xdb import XDatabase
 
-
-@dataclass
-class UAQueryResult:
-    """Result of a UA-DB query: rows paired with certainty information."""
-
-    relation: UARelation
-    #: Wall-clock evaluation time in seconds (rewriting + execution).
-    elapsed: float = 0.0
-
-    def rows(self) -> List[Row]:
-        """All result rows (the best-guess-world answer)."""
-        return self.relation.to_rows()
-
-    def certain_rows(self) -> List[Row]:
-        """Rows labeled certain (the under-approximation)."""
-        return self.relation.certain_rows()
-
-    def uncertain_rows(self) -> List[Row]:
-        """Rows not labeled certain."""
-        return self.relation.uncertain_rows()
-
-    def labeled_rows(self) -> List[Tuple[Row, bool]]:
-        """``(row, certain?)`` pairs, sorted for stable output."""
-        return [(row, self.relation.is_certain(row)) for row in self.relation.to_rows()]
-
-    def __len__(self) -> int:
-        return len(self.relation)
-
-    def pretty(self, limit: int = 20) -> str:
-        """Human-readable rendering with a Certain? column."""
-        header = list(self.relation.schema.attribute_names) + ["Certain?"]
-        rows = [
-            [repr(value) for value in row] + [str(certain).lower()]
-            for row, certain in self.labeled_rows()
-        ]
-        shown = rows[:limit]
-        widths = [
-            max(len(header[i]), *(len(r[i]) for r in shown)) if shown else len(header[i])
-            for i in range(len(header))
-        ]
-        lines = [
-            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
-            "-+-".join("-" * w for w in widths),
-        ]
-        lines.extend(" | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in shown)
-        if len(rows) > limit:
-            lines.append(f"... ({len(rows) - limit} more rows)")
-        return "\n".join(lines)
+__all__ = ["UADBFrontend", "UAQueryResult"]
 
 
 class UADBFrontend:
-    """Registers uncertain sources and answers SQL queries over them."""
+    """Registers uncertain sources and answers SQL queries over them.
+
+    A compatibility veneer over :class:`repro.api.Connection`; the wrapped
+    connection is available as :attr:`connection` for code that wants the
+    richer session surface.
+    """
 
     def __init__(self, semiring: Semiring = NATURAL, name: str = "uadb",
                  engine: Optional[object] = None,
-                 optimize: Optional[bool] = None) -> None:
-        self.semiring = semiring
-        self.name = name
-        #: Execution engine used for every query path (None = default engine).
-        self.engine = engine
-        #: Optimizer toggle for every query path (None = default behaviour).
-        self.optimize = optimize
-        self.uadb = UADatabase(semiring, name, engine=engine)
-        #: The encoded backing store the rewritten queries run against.
-        self.encoded = Database(semiring, f"{name}_enc", engine=engine)
+                 optimize: Optional[bool] = None,
+                 cache_size: int = 0) -> None:
+        #: The backing session; all state and execution lives here.  The plan
+        #: cache defaults to disabled so per-call timings keep the legacy
+        #: (compile-every-time) semantics the experiments measure.
+        self.connection = Connection(
+            semiring=semiring, name=name, engine=engine, optimize=optimize,
+            cache_size=cache_size,
+        )
+
+    # -- delegated configuration ---------------------------------------------------
+
+    @property
+    def semiring(self) -> Semiring:
+        return self.connection.semiring
+
+    @property
+    def name(self) -> str:
+        return self.connection.name
+
+    @property
+    def engine(self) -> Optional[object]:
+        """Execution engine used for every query path (None = default engine)."""
+        return self.connection.engine
+
+    @engine.setter
+    def engine(self, engine: Optional[object]) -> None:
+        self.connection.engine = engine
+
+    @property
+    def optimize(self) -> Optional[bool]:
+        """Optimizer toggle for every query path (None = default behaviour)."""
+        return self.connection.optimize
+
+    @optimize.setter
+    def optimize(self, optimize: Optional[bool]) -> None:
+        self.connection.optimize = optimize
+
+    @property
+    def uadb(self) -> UADatabase:
+        """The logical UA-database of registered sources."""
+        return self.connection.uadb
+
+    @property
+    def encoded(self) -> Database:
+        """The encoded backing store the rewritten queries run against."""
+        return self.connection.encoded
 
     # -- source registration ------------------------------------------------------
 
-    def _register(self, relation: UARelation) -> None:
-        self.uadb.add_relation(relation)
-        self.encoded.add_relation(encode_relation(relation))
-
     def register_ua_relation(self, relation: UARelation) -> None:
         """Register an already-built UA-relation."""
-        self._register(relation)
+        self.connection.register_ua_relation(relation)
 
     def register_ua_database(self, uadb: UADatabase) -> None:
         """Register every relation of an existing UA-database."""
-        for relation in uadb:
-            self._register(relation)  # type: ignore[arg-type]
+        self.connection.register_ua_database(uadb)
 
     def register_deterministic(self, relation: KRelation) -> None:
         """Register a deterministic relation: every tuple is certain."""
-        ua_relation = UARelation.from_world_and_labeling(relation, relation)
-        self._register(ua_relation)
+        self.connection.register_deterministic(relation)
 
     def register_tidb(self, tidb: TIDatabase) -> None:
         """Register a TI-DB source (best-guess world + c-correct labeling)."""
-        self.register_ua_database(UADatabase.from_tidb(tidb, self.semiring))
+        self.connection.register_tidb(tidb)
 
     def register_xdb(self, xdb: XDatabase, world: Optional[Database] = None) -> None:
         """Register an x-DB / BI-DB source (best-guess world + c-correct labeling)."""
-        self.register_ua_database(UADatabase.from_xdb(xdb, self.semiring, world=world))
+        self.connection.register_xdb(xdb, world=world)
 
     def register_ctable(self, ctable_db: CTableDatabase) -> None:
         """Register a C-table source (best-guess world + c-sound labeling)."""
-        self.register_ua_database(UADatabase.from_ctable(ctable_db, self.semiring))
+        self.connection.register_ctable(ctable_db)
 
     def register_ordb(self, ordb) -> None:
         """Register an OR-database source (best-guess world + c-correct labeling)."""
-        self.register_ua_database(UADatabase.from_ordb(ordb, self.semiring))
+        self.connection.register_ordb(ordb)
 
     # -- catalogs --------------------------------------------------------------------
 
     @property
     def catalog(self) -> DatabaseSchema:
         """Schema of the logical (un-encoded) UA relations."""
-        return self.uadb.database.schema
+        return self.connection.catalog
 
     @property
     def encoded_catalog(self) -> DatabaseSchema:
         """Schema of the encoded backing relations (with the ``C`` column)."""
-        return self.encoded.schema
+        return self.connection.encoded_catalog
 
     # -- query execution -----------------------------------------------------------------
 
@@ -153,37 +152,21 @@ class UADBFrontend:
         """Apply the Figure 8/9 rewriting to a logical plan."""
         return rewrite_plan(plan, self.encoded_catalog)
 
-    def query(self, query: str) -> UAQueryResult:
+    def query(self, query: str, params: Params = None) -> UAQueryResult:
         """Answer a SQL query with UA semantics via the rewriting pipeline."""
-        started = time.perf_counter()
-        logical = self.plan(query)
-        rewritten = self.rewrite(logical)
-        encoded_result = evaluate(rewritten, self.encoded,
-                                  engine=self.engine, optimize=self.optimize)
-        relation = decode_relation(encoded_result, self.uadb.ua_semiring)
-        elapsed = time.perf_counter() - started
-        return UAQueryResult(relation, elapsed)
+        return self.connection.query(query, params)
 
     def query_plan(self, plan: algebra.Operator) -> UAQueryResult:
         """Answer an already-built logical plan with UA semantics."""
-        started = time.perf_counter()
-        rewritten = self.rewrite(plan)
-        encoded_result = evaluate(rewritten, self.encoded,
-                                  engine=self.engine, optimize=self.optimize)
-        relation = decode_relation(encoded_result, self.uadb.ua_semiring)
-        elapsed = time.perf_counter() - started
-        return UAQueryResult(relation, elapsed)
+        return self.connection.query_plan(plan)
 
-    def query_direct(self, query: str) -> UAQueryResult:
+    def query_direct(self, query: str, params: Params = None) -> UAQueryResult:
         """Answer a SQL query by evaluating K_UA semantics directly (no rewriting).
 
         Used in tests to validate the rewriting (Theorem 7): both paths must
         produce the same annotated result.
         """
-        started = time.perf_counter()
-        relation = self.uadb.sql(query, engine=self.engine, optimize=self.optimize)
-        elapsed = time.perf_counter() - started
-        return UAQueryResult(relation, elapsed)
+        return self.connection.query_direct(query, params)
 
     def query_deterministic(self, query: str) -> Tuple[KRelation, float]:
         """Answer a SQL query over the best-guess world only (BGQP baseline).
@@ -191,12 +174,7 @@ class UADBFrontend:
         Returns the plain relation and the elapsed wall-clock time; used to
         measure the overhead of UA-DBs relative to deterministic processing.
         """
-        best_guess = self.uadb.best_guess_database()
-        started = time.perf_counter()
-        plan = parse_query(query, best_guess.schema)
-        result = evaluate(plan, best_guess, engine=self.engine, optimize=self.optimize)
-        elapsed = time.perf_counter() - started
-        return result, elapsed
+        return self.connection.query_deterministic(query)
 
     def __repr__(self) -> str:
         return f"<UADBFrontend {self.name!r} [{self.semiring.name}] {len(self.uadb)} relations>"

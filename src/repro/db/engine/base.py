@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db import algebra
     from repro.db.database import Database
+    from repro.db.params import Params
     from repro.db.relation import KRelation
 
 
@@ -30,14 +31,31 @@ class ExecutionEngine(ABC):
     Engines are stateless between calls; all per-query state lives in the
     executor objects they create internally.  ``name`` identifies the engine
     in the registry (see :func:`repro.db.engine.get_engine`).
+
+    Plans may contain :class:`~repro.db.expressions.Parameter` placeholders;
+    every engine binds them at execution time (via :meth:`bind`) so a prepared
+    plan can be cached once and executed many times with different values.
     """
 
     #: Registry name of the engine (e.g. ``"row"`` or ``"columnar"``).
     name: str = "abstract"
 
     @abstractmethod
-    def execute(self, plan: "algebra.Operator", database: "Database") -> "KRelation":
-        """Evaluate ``plan`` against ``database`` and return the result."""
+    def execute(self, plan: "algebra.Operator", database: "Database",
+                params: "Params" = None) -> "KRelation":
+        """Evaluate ``plan`` against ``database`` and return the result.
+
+        ``params`` carries the values for the plan's placeholders (a sequence
+        for positional ``?``, a mapping for named ``:name``); ``None`` for a
+        plan without placeholders.
+        """
+
+    @staticmethod
+    def bind(plan: "algebra.Operator", params: "Params") -> "algebra.Operator":
+        """Substitute placeholder values into ``plan`` (identity when none)."""
+        from repro.db.params import bind_parameters
+
+        return bind_parameters(plan, params)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

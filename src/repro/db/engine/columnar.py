@@ -42,6 +42,7 @@ from repro.db.expressions import (
     Negate,
     Not,
     Or,
+    Parameter,
     RowEnvironment,
 )
 from repro.db.relation import KRelation, Row
@@ -65,9 +66,10 @@ class ColumnarEngine(ExecutionEngine):
 
     name = "columnar"
 
-    def execute(self, plan: algebra.Operator, database: Database) -> KRelation:
+    def execute(self, plan: algebra.Operator, database: Database,
+                params=None) -> KRelation:
         executor = _ColumnarExecutor(database)
-        return executor.to_relation(executor.run(plan))
+        return executor.to_relation(executor.run(self.bind(plan, params)))
 
 
 class _Batch:
@@ -137,6 +139,13 @@ def _vec_literal(expr: Literal, ctx: _ColumnContext) -> List[Any]:
 
 def _vec_column(expr: Column, ctx: _ColumnContext) -> List[Any]:
     return ctx.column(expr)
+
+
+def _vec_parameter(expr: Parameter, ctx: _ColumnContext) -> List[Any]:
+    raise EvaluationError(
+        f"unbound query parameter {expr.placeholder!r} reached the columnar "
+        "engine; supply bindings via execute(plan, database, params=...)"
+    )
 
 
 def _vec_comparison(expr: Comparison, ctx: _ColumnContext) -> List[Any]:
@@ -307,6 +316,7 @@ def _vec_function(expr: FunctionCall, ctx: _ColumnContext) -> List[Any]:
 _VECTOR_HANDLERS: Dict[type, Callable[[Any, _ColumnContext], List[Any]]] = {
     Literal: _vec_literal,
     Column: _vec_column,
+    Parameter: _vec_parameter,
     Comparison: _vec_comparison,
     And: _vec_and,
     Or: _vec_or,

@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Tuple
 
 from repro.db import algebra
 from repro.db.database import Database
-from repro.db.expressions import Expression, RowEnvironment
+from repro.db.expressions import Expression, RowEnvironment, RowEnvironmentBuilder
 from repro.db.relation import KRelation, Row
 from repro.db.schema import Attribute, RelationSchema
 from repro.db.engine.base import EvaluationError, ExecutionEngine
@@ -38,8 +38,9 @@ class RowEngine(ExecutionEngine):
 
     name = "row"
 
-    def execute(self, plan: algebra.Operator, database: Database) -> KRelation:
-        return Evaluator(database).run(plan)
+    def execute(self, plan: algebra.Operator, database: Database,
+                params=None) -> KRelation:
+        return Evaluator(database).run(self.bind(plan, params))
 
 
 class Evaluator:
@@ -73,41 +74,54 @@ class Evaluator:
             for attr in child.schema.attributes
         ]
         schema = RelationSchema(plan.qualifier, attributes)
-        result = KRelation(schema, child.semiring)
-        for row, annotation in child.items():
-            result.add(row, annotation)
-        return result
+        # Rows are unchanged (only attribute names differ), so the child's
+        # validated mapping can be reused wholesale.
+        return KRelation._from_validated(schema, child.semiring,
+                                         dict(child.items()))
 
     def _eval_selection(self, plan: algebra.Selection) -> KRelation:
         child = self.run(plan.child)
-        names = child.schema.attribute_names
-        result = KRelation(child.schema, child.semiring)
-        for row, annotation in child.items():
-            env = RowEnvironment(names, row)
-            if plan.predicate.evaluate(env) is True:
-                result.add(row, annotation)
-        return result
+        environments = RowEnvironmentBuilder(child.schema.attribute_names)
+        predicate = plan.predicate
+        # Passing rows keep their (already validated, non-zero) annotations.
+        data = {
+            row: annotation
+            for row, annotation in child.items()
+            if predicate.evaluate(environments.build(row)) is True
+        }
+        return KRelation._from_validated(child.schema, child.semiring, data)
 
     def _eval_projection(self, plan: algebra.Projection) -> KRelation:
         child = self.run(plan.child)
-        names = child.schema.attribute_names
+        environments = RowEnvironmentBuilder(child.schema.attribute_names)
         schema = RelationSchema(
             child.schema.name,
             [Attribute(name) for _, name in plan.items],
         )
-        result = KRelation(schema, child.semiring)
+        semiring = child.semiring
+        plus = semiring.plus
+        expressions = [expr for expr, _ in plan.items]
+        # Output rows are freshly computed (arity is fixed by construction and
+        # the output attributes are untyped), so annotations are summed into a
+        # plain dict instead of re-validating every row via ``add``.
+        data: Dict[Row, Any] = {}
         for row, annotation in child.items():
-            env = RowEnvironment(names, row)
-            out_row = tuple(expr.evaluate(env) for expr, _ in plan.items)
-            result.add(out_row, annotation)
-        return result
+            env = environments.build(row)
+            out_row = tuple(expr.evaluate(env) for expr in expressions)
+            current = data.get(out_row)
+            data[out_row] = annotation if current is None else plus(current, annotation)
+        for out_row, annotation in list(data.items()):
+            if semiring.is_zero(annotation):
+                del data[out_row]
+        return KRelation._from_validated(schema, semiring, data)
 
     def _eval_distinct(self, plan: algebra.Distinct) -> KRelation:
         child = self.run(plan.child)
-        result = KRelation(child.schema, child.semiring)
-        for row, _annotation in child.items():
-            result.set_annotation(row, child.semiring.one)
-        return result
+        one = child.semiring.one
+        # Every surviving row gets annotation 1_K (never zero), rows are
+        # already validated and distinct by the child's invariant.
+        data = {row: one for row, _annotation in child.items()}
+        return KRelation._from_validated(child.schema, child.semiring, data)
 
     # -- binary operators ---------------------------------------------------------
 
@@ -131,9 +145,14 @@ class Evaluator:
         left = self.run(plan.left)
         right = self.run(plan.right)
         schema = self._product_schema(left, right)
-        names = schema.attribute_names
+        environments = RowEnvironmentBuilder(schema.attribute_names)
         semiring = left.semiring
-        result = KRelation(schema, semiring)
+        times = semiring.times
+        is_zero = semiring.is_zero
+        # Every (left row, right row) pair yields a distinct combined row, so
+        # annotations never need summing; products of stored annotations are
+        # only dropped when a semiring with zero divisors produces 0_K.
+        data: Dict[Row, Any] = {}
         predicate = plan.predicate
         # Hash join on equality conjuncts when possible, else nested loops.
         equi = equality_columns(predicate, left.schema.attribute_names,
@@ -150,34 +169,40 @@ class Evaluator:
                 for right_row, right_annotation in buckets.get(key, ()):  # noqa: B020
                     combined = left_row + right_row
                     if predicate is None or predicate.evaluate(
-                        RowEnvironment(names, combined)
+                        environments.build(combined)
                     ) is True:
-                        result.add(
-                            combined, semiring.times(left_annotation, right_annotation)
-                        )
-            return result
+                        product = times(left_annotation, right_annotation)
+                        if not is_zero(product):
+                            data[combined] = product
+            return KRelation._from_validated(schema, semiring, data)
         for left_row, left_annotation in left.items():
             for right_row, right_annotation in right.items():
                 combined = left_row + right_row
                 if predicate is None or predicate.evaluate(
-                    RowEnvironment(names, combined)
+                    environments.build(combined)
                 ) is True:
-                    result.add(
-                        combined, semiring.times(left_annotation, right_annotation)
-                    )
-        return result
+                    product = times(left_annotation, right_annotation)
+                    if not is_zero(product):
+                        data[combined] = product
+        return KRelation._from_validated(schema, semiring, data)
 
     def _eval_union(self, plan: algebra.Union) -> KRelation:
         left = self.run(plan.left)
         right = self.run(plan.right)
         check_union_compatible(left.schema, right.schema, left.semiring,
                                right.semiring, "UNION")
-        result = KRelation(left.schema, left.semiring)
-        for row, annotation in left.items():
-            result.add(row, annotation)
+        semiring = left.semiring
+        plus = semiring.plus
+        # Both inputs hold validated rows with non-zero annotations; merge the
+        # mappings and sum where they overlap.
+        data: Dict[Row, Any] = dict(left.items())
         for row, annotation in right.items():
-            result.add(row, annotation)
-        return result
+            current = data.get(row)
+            data[row] = annotation if current is None else plus(current, annotation)
+        for row, annotation in list(data.items()):
+            if semiring.is_zero(annotation):
+                del data[row]
+        return KRelation._from_validated(left.schema, semiring, data)
 
     def _eval_difference(self, plan: algebra.Difference) -> KRelation:
         left = self.run(plan.left)
@@ -212,13 +237,14 @@ class Evaluator:
     def _eval_aggregate(self, plan: algebra.Aggregate) -> KRelation:
         child = self.run(plan.child)
         names = child.schema.attribute_names
+        environments = RowEnvironmentBuilder(names)
         semiring = child.semiring
         group_names = [name for _, name in plan.group_by]
         out_names = group_names + [agg.name for agg in plan.aggregates]
         schema = RelationSchema(child.schema.name, [Attribute(n) for n in out_names])
         groups: Dict[Tuple, List[Tuple[Row, Any]]] = {}
         for row, annotation in child.items():
-            env = RowEnvironment(names, row)
+            env = environments.build(row)
             key = tuple(expr.evaluate(env) for expr, _ in plan.group_by)
             groups.setdefault(key, []).append((row, annotation))
         result = KRelation(schema, semiring)

@@ -22,6 +22,7 @@ from repro.db.database import Database
 from repro.db.engine import EngineSpec, Evaluator, get_engine
 from repro.db.engine.base import EvaluationError
 from repro.db.optimizer import optimize_plan
+from repro.db.params import Params
 from repro.db.relation import KRelation
 
 #: Environment variable disabling the optimizer when set to 0/false/off.
@@ -36,8 +37,14 @@ def _optimize_default() -> bool:
 
 def evaluate(plan: algebra.Operator, database: Database,
              engine: EngineSpec = None,
-             optimize: Optional[bool] = None) -> KRelation:
-    """Evaluate ``plan`` against ``database`` and return the result relation."""
+             optimize: Optional[bool] = None,
+             params: Params = None) -> KRelation:
+    """Evaluate ``plan`` against ``database`` and return the result relation.
+
+    ``params`` supplies values for parameter placeholders in the plan; the
+    selected engine binds them after optimization, so a pre-optimized cached
+    plan (``optimize=False``) runs with nothing but the bind + execute cost.
+    """
     if engine is None:
         engine = getattr(database, "engine", None)
     resolved = get_engine(engine)
@@ -45,4 +52,8 @@ def evaluate(plan: algebra.Operator, database: Database,
         optimize = _optimize_default()
     if optimize:
         plan = optimize_plan(plan, database.schema)
+    if params is not None:
+        return resolved.execute(plan, database, params=params)
+    # Two-argument call keeps engines with the pre-parameter execute()
+    # signature working for parameter-free plans.
     return resolved.execute(plan, database)

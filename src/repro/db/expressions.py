@@ -70,6 +70,41 @@ class RowEnvironment:
         raise ExpressionError(f"unknown column {name!r}")
 
 
+class RowEnvironmentBuilder:
+    """Builds :class:`RowEnvironment` objects for many rows of one schema.
+
+    ``RowEnvironment.__init__`` lowers, splits and dedupes the column names
+    for every single row -- pure waste inside an operator loop where the
+    names never change.  The builder does that name analysis once and then
+    stamps out per-row environments with two plain dict constructions.
+    """
+
+    __slots__ = ("_full_keys", "_short_items")
+
+    def __init__(self, column_names: Sequence[str]) -> None:
+        self._full_keys = tuple(name.lower() for name in column_names)
+        short_items: List[Tuple[str, int]] = []
+        seen: Dict[str, int] = {}
+        for index, lowered in enumerate(self._full_keys):
+            base = lowered.split(".")[-1]
+            if base in seen:
+                short_items[seen[base]] = (base, -1)  # ambiguous
+            else:
+                seen[base] = len(short_items)
+                short_items.append((base, index))
+        self._short_items = tuple(short_items)
+
+    def build(self, row: Sequence[Any]) -> RowEnvironment:
+        """An environment for ``row`` (same semantics as ``RowEnvironment``)."""
+        env = RowEnvironment.__new__(RowEnvironment)
+        env._full = dict(zip(self._full_keys, row))
+        env._short = {
+            base: (_AMBIGUOUS if index < 0 else row[index])
+            for base, index in self._short_items
+        }
+        return env
+
+
 class NameLookup:
     """Column-name resolution maps built once and reused many times.
 
@@ -138,6 +173,16 @@ class Expression:
         """All column references appearing in the expression (pre-order)."""
         return []
 
+    def children(self) -> Tuple["Expression", ...]:
+        """Direct subexpressions, in evaluation order.
+
+        The canonical traversal hook: generic walkers (parameter collection,
+        plan binding, ...) use it so a new expression type only has to
+        override ``children`` once to be visible to all of them.  Leaves
+        inherit the empty default.
+        """
+        return ()
+
     def __repr__(self) -> str:
         return self.to_sql()
 
@@ -186,6 +231,37 @@ class Column(Expression):
         return self.full_name
 
 
+@dataclass(frozen=True, repr=False)
+class Parameter(Expression):
+    """A query parameter placeholder (``?`` positional or ``:name`` named).
+
+    Parameters are leaves like :class:`Literal`, but they carry no value: they
+    are substituted with literals at execution time (see
+    :func:`repro.db.params.bind_parameters`).  ``key`` is a 0-based integer
+    for positional placeholders and a lower-cased string for named ones.
+    Evaluating an unbound parameter is an error -- it means a plan containing
+    placeholders reached an engine without bindings.
+    """
+
+    key: Any
+
+    @property
+    def placeholder(self) -> str:
+        """The placeholder as it appeared in the SQL text (best effort)."""
+        if isinstance(self.key, int):
+            return "?"
+        return f":{self.key}"
+
+    def evaluate(self, env: RowEnvironment) -> Any:
+        raise ExpressionError(
+            f"unbound query parameter {self.placeholder!r}; supply bindings via "
+            "execute(sql, params) or evaluate(..., params=...)"
+        )
+
+    def to_sql(self) -> str:
+        return self.placeholder
+
+
 _COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
     "=": lambda a, b: a == b,
     "!=": lambda a, b: a != b,
@@ -223,6 +299,9 @@ class Comparison(Expression):
     def columns(self) -> List[Column]:
         return self.left.columns() + self.right.columns()
 
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
     def to_sql(self) -> str:
         return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
 
@@ -254,6 +333,9 @@ class And(Expression):
 
     def columns(self) -> List[Column]:
         return [c for op in self.operands for c in op.columns()]
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.operands
 
     def to_sql(self) -> str:
         return "(" + " AND ".join(op.to_sql() for op in self.operands) + ")"
@@ -287,6 +369,9 @@ class Or(Expression):
     def columns(self) -> List[Column]:
         return [c for op in self.operands for c in op.columns()]
 
+    def children(self) -> Tuple[Expression, ...]:
+        return self.operands
+
     def to_sql(self) -> str:
         return "(" + " OR ".join(op.to_sql() for op in self.operands) + ")"
 
@@ -305,6 +390,9 @@ class Not(Expression):
 
     def columns(self) -> List[Column]:
         return self.operand.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
 
     def to_sql(self) -> str:
         return f"(NOT {self.operand.to_sql()})"
@@ -343,6 +431,9 @@ class Arithmetic(Expression):
     def columns(self) -> List[Column]:
         return self.left.columns() + self.right.columns()
 
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
     def to_sql(self) -> str:
         return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
 
@@ -359,6 +450,9 @@ class Negate(Expression):
 
     def columns(self) -> List[Column]:
         return self.operand.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
 
     def to_sql(self) -> str:
         return f"(-{self.operand.to_sql()})"
@@ -385,6 +479,9 @@ class Between(Expression):
 
     def columns(self) -> List[Column]:
         return self.operand.columns() + self.low.columns() + self.high.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand, self.low, self.high)
 
     def to_sql(self) -> str:
         return f"({self.operand.to_sql()} BETWEEN {self.low.to_sql()} AND {self.high.to_sql()})"
@@ -416,6 +513,9 @@ class InList(Expression):
             cols.extend(value.columns())
         return cols
 
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,) + self.values
+
     def to_sql(self) -> str:
         inner = ", ".join(v.to_sql() for v in self.values)
         return f"({self.operand.to_sql()} IN ({inner}))"
@@ -434,6 +534,9 @@ class IsNull(Expression):
 
     def columns(self) -> List[Column]:
         return self.operand.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
 
     def to_sql(self) -> str:
         suffix = "IS NOT NULL" if self.negated else "IS NULL"
@@ -456,6 +559,9 @@ class Like(Expression):
 
     def columns(self) -> List[Column]:
         return self.operand.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
 
     def to_sql(self) -> str:
         return f"({self.operand.to_sql()} LIKE '{self.pattern}')"
@@ -493,6 +599,16 @@ class Case(Expression):
         if self.else_result is not None:
             cols.extend(self.else_result.columns())
         return cols
+
+    def children(self) -> Tuple[Expression, ...]:
+        parts: List[Expression] = []
+        if self.operand is not None:
+            parts.append(self.operand)
+        for condition, result in self.whens:
+            parts.extend((condition, result))
+        if self.else_result is not None:
+            parts.append(self.else_result)
+        return tuple(parts)
 
     def to_sql(self) -> str:
         parts = ["CASE"]
@@ -569,6 +685,9 @@ class FunctionCall(Expression):
 
     def columns(self) -> List[Column]:
         return [c for arg in self.args for c in arg.columns()]
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.args
 
     def to_sql(self) -> str:
         inner = ", ".join(arg.to_sql() for arg in self.args)

@@ -46,6 +46,7 @@ from repro.db.expressions import (
     Negate,
     Not,
     Or,
+    Parameter,
     RowEnvironment,
     conjunction,
 )
@@ -120,8 +121,14 @@ _FOLDABLE = (Comparison, Arithmetic, Negate, Between, InList, IsNull, Like,
 
 
 def fold_expression(expr: Expression) -> Expression:
-    """Fold column-free subexpressions of ``expr`` into literals."""
-    if isinstance(expr, (Literal, Column)):
+    """Fold column-free subexpressions of ``expr`` into literals.
+
+    :class:`Parameter` placeholders are value-less leaves: they are never
+    folded themselves, and a subexpression containing one stays symbolic (its
+    eager evaluation raises, which the fold treats as "not constant"), so
+    prepared plans optimize once and bind many times.
+    """
+    if isinstance(expr, (Literal, Column, Parameter)):
         return expr
     if isinstance(expr, And):
         operands = [fold_expression(op) for op in expr.operands]
@@ -316,7 +323,7 @@ def _substitute(expr: Expression,
     """Replace column references via ``resolve`` (None when not substitutable)."""
     if isinstance(expr, Column):
         return resolve(expr)
-    if isinstance(expr, Literal):
+    if isinstance(expr, (Literal, Parameter)):
         return expr
 
     def sub(child: Expression) -> Optional[Expression]:

@@ -1,0 +1,343 @@
+"""Execution-time binding of query parameters into logical plans.
+
+A prepared plan may contain :class:`~repro.db.expressions.Parameter` leaves
+(``?`` positional / ``:name`` named placeholders).  Binding substitutes each
+placeholder with a :class:`~repro.db.expressions.Literal` carrying the
+supplied value, producing an ordinary plan that any engine evaluates as
+usual.  The substitution is a single cheap tree walk -- orders of magnitude
+less work than the parse -> rewrite -> optimize pipeline it lets prepared
+statements skip -- and it never mutates the input plan, so a cached plan can
+be bound concurrently with different values.
+
+Both execution engines call :func:`bind_parameters` at the top of
+``execute``; an unbound placeholder reaching an engine is therefore always
+reported as a :class:`ParameterError` rather than failing deep inside
+expression evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Sequence, Union
+
+from repro.db import algebra
+from repro.db.expressions import (
+    And, Arithmetic, Between, Case, Column, Comparison, Expression,
+    FunctionCall, InList, IsNull, Like, Literal, Negate, Not, Or, Parameter,
+)
+
+#: Accepted binding collections: a sequence for ``?`` placeholders or a
+#: mapping for ``:name`` placeholders (``None`` when the query has none).
+Params = Union[None, Sequence[Any], Mapping[str, Any]]
+
+
+class ParameterError(ValueError):
+    """Raised when bindings do not match a statement's placeholders."""
+
+
+# ---------------------------------------------------------------------------
+# Collection.
+# ---------------------------------------------------------------------------
+
+def expression_parameters(expr: Expression) -> List[Parameter]:
+    """All :class:`Parameter` leaves of ``expr`` in pre-order."""
+    found: List[Parameter] = []
+    _collect_expression(expr, found)
+    return found
+
+
+def _collect_expression(expr: Expression, found: List[Parameter]) -> None:
+    if isinstance(expr, Parameter):
+        found.append(expr)
+        return
+    for child in expr.children():
+        _collect_expression(child, found)
+
+
+def _plan_expressions(plan: algebra.Operator) -> List[Expression]:
+    """Every expression embedded in ``plan`` (one level, this node only)."""
+    if isinstance(plan, algebra.Selection):
+        return [plan.predicate]
+    if isinstance(plan, algebra.Projection):
+        return [expr for expr, _ in plan.items]
+    if isinstance(plan, algebra.Join):
+        return [plan.predicate] if plan.predicate is not None else []
+    if isinstance(plan, algebra.Aggregate):
+        exprs: List[Expression] = [expr for expr, _ in plan.group_by]
+        exprs.extend(agg.argument for agg in plan.aggregates
+                     if agg.argument is not None)
+        return exprs
+    if isinstance(plan, algebra.OrderBy):
+        return [expr for expr, _ in plan.keys]
+    return []
+
+
+def plan_parameters(plan: algebra.Operator) -> List[Parameter]:
+    """All :class:`Parameter` leaves of a plan tree, in plan order."""
+    found: List[Parameter] = []
+    for expr in _plan_expressions(plan):
+        _collect_expression(expr, found)
+    for child in plan.children():
+        found.extend(plan_parameters(child))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Binding.
+# ---------------------------------------------------------------------------
+
+class ParameterBinder:
+    """Resolves placeholders against one set of bindings.
+
+    Normalizes the bindings once (named mappings are lower-cased up front)
+    and rebuilds only the subtrees that actually contain a placeholder --
+    untouched nodes are returned identically, so binding is a single linear
+    walk with minimal allocation, cheap enough for the per-execute hot path.
+    """
+
+    __slots__ = ("_positional", "_named")
+
+    def __init__(self, params: Params) -> None:
+        self._positional: Union[None, Sequence[Any]] = None
+        self._named: Union[None, Mapping[str, Any]] = None
+        if params is None:
+            return
+        if isinstance(params, Mapping):
+            self._named = {str(name).lower(): value
+                           for name, value in params.items()}
+        elif not isinstance(params, str):
+            self._positional = params
+
+    def resolve(self, parameter: Parameter) -> Literal:
+        key = parameter.key
+        if isinstance(key, int):
+            if self._positional is None:
+                raise ParameterError(
+                    "statement uses positional '?' placeholders; supply a "
+                    "sequence of values"
+                )
+            if key >= len(self._positional):
+                raise ParameterError(
+                    f"statement expects at least {key + 1} positional "
+                    f"parameters but {len(self._positional)} were supplied"
+                )
+            return Literal(self._positional[key])
+        if self._named is None:
+            raise ParameterError(
+                "statement uses named ':name' placeholders; supply a mapping "
+                "of values"
+            )
+        if key not in self._named:
+            raise ParameterError(f"no value supplied for parameter :{key}")
+        return Literal(self._named[key])
+
+    def bind(self, expr: Expression) -> Expression:
+        """``expr`` with placeholders substituted (``expr`` itself when none)."""
+        return _bind_expr(expr, self)
+
+
+def bind_expression(expr: Expression, params: Params) -> Expression:
+    """Substitute every parameter of ``expr``; unchanged when there are none."""
+    return _bind_expr(expr, ParameterBinder(params))
+
+
+def _bind_expr(expr: Expression, binder: ParameterBinder) -> Expression:
+    if isinstance(expr, Parameter):
+        return binder.resolve(expr)
+    if isinstance(expr, (Literal, Column)):
+        return expr
+
+    def bind(child: Expression) -> Expression:
+        return _bind_expr(child, binder)
+
+    if isinstance(expr, Comparison):
+        left, right = bind(expr.left), bind(expr.right)
+        if left is expr.left and right is expr.right:
+            return expr
+        return Comparison(expr.op, left, right)
+    if isinstance(expr, Arithmetic):
+        left, right = bind(expr.left), bind(expr.right)
+        if left is expr.left and right is expr.right:
+            return expr
+        return Arithmetic(expr.op, left, right)
+    if isinstance(expr, (And, Or)):
+        operands = tuple(bind(op) for op in expr.operands)
+        if all(new is old for new, old in zip(operands, expr.operands)):
+            return expr
+        return type(expr)(*operands)
+    if isinstance(expr, Not):
+        operand = bind(expr.operand)
+        return expr if operand is expr.operand else Not(operand)
+    if isinstance(expr, Negate):
+        operand = bind(expr.operand)
+        return expr if operand is expr.operand else Negate(operand)
+    if isinstance(expr, Between):
+        operand, low, high = bind(expr.operand), bind(expr.low), bind(expr.high)
+        if operand is expr.operand and low is expr.low and high is expr.high:
+            return expr
+        return Between(operand, low, high)
+    if isinstance(expr, InList):
+        operand = bind(expr.operand)
+        values = tuple(bind(v) for v in expr.values)
+        if operand is expr.operand and \
+                all(new is old for new, old in zip(values, expr.values)):
+            return expr
+        return InList(operand, values)
+    if isinstance(expr, IsNull):
+        operand = bind(expr.operand)
+        return expr if operand is expr.operand else IsNull(operand, expr.negated)
+    if isinstance(expr, Like):
+        operand = bind(expr.operand)
+        return expr if operand is expr.operand else Like(operand, expr.pattern)
+    if isinstance(expr, FunctionCall):
+        args = tuple(bind(a) for a in expr.args)
+        if all(new is old for new, old in zip(args, expr.args)):
+            return expr
+        return FunctionCall(expr.name, args)
+    if isinstance(expr, Case):
+        whens = tuple((bind(w), bind(r)) for w, r in expr.whens)
+        else_result = (bind(expr.else_result)
+                       if expr.else_result is not None else None)
+        operand = bind(expr.operand) if expr.operand is not None else None
+        unchanged = (
+            else_result is expr.else_result and operand is expr.operand
+            and all(w is ow and r is orr
+                    for (w, r), (ow, orr) in zip(whens, expr.whens))
+        )
+        return expr if unchanged else Case(whens, else_result, operand)
+    # Unknown expression type: safe to pass through only if no placeholder
+    # hides inside it -- fail loudly instead of silently dropping a binding.
+    if expression_parameters(expr):
+        raise ParameterError(
+            f"cannot bind parameters inside unsupported expression type "
+            f"{type(expr).__name__}"
+        )
+    return expr
+
+
+def check_bindings(parameters: Sequence[Parameter], params: Params,
+                   exact: bool = False) -> None:
+    """Validate that ``params`` covers ``parameters``.
+
+    With ``exact=False`` (the engine-level check) surplus values are allowed:
+    the optimizer may prune a placeholder out of a cached plan, so an engine
+    only requires that every placeholder it still sees is bound.  The session
+    layer re-checks with ``exact=True`` against the placeholders of the
+    original statement, which is where a wrong argument count is a user error.
+    """
+    if not parameters:
+        if exact and params is not None and len(params) > 0:
+            raise ParameterError(
+                f"statement takes no parameters but {len(params)} were supplied"
+            )
+        return
+    positional = [p.key for p in parameters if isinstance(p.key, int)]
+    if positional:
+        expected = max(positional) + 1
+        if params is None or isinstance(params, (Mapping, str)):
+            raise ParameterError(
+                f"statement expects {expected} positional parameters; supply "
+                "a sequence of values"
+            )
+        mismatch = (len(params) != expected) if exact else (len(params) < expected)
+        if mismatch:
+            raise ParameterError(
+                f"statement expects {expected} positional parameters but "
+                f"{len(params)} were supplied"
+            )
+        return
+    names = {p.key for p in parameters}
+    if params is None or not isinstance(params, Mapping):
+        raise ParameterError(
+            "statement expects named parameters "
+            f"({', '.join(sorted(':' + str(n) for n in names))}); supply a mapping"
+        )
+    supplied = {str(name).lower() for name in params}
+    missing = names - supplied
+    if missing:
+        raise ParameterError(
+            "missing values for parameters: "
+            + ", ".join(sorted(":" + str(n) for n in missing))
+        )
+    if exact:
+        surplus = supplied - names
+        if surplus:
+            raise ParameterError(
+                "unknown parameters supplied: "
+                + ", ".join(sorted(":" + str(n) for n in surplus))
+            )
+
+
+def bind_parameters(plan: algebra.Operator, params: Params = None) -> algebra.Operator:
+    """Return ``plan`` with every placeholder replaced by a bound literal.
+
+    Plans without placeholders are returned as-is.  Mismatched bindings
+    raise :class:`ParameterError` (missing values always; surplus values
+    only under the session layer's exact check, see :func:`check_bindings`).
+    """
+    parameters = plan_parameters(plan)
+    check_bindings(parameters, params)
+    if not parameters:
+        return plan
+    return _bind_plan(plan, ParameterBinder(params))
+
+
+def _bind_plan(plan: algebra.Operator, binder: ParameterBinder) -> algebra.Operator:
+    if isinstance(plan, algebra.Selection):
+        child = _bind_plan(plan.child, binder)
+        predicate = _bind_expr(plan.predicate, binder)
+        if child is plan.child and predicate is plan.predicate:
+            return plan
+        return algebra.Selection(child, predicate)
+    if isinstance(plan, algebra.Projection):
+        child = _bind_plan(plan.child, binder)
+        items = tuple((_bind_expr(expr, binder), name) for expr, name in plan.items)
+        if child is plan.child and \
+                all(new is old for (new, _), (old, _) in zip(items, plan.items)):
+            return plan
+        return algebra.Projection(child, items)
+    if isinstance(plan, algebra.Qualify):
+        child = _bind_plan(plan.child, binder)
+        return plan if child is plan.child else algebra.Qualify(child, plan.qualifier)
+    if isinstance(plan, algebra.Distinct):
+        child = _bind_plan(plan.child, binder)
+        return plan if child is plan.child else algebra.Distinct(child)
+    if isinstance(plan, algebra.Aggregate):
+        return algebra.Aggregate(
+            _bind_plan(plan.child, binder),
+            tuple((_bind_expr(expr, binder), name)
+                  for expr, name in plan.group_by),
+            tuple(
+                algebra.AggregateFunction(
+                    agg.func,
+                    _bind_expr(agg.argument, binder)
+                    if agg.argument is not None else None,
+                    agg.name,
+                )
+                for agg in plan.aggregates
+            ),
+        )
+    if isinstance(plan, algebra.OrderBy):
+        return algebra.OrderBy(
+            _bind_plan(plan.child, binder),
+            tuple((_bind_expr(expr, binder), descending)
+                  for expr, descending in plan.keys),
+        )
+    if isinstance(plan, algebra.Limit):
+        child = _bind_plan(plan.child, binder)
+        return plan if child is plan.child else algebra.Limit(child, plan.count)
+    if isinstance(plan, algebra.Join):
+        left = _bind_plan(plan.left, binder)
+        right = _bind_plan(plan.right, binder)
+        predicate = (_bind_expr(plan.predicate, binder)
+                     if plan.predicate is not None else None)
+        if left is plan.left and right is plan.right and predicate is plan.predicate:
+            return plan
+        return algebra.Join(left, right, predicate)
+    if isinstance(plan, (algebra.CrossProduct, algebra.Union,
+                         algebra.Difference, algebra.Intersection)):
+        left = _bind_plan(plan.left, binder)
+        right = _bind_plan(plan.right, binder)
+        if left is plan.left and right is plan.right:
+            return plan
+        return type(plan)(left, right)
+    return plan

@@ -5,11 +5,16 @@ The supported dialect covers what the paper's experimental queries need:
 ``FROM`` with aliases and sub-queries, ``WHERE`` with boolean connectives,
 comparisons, ``BETWEEN``, ``IN``, ``LIKE``, ``IS NULL``, ``GROUP BY`` with
 the standard aggregates, ``ORDER BY``, ``LIMIT``, ``UNION ALL`` and
-``SELECT DISTINCT``.
+``SELECT DISTINCT`` -- plus, for driving a session entirely through SQL,
+parameter placeholders (``?`` positional / ``:name`` named), ``CREATE TABLE``
+and multi-row ``INSERT``.
 """
 
 from repro.db.sql.lexer import tokenize, Token, TokenType, SQLSyntaxError
-from repro.db.sql.parser import parse
+from repro.db.sql.parser import parse, parse_statement
+from repro.db.sql.ast import (
+    ColumnDef, CreateTableStatement, InsertStatement, SelectStatement, Statement,
+)
 from repro.db.sql.translator import translate, parse_query
 
 __all__ = [
@@ -18,6 +23,12 @@ __all__ = [
     "TokenType",
     "SQLSyntaxError",
     "parse",
+    "parse_statement",
+    "ColumnDef",
+    "CreateTableStatement",
+    "InsertStatement",
+    "SelectStatement",
+    "Statement",
     "translate",
     "parse_query",
 ]

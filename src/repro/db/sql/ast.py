@@ -78,3 +78,40 @@ class SelectStatement:
     aggregates: Tuple[Tuple[int, AggregateCall], ...] = ()
     #: UNION ALL continuation, if any.
     union_all: Optional["SelectStatement"] = None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column of a ``CREATE TABLE`` statement.
+
+    ``type_name`` is the raw (lower-cased) SQL type name; ``None`` means the
+    dynamically typed ``ANY``.
+    """
+
+    name: str
+    type_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    """``CREATE TABLE name (col type, ...)``."""
+
+    name: str
+    columns: Tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO name [(cols)] VALUES (exprs), ...``.
+
+    Each row is a tuple of expressions (literals, parameters, or constant
+    arithmetic) evaluated without any column context at execution time.
+    """
+
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Expression, ...], ...]
+
+
+#: Any statement the SQL front-end can parse.
+Statement = Union[SelectStatement, CreateTableStatement, InsertStatement]

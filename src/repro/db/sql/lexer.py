@@ -20,6 +20,7 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCTUATION = "punctuation"
+    PARAMETER = "parameter"
     EOF = "eof"
 
 
@@ -102,6 +103,17 @@ def tokenize(text: str) -> List[Token]:
         if char in _PUNCTUATION:
             tokens.append(Token(TokenType.PUNCTUATION, char, i))
             i += 1
+            continue
+        if char == "?":
+            # Positional parameter placeholder; the parser assigns indices.
+            tokens.append(Token(TokenType.PARAMETER, None, i))
+            i += 1
+            continue
+        if char == ":":
+            if i + 1 >= length or not (text[i + 1].isalpha() or text[i + 1] == "_"):
+                raise SQLSyntaxError(f"expected parameter name after ':' at position {i}")
+            name, i = _read_word(text, i + 1)
+            tokens.append(Token(TokenType.PARAMETER, name.lower(), i))
             continue
         raise SQLSyntaxError(f"unexpected character {char!r} at position {i}")
     tokens.append(Token(TokenType.EOF, None, length))

@@ -2,6 +2,7 @@
 
 Grammar sketch (informal)::
 
+    sql         := statement | create_table | insert
     statement   := select [UNION ALL select] [';']
     select      := SELECT [DISTINCT] items FROM from_items
                    [WHERE expr] [GROUP BY expr_list] [HAVING expr]
@@ -11,6 +12,15 @@ Grammar sketch (informal)::
     from_items  := from_item (',' from_item)*
     from_item   := ident [AS? ident] | '(' select ')' AS? ident
     expr        := or_expr
+    create_table:= CREATE TABLE ident '(' ident [type] (',' ident [type])* ')' [';']
+    insert      := INSERT INTO ident ['(' ident_list ')']
+                   VALUES tuple (',' tuple)* [';']
+
+Expressions may contain parameter placeholders: ``?`` (positional, numbered
+left to right) and ``:name`` (named, case-insensitive).  A single statement
+must not mix the two styles.  ``CREATE`` / ``INSERT`` are deliberately *not*
+reserved words -- they are recognized only in statement position, so existing
+queries using them as identifiers keep parsing.
 """
 
 from __future__ import annotations
@@ -19,11 +29,12 @@ from typing import List, Optional, Tuple
 
 from repro.db.expressions import (
     And, Arithmetic, Between, Case, Column, Comparison, Expression,
-    FunctionCall, InList, IsNull, Like, Literal, Negate, Not, Or,
+    FunctionCall, InList, IsNull, Like, Literal, Negate, Not, Or, Parameter,
     SCALAR_FUNCTIONS,
 )
 from repro.db.sql.ast import (
-    AggregateCall, OrderItem, SelectItem, SelectStatement, SubqueryRef, TableRef,
+    AggregateCall, ColumnDef, CreateTableStatement, InsertStatement, OrderItem,
+    SelectItem, SelectStatement, Statement, SubqueryRef, TableRef,
 )
 from repro.db.sql.lexer import SQLSyntaxError, Token, TokenType, tokenize
 
@@ -38,10 +49,29 @@ def parse(sql: str) -> SelectStatement:
     return statement
 
 
+def parse_statement(sql: str) -> Statement:
+    """Parse any supported statement: SELECT, CREATE TABLE or INSERT."""
+    parser = _Parser(tokenize(sql))
+    current = parser.current
+    statement: Statement
+    if current.matches(TokenType.IDENTIFIER, "create"):
+        statement = parser.parse_create_table()
+    elif current.matches(TokenType.IDENTIFIER, "insert"):
+        statement = parser.parse_insert()
+    else:
+        statement = parser.parse_statement()
+    parser.expect_end()
+    return statement
+
+
 class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self.tokens = tokens
         self.position = 0
+        #: Number of positional ``?`` placeholders seen so far.
+        self.positional_parameters = 0
+        #: True once a ``:name`` placeholder was seen (style mixing check).
+        self.named_parameters = False
 
     # -- token helpers ------------------------------------------------------
 
@@ -367,6 +397,22 @@ class _Parser:
             return Literal(False)
         if token.matches(TokenType.KEYWORD, "case"):
             return self.parse_case()
+        if token.type is TokenType.PARAMETER:
+            self.advance()
+            if token.value is None:
+                if self.named_parameters:
+                    raise SQLSyntaxError(
+                        "cannot mix positional '?' and named ':name' parameters"
+                    )
+                parameter = Parameter(self.positional_parameters)
+                self.positional_parameters += 1
+                return parameter
+            if self.positional_parameters:
+                raise SQLSyntaxError(
+                    "cannot mix positional '?' and named ':name' parameters"
+                )
+            self.named_parameters = True
+            return Parameter(str(token.value))
         if self.accept_punct("("):
             expression = self.parse_expression()
             self.expect_punct(")")
@@ -390,6 +436,70 @@ class _Parser:
             column = self.expect_identifier()
             return Column(column, qualifier=name)
         return Column(name)
+
+    # -- data definition / loading ------------------------------------------------
+
+    def expect_word(self, word: str) -> None:
+        """Expect a non-reserved word (lexed as an identifier), e.g. CREATE."""
+        if self.current.matches(TokenType.IDENTIFIER, word):
+            self.advance()
+            return
+        raise SQLSyntaxError(
+            f"expected {word.upper()!r} but found {self.current.value!r}"
+        )
+
+    def parse_create_table(self) -> CreateTableStatement:
+        self.expect_word("create")
+        self.expect_word("table")
+        name = self.expect_identifier()
+        self.expect_punct("(")
+        columns: List[ColumnDef] = []
+        while True:
+            column = self.expect_identifier()
+            type_name: Optional[str] = None
+            if self.current.type is TokenType.IDENTIFIER:
+                type_name = str(self.advance().value).lower()
+                # Swallow a length/precision suffix such as VARCHAR(20).
+                if self.accept_punct("("):
+                    while not self.accept_punct(")"):
+                        if self.current.type is TokenType.EOF:
+                            raise SQLSyntaxError(
+                                "unterminated type suffix in CREATE TABLE "
+                                f"(column {column!r})"
+                            )
+                        self.advance()
+            columns.append(ColumnDef(column, type_name))
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return CreateTableStatement(name=name, columns=tuple(columns))
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect_word("insert")
+        self.expect_word("into")
+        table = self.expect_identifier()
+        columns: Tuple[str, ...] = ()
+        if self.accept_punct("("):
+            names = [self.expect_identifier()]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier())
+            self.expect_punct(")")
+            columns = tuple(names)
+        self.expect_word("values")
+        rows: List[Tuple[Expression, ...]] = []
+        while True:
+            self.expect_punct("(")
+            values = tuple(self.parse_expression_list())
+            self.expect_punct(")")
+            if columns and len(values) != len(columns):
+                raise SQLSyntaxError(
+                    f"INSERT row has {len(values)} values but {len(columns)} "
+                    "columns were named"
+                )
+            rows.append(values)
+            if not self.accept_punct(","):
+                break
+        return InsertStatement(table=table, columns=columns, rows=tuple(rows))
 
     def parse_case(self) -> Expression:
         self.expect_keyword("case")

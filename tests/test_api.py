@@ -1,0 +1,375 @@
+"""Tests for the DB-API-style session layer (`repro.connect`).
+
+Covers parameter placeholders end to end (lexer -> parser -> plan -> both
+engines), the prepared-plan cache (hits, invalidation on registration, LRU
+bounds), SQL-level CREATE TABLE / INSERT, cursors, and equivalence of the
+session's rewritten path with the direct K_UA evaluation and the legacy
+`UADBFrontend` surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api import Connection, PlanCache, PreparedStatement, SessionError, connect
+from repro.core.frontend import UADBFrontend
+from repro.db.params import ParameterError
+from repro.db.relation import bag_relation
+from repro.db.schema import DataType, RelationSchema, SchemaError
+from repro.db.sql.lexer import SQLSyntaxError
+from repro.semirings import NATURAL
+from repro.incomplete.tidb import TIDatabase
+
+ENGINES = ["row", "columnar"]
+
+GEO_QUERY = (
+    "SELECT a.id, l.locale, l.state FROM ADDR a, LOC l "
+    "WHERE contains(l.rect, a.geocoded) AND a.id >= ?"
+)
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    return request.param
+
+
+@pytest.fixture
+def geo_connection(geocoding_xdb, engine):
+    conn = connect(NATURAL, name="geo", engine=engine)
+    conn.register_xdb(geocoding_xdb)
+    return conn
+
+
+@pytest.fixture
+def loaded_connection(engine):
+    """A connection populated entirely through SQL."""
+    conn = connect(engine=engine)
+    conn.execute("CREATE TABLE items (id INT, name TEXT, price FLOAT)")
+    conn.executemany(
+        "INSERT INTO items VALUES (?, ?, ?)",
+        [(1, "apple", 1.5), (2, "banana", 0.5), (3, "cherry", 3.0)],
+    )
+    return conn
+
+
+# ---------------------------------------------------------------------------
+# Parameterized queries.
+# ---------------------------------------------------------------------------
+
+def test_positional_parameters_bind_per_execution(geo_connection):
+    statement = geo_connection.prepare(GEO_QUERY)
+    all_ids = {row[0] for row in statement.execute([1]).rows()}
+    late_ids = {row[0] for row in statement.execute([3]).rows()}
+    assert all_ids == {1, 2, 3, 4}
+    assert late_ids == {3, 4}
+
+
+def test_named_parameters(loaded_connection):
+    cur = loaded_connection.execute(
+        "SELECT name FROM items WHERE price >= :low AND price <= :high",
+        {"low": 1.0, "high": 2.0},
+    )
+    assert cur.fetchall() == [("apple",)]
+
+
+def test_parameters_identical_across_engines(geocoding_xdb):
+    results = []
+    for engine in ENGINES:
+        conn = connect(NATURAL, name="geo", engine=engine)
+        conn.register_xdb(geocoding_xdb)
+        results.append(conn.query(GEO_QUERY, [2]).labeled_rows())
+    assert results[0] == results[1]
+
+
+def test_parameters_rewritten_equals_direct(geo_connection):
+    rewritten = geo_connection.query(GEO_QUERY, [1])
+    direct = geo_connection.query_direct(GEO_QUERY, [1])
+    assert rewritten.labeled_rows() == direct.labeled_rows()
+
+
+def test_session_matches_legacy_frontend(geocoding_xdb, engine):
+    conn = connect(NATURAL, name="geo", engine=engine)
+    conn.register_xdb(geocoding_xdb)
+    frontend = UADBFrontend(NATURAL, "geo", engine=engine)
+    frontend.register_xdb(geocoding_xdb)
+    literal_query = GEO_QUERY.replace("?", "1")
+    assert (conn.query(GEO_QUERY, [1]).labeled_rows()
+            == frontend.query(literal_query).labeled_rows())
+    assert (conn.query(GEO_QUERY, [1]).certain_rows()
+            == frontend.query(literal_query).certain_rows())
+
+
+def test_wrong_parameter_count_raises(loaded_connection):
+    with pytest.raises(ParameterError):
+        loaded_connection.execute("SELECT id FROM items WHERE id = ?", [1, 2])
+    with pytest.raises(ParameterError):
+        loaded_connection.execute("SELECT id FROM items WHERE id = ?")
+    with pytest.raises(ParameterError):
+        loaded_connection.execute("SELECT id FROM items WHERE id = :k", {"other": 1})
+    with pytest.raises(ParameterError):
+        # Surplus named bindings are user errors too (likely a typo'd key).
+        loaded_connection.execute(
+            "SELECT id FROM items WHERE id = :k", {"k": 1, "leftover": 5}
+        )
+    with pytest.raises(ParameterError):
+        loaded_connection.execute("SELECT id FROM items", [1])
+
+
+def test_mixing_parameter_styles_rejected(loaded_connection):
+    with pytest.raises(SQLSyntaxError):
+        loaded_connection.execute(
+            "SELECT id FROM items WHERE id = ? AND name = :n", [1]
+        )
+
+
+def test_parameter_values_can_be_arbitrary_objects(geo_connection):
+    # Bind a whole bounding box (a nested tuple) through a placeholder.
+    result = geo_connection.query(
+        "SELECT id FROM ADDR WHERE contains(?, geocoded)",
+        [((42.90, -78.85), (42.95, -78.78))],
+    )
+    assert {row[0] for row in result.rows()} == {1, 3, 4}
+
+
+# ---------------------------------------------------------------------------
+# The prepared-plan cache.
+# ---------------------------------------------------------------------------
+
+def test_cache_hit_on_repeated_execution(geo_connection):
+    geo_connection.query(GEO_QUERY, [1])
+    before = geo_connection.plan_cache.stats()
+    geo_connection.query(GEO_QUERY, [2])
+    geo_connection.query(GEO_QUERY, [3])
+    after = geo_connection.plan_cache.stats()
+    assert after["hits"] == before["hits"] + 2
+    assert after["misses"] == before["misses"]
+
+
+def test_cache_invalidated_by_registration_after_prepare(geo_connection):
+    statement = geo_connection.prepare("SELECT id FROM ADDR WHERE id = ?")
+    assert statement.execute([1]).rows() == [(1,)]
+    hits_before = geo_connection.plan_cache.stats()["hits"]
+
+    extra = bag_relation(RelationSchema("extra", ["k"]), [(10,)])
+    geo_connection.register_deterministic(extra)
+
+    # The catalog changed: the prepared statement must recompile (an
+    # invalidation, not a stale hit) and still produce correct answers --
+    # including against the relation registered after prepare().
+    assert statement.execute([1]).rows() == [(1,)]
+    stats = geo_connection.plan_cache.stats()
+    assert stats["invalidations"] >= 1
+    assert stats["hits"] == hits_before
+    assert geo_connection.query("SELECT k FROM extra").labeled_rows() == [((10,), True)]
+
+
+def test_cache_lru_eviction():
+    cache = PlanCache(max_size=2)
+
+    class Entry:
+        def __init__(self, version):
+            self.catalog_version = version
+
+    cache.put("a", Entry(0))
+    cache.put("b", Entry(0))
+    assert cache.get("a", 0) is not None  # refresh 'a'
+    cache.put("c", Entry(0))  # evicts 'b', the least recently used
+    assert cache.get("b", 0) is None
+    assert cache.get("a", 0) is not None
+    assert cache.get("c", 0) is not None
+    assert cache.stats()["evictions"] == 1
+
+
+def test_cache_disabled_with_zero_size(geocoding_xdb):
+    conn = connect(NATURAL, name="geo", cache_size=0)
+    conn.register_xdb(geocoding_xdb)
+    conn.query("SELECT id FROM ADDR")
+    conn.query("SELECT id FROM ADDR")
+    stats = conn.plan_cache.stats()
+    assert stats["hits"] == 0
+    assert stats["misses"] == 2
+
+
+def test_warm_execution_skips_compilation(geo_connection, monkeypatch):
+    """Once cached, a statement is never re-parsed/rewritten/optimized."""
+    geo_connection.query(GEO_QUERY, [1])
+
+    def boom(*args, **kwargs):  # pragma: no cover - should never run
+        raise AssertionError("compilation ran on the warm path")
+
+    monkeypatch.setattr(Connection, "_compile", boom)
+    warm = geo_connection.query(GEO_QUERY, [3])
+    assert {row[0] for row in warm.rows()} == {3, 4}
+
+
+# ---------------------------------------------------------------------------
+# SQL-level data definition and loading.
+# ---------------------------------------------------------------------------
+
+def test_create_table_types_are_enforced(engine):
+    conn = connect(engine=engine)
+    conn.execute("CREATE TABLE t (a INT, b TEXT)")
+    assert conn.catalog.get("t").attribute("a").data_type is DataType.INTEGER
+    with pytest.raises(SchemaError):
+        conn.execute("INSERT INTO t VALUES ('not an int', 'x')")
+
+
+def test_create_table_unknown_type_rejected():
+    conn = connect()
+    with pytest.raises(SchemaError):
+        conn.execute("CREATE TABLE t (a BLOB)")
+
+
+def test_create_table_unterminated_type_suffix_is_syntax_error():
+    conn = connect()
+    with pytest.raises(SQLSyntaxError):
+        conn.execute("CREATE TABLE t (a VARCHAR(20")
+
+
+def test_query_rejects_ddl_without_side_effects(loaded_connection):
+    """query() must refuse non-SELECT statements *before* executing them."""
+    with pytest.raises(SessionError):
+        loaded_connection.query("CREATE TABLE oops (a INT)")
+    assert "oops" not in loaded_connection.catalog
+    with pytest.raises(SessionError):
+        loaded_connection.query("INSERT INTO items VALUES (9, 'x', 0.0)")
+    assert len(loaded_connection.query("SELECT id FROM items")) == 3
+
+
+def test_insert_with_named_columns_reorders_and_pads(loaded_connection):
+    loaded_connection.execute(
+        "INSERT INTO items (name, id) VALUES ('durian', 4)"
+    )
+    cur = loaded_connection.execute("SELECT id, name, price FROM items WHERE id = 4")
+    assert cur.fetchall() == [(4, "durian", None)]
+
+
+def test_inserted_rows_are_certain(loaded_connection):
+    result = loaded_connection.query("SELECT name FROM items")
+    assert all(certain for _, certain in result.labeled_rows())
+    assert len(result.certain_rows()) == 3
+
+
+def test_insert_multi_row_and_duplicate_multiplicity(engine):
+    conn = connect(engine=engine)
+    conn.execute("CREATE TABLE t (a INT)")
+    cur = conn.execute("INSERT INTO t VALUES (1), (1), (2)")
+    assert cur.rowcount == 3
+    result = conn.query("SELECT a FROM t")
+    assert result.relation.determinized_component((1,)) == 2
+    assert result.relation.certain_component((1,)) == 2
+
+
+def test_insert_into_registered_source(geo_connection):
+    geo_connection.execute(
+        "INSERT INTO LOC VALUES ('Elmwood', 'NY', ?)",
+        [((42.91, -78.88), (42.93, -78.86))],
+    )
+    result = geo_connection.query("SELECT locale FROM LOC WHERE state = 'NY'")
+    assert ("Elmwood",) in result.certain_rows()
+
+
+def test_insert_requires_existing_table():
+    conn = connect()
+    with pytest.raises(SchemaError):
+        conn.execute("INSERT INTO missing VALUES (1)")
+
+
+def test_executemany_rejects_select(loaded_connection):
+    with pytest.raises(SessionError):
+        loaded_connection.executemany("SELECT id FROM items", [None])
+
+
+# ---------------------------------------------------------------------------
+# Cursors.
+# ---------------------------------------------------------------------------
+
+def test_cursor_fetch_interface(loaded_connection):
+    cur = loaded_connection.execute("SELECT id, name FROM items ORDER BY id")
+    assert cur.rowcount == 3
+    assert [col[0] for col in cur.description] == ["id", "name"]
+    assert cur.fetchone() == (1, "apple")
+    assert cur.fetchmany(1) == [(2, "banana")]
+    assert cur.fetchall() == [(3, "cherry")]
+    assert cur.fetchone() is None
+
+
+def test_cursor_iteration_and_context_manager(loaded_connection):
+    with loaded_connection.cursor() as cur:
+        rows = list(cur.execute("SELECT id FROM items ORDER BY id"))
+        assert rows == [(1,), (2,), (3,)]
+    with pytest.raises(SessionError):
+        cur.fetchall()
+
+
+def test_cursor_ua_views(geo_connection):
+    cur = geo_connection.execute(GEO_QUERY, [1])
+    certain_ids = {row[0] for row in cur.certain_rows()}
+    assert 1 in certain_ids and 4 in certain_ids
+    assert cur.labeled_rows() == cur.result.labeled_rows()
+    assert set(cur.certain_rows()) | set(cur.uncertain_rows()) == set(cur.result.rows())
+
+
+def test_cursor_description_none_for_ddl():
+    conn = connect()
+    cur = conn.execute("CREATE TABLE t (a INT)")
+    assert cur.description is None
+    assert cur.rowcount == 0
+
+
+def test_closed_connection_rejects_statements(loaded_connection):
+    loaded_connection.close()
+    assert loaded_connection.closed
+    with pytest.raises(SessionError):
+        loaded_connection.execute("SELECT id FROM items")
+
+
+def test_connection_context_manager(geocoding_xdb):
+    with connect(NATURAL, name="geo") as conn:
+        conn.register_xdb(geocoding_xdb)
+        assert len(conn.query("SELECT id FROM ADDR")) == 4
+    assert conn.closed
+
+
+# ---------------------------------------------------------------------------
+# Prepared statements.
+# ---------------------------------------------------------------------------
+
+def test_prepare_surfaces_errors_eagerly(loaded_connection):
+    with pytest.raises(SQLSyntaxError):
+        loaded_connection.prepare("SELEC id FROM items")
+    with pytest.raises(SessionError):
+        loaded_connection.prepare("SELECT id FROM items", mode="sideways")
+
+
+def test_prepared_insert_executemany(engine):
+    conn = connect(engine=engine)
+    conn.execute("CREATE TABLE t (a INT, b TEXT)")
+    statement = conn.prepare("INSERT INTO t VALUES (?, ?)")
+    assert statement.kind == "insert"
+    assert statement.executemany([(i, f"v{i}") for i in range(5)]) == 5
+    assert len(conn.query("SELECT a FROM t")) == 5
+
+
+def test_prepared_select_executemany_returns_results(loaded_connection):
+    statement = loaded_connection.prepare("SELECT name FROM items WHERE id = ?")
+    results = statement.executemany([[1], [3]])
+    assert [r.rows() for r in results] == [[("apple",)], [("cherry",)]]
+
+
+def test_prepared_statement_repr_and_parameters(loaded_connection):
+    statement = loaded_connection.prepare("SELECT id FROM items WHERE id = ?")
+    assert statement.kind == "select"
+    assert len(statement.parameters) == 1
+    assert "select" in repr(statement)
+
+
+# ---------------------------------------------------------------------------
+# Package surface.
+# ---------------------------------------------------------------------------
+
+def test_connect_exported_at_package_root():
+    assert repro.connect is connect
+    assert isinstance(repro.connect(), Connection)
+    assert repro.PreparedStatement is PreparedStatement

@@ -13,6 +13,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 #: script name -> a fragment that must appear in its stdout.
 EXPECTED_OUTPUT = {
     "quickstart.py": "answers are certain",
+    "session_quickstart.py": "reused the prepared plan",
     "ctable_certain_answers.py": "",
     "data_cleaning_imputation.py": "",
     "access_control_audit.py": "",

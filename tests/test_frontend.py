@@ -135,6 +135,42 @@ def test_frontend_catalogs_expose_schemas(geo_frontend):
     assert encoded.attribute_names[-1] == "C"
 
 
+def test_labeled_rows_sorted_for_stable_output():
+    """labeled_rows promises sorted `(row, certain?)` pairs; pin it."""
+    uadb = UADatabase(NATURAL, "sortcheck")
+    relation = uadb.create_relation(RelationSchema("r", ["a", "b"]))
+    # Insert out of order, with a NULL and mixed certainty.
+    relation.add_tuple((3, "z"), certain=1, determinized=1)
+    relation.add_tuple((1, "x"), certain=0, determinized=1)
+    relation.add_tuple((None, "m"), certain=1, determinized=1)
+    relation.add_tuple((2, "y"), certain=1, determinized=1)
+    frontend = UADBFrontend(NATURAL, "sortcheck")
+    frontend.register_ua_database(uadb)
+    result = frontend.query("SELECT a, b FROM r")
+    rows = [row for row, _ in result.labeled_rows()]
+    assert rows == [(None, "m"), (1, "x"), (2, "y"), (3, "z")]
+    # Sorting is deterministic regardless of insertion order.
+    assert result.labeled_rows() == result.labeled_rows()
+
+
+def test_frontend_is_a_connection_shim(geo_frontend, geocoding_xdb):
+    """The legacy front-end delegates to a live repro.api Connection."""
+    from repro.api import Connection
+
+    assert isinstance(geo_frontend.connection, Connection)
+    # By default the shim's plan cache is disabled: per-call timings keep the
+    # compile-every-time semantics the paper experiments measure.
+    geo_frontend.query(GEO_QUERY)
+    geo_frontend.query(GEO_QUERY)
+    assert geo_frontend.connection.plan_cache.stats()["hits"] == 0
+    # Caching is opt-in on the legacy surface.
+    cached = UADBFrontend(NATURAL, "geo", cache_size=16)
+    cached.register_xdb(geocoding_xdb)
+    cached.query(GEO_QUERY)
+    cached.query(GEO_QUERY)
+    assert cached.connection.plan_cache.stats()["hits"] == 1
+
+
 def test_query_result_len_and_rows(geo_frontend):
     result = geo_frontend.query("SELECT id FROM ADDR")
     assert len(result) == 4
