@@ -11,7 +11,7 @@ A DB-API-2.0-flavored front door to UA-DBs (see :mod:`repro.api.session`):
   the pipeline entirely.
 """
 
-from repro.api.cache import PlanCache
+from repro.api.cache import PlanCache, SharedPlanCache, shared_plan_cache
 from repro.api.session import (
     Connection,
     Cursor,
@@ -29,6 +29,8 @@ __all__ = [
     "PreparedPlan",
     "PreparedStatement",
     "SessionError",
+    "SharedPlanCache",
     "UAQueryResult",
     "connect",
+    "shared_plan_cache",
 ]

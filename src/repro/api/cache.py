@@ -12,8 +12,9 @@ invalidates every plan compiled before it.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 
 class PlanCache:
@@ -85,3 +86,79 @@ class PlanCache:
             f"<PlanCache {len(self._entries)}/{self.max_size} "
             f"hits={self.hits} misses={self.misses}>"
         )
+
+
+class SharedPlanCache(PlanCache):
+    """A :class:`PlanCache` safe to share across connections and threads.
+
+    Every operation is guarded by an ``RLock``, and the cache additionally
+    owns the *catalog version counter* for the connections sharing it: each
+    registration / DDL on any sharing connection calls
+    :meth:`bump_catalog_version`, so a plan compiled by one connection is
+    transparently invalidated for all of them.  Obtained via
+    :func:`shared_plan_cache` (one cache per ``(catalog name, semiring)``
+    pair) when ``repro.connect(..., shared_cache=True)`` is used.
+    """
+
+    def __init__(self, max_size: int = 128) -> None:
+        super().__init__(max_size)
+        self._lock = threading.RLock()
+        self._catalog_version = 0
+
+    @property
+    def catalog_version(self) -> int:
+        """The shared monotonic catalog version of the sharing connections."""
+        with self._lock:
+            return self._catalog_version
+
+    def bump_catalog_version(self) -> int:
+        """Advance the shared catalog version (any registration or DDL)."""
+        with self._lock:
+            self._catalog_version += 1
+            return self._catalog_version
+
+    def get(self, key: Hashable, catalog_version: int) -> Optional[Any]:
+        with self._lock:
+            return super().get(key, catalog_version)
+
+    def put(self, key: Hashable, entry: Any) -> None:
+        with self._lock:
+            super().put(key, entry)
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return super().stats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return super().__len__()
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return super().__contains__(key)
+
+
+#: Registry of shared caches, keyed by (catalog name, semiring name).
+_SHARED_CACHES: Dict[Tuple[str, str], SharedPlanCache] = {}
+_SHARED_CACHES_LOCK = threading.Lock()
+
+
+def shared_plan_cache(catalog_name: str, semiring_name: str,
+                      max_size: int = 128) -> SharedPlanCache:
+    """The process-wide :class:`SharedPlanCache` for one logical catalog.
+
+    Connections opened with the same ``name`` and semiring share one cache
+    (and one catalog version counter), so a statement compiled on any of them
+    is a warm hit on all of them.  The first caller fixes ``max_size``.
+    """
+    key = (catalog_name.lower(), semiring_name)
+    with _SHARED_CACHES_LOCK:
+        cache = _SHARED_CACHES.get(key)
+        if cache is None:
+            cache = SharedPlanCache(max_size)
+            _SHARED_CACHES[key] = cache
+        return cache

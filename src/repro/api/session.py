@@ -160,8 +160,9 @@ class Connection:
     def __init__(self, semiring: Semiring = NATURAL, name: str = "uadb",
                  engine: Optional[object] = None,
                  optimize: Optional[bool] = None,
-                 cache_size: int = 128) -> None:
-        from repro.api.cache import PlanCache
+                 cache_size: int = 128,
+                 shared_cache: bool = False) -> None:
+        from repro.api.cache import PlanCache, shared_plan_cache
 
         self.semiring = semiring
         self.name = name
@@ -172,9 +173,16 @@ class Connection:
         self.uadb = UADatabase(semiring, name, engine=engine)
         #: The encoded backing store the rewritten queries run against.
         self.encoded = Database(semiring, f"{name}_enc", engine=engine)
+        #: True when the plan cache (and catalog version counter) is the
+        #: process-wide one shared by every ``shared_cache=True`` connection
+        #: to this (name, semiring) catalog.
+        self.shared_cache = bool(shared_cache)
         #: Prepared-plan cache; inspect ``plan_cache.stats()`` for hit rates.
-        self.plan_cache = PlanCache(cache_size)
-        self._catalog_version = 0
+        if self.shared_cache:
+            self.plan_cache = shared_plan_cache(name, semiring.name, cache_size)
+        else:
+            self.plan_cache = PlanCache(cache_size)
+        self._local_catalog_version = 0
         self._closed = False
 
     # -- source registration ------------------------------------------------------
@@ -182,7 +190,14 @@ class Connection:
     def _register(self, relation: UARelation) -> None:
         self.uadb.add_relation(relation)
         self.encoded.add_relation(encode_relation(relation))
-        self._catalog_version += 1
+        self._bump_catalog_version()
+
+    def _bump_catalog_version(self) -> None:
+        """Advance the catalog version (shared counter when sharing a cache)."""
+        if self.shared_cache:
+            self.plan_cache.bump_catalog_version()
+        else:
+            self._local_catalog_version += 1
 
     def register_ua_relation(self, relation: UARelation) -> None:
         """Register an already-built UA-relation."""
@@ -230,15 +245,25 @@ class Connection:
 
     @property
     def catalog_version(self) -> int:
-        """Monotonic counter bumped by every registration / CREATE TABLE."""
-        return self._catalog_version
+        """Monotonic counter bumped by every registration / CREATE TABLE.
+
+        With ``shared_cache=True`` this is the *shared* counter: any sharing
+        connection's registration advances it, invalidating cached plans for
+        the whole group.
+        """
+        if self.shared_cache:
+            return self.plan_cache.catalog_version
+        return self._local_catalog_version
 
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
         """Close the connection; further statements raise :class:`SessionError`."""
         self._closed = True
-        self.plan_cache.clear()
+        if not self.shared_cache:
+            # A shared cache outlives any one connection: other sessions may
+            # still be serving warm hits from it.
+            self.plan_cache.clear()
 
     @property
     def closed(self) -> bool:
@@ -267,7 +292,7 @@ class Connection:
         """The cached prepared plan for ``sql``; compiles on a miss."""
         self._check_open()
         key = (sql, mode, self._optimize_resolved())
-        entry = self.plan_cache.get(key, self._catalog_version)
+        entry = self.plan_cache.get(key, self.catalog_version)
         if entry is None:
             entry = self._compile(sql, mode)
             self.plan_cache.put(key, entry)
@@ -276,14 +301,14 @@ class Connection:
     def _compile(self, sql: str, mode: str) -> PreparedPlan:
         statement = parse_statement(sql)
         if isinstance(statement, CreateTableStatement):
-            return PreparedPlan(sql, "create", mode, self._catalog_version,
+            return PreparedPlan(sql, "create", mode, self.catalog_version,
                                 statement=statement)
         if isinstance(statement, InsertStatement):
             parameters = [parameter
                           for row in statement.rows
                           for expression in row
                           for parameter in expression_parameters(expression)]
-            return PreparedPlan(sql, "insert", mode, self._catalog_version,
+            return PreparedPlan(sql, "insert", mode, self.catalog_version,
                                 statement=statement,
                                 parameters=tuple(parameters))
         if mode == "rewritten":
@@ -299,7 +324,7 @@ class Connection:
         parameters = plan_parameters(logical)
         if self._optimize_resolved():
             plan = optimize_plan(plan, optimize_catalog)
-        return PreparedPlan(sql, "select", mode, self._catalog_version,
+        return PreparedPlan(sql, "select", mode, self.catalog_version,
                             plan=plan, parameters=tuple(parameters))
 
     # -- statement execution ------------------------------------------------------
@@ -385,6 +410,33 @@ class Connection:
     def prepare(self, sql: str, mode: str = "rewritten") -> "PreparedStatement":
         """Compile ``sql`` now and return a reusable prepared statement."""
         return PreparedStatement(self, sql, mode)
+
+    def backend_sql(self, sql: str, mode: str = "rewritten") -> Optional[str]:
+        """The native SQL a compiling engine would run for ``sql``.
+
+        For the ``"sqlite"`` engine this is the statement (one CTE per plan
+        operator) executed against the in-memory SQLite store; it is served
+        from the same prepared-plan and compiled-SQL caches as execution, so
+        inspecting it costs one cache hit on the warm path.  Returns None
+        when the resolved engine interprets plans directly (row/columnar) or
+        when the plan falls outside the compilable fragment (the engine
+        would fall back for it).
+        """
+        from repro.db.engine import get_engine
+        from repro.db.engine.compiler import NotSupportedError
+
+        entry = self._entry(sql, mode)
+        if entry.kind != "select":
+            raise SessionError("backend_sql() expects a SELECT statement")
+        engine = get_engine(self.engine)
+        compiled_sql = getattr(engine, "compiled_sql", None)
+        if compiled_sql is None:
+            return None
+        database = self.encoded if mode == "rewritten" else self.uadb.database
+        try:
+            return compiled_sql(entry.plan, database)
+        except NotSupportedError:
+            return None
 
     # -- query paths (result-object API) ------------------------------------------
 
@@ -657,14 +709,15 @@ class PreparedStatement:
 def connect(semiring: Semiring = NATURAL, name: str = "uadb",
             engine: Optional[object] = None,
             optimize: Optional[bool] = None,
-            cache_size: int = 128) -> Connection:
+            cache_size: int = 128,
+            shared_cache: bool = False) -> Connection:
     """Open a UA-DB session.
 
     Example::
 
         import repro
 
-        conn = repro.connect(engine="columnar")
+        conn = repro.connect(engine="sqlite")
         conn.execute("CREATE TABLE t (a INT, b TEXT)")
         conn.executemany("INSERT INTO t VALUES (?, ?)", [(1, "x"), (2, "y")])
         statement = conn.prepare("SELECT a, b FROM t WHERE a >= ?")
@@ -672,9 +725,19 @@ def connect(semiring: Semiring = NATURAL, name: str = "uadb",
         print(result.labeled_rows())
 
     ``semiring`` picks the annotation domain (bag multiplicities by default),
-    ``engine`` the execution backend (``"row"`` / ``"columnar"`` / instance),
-    ``optimize`` toggles the logical optimizer, and ``cache_size`` bounds the
-    prepared-plan LRU cache (0 disables caching).
+    ``engine`` the execution backend (``"row"`` / ``"columnar"`` /
+    ``"sqlite"`` / instance), ``optimize`` toggles the logical optimizer,
+    and ``cache_size`` bounds the prepared-plan LRU cache (0 disables
+    caching).
+
+    ``shared_cache=True`` opts in to the process-wide
+    :class:`~repro.api.cache.SharedPlanCache` for this ``(name, semiring)``
+    catalog: every sharing connection serves warm hits from (and invalidates)
+    the same lock-guarded cache, so a pool of connections over one catalog
+    compiles each distinct statement once.  Sharing assumes the connections
+    register the same sources; a registration on any of them invalidates the
+    whole group's cached plans.
     """
     return Connection(semiring=semiring, name=name, engine=engine,
-                      optimize=optimize, cache_size=cache_size)
+                      optimize=optimize, cache_size=cache_size,
+                      shared_cache=shared_cache)

@@ -20,7 +20,7 @@ from repro.db.database import Database
 from repro.db.relation import KRelation
 from repro.db.schema import Attribute, DataType, RelationSchema
 from repro.semirings import Semiring
-from repro.semirings.ua import UASemiring
+from repro.semirings.ua import UAAnnotation, UASemiring
 from repro.core.uadb import UADatabase, UARelation
 
 #: Name of the certainty marker attribute added by the encoding.
@@ -74,26 +74,31 @@ def decode_relation(relation: KRelation,
     base = relation.semiring
     ua_semiring = ua_semiring or UASemiring(base)
     schema = _decoded_schema(relation.schema)
-    decoded = UARelation(schema, ua_semiring)
     # Group by the projected row: certain = annotation of (t, 1),
     # determinized = annotation of (t, 0) + annotation of (t, 1).
     certain_parts: dict = {}
     uncertain_parts: dict = {}
+    zero = base.zero
+    plus = base.plus
     for row, annotation in relation.items():
-        *values, marker = row
-        key = tuple(values)
-        if marker == 1:
-            certain_parts[key] = base.plus(certain_parts.get(key, base.zero), annotation)
-        else:
-            uncertain_parts[key] = base.plus(uncertain_parts.get(key, base.zero), annotation)
-    for key in set(certain_parts) | set(uncertain_parts):
-        certain = certain_parts.get(key, base.zero)
-        uncertain = uncertain_parts.get(key, base.zero)
-        determinized = base.plus(uncertain, certain)
+        key = row[:-1]
+        parts = certain_parts if row[-1] == 1 else uncertain_parts
+        current = parts.get(key)
+        parts[key] = annotation if current is None else plus(current, annotation)
+    # The rows come out of an engine result (already schema-validated) and
+    # ``certain <= certain + uncertain`` holds by construction, so the pairs
+    # are assembled directly instead of per-row re-validation through
+    # ``set_annotation`` / ``UASemiring.annotation`` -- decoding is on the
+    # per-query hot path of every rewritten-mode execution.
+    data: dict = {}
+    for key in certain_parts.keys() | uncertain_parts.keys():
+        certain = certain_parts.get(key, zero)
+        uncertain = uncertain_parts.get(key, zero)
+        determinized = plus(uncertain, certain)
         if base.is_zero(determinized):
             continue
-        decoded.set_annotation(key, ua_semiring.annotation(certain, determinized))
-    return decoded
+        data[key] = UAAnnotation(certain, determinized)
+    return UARelation._from_validated(schema, ua_semiring, data)
 
 
 def encode(uadb: UADatabase) -> Database:

@@ -248,10 +248,22 @@ class OrderBy(Operator):
 
 @dataclass(frozen=True)
 class Limit(Operator):
-    """Keep the first ``count`` rows according to the child's ordering."""
+    """Keep the first ``count`` rows according to the child's ordering.
+
+    ``count`` is either a plain non-negative integer or an
+    :class:`~repro.db.expressions.Expression` (a ``Parameter`` placeholder or
+    the ``Literal`` it was bound to), so ``LIMIT ?`` / ``LIMIT :n`` statements
+    can be prepared once and executed with different row counts.  Engines
+    normalize it with :func:`repro.db.engine.common.resolve_limit_count`.
+    """
 
     child: Operator
-    count: int
+    count: object
+
+    def describe(self) -> str:
+        if isinstance(self.count, Expression):
+            return f"Limit({self.count.to_sql()})"
+        return f"Limit({self.count})"
 
     def children(self) -> Tuple[Operator, ...]:
         return (self.child,)

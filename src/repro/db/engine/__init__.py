@@ -1,17 +1,23 @@
 """Pluggable execution engines.
 
 The engine package decouples *what* a plan computes (K-relational semantics,
-defined once) from *how* it is computed.  Two engines ship by default:
+defined once) from *how* it is computed.  Three engines ship by default:
 
 * ``"row"`` -- the tuple-at-a-time reference interpreter,
 * ``"columnar"`` -- vectorized evaluation over column-major batches with
-  numpy-accelerated annotation vectors.
+  numpy-accelerated annotation vectors,
+* ``"sqlite"`` -- plans compiled to SQL (one CTE per operator, see
+  :mod:`repro.db.engine.compiler`) and executed natively on an in-memory
+  stdlib :mod:`sqlite3` database holding the relations in the ``Enc``
+  layout; unsupported plans fall back to the columnar engine with a logged
+  warning.
 
 Engines are looked up by name through :func:`get_engine`; third parties can
-add their own with :func:`register_engine` (the planned SQLite/DBMS encoded
-backend will plug in here).  The process-wide default is ``"row"`` and can be
-overridden with the ``REPRO_ENGINE`` environment variable, per database via
-``Database(engine=...)``, or per call via ``evaluate(plan, db, engine=...)``.
+add their own with :func:`register_engine`.  The process-wide default is
+``"row"`` and can be overridden with the ``REPRO_ENGINE`` environment
+variable, per database via ``Database(engine=...)``, or per call via
+``evaluate(plan, db, engine=...)``.  Unknown names raise
+:class:`UnknownEngineError` listing what is registered.
 """
 
 from __future__ import annotations
@@ -19,9 +25,10 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Optional, Tuple, Union
 
-from repro.db.engine.base import EvaluationError, ExecutionEngine
+from repro.db.engine.base import EvaluationError, ExecutionEngine, UnknownEngineError
 from repro.db.engine.columnar import ColumnarEngine
 from repro.db.engine.row import Evaluator, RowEngine
+from repro.db.engine.sqlite import SQLiteEngine
 
 #: Environment variable naming the process-wide default engine.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
@@ -54,10 +61,7 @@ def get_engine(spec: EngineSpec = None) -> ExecutionEngine:
         spec = os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE
     name = spec.lower()
     if name not in _FACTORIES:
-        raise EvaluationError(
-            f"unknown execution engine {spec!r}; available: "
-            + ", ".join(available_engines())
-        )
+        raise UnknownEngineError(spec, available_engines())
     if name not in _INSTANCES:
         _INSTANCES[name] = _FACTORIES[name]()
     return _INSTANCES[name]
@@ -65,6 +69,7 @@ def get_engine(spec: EngineSpec = None) -> ExecutionEngine:
 
 register_engine(RowEngine.name, RowEngine)
 register_engine(ColumnarEngine.name, ColumnarEngine)
+register_engine(SQLiteEngine.name, SQLiteEngine)
 
 __all__ = [
     "ColumnarEngine",
@@ -74,6 +79,8 @@ __all__ = [
     "Evaluator",
     "ExecutionEngine",
     "RowEngine",
+    "SQLiteEngine",
+    "UnknownEngineError",
     "available_engines",
     "get_engine",
     "register_engine",

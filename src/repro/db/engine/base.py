@@ -25,6 +25,24 @@ class EvaluationError(RuntimeError):
     """Raised when a plan cannot be evaluated against a database."""
 
 
+class UnknownEngineError(EvaluationError, LookupError):
+    """An engine name (argument or ``REPRO_ENGINE``) matches no registered backend.
+
+    Subclasses :class:`EvaluationError` so existing handlers keep working, and
+    ``LookupError`` because it is fundamentally a failed registry lookup.  The
+    message always lists the registered engine names so a typo'd
+    ``REPRO_ENGINE`` is diagnosable from the traceback alone.
+    """
+
+    def __init__(self, name: object, available: "tuple[str, ...]") -> None:
+        super().__init__(
+            f"unknown execution engine {name!r}; registered engines: "
+            + ", ".join(available)
+        )
+        self.name = name
+        self.available = available
+
+
 class ExecutionEngine(ABC):
     """Evaluates relational algebra plans over a database.
 

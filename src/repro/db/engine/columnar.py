@@ -53,6 +53,7 @@ from repro.db.engine.common import (
     check_union_compatible,
     combine_aggregate,
     equality_columns,
+    resolve_limit_count,
     select_limit_rows,
 )
 from repro.db.engine.vectors import annotation_ops
@@ -615,5 +616,6 @@ class _ColumnarExecutor:
         batch = self.run(child_plan)
         mapping = self._mapping(batch)
         names = batch.schema.attribute_names
-        kept = select_limit_rows(mapping.items(), names, keys, plan.count)
+        kept = select_limit_rows(mapping.items(), names, keys,
+                                 resolve_limit_count(plan.count))
         return self._from_mapping(batch.schema, dict(kept))

@@ -64,6 +64,27 @@ def combine_aggregate(func: str, has_argument: bool,
     raise EvaluationError(f"unsupported aggregate {func!r}")
 
 
+def resolve_limit_count(count: Any) -> int:
+    """Normalize :attr:`algebra.Limit.count` to a plain integer.
+
+    Accepts a bare int (the classic ``LIMIT 3``) or a constant expression --
+    the :class:`~repro.db.expressions.Literal` a ``LIMIT ?`` placeholder was
+    bound to.  An unbound :class:`Parameter` raises its own descriptive error
+    when evaluated; any other value is rejected so all engines agree on what a
+    legal row count is.
+    """
+    if isinstance(count, Expression):
+        count = count.evaluate(_EMPTY_ENVIRONMENT)
+    if isinstance(count, bool) or not isinstance(count, int):
+        raise EvaluationError(
+            f"LIMIT requires an integer row count, got {count!r}"
+        )
+    return count
+
+
+_EMPTY_ENVIRONMENT = RowEnvironment((), ())
+
+
 class _OrderKey:
     """Comparable wrapper handling NULLs and descending order."""
 

@@ -1,0 +1,43 @@
+"""The algebra -> SQL translation layer behind the SQLite engine.
+
+Splits into three pieces:
+
+* :mod:`~repro.db.engine.compiler.annotations` -- how a semiring's
+  annotation arithmetic reads as SQL over the encoded ``a`` column,
+* :mod:`~repro.db.engine.compiler.expr` -- scalar expressions to SQL text
+  (with the evaluator's three-valued logic preserved),
+* :mod:`~repro.db.engine.compiler.plan` -- operator trees to one statement,
+  a CTE per operator.
+
+The compiler is engine-agnostic: it produces a :class:`CompiledQuery`
+(SQL text + result schema + parameter/bookkeeping metadata) and leaves
+loading, execution and decoding to :mod:`repro.db.engine.sqlite`.
+Unsupported constructs raise :class:`NotSupportedError`.
+"""
+
+from repro.db.engine.compiler.annotations import AnnotationSQL, annotation_sql
+from repro.db.engine.compiler.errors import NotSupportedError
+from repro.db.engine.compiler.expr import (
+    ExpressionCompiler,
+    parameter_placeholder,
+    sql_literal,
+)
+from repro.db.engine.compiler.plan import (
+    CompiledQuery,
+    PlanCompiler,
+    compile_plan,
+    table_name,
+)
+
+__all__ = [
+    "AnnotationSQL",
+    "CompiledQuery",
+    "ExpressionCompiler",
+    "NotSupportedError",
+    "PlanCompiler",
+    "annotation_sql",
+    "compile_plan",
+    "parameter_placeholder",
+    "sql_literal",
+    "table_name",
+]

@@ -1,0 +1,130 @@
+"""SQL encodings of semiring annotation arithmetic.
+
+The compiled queries carry each tuple's annotation in a trailing integer
+column ``a`` (the multiset side of the paper's ``Enc`` encoding: for the
+encoded UA-databases the certainty marker ``C`` is an ordinary *data* column
+and ``a`` holds the N multiplicity).  Every semiring the compiler supports
+must say how its operations read as SQL over that column:
+
+* ``N`` (bags): ``+`` is integer addition (``SUM``), ``*`` multiplication,
+  the monus is truncated subtraction and the natural order is ``<=``.
+* ``B`` (sets): annotations are stored as 0/1; ``+`` is ``OR`` (``MAX``),
+  ``*`` is ``AND`` (``MIN``) and the monus is ``a AND NOT b``.
+
+Everything else (UA pairs as Python objects, provenance polynomials, ...)
+raises :class:`NotSupportedError`, which the SQLite engine turns into a
+fallback to the columnar engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.semirings import Semiring
+from repro.semirings.boolean import BooleanSemiring
+from repro.semirings.natural import NaturalSemiring
+from repro.db.engine.compiler.errors import NotSupportedError
+
+
+class AnnotationSQL:
+    """SQL fragments implementing one semiring's operations over column ``a``."""
+
+    #: The SQL literal for 1_K.
+    one = "1"
+    #: True when a fragment's aggregate weight equals its annotation value,
+    #: i.e. ``weight(a1 + a2) == weight(a1) + weight(a2)``.  When False the
+    #: compiler must consolidate duplicate tuple fragments before weighting
+    #: an aggregate (see ``annotation_weight`` in ``repro.db.engine.common``).
+    linear_weights = True
+
+    def plus_aggregate(self, expr: str) -> str:
+        """Aggregate summing annotations of rows collapsed by a GROUP BY."""
+        raise NotImplementedError
+
+    def times(self, left: str, right: str) -> str:
+        """Annotation product (joins)."""
+        raise NotImplementedError
+
+    def monus(self, left: str, right: str) -> str:
+        """Truncated difference (EXCEPT ALL); ``right`` may be NULL-coalesced."""
+        raise NotImplementedError
+
+    def glb(self, left: str, right: str) -> str:
+        """Greatest lower bound (INTERSECT ALL)."""
+        raise NotImplementedError
+
+    def encode(self, annotation: Any) -> int:
+        """Map a semiring annotation to the stored integer."""
+        raise NotImplementedError
+
+    def decode(self, value: int) -> Any:
+        """Map a stored integer back to a semiring annotation."""
+        raise NotImplementedError
+
+
+class NaturalAnnotationSQL(AnnotationSQL):
+    """Bag multiplicities: annotations are the integers themselves."""
+
+    linear_weights = True
+
+    def plus_aggregate(self, expr: str) -> str:
+        return f"SUM({expr})"
+
+    def times(self, left: str, right: str) -> str:
+        return f"({left} * {right})"
+
+    def monus(self, left: str, right: str) -> str:
+        return f"MAX({left} - {right}, 0)"
+
+    def glb(self, left: str, right: str) -> str:
+        return f"MIN({left}, {right})"
+
+    def encode(self, annotation: Any) -> int:
+        return int(annotation)
+
+    def decode(self, value: int) -> Any:
+        return int(value)
+
+
+class BooleanAnnotationSQL(AnnotationSQL):
+    """Set membership: True is stored as 1, operations are MIN/MAX over 0/1."""
+
+    #: A tuple's aggregate weight is 1 regardless of its 0/1 annotation, so
+    #: duplicate fragments of the same tuple must be consolidated before
+    #: weighting (two fragments of one tuple still weigh 1, not 2).
+    linear_weights = False
+
+    def plus_aggregate(self, expr: str) -> str:
+        return f"MAX({expr})"
+
+    def times(self, left: str, right: str) -> str:
+        return f"MIN({left}, {right})"
+
+    def monus(self, left: str, right: str) -> str:
+        # a AND NOT b over {0, 1}.
+        return f"MIN({left}, 1 - MIN({right}, 1))"
+
+    def glb(self, left: str, right: str) -> str:
+        return f"MIN({left}, {right})"
+
+    def encode(self, annotation: Any) -> int:
+        return 1 if annotation else 0
+
+    def decode(self, value: int) -> Any:
+        return bool(value)
+
+
+def annotation_sql(semiring: Semiring) -> AnnotationSQL:
+    """The SQL encoding of ``semiring``'s operations.
+
+    Raises :class:`NotSupportedError` for semirings whose annotations are not
+    (bounded) integers -- those plans fall back to the interpreting engines.
+    """
+    if isinstance(semiring, NaturalSemiring):
+        return NaturalAnnotationSQL()
+    if isinstance(semiring, BooleanSemiring):
+        return BooleanAnnotationSQL()
+    raise NotSupportedError(
+        f"semiring {semiring.name} has no SQL encoding; only N (bags) and "
+        "B (sets) annotations can run on the SQLite backend"
+    )

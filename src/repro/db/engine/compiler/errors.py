@@ -1,0 +1,17 @@
+"""Errors raised by the algebra -> SQL compiler."""
+
+from __future__ import annotations
+
+from repro.db.engine.base import EvaluationError
+
+
+class NotSupportedError(EvaluationError):
+    """The plan, expression or database lies outside the SQL-compilable fragment.
+
+    Raised by the compiler (unsupported operator / scalar function /
+    semiring) and by the table loader (values or annotations SQLite cannot
+    store).  The SQLite engine treats it as a signal to *fall back* to the
+    columnar engine with a logged warning rather than an error the caller
+    sees -- every plan another engine can evaluate must still produce a
+    result, just without the native-SQL speedup.
+    """

@@ -1,0 +1,425 @@
+"""Algebra plan -> one SQL statement (a CTE per operator).
+
+:func:`compile_plan` turns a :mod:`repro.db.algebra` tree into a single
+SQLite statement over base tables laid out in the multiset side of the
+paper's ``Enc`` encoding: the tuple's data values in columns ``c0..cN`` and
+its integer-encoded annotation in a trailing column ``a`` (for the encoded
+UA-databases the certainty marker ``C`` is itself one of the data columns,
+so the whole Figure 9 rewriting compiles like any other query).  Each
+operator becomes a common table expression combining its inputs with the
+semiring arithmetic of :mod:`repro.db.engine.compiler.annotations`:
+
+=================  ==========================================================
+operator           CTE shape
+=================  ==========================================================
+RelationRef        the loaded base table itself (no CTE)
+Qualify            none -- column renaming is compile-time metadata only
+Selection          ``SELECT ... WHERE pred`` (SQL 3VL == the evaluator's)
+Projection         ``SELECT exprs, SUM(a) GROUP BY exprs`` (annotation sum)
+Join/CrossProduct  ``SELECT l.*, r.*, l.a * r.a FROM l, r [WHERE pred]``
+Union              ``UNION ALL`` of the two inputs
+Distinct           ``SELECT DISTINCT cols, 1 AS a``
+Difference         grouped inputs, ``LEFT JOIN`` on null-safe ``IS``, monus
+Intersection       grouped inputs, inner join, greatest lower bound
+Aggregate          annotation-weighted SQL aggregates, ``GROUP BY`` keys
+OrderBy            identity (relations are unordered; Limit consumes keys)
+Limit              group fragments, ``ORDER BY keys, c0.. LIMIT n``
+=================  ==========================================================
+
+Intermediate results may carry *fragments* -- several rows for one tuple
+whose annotations sum to the tuple's true annotation.  That is sound for
+selection, join, union and projection (semiring distributivity) and the
+compiler consolidates fragments with a ``GROUP BY`` exactly where identity
+of tuples matters: before Difference/Intersection/Limit, and before
+aggregates when the semiring's weights are not linear (the B semiring).
+The engine's result decoding sums whatever fragments remain.
+
+Column names are never quoted into SQL: every logical attribute is mapped
+to a positional ``cN`` identifier and resolved through the same
+:class:`~repro.db.expressions.NameLookup` rules the interpreting engines
+use, so qualified references, suffix matching and ambiguity errors behave
+identically.  Anything outside the fragment raises
+:class:`NotSupportedError` and the engine falls back to the columnar
+backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.expressions import Expression, NameLookup, Parameter
+from repro.db.schema import Attribute, RelationSchema
+from repro.db.engine.common import resolve_limit_count
+from repro.db.engine.compiler.annotations import AnnotationSQL, annotation_sql
+from repro.db.engine.compiler.errors import NotSupportedError
+from repro.db.engine.compiler.expr import (
+    ColumnRef,
+    ExpressionCompiler,
+    parameter_placeholder,
+)
+
+
+def table_name(relation_name: str) -> str:
+    """The (quoted) SQLite table holding a stored relation."""
+    return '"r_' + relation_name.lower().replace('"', '""') + '"'
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A plan compiled to SQL, plus everything needed to run and decode it."""
+
+    #: The full statement (``WITH ... SELECT * FROM qN``).
+    sql: str
+    #: Result schema with exactly the attribute names the row engine produces.
+    schema: RelationSchema
+    #: Lower-cased names of the stored relations the statement reads.
+    relations: Tuple[str, ...]
+    #: Every parameter placeholder compiled into the SQL (plan order).
+    parameters: Tuple[Parameter, ...]
+    #: Keys of parameters used as LIMIT counts (validated as ints at bind).
+    limit_parameters: Tuple[Any, ...]
+    #: ``(lower name, schema name, attribute names)`` of each read relation;
+    #: a cached compilation is only reusable while these still hold.
+    schema_deps: Tuple[Tuple[str, str, Tuple[str, ...]], ...]
+
+    def max_positional_index(self) -> int:
+        """Highest 0-based positional parameter index (-1 when none)."""
+        indexes = [p.key for p in self.parameters if isinstance(p.key, int)]
+        return max(indexes) if indexes else -1
+
+
+class _Part(NamedTuple):
+    """One compiled operator: a FROM-clause source plus its logical schema.
+
+    ``source`` is either a quoted base-table name or a CTE name; its SQL
+    columns are always ``c0..c{arity-1}`` followed by the annotation ``a``.
+    """
+
+    source: str
+    schema: RelationSchema
+
+
+class PlanCompiler:
+    """Compiles one plan against one database's catalog and semiring."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.annotation: AnnotationSQL = annotation_sql(database.semiring)
+        self._ctes: List[Tuple[str, str]] = []
+        self._parameters: List[Parameter] = []
+        self._limit_parameters: List[Any] = []
+        self._deps: Dict[str, RelationSchema] = {}
+
+    # -- entry point ----------------------------------------------------------
+
+    def compile(self, plan: algebra.Operator) -> CompiledQuery:
+        part = self._compile(plan)
+        lines = []
+        if self._ctes:
+            defs = ",\n".join(f"{name} AS (\n  {body}\n)" for name, body in self._ctes)
+            lines.append(f"WITH {defs}")
+        lines.append(f"SELECT * FROM {part.source}")
+        return CompiledQuery(
+            sql="\n".join(lines),
+            schema=part.schema,
+            relations=tuple(self._deps),
+            parameters=tuple(self._parameters),
+            limit_parameters=tuple(self._limit_parameters),
+            schema_deps=tuple(
+                (name, schema.name, schema.attribute_names)
+                for name, schema in self._deps.items()
+            ),
+        )
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _compile(self, plan: algebra.Operator) -> _Part:
+        method = getattr(self, f"_compile_{type(plan).__name__.lower()}", None)
+        if method is None:
+            raise NotSupportedError(
+                f"operator {type(plan).__name__} is outside the "
+                "SQL-compilable fragment"
+            )
+        return method(plan)
+
+    def _add_cte(self, body: str) -> str:
+        name = f"q{len(self._ctes) + 1}"
+        self._ctes.append((name, body))
+        return name
+
+    @staticmethod
+    def _columns(arity: int, prefix: str = "") -> List[str]:
+        return [f"{prefix}c{i}" for i in range(arity)]
+
+    @staticmethod
+    def _refs(schema: RelationSchema, prefix: str = "") -> List[ColumnRef]:
+        """Typed SQL references for a schema's attributes (types feed the
+        cross-type comparison guard elision)."""
+        return [
+            ColumnRef(f"{prefix}c{i}", attribute.data_type)
+            for i, attribute in enumerate(schema.attributes)
+        ]
+
+    def _scope(self, schema: RelationSchema, prefix: str = "") -> ExpressionCompiler:
+        lookup = NameLookup(schema.attribute_names, self._refs(schema, prefix))
+        return ExpressionCompiler(lookup, self._parameters)
+
+    def _select_list(self, columns: List[str], annotation: str) -> str:
+        items = [f"{ref} AS c{i}" for i, ref in enumerate(columns)]
+        items.append(f"{annotation} AS a")
+        return ", ".join(items)
+
+    def _consolidated(self, part: _Part) -> _Part:
+        """Merge duplicate tuple fragments: one row per tuple, summed ``a``."""
+        arity = part.schema.arity
+        select = self._select_list(self._columns(arity),
+                                   self.annotation.plus_aggregate("a"))
+        group = ", ".join(str(i + 1) for i in range(arity)) or "NULL"
+        body = f"SELECT {select} FROM {part.source} GROUP BY {group}"
+        return _Part(self._add_cte(body), part.schema)
+
+    def _check_union_compatible(self, left: _Part, right: _Part,
+                                operator: str) -> None:
+        # Falling back reproduces the interpreting engines' EvaluationError
+        # for genuinely incompatible inputs.
+        if left.schema.arity != right.schema.arity:
+            raise NotSupportedError(
+                f"{operator} inputs are not union-compatible; delegating the "
+                "error to the fallback engine"
+            )
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _compile_relationref(self, plan: algebra.RelationRef) -> _Part:
+        relation = self.database.relation(plan.name)  # SchemaError if absent
+        schema = relation.schema
+        if plan.alias and plan.alias.lower() != plan.name.lower():
+            schema = schema.rename(plan.alias)
+        self._deps[plan.name.lower()] = relation.schema
+        return _Part(table_name(plan.name), schema)
+
+    # -- unary operators --------------------------------------------------------
+
+    def _compile_qualify(self, plan: algebra.Qualify) -> _Part:
+        child = self._compile(plan.child)
+        attributes = [
+            Attribute(f"{plan.qualifier}.{attr.name.split('.')[-1]}", attr.data_type)
+            for attr in child.schema.attributes
+        ]
+        return _Part(child.source, RelationSchema(plan.qualifier, attributes))
+
+    def _compile_selection(self, plan: algebra.Selection) -> _Part:
+        child = self._compile(plan.child)
+        predicate = self._scope(child.schema).compile(plan.predicate)
+        select = self._select_list(self._columns(child.schema.arity), "a")
+        body = f"SELECT {select} FROM {child.source} WHERE {predicate}"
+        return _Part(self._add_cte(body), child.schema)
+
+    def _compile_projection(self, plan: algebra.Projection) -> _Part:
+        # No ``GROUP BY``: output tuples that coincide simply stay separate
+        # *fragments* whose annotations the consumers sum -- skipping the
+        # per-projection aggregation pass is the single biggest win of the
+        # fragment representation (the optimizer pushes pruning projections
+        # onto every scan, which would otherwise re-hash whole base tables).
+        child = self._compile(plan.child)
+        scope = self._scope(child.schema)
+        exprs = [scope.compile(expr) for expr, _ in plan.items]
+        select = self._select_list(exprs, "a")
+        body = f"SELECT {select} FROM {child.source}"
+        schema = RelationSchema(
+            child.schema.name,
+            [Attribute(name, self._output_type(expr, child.schema))
+             for expr, name in plan.items],
+        )
+        return _Part(self._add_cte(body), schema)
+
+    @staticmethod
+    def _output_type(expr: Expression, child_schema: RelationSchema):
+        """Declared type of a projected expression (ANY when not a column).
+
+        The interpreting engines leave projection outputs untyped;
+        KRelation equality only compares attribute *names*, so carrying the
+        source column's type here is purely compiler-internal -- it lets
+        comparisons above a pruning projection keep their guard elision.
+        """
+        from repro.db.schema import DataType
+        from repro.db.expressions import Column as ColumnExpr
+
+        if isinstance(expr, ColumnExpr):
+            lookup = NameLookup(
+                child_schema.attribute_names,
+                [attribute.data_type for attribute in child_schema.attributes],
+            )
+            found = lookup.find(expr.name, expr.qualifier)
+            if found is not None:
+                return found
+        return DataType.ANY
+
+    def _compile_distinct(self, plan: algebra.Distinct) -> _Part:
+        child = self._compile(plan.child)
+        select = self._select_list(self._columns(child.schema.arity),
+                                   self.annotation.one)
+        body = f"SELECT DISTINCT {select} FROM {child.source}"
+        return _Part(self._add_cte(body), child.schema)
+
+    # -- binary operators ---------------------------------------------------------
+
+    def _compile_join(self, plan: algebra.Join) -> _Part:
+        return self._join(plan.left, plan.right, plan.predicate)
+
+    def _compile_crossproduct(self, plan: algebra.CrossProduct) -> _Part:
+        return self._join(plan.left, plan.right, None)
+
+    def _join(self, left_plan: algebra.Operator, right_plan: algebra.Operator,
+              predicate: Optional[Expression]) -> _Part:
+        left = self._compile(left_plan)
+        right = self._compile(right_plan)
+        schema = left.schema.concat(right.schema)
+        columns = (self._columns(left.schema.arity, "l.")
+                   + self._columns(right.schema.arity, "r."))
+        select = self._select_list(columns, self.annotation.times("l.a", "r.a"))
+        body = (f"SELECT {select} "
+                f"FROM {left.source} AS l, {right.source} AS r")
+        if predicate is not None:
+            refs = self._refs(left.schema, "l.") + self._refs(right.schema, "r.")
+            lookup = NameLookup(schema.attribute_names, refs)
+            compiled = ExpressionCompiler(lookup, self._parameters)
+            body += f" WHERE {compiled.compile(predicate)}"
+        return _Part(self._add_cte(body), schema)
+
+    def _compile_union(self, plan: algebra.Union) -> _Part:
+        left = self._compile(plan.left)
+        right = self._compile(plan.right)
+        self._check_union_compatible(left, right, "UNION")
+        select = self._select_list(self._columns(left.schema.arity), "a")
+        body = (f"SELECT {select} FROM {left.source} "
+                f"UNION ALL SELECT {select} FROM {right.source}")
+        return _Part(self._add_cte(body), left.schema)
+
+    def _null_safe_on(self, arity: int) -> str:
+        conjuncts = [f"l.c{i} IS r.c{i}" for i in range(arity)]
+        return " AND ".join(conjuncts) if conjuncts else "1 = 1"
+
+    def _compile_difference(self, plan: algebra.Difference) -> _Part:
+        left = self._compile(plan.left)
+        right = self._compile(plan.right)
+        self._check_union_compatible(left, right, "EXCEPT")
+        left = self._consolidated(left)
+        right = self._consolidated(right)
+        arity = left.schema.arity
+        remaining = self.annotation.monus("l.a", "COALESCE(r.a, 0)")
+        select = self._select_list(self._columns(arity, "l."), remaining)
+        body = (f"SELECT {select} FROM {left.source} AS l "
+                f"LEFT JOIN {right.source} AS r ON {self._null_safe_on(arity)} "
+                f"WHERE {remaining} > 0")
+        return _Part(self._add_cte(body), left.schema)
+
+    def _compile_intersection(self, plan: algebra.Intersection) -> _Part:
+        left = self._compile(plan.left)
+        right = self._compile(plan.right)
+        self._check_union_compatible(left, right, "INTERSECT")
+        left = self._consolidated(left)
+        right = self._consolidated(right)
+        arity = left.schema.arity
+        select = self._select_list(self._columns(arity, "l."),
+                                   self.annotation.glb("l.a", "r.a"))
+        body = (f"SELECT {select} FROM {left.source} AS l "
+                f"JOIN {right.source} AS r ON {self._null_safe_on(arity)}")
+        return _Part(self._add_cte(body), left.schema)
+
+    # -- extended operators ----------------------------------------------------------
+
+    def _aggregate_sql(self, func: str, argument: Optional[str]) -> str:
+        """One annotation-weighted SQL aggregate (``a`` = tuple multiplicity).
+
+        Mirrors ``combine_aggregate``: COUNT/SUM/AVG weight each tuple by its
+        bag multiplicity, NULL arguments are ignored (an all-NULL group sums
+        to NULL, exactly SQL's behaviour), MIN/MAX are weight-independent.
+        """
+        if func == "count":
+            if argument is None:
+                return "SUM(a)"
+            return f"SUM(CASE WHEN {argument} IS NULL THEN 0 ELSE a END)"
+        if func == "sum":
+            return f"SUM(({argument}) * a)"
+        if func == "avg":
+            return (f"(CAST(SUM(({argument}) * a) AS REAL) / "
+                    f"SUM(CASE WHEN {argument} IS NULL THEN 0 ELSE a END))")
+        if func == "min":
+            return f"MIN({argument})"
+        if func == "max":
+            return f"MAX({argument})"
+        raise NotSupportedError(f"aggregate function {func!r} has no SQL translation")
+
+    def _compile_aggregate(self, plan: algebra.Aggregate) -> _Part:
+        child = self._compile(plan.child)
+        if not self.annotation.linear_weights:
+            # B-annotated fragments would double-count: a tuple weighs 1
+            # however many fragments it arrives in.
+            child = self._consolidated(child)
+        scope = self._scope(child.schema)
+        items = [scope.compile(expr) for expr, _ in plan.group_by]
+        for aggregate in plan.aggregates:
+            argument = (scope.compile(aggregate.argument)
+                        if aggregate.argument is not None else None)
+            items.append(self._aggregate_sql(aggregate.func.lower(), argument))
+        select = self._select_list(items, self.annotation.one)
+        group = ", ".join(str(i + 1) for i in range(len(plan.group_by))) or "NULL"
+        body = f"SELECT {select} FROM {child.source} GROUP BY {group}"
+        names = [name for _, name in plan.group_by]
+        names.extend(aggregate.name for aggregate in plan.aggregates)
+        schema = RelationSchema(child.schema.name,
+                                [Attribute(name) for name in names])
+        return _Part(self._add_cte(body), schema)
+
+    def _compile_orderby(self, plan: algebra.OrderBy) -> _Part:
+        # Relations are unordered; ordering only matters under a Limit, which
+        # peels the keys off itself.  A bare OrderBy is the identity.
+        return self._compile(plan.child)
+
+    def _limit_count_sql(self, count: Any) -> str:
+        if isinstance(count, Parameter):
+            self._parameters.append(count)
+            self._limit_parameters.append(count.key)
+            # A negative LIMIT means "no limit" to SQLite but "no rows" to
+            # the engines; clamp at execution time.
+            return f"MAX({parameter_placeholder(count)}, 0)"
+        return str(max(resolve_limit_count(count), 0))
+
+    def _compile_limit(self, plan: algebra.Limit) -> _Part:
+        child_plan = plan.child
+        keys: Tuple[Tuple[Expression, bool], ...] = ()
+        if isinstance(child_plan, algebra.OrderBy):
+            keys = child_plan.keys
+            child_plan = child_plan.child
+        part = self._consolidated(self._compile(child_plan))
+        arity = part.schema.arity
+        scope = self._scope(part.schema)
+        order = [
+            f"{scope.compile(expr)} {'DESC' if descending else 'ASC'}"
+            for expr, descending in keys
+        ]
+        # Ties (and the keyless case) break on the full row, matching
+        # select_limit_rows; SQLite's cross-type ordering (NULL < numbers <
+        # text) coincides with _row_sort_key.  Known limitation: an explicit
+        # ORDER BY key over a *mixed-type* column diverges -- the
+        # interpreters' _OrderKey falls back to pairwise str() comparison
+        # there, which is not expressible as a SQL sort key.
+        order.extend(self._columns(arity))
+        order_clause = f" ORDER BY {', '.join(order)}" if order else ""
+        select = self._select_list(self._columns(arity), "a")
+        body = (f"SELECT {select} FROM {part.source}"
+                f"{order_clause} LIMIT {self._limit_count_sql(plan.count)}")
+        return _Part(self._add_cte(body), part.schema)
+
+
+def compile_plan(plan: algebra.Operator, database: Database) -> CompiledQuery:
+    """Compile ``plan`` into one SQL statement over ``database``'s catalog.
+
+    Raises :class:`NotSupportedError` when any operator, expression or the
+    database's semiring cannot be expressed faithfully in SQLite SQL.
+    """
+    return PlanCompiler(database).compile(plan)

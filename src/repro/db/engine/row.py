@@ -29,6 +29,7 @@ from repro.db.engine.common import (
     check_union_compatible,
     combine_aggregate,
     equality_columns,
+    resolve_limit_count,
     select_limit_rows,
 )
 
@@ -282,6 +283,7 @@ class Evaluator:
         child = self.run(child_plan)
         names = child.schema.attribute_names
         result = KRelation(child.schema, child.semiring)
-        for row, annotation in select_limit_rows(child.items(), names, keys, plan.count):
+        for row, annotation in select_limit_rows(child.items(), names, keys,
+                                                 resolve_limit_count(plan.count)):
             result.add(row, annotation)
         return result

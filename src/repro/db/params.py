@@ -68,6 +68,8 @@ def _plan_expressions(plan: algebra.Operator) -> List[Expression]:
         return exprs
     if isinstance(plan, algebra.OrderBy):
         return [expr for expr, _ in plan.keys]
+    if isinstance(plan, algebra.Limit) and isinstance(plan.count, Expression):
+        return [plan.count]
     return []
 
 
@@ -324,7 +326,12 @@ def _bind_plan(plan: algebra.Operator, binder: ParameterBinder) -> algebra.Opera
         )
     if isinstance(plan, algebra.Limit):
         child = _bind_plan(plan.child, binder)
-        return plan if child is plan.child else algebra.Limit(child, plan.count)
+        count = plan.count
+        if isinstance(count, Expression):
+            count = _bind_expr(count, binder)
+        if child is plan.child and count is plan.count:
+            return plan
+        return algebra.Limit(child, count)
     if isinstance(plan, algebra.Join):
         left = _bind_plan(plan.left, binder)
         right = _bind_plan(plan.right, binder)

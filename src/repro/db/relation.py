@@ -25,6 +25,10 @@ class KRelation:
         self.schema = schema
         self.semiring = semiring
         self._data: Dict[Row, Any] = {}
+        #: Mutation counter: bumped by every ``add`` / ``set_annotation`` so
+        #: caching consumers (the SQLite engine's table loader) can detect
+        #: in-place changes without hashing the contents.
+        self._version = 0
         if data:
             for row, annotation in data.items():
                 self.add(row, annotation)
@@ -39,6 +43,7 @@ class KRelation:
         self.semiring.check(annotation)
         current = self._data.get(row, self.semiring.zero)
         combined = self.semiring.plus(current, annotation)
+        self._version += 1
         if self.semiring.is_zero(combined):
             self._data.pop(row, None)
         else:
@@ -48,6 +53,7 @@ class KRelation:
         """Overwrite the annotation of ``row`` (removing it if zero)."""
         row = self.schema.validate_row(row)
         self.semiring.check(annotation)
+        self._version += 1
         if self.semiring.is_zero(annotation):
             self._data.pop(row, None)
         else:
@@ -67,6 +73,7 @@ class KRelation:
         relation.schema = schema
         relation.semiring = semiring
         relation._data = data
+        relation._version = 0
         return relation
 
     def copy(self) -> "KRelation":

@@ -72,7 +72,9 @@ class SelectStatement:
     group_by: Tuple[Expression, ...] = ()
     having: Optional[Expression] = None
     order_by: Tuple[OrderItem, ...] = ()
-    limit: Optional[int] = None
+    #: An integer literal, or a :class:`~repro.db.expressions.Parameter` for
+    #: ``LIMIT ?`` / ``LIMIT :n``.
+    limit: Optional[Union[int, Expression]] = None
     distinct: bool = False
     #: Aggregate calls, aligned with the positions recorded during parsing.
     aggregates: Tuple[Tuple[int, AggregateCall], ...] = ()

@@ -6,7 +6,7 @@ Grammar sketch (informal)::
     statement   := select [UNION ALL select] [';']
     select      := SELECT [DISTINCT] items FROM from_items
                    [WHERE expr] [GROUP BY expr_list] [HAVING expr]
-                   [ORDER BY order_list] [LIMIT number]
+                   [ORDER BY order_list] [LIMIT (number | parameter)]
     items       := item (',' item)*
     item        := '*' | ident '.' '*' | aggregate | expr [AS ident]
     from_items  := from_item (',' from_item)*
@@ -170,10 +170,17 @@ class _Parser:
             order_by = tuple(self.parse_order_items())
         limit = None
         if self.accept_keyword("limit"):
-            token = self.advance()
-            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
-                raise SQLSyntaxError("LIMIT requires an integer literal")
-            limit = token.value
+            if self.current.type is TokenType.PARAMETER:
+                # ``LIMIT ?`` / ``LIMIT :n``: the count is supplied at
+                # execution time, so a prepared plan caches across values.
+                limit = self.parse_parameter()
+            else:
+                token = self.advance()
+                if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                    raise SQLSyntaxError(
+                        "LIMIT requires an integer literal or a parameter placeholder"
+                    )
+                limit = token.value
         return SelectStatement(
             items=tuple(items),
             from_items=tuple(from_items),
@@ -398,21 +405,7 @@ class _Parser:
         if token.matches(TokenType.KEYWORD, "case"):
             return self.parse_case()
         if token.type is TokenType.PARAMETER:
-            self.advance()
-            if token.value is None:
-                if self.named_parameters:
-                    raise SQLSyntaxError(
-                        "cannot mix positional '?' and named ':name' parameters"
-                    )
-                parameter = Parameter(self.positional_parameters)
-                self.positional_parameters += 1
-                return parameter
-            if self.positional_parameters:
-                raise SQLSyntaxError(
-                    "cannot mix positional '?' and named ':name' parameters"
-                )
-            self.named_parameters = True
-            return Parameter(str(token.value))
+            return self.parse_parameter()
         if self.accept_punct("("):
             expression = self.parse_expression()
             self.expect_punct(")")
@@ -420,6 +413,24 @@ class _Parser:
         if token.type is TokenType.IDENTIFIER:
             return self.parse_identifier_expression()
         raise SQLSyntaxError(f"unexpected token {token.value!r} in expression")
+
+    def parse_parameter(self) -> Parameter:
+        """Consume a ``?`` / ``:name`` token, enforcing unmixed styles."""
+        token = self.advance()
+        if token.value is None:
+            if self.named_parameters:
+                raise SQLSyntaxError(
+                    "cannot mix positional '?' and named ':name' parameters"
+                )
+            parameter = Parameter(self.positional_parameters)
+            self.positional_parameters += 1
+            return parameter
+        if self.positional_parameters:
+            raise SQLSyntaxError(
+                "cannot mix positional '?' and named ':name' parameters"
+            )
+        self.named_parameters = True
+        return Parameter(str(token.value))
 
     def parse_identifier_expression(self) -> Expression:
         name = self.expect_identifier()

@@ -21,7 +21,7 @@ from repro.db.sql.lexer import SQLSyntaxError
 from repro.semirings import NATURAL
 from repro.incomplete.tidb import TIDatabase
 
-ENGINES = ["row", "columnar"]
+ENGINES = ["row", "columnar", "sqlite"]
 
 GEO_QUERY = (
     "SELECT a.id, l.locale, l.state FROM ADDR a, LOC l "
@@ -373,3 +373,142 @@ def test_connect_exported_at_package_root():
     assert repro.connect is connect
     assert isinstance(repro.connect(), Connection)
     assert repro.PreparedStatement is PreparedStatement
+
+
+# ---------------------------------------------------------------------------
+# Parameterized LIMIT.
+# ---------------------------------------------------------------------------
+
+def test_parameterized_limit_positional(engine):
+    conn = connect(engine=engine)
+    conn.execute("CREATE TABLE t (a INT)")
+    conn.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(10)])
+    statement = conn.prepare("SELECT a FROM t ORDER BY a DESC LIMIT ?")
+    assert statement.execute([3]).rows() == [(7,), (8,), (9,)]
+    assert statement.execute([1]).rows() == [(9,)]
+    assert statement.execute([0]).rows() == []
+
+
+def test_parameterized_limit_named(engine):
+    conn = connect(engine=engine)
+    conn.execute("CREATE TABLE t (a INT)")
+    conn.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(6)])
+    result = conn.query("SELECT a FROM t WHERE a >= :lo LIMIT :n",
+                        {"lo": 2, "n": 2})
+    assert result.rows() == [(2,), (3,)]
+
+
+def test_parameterized_limit_shares_cached_plan(engine):
+    conn = connect(engine=engine)
+    conn.execute("CREATE TABLE t (a INT)")
+    conn.execute("INSERT INTO t VALUES (1), (2), (3)")
+    conn.query("SELECT a FROM t LIMIT ?", [1])
+    misses = conn.plan_cache.stats()["misses"]
+    conn.query("SELECT a FROM t LIMIT ?", [2])
+    conn.query("SELECT a FROM t LIMIT ?", [3])
+    assert conn.plan_cache.stats()["misses"] == misses
+
+
+def test_parameterized_limit_rejects_non_integers(engine):
+    conn = connect(engine=engine)
+    conn.execute("CREATE TABLE t (a INT)")
+    conn.execute("INSERT INTO t VALUES (1)")
+    from repro.db.engine.base import EvaluationError
+
+    with pytest.raises(EvaluationError, match="integer row count"):
+        conn.query("SELECT a FROM t LIMIT ?", ["three"])
+    with pytest.raises(ParameterError):
+        conn.query("SELECT a FROM t LIMIT ?")
+
+
+def test_limit_literal_still_rejects_non_integer_tokens():
+    with pytest.raises(SQLSyntaxError, match="LIMIT requires"):
+        connect().query("SELECT 1 FROM t LIMIT 'x'")
+
+
+# ---------------------------------------------------------------------------
+# Shared plan cache.
+# ---------------------------------------------------------------------------
+
+def _fresh_shared(name, **kwargs):
+    """Connections with a unique shared-cache key per test run."""
+    return connect(name=name, shared_cache=True, **kwargs)
+
+
+def test_shared_cache_is_shared_by_name():
+    a = _fresh_shared("shared-by-name")
+    b = _fresh_shared("shared-by-name")
+    other = _fresh_shared("different-name")
+    assert a.plan_cache is b.plan_cache
+    assert a.plan_cache is not other.plan_cache
+    assert connect(name="shared-by-name").plan_cache is not a.plan_cache
+
+
+def test_shared_cache_serves_warm_hits_across_connections():
+    a = _fresh_shared("shared-warm")
+    b = _fresh_shared("shared-warm")
+    for conn in (a, b):
+        conn.execute("CREATE TABLE t (x INT)")
+        conn.execute("INSERT INTO t VALUES (1), (2)")
+    hits = a.plan_cache.stats()["hits"]
+    assert a.query("SELECT x FROM t WHERE x > ?", [0]).rows() == [(1,), (2,)]
+    assert b.query("SELECT x FROM t WHERE x > ?", [1]).rows() == [(2,)]
+    # The second connection's identical statement is a warm hit.
+    assert a.plan_cache.stats()["hits"] > hits
+
+
+def test_shared_cache_registration_invalidates_group():
+    a = _fresh_shared("shared-invalidate")
+    b = _fresh_shared("shared-invalidate")
+    for conn in (a, b):
+        conn.execute("CREATE TABLE t (x INT)")
+    a.query("SELECT x FROM t")
+    version = b.catalog_version
+    b.execute("CREATE TABLE u (y INT)")
+    assert b.catalog_version == version + 1
+    assert a.catalog_version == b.catalog_version  # shared counter
+    invalidations = a.plan_cache.stats()["invalidations"]
+    a.query("SELECT x FROM t")  # stale plan recompiled transparently
+    assert a.plan_cache.stats()["invalidations"] == invalidations + 1
+
+
+def test_shared_cache_survives_connection_close():
+    a = _fresh_shared("shared-close")
+    b = _fresh_shared("shared-close")
+    for conn in (a, b):
+        conn.execute("CREATE TABLE t (x INT)")
+    b.query("SELECT x FROM t")
+    size = len(b.plan_cache)
+    a.close()
+    assert len(b.plan_cache) == size
+    assert b.query("SELECT x FROM t").rows() == []
+
+
+def test_shared_cache_concurrent_cursors_are_safe():
+    import threading
+
+    connections = [_fresh_shared("shared-threads") for _ in range(4)]
+    for conn in connections:
+        conn.execute("CREATE TABLE t (x INT)")
+        conn.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(20)])
+    errors = []
+
+    def worker(conn, lo):
+        try:
+            for i in range(30):
+                rows = conn.execute(
+                    "SELECT x FROM t WHERE x >= ?", [(lo + i) % 20]
+                ).fetchall()
+                assert rows == [(x,) for x in range((lo + i) % 20, 20)]
+        except Exception as exc:  # pragma: no cover - surfaced via errors
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(conn, i * 3))
+        for i, conn in enumerate(connections)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
