@@ -1,0 +1,204 @@
+"""Persistent on-disk store vs in-memory sessions (repro.api.store).
+
+Measures the three costs the storage layer introduces -- and the one it
+removes:
+
+* **open (cold)** -- ``repro.connect(path)`` on an existing store: read the
+  catalog, load the relations, ready to serve.  This replaces re-registering
+  every source on process start.
+* **insert (append)** -- SQL-level ``INSERT`` throughput into a loaded
+  store-backed table.  The store appends incrementally (one ``INSERT`` into
+  the WAL file), never rewriting the loaded ``Enc`` table, so the overhead
+  over an in-memory insert is one durable write.
+* **query (warm)** -- prepared-statement throughput on the ``sqlite``
+  engine: store-backed execution attaches to the ``.uadb`` file directly
+  (no encode-and-load), so warm query latency must stay comparable to the
+  in-memory configuration.
+* **pooled reads** -- N threads fanning the same prepared query through a
+  :class:`repro.api.pool.ConnectionPool` (per-thread WAL connections).
+
+Results go to ``BENCH_store.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py          # full run
+    PYTHONPATH=src python benchmarks/bench_store.py --quick  # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import os
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_api import N_ORDERS, build_session  # noqa: E402  (shared workload)
+
+from repro.api import connect  # noqa: E402
+from repro.api.pool import ConnectionPool  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+QUERY = ("SELECT o.oid, c.name, p.label FROM orders o, customers c, products p "
+         "WHERE o.cid = c.cid AND o.pid = p.pid AND o.oid = ?")
+
+
+def _store_path(directory: str) -> str:
+    return os.path.join(directory, "bench.uadb")
+
+
+def _build_store(directory: str) -> str:
+    """Materialize the bench_api workload into a .uadb file, once."""
+    path = _store_path(directory)
+    memory = build_session("sqlite")
+    disk = connect(path, engine="sqlite", name="shop")
+    disk.register_ua_database(memory.uadb)
+    disk.close()
+    memory.close()
+    return path
+
+
+def _measure_open(path: str, iterations: int) -> float:
+    started = time.perf_counter()
+    for index in range(iterations):
+        conn = connect(path, engine="sqlite", name=f"open{index}")
+        conn.close()
+    return (time.perf_counter() - started) / iterations
+
+
+def _measure_inserts(conn, table: str, count: int, offset: int = 0) -> float:
+    statement = conn.prepare(f"INSERT INTO {table} VALUES (?, ?)")
+    started = time.perf_counter()
+    for index in range(count):
+        statement.execute([offset + index, f"row{index}"])
+    return (time.perf_counter() - started) / count
+
+
+def _measure_queries(conn, iterations: int, seed: int = 3) -> float:
+    rng = random.Random(seed)
+    statement = conn.prepare(QUERY)
+    statement.execute([0])  # absorb the compile miss
+    started = time.perf_counter()
+    for _ in range(iterations):
+        statement.execute([rng.randrange(N_ORDERS)])
+    return (time.perf_counter() - started) / iterations
+
+
+def _measure_pooled_reads(path: str, threads: int, per_thread: int) -> float:
+    pool = ConnectionPool(path, engine="sqlite", name="shop",
+                          max_connections=threads)
+    with pool.connection() as conn:
+        conn.query(QUERY, [0])  # warm the shared plan cache
+    barrier = threading.Barrier(threads)
+
+    def reader(seed: int) -> None:
+        rng = random.Random(seed)
+        barrier.wait()
+        for _ in range(per_thread):
+            with pool.connection() as conn:
+                conn.query(QUERY, [rng.randrange(N_ORDERS)])
+
+    workers = [threading.Thread(target=reader, args=(i,)) for i in range(threads)]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+    pool.close()
+    return elapsed / (threads * per_thread)
+
+
+def run_benchmark(iterations: int = 300, opens: int = 20,
+                  threads: int = 4) -> Dict:
+    with tempfile.TemporaryDirectory(prefix="uadb-bench-") as directory:
+        path = _build_store(directory)
+
+        disk = connect(path, engine="sqlite", name="shop")
+        memory = build_session("sqlite")
+        for conn in (disk, memory):
+            conn.execute("CREATE TABLE bench_rows (k INT, label TEXT)")
+
+        # Sanity: both configurations serve identical labeled results.
+        if (disk.query(QUERY, [1]).labeled_rows()
+                != memory.query(QUERY, [1]).labeled_rows()):
+            raise AssertionError("disk and memory configurations diverge")
+
+        report = {
+            "workload": "bench_api shop TI-DB persisted to a .uadb store",
+            "python": platform.python_version(),
+            "measurements": {
+                "open_seconds": _measure_open(path, opens),
+                "insert_memory_seconds": _measure_inserts(
+                    memory, "bench_rows", iterations
+                ),
+                "insert_disk_seconds": _measure_inserts(
+                    disk, "bench_rows", iterations
+                ),
+                "query_memory_seconds": _measure_queries(memory, iterations),
+                "query_disk_seconds": _measure_queries(disk, iterations),
+                "pooled_read_seconds": _measure_pooled_reads(
+                    path, threads, max(iterations // threads, 10)
+                ),
+            },
+        }
+        appends = disk.store.appends
+        loads = disk.store.loads
+        disk.close()
+        memory.close()
+    measurements = report["measurements"]
+    report["summary"] = {
+        "insert_overhead_x": (measurements["insert_disk_seconds"]
+                              / measurements["insert_memory_seconds"]),
+        "query_overhead_x": (measurements["query_disk_seconds"]
+                             / measurements["query_memory_seconds"]),
+        "store_appends": appends,
+        "store_full_rewrites": loads,
+    }
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations (CI smoke run)")
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+    iterations = args.iterations or (60 if args.quick else 300)
+    report = run_benchmark(iterations=iterations,
+                           opens=5 if args.quick else 20)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    measurements = report["measurements"]
+    print(f"open (cold):   {measurements['open_seconds'] * 1e3:7.3f} ms")
+    print(f"insert memory: {measurements['insert_memory_seconds'] * 1e3:7.3f} ms"
+          f"   disk: {measurements['insert_disk_seconds'] * 1e3:7.3f} ms"
+          f"   ({report['summary']['insert_overhead_x']:.2f}x)")
+    print(f"query  memory: {measurements['query_memory_seconds'] * 1e3:7.3f} ms"
+          f"   disk: {measurements['query_disk_seconds'] * 1e3:7.3f} ms"
+          f"   ({report['summary']['query_overhead_x']:.2f}x)")
+    print(f"pooled read:   {measurements['pooled_read_seconds'] * 1e3:7.3f} ms")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_bench_store_smoke():
+    """The benchmark runs; inserts append (never rewrite the loaded table)."""
+    report = run_benchmark(iterations=15, opens=2, threads=2)
+    assert report["measurements"]["open_seconds"] > 0
+    assert report["summary"]["store_appends"] >= 15
+    # The insert path appends incrementally: loads cover only registration.
+    assert report["summary"]["store_full_rewrites"] <= 6
+
+
+if __name__ == "__main__":
+    sys.exit(main())

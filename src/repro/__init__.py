@@ -18,17 +18,29 @@ The package is organized bottom-up:
 * :mod:`repro.experiments` -- one module per table/figure of the paper.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core import UADatabase, UADBFrontend, UARelation
-from repro.api import Connection, Cursor, PreparedStatement, UAQueryResult, connect
+from repro.api import (
+    Connection,
+    ConnectionPool,
+    Cursor,
+    PreparedStatement,
+    StoreError,
+    UADBStore,
+    UAQueryResult,
+    connect,
+)
 
 __all__ = [
     "Connection",
+    "ConnectionPool",
     "Cursor",
     "PreparedStatement",
+    "StoreError",
     "UADatabase",
     "UADBFrontend",
+    "UADBStore",
     "UAQueryResult",
     "UARelation",
     "connect",

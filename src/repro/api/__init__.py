@@ -8,10 +8,15 @@ A DB-API-2.0-flavored front door to UA-DBs (see :mod:`repro.api.session`):
 * statements support ``?`` / ``:name`` parameter placeholders,
 * every compiled plan lands in an LRU :class:`PlanCache`, so repeated and
   prepared statements skip the parse -> rewrite -> optimize front half of
-  the pipeline entirely.
+  the pipeline entirely,
+* ``repro.connect("file.uadb")`` backs the session with a persistent
+  on-disk :class:`UADBStore` (WAL-mode SQLite; data survives the process),
+* :class:`ConnectionPool` serves one shared store/catalog/plan-cache to
+  many threads through bounded, thread-safe pooled connections.
 """
 
 from repro.api.cache import PlanCache, SharedPlanCache, shared_plan_cache
+from repro.api.store import StoreError, UADBStore, UnstorableRelationError
 from repro.api.session import (
     Connection,
     Cursor,
@@ -21,16 +26,29 @@ from repro.api.session import (
     UAQueryResult,
     connect,
 )
+from repro.api.pool import (
+    ConnectionPool,
+    PooledConnection,
+    PoolError,
+    PoolTimeout,
+)
 
 __all__ = [
     "Connection",
+    "ConnectionPool",
     "Cursor",
     "PlanCache",
+    "PooledConnection",
+    "PoolError",
+    "PoolTimeout",
     "PreparedPlan",
     "PreparedStatement",
     "SessionError",
     "SharedPlanCache",
+    "StoreError",
+    "UADBStore",
     "UAQueryResult",
+    "UnstorableRelationError",
     "connect",
     "shared_plan_cache",
 ]

@@ -95,9 +95,15 @@ class SharedPlanCache(PlanCache):
     owns the *catalog version counter* for the connections sharing it: each
     registration / DDL on any sharing connection calls
     :meth:`bump_catalog_version`, so a plan compiled by one connection is
-    transparently invalidated for all of them.  Obtained via
-    :func:`shared_plan_cache` (one cache per ``(catalog name, semiring)``
-    pair) when ``repro.connect(..., shared_cache=True)`` is used.
+    transparently invalidated for all of them.  Two ways to get one:
+
+    * :func:`shared_plan_cache` -- the process-wide registry, one cache per
+      ``(catalog name, semiring)`` pair, used by
+      ``repro.connect(..., shared_cache=True)``;
+    * a private instance injected into every pooled connection by
+      :class:`repro.api.pool.ConnectionPool` (``plan_cache=`` on
+      ``Connection``), so one pool shares plans -- and invalidation --
+      without leaking them to unrelated connections.
     """
 
     def __init__(self, max_size: int = 128) -> None:

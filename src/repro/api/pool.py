@@ -1,0 +1,274 @@
+"""A thread-safe connection pool sharing one UA-database.
+
+:class:`ConnectionPool` is the multi-client front door the session layer was
+missing: where plain :func:`repro.connect` gives every caller a private copy
+of the registered sources, a pool hands out bounded
+:class:`PooledConnection` handles that all share
+
+* **one set of sources** -- the same :class:`~repro.core.uadb.UADatabase`
+  and encoded :class:`~repro.db.database.Database` objects, so a
+  registration or ``INSERT`` through any handle is immediately visible to
+  all of them,
+* **one prepared-plan cache** -- a pool-private, lock-guarded
+  :class:`~repro.api.cache.SharedPlanCache`: each distinct statement is
+  compiled once for the whole pool, and any DDL invalidates every handle's
+  cached plans at once (no stale hits after catalog bumps),
+* **one persistent store** (optional) -- pass a ``.uadb`` path and the pool
+  opens a single WAL-mode :class:`~repro.api.store.UADBStore` whose
+  per-thread ``sqlite3`` connections let pooled readers run in parallel.
+
+Consistency model: statements take a readers-writer lock.  Queries
+(``SELECT``) acquire it shared -- any number run concurrently; DDL/DML
+(``CREATE TABLE`` / ``INSERT`` / source registration) acquire it exclusively,
+so every write is atomic with respect to readers and other writers and the
+interleaving is serializable (N threads hammering one pool produce exactly
+the rows a serial run would).
+
+Example::
+
+    pool = ConnectionPool("inventory.uadb", engine="sqlite", max_connections=8)
+    with pool.connection() as conn:
+        conn.execute("CREATE TABLE t (a INT, b TEXT)")
+        conn.execute("INSERT INTO t VALUES (?, ?)", [1, "x"])
+    with pool.connection() as conn:              # any thread, same data
+        print(conn.query("SELECT a, b FROM t").labeled_rows())
+    pool.close()
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.semirings import Semiring
+from repro.api.cache import SharedPlanCache
+from repro.api.session import Connection, SessionError
+
+__all__ = ["ConnectionPool", "PooledConnection", "PoolError", "PoolTimeout", "RWLock"]
+
+
+class PoolError(SessionError):
+    """Raised for misuse of a connection pool (closed pool, released handle)."""
+
+
+class PoolTimeout(PoolError):
+    """Raised when no pooled connection became available within the timeout."""
+
+
+class RWLock:
+    """A writer-preferring readers-writer lock (not reentrant).
+
+    Any number of readers hold the lock together; writers are exclusive.
+    Arriving writers block *new* readers, so a steady stream of queries
+    cannot starve an ``INSERT``.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer = False
+                self._condition.notify_all()
+
+
+class PooledConnection:
+    """A checkout handle on the pool's shared connection.
+
+    Exposes the full :class:`~repro.api.session.Connection` surface by
+    delegation; :meth:`close` (or leaving the ``with`` block) returns the
+    handle to the pool instead of closing the underlying session, after
+    which any further use raises :class:`PoolError`.
+    """
+
+    __slots__ = ("_pool", "_core", "_released")
+
+    def __init__(self, pool: "ConnectionPool", core: Connection) -> None:
+        self._pool = pool
+        self._core = core
+        self._released = False
+
+    def close(self) -> None:
+        """Return this handle to the pool (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._pool._release()
+
+    #: DB-API-agnostic alias for :meth:`close`.
+    release = close
+
+    @property
+    def closed(self) -> bool:
+        return self._released or self._core.closed
+
+    def __enter__(self) -> "PooledConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getattr__(self, item: str):
+        if object.__getattribute__(self, "_released"):
+            raise PoolError(
+                "pooled connection was already returned to the pool; "
+                "acquire a new one"
+            )
+        return getattr(self._core, item)
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "acquired"
+        return f"<PooledConnection {state} of {self._pool!r}>"
+
+
+class ConnectionPool:
+    """A bounded pool of thread-safe connections over one shared UA-DB.
+
+    ``store`` may be a ``.uadb`` path (or an open
+    :class:`~repro.api.store.UADBStore`) for durable data, or None for a
+    purely in-memory pool.  ``max_connections`` bounds concurrent checkouts;
+    :meth:`acquire` blocks (optionally with a timeout) once the pool is
+    exhausted.  ``semiring``/``engine``/``optimize`` follow the same
+    precedence rules as :func:`repro.connect`.
+    """
+
+    def __init__(self, store: Optional[object] = None,
+                 semiring: Optional[Semiring] = None,
+                 name: str = "uadb",
+                 engine: Optional[object] = None,
+                 optimize: Optional[bool] = None,
+                 cache_size: int = 256,
+                 max_connections: int = 8,
+                 create: bool = True) -> None:
+        if max_connections < 1:
+            raise PoolError("max_connections must be at least 1")
+        self.max_connections = max_connections
+        self.plan_cache = SharedPlanCache(cache_size)
+        self._rwlock = RWLock()
+        self._semaphore = threading.BoundedSemaphore(max_connections)
+        self._state_lock = threading.Lock()
+        self._in_use = 0
+        self._acquired_total = 0
+        self._closed = False
+        self._core = Connection(
+            semiring=semiring, name=name, engine=engine, optimize=optimize,
+            store=store, create=create, plan_cache=self.plan_cache,
+            locking=self._rwlock,
+        )
+
+    # -- checkout lifecycle -------------------------------------------------------
+
+    def acquire(self, timeout: Optional[float] = None) -> PooledConnection:
+        """Check out a pooled connection, blocking while the pool is full.
+
+        With ``timeout`` (seconds), raises :class:`PoolTimeout` if no handle
+        frees up in time.
+        """
+        if self._closed:
+            raise PoolError("connection pool is closed")
+        if timeout is None:
+            acquired = self._semaphore.acquire()
+        else:
+            acquired = self._semaphore.acquire(timeout=timeout)
+        if not acquired:
+            raise PoolTimeout(
+                f"no pooled connection became available within {timeout}s "
+                f"({self.max_connections} in use)"
+            )
+        if self._closed:  # closed while we were waiting
+            self._semaphore.release()
+            raise PoolError("connection pool is closed")
+        with self._state_lock:
+            self._in_use += 1
+            self._acquired_total += 1
+        return PooledConnection(self, self._core)
+
+    def _release(self) -> None:
+        with self._state_lock:
+            self._in_use -= 1
+        self._semaphore.release()
+
+    @contextmanager
+    def connection(self, timeout: Optional[float] = None) -> Iterator[PooledConnection]:
+        """``with pool.connection() as conn:`` -- acquire and auto-release."""
+        handle = self.acquire(timeout)
+        try:
+            yield handle
+        finally:
+            handle.close()
+
+    # -- shared state -------------------------------------------------------------
+
+    @property
+    def store(self):
+        """The shared persistent store, or None for an in-memory pool."""
+        return self._core.store
+
+    @property
+    def semiring(self) -> Semiring:
+        return self._core.semiring
+
+    def stats(self) -> Dict[str, Any]:
+        """Pool, plan-cache and store counters in one snapshot."""
+        with self._state_lock:
+            stats: Dict[str, Any] = {
+                "max_connections": self.max_connections,
+                "in_use": self._in_use,
+                "acquired_total": self._acquired_total,
+            }
+        stats["plan_cache"] = self.plan_cache.stats()
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        return stats
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the pool: the shared session, its store, and the plan cache."""
+        self._closed = True
+        self._core.close()
+        self.plan_cache.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{self._in_use}/{self.max_connections} in use"
+        backing = self._core.store.path if self._core.store is not None else "memory"
+        return f"<ConnectionPool {backing!r} {state}>"

@@ -23,7 +23,12 @@ transparently (see :class:`~repro.api.cache.PlanCache`).
 
 from __future__ import annotations
 
+import logging
+import os
+import re
 import time
+import uuid
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -50,10 +55,30 @@ from repro.core.uadb import UADatabase, UARelation
 from repro.incomplete.ctable import CTableDatabase
 from repro.incomplete.tidb import TIDatabase
 from repro.incomplete.xdb import XDatabase
+from repro.api.store import (
+    STORE_DIR_ENV_VAR, StoreError, UADBStore, UnstorableRelationError,
+)
+
+logger = logging.getLogger(__name__)
 
 
 class SessionError(RuntimeError):
     """Raised for misuse of the session API (closed connections, bad ops)."""
+
+
+class _NoLocking:
+    """Single-connection default: ``read()``/``write()`` are no-op contexts.
+
+    A :class:`~repro.api.pool.ConnectionPool` swaps in a real
+    readers-writer lock so pooled handles can run queries concurrently
+    while DDL/DML stays exclusive.
+    """
+
+    def read(self):
+        return nullcontext()
+
+    def write(self):
+        return nullcontext()
 
 
 #: SQL type names accepted by ``CREATE TABLE``.
@@ -155,48 +180,159 @@ class Connection:
     the same precedence rules as the rest of the stack (explicit argument,
     then ``REPRO_ENGINE`` / ``REPRO_OPTIMIZE``, then defaults) and apply to
     every statement executed through the connection.
+
+    ``store`` makes the session durable: a ``.uadb`` path (or an open
+    :class:`~repro.api.store.UADBStore`) backs the encoded relations with an
+    on-disk WAL-mode SQLite file, so registered sources, ``CREATE TABLE``
+    and ``INSERT`` survive the process and a later connection reopens them
+    (see :mod:`repro.api.store`).  Opening an existing store adopts its
+    persisted semiring when ``semiring`` is left unset.
     """
 
-    def __init__(self, semiring: Semiring = NATURAL, name: str = "uadb",
+    def __init__(self, semiring: Optional[Semiring] = None, name: str = "uadb",
                  engine: Optional[object] = None,
                  optimize: Optional[bool] = None,
                  cache_size: int = 128,
-                 shared_cache: bool = False) -> None:
-        from repro.api.cache import PlanCache, shared_plan_cache
+                 shared_cache: bool = False,
+                 store: Optional[object] = None,
+                 create: bool = True,
+                 plan_cache: Optional[object] = None,
+                 locking: Optional[object] = None) -> None:
+        from repro.api.cache import PlanCache, SharedPlanCache, shared_plan_cache
 
-        self.semiring = semiring
         self.name = name
         #: Execution engine used for every statement (None = default engine).
         self.engine = engine
         #: Optimizer toggle for every statement (None = default behaviour).
         self.optimize = optimize
+        #: Read/write gate for statements; a no-op unless a pool injects a
+        #: real readers-writer lock.
+        self._locking = locking if locking is not None else _NoLocking()
+        #: Persistent backing store, or None for a purely in-memory session.
+        self.store: Optional[UADBStore] = None
+        self._owns_store = False
+        self._store_auto = False
+        if store is None:
+            store = self._auto_store_path(name, semiring)
+        if isinstance(store, UADBStore):
+            if semiring is not None and semiring.name != store.semiring.name:
+                raise StoreError(
+                    f"store {store.path!r} uses semiring {store.semiring.name}, "
+                    f"not {semiring.name}"
+                )
+            self.store = store
+        elif store is not None:
+            self.store = UADBStore(store, semiring=semiring, create=create)
+            self._owns_store = True
+        if self.store is not None:
+            semiring = self.store.semiring
+        elif semiring is None:
+            semiring = NATURAL
+        self.semiring = semiring
         self.uadb = UADatabase(semiring, name, engine=engine)
         #: The encoded backing store the rewritten queries run against.
         self.encoded = Database(semiring, f"{name}_enc", engine=engine)
-        #: True when the plan cache (and catalog version counter) is the
-        #: process-wide one shared by every ``shared_cache=True`` connection
-        #: to this (name, semiring) catalog.
-        self.shared_cache = bool(shared_cache)
+        #: Marks the encoded database as store-backed: the SQLite execution
+        #: engine then attaches to the store file instead of loading copies.
+        self.encoded.store = self.store
+        #: True when the plan cache (and catalog version counter) is shared
+        #: with other connections -- either the process-wide registry cache
+        #: (``shared_cache=True``) or a pool-injected one.
+        self.shared_cache = bool(shared_cache) or plan_cache is not None
         #: Prepared-plan cache; inspect ``plan_cache.stats()`` for hit rates.
-        if self.shared_cache:
+        if plan_cache is not None:
+            self.plan_cache = plan_cache
+        elif shared_cache:
             self.plan_cache = shared_plan_cache(name, semiring.name, cache_size)
         else:
             self.plan_cache = PlanCache(cache_size)
         self._local_catalog_version = 0
         self._closed = False
+        if self.store is not None:
+            self._load_from_store()
+
+    @staticmethod
+    def _slug(name: str) -> str:
+        return re.sub(r"[^A-Za-z0-9_.-]+", "_", name) or "uadb"
+
+    def _auto_store_path(self, name: str,
+                         semiring: Optional[Semiring]) -> Optional[str]:
+        """A fresh store path under ``REPRO_STORE_DIR`` (CI matrix axis).
+
+        Returns None -- keeping the session in-memory -- when the variable
+        is unset or the requested semiring has no on-disk encoding.
+        """
+        directory = os.environ.get(STORE_DIR_ENV_VAR)
+        if not directory:
+            return None
+        from repro.db.engine.compiler import NotSupportedError, annotation_sql
+
+        try:
+            annotation_sql(semiring if semiring is not None else NATURAL)
+        except NotSupportedError:
+            return None
+        os.makedirs(directory, exist_ok=True)
+        self._store_auto = True
+        return os.path.join(
+            directory, f"{self._slug(name)}-{uuid.uuid4().hex}.uadb"
+        )
+
+    def _load_from_store(self) -> None:
+        """Populate the catalogs from a (possibly pre-existing) store file."""
+        for name in self.store.relation_names():
+            encoded = self.store.load_relation(name)
+            self.encoded.add_relation(encoded)
+            self.uadb.add_relation(
+                decode_relation(encoded, self.uadb.ua_semiring)
+            )
 
     # -- source registration ------------------------------------------------------
 
     def _register(self, relation: UARelation) -> None:
-        self.uadb.add_relation(relation)
-        self.encoded.add_relation(encode_relation(relation))
-        self._bump_catalog_version()
+        with self._locking.write():
+            encoded = encode_relation(relation)
+            name = relation.schema.name
+            if name in self.uadb.database or name in self.encoded:
+                # Duplicate names fail *before* the store write, so a
+                # duplicate registration cannot clobber the persisted table
+                # of the existing relation.
+                raise SchemaError(f"relation {name!r} already exists")
+            # Persist first: if the store refuses the relation (unbindable
+            # values), nothing was registered and the call is retryable.
+            self._persist_relation(encoded)
+            self.uadb.add_relation(relation)
+            self.encoded.add_relation(encoded)
+            self._bump_catalog_version()
+
+    def _persist_relation(self, encoded: KRelation) -> None:
+        """Write a freshly registered relation through to the store."""
+        if self.store is None:
+            return
+        try:
+            self.store.save(encoded)
+        except UnstorableRelationError as error:
+            if not self._store_auto:
+                raise
+            # Auto-enabled stores (REPRO_STORE_DIR) degrade gracefully: the
+            # relation stays queryable in memory, it just won't survive the
+            # process.  Explicit stores surface the failure to the caller.
+            logger.warning(
+                "relation %r holds values the on-disk store cannot persist "
+                "(%s); it will not survive this process",
+                encoded.schema.name, error,
+            )
 
     def _bump_catalog_version(self) -> None:
-        """Advance the catalog version (shared counter when sharing a cache)."""
+        """Advance the catalog version (shared counter when sharing a cache).
+
+        The persisted counter is bumped too, so a process that reopens the
+        store starts from a strictly newer version than any it saw before.
+        """
+        if self.store is not None:
+            self.store.bump_catalog_version()
         if self.shared_cache:
             self.plan_cache.bump_catalog_version()
-        else:
+        elif self.store is None:
             self._local_catalog_version += 1
 
     def register_ua_relation(self, relation: UARelation) -> None:
@@ -247,12 +383,16 @@ class Connection:
     def catalog_version(self) -> int:
         """Monotonic counter bumped by every registration / CREATE TABLE.
 
-        With ``shared_cache=True`` this is the *shared* counter: any sharing
-        connection's registration advances it, invalidating cached plans for
-        the whole group.
+        With a shared plan cache (``shared_cache=True`` or a pool) this is
+        the *shared* counter: any sharing connection's registration advances
+        it, invalidating cached plans for the whole group.  A store-backed
+        connection without a shared cache reads the counter persisted in the
+        store file instead.
         """
         if self.shared_cache:
             return self.plan_cache.catalog_version
+        if self.store is not None:
+            return self.store.catalog_version
         return self._local_catalog_version
 
     # -- lifecycle ----------------------------------------------------------------
@@ -264,14 +404,18 @@ class Connection:
             # A shared cache outlives any one connection: other sessions may
             # still be serving warm hits from it.
             self.plan_cache.clear()
+        if self.store is not None and self._owns_store:
+            self.store.close()
 
     @property
     def closed(self) -> bool:
         return self._closed
 
     def commit(self) -> None:
-        """No-op (the store is in-memory and auto-committed), kept for DB-API shape."""
+        """Flush the persistent store (writes commit eagerly; DB-API shape)."""
         self._check_open()
+        if self.store is not None:
+            self.store.commit()
 
     def __enter__(self) -> "Connection":
         return self
@@ -289,13 +433,20 @@ class Connection:
         return _optimize_default() if self.optimize is None else bool(self.optimize)
 
     def _entry(self, sql: str, mode: str) -> PreparedPlan:
-        """The cached prepared plan for ``sql``; compiles on a miss."""
+        """The cached prepared plan for ``sql``; compiles on a miss.
+
+        Compilation reads both catalogs, so it runs under the read lock: a
+        pooled connection can never compile against catalogs that a
+        concurrent registration (which holds the write lock while mutating
+        the logical and encoded sides in sequence) has half-updated.
+        """
         self._check_open()
         key = (sql, mode, self._optimize_resolved())
-        entry = self.plan_cache.get(key, self.catalog_version)
-        if entry is None:
-            entry = self._compile(sql, mode)
-            self.plan_cache.put(key, entry)
+        with self._locking.read():
+            entry = self.plan_cache.get(key, self.catalog_version)
+            if entry is None:
+                entry = self._compile(sql, mode)
+                self.plan_cache.put(key, entry)
         return entry
 
     def _compile(self, sql: str, mode: str) -> PreparedPlan:
@@ -341,16 +492,17 @@ class Connection:
         if entry.kind == "insert":
             return self._run_insert(entry.statement, params)  # type: ignore[arg-type]
         started = time.perf_counter()
-        if entry.mode == "rewritten":
-            encoded_result = evaluate(entry.plan, self.encoded, engine=self.engine,
-                                      optimize=False, params=params)
-            relation = decode_relation(encoded_result, self.uadb.ua_semiring)
-        else:
-            result = evaluate(entry.plan, self.uadb.database, engine=self.engine,
-                              optimize=False, params=params)
-            relation = UARelation._from_validated(
-                result.schema, self.uadb.ua_semiring, dict(result.items())
-            )
+        with self._locking.read():
+            if entry.mode == "rewritten":
+                encoded_result = evaluate(entry.plan, self.encoded, engine=self.engine,
+                                          optimize=False, params=params)
+                relation = decode_relation(encoded_result, self.uadb.ua_semiring)
+            else:
+                result = evaluate(entry.plan, self.uadb.database, engine=self.engine,
+                                  optimize=False, params=params)
+                relation = UARelation._from_validated(
+                    result.schema, self.uadb.ua_semiring, dict(result.items())
+                )
         elapsed = time.perf_counter() - started
         return UAQueryResult(relation, elapsed)
 
@@ -375,7 +527,7 @@ class Connection:
             schema.index_of(name)  # unknown column names fail fast
         base = self.uadb.base_semiring
         binder = ParameterBinder(params)
-        inserted = 0
+        rows: List[Row] = []
         for row_expressions in statement.rows:
             values = [binder.bind(expression).evaluate(_EMPTY_ENV)
                       for expression in row_expressions]
@@ -386,11 +538,53 @@ class Connection:
                             for attribute in schema.attributes)
             else:
                 row = tuple(values)
-            # Inserted tuples are deterministic facts: certain in every world.
-            ua_relation.add_tuple(row, certain=base.one, determinized=base.one)
-            encoded_relation.add(row + (1,), base.one)
-            inserted += 1
-        return inserted
+            # Validate the whole statement up front so a bad row leaves
+            # neither the in-memory relations nor the store half-updated.
+            rows.append(schema.validate_row(row))
+        # Inserted tuples are deterministic facts: certain in every world.
+        certain_one = self.uadb.ua_semiring.certain_annotation(base.one)
+        with self._locking.write():
+            # Write-ahead: the store accepts (and commits) the rows before
+            # the in-memory mutation, so a refused INSERT (unbindable
+            # values) raises with *no* state change anywhere -- and the
+            # table stays append-only on this path (no wholesale reload).
+            persisted = self._persist_rows(
+                encoded_relation, [(row + (1,), base.one) for row in rows]
+            )
+            for row in rows:
+                # The statement was validated above; skip per-add
+                # re-validation on the hot path.
+                ua_relation.add_validated(row, certain_one)
+                encoded_relation.add_validated(row + (1,), base.one)
+            if persisted:
+                self.store.mark_synced(encoded_relation)
+        return len(rows)
+
+    def _persist_rows(self, encoded_relation: KRelation,
+                      encoded_rows: List[Tuple[Row, Any]]) -> bool:
+        """Durably write inserted rows ahead of the in-memory mutation.
+
+        The hot path is an incremental append; a stale fingerprint
+        (out-of-band mutation of the relation) first degrades to one full
+        rewrite that restores coherence, then appends.  Returns True when
+        the rows reached the store (the caller then advances the
+        fingerprint once memory has caught up).
+        """
+        if self.store is None:
+            return False
+        try:
+            if not self.store.fresh(encoded_relation):
+                self.store.save(encoded_relation)
+            self.store.append(encoded_relation, encoded_rows)
+            return True
+        except UnstorableRelationError as error:
+            if not self._store_auto:
+                raise
+            logger.warning(
+                "INSERT into %r could not be persisted (%s); the rows stay "
+                "queryable in memory only", encoded_relation.schema.name, error,
+            )
+            return False
 
     # -- DB-API-style entry points ------------------------------------------------
 
@@ -469,10 +663,11 @@ class Connection:
         """Answer an already-built logical plan with UA semantics (uncached)."""
         self._check_open()
         started = time.perf_counter()
-        rewritten = rewrite_plan(plan, self.encoded_catalog)
-        encoded_result = evaluate(rewritten, self.encoded, engine=self.engine,
-                                  optimize=self.optimize, params=params)
-        relation = decode_relation(encoded_result, self.uadb.ua_semiring)
+        with self._locking.read():
+            rewritten = rewrite_plan(plan, self.encoded_catalog)
+            encoded_result = evaluate(rewritten, self.encoded, engine=self.engine,
+                                      optimize=self.optimize, params=params)
+            relation = decode_relation(encoded_result, self.uadb.ua_semiring)
         elapsed = time.perf_counter() - started
         return UAQueryResult(relation, elapsed)
 
@@ -486,17 +681,19 @@ class Connection:
         the baseline it exists to measure.
         """
         self._check_open()
-        best_guess = self.uadb.best_guess_database()
-        started = time.perf_counter()
-        plan = parse_query(sql, best_guess.schema)
-        result = evaluate(plan, best_guess, engine=self.engine,
-                          optimize=self.optimize, params=params)
-        elapsed = time.perf_counter() - started
+        with self._locking.read():
+            best_guess = self.uadb.best_guess_database()
+            started = time.perf_counter()
+            plan = parse_query(sql, best_guess.schema)
+            result = evaluate(plan, best_guess, engine=self.engine,
+                              optimize=self.optimize, params=params)
+            elapsed = time.perf_counter() - started
         return result, elapsed
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"{len(self.uadb)} relations"
-        return f"<Connection {self.name!r} [{self.semiring.name}] {state}>"
+        backing = f" store={self.store.path!r}" if self.store is not None else ""
+        return f"<Connection {self.name!r} [{self.semiring.name}] {state}{backing}>"
 
 
 class Cursor:
@@ -706,11 +903,15 @@ class PreparedStatement:
         return f"<PreparedStatement {self.kind} mode={self.mode!r} {self.sql!r}>"
 
 
-def connect(semiring: Semiring = NATURAL, name: str = "uadb",
+def connect(*args: Union[Semiring, str, os.PathLike, UADBStore],
+            semiring: Optional[Semiring] = None,
+            name: str = "uadb",
             engine: Optional[object] = None,
             optimize: Optional[bool] = None,
             cache_size: int = 128,
-            shared_cache: bool = False) -> Connection:
+            shared_cache: bool = False,
+            store: Optional[object] = None,
+            create: bool = True) -> Connection:
     """Open a UA-DB session.
 
     Example::
@@ -724,20 +925,64 @@ def connect(semiring: Semiring = NATURAL, name: str = "uadb",
         result = statement.execute([2])
         print(result.labeled_rows())
 
-    ``semiring`` picks the annotation domain (bag multiplicities by default),
-    ``engine`` the execution backend (``"row"`` / ``"columnar"`` /
-    ``"sqlite"`` / instance), ``optimize`` toggles the logical optimizer,
-    and ``cache_size`` bounds the prepared-plan LRU cache (0 disables
-    caching).
+    Passing a path (or ``store=path``) opens a **persistent** session: the
+    encoded relations live in an on-disk WAL-mode SQLite file and survive
+    the process::
+
+        conn = repro.connect("inventory.uadb", engine="sqlite")
+        conn.execute("CREATE TABLE t (a INT, b TEXT)")
+        conn.execute("INSERT INTO t VALUES (1, 'x')")
+        conn.close()
+
+        conn = repro.connect("inventory.uadb")   # reopens table + rows
+        print(conn.query("SELECT a, b FROM t").labeled_rows())
+
+    ``semiring`` picks the annotation domain (bag multiplicities by default;
+    an existing store's persisted semiring is adopted when unset), ``engine``
+    the execution backend (``"row"`` / ``"columnar"`` / ``"sqlite"`` /
+    instance), ``optimize`` toggles the logical optimizer, ``cache_size``
+    bounds the prepared-plan LRU cache (0 disables caching), and
+    ``create=False`` refuses to initialize a missing store file
+    (:class:`~repro.api.store.StoreError`).
 
     ``shared_cache=True`` opts in to the process-wide
     :class:`~repro.api.cache.SharedPlanCache` for this ``(name, semiring)``
     catalog: every sharing connection serves warm hits from (and invalidates)
-    the same lock-guarded cache, so a pool of connections over one catalog
+    the same lock-guarded cache, so a group of connections over one catalog
     compiles each distinct statement once.  Sharing assumes the connections
     register the same sources; a registration on any of them invalidates the
-    whole group's cached plans.
+    whole group's cached plans.  For sharing the *data* too -- one set of
+    relations served to many threads -- use
+    :class:`repro.api.pool.ConnectionPool`.
     """
+    if len(args) > 2:
+        raise TypeError(
+            f"connect() takes at most two positional arguments (a semiring "
+            f"or store path, then a name), {len(args)} were given"
+        )
+    if args:
+        first = args[0]
+        if isinstance(first, (str, os.PathLike, UADBStore)):
+            if store is not None:
+                raise SessionError(
+                    "pass the store either as the first argument or as "
+                    "store=, not both"
+                )
+            store = first
+        else:
+            if semiring is not None:
+                raise TypeError(
+                    "connect() got multiple values for argument 'semiring'"
+                )
+            semiring = first
+    if len(args) == 2:
+        # Pre-store signature compatibility: connect(semiring, "name").
+        if not isinstance(args[1], str):
+            raise TypeError(
+                f"connect() second positional argument must be the catalog "
+                f"name, got {args[1]!r}"
+            )
+        name = args[1]
     return Connection(semiring=semiring, name=name, engine=engine,
                       optimize=optimize, cache_size=cache_size,
-                      shared_cache=shared_cache)
+                      shared_cache=shared_cache, store=store, create=create)

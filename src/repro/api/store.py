@@ -1,0 +1,527 @@
+"""Persistent on-disk storage for UA-databases: the ``.uadb`` store.
+
+A :class:`UADBStore` is an ordinary SQLite database file holding
+
+* one ``Enc`` data table per registered relation, in exactly the layout the
+  SQLite execution engine queries (type-less data columns ``c0..cN`` -- the
+  last one being the certainty marker ``C`` -- plus the integer annotation
+  column ``a``, one single-column index per data column),
+* a catalog table (``uadb_catalog``) mapping relation names to their encoded
+  schemas (JSON, see :func:`repro.core.encoding.schema_to_metadata`) in
+  registration order,
+* a metadata table (``uadb_meta``) recording the store format version, the
+  base semiring by name, and the monotonically increasing catalog version
+  that prepared-plan caches key their invalidation on.
+
+Because the data tables use the engine layout, a store-backed database needs
+no encode-and-load step: the SQLite execution engine *attaches* to the store
+file and runs compiled queries directly against it (see
+``_PersistentStoreAdapter`` in :mod:`repro.db.engine.sqlite`).  SQL-level
+``INSERT`` through the session appends the new encoded rows incrementally
+(:meth:`UADBStore.append`) and advances the per-relation fingerprint, so the
+loaded table is never rewritten wholesale on the insert path.
+
+Durability and concurrency come from SQLite itself:
+
+* the store runs in **WAL** mode (``synchronous=NORMAL``): readers never
+  block the writer and a crashed process leaves a consistent, reopenable
+  file (the WAL is replayed on the next open);
+* each thread gets its **own** ``sqlite3`` connection
+  (:meth:`UADBStore.connection`), so concurrent readers run in parallel;
+* all writes to one store object serialize behind a process-wide write lock
+  and commit immediately.
+
+Opening anything that is not a UA-DB store -- a missing path, a corrupt
+file, a foreign SQLite database, an incompatible format or semiring --
+raises the typed :class:`StoreError` instead of leaking a raw
+``sqlite3.OperationalError``.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.db.relation import KRelation, Row
+from repro.db.schema import RelationSchema
+from repro.semirings import Semiring
+from repro.db.engine.common import write_enc_table
+from repro.db.engine.compiler import NotSupportedError, annotation_sql, table_name
+from repro.core.encoding import (
+    schema_from_metadata,
+    schema_to_metadata,
+    semiring_from_name,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "STORE_DIR_ENV_VAR",
+    "StoreError",
+    "UADBStore",
+    "UnstorableRelationError",
+]
+
+#: On-disk format version; bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+#: When set, connections without an explicit store persist to a fresh
+#: ``.uadb`` file under this directory (used by the CI on-disk matrix axis).
+STORE_DIR_ENV_VAR = "REPRO_STORE_DIR"
+
+_META_TABLE = "uadb_meta"
+_CATALOG_TABLE = "uadb_catalog"
+
+
+class StoreError(RuntimeError):
+    """A UA-DB store file is missing, corrupt, foreign, or incompatible."""
+
+
+class UnstorableRelationError(StoreError, NotSupportedError):
+    """A relation holds values SQLite cannot store (e.g. nested tuples).
+
+    Doubles as the compiler's :class:`NotSupportedError` so the SQLite
+    execution engine's existing fallback path (columnar, reading the
+    in-memory relation) handles the table transparently.
+    """
+
+
+class _TableFingerprint:
+    """Sync state of one stored relation: which in-memory contents it holds.
+
+    ``relation`` pins object identity (guarding against id reuse) and
+    ``version`` is the relation's mutation counter at the last write.
+    ``error`` records a failed write so later syncs re-raise instead of
+    re-attempting a doomed load.
+    """
+
+    __slots__ = ("relation", "version", "error")
+
+    def __init__(self, relation: KRelation, version: int,
+                 error: Optional[UnstorableRelationError] = None) -> None:
+        self.relation = relation
+        self.version = version
+        self.error = error
+
+    def fresh(self, relation: KRelation) -> bool:
+        return (self.error is None and self.relation is relation
+                and self.version == relation._version)
+
+
+class UADBStore:
+    """One persistent ``.uadb`` file: Enc tables + catalog + metadata.
+
+    ``semiring=None`` adopts the semiring persisted in an existing store
+    (new stores default to N); passing a semiring validates it against an
+    existing store and fixes it for a new one.  ``create=False`` refuses to
+    initialize a missing file.
+    """
+
+    def __init__(self, path: "str | os.PathLike", semiring: Optional[Semiring] = None,
+                 create: bool = True) -> None:
+        self.path = os.fspath(path)
+        self._write_lock = threading.RLock()
+        self._local = threading.local()
+        #: ``(owning thread, connection)`` pairs, pruned of dead threads on
+        #: new checkouts so a long-lived store serving short-lived worker
+        #: threads does not leak file descriptors.
+        self._connections: List[Tuple[threading.Thread, sqlite3.Connection]] = []
+        self._connections_lock = threading.Lock()
+        self._closed = False
+        self._synced: Dict[str, _TableFingerprint] = {}
+        #: Full table (re)writes performed (parity with the engine's counter).
+        self.loads = 0
+        #: Incremental row appends performed.
+        self.appends = 0
+        if not create and not os.path.exists(self.path):
+            raise StoreError(f"no UA-DB store at {self.path!r}")
+        with self._write_lock:
+            self._initialize(self.connection(), semiring)
+
+    # -- connections --------------------------------------------------------------
+
+    def connection(self) -> sqlite3.Connection:
+        """This thread's connection to the store (created on first use)."""
+        if self._closed:
+            raise StoreError(f"store {self.path!r} is closed")
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            try:
+                # ``check_same_thread=False`` only so close() can reap
+                # connections owned by other threads; each connection is
+                # otherwise used exclusively by the thread that created it.
+                connection = sqlite3.connect(self.path, timeout=30.0,
+                                             check_same_thread=False)
+            except sqlite3.Error as exc:
+                raise StoreError(
+                    f"cannot open UA-DB store at {self.path!r}: {exc}"
+                ) from exc
+            try:
+                connection.execute("PRAGMA journal_mode = WAL")
+                connection.execute("PRAGMA synchronous = NORMAL")
+                connection.execute("PRAGMA busy_timeout = 30000")
+                # The evaluator's LIKE is case-sensitive; SQLite's is not.
+                connection.execute("PRAGMA case_sensitive_like = ON")
+            except sqlite3.DatabaseError as exc:
+                connection.close()
+                raise StoreError(
+                    f"{self.path!r} is not a UA-DB store (corrupt or not a "
+                    f"SQLite database): {exc}"
+                ) from exc
+            self._local.connection = connection
+            with self._connections_lock:
+                # Reap connections whose owning thread has exited: the
+                # threading.local slot died with the thread, but the sqlite3
+                # connection (and its file descriptor) would live forever.
+                alive: List[Tuple[threading.Thread, sqlite3.Connection]] = []
+                for thread, existing in self._connections:
+                    if thread.is_alive():
+                        alive.append((thread, existing))
+                    else:
+                        try:
+                            existing.close()
+                        except sqlite3.Error:  # pragma: no cover
+                            pass
+                alive.append((threading.current_thread(), connection))
+                self._connections = alive
+        return connection
+
+    def close(self) -> None:
+        """Close every thread's connection; further use raises StoreError."""
+        self._closed = True
+        with self._connections_lock:
+            for _thread, connection in self._connections:
+                try:
+                    connection.close()
+                except sqlite3.Error:  # pragma: no cover - best-effort reap
+                    pass
+            self._connections.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def commit(self) -> None:
+        """Flush this thread's connection (writes commit eagerly anyway)."""
+        self.connection().commit()
+
+    # -- initialization -----------------------------------------------------------
+
+    def _initialize(self, connection: sqlite3.Connection,
+                    semiring: Optional[Semiring]) -> None:
+        try:
+            tables = {
+                row[0] for row in connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+        except sqlite3.DatabaseError as exc:
+            raise StoreError(
+                f"{self.path!r} is not a UA-DB store (corrupt or not a "
+                f"SQLite database): {exc}"
+            ) from exc
+        if _META_TABLE in tables:
+            self._load_meta(connection, semiring)
+            return
+        if tables:
+            raise StoreError(
+                f"{self.path!r} is a SQLite database but not a UA-DB store "
+                f"(no {_META_TABLE!r} table); refusing to overwrite it"
+            )
+        if semiring is None:
+            from repro.semirings import NATURAL
+            semiring = NATURAL
+        try:
+            self.ops = annotation_sql(semiring)
+        except NotSupportedError as exc:
+            raise StoreError(
+                f"semiring {semiring.name} cannot be persisted: {exc}"
+            ) from exc
+        self.semiring = semiring
+        self._catalog_version = 0
+        connection.execute(
+            f"CREATE TABLE {_META_TABLE} (key TEXT PRIMARY KEY, value TEXT)"
+        )
+        connection.execute(
+            f"CREATE TABLE {_CATALOG_TABLE} ("
+            "name TEXT PRIMARY KEY, position INTEGER NOT NULL, "
+            "schema_json TEXT NOT NULL)"
+        )
+        connection.executemany(
+            f"INSERT INTO {_META_TABLE} (key, value) VALUES (?, ?)",
+            [("format", str(FORMAT_VERSION)),
+             ("semiring", semiring.name),
+             ("catalog_version", "0")],
+        )
+        connection.commit()
+
+    def _load_meta(self, connection: sqlite3.Connection,
+                   semiring: Optional[Semiring]) -> None:
+        meta = dict(connection.execute(
+            f"SELECT key, value FROM {_META_TABLE}"
+        ))
+        try:
+            stored_format = int(meta["format"])
+        except (KeyError, ValueError) as exc:
+            raise StoreError(
+                f"{self.path!r} has no readable store format marker"
+            ) from exc
+        if stored_format != FORMAT_VERSION:
+            raise StoreError(
+                f"{self.path!r} uses store format {stored_format}, this "
+                f"build reads format {FORMAT_VERSION}"
+            )
+        try:
+            stored_semiring = semiring_from_name(meta.get("semiring", ""))
+        except ValueError as exc:
+            raise StoreError(f"{self.path!r}: {exc}") from exc
+        if semiring is not None and semiring.name != stored_semiring.name:
+            raise StoreError(
+                f"store {self.path!r} was created with semiring "
+                f"{stored_semiring.name}, not {semiring.name}"
+            )
+        self.semiring = stored_semiring
+        self.ops = annotation_sql(stored_semiring)
+        self._catalog_version = int(meta.get("catalog_version", "0"))
+
+    # -- catalog ------------------------------------------------------------------
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotonic counter persisted across processes; see meta table."""
+        return self._catalog_version
+
+    def bump_catalog_version(self) -> int:
+        """Advance and persist the catalog version (registration / DDL)."""
+        with self._write_lock:
+            self._catalog_version += 1
+            connection = self.connection()
+            connection.execute(
+                f"UPDATE {_META_TABLE} SET value = ? WHERE key = 'catalog_version'",
+                (str(self._catalog_version),),
+            )
+            connection.commit()
+            return self._catalog_version
+
+    def relation_names(self) -> List[str]:
+        """Display names of the stored relations, in registration order."""
+        return [
+            schema_from_metadata(row[0]).name
+            for row in self.connection().execute(
+                f"SELECT schema_json FROM {_CATALOG_TABLE} ORDER BY position"
+            )
+        ]
+
+    def schema_of(self, name: str) -> RelationSchema:
+        """The persisted (encoded) schema of ``name``."""
+        row = self.connection().execute(
+            f"SELECT schema_json FROM {_CATALOG_TABLE} WHERE name = ?",
+            (name.lower(),),
+        ).fetchone()
+        if row is None:
+            raise StoreError(
+                f"store {self.path!r} has no relation {name!r}"
+            )
+        return schema_from_metadata(row[0])
+
+    def __contains__(self, name: str) -> bool:
+        row = self.connection().execute(
+            f"SELECT 1 FROM {_CATALOG_TABLE} WHERE name = ?", (name.lower(),)
+        ).fetchone()
+        return row is not None
+
+    # -- data ---------------------------------------------------------------------
+
+    def fresh(self, relation: KRelation) -> bool:
+        """True while the stored table still matches ``relation`` exactly."""
+        state = self._synced.get(relation.schema.name.lower())
+        return state is not None and state.fresh(relation)
+
+    def save(self, relation: KRelation) -> None:
+        """Create or replace the Enc table (and catalog entry) for ``relation``.
+
+        Raises :class:`UnstorableRelationError` when the relation holds
+        values SQLite cannot bind; the verdict is remembered so later syncs
+        fail fast (and the execution engine falls back) until the relation
+        actually changes.
+        """
+        key = relation.schema.name.lower()
+        with self._write_lock:
+            connection = self.connection()
+            self._write_table(connection, key, relation)
+            position = connection.execute(
+                f"SELECT position FROM {_CATALOG_TABLE} WHERE name = ?", (key,)
+            ).fetchone()
+            if position is None:
+                position = connection.execute(
+                    f"SELECT COUNT(*) FROM {_CATALOG_TABLE}"
+                ).fetchone()
+            connection.execute(
+                f"INSERT OR REPLACE INTO {_CATALOG_TABLE} "
+                "(name, position, schema_json) VALUES (?, ?, ?)",
+                (key, position[0], schema_to_metadata(relation.schema)),
+            )
+            connection.commit()
+
+    def append(self, relation: KRelation,
+               rows: Iterable[Tuple[Row, Any]]) -> None:
+        """Incrementally INSERT encoded ``(row, annotation)`` pairs.
+
+        Called *before* the in-memory mutation (write-ahead): a failure
+        rolls back and leaves the fingerprint untouched, so a refused
+        append implies no state change anywhere.  After mirroring the rows
+        into the in-memory relation the caller advances the fingerprint
+        with :meth:`mark_synced`, keeping the loaded table append-only on
+        the insert path (never a wholesale rewrite).
+        """
+        key = relation.schema.name.lower()
+        table = table_name(key)
+        placeholders = ", ".join(["?"] * (relation.schema.arity + 1))
+        encode = self.ops.encode
+        with self._write_lock:
+            connection = self.connection()
+            try:
+                connection.executemany(
+                    f"INSERT INTO {table} VALUES ({placeholders})",
+                    (row + (encode(annotation),) for row, annotation in rows),
+                )
+            except (sqlite3.Error, OverflowError, TypeError, ValueError) as exc:
+                connection.rollback()
+                error = UnstorableRelationError(
+                    f"relation {key!r} received values SQLite cannot store: {exc}"
+                )
+                error.__cause__ = exc
+                raise error
+            connection.commit()
+            self.appends += 1
+
+    def mark_synced(self, relation: KRelation) -> None:
+        """Record that the stored table mirrors ``relation`` as it is now.
+
+        The second half of the append protocol: called once the in-memory
+        relation has caught up with the rows already written via
+        :meth:`append`.
+        """
+        with self._write_lock:
+            self._synced[relation.schema.name.lower()] = _TableFingerprint(
+                relation, relation._version
+            )
+
+    def sync(self, name: str, relation: KRelation) -> bool:
+        """Ensure the stored table matches ``relation``; rewrite if stale.
+
+        The staleness fast path is a lock-free fingerprint check (object
+        identity + ``KRelation._version``), so the execution engine pays one
+        dictionary hit per referenced relation per query.  Returns True when
+        a rewrite happened.
+        """
+        key = name.lower()
+        state = self._synced.get(key)
+        if state is not None:
+            if state.fresh(relation):
+                return False
+            if (state.error is not None and state.relation is relation
+                    and state.version == relation._version):
+                raise state.error
+        with self._write_lock:
+            state = self._synced.get(key)
+            if state is not None and state.fresh(relation):
+                return False
+            connection = self.connection()
+            self._write_table(connection, key, relation)
+            if key not in self:
+                # Out-of-band relation (added to the Database directly, not
+                # through a session): give it a catalog entry so it survives.
+                position = connection.execute(
+                    f"SELECT COUNT(*) FROM {_CATALOG_TABLE}"
+                ).fetchone()[0]
+                connection.execute(
+                    f"INSERT INTO {_CATALOG_TABLE} "
+                    "(name, position, schema_json) VALUES (?, ?, ?)",
+                    (key, position, schema_to_metadata(relation.schema)),
+                )
+            connection.commit()
+            return True
+
+    def _write_table(self, connection: sqlite3.Connection, key: str,
+                     relation: KRelation) -> None:
+        """DROP/CREATE the Enc table and bulk-load ``relation`` into it.
+
+        The whole rewrite runs in one transaction: a failure (values SQLite
+        cannot bind) rolls back to the previously persisted table, so a bad
+        in-memory relation can never destroy durable data or leave the
+        catalog pointing at a missing table.
+        """
+        table = table_name(key)
+        cursor = connection.cursor()
+        if not connection.in_transaction:
+            # Python's sqlite3 autocommits DDL; an explicit transaction makes
+            # the DROP inside write_enc_table rollback-able (SQLite DDL is
+            # transactional).
+            cursor.execute("BEGIN IMMEDIATE")
+        try:
+            # Shared physical design with the engine's in-memory loader
+            # (type-less columns, per-column indexes, ANALYZE), so query
+            # plans and performance match the in-memory configuration.
+            write_enc_table(cursor, table, relation.schema.arity,
+                            self.ops.encode, relation.items())
+        except (sqlite3.Error, OverflowError, TypeError, ValueError) as exc:
+            connection.rollback()  # the previously stored table survives
+            error = UnstorableRelationError(
+                f"relation {key!r} holds values SQLite cannot store: {exc}"
+            )
+            error.__cause__ = exc
+            self._synced[key] = _TableFingerprint(
+                relation, relation._version, error
+            )
+            raise error
+        self._synced[key] = _TableFingerprint(relation, relation._version)
+        self.loads += 1
+
+    def load_relation(self, name: str) -> KRelation:
+        """Rebuild the encoded :class:`KRelation` for ``name`` from disk.
+
+        Duplicate stored fragments of one tuple (produced by incremental
+        appends) are consolidated with the semiring's ``plus``.  The loaded
+        relation is fingerprinted as in sync, so the execution engine will
+        not rewrite the table it was just read from.
+        """
+        key = name.lower()
+        schema = self.schema_of(key)
+        decode = self.ops.decode
+        plus = self.semiring.plus
+        data: Dict[Row, Any] = {}
+        try:
+            rows = self.connection().execute(
+                f"SELECT * FROM {table_name(key)}"
+            )
+        except sqlite3.Error as exc:
+            raise StoreError(
+                f"store {self.path!r} is missing the data table for "
+                f"{name!r}: {exc}"
+            ) from exc
+        for row in rows:
+            values = row[:-1]
+            annotation = decode(row[-1])
+            current = data.get(values)
+            data[values] = (annotation if current is None
+                            else plus(current, annotation))
+        relation = KRelation._from_validated(schema, self.semiring, data)
+        self._synced[key] = _TableFingerprint(relation, relation._version)
+        return relation
+
+    # -- observability ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Write counters for observability and tests."""
+        return {
+            "loads": self.loads,
+            "appends": self.appends,
+            "relations": len(self.relation_names()),
+            "catalog_version": self._catalog_version,
+        }
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"v{self._catalog_version}"
+        return f"<UADBStore {self.path!r} [{self.semiring.name}] {state}>"

@@ -14,17 +14,26 @@ boolean (set) variant is provided as well.
 
 from __future__ import annotations
 
-from typing import Optional
+import json
+from typing import Dict, Optional
 
 from repro.db.database import Database
 from repro.db.relation import KRelation
 from repro.db.schema import Attribute, DataType, RelationSchema
-from repro.semirings import Semiring
+from repro.semirings import BOOLEAN, NATURAL, Semiring
 from repro.semirings.ua import UAAnnotation, UASemiring
 from repro.core.uadb import UADatabase, UARelation
 
 #: Name of the certainty marker attribute added by the encoding.
 CERTAINTY_COLUMN = "C"
+
+#: Base semirings whose annotations have a stable on-disk (integer) form,
+#: keyed by their ``name``.  The persistent store records the semiring by
+#: name and resolves it back through this table on reopen.
+STORABLE_SEMIRINGS: Dict[str, Semiring] = {
+    NATURAL.name: NATURAL,
+    BOOLEAN.name: BOOLEAN,
+}
 
 
 def _encoded_schema(schema: RelationSchema) -> RelationSchema:
@@ -99,6 +108,55 @@ def decode_relation(relation: KRelation,
             continue
         data[key] = UAAnnotation(certain, determinized)
     return UARelation._from_validated(schema, ua_semiring, data)
+
+
+# ---------------------------------------------------------------------------
+# Schema / semiring metadata round-trip (persistent ``.uadb`` stores).
+# ---------------------------------------------------------------------------
+
+def semiring_from_name(name: str) -> Semiring:
+    """Resolve a persisted semiring name back to the semiring instance.
+
+    Only semirings with a stable on-disk annotation encoding participate
+    (see :data:`STORABLE_SEMIRINGS`); anything else raises ``ValueError``.
+    """
+    try:
+        return STORABLE_SEMIRINGS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"no storable semiring named {name!r}; storable semirings: "
+            f"{', '.join(sorted(STORABLE_SEMIRINGS))}"
+        ) from exc
+
+
+def schema_to_metadata(schema: RelationSchema) -> str:
+    """Serialize a relation schema to the JSON form kept in a store catalog."""
+    return json.dumps({
+        "name": schema.name,
+        "attributes": [
+            {"name": attribute.name, "type": attribute.data_type.value}
+            for attribute in schema.attributes
+        ],
+    })
+
+
+def schema_from_metadata(text: str) -> RelationSchema:
+    """Rebuild a relation schema from its persisted JSON form.
+
+    Inverse of :func:`schema_to_metadata`: names, attribute order and
+    declared data types all round-trip exactly.
+    """
+    try:
+        document = json.loads(text)
+        return RelationSchema(
+            document["name"],
+            tuple(
+                Attribute(attribute["name"], DataType(attribute["type"]))
+                for attribute in document["attributes"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed schema metadata: {text!r}") from exc
 
 
 def encode(uadb: UADatabase) -> Database:

@@ -50,16 +50,20 @@ class UADBFrontend:
     richer session surface.
     """
 
-    def __init__(self, semiring: Semiring = NATURAL, name: str = "uadb",
+    def __init__(self, semiring: Optional[Semiring] = None, name: str = "uadb",
                  engine: Optional[object] = None,
                  optimize: Optional[bool] = None,
-                 cache_size: int = 0) -> None:
+                 cache_size: int = 0,
+                 store: Optional[object] = None,
+                 create: bool = True) -> None:
         #: The backing session; all state and execution lives here.  The plan
         #: cache defaults to disabled so per-call timings keep the legacy
-        #: (compile-every-time) semantics the experiments measure.
+        #: (compile-every-time) semantics the experiments measure.  ``store``
+        #: (a ``.uadb`` path) makes the front-end persistent; a missing or
+        #: corrupt store path raises :class:`repro.api.StoreError`.
         self.connection = Connection(
             semiring=semiring, name=name, engine=engine, optimize=optimize,
-            cache_size=cache_size,
+            cache_size=cache_size, store=store, create=create,
         )
 
     # -- delegated configuration ---------------------------------------------------
@@ -99,6 +103,11 @@ class UADBFrontend:
     def encoded(self) -> Database:
         """The encoded backing store the rewritten queries run against."""
         return self.connection.encoded
+
+    @property
+    def store(self):
+        """The persistent on-disk store, or None for an in-memory front-end."""
+        return self.connection.store
 
     # -- source registration ------------------------------------------------------
 

@@ -20,7 +20,9 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.db import algebra
-from repro.db.expressions import Column, Expression, FunctionCall, Literal
+from repro.db.expressions import (
+    And, Column, Comparison, Expression, FunctionCall, IsNull, Literal, Or,
+)
 from repro.db.schema import DatabaseSchema
 from repro.core.encoding import CERTAINTY_COLUMN
 
@@ -111,13 +113,12 @@ class _Rewriter:
         if isinstance(plan, algebra.Distinct):
             child, markers = self.rewrite(plan.child)
             child = self._normalize_markers(child, markers)
-            return algebra.Distinct(child), [CERTAINTY_COLUMN]
+            return self._rewrite_distinct(child), [CERTAINTY_COLUMN]
         if isinstance(plan, (algebra.OrderBy,)):
             child, markers = self.rewrite(plan.child)
             return algebra.OrderBy(child, plan.keys), markers
         if isinstance(plan, algebra.Limit):
-            child, markers = self.rewrite(plan.child)
-            return algebra.Limit(child, plan.count), markers
+            return self._rewrite_limit(plan), [CERTAINTY_COLUMN]
         raise RewriteError(
             f"operator {type(plan).__name__} is outside the RA+ fragment supported "
             "by the UA-DB rewriting"
@@ -147,6 +148,106 @@ class _Rewriter:
             else:
                 renamed.append(marker)
         return renamed
+
+    def _rewrite_distinct(self, child: algebra.Operator) -> algebra.Operator:
+        """``[[delta(Q)]]``: one fragment per distinct payload row.
+
+        A naive ``delta`` over the encoding is wrong: ``(t, 1)`` and
+        ``(t, 0)`` are *distinct encoded rows*, so a tuple with both certain
+        and uncertain copies would survive as two fragments and decode to
+        ``[1, 2]`` instead of ``delta([c, d]) = [delta(c), delta(d)]`` (found
+        by the randomized differential harness, ``tests/differential.py``).
+        Group by the payload columns instead, keeping ``MAX(C)``: each
+        distinct tuple yields exactly one fragment, annotated ``1_K``
+        (gamma's group annotation -- exactly ``delta``'s output), marked
+        certain iff *any* of its fragments was.
+        """
+        group_by = self._payload_columns(child, "DISTINCT")
+        certainty = algebra.AggregateFunction(
+            "max", self._marker_column(CERTAINTY_COLUMN), CERTAINTY_COLUMN
+        )
+        return algebra.Aggregate(child, tuple(group_by), (certainty,))
+
+    def _payload_columns(self, plan: algebra.Operator,
+                         operator_name: str) -> List[Tuple[Expression, str]]:
+        """``(column expression, output name)`` for every non-``C`` column.
+
+        Shared by the DISTINCT and LIMIT rewrites, which both need to
+        address the payload (data) columns of an already-normalized encoded
+        plan; colliding names from different inputs are disambiguated the
+        same way :meth:`_normalize_markers` does.
+        """
+        from repro.db.sql.translator import infer_columns
+
+        columns = infer_columns(plan, self.catalog)
+        if columns is None:
+            raise RewriteError(
+                f"cannot rewrite {operator_name} without schema information; "
+                "pass a catalog describing the encoded relations"
+            )
+        payload: List[Tuple[Expression, str]] = []
+        used_names: set = set()
+        for name in columns:
+            if name.split(".")[-1].lower() == CERTAINTY_COLUMN.lower():
+                continue
+            output_name = name.split(".")[-1]
+            if output_name.lower() in used_names:
+                output_name = name.replace(".", "_")
+            used_names.add(output_name.lower())
+            payload.append((self._marker_column(name), output_name))
+        return payload
+
+    #: Qualifier naming the top-k payload subplan inside the LIMIT rewrite.
+    _LIMIT_QUALIFIER = "uadb_limit"
+
+    def _rewrite_limit(self, plan: algebra.Limit) -> algebra.Operator:
+        """``[[LIMIT_k(Q)]]``: the top-k *tuples*, with all their fragments.
+
+        A tuple whose annotation is partially certain (``0 < c < d``)
+        occupies two rows of the encoding -- ``(t, 1)`` and ``(t, 0)`` -- so
+        limiting the encoded relation directly counts fragments, not tuples,
+        and returns fewer payload rows than the direct K_UA evaluation
+        (found by the randomized differential harness).  Rewrite instead as
+
+            T = LIMIT_k(ORDER BY keys(delta(pi_payload([[Q]]))))
+            [[LIMIT_k(Q)]] = pi_{payload, C}([[Q]] join T on payload)
+
+        ``T`` picks the same k tuples the direct evaluation picks (same sort
+        keys over the same payload rows); the join -- null-safe, NULL payload
+        values must match themselves -- then recovers every fragment of each
+        chosen tuple, and delta-annotations of 1 leave the fragment
+        multiplicities untouched.
+        """
+        child = plan.child
+        keys: Tuple = ()
+        if isinstance(child, algebra.OrderBy):
+            keys = child.keys
+            child = child.child
+        inner, markers = self.rewrite(child)
+        inner = self._normalize_markers(inner, markers)
+        payload = self._payload_columns(inner, "LIMIT")
+        top: algebra.Operator = algebra.Distinct(
+            algebra.Projection(inner, tuple(payload))
+        )
+        if keys:
+            top = algebra.OrderBy(top, keys)
+        top = algebra.Qualify(
+            algebra.Limit(top, plan.count), self._LIMIT_QUALIFIER
+        )
+        matches = [
+            Or(
+                Comparison("=", Column(name), Column(name, qualifier=self._LIMIT_QUALIFIER)),
+                And(IsNull(Column(name)),
+                    IsNull(Column(name, qualifier=self._LIMIT_QUALIFIER))),
+            )
+            for _, name in payload
+        ]
+        joined = algebra.Join(inner, top, And(*matches) if matches else None)
+        items = tuple(
+            [(Column(name), name) for _, name in payload]
+            + [(Column(CERTAINTY_COLUMN), CERTAINTY_COLUMN)]
+        )
+        return algebra.Projection(joined, items)
 
     def _certainty_expression(self, markers: List[str]) -> Expression:
         """Combine certainty columns of the inputs: ``min(C1, ..., Cn)``."""

@@ -24,6 +24,13 @@ class Database:
         #: name or instance, or None for the process-wide default (see
         #: :func:`repro.db.engine.get_engine`).
         self.engine = engine
+        #: Optional persistent backing store
+        #: (:class:`repro.api.store.UADBStore`).  When set, the SQLite
+        #: execution engine attaches to the store file directly instead of
+        #: loading a private in-memory copy of the relations.  Copies made
+        #: with :meth:`copy` / :meth:`map_annotations` are in-memory and do
+        #: not inherit it.
+        self.store = None
         self._relations: Dict[str, KRelation] = {}
 
     # -- population ----------------------------------------------------------

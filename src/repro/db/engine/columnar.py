@@ -457,7 +457,20 @@ class _ColumnarExecutor:
 
     def _exec_distinct(self, plan: algebra.Distinct) -> _Batch:
         batch = self._consolidate(self.run(plan.child))
-        return _Batch(batch.schema, batch.columns, self.ops.ones(batch.length),
+        if isinstance(self.semiring, (NaturalSemiring, BooleanSemiring)):
+            # delta of a consolidated (non-zero) N/B annotation is always 1:
+            # keep the vectorized fast path.
+            ann = self.ops.ones(batch.length)
+        else:
+            # Pair/vector semirings need the component-wise delta (a UA pair
+            # [0, d] must stay uncertain after duplicate elimination).
+            delta = self.semiring.delta
+            ann = self.ops.from_annotations(
+                [delta(annotation)
+                 for annotation in self.ops.annotations(batch.ann)],
+                batch.length,
+            )
+        return _Batch(batch.schema, batch.columns, ann,
                       batch.length, consolidated=True)
 
     # -- binary operators -----------------------------------------------------

@@ -197,3 +197,32 @@ def equality_columns(predicate: Optional[Expression],
         elif b_left and a_right and not b_right and not a_left:
             pairs.append((b_left, a_right))
     return pairs
+
+
+def write_enc_table(cursor, table: str, arity: int, encode,
+                    items: Iterable[Tuple[Row, Any]]) -> None:
+    """(Re)build one ``Enc`` table: the shared physical design.
+
+    Used by both the SQLite engine's in-memory loader and the persistent
+    ``.uadb`` store, so the two can never drift apart: type-less columns
+    ``c0..c{arity-1}`` plus the annotation column ``a`` (BLOB affinity --
+    values are stored exactly as bound, no coercion, required for decode
+    fidelity), one single-column index per data column (joins use a real
+    index instead of rebuilding SQLite's automatic one per execution), and
+    ``ANALYZE`` statistics (so the planner only picks an index where it
+    beats a scan).  Transaction management and error handling stay with the
+    caller -- the engine drops a half-loaded in-memory table, the store
+    rolls back to the previously persisted one.
+    """
+    columns = ", ".join([f"c{i}" for i in range(arity)] + ["a"])
+    placeholders = ", ".join(["?"] * (arity + 1))
+    cursor.execute(f"DROP TABLE IF EXISTS {table}")
+    cursor.execute(f"CREATE TABLE {table} ({columns})")
+    cursor.executemany(
+        f"INSERT INTO {table} VALUES ({placeholders})",
+        (row + (encode(annotation),) for row, annotation in items),
+    )
+    base = table.strip('"')
+    for i in range(arity):
+        cursor.execute(f'CREATE INDEX "ix_{base}_{i}" ON {table} (c{i})')
+    cursor.execute("ANALYZE")

@@ -118,10 +118,13 @@ class Evaluator:
 
     def _eval_distinct(self, plan: algebra.Distinct) -> KRelation:
         child = self.run(plan.child)
-        one = child.semiring.one
-        # Every surviving row gets annotation 1_K (never zero), rows are
-        # already validated and distinct by the child's invariant.
-        data = {row: one for row, _annotation in child.items()}
+        delta = child.semiring.delta
+        # Rows are already validated and distinct by the child's invariant;
+        # delta of a stored (non-zero) annotation is non-zero in every
+        # shipped semiring, so the mapping feeds _from_validated directly.
+        # delta is semiring-aware: component-wise for pair/vector semirings
+        # (a UA pair [0, d] stays uncertain), 1_K for scalar ones.
+        data = {row: delta(annotation) for row, annotation in child.items()}
         return KRelation._from_validated(child.schema, child.semiring, data)
 
     # -- binary operators ---------------------------------------------------------

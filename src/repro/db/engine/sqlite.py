@@ -26,6 +26,13 @@ Parameter placeholders pass straight through as SQLite bind parameters
 (``?N`` / ``:name``); the plan is *not* re-bound or re-compiled per
 execution.
 
+**Store-backed databases skip loading entirely**: when ``database.store``
+points at a persistent ``.uadb`` file (see :mod:`repro.api.store`), the
+file already holds every relation in the engine's table layout, so the
+engine attaches to it (per-thread WAL connections, no copy) and staleness
+checks reduce to the store's per-relation fingerprints -- a session-level
+``INSERT`` is an incremental append there, never a whole-table reload.
+
 Plans the compiler cannot express -- unsupported operators or scalar
 functions, semirings without an integer encoding, values or annotations
 SQLite cannot store (e.g. multiplicities beyond 64 bits) -- **fall back**
@@ -48,7 +55,7 @@ from repro.db.expressions import Parameter
 from repro.db.params import ParameterBinder, Params, check_bindings
 from repro.db.relation import KRelation
 from repro.db.engine.base import ExecutionEngine
-from repro.db.engine.common import resolve_limit_count
+from repro.db.engine.common import resolve_limit_count, write_enc_table
 from repro.db.engine.compiler import (
     AnnotationSQL,
     CompiledQuery,
@@ -111,22 +118,12 @@ class _SQLiteStore:
     def _load(self, name: str, relation: KRelation) -> None:
         version = relation._version
         table = table_name(name)
-        columns = ", ".join(
-            [f"c{i}" for i in range(relation.schema.arity)] + ["a"]
-        )
-        placeholders = ", ".join(["?"] * (relation.schema.arity + 1))
-        encode = self.ops.encode
         cursor = self.connection.cursor()
-        cursor.execute(f"DROP TABLE IF EXISTS {table}")
-        # Columns are deliberately type-less (BLOB affinity): SQLite then
-        # stores every value exactly as bound, with no coercion.
-        cursor.execute(f"CREATE TABLE {table} ({columns})")
         try:
-            cursor.executemany(
-                f"INSERT INTO {table} VALUES ({placeholders})",
-                (row + (encode(annotation),)
-                 for row, annotation in relation.items()),
-            )
+            # Shared physical design (type-less columns, per-column indexes,
+            # ANALYZE) with the persistent store: see write_enc_table.
+            write_enc_table(cursor, table, relation.schema.arity,
+                            self.ops.encode, relation.items())
         except (sqlite3.Error, OverflowError, TypeError, ValueError) as exc:
             # Unbindable values (tuples, >64-bit multiplicities, ...): drop
             # the half-loaded table and remember the verdict so the next
@@ -139,21 +136,53 @@ class _SQLiteStore:
             error.__cause__ = exc
             self.tables[name] = _TableState(relation, version, error)
             raise error
-        # One single-column index per data column: joins then use a real
-        # index instead of rebuilding SQLite's automatic index on every
-        # execution (the dominant per-query cost on the join workloads).
-        base = table.strip('"')
-        for i in range(relation.schema.arity):
-            cursor.execute(
-                f'CREATE INDEX "ix_{base}_{i}" ON {table} (c{i})'
-            )
-        # Give the planner real selectivity statistics, so it only uses the
-        # indexes where they beat a scan (unselective range predicates would
-        # otherwise pick an index scan and regress below the full-scan cost).
-        cursor.execute("ANALYZE")
         self.connection.commit()
         self.tables[name] = _TableState(relation, version)
         self.loads += 1
+
+
+class _NullLock:
+    """No-op context: store-backed reads run lock-free (WAL, per-thread
+    connections); the store serializes its own writes internally."""
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+class _PersistentStoreAdapter:
+    """Adapts a persistent ``.uadb`` store to the engine's store interface.
+
+    For a store-backed :class:`Database` (``database.store`` set by a
+    persistent session), there is nothing to encode-and-load: the store file
+    already holds every relation in the engine's ``Enc`` table layout, so
+    the engine attaches to it and runs compiled SQL directly.  ``refresh``
+    degrades to the store's lock-free fingerprint check per relation
+    (rewriting a table only after an out-of-band in-memory mutation), and
+    each thread queries over its own WAL-mode connection, so concurrent
+    readers do not serialize.
+    """
+
+    __slots__ = ("store", "ops", "lock")
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self.ops = store.ops
+        self.lock = _NullLock()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        return self.store.connection()
+
+    @property
+    def loads(self) -> int:
+        return self.store.loads
+
+    def refresh(self, database: Database, names: Tuple[str, ...]) -> None:
+        for name in names:
+            self.store.sync(name, database.relation(name))
 
 
 class SQLiteEngine(ExecutionEngine):
@@ -283,11 +312,15 @@ class SQLiteEngine(ExecutionEngine):
 
     # -- execution helpers ------------------------------------------------------
 
-    def _store(self, database: Database) -> _SQLiteStore:
+    def _store(self, database: Database) -> "_SQLiteStore | _PersistentStoreAdapter":
         with self._lock:
             store = self._stores.get(database)
             if store is None:
-                store = _SQLiteStore(annotation_sql(database.semiring))
+                persistent = getattr(database, "store", None)
+                if persistent is not None:
+                    store = _PersistentStoreAdapter(persistent)
+                else:
+                    store = _SQLiteStore(annotation_sql(database.semiring))
                 self._stores[database] = store
             return store
 

@@ -37,7 +37,16 @@ class KRelation:
 
     def add(self, row: Sequence[Any], annotation: Any = None) -> None:
         """Add ``annotation`` (default 1_K) to the row's current annotation."""
-        row = self.schema.validate_row(row)
+        self.add_validated(self.schema.validate_row(row), annotation)
+
+    def add_validated(self, row: Row, annotation: Any = None) -> None:
+        """Like :meth:`add` for a row already validated against this schema.
+
+        Skips the per-row schema re-validation (the semiring merge and the
+        mutation-counter bump still apply); bulk callers that validate a
+        whole statement up front -- the session's ``INSERT`` path -- use it
+        to avoid paying validation per target relation per row.
+        """
         if annotation is None:
             annotation = self.semiring.one
         self.semiring.check(annotation)

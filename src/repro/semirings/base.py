@@ -142,6 +142,17 @@ class Semiring(ABC):
         """True if ``value`` equals the additive identity."""
         return value == self.zero
 
+    def delta(self, value: Any) -> Any:
+        """Duplicate-elimination annotation: ``0 if value == 0 else 1``.
+
+        Semirings with component structure (pairs, per-world vectors)
+        override this *component-wise*: ``delta`` must commute with their
+        projection homomorphisms (``h(delta(x)) == delta(h(x))``), or
+        duplicate elimination would manufacture certainty -- e.g. the UA
+        pair ``[0, 3]`` must become ``[0, 1]``, not ``1_K = [1, 1]``.
+        """
+        return self.zero if self.is_zero(value) else self.one
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"<Semiring {self.name}>"
 

@@ -71,6 +71,12 @@ class PossibleWorldSemiring(Semiring):
         self._check(b)
         return tuple(self.base.times(x, y) for x, y in zip(a, b))
 
+    def delta(self, value: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Per-world ``delta``: a tuple absent from world ``w`` must stay
+        absent from ``w`` after duplicate elimination."""
+        self._check(value)
+        return tuple(self.base.delta(x) for x in value)
+
     def contains(self, value: Any) -> bool:
         return (
             isinstance(value, tuple)

@@ -55,6 +55,11 @@ class ProductSemiring(Semiring):
         self._check_arity(b)
         return tuple(f.times(x, y) for f, x, y in zip(self.factors, a, b))
 
+    def delta(self, value: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Component-wise ``delta`` (commutes with the factor projections)."""
+        self._check_arity(value)
+        return tuple(f.delta(x) for f, x in zip(self.factors, value))
+
     def contains(self, value: Any) -> bool:
         return (
             isinstance(value, tuple)

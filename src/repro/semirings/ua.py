@@ -97,6 +97,18 @@ class UASemiring(Semiring):
             self.base.times(a.determinized, b.determinized),
         )
 
+    def delta(self, value: UAAnnotation) -> UAAnnotation:
+        """Component-wise ``delta``: ``[delta(c), delta(d)]``.
+
+        The product-semiring default (any non-zero pair -> ``[1, 1]``) would
+        label every surviving duplicate-eliminated tuple certain, breaking
+        c-soundness; component-wise ``delta`` keeps both projection
+        homomorphisms commuting with duplicate elimination.
+        """
+        return UAAnnotation(
+            self.base.delta(value.certain), self.base.delta(value.determinized)
+        )
+
     def contains(self, value: Any) -> bool:
         return (
             isinstance(value, UAAnnotation)

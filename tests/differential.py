@@ -1,0 +1,441 @@
+"""Randomized differential-testing harness across execution configurations.
+
+The harness is the paper's Theorem 7 turned into a property test at system
+scale: the same UA-database is registered into one session per execution
+configuration --
+
+* ``row``       -- the reference interpreter, in memory,
+* ``columnar``  -- vectorized batches, in memory,
+* ``sqlite``    -- plans compiled to SQL over an in-memory ``Enc`` store,
+* ``sqlite-disk`` -- the same compiled SQL executed against a *persistent*
+  on-disk ``.uadb`` store,
+
+-- and a seeded generator produces random SQL statements (selections, joins,
+aggregates, set ops, DISTINCT, ORDER BY/LIMIT, named parameters) that must
+return identical rows, identical annotations **and** identical
+certain/uncertain labels on every configuration.  Statements inside the
+rewriting fragment additionally run through *both* query paths -- the
+Figure 8/9 rewriting over the encoding and native K_UA evaluation -- so
+every query is simultaneously an engine-equivalence and a Theorem 7 check;
+aggregates (outside the rewriting fragment) run on the direct path only.
+
+Determinism and debuggability are the point:
+
+* every query derives from an explicit integer seed -- a failure is
+  reproducible with ``python tests/differential.py --seed N``;
+* on a mismatch the harness *shrinks* the failing query -- greedily dropping
+  WHERE predicates, DISTINCT, ORDER BY/LIMIT and set-op arms while the
+  disagreement persists -- and reports the minimal failing SQL;
+* every seed's outcome is appended to the log file named by
+  ``REPRO_DIFF_LOG`` (uploaded as a CI artifact on failure).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro
+from repro.db.schema import Attribute, DataType, RelationSchema
+from repro.semirings import NATURAL
+from repro.core.uadb import UADatabase, UARelation
+
+__all__ = [
+    "CONFIGS",
+    "Failure",
+    "Query",
+    "build_source",
+    "open_sessions",
+    "random_query",
+    "run_seed",
+    "shrink",
+]
+
+#: The execution configurations every query must agree across.
+CONFIGS: Tuple[str, ...] = ("row", "columnar", "sqlite", "sqlite-disk")
+
+#: Random queries generated per seed (4 configurations each).
+QUERIES_PER_SEED = 5
+
+#: Environment variable naming the seed log (CI uploads it on failure).
+DIFF_LOG_ENV_VAR = "REPRO_DIFF_LOG"
+
+
+# ---------------------------------------------------------------------------
+# Query specification (structured, so the shrinker can drop components).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Query:
+    """A generated SQL statement, kept structured for shrinking.
+
+    ``params`` uses named placeholders only, so dropping a parameterized
+    predicate during shrinking leaves the (surplus-tolerant) bindings valid.
+    """
+
+    select: Tuple[str, ...]
+    source: str
+    where: Tuple[str, ...] = ()
+    group_by: Tuple[str, ...] = ()
+    order_by: Optional[str] = None
+    limit: Optional[str] = None
+    distinct: bool = False
+    union: Optional["Query"] = None
+    params: Optional[Dict[str, object]] = None
+    #: Query paths to cross-check: ``"rewritten"`` (the Figure 8/9 pipeline
+    #: over the encoding) and/or ``"direct"`` (native K_UA evaluation).
+    #: Both where supported -- their agreement is exactly Theorem 7 --
+    #: aggregates are outside the rewriting fragment and run direct only.
+    modes: Tuple[str, ...] = ("rewritten", "direct")
+
+    def to_sql(self) -> str:
+        parts = ["SELECT "]
+        if self.distinct:
+            parts.append("DISTINCT ")
+        parts.append(", ".join(self.select))
+        parts.append(f" FROM {self.source}")
+        if self.where:
+            parts.append(" WHERE " + " AND ".join(self.where))
+        if self.group_by:
+            parts.append(" GROUP BY " + ", ".join(self.group_by))
+        if self.order_by:
+            parts.append(f" ORDER BY {self.order_by}")
+        if self.limit is not None:
+            parts.append(f" LIMIT {self.limit}")
+        sql = "".join(parts)
+        if self.union is not None:
+            sql = f"{sql} UNION ALL {self.union.to_sql()}"
+        return sql
+
+    def __str__(self) -> str:
+        sql = self.to_sql()
+        return f"{sql!r} params={self.params!r}"
+
+
+@dataclass
+class Failure:
+    """One differential disagreement, with its minimized reproduction."""
+
+    seed: int
+    index: int
+    query: Query
+    minimal: Query
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"seed={self.seed} query#{self.index}: {self.detail}\n"
+            f"  original: {self.query}\n"
+            f"  minimal:  {self.minimal}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Generators.
+# ---------------------------------------------------------------------------
+
+
+def build_source(rng: random.Random) -> UADatabase:
+    """A random UA-database over ``r(a, b, v)`` and ``s(a, d)``.
+
+    Tuples carry genuine UA pairs (``certain <= determinized`` bag
+    multiplicities, certainty 0 included), so label agreement is tested, not
+    just row agreement.  NULLs and duplicate rows are generated on purpose.
+    """
+    uadb = UADatabase(NATURAL, "diff")
+    r = UARelation(RelationSchema("r", [
+        Attribute("a", DataType.INTEGER),
+        Attribute("b", DataType.STRING),
+        Attribute("v", DataType.FLOAT),
+    ]), uadb.ua_semiring)
+    for _ in range(rng.randint(2, 25)):
+        row = (
+            rng.randint(0, 6),
+            rng.choice(["x", "y", "z", "xyz", None]),
+            rng.choice([None, 0.5, 1.5, 2.5, 10.0]),
+        )
+        determinized = rng.randint(1, 3)
+        r.add_tuple(row, certain=rng.randint(0, determinized),
+                    determinized=determinized)
+    s = UARelation(RelationSchema("s", [
+        Attribute("a", DataType.INTEGER),
+        Attribute("d", DataType.INTEGER),
+    ]), uadb.ua_semiring)
+    for _ in range(rng.randint(2, 20)):
+        determinized = rng.randint(1, 2)
+        s.add_tuple((rng.randint(0, 6), rng.randint(0, 3)),
+                    certain=rng.randint(0, determinized),
+                    determinized=determinized)
+    uadb.add_relation(r)
+    uadb.add_relation(s)
+    return uadb
+
+
+def random_query(rng: random.Random) -> Query:
+    """One random (always schema-valid) SQL statement over ``r`` and ``s``."""
+    predicates = [
+        f"a {rng.choice(['<', '<=', '=', '>=', '>'])} {rng.randint(0, 6)}",
+        "b IN ({})".format(", ".join(
+            repr(v) for v in rng.sample(["x", "y", "z", "xyz"], rng.randint(1, 3))
+        )),
+        "b IS NOT NULL",
+        "v IS NULL",
+        f"v BETWEEN {rng.choice([0.0, 0.5, 1.0])} AND {rng.choice([1.5, 2.5, 10.0])}",
+        "b LIKE '%x%'",
+        "a >= :lo",
+    ]
+    shape = rng.choice(
+        ["single", "single", "join", "aggregate", "limit", "union", "param"]
+    )
+    if shape == "single":
+        return Query(
+            select=tuple(rng.choice([
+                ("a", "b", "v"), ("b", "a"), ("a", "v * 2 AS v2"),
+                ("CASE WHEN a > 3 THEN 'hi' ELSE 'lo' END AS tier", "a"),
+            ])),
+            source="r",
+            where=tuple(rng.sample(predicates[:-1], rng.randint(1, 2))),
+            distinct=rng.random() < 0.3,
+        )
+    if shape == "join":
+        return Query(
+            select=("r.b", "s.d"),
+            source="r, s",
+            where=("r.a = s.a", rng.choice([
+                f"r.a {rng.choice(['<', '>='])} {rng.randint(0, 6)}",
+                f"s.d >= {rng.randint(0, 3)}",
+                "r.b IS NOT NULL",
+                f"r.a + s.d > {rng.randint(0, 8)}",
+            ])),
+        )
+    if shape == "aggregate":
+        aggregate = rng.choice([
+            ("count(*) AS n",), ("sum(v) AS total",),
+            ("min(v) AS lo", "max(a) AS hi"), ("avg(a) AS mean",),
+        ])
+        return Query(select=("b",) + aggregate, source="r", group_by=("b",),
+                     modes=("direct",))
+    if shape == "limit":
+        limit = rng.choice([str(rng.randint(0, 5)), ":n"])
+        return Query(
+            select=("a", "b"),
+            source="r",
+            order_by=f"a {rng.choice(['ASC', 'DESC'])}, b",
+            limit=limit,
+            # Bind exactly the used placeholder: the session checks argument
+            # counts exactly (surplus named values are a user error).
+            params={"n": rng.randint(0, 5)} if limit == ":n" else None,
+        )
+    if shape == "param":
+        return Query(
+            select=("a", "b"),
+            source="r",
+            where=("a >= :lo",) + tuple(rng.sample(predicates[:-1], 1)),
+            params={"lo": rng.randint(0, 4)},
+        )
+    return Query(
+        select=("a",), source="r", where=("a < 3",),
+        union=Query(select=("d",), source="s",
+                    where=(f"d >= {rng.randint(0, 2)}",)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution and comparison.
+# ---------------------------------------------------------------------------
+
+
+def open_sessions(uadb: UADatabase, seed: int,
+                  store_dir: str) -> List[Tuple[str, "repro.Connection"]]:
+    """One session per configuration, all over the same UA-database."""
+    sessions: List[Tuple[str, repro.Connection]] = []
+    for config in CONFIGS:
+        if config == "sqlite-disk":
+            path = os.path.join(store_dir, f"diff-{seed}.uadb")
+            connection = repro.connect(path, engine="sqlite",
+                                       name=f"diff{seed}-{config}")
+        else:
+            connection = repro.connect(engine=config,
+                                       name=f"diff{seed}-{config}")
+        connection.register_ua_database(uadb)
+        sessions.append((config, connection))
+    return sessions
+
+
+def close_sessions(sessions: Sequence[Tuple[str, "repro.Connection"]]) -> None:
+    for _, connection in sessions:
+        connection.close()
+
+
+def run_query(sessions: Sequence[Tuple[str, "repro.Connection"]],
+              query: Query) -> Optional[str]:
+    """Execute ``query`` on every (configuration, query path) pair.
+
+    Returns a mismatch description, or None on full agreement.  Rewritten
+    and direct results are compared against one shared baseline: engines
+    must agree with each other *and* the rewriting must agree with native
+    K_UA evaluation (Theorem 7).
+    """
+    sql = query.to_sql()
+    outcomes = []
+    for mode in query.modes:
+        for config, connection in sessions:
+            run = (connection.query if mode == "rewritten"
+                   else connection.query_direct)
+            label = f"{config}/{mode}"
+            try:
+                result = run(sql, query.params)
+                outcomes.append((label, result.relation, result.labeled_rows()))
+            except Exception as exc:  # a raise is itself a differential signal
+                outcomes.append((label, "error", f"{type(exc).__name__}: {exc}"))
+    base_label, base_relation, base_labels = outcomes[0]
+    for label, relation, labels in outcomes[1:]:
+        if isinstance(base_relation, str) or isinstance(relation, str):
+            if (isinstance(base_relation, str) != isinstance(relation, str)):
+                return (f"{label} and {base_label} disagree: "
+                        f"{labels!r} vs {base_labels!r}")
+            continue  # both errored identically enough: not a differential
+        if relation != base_relation:
+            return (f"{label} returned a different relation than "
+                    f"{base_label}: {sorted(relation.items(), key=repr)!r} "
+                    f"vs {sorted(base_relation.items(), key=repr)!r}")
+        if labels != base_labels:
+            return (f"{label} labeled rows differently than {base_label}: "
+                    f"{labels!r} vs {base_labels!r}")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shrinking.
+# ---------------------------------------------------------------------------
+
+
+def _candidates(query: Query) -> List[Query]:
+    """Strictly simpler variants of ``query`` (each drops one component)."""
+    simpler: List[Query] = []
+    if query.union is not None:
+        simpler.append(replace(query, union=None))
+    for i in range(len(query.where)):
+        simpler.append(replace(
+            query, where=query.where[:i] + query.where[i + 1:]
+        ))
+    if query.distinct:
+        simpler.append(replace(query, distinct=False))
+    if query.limit is not None:
+        simpler.append(replace(query, limit=None))
+    if query.order_by is not None and query.limit is None:
+        simpler.append(replace(query, order_by=None))
+    if not query.group_by and len(query.select) > 1:
+        simpler.append(replace(query, select=query.select[:1]))
+    return simpler
+
+
+def shrink(query: Query, still_fails: Callable[[Query], bool]) -> Query:
+    """Greedily minimize ``query`` while ``still_fails`` holds.
+
+    Joins keep their equi-join predicate (dropping it is still valid SQL --
+    a cross product -- so the shrinker may try it; the predicate is just a
+    ``where`` entry).  The result is the smallest variant reached by
+    single-component drops that still reproduces the failure.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for candidate in _candidates(query):
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                failing = False  # an invalid shrink is not a reproduction
+            if failing:
+                query = candidate
+                changed = True
+                break
+    return query
+
+
+# ---------------------------------------------------------------------------
+# Seed runner.
+# ---------------------------------------------------------------------------
+
+
+def run_seed(seed: int, store_dir: Optional[str] = None,
+             queries: int = QUERIES_PER_SEED,
+             log_path: Optional[str] = None) -> List[Failure]:
+    """Run one seed's random queries across every configuration.
+
+    Returns the (minimized) failures; an empty list means full agreement.
+    ``log_path`` defaults to ``$REPRO_DIFF_LOG`` (no logging when unset).
+    """
+    rng = random.Random(seed)
+    owns_dir = store_dir is None
+    if owns_dir:
+        store_dir = tempfile.mkdtemp(prefix=f"uadb-diff-{seed}-")
+    failures: List[Failure] = []
+    sessions = open_sessions(build_source(rng), seed, store_dir)
+    try:
+        for index in range(queries):
+            query = random_query(rng)
+            detail = run_query(sessions, query)
+            if detail is None:
+                continue
+            minimal = shrink(
+                query, lambda q: run_query(sessions, q) is not None
+            )
+            failures.append(Failure(seed, index, query, minimal, detail))
+    finally:
+        close_sessions(sessions)
+        if owns_dir:
+            shutil.rmtree(store_dir, ignore_errors=True)
+    _log_seed(seed, queries, failures, log_path)
+    return failures
+
+
+def _log_seed(seed: int, queries: int, failures: List[Failure],
+              log_path: Optional[str]) -> None:
+    log_path = log_path or os.environ.get(DIFF_LOG_ENV_VAR)
+    if not log_path:
+        return
+    with open(log_path, "a", encoding="utf-8") as log:
+        if not failures:
+            log.write(f"seed={seed} queries={queries} "
+                      f"configs={','.join(CONFIGS)} status=ok\n")
+        for failure in failures:
+            log.write(f"seed={seed} status=FAIL "
+                      f"minimal={failure.minimal.to_sql()!r} "
+                      f"params={failure.minimal.params!r} "
+                      f"detail={failure.detail!r}\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python tests/differential.py [--seeds N | --seed K]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=40,
+                        help="number of seeds to run (default 40)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run one specific seed only")
+    parser.add_argument("--queries", type=int, default=QUERIES_PER_SEED)
+    arguments = parser.parse_args(argv)
+    seeds = [arguments.seed] if arguments.seed is not None \
+        else list(range(arguments.seeds))
+    total_failures = 0
+    for seed in seeds:
+        failures = run_seed(seed, queries=arguments.queries)
+        status = "ok" if not failures else f"{len(failures)} FAILURES"
+        print(f"seed {seed}: {arguments.queries} queries x "
+              f"{len(CONFIGS)} configs -> {status}")
+        for failure in failures:
+            print(f"  {failure}")
+        total_failures += len(failures)
+    print(f"{len(seeds)} seeds, {total_failures} failures")
+    return 1 if total_failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

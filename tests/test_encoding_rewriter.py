@@ -201,3 +201,74 @@ def test_rewriter_handles_distinct_orderby_limit():
     result = evaluate(rewritten, encoded)
     decoded = decode_relation(result, uadb.ua_semiring)
     assert len(decoded) == 1
+
+
+def _partially_certain_uadb():
+    """One relation where a tuple has both certain and uncertain copies.
+
+    ``0 < c < d`` annotations encode to *two* fragments -- ``(t, 1)`` and
+    ``(t, 0)`` -- the shape that exposed the original DISTINCT and LIMIT
+    rewrite bugs (found by the differential harness, tests/differential.py).
+    """
+    uadb = UADatabase(NATURAL, "partial")
+    relation = UARelation(
+        RelationSchema("r", ["a", "b"]), uadb.ua_semiring
+    )
+    relation.add_tuple((0, "x"), certain=1, determinized=3)   # both fragments
+    relation.add_tuple((1, "y"), certain=0, determinized=2)   # uncertain only
+    relation.add_tuple((2, "z"), certain=2, determinized=2)   # certain only
+    uadb.add_relation(relation)
+    return uadb
+
+
+def test_distinct_rewrite_matches_componentwise_delta():
+    """[[delta(Q)]] must decode to [delta(c), delta(d)] per tuple.
+
+    The naive Distinct over the encoding kept (t, 1) and (t, 0) as separate
+    rows, decoding a partially certain tuple to [1, 2] instead of [1, 1].
+    """
+    uadb = _partially_certain_uadb()
+    from repro.core.encoding import encode as encode_db
+
+    encoded = encode_db(uadb)
+    plan = algebra.Distinct(algebra.RelationRef("r"))
+    rewritten = rewrite_plan(plan, encoded.schema)
+    decoded = decode_relation(evaluate(rewritten, encoded), uadb.ua_semiring)
+    direct = uadb.query(plan)
+    assert dict(decoded.items()) == dict(direct.items())
+    assert decoded.annotation((0, "x")).as_tuple() == (1, 1)
+    assert decoded.annotation((1, "y")).as_tuple() == (0, 1)
+    assert decoded.annotation((2, "z")).as_tuple() == (1, 1)
+
+
+def test_limit_rewrite_counts_tuples_not_fragments():
+    """[[LIMIT k]] must return k payload tuples with full annotations.
+
+    Limiting the encoded relation directly consumed one slot per *fragment*,
+    so a partially certain tuple (two fragments) starved later tuples out of
+    the result.
+    """
+    uadb = _partially_certain_uadb()
+    from repro.core.encoding import encode as encode_db
+
+    encoded = encode_db(uadb)
+    plan = algebra.Limit(
+        algebra.OrderBy(algebra.RelationRef("r"), ((Column("a"), False),)),
+        2,
+    )
+    rewritten = rewrite_plan(plan, encoded.schema)
+    decoded = decode_relation(evaluate(rewritten, encoded), uadb.ua_semiring)
+    direct = uadb.query(plan)
+    assert dict(decoded.items()) == dict(direct.items())
+    assert len(decoded) == 2
+    # The partially certain first tuple keeps its full [1, 3] annotation.
+    assert decoded.annotation((0, "x")).as_tuple() == (1, 3)
+    assert decoded.annotation((1, "y")).as_tuple() == (0, 2)
+
+
+def test_ua_delta_is_componentwise():
+    """Semiring-level pin: delta([0, d]) stays uncertain, never [1, 1]."""
+    ua = UASemiring(NATURAL)
+    assert ua.delta(ua.annotation(0, 3)).as_tuple() == (0, 1)
+    assert ua.delta(ua.annotation(2, 5)).as_tuple() == (1, 1)
+    assert ua.delta(ua.zero) == ua.zero

@@ -14,6 +14,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 EXPECTED_OUTPUT = {
     "quickstart.py": "answers are certain",
     "session_quickstart.py": "reused the prepared plan",
+    "persistent_store_quickstart.py": "survived two sessions",
     "ctable_certain_answers.py": "",
     "data_cleaning_imputation.py": "",
     "access_control_audit.py": "",

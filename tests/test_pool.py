@@ -1,0 +1,206 @@
+"""Connection-pool tests: shared data, bounded checkouts, concurrency stress.
+
+The stress test is the PR's serializability contract made executable: N
+threads hammer one pool with mixed reads, incremental ``INSERT``s and a
+mid-run ``CREATE TABLE``, and the final state must equal a serial oracle run
+-- no lost updates, no stale plan-cache hits after catalog bumps, and (for a
+store-backed pool) an on-disk file that a fresh process-like reopen
+reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro
+from repro.api.pool import ConnectionPool, PoolError, PoolTimeout, RWLock
+from repro.semirings import BOOLEAN
+
+
+# -- shared state ---------------------------------------------------------------
+
+
+def test_pool_shares_data_plans_and_store(tmp_path):
+    pool = ConnectionPool(str(tmp_path / "pool.uadb"), engine="sqlite",
+                          max_connections=4)
+    with pool.connection() as conn:
+        conn.execute("CREATE TABLE t (a INT, b TEXT)")
+        conn.execute("INSERT INTO t VALUES (?, ?)", [1, "x"])
+        first = conn.query("SELECT a, b FROM t").rows()
+    with pool.connection() as conn:
+        # Same data (one catalog), warm plan (one shared cache).
+        assert conn.query("SELECT a, b FROM t").rows() == first
+    stats = pool.stats()
+    assert stats["plan_cache"]["hits"] >= 1
+    assert stats["store"]["appends"] == 1
+    assert stats["in_use"] == 0
+    assert stats["acquired_total"] == 2
+    pool.close()
+
+
+def test_pool_works_in_memory_too():
+    import os
+
+    with ConnectionPool(semiring=BOOLEAN, max_connections=2) as pool:
+        if not os.environ.get("REPRO_STORE_DIR"):
+            # (Under the CI on-disk axis even store-less pools persist.)
+            assert pool.store is None
+        with pool.connection() as conn:
+            conn.execute("CREATE TABLE t (a INT)")
+            conn.execute("INSERT INTO t VALUES (1)")
+        with pool.connection() as conn:
+            assert conn.query("SELECT a FROM t").rows() == [(1,)]
+
+
+def test_released_handle_is_unusable(tmp_path):
+    pool = ConnectionPool(max_connections=2)
+    handle = pool.acquire()
+    handle.close()
+    with pytest.raises(PoolError, match="returned to the pool"):
+        handle.execute("SELECT 1 AS x FROM t")
+    handle.close()  # idempotent
+    pool.close()
+
+
+def test_acquire_blocks_and_times_out():
+    pool = ConnectionPool(max_connections=1)
+    held = pool.acquire()
+    with pytest.raises(PoolTimeout):
+        pool.acquire(timeout=0.05)
+    held.close()
+    # Releasing frees the slot again.
+    with pool.connection(timeout=1.0):
+        pass
+    pool.close()
+
+
+def test_closed_pool_rejects_acquire():
+    pool = ConnectionPool(max_connections=1)
+    pool.close()
+    with pytest.raises(PoolError, match="closed"):
+        pool.acquire()
+
+
+def test_pool_rejects_nonpositive_size():
+    with pytest.raises(PoolError):
+        ConnectionPool(max_connections=0)
+
+
+# -- the readers-writer lock -----------------------------------------------------
+
+
+def test_rwlock_allows_concurrent_readers_and_exclusive_writer():
+    lock = RWLock()
+    active = {"readers": 0, "writers": 0}
+    peaks = {"readers": 0}
+    violations = []
+    gate = threading.Barrier(4)
+
+    def read():
+        gate.wait()
+        for _ in range(50):
+            with lock.read():
+                active["readers"] += 1
+                peaks["readers"] = max(peaks["readers"], active["readers"])
+                if active["writers"]:
+                    violations.append("reader saw writer")
+                active["readers"] -= 1
+
+    def write():
+        gate.wait()
+        for _ in range(50):
+            with lock.write():
+                active["writers"] += 1
+                if active["writers"] > 1 or active["readers"]:
+                    violations.append("writer not exclusive")
+                active["writers"] -= 1
+
+    threads = [threading.Thread(target=read) for _ in range(3)]
+    threads.append(threading.Thread(target=write))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not violations
+
+
+# -- concurrency stress -----------------------------------------------------------
+
+
+THREADS = 8
+INSERTS_PER_THREAD = 12
+
+
+@pytest.mark.parametrize("engine", ["sqlite", "row"])
+def test_concurrency_stress_matches_serial_oracle(tmp_path, engine):
+    """Mixed reads + writes from N threads equal a serial oracle run."""
+    store = str(tmp_path / f"stress-{engine}.uadb") if engine == "sqlite" else None
+    pool = ConnectionPool(store, engine=engine, max_connections=THREADS,
+                          name=f"stress-{engine}")
+    with pool.connection() as conn:
+        conn.execute("CREATE TABLE t (worker INT, seq INT)")
+
+    errors = []
+    seen_counts = []
+    gate = threading.Barrier(THREADS)
+
+    def worker(worker_id: int) -> None:
+        try:
+            gate.wait()
+            for seq in range(INSERTS_PER_THREAD):
+                with pool.connection() as conn:
+                    conn.execute("INSERT INTO t VALUES (?, ?)",
+                                 [worker_id, seq])
+                    # Interleave reads with writes; sizes only ever grow.
+                    rows = conn.query("SELECT worker, seq FROM t").rows()
+                    seen_counts.append(len(rows))
+                if worker_id == 0 and seq == INSERTS_PER_THREAD // 2:
+                    # Mid-run DDL: bumps the shared catalog version, so every
+                    # handle's cached plans must transparently recompile.
+                    with pool.connection() as conn:
+                        conn.execute("CREATE TABLE mid (x INT)")
+                        conn.execute("INSERT INTO mid VALUES (1)")
+        except Exception as exc:  # pragma: no cover - surfaced by assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+    # Serial oracle: the same statements on a fresh in-memory connection.
+    oracle = repro.connect(engine=engine, name=f"oracle-{engine}")
+    oracle.execute("CREATE TABLE t (worker INT, seq INT)")
+    for worker_id in range(THREADS):
+        for seq in range(INSERTS_PER_THREAD):
+            oracle.execute("INSERT INTO t VALUES (?, ?)", [worker_id, seq])
+
+    with pool.connection() as conn:
+        final = conn.query("SELECT worker, seq FROM t")
+        # No lost updates: every insert landed exactly once...
+        assert sorted(final.rows()) == sorted(oracle.query(
+            "SELECT worker, seq FROM t").rows())
+        # ... with identical annotations and certainty labels.
+        assert final.relation == oracle.query(
+            "SELECT worker, seq FROM t").relation
+        # The mid-run DDL is visible through every handle (no stale plans).
+        assert conn.query("SELECT x FROM mid").rows() == [(1,)]
+    # Reads saw monotonically consistent snapshots (never more than total).
+    assert max(seen_counts) <= THREADS * INSERTS_PER_THREAD
+    assert pool.plan_cache.stats()["invalidations"] >= 1
+
+    if store is not None:
+        pool.close()
+        # A fresh reopen (as another process would) sees the same final state.
+        reopened = repro.connect(store, name="stress-reopen")
+        assert sorted(reopened.query("SELECT worker, seq FROM t").rows()) == \
+            sorted(oracle.query("SELECT worker, seq FROM t").rows())
+        assert reopened.query("SELECT x FROM mid").rows() == [(1,)]
+        reopened.close()
+    else:
+        pool.close()
+    oracle.close()
