@@ -1,0 +1,202 @@
+"""HTTP query server vs direct pool access (repro.server).
+
+Quantifies what the network front door costs -- and what concurrency buys
+back:
+
+* **direct (baseline)** -- prepared-query latency through a
+  :class:`~repro.api.pool.ConnectionPool` checkout in-process, the fastest
+  path a server request could possibly take,
+* **http** -- the same query through ``POST /query`` over a keep-alive
+  connection: JSON encode, socket round trip on loopback, worker-thread
+  dispatch, JSON decode,
+* **http streamed** -- a large result fetched as chunked NDJSON
+  (rows/second over the wire),
+* **concurrency sweep** -- N client threads (each with its own
+  :class:`~repro.server.client.Client`) fanning queries at one server:
+  requests/second as the worker executor and the pool's shared read lock
+  scale out.
+
+Results go to ``BENCH_server.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server.py          # full run
+    PYTHONPATH=src python benchmarks/bench_server.py --quick  # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_api import N_ORDERS, build_session  # noqa: E402  (shared workload)
+
+from repro.api.pool import ConnectionPool  # noqa: E402
+from repro.server import Client, ServerThread  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+QUERY = ("SELECT o.oid, c.name, p.label FROM orders o, customers c, products p "
+         "WHERE o.cid = c.cid AND o.pid = p.pid AND o.oid = ?")
+
+STREAM_ROWS = 2000
+
+
+def _build_pool(engine: str) -> ConnectionPool:
+    """The bench_api shop TI-DB served through a pool, plus a wide table."""
+    memory = build_session(engine)
+    pool = ConnectionPool(engine=engine, name="served-shop",
+                          max_connections=8)
+    with pool.connection() as conn:
+        conn.register_ua_database(memory.uadb)
+        conn.execute("CREATE TABLE wide (n INT, label TEXT)")
+        statement = conn.prepare("INSERT INTO wide VALUES (?, ?)")
+        for n in range(STREAM_ROWS):
+            statement.execute([n, f"row{n}"])
+    memory.close()
+    return pool
+
+
+def _measure_direct(pool: ConnectionPool, iterations: int, seed: int = 5) -> float:
+    rng = random.Random(seed)
+    with pool.connection() as conn:
+        conn.query(QUERY, [0])  # absorb the compile miss
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with pool.connection() as conn:
+            conn.query(QUERY, [rng.randrange(N_ORDERS)])
+    return (time.perf_counter() - started) / iterations
+
+
+def _measure_http(client: Client, iterations: int, seed: int = 5) -> float:
+    rng = random.Random(seed)
+    client.query(QUERY, [0])  # absorb the compile miss
+    started = time.perf_counter()
+    for _ in range(iterations):
+        client.query(QUERY, [rng.randrange(N_ORDERS)])
+    return (time.perf_counter() - started) / iterations
+
+
+def _measure_stream(client: Client, repeats: int) -> float:
+    """Rows per second over chunked NDJSON for the wide table."""
+    total_rows = 0
+    started = time.perf_counter()
+    for _ in range(repeats):
+        total_rows += sum(1 for _ in client.stream("SELECT n, label FROM wide"))
+    elapsed = time.perf_counter() - started
+    return total_rows / elapsed
+
+
+def _measure_sweep(host: str, port: int, threads: int,
+                   per_thread: int) -> float:
+    """Requests/second with ``threads`` concurrent keep-alive clients."""
+    barrier = threading.Barrier(threads)
+
+    def worker(seed: int) -> None:
+        rng = random.Random(seed)
+        client = Client(host, port)
+        client.query(QUERY, [0])  # connect + warm outside the timed region
+        barrier.wait()
+        for _ in range(per_thread):
+            client.query(QUERY, [rng.randrange(N_ORDERS)])
+        client.close()
+
+    workers = [threading.Thread(target=worker, args=(i,))
+               for i in range(threads)]
+    started = time.perf_counter()
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return (threads * per_thread) / elapsed
+
+
+def run_benchmark(iterations: int = 400, stream_repeats: int = 5,
+                  sweep: Optional[List[int]] = None,
+                  engine: str = "sqlite") -> Dict:
+    sweep = sweep or [1, 2, 4, 8]
+    pool = _build_pool(engine)
+    with ServerThread(pool=pool, port=0) as server:
+        host, port = server.address
+        client = server.client()
+
+        # Sanity: the HTTP path serves exactly the direct path's labels.
+        with pool.connection() as conn:
+            if client.query(QUERY, [1]).labeled_rows() != \
+                    conn.query(QUERY, [1]).labeled_rows():
+                raise AssertionError("HTTP and direct answers diverge")
+
+        report = {
+            "workload": "bench_api shop TI-DB behind repro.server "
+                        f"({engine} engine, loopback HTTP)",
+            "python": platform.python_version(),
+            "measurements": {
+                "direct_seconds": _measure_direct(pool, iterations),
+                "http_seconds": _measure_http(client, iterations),
+                "stream_rows_per_second": _measure_stream(
+                    client, stream_repeats),
+                "sweep_requests_per_second": {
+                    str(threads): _measure_sweep(
+                        host, port, threads, max(iterations // threads, 10))
+                    for threads in sweep
+                },
+            },
+        }
+        client.close()
+    pool.close()
+    measurements = report["measurements"]
+    sweep_rps = measurements["sweep_requests_per_second"]
+    report["summary"] = {
+        "http_overhead_x": (measurements["http_seconds"]
+                            / measurements["direct_seconds"]),
+        "http_requests_per_second": 1.0 / measurements["http_seconds"],
+        "concurrency_scaling_x": (sweep_rps[str(sweep[-1])]
+                                  / sweep_rps[str(sweep[0])]),
+    }
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations (CI smoke run)")
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--engine", default="sqlite")
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+    iterations = args.iterations or (80 if args.quick else 400)
+    report = run_benchmark(iterations=iterations,
+                           stream_repeats=2 if args.quick else 5,
+                           engine=args.engine)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    measurements = report["measurements"]
+    print(f"direct pool:  {measurements['direct_seconds'] * 1e3:7.3f} ms/query")
+    print(f"http /query:  {measurements['http_seconds'] * 1e3:7.3f} ms/query"
+          f"   ({report['summary']['http_overhead_x']:.2f}x overhead, "
+          f"{report['summary']['http_requests_per_second']:.0f} req/s)")
+    print(f"ndjson:       {measurements['stream_rows_per_second']:,.0f} rows/s")
+    for threads, rps in measurements["sweep_requests_per_second"].items():
+        print(f"sweep {threads:>2} clients: {rps:8.0f} req/s")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_bench_server_smoke():
+    """The benchmark runs end to end and the HTTP path answers correctly."""
+    report = run_benchmark(iterations=10, stream_repeats=1, sweep=[1, 2])
+    assert report["measurements"]["http_seconds"] > 0
+    assert report["summary"]["http_overhead_x"] > 0
+    assert report["measurements"]["stream_rows_per_second"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

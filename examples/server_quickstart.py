@@ -1,0 +1,82 @@
+"""Server quickstart: query a UA-DB over HTTP.
+
+`repro.server` puts an asyncio HTTP/JSON front door on a connection pool:
+any HTTP client can run parameterized SQL and get back best-guess rows
+annotated with the paper's certain-answer under-approximation.  This script
+starts a server in-process on an ephemeral port (exactly what
+``python -m repro.server`` does from the shell), drives it through the
+bundled stdlib client -- DDL, parameterized inserts, labeled queries, an
+NDJSON stream -- and reads the server's own metrics back.
+
+Run with::
+
+    python examples/server_quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.api.pool import ConnectionPool
+from repro.db.schema import RelationSchema
+from repro.incomplete import TIDatabase
+from repro.server import ServerThread
+
+
+def build_shipments_tidb() -> TIDatabase:
+    """An uncertain table: shipment scans, some from a flaky scanner."""
+    tidb = TIDatabase("logistics")
+    scans = tidb.create_relation(
+        RelationSchema("SCAN", ["shipment", "warehouse"])
+    )
+    scans.add(("pkg-1", "buffalo"), probability=1.0)   # hand-checked
+    scans.add(("pkg-2", "buffalo"), probability=0.8)   # flaky scanner
+    scans.add(("pkg-3", "chicago"), probability=0.6)   # flaky scanner
+    return tidb
+
+
+def main() -> None:
+    # One pool, shared by every HTTP request; the uncertain source is
+    # registered before the socket opens.
+    pool = ConnectionPool(engine="sqlite", max_connections=4, name="logistics")
+    with pool.connection() as conn:
+        conn.register_tidb(build_shipments_tidb())
+
+    with ServerThread(pool=pool, port=0) as server:
+        host, port = server.address
+        print(f"Serving UA-DB on http://{host}:{port}\n")
+        client = server.client()
+
+        # Deterministic reference data, loaded over the wire.
+        client.execute("CREATE TABLE WAREHOUSE (name TEXT, region TEXT)")
+        client.executemany(
+            "INSERT INTO WAREHOUSE VALUES (?, ?)",
+            [["buffalo", "east"], ["chicago", "midwest"]],
+        )
+
+        reply = client.query(
+            "SELECT s.shipment, w.region FROM SCAN s, WAREHOUSE w "
+            "WHERE s.warehouse = w.name AND w.region = ?", ["east"]
+        )
+        print("Shipments in the east region (certain answers marked):")
+        for row, certain in reply.labeled_rows():
+            marker = "certain" if certain else "uncertain"
+            print(f"  {row}  [{marker}]")
+        print(f"-> {reply.certain_count} of {reply.row_count} answers "
+              "are certain\n")
+
+        print("Streaming the full scan table as NDJSON:")
+        for row, certain in client.stream("SELECT shipment, warehouse FROM SCAN"):
+            print(f"  {row}  certain={certain}")
+
+        metrics = client.metrics()
+        queries = metrics["server"]["endpoints"]["/query"]["requests"]
+        hit_rate = metrics["plan_cache"]["hit_rate"]
+        print(f"\nServer metrics: {queries} queries served, "
+              f"plan-cache hit rate {hit_rate:.0%}")
+        client.close()
+
+    pool.close()
+    print("Server stopped; pool drained and closed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,8 +7,11 @@ The package is organized bottom-up:
 * :mod:`repro.incomplete` -- incomplete / probabilistic data models,
 * :mod:`repro.core`      -- UA-DBs: labelings, encodings, rewriting, front-end,
 * :mod:`repro.api`       -- the DB-API-style session layer behind
-  :func:`repro.connect`: connections, cursors, parameterized queries and the
-  prepared-plan cache,
+  :func:`repro.connect`: connections, cursors, parameterized queries, the
+  prepared-plan cache, the persistent ``.uadb`` store and the connection
+  pool,
+* :mod:`repro.server`    -- an asyncio HTTP/JSON query service over the
+  pool (``python -m repro.server``) with a stdlib client,
 * :mod:`repro.extensions` -- the paper's future-work items: possible-annotation
   bounds (UAP-DBs with difference/negation), aggregation with certainty
   bounds, attribute-level uncertainty labels,

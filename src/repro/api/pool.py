@@ -38,6 +38,7 @@ Example::
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
 
@@ -72,6 +73,7 @@ class RWLock:
 
     @contextmanager
     def read(self) -> Iterator[None]:
+        """Hold the lock shared: blocks only while a writer is active/waiting."""
         with self._condition:
             while self._writer or self._writers_waiting:
                 self._condition.wait()
@@ -86,6 +88,7 @@ class RWLock:
 
     @contextmanager
     def write(self) -> Iterator[None]:
+        """Hold the lock exclusively: waits out readers and other writers."""
         with self._condition:
             self._writers_waiting += 1
             try:
@@ -111,24 +114,26 @@ class PooledConnection:
     which any further use raises :class:`PoolError`.
     """
 
-    __slots__ = ("_pool", "_core", "_released")
+    __slots__ = ("_pool", "_core", "_released", "_owner")
 
     def __init__(self, pool: "ConnectionPool", core: Connection) -> None:
         self._pool = pool
         self._core = core
         self._released = False
+        self._owner = threading.get_ident()
 
     def close(self) -> None:
         """Return this handle to the pool (idempotent)."""
         if not self._released:
             self._released = True
-            self._pool._release()
+            self._pool._release(self._owner)
 
     #: DB-API-agnostic alias for :meth:`close`.
     release = close
 
     @property
     def closed(self) -> bool:
+        """True once the handle was returned (or the core session closed)."""
         return self._released or self._core.closed
 
     def __enter__(self) -> "PooledConnection":
@@ -136,6 +141,15 @@ class PooledConnection:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self) -> None:
+        # A leaked handle (e.g. a thread that died between acquire() and
+        # close()) is returned to the pool when it is garbage-collected, so
+        # a draining ConnectionPool.close() is not blocked forever by it.
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
     def __getattr__(self, item: str):
         if object.__getattribute__(self, "_released"):
@@ -175,10 +189,14 @@ class ConnectionPool:
         self.plan_cache = SharedPlanCache(cache_size)
         self._rwlock = RWLock()
         self._semaphore = threading.BoundedSemaphore(max_connections)
-        self._state_lock = threading.Lock()
+        self._state = threading.Condition()
         self._in_use = 0
+        #: Owner thread ids of outstanding handles (deadlock detection in
+        #: close(drain=True): the closing thread cannot drain itself).
+        self._owners: Dict[int, int] = {}
         self._acquired_total = 0
         self._closed = False
+        self._finalized = False
         self._core = Connection(
             semiring=semiring, name=name, engine=engine, optimize=optimize,
             store=store, create=create, plan_cache=self.plan_cache,
@@ -204,17 +222,30 @@ class ConnectionPool:
                 f"no pooled connection became available within {timeout}s "
                 f"({self.max_connections} in use)"
             )
-        if self._closed:  # closed while we were waiting
-            self._semaphore.release()
-            raise PoolError("connection pool is closed")
-        with self._state_lock:
+        with self._state:
+            # Re-checked under the state lock: close(drain=True) decides
+            # "idle, safe to finalize" under this same lock, so a checkout
+            # can never slip between its drain check and the session close.
+            if self._closed:
+                self._semaphore.release()
+                raise PoolError("connection pool is closed")
             self._in_use += 1
+            owner = threading.get_ident()
+            self._owners[owner] = self._owners.get(owner, 0) + 1
             self._acquired_total += 1
         return PooledConnection(self, self._core)
 
-    def _release(self) -> None:
-        with self._state_lock:
+    def _release(self, owner: int) -> None:
+        with self._state:
             self._in_use -= 1
+            count = self._owners.get(owner, 0) - 1
+            if count > 0:
+                self._owners[owner] = count
+            else:
+                self._owners.pop(owner, None)
+            if self._in_use == 0:
+                # Wake a close(drain=True) waiting for the pool to go idle.
+                self._state.notify_all()
         self._semaphore.release()
 
     @contextmanager
@@ -235,15 +266,22 @@ class ConnectionPool:
 
     @property
     def semiring(self) -> Semiring:
+        """The annotation semiring shared by every pooled handle."""
         return self._core.semiring
+
+    @property
+    def engine(self):
+        """The execution-engine spec every pooled statement runs on."""
+        return self._core.engine
 
     def stats(self) -> Dict[str, Any]:
         """Pool, plan-cache and store counters in one snapshot."""
-        with self._state_lock:
+        with self._state:
             stats: Dict[str, Any] = {
                 "max_connections": self.max_connections,
                 "in_use": self._in_use,
                 "acquired_total": self._acquired_total,
+                "closed": self._closed,
             }
         stats["plan_cache"] = self.plan_cache.stats()
         if self.store is not None:
@@ -252,21 +290,72 @@ class ConnectionPool:
 
     # -- lifecycle ----------------------------------------------------------------
 
-    def close(self) -> None:
-        """Close the pool: the shared session, its store, and the plan cache."""
-        self._closed = True
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Close the pool: the shared session, its store, and the plan cache.
+
+        New checkouts are refused from the moment close is called.  With
+        ``drain`` (the default) the call waits for every checked-out handle
+        to be returned before closing the shared session, so in-flight
+        statements finish cleanly; ``timeout`` bounds that wait and raises
+        :class:`PoolTimeout` (the pool stays acquirable-less but open, so a
+        later ``close()`` -- or ``close(drain=False)`` to force -- can
+        finish the job).  Handles leaked by dead threads release on garbage
+        collection (``PooledConnection.__del__``); pass a ``timeout`` when
+        a handle may be held hostage by live code.  Draining while the
+        *calling* thread still holds a handle can never succeed, so that
+        raises :class:`PoolError` immediately instead of deadlocking.
+        Closing an already-closed pool is a no-op.
+        """
+        with self._state:
+            self._closed = True
+            if drain and not self._finalized:
+                held = self._owners.get(threading.get_ident(), 0)
+                if held:
+                    raise PoolError(
+                        f"cannot drain: the closing thread still holds "
+                        f"{held} pooled connection(s); release them first "
+                        f"or use close(drain=False)"
+                    )
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while self._in_use:
+                    remaining = (None if deadline is None
+                                 else deadline - time.monotonic())
+                    if remaining is not None and remaining <= 0:
+                        raise PoolTimeout(
+                            f"{self._in_use} pooled connection(s) still "
+                            f"checked out after {timeout}s"
+                        )
+                    self._state.wait(remaining)
+            if self._finalized:
+                return
+            self._finalized = True
         self._core.close()
         self.plan_cache.clear()
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` was called; acquires are refused from then on."""
         return self._closed
+
+    #: Drain bound used by ``__exit__`` while an exception is unwinding.
+    EXIT_DRAIN_TIMEOUT = 5.0
 
     def __enter__(self) -> "ConnectionPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+            return
+        # An exception is already unwinding: close without masking it with
+        # drain errors or blocking the unwind forever on a wedged handle.
+        try:
+            self.close(timeout=self.EXIT_DRAIN_TIMEOUT)
+        except Exception:
+            try:
+                self.close(drain=False)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"{self._in_use}/{self.max_connections} in use"

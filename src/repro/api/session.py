@@ -379,6 +379,30 @@ class Connection:
         """Schema of the encoded backing relations (with the ``C`` column)."""
         return self.encoded.schema
 
+    def tables(self) -> List[Dict[str, Any]]:
+        """Catalog metadata for every registered relation, in creation order.
+
+        One dict per relation: ``name``, ``columns`` (dicts with ``name``
+        and lower-case ``type``), and ``row_count`` -- the number of
+        distinct annotated tuples in the best-guess world.  Reads under the
+        session's read lock, so pooled callers see a consistent catalog.
+        Serves ``GET /tables`` on the HTTP server.
+        """
+        self._check_open()
+        with self._locking.read():
+            return [
+                {
+                    "name": relation.schema.name,
+                    "columns": [
+                        {"name": attribute.name,
+                         "type": attribute.data_type.name.lower()}
+                        for attribute in relation.schema.attributes
+                    ],
+                    "row_count": len(relation),
+                }
+                for relation in self.uadb
+            ]
+
     @property
     def catalog_version(self) -> int:
         """Monotonic counter bumped by every registration / CREATE TABLE.
@@ -409,6 +433,7 @@ class Connection:
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` ran; statements raise from then on."""
         return self._closed
 
     def commit(self) -> None:
@@ -604,6 +629,20 @@ class Connection:
     def prepare(self, sql: str, mode: str = "rewritten") -> "PreparedStatement":
         """Compile ``sql`` now and return a reusable prepared statement."""
         return PreparedStatement(self, sql, mode)
+
+    def statement_kind(self, sql: str, mode: str = "rewritten") -> str:
+        """Classify ``sql`` without running it: ``"select"``, ``"insert"``
+        or ``"create"``.
+
+        Compiles (and caches) the statement, so syntax errors and unknown
+        relations surface here exactly as they would on execution; the HTTP
+        server uses this to route statements to the right endpoint.  Pass
+        the ``mode`` the statement will later run under so the compiled
+        plan lands in the cache entry that execution reuses.
+        """
+        if mode not in ("rewritten", "direct"):
+            raise SessionError(f"unknown compilation mode {mode!r}")
+        return self._entry(sql, mode).kind
 
     def backend_sql(self, sql: str, mode: str = "rewritten") -> Optional[str]:
         """The native SQL a compiling engine would run for ``sql``.

@@ -200,6 +200,7 @@ class UADBStore:
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` ran; store operations raise from then on."""
         return self._closed
 
     def commit(self) -> None:

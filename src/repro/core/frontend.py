@@ -70,10 +70,12 @@ class UADBFrontend:
 
     @property
     def semiring(self) -> Semiring:
+        """The base annotation semiring of the underlying connection."""
         return self.connection.semiring
 
     @property
     def name(self) -> str:
+        """The catalog name of the underlying connection."""
         return self.connection.name
 
     @property

@@ -1,0 +1,41 @@
+"""An asyncio HTTP/JSON query service over the UA-DB connection pool.
+
+The server is the repo's first multi-process-capable front door: where
+:func:`repro.connect` requires an in-process import, ``repro.server`` puts a
+socket in front of a :class:`~repro.api.pool.ConnectionPool` so any
+HTTP-speaking client can run parameterized SQL against a (persistent or
+in-memory) UA-database and get back best-guess rows annotated with the
+paper's certain-answer under-approximation.
+
+Three ways in, all stdlib-only (``asyncio`` streams, no web framework):
+
+* ``python -m repro.server --store app.uadb --port 8080`` -- the CLI,
+* :class:`UADBServer` / :func:`serve` -- inside an asyncio program,
+* :class:`ServerThread` -- a background-thread server for tests, examples
+  and notebooks, paired with the synchronous :class:`Client`.
+
+Endpoints: ``POST /query`` (SELECT, optional NDJSON streaming),
+``POST /execute`` (DDL/DML), ``GET /tables``, ``GET /healthz``,
+``GET /metrics``.  Queries run on a worker-thread executor (the event loop
+never blocks on the GIL-bound engines) and concurrently under the pool's
+shared read lock; writes serialize through its writer lock.  Typed errors
+from every layer map to JSON ``{"error": {"code", "message"}}`` bodies --
+see ``ERROR_MAP`` in :mod:`repro.server.app`.
+"""
+
+from repro.server.app import ServerThread, UADBServer, serve
+from repro.server.client import Client, QueryReply, ServerError
+from repro.server.http import HTTPError, Request
+from repro.server.metrics import ServerMetrics
+
+__all__ = [
+    "Client",
+    "HTTPError",
+    "QueryReply",
+    "Request",
+    "ServerError",
+    "ServerMetrics",
+    "ServerThread",
+    "UADBServer",
+    "serve",
+]

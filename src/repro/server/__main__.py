@@ -1,0 +1,122 @@
+"""``python -m repro.server`` -- run the UA-DB HTTP query server.
+
+Examples::
+
+    python -m repro.server                              # in-memory, port 8080
+    python -m repro.server --store app.uadb --port 9000 # persistent store
+    python -m repro.server --engine sqlite --pool-size 16
+
+Then::
+
+    curl -s localhost:8080/healthz
+    curl -s -X POST localhost:8080/execute \\
+         -d '{"sql": "CREATE TABLE t (a INT, b TEXT)"}'
+    curl -s -X POST localhost:8080/execute \\
+         -d '{"sql": "INSERT INTO t VALUES (?, ?)", "params": [1, "x"]}'
+    curl -s -X POST localhost:8080/query \\
+         -d '{"sql": "SELECT a, b FROM t"}'
+
+Stops gracefully on Ctrl-C / SIGTERM: in-flight requests drain, the pool
+(and its store, if any) closes cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import logging
+import signal
+import sys
+from typing import List, Optional
+
+from repro.core.encoding import STORABLE_SEMIRINGS
+from repro.db.engine import available_engines
+from repro.server.app import UADBServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a UA-database over HTTP/JSON.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="port to bind; 0 picks an ephemeral port "
+                             "(default: 8080)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="back the catalog with a persistent .uadb file "
+                             "(created if missing; default: in-memory)")
+    parser.add_argument("--engine", default=None,
+                        help=f"execution engine "
+                             f"({', '.join(available_engines())}; "
+                             f"default: REPRO_ENGINE or row)")
+    parser.add_argument("--semiring", default=None,
+                        help=f"annotation semiring by name "
+                             f"({', '.join(sorted(STORABLE_SEMIRINGS))}; "
+                             f"default: N, or the store's persisted one)")
+    parser.add_argument("--pool-size", type=int, default=8, metavar="N",
+                        help="max concurrent pooled connections (default: 8)")
+    parser.add_argument("--cache-size", type=int, default=256, metavar="N",
+                        help="prepared-plan cache entries (default: 256)")
+    parser.add_argument("--checkout-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="how long a request waits for a pooled "
+                             "connection before 503 (default: 30)")
+    parser.add_argument("--no-optimize", action="store_true",
+                        help="disable the logical optimizer")
+    parser.add_argument("--log-level", default="info",
+                        choices=["debug", "info", "warning", "error"],
+                        help="logging verbosity (default: info)")
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    semiring = (STORABLE_SEMIRINGS[args.semiring]
+                if args.semiring is not None else None)
+    server = UADBServer(
+        host=args.host, port=args.port, store=args.store, semiring=semiring,
+        engine=args.engine, optimize=False if args.no_optimize else None,
+        cache_size=args.cache_size, max_connections=args.pool_size,
+        checkout_timeout=args.checkout_timeout)
+    await server.start()
+    host, port = server.address
+    logging.getLogger("repro.server").info(
+        "serving UA-DB (%s engine, %s) on http://%s:%d",
+        server._engine_name(),
+        args.store or "in-memory", host, port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):  # non-POSIX loops
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        logging.getLogger("repro.server").info("shutting down")
+        await server.stop()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and serve until SIGINT/SIGTERM; returns an exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.semiring is not None and args.semiring not in STORABLE_SEMIRINGS:
+        print(f"unknown semiring {args.semiring!r}; available: "
+              f"{', '.join(sorted(STORABLE_SEMIRINGS))}", file=sys.stderr)
+        return 2
+    if args.engine is not None and args.engine.lower() not in available_engines():
+        print(f"unknown engine {args.engine!r}; available: "
+              f"{', '.join(available_engines())}", file=sys.stderr)
+        return 2
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

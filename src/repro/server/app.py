@@ -1,0 +1,589 @@
+"""The asyncio HTTP/JSON query server fronting a :class:`ConnectionPool`.
+
+:class:`UADBServer` binds a socket with :func:`asyncio.start_server` and
+serves five endpoints over the pool:
+
+* ``POST /query``    -- parameterized SQL ``SELECT``; returns UA-labeled rows
+  (best-guess values plus a per-row certain flag), optionally streamed as
+  NDJSON for large results,
+* ``POST /execute``  -- DDL/DML (``CREATE TABLE`` / ``INSERT``); serialized
+  through the pool's writer lock,
+* ``GET /tables``    -- catalog metadata,
+* ``GET /healthz``   -- liveness plus configuration,
+* ``GET /metrics``   -- request counts, latency percentiles, plan-cache hit
+  rate and pool saturation.
+
+The event loop never runs a query itself: statements are dispatched to a
+worker-thread executor (queries and the GIL-bound engines block threads, not
+the loop), sized to the pool so a request can always check a connection out.
+Reads run concurrently under the pool's shared lock; writes serialize behind
+its writer lock.  Typed exceptions from every layer -- SQL syntax and
+translation errors, :class:`~repro.db.params.ParameterError`,
+:class:`~repro.db.engine.base.UnknownEngineError`,
+:class:`~repro.api.store.StoreError`, pool exhaustion -- map to structured
+JSON error bodies ``{"error": {"code": ..., "message": ...}}`` with the
+matching HTTP status.
+
+Run one from the command line (``python -m repro.server --store app.uadb``),
+inline in an asyncio program (:func:`serve`), or on a background thread for
+tests and notebooks (:class:`ServerThread`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.pool import ConnectionPool, PoolError, PoolTimeout
+from repro.api.session import SessionError
+from repro.api.store import StoreError, UnstorableRelationError
+from repro.db.engine import get_engine
+from repro.db.engine.base import EvaluationError, UnknownEngineError
+from repro.db.params import ParameterError
+from repro.db.schema import SchemaError
+from repro.db.sql.lexer import SQLSyntaxError
+from repro.db.sql.translator import TranslationError
+from repro.server import http
+from repro.server.http import HTTPError, Request, json_bytes
+from repro.server.metrics import ServerMetrics
+
+__all__ = ["UADBServer", "ServerThread", "serve"]
+
+logger = logging.getLogger(__name__)
+
+#: Typed exception -> (HTTP status, error code), checked in order (subclasses
+#: first, so e.g. a PoolTimeout is reported as pool_timeout, not pool_error).
+ERROR_MAP: Tuple[Tuple[type, int, str], ...] = (
+    (HTTPError, 0, ""),  # handled specially; carries its own status/code
+    (SQLSyntaxError, 400, "parse_error"),
+    (TranslationError, 400, "translation_error"),
+    (ParameterError, 400, "parameter_error"),
+    (SchemaError, 400, "schema_error"),
+    (UnknownEngineError, 400, "unknown_engine"),
+    (UnstorableRelationError, 400, "unstorable_relation"),
+    (StoreError, 500, "store_error"),
+    (PoolTimeout, 503, "pool_timeout"),
+    (PoolError, 503, "pool_error"),
+    (SessionError, 400, "session_error"),
+    (EvaluationError, 500, "evaluation_error"),
+)
+
+#: Rows are flushed to a streaming client once this many body bytes buffer up.
+STREAM_FLUSH_BYTES = 32 * 1024
+
+
+def _map_exception(error: BaseException) -> HTTPError:
+    """Translate a typed repro exception into the HTTPError to report."""
+    if isinstance(error, HTTPError):
+        return error
+    for exc_type, status, code in ERROR_MAP[1:]:
+        if isinstance(error, exc_type):
+            return HTTPError(status, code, str(error))
+    logger.exception("unhandled error while serving a request", exc_info=error)
+    return HTTPError(500, "internal_error",
+                     f"{type(error).__name__}: {error}")
+
+
+class UADBServer:
+    """An asyncio HTTP server answering UA-DB queries from a connection pool.
+
+    Construct it over an existing :class:`~repro.api.pool.ConnectionPool`
+    (``pool=``; the caller keeps ownership and closes it), or let the server
+    build -- and on :meth:`stop` gracefully drain and close -- its own pool
+    from ``store`` / ``semiring`` / ``engine`` / ``optimize`` /
+    ``max_connections`` / ``cache_size``, which follow
+    :class:`~repro.api.pool.ConnectionPool` semantics.  ``port=0`` binds an
+    ephemeral port; read the bound address from :attr:`address` after
+    :meth:`start`.
+
+    ``checkout_timeout`` bounds how long a request waits for a pooled
+    connection before answering ``503 pool_timeout``; ``drain_timeout``
+    bounds how long :meth:`stop` waits for in-flight requests;
+    ``idle_timeout`` drops connections that fail to deliver a complete
+    request in time (keep-alive idling and slow-trickle bodies alike;
+    None disables).
+    """
+
+    def __init__(self, pool: Optional[ConnectionPool] = None, *,
+                 host: str = "127.0.0.1", port: int = 8080,
+                 store: Optional[object] = None, semiring=None,
+                 name: str = "uadb", engine: Optional[object] = None,
+                 optimize: Optional[bool] = None, cache_size: int = 256,
+                 max_connections: int = 8,
+                 checkout_timeout: float = 30.0,
+                 drain_timeout: float = 5.0,
+                 idle_timeout: Optional[float] = 60.0,
+                 max_body_bytes: int = http.DEFAULT_MAX_BODY_BYTES) -> None:
+        if pool is None:
+            pool = ConnectionPool(store=store, semiring=semiring, name=name,
+                                  engine=engine, optimize=optimize,
+                                  cache_size=cache_size,
+                                  max_connections=max_connections)
+            self._owns_pool = True
+        else:
+            self._owns_pool = False
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self.checkout_timeout = checkout_timeout
+        self.drain_timeout = drain_timeout
+        self.idle_timeout = idle_timeout
+        self.max_body_bytes = max_body_bytes
+        self.metrics = ServerMetrics()
+        self._executor = ThreadPoolExecutor(
+            max_workers=pool.max_connections, thread_name_prefix="uadb-query")
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._clients: set = set()
+        self._busy: set = set()
+        self._routes = {
+            "/query": ("POST", self._handle_query),
+            "/execute": ("POST", self._handle_execute),
+            "/tables": ("GET", self._handle_tables),
+            "/healthz": ("GET", self._handle_healthz),
+            "/metrics": ("GET", self._handle_metrics),
+        }
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket; :attr:`address` is valid afterwards."""
+        self._server = await asyncio.start_server(
+            self._client_connected, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` the server is (or will be) bound to."""
+        return (self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Accept connections until cancelled (call after :meth:`start`)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight requests.
+
+        Idle keep-alive connections are dropped immediately; connections in
+        the middle of a request get up to ``drain_timeout`` seconds to
+        finish.  The worker executor is then shut down and, if the server
+        created its own pool, the pool is drained and closed too.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._clients - self._busy):
+            task.cancel()
+        busy = list(self._busy)
+        if busy:
+            await asyncio.wait(busy, timeout=self.drain_timeout)
+        for task in list(self._clients):
+            task.cancel()
+        if self._clients:
+            await asyncio.gather(*list(self._clients), return_exceptions=True)
+        # Cancelling a task does not stop an already-running worker thread,
+        # so don't wait for the executor here -- a wedged query would hold
+        # stop() (and the event loop) far past drain_timeout.
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._owns_pool and not self.pool.closed:
+            def close_pool() -> None:
+                try:
+                    self.pool.close(timeout=self.drain_timeout)
+                except PoolTimeout:
+                    logger.warning(
+                        "pool still busy after %.1fs; forcing close with "
+                        "requests in flight", self.drain_timeout)
+                    self.pool.close(drain=False)
+
+            # The drain blocks on a threading.Condition; keep it off the
+            # event loop so an embedding application's other coroutines
+            # keep running while the pool winds down.
+            await asyncio.get_running_loop().run_in_executor(None, close_pool)
+
+    # -- connection handling ------------------------------------------------------
+
+    async def _client_connected(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._clients.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass  # client went away, or server shutdown cancelled us
+        finally:
+            self._clients.discard(task)
+            self._busy.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """Serve requests on one connection until close or keep-alive ends."""
+        task = asyncio.current_task()
+        while True:
+            try:
+                # One bound covers keep-alive idling and slow-trickle
+                # request bodies: a connection that cannot produce a full
+                # request within idle_timeout is dropped, so stalled
+                # clients cannot pin tasks and file descriptors forever.
+                request = await asyncio.wait_for(
+                    http.read_request(reader, self.max_body_bytes),
+                    timeout=self.idle_timeout)
+            except asyncio.TimeoutError:
+                return
+            except HTTPError as error:
+                writer.write(self._render_error(error, keep_alive=False))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            self._busy.add(task)
+            self.metrics.begin()
+            started = time.perf_counter()
+            status = 500
+            try:
+                status = await self._dispatch(request, writer)
+            except Exception as error:  # noqa: BLE001 - mapped to JSON below
+                if isinstance(error, (ConnectionResetError, BrokenPipeError,
+                                      asyncio.CancelledError)):
+                    raise
+                mapped = _map_exception(error)
+                status = mapped.status
+                writer.write(self._render_error(mapped, request.keep_alive))
+            finally:
+                # Unknown paths share one bucket so URL scanners cannot grow
+                # the per-endpoint metrics table without bound.
+                endpoint = (request.path if request.path in self._routes
+                            else "(unmatched)")
+                self.metrics.record(endpoint, status,
+                                    time.perf_counter() - started)
+                self._busy.discard(task)
+            await writer.drain()
+            if not request.keep_alive:
+                return
+
+    async def _dispatch(self, request: Request,
+                        writer: asyncio.StreamWriter) -> int:
+        route = self._routes.get(request.path)
+        if route is None:
+            raise HTTPError(404, "not_found",
+                            f"no such endpoint {request.path!r}; available: "
+                            f"{', '.join(sorted(self._routes))}")
+        method, handler = route
+        if request.method != method:
+            raise HTTPError(405, "method_not_allowed",
+                            f"{request.path} expects {method}")
+        return await handler(request, writer)
+
+    def _render_error(self, error: HTTPError, keep_alive: bool) -> bytes:
+        body = json_bytes({"error": {"code": error.code,
+                                     "message": error.message}})
+        return http.render_response(error.status, body, keep_alive=keep_alive)
+
+    def _write_json(self, writer: asyncio.StreamWriter, status: int,
+                    payload: Any, keep_alive: bool) -> None:
+        writer.write(http.render_response(status, json_bytes(payload),
+                                          keep_alive=keep_alive))
+
+    # -- endpoint handlers --------------------------------------------------------
+
+    async def _handle_query(self, request: Request,
+                            writer: asyncio.StreamWriter) -> int:
+        payload = request.json()
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise HTTPError(400, "bad_request", "'sql' must be a non-empty string")
+        params = payload.get("params")
+        if params is not None and not isinstance(params, (list, dict)):
+            raise HTTPError(400, "bad_request",
+                            "'params' must be an array (positional) or an "
+                            "object (named)")
+        mode = payload.get("mode", "rewritten")
+        if mode not in ("rewritten", "direct"):
+            raise HTTPError(400, "bad_request",
+                            f"unknown mode {mode!r}; use 'rewritten' or 'direct'")
+        stream = bool(payload.get("stream", False))
+        loop = asyncio.get_running_loop()
+        columns, types, rows, certain, elapsed = await loop.run_in_executor(
+            self._executor, self._run_query, sql, params, mode)
+        summary = {
+            "row_count": len(rows),
+            "certain_count": sum(certain),
+            "elapsed_ms": elapsed * 1e3,
+        }
+        if not stream:
+            # Results are unbounded, so the (potentially large) JSON encode
+            # runs on the executor too -- the event loop only ships bytes.
+            body = await loop.run_in_executor(self._executor, json_bytes, {
+                "columns": columns, "types": types,
+                "rows": rows, "certain": certain, **summary,
+            })
+            writer.write(http.render_response(200, body,
+                                              keep_alive=request.keep_alive))
+            return 200
+        await self._stream_rows(writer, request,
+                                {"columns": columns, "types": types},
+                                rows, certain, summary)
+        return 200
+
+    async def _stream_rows(self, writer: asyncio.StreamWriter,
+                           request: Request, header: Dict[str, Any],
+                           rows: List[Any], certain: List[bool],
+                           summary: Dict[str, Any]) -> None:
+        """Send a query result as streamed NDJSON: header, rows, summary.
+
+        HTTP/1.1 clients get chunked framing on a keep-alive connection;
+        HTTP/1.0 clients (no chunked encoding in 1.0) get an EOF-delimited
+        body on a closing connection.  The result itself is already
+        materialized (the engines are not streaming); what streams is the
+        encode-and-send, with backpressure via ``drain()`` every
+        :data:`STREAM_FLUSH_BYTES`, so a slow client never balloons the
+        server's write buffer.
+        """
+        chunked = request.version != "HTTP/1.0"
+        writer.write(http.render_response(
+            200, b"", content_type="application/x-ndjson",
+            keep_alive=request.keep_alive, chunked=chunked,
+            eof_delimited=not chunked))
+        buffer = bytearray(json_bytes(header) + b"\n")
+        for row, certain_flag in zip(rows, certain):
+            buffer += json_bytes({"row": row, "certain": certain_flag}) + b"\n"
+            if len(buffer) >= STREAM_FLUSH_BYTES:
+                writer.write(http.chunk(bytes(buffer)) if chunked
+                             else bytes(buffer))
+                buffer.clear()
+                await writer.drain()
+        buffer += json_bytes(summary) + b"\n"
+        if chunked:
+            writer.write(http.chunk(bytes(buffer)) + http.LAST_CHUNK)
+        else:
+            writer.write(bytes(buffer))
+        await writer.drain()
+        self.metrics.add_streamed_rows(len(rows))
+
+    def _run_query(self, sql: str, params, mode: str):
+        """Worker-thread body of ``POST /query`` (checkout, execute, label)."""
+        with self.pool.connection(timeout=self.checkout_timeout) as conn:
+            if conn.statement_kind(sql, mode=mode) != "select":
+                raise HTTPError(400, "invalid_statement",
+                                "/query only accepts SELECT statements; "
+                                "use /execute for DDL/DML")
+            if mode == "rewritten":
+                result = conn.query(sql, params)
+            else:
+                result = conn.query_direct(sql, params)
+            relation = result.relation
+            columns = [attribute.name
+                       for attribute in relation.schema.attributes]
+            types = [attribute.data_type.name.lower()
+                     for attribute in relation.schema.attributes]
+            rows = result.rows()
+            certain = [relation.is_certain(row) for row in rows]
+            return columns, types, rows, certain, result.elapsed
+
+    async def _handle_execute(self, request: Request,
+                              writer: asyncio.StreamWriter) -> int:
+        payload = request.json()
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise HTTPError(400, "bad_request", "'sql' must be a non-empty string")
+        params = payload.get("params")
+        params_seq = payload.get("params_seq")
+        if params is not None and params_seq is not None:
+            raise HTTPError(400, "bad_request",
+                            "pass either 'params' or 'params_seq', not both")
+        if params is not None and not isinstance(params, (list, dict)):
+            raise HTTPError(400, "bad_request",
+                            "'params' must be an array or an object")
+        if params_seq is not None and not (
+                isinstance(params_seq, list)
+                and all(isinstance(p, (list, dict)) for p in params_seq)):
+            raise HTTPError(400, "bad_request",
+                            "'params_seq' must be an array of arrays/objects")
+        loop = asyncio.get_running_loop()
+        rowcount, elapsed = await loop.run_in_executor(
+            self._executor, self._run_execute, sql, params, params_seq)
+        self._write_json(writer, 200,
+                         {"rowcount": rowcount, "elapsed_ms": elapsed * 1e3},
+                         request.keep_alive)
+        return 200
+
+    def _run_execute(self, sql: str, params, params_seq):
+        """Worker-thread body of ``POST /execute`` (writer-lock serialized)."""
+        with self.pool.connection(timeout=self.checkout_timeout) as conn:
+            if conn.statement_kind(sql) == "select":
+                raise HTTPError(400, "invalid_statement",
+                                "/execute is for DDL/DML statements; "
+                                "use /query for SELECT")
+            started = time.perf_counter()
+            if params_seq is not None:
+                cursor = conn.executemany(sql, params_seq)
+            else:
+                cursor = conn.execute(sql, params)
+            return cursor.rowcount, time.perf_counter() - started
+
+    async def _handle_tables(self, request: Request,
+                             writer: asyncio.StreamWriter) -> int:
+        loop = asyncio.get_running_loop()
+        tables = await loop.run_in_executor(self._executor, self._run_tables)
+        self._write_json(writer, 200, {"tables": tables}, request.keep_alive)
+        return 200
+
+    def _run_tables(self):
+        with self.pool.connection(timeout=self.checkout_timeout) as conn:
+            return conn.tables()
+
+    async def _handle_healthz(self, request: Request,
+                              writer: asyncio.StreamWriter) -> int:
+        stats = self.pool.stats()
+        store = self.pool.store
+        self._write_json(writer, 200, {
+            "status": "ok",
+            "semiring": self.pool.semiring.name,
+            "engine": self._engine_name(),
+            "store": store.path if store is not None else None,
+            "pool": {"in_use": stats["in_use"],
+                     "max_connections": stats["max_connections"]},
+        }, request.keep_alive)
+        return 200
+
+    def _engine_name(self) -> str:
+        """The resolved engine name (or the raw spec if it cannot resolve)."""
+        try:
+            return get_engine(self.pool.engine).name
+        except EvaluationError:
+            return str(self.pool.engine)
+
+    async def _handle_metrics(self, request: Request,
+                              writer: asyncio.StreamWriter) -> int:
+        pool_stats = self.pool.stats()
+        cache = pool_stats.pop("plan_cache")
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+        store = pool_stats.pop("store", None)
+        pool_stats["saturation"] = (pool_stats["in_use"]
+                                    / pool_stats["max_connections"])
+        self._write_json(writer, 200, {
+            "server": self.metrics.snapshot(),
+            "plan_cache": cache,
+            "pool": pool_stats,
+            "store": store,
+        }, request.keep_alive)
+        return 200
+
+    def __repr__(self) -> str:
+        state = "bound" if self._server is not None else "unbound"
+        return f"<UADBServer http://{self.host}:{self.port} {state} over {self.pool!r}>"
+
+
+async def serve(**kwargs: Any) -> UADBServer:
+    """Construct a :class:`UADBServer`, start it, and return it.
+
+    Convenience for asyncio programs::
+
+        server = await serve(store="app.uadb", port=0)
+        try:
+            ...  # talk to server.address
+        finally:
+            await server.stop()
+    """
+    server = UADBServer(**kwargs)
+    try:
+        await server.start()
+    except BaseException:
+        await server.stop()  # release the server-owned pool (and store)
+        raise
+    return server
+
+
+class ServerThread:
+    """A :class:`UADBServer` running on a dedicated background event loop.
+
+    The synchronous front door for tests, examples and benchmarks::
+
+        with ServerThread(engine="sqlite", port=0) as server:
+            client = server.client()
+            client.execute("CREATE TABLE t (a INT)")
+            print(client.query("SELECT a FROM t").rows)
+
+    :meth:`start` blocks until the socket is bound (startup errors re-raise
+    in the calling thread); :meth:`stop` runs the server's graceful shutdown
+    and joins the loop thread.  Construction arguments are passed through to
+    :class:`UADBServer` unchanged.
+    """
+
+    def __init__(self, **server_kwargs: Any) -> None:
+        self.server = UADBServer(**server_kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid once :meth:`start` returned)."""
+        return self.server.address
+
+    def client(self):
+        """A new :class:`~repro.server.client.Client` for this server."""
+        from repro.server.client import Client
+
+        host, port = self.address
+        return Client(host, port)
+
+    def start(self) -> "ServerThread":
+        """Start the loop thread and wait until the server accepts connections."""
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="uadb-server")
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as error:  # surface bind errors in start()
+            self._startup_error = error
+            try:
+                await self.server.stop()  # release the owned pool/store
+            except Exception:  # pragma: no cover - best-effort cleanup
+                logger.exception("cleanup after failed startup")
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+
+    def stop(self) -> None:
+        """Gracefully stop the server and join its thread (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

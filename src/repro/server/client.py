@@ -1,0 +1,269 @@
+"""A thin synchronous HTTP client for the UA-DB query server.
+
+:class:`Client` wraps stdlib :class:`http.client.HTTPConnection` -- no
+third-party dependencies -- and mirrors the session API's result shapes:
+:meth:`Client.query` returns a :class:`QueryReply` with ``rows`` /
+``certain`` / ``labeled_rows()`` accessors, :meth:`Client.execute` returns a
+rowcount, and :meth:`Client.stream` iterates a large result as it arrives
+over NDJSON.  Server-side failures raise :class:`ServerError` carrying the
+structured error code from the JSON body.
+
+One client holds one keep-alive connection and is **not** thread-safe; give
+each thread its own instance (they are cheap).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.db.relation import Row, _row_sort_key
+
+__all__ = ["Client", "QueryReply", "ServerError"]
+
+Params = Union[None, List[Any], Dict[str, Any]]
+
+
+class ServerError(RuntimeError):
+    """An error response from the server: HTTP status + structured code.
+
+    ``code`` is the machine-readable identifier from the JSON body
+    (``"parse_error"``, ``"pool_timeout"``, ...), ``status`` the HTTP status
+    code, and the exception message the server's human-readable explanation.
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class QueryReply:
+    """A query answer as served over HTTP: rows plus certainty labels.
+
+    ``rows`` holds the best-guess answer in result order (each row a tuple,
+    JSON scalars only -- values that are not JSON-representable arrive as
+    their ``repr``), ``certain`` the parallel under-approximation flags:
+    ``certain[i]`` is True when ``rows[i]`` is in **every** possible world
+    of the uncertain input.  ``columns``/``types`` describe the schema and
+    ``elapsed_ms`` is the server-side evaluation time.
+    """
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        self.columns: List[str] = payload["columns"]
+        self.types: List[str] = payload["types"]
+        self.rows: List[Row] = [tuple(row) for row in payload["rows"]]
+        self.certain: List[bool] = payload["certain"]
+        self.row_count: int = payload["row_count"]
+        self.certain_count: int = payload["certain_count"]
+        self.elapsed_ms: float = payload["elapsed_ms"]
+
+    def labeled_rows(self) -> List[Tuple[Row, bool]]:
+        """``(row, certain?)`` pairs sorted for stable output.
+
+        Matches :meth:`repro.api.session.UAQueryResult.labeled_rows` (same
+        sort key), so a client-side reply compares directly against an
+        in-process oracle.
+        """
+        pairs = list(zip(self.rows, self.certain))
+        pairs.sort(key=lambda pair: _row_sort_key(pair[0]))
+        return pairs
+
+    def certain_rows(self) -> List[Row]:
+        """Rows labeled certain (the under-approximation of certain answers)."""
+        return [row for row, flag in zip(self.rows, self.certain) if flag]
+
+    def uncertain_rows(self) -> List[Row]:
+        """Rows not labeled certain (best-guess answers that may not hold)."""
+        return [row for row, flag in zip(self.rows, self.certain) if not flag]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return (f"<QueryReply {len(self.rows)} rows "
+                f"({self.certain_count} certain) in {self.elapsed_ms:.2f}ms>")
+
+
+class Client:
+    """A blocking JSON/HTTP client for one UA-DB server.
+
+    ``timeout`` applies per request (socket-level).  The underlying
+    keep-alive connection reconnects transparently if the server closed it
+    between requests.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._connection
+
+    def _reset(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None
+                 ) -> http.client.HTTPResponse:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload, default=repr).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # /execute is the one non-idempotent endpoint: an INSERT must never
+        # be silently resent once its bytes may have reached the server.
+        retry_after_send = path != "/execute"
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+            except (http.client.HTTPException, ConnectionError,
+                    socket.timeout, OSError):
+                # The request could not be sent (typically a dead keep-alive
+                # socket): reconnect and retry once, whatever the endpoint.
+                self._reset()
+                if attempt:
+                    raise
+                continue
+            try:
+                return connection.getresponse()
+            except (http.client.HTTPException, ConnectionError, OSError) as error:
+                self._reset()
+                # A timeout is a slow server, not a dead socket: resending
+                # would run the (already expensive) statement a second time.
+                if isinstance(error, TimeoutError):
+                    raise
+                # The request went out and the connection dropped promptly
+                # (typically a stale keep-alive closed under us).  Only
+                # idempotent requests may retry; resending DDL/DML could
+                # apply it twice.
+                if attempt or not retry_after_send:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _json(self, method: str, path: str,
+              payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        response = self._request(method, path, payload)
+        data = response.read()
+        parsed = json.loads(data) if data else {}
+        if response.status >= 400:
+            error = parsed.get("error", {}) if isinstance(parsed, dict) else {}
+            raise ServerError(response.status,
+                              error.get("code", "unknown"),
+                              error.get("message", data.decode("utf-8",
+                                                               "replace")))
+        return parsed
+
+    # -- endpoints ----------------------------------------------------------------
+
+    def query(self, sql: str, params: Params = None,
+              mode: str = "rewritten") -> QueryReply:
+        """Run a ``SELECT`` and fetch the whole UA-labeled answer.
+
+        ``mode="direct"`` evaluates K_UA semantics without the Figure 8/9
+        rewriting (the validation path); the default runs the rewritten
+        query over the encoded database.
+        """
+        payload: Dict[str, Any] = {"sql": sql, "mode": mode}
+        if params is not None:
+            payload["params"] = params
+        return QueryReply(self._json("POST", "/query", payload))
+
+    def stream(self, sql: str, params: Params = None,
+               mode: str = "rewritten") -> Iterator[Tuple[Row, bool]]:
+        """Run a ``SELECT`` and yield ``(row, certain?)`` pairs as they arrive.
+
+        The server answers with chunked NDJSON; rows are decoded
+        incrementally, so arbitrarily large results never materialize as one
+        JSON document on either side.  The generator must be consumed (or
+        closed) before the client is used again -- one connection, one
+        in-flight response.
+        """
+        payload: Dict[str, Any] = {"sql": sql, "mode": mode, "stream": True}
+        if params is not None:
+            payload["params"] = params
+        response = self._request("POST", "/query", payload)
+        if response.status >= 400:
+            data = response.read()
+            parsed = json.loads(data) if data else {}
+            error = parsed.get("error", {}) if isinstance(parsed, dict) else {}
+            raise ServerError(response.status, error.get("code", "unknown"),
+                              error.get("message", ""))
+
+        def rows() -> Iterator[Tuple[Row, bool]]:
+            completed = False
+            try:
+                header_line = response.readline()
+                json.loads(header_line)  # {"columns": ..., "types": ...}
+                while True:
+                    line = response.readline()
+                    if not line:
+                        break
+                    record = json.loads(line)
+                    if "row" not in record:
+                        break  # trailing summary line
+                    yield tuple(record["row"]), record["certain"]
+                completed = True
+            finally:
+                if completed:
+                    # Drain the (empty) tail: the keep-alive socket stays
+                    # usable for the next request.
+                    response.read()
+                else:
+                    # Abandoned mid-stream: dropping the connection is far
+                    # cheaper than reading an arbitrarily large remainder.
+                    self._reset()
+
+        return rows()
+
+    def execute(self, sql: str, params: Params = None) -> int:
+        """Run one DDL/DML statement; returns the affected row count."""
+        payload: Dict[str, Any] = {"sql": sql}
+        if params is not None:
+            payload["params"] = params
+        return self._json("POST", "/execute", payload)["rowcount"]
+
+    def executemany(self, sql: str, seq_of_params: List[Params]) -> int:
+        """Run a DML statement once per parameter set (compiled once)."""
+        payload = {"sql": sql, "params_seq": list(seq_of_params)}
+        return self._json("POST", "/execute", payload)["rowcount"]
+
+    def tables(self) -> List[Dict[str, Any]]:
+        """Catalog metadata: name, columns and row count per relation."""
+        return self._json("GET", "/tables")["tables"]
+
+    def healthz(self) -> Dict[str, Any]:
+        """The server's liveness/configuration report."""
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """Request counters, latency percentiles, cache and pool gauges."""
+        return self._json("GET", "/metrics")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the keep-alive connection (the client stays reusable)."""
+        self._reset()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<Client http://{self.host}:{self.port}>"

@@ -1,0 +1,212 @@
+"""Minimal HTTP/1.1 message handling over :mod:`asyncio` streams.
+
+The server speaks just enough HTTP for a JSON query API -- request-line +
+headers + ``Content-Length`` bodies in, fixed-length or chunked responses
+out, keep-alive by default -- without pulling in a web framework.  Anything
+outside that fragment (chunked request bodies, huge headers, oversized
+payloads) is rejected with a typed :class:`HTTPError` that the server turns
+into a structured JSON error response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "json_bytes",
+    "read_request",
+    "render_response",
+]
+
+#: Reason phrases for the status codes the server actually emits.
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+#: Upper bound on accumulated header bytes per request.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Default upper bound on request body size (16 MiB).
+DEFAULT_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class HTTPError(Exception):
+    """A request the server refuses, carrying the HTTP status and error code.
+
+    ``status`` is the HTTP status line to send, ``code`` a short
+    machine-readable identifier (``"bad_json"``, ``"not_found"``, ...) and
+    ``message`` the human-readable explanation; all three end up verbatim in
+    the JSON error body ``{"error": {"code": ..., "message": ...}}``.
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request: method, split target, headers and raw body."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should stay open after the response.
+
+        HTTP/1.0 connections always close (the server also falls back to
+        EOF-delimited bodies for them -- chunked framing is 1.1-only).
+        """
+        if self.version == "HTTP/1.0":
+            return False
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """The body decoded as a JSON object; :class:`HTTPError` 400 otherwise."""
+        if not self.body:
+            raise HTTPError(400, "bad_json", "request body must be a JSON object")
+        try:
+            payload = json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as error:
+            raise HTTPError(400, "bad_json", f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "bad_json", "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = DEFAULT_MAX_BODY_BYTES) -> Optional[Request]:
+    """Read and parse one request; None on a clean end-of-stream.
+
+    Raises :class:`HTTPError` for malformed request lines, oversized headers
+    or bodies, and chunked request bodies (which the server does not accept).
+    A connection that closes mid-request surfaces as a 400.
+    """
+    try:
+        request_line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise HTTPError(431, "header_too_large", "request line too long")
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HTTPError(400, "bad_request_line",
+                        f"malformed request line {request_line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(505, "http_version", f"unsupported version {version}")
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise HTTPError(431, "header_too_large", "header line too long")
+        if not line:
+            raise HTTPError(400, "truncated", "connection closed inside headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HTTPError(431, "header_too_large", "headers exceed 64 KiB")
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HTTPError(400, "bad_header", f"malformed header line {line!r}")
+        name = name.strip().lower()
+        value = value.strip()
+        if name == "content-length" and name in headers \
+                and headers[name] != value:
+            # RFC 9110: conflicting duplicate Content-Length must be
+            # rejected -- accepting one of them enables request smuggling
+            # behind an intermediary that frames on the other.
+            raise HTTPError(400, "bad_header",
+                            "conflicting Content-Length headers")
+        headers[name] = value
+
+    body = b""
+    if "transfer-encoding" in headers:
+        raise HTTPError(501, "chunked_body",
+                        "chunked request bodies are not supported; "
+                        "send Content-Length")
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HTTPError(400, "bad_header", "malformed Content-Length")
+        if length < 0:
+            raise HTTPError(400, "bad_header", "negative Content-Length")
+        if length > max_body:
+            raise HTTPError(413, "payload_too_large",
+                            f"request body of {length} bytes exceeds the "
+                            f"{max_body} byte limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HTTPError(400, "truncated", "connection closed inside body")
+
+    path = target.partition("?")[0]
+    return Request(method=method.upper(), path=path,
+                   headers=headers, body=body, version=version)
+
+
+def json_bytes(payload: Any) -> bytes:
+    """Serialize ``payload`` compactly; non-JSON values degrade to ``repr``."""
+    return json.dumps(payload, separators=(",", ":"), default=repr).encode("utf-8")
+
+
+def render_response(status: int, body: bytes,
+                    content_type: str = "application/json",
+                    keep_alive: bool = True,
+                    chunked: bool = False,
+                    eof_delimited: bool = False) -> bytes:
+    """Serialize a response head (and, unless streaming, the body).
+
+    With ``chunked=True`` only the head (announcing
+    ``Transfer-Encoding: chunked``) is returned; the caller then streams
+    chunks -- see the NDJSON path of ``POST /query``.  ``eof_delimited``
+    likewise returns only the head, with neither ``Content-Length`` nor
+    chunked framing: the body ends when the (necessarily closing)
+    connection does -- the HTTP/1.0 streaming fallback.
+    """
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {phrase}",
+            f"Content-Type: {content_type}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    if chunked:
+        head.append("Transfer-Encoding: chunked")
+        return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+    if eof_delimited:
+        return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+    head.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def chunk(data: bytes) -> bytes:
+    """Encode one chunk of a chunked response body."""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+#: The terminating chunk of a chunked response.
+LAST_CHUNK = b"0\r\n\r\n"

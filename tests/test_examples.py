@@ -15,6 +15,7 @@ EXPECTED_OUTPUT = {
     "quickstart.py": "answers are certain",
     "session_quickstart.py": "reused the prepared plan",
     "persistent_store_quickstart.py": "survived two sessions",
+    "server_quickstart.py": "answers are certain",
     "ctable_certain_answers.py": "",
     "data_cleaning_imputation.py": "",
     "access_control_audit.py": "",

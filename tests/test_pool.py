@@ -88,6 +88,105 @@ def test_pool_rejects_nonpositive_size():
         ConnectionPool(max_connections=0)
 
 
+# -- shutdown semantics -----------------------------------------------------------
+
+
+def test_close_drains_in_flight_checkouts():
+    """close() waits for checked-out handles while refusing new checkouts."""
+    pool = ConnectionPool(max_connections=2)
+    with pool.connection() as conn:
+        conn.execute("CREATE TABLE t (a INT)")
+    held = pool.acquire()
+    closer = threading.Thread(target=pool.close)
+    closer.start()
+    closer.join(timeout=0.1)
+    assert closer.is_alive()  # still draining: a handle is out
+    assert pool.closed  # ... but the pool already refuses new checkouts
+    with pytest.raises(PoolError, match="closed"):
+        pool.acquire()
+    held.execute("INSERT INTO t VALUES (1)")  # in-flight work still runs
+    held.close()
+    closer.join(timeout=5)
+    assert not closer.is_alive()
+    assert pool._core.closed  # the shared session closed after the drain
+
+
+def test_close_drain_timeout_then_force():
+    pool = ConnectionPool(max_connections=1)
+    grabbed = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        handle = pool.acquire()
+        grabbed.set()
+        release.wait()
+        handle.close()
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    grabbed.wait()
+    with pytest.raises(PoolTimeout, match="still"):
+        pool.close(timeout=0.05)
+    # The timed-out close left the shared session open for the holder ...
+    assert not pool._core.closed
+    release.set()
+    thread.join()
+    # ... and a later close finishes the job.
+    pool.close(drain=False)
+    assert pool._core.closed
+
+
+def test_close_refuses_to_drain_own_thread_handles():
+    """Draining a handle the closing thread holds would deadlock: error out."""
+    pool = ConnectionPool(max_connections=2)
+    held = pool.acquire()
+    with pytest.raises(PoolError, match="closing thread still holds"):
+        pool.close()
+    held.close()  # the pool already refuses new checkouts, release still works
+    pool.close()
+    assert pool._core.closed
+
+
+def test_double_close_is_idempotent(tmp_path):
+    pool = ConnectionPool(str(tmp_path / "twice.uadb"), max_connections=2)
+    with pool.connection() as conn:
+        conn.execute("CREATE TABLE t (a INT)")
+    store = pool.store
+    pool.close()
+    assert store.closed
+    pool.close()  # second close: no error, no double-free
+    assert pool.closed and store.closed
+    with pytest.raises(PoolError, match="closed"):
+        pool.acquire()
+
+
+def test_leaked_handle_is_released_by_garbage_collection():
+    """A handle dropped without close() must not block a draining close."""
+    import gc
+
+    pool = ConnectionPool(max_connections=1)
+    handle = pool.acquire()
+    del handle  # leaked: no close(), no context manager
+    gc.collect()
+    pool.close(timeout=5)  # would raise PoolTimeout if the leak held a slot
+    assert pool._core.closed
+
+
+def test_close_with_no_checkouts_is_immediate():
+    pool = ConnectionPool(max_connections=4)
+    started = threading.Event()
+
+    def close():
+        started.set()
+        pool.close()
+
+    closer = threading.Thread(target=close)
+    closer.start()
+    started.wait()
+    closer.join(timeout=1)
+    assert not closer.is_alive()
+
+
 # -- the readers-writer lock -----------------------------------------------------
 
 
