@@ -8,6 +8,12 @@ optimizer toggle) and carry the catalog version they were compiled against;
 a lookup under a newer catalog version is treated as a miss and the stale
 entry is dropped, so registering or creating a relation transparently
 invalidates every plan compiled before it.
+
+Entries additionally carry the *statistics version* they were optimized
+under.  The cost-based optimizer bakes table statistics into the cached
+plan (join order, chosen engine), so a bulk ``INSERT`` that shifts table
+sizes must invalidate it the same way DDL does; lookups that pass a
+``stats_version`` treat a mismatch as a miss.
 """
 
 from __future__ import annotations
@@ -34,13 +40,23 @@ class PlanCache:
         self.evictions = 0
         self.invalidations = 0
 
-    def get(self, key: Hashable, catalog_version: int) -> Optional[Any]:
-        """The cached entry for ``key``, or None on a miss/stale entry."""
+    def get(self, key: Hashable, catalog_version: int,
+            stats_version: Optional[int] = None) -> Optional[Any]:
+        """The cached entry for ``key``, or None on a miss/stale entry.
+
+        ``stats_version`` is the caller's current statistics version;
+        ``None`` skips the check (callers without a statistics layer).
+        Entries lacking the attribute never stats-invalidate.
+        """
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
-        if entry.catalog_version != catalog_version:
+        stale = entry.catalog_version != catalog_version
+        if not stale and stats_version is not None:
+            entry_stats = getattr(entry, "stats_version", None)
+            stale = entry_stats is not None and entry_stats != stats_version
+        if stale:
             del self._entries[key]
             self.invalidations += 1
             self.misses += 1
@@ -110,6 +126,7 @@ class SharedPlanCache(PlanCache):
         super().__init__(max_size)
         self._lock = threading.RLock()
         self._catalog_version = 0
+        self._stats_version = 0
 
     @property
     def catalog_version(self) -> int:
@@ -123,9 +140,22 @@ class SharedPlanCache(PlanCache):
             self._catalog_version += 1
             return self._catalog_version
 
-    def get(self, key: Hashable, catalog_version: int) -> Optional[Any]:
+    @property
+    def stats_version(self) -> int:
+        """The shared monotonic statistics version of the sharing connections."""
         with self._lock:
-            return super().get(key, catalog_version)
+            return self._stats_version
+
+    def bump_stats_version(self) -> int:
+        """Advance the shared statistics version (INSERTs, recollections)."""
+        with self._lock:
+            self._stats_version += 1
+            return self._stats_version
+
+    def get(self, key: Hashable, catalog_version: int,
+            stats_version: Optional[int] = None) -> Optional[Any]:
+        with self._lock:
+            return super().get(key, catalog_version, stats_version)
 
     def put(self, key: Hashable, entry: Any) -> None:
         with self._lock:

@@ -45,7 +45,10 @@ from repro.db.relation import KRelation, Row, _row_sort_key
 from repro.db.schema import (
     Attribute, DataType, DatabaseSchema, RelationSchema, SchemaError,
 )
-from repro.db.sql.ast import CreateTableStatement, InsertStatement, Statement
+from repro.db.stats import StatsCatalog
+from repro.db.sql.ast import (
+    CreateTableStatement, ExplainStatement, InsertStatement, Statement,
+)
 from repro.db.sql.parser import parse_statement
 from repro.db.sql.translator import parse_query, translate
 from repro.semirings import NATURAL, Semiring
@@ -165,12 +168,15 @@ class PreparedPlan:
     """
 
     sql: str
-    kind: str  # "select" | "create" | "insert"
+    kind: str  # "select" | "create" | "insert" | "explain"
     mode: str  # "rewritten" | "direct"
     catalog_version: int
     plan: Optional[algebra.Operator] = None
     statement: Optional[Statement] = None
     parameters: Tuple[Parameter, ...] = ()
+    #: Statistics version the plan was optimized under; the cache treats a
+    #: mismatch as a miss so bulk INSERTs cannot pin a stale join order.
+    stats_version: int = 0
 
 
 class Connection:
@@ -247,6 +253,16 @@ class Connection:
         else:
             self.plan_cache = PlanCache(cache_size)
         self._local_catalog_version = 0
+        self._local_stats_version = 0
+        #: Table statistics feeding the cost-based optimizer and the
+        #: ``auto`` engine; collected from the *encoded* relations (whose
+        #: columns are a superset of the logical ones), persisted in the
+        #: store's ``uadb_stats`` table when one is attached.
+        self.stats = StatsCatalog(self.store)
+        # Attach to both databases so evaluate()/engines can reach the
+        # statistics through ``database.stats``.
+        self.uadb.database.stats = self.stats
+        self.encoded.stats = self.stats
         self._closed = False
         if self.store is not None:
             self._load_from_store()
@@ -285,6 +301,9 @@ class Connection:
             self.uadb.add_relation(
                 decode_relation(encoded, self.uadb.ua_semiring)
             )
+            # Adopt persisted statistics when they still match the data;
+            # stores from before the statistics layer get a fresh scan.
+            self.stats.adopt(encoded)
 
     # -- source registration ------------------------------------------------------
 
@@ -302,7 +321,9 @@ class Connection:
             self._persist_relation(encoded)
             self.uadb.add_relation(relation)
             self.encoded.add_relation(encoded)
+            self.stats.collect(encoded)
             self._bump_catalog_version()
+            self._bump_stats_version()
 
     def _persist_relation(self, encoded: KRelation) -> None:
         """Write a freshly registered relation through to the store."""
@@ -334,6 +355,34 @@ class Connection:
             self.plan_cache.bump_catalog_version()
         elif self.store is None:
             self._local_catalog_version += 1
+
+    def _bump_stats_version(self) -> None:
+        """Advance the statistics version (same precedence as the catalog's).
+
+        Called after anything that changes table statistics -- INSERTs and
+        registrations -- so cached plans whose join order or engine choice
+        was derived from the old statistics are recompiled.
+        """
+        if self.store is not None:
+            self.store.bump_stats_version()
+        if self.shared_cache:
+            self.plan_cache.bump_stats_version()
+        elif self.store is None:
+            self._local_stats_version += 1
+
+    @property
+    def stats_version(self) -> int:
+        """Monotonic counter bumped whenever table statistics change.
+
+        Mirrors :attr:`catalog_version`'s precedence: the shared plan
+        cache's counter when one is shared, else the store's persisted
+        counter, else a connection-local one.
+        """
+        if self.shared_cache:
+            return self.plan_cache.stats_version
+        if self.store is not None:
+            return self.store.stats_version
+        return self._local_stats_version
 
     def register_ua_relation(self, relation: UARelation) -> None:
         """Register an already-built UA-relation."""
@@ -468,7 +517,8 @@ class Connection:
         self._check_open()
         key = (sql, mode, self._optimize_resolved())
         with self._locking.read():
-            entry = self.plan_cache.get(key, self.catalog_version)
+            entry = self.plan_cache.get(key, self.catalog_version,
+                                        self.stats_version)
             if entry is None:
                 entry = self._compile(sql, mode)
                 self.plan_cache.put(key, entry)
@@ -476,9 +526,23 @@ class Connection:
 
     def _compile(self, sql: str, mode: str) -> PreparedPlan:
         statement = parse_statement(sql)
+        return self._compile_statement(sql, statement, mode)
+
+    def _compile_statement(self, sql: str, statement: Statement,
+                           mode: str) -> PreparedPlan:
+        if isinstance(statement, ExplainStatement):
+            inner = self._compile_statement(sql, statement.statement, mode)
+            if inner.kind != "select":
+                raise SessionError("EXPLAIN supports SELECT statements only")
+            # EXPLAIN never executes, so it requires no parameter bindings
+            # even when the wrapped statement has placeholders.
+            return PreparedPlan(sql, "explain", mode, inner.catalog_version,
+                                plan=inner.plan, statement=statement,
+                                stats_version=inner.stats_version)
         if isinstance(statement, CreateTableStatement):
             return PreparedPlan(sql, "create", mode, self.catalog_version,
-                                statement=statement)
+                                statement=statement,
+                                stats_version=self.stats_version)
         if isinstance(statement, InsertStatement):
             parameters = [parameter
                           for row in statement.rows
@@ -486,7 +550,8 @@ class Connection:
                           for parameter in expression_parameters(expression)]
             return PreparedPlan(sql, "insert", mode, self.catalog_version,
                                 statement=statement,
-                                parameters=tuple(parameters))
+                                parameters=tuple(parameters),
+                                stats_version=self.stats_version)
         if mode == "rewritten":
             logical = translate(statement, self.catalog)
             plan = rewrite_plan(logical, self.encoded_catalog)
@@ -499,9 +564,15 @@ class Connection:
             raise SessionError(f"unknown compilation mode {mode!r}")
         parameters = plan_parameters(logical)
         if self._optimize_resolved():
-            plan = optimize_plan(plan, optimize_catalog)
+            # Re-read statistics another connection may have advanced and
+            # repair any relation mutated behind the session's back, so the
+            # join order is chosen from statistics matching the data.
+            self.stats.maybe_reload()
+            self.stats.refresh(self.encoded)
+            plan = optimize_plan(plan, optimize_catalog, stats=self.stats)
         return PreparedPlan(sql, "select", mode, self.catalog_version,
-                            plan=plan, parameters=tuple(parameters))
+                            plan=plan, parameters=tuple(parameters),
+                            stats_version=self.stats_version)
 
     # -- statement execution ------------------------------------------------------
 
@@ -510,6 +581,10 @@ class Connection:
         """Run a prepared plan: a :class:`UAQueryResult` for SELECTs, a row
         count for INSERTs, 0 for CREATE TABLE."""
         self._check_open()
+        if entry.kind == "explain":
+            # EXPLAIN never executes the wrapped statement, so parameter
+            # bindings (if any) are accepted but ignored.
+            return self._run_explain(entry)
         check_bindings(entry.parameters, params, exact=True)
         if entry.kind == "create":
             self._run_create(entry.statement)  # type: ignore[arg-type]
@@ -583,6 +658,13 @@ class Connection:
                 encoded_relation.add_validated(row + (1,), base.one)
             if persisted:
                 self.store.mark_synced(encoded_relation)
+            # Fold the inserted rows into the table statistics incrementally
+            # (no rescan) and advance the statistics version so cached plans
+            # whose join order/engine choice depended on the old sizes are
+            # recompiled.
+            self.stats.update_rows(statement.table, [row + (1,) for row in rows])
+            self.stats.mark_current(encoded_relation)
+            self._bump_stats_version()
         return len(rows)
 
     def _persist_rows(self, encoded_relation: KRelation,
@@ -611,6 +693,88 @@ class Connection:
             )
             return False
 
+    # -- EXPLAIN -------------------------------------------------------------------
+
+    _EXPLAIN_SCHEMA = RelationSchema("explain", [
+        Attribute("step", DataType.INTEGER),
+        Attribute("detail", DataType.STRING),
+    ])
+
+    def _explain_report(self, plan: algebra.Operator,
+                        mode: str) -> Dict[str, Any]:
+        """The structured EXPLAIN payload for an already-optimized plan."""
+        from repro.db import cost
+        from repro.db.engine import get_engine
+
+        database = self.encoded if mode == "rewritten" else self.uadb.database
+        resolved = get_engine(self.engine)
+        stats = self.stats
+        if resolved.name == "auto":
+            chosen, costs = resolved.choose(plan, database)
+        else:
+            chosen = resolved.name
+            costs = {name: cost.estimate_engine_cost(plan, name, stats)
+                     for name in cost.ENGINE_COSTS}
+        plan_lines = [
+            {"depth": depth, "operator": describe, "estimated_rows": rows}
+            for depth, describe, rows in cost.explain_rows(plan, stats)
+        ]
+        return {
+            "mode": mode,
+            "engine": resolved.name,
+            "chosen_engine": chosen,
+            "estimated_rows": plan_lines[0]["estimated_rows"] if plan_lines else 0.0,
+            "estimated_costs": {name: round(value, 2)
+                                for name, value in sorted(costs.items())},
+            "plan": plan_lines,
+        }
+
+    def _run_explain(self, entry: PreparedPlan) -> UAQueryResult:
+        """Materialize an EXPLAIN report as a (step, detail) relation."""
+        started = time.perf_counter()
+        with self._locking.read():
+            report = self._explain_report(entry.plan, entry.mode)
+        lines: List[str] = []
+        for line in report["plan"]:
+            indent = "  " * line["depth"]
+            lines.append(f"{indent}{line['operator']}  "
+                         f"[rows~{line['estimated_rows']:.0f}]")
+        costs = ", ".join(f"{name}={value:.0f}"
+                          for name, value in report["estimated_costs"].items())
+        lines.append(f"engine: {report['engine']} "
+                     f"(chosen: {report['chosen_engine']})")
+        lines.append(f"estimated costs: {costs}")
+        certain_one = self.uadb.ua_semiring.certain_annotation(
+            self.uadb.base_semiring.one)
+        # Number the lines so two identical plan lines stay distinct rows
+        # under set semantics.
+        items = {(index, line): certain_one
+                 for index, line in enumerate(lines, start=1)}
+        relation = UARelation._from_validated(
+            self._EXPLAIN_SCHEMA, self.uadb.ua_semiring, items)
+        return UAQueryResult(relation, time.perf_counter() - started)
+
+    def explain(self, sql: str, mode: str = "rewritten") -> Dict[str, Any]:
+        """Describe how ``sql`` would run, without executing it.
+
+        Compiles (and caches) the statement exactly as :meth:`query` would,
+        then returns a dictionary with the optimized ``plan`` (one entry per
+        operator: ``depth``, ``operator``, ``estimated_rows``), the
+        cost-model ``estimated_costs`` per engine, the configured ``engine``
+        and the ``chosen_engine`` the query would dispatch to (these differ
+        only for the ``"auto"`` engine).  The SQL form ``EXPLAIN SELECT ...``
+        returns the same information as a ``(step, detail)`` relation.
+        """
+        if mode not in ("rewritten", "direct"):
+            raise SessionError(f"unknown compilation mode {mode!r}")
+        entry = self._entry(sql, mode)
+        if entry.kind not in ("select", "explain"):
+            raise SessionError("explain() expects a SELECT statement")
+        with self._locking.read():
+            report = self._explain_report(entry.plan, entry.mode)
+        report["sql"] = sql
+        return report
+
     # -- DB-API-style entry points ------------------------------------------------
 
     def cursor(self) -> "Cursor":
@@ -631,8 +795,8 @@ class Connection:
         return PreparedStatement(self, sql, mode)
 
     def statement_kind(self, sql: str, mode: str = "rewritten") -> str:
-        """Classify ``sql`` without running it: ``"select"``, ``"insert"``
-        or ``"create"``.
+        """Classify ``sql`` without running it: ``"select"``, ``"insert"``,
+        ``"create"`` or ``"explain"``.
 
         Compiles (and caches) the statement, so syntax errors and unknown
         relations surface here exactly as they would on execution; the HTTP
@@ -677,7 +841,7 @@ class Connection:
         """Answer a SQL query with UA semantics via the rewriting pipeline."""
         started = time.perf_counter()
         entry = self._entry(sql, "rewritten")
-        if entry.kind != "select":
+        if entry.kind not in ("select", "explain"):
             raise SessionError("query() expects a SELECT statement")
         result = self._execute_entry(entry, params)
         result.elapsed = time.perf_counter() - started  # type: ignore[union-attr]
@@ -691,7 +855,7 @@ class Connection:
         """
         started = time.perf_counter()
         entry = self._entry(sql, "direct")
-        if entry.kind != "select":
+        if entry.kind not in ("select", "explain"):
             raise SessionError("query_direct() expects a SELECT statement")
         result = self._execute_entry(entry, params)
         result.elapsed = time.perf_counter() - started  # type: ignore[union-attr]

@@ -72,6 +72,7 @@ STORE_DIR_ENV_VAR = "REPRO_STORE_DIR"
 
 _META_TABLE = "uadb_meta"
 _CATALOG_TABLE = "uadb_catalog"
+_STATS_TABLE = "uadb_stats"
 
 
 class StoreError(RuntimeError):
@@ -241,6 +242,7 @@ class UADBStore:
             ) from exc
         self.semiring = semiring
         self._catalog_version = 0
+        self._stats_version = 0
         connection.execute(
             f"CREATE TABLE {_META_TABLE} (key TEXT PRIMARY KEY, value TEXT)"
         )
@@ -253,7 +255,8 @@ class UADBStore:
             f"INSERT INTO {_META_TABLE} (key, value) VALUES (?, ?)",
             [("format", str(FORMAT_VERSION)),
              ("semiring", semiring.name),
-             ("catalog_version", "0")],
+             ("catalog_version", "0"),
+             ("stats_version", "0")],
         )
         connection.commit()
 
@@ -285,6 +288,9 @@ class UADBStore:
         self.semiring = stored_semiring
         self.ops = annotation_sql(stored_semiring)
         self._catalog_version = int(meta.get("catalog_version", "0"))
+        # Stores from before the statistics layer have neither the meta row
+        # nor the stats table; both appear lazily on first write.
+        self._stats_version = int(meta.get("stats_version", "0"))
 
     # -- catalog ------------------------------------------------------------------
 
@@ -304,6 +310,83 @@ class UADBStore:
             )
             connection.commit()
             return self._catalog_version
+
+    # -- table statistics ---------------------------------------------------------
+
+    @property
+    def stats_version(self) -> int:
+        """Monotonic statistics counter persisted across processes.
+
+        Bumped whenever persisted table statistics change (INSERTs,
+        recollections); plan caches key on it so a join order chosen under
+        stale statistics cannot outlive the statistics it was based on.
+        Stores from before the statistics layer report 0.
+        """
+        return self._stats_version
+
+    def bump_stats_version(self) -> int:
+        """Advance and persist the statistics version.
+
+        Uses ``INSERT OR REPLACE`` (not a plain ``UPDATE``) because stores
+        created before the statistics layer have no ``stats_version`` meta
+        row to update.
+        """
+        with self._write_lock:
+            self._stats_version += 1
+            connection = self.connection()
+            connection.execute(
+                f"INSERT OR REPLACE INTO {_META_TABLE} (key, value) "
+                "VALUES ('stats_version', ?)",
+                (str(self._stats_version),),
+            )
+            connection.commit()
+            return self._stats_version
+
+    def _ensure_stats_table(self, connection: sqlite3.Connection) -> None:
+        connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {_STATS_TABLE} "
+            "(name TEXT PRIMARY KEY, stats_json TEXT NOT NULL)"
+        )
+
+    def save_stats(self, name: str, stats_json: str) -> None:
+        """Persist the statistics JSON of relation ``name`` (upsert)."""
+        with self._write_lock:
+            connection = self.connection()
+            self._ensure_stats_table(connection)
+            connection.execute(
+                f"INSERT OR REPLACE INTO {_STATS_TABLE} (name, stats_json) "
+                "VALUES (?, ?)",
+                (name.lower(), stats_json),
+            )
+            connection.commit()
+
+    def load_all_stats(self) -> Dict[str, str]:
+        """All persisted statistics as ``{relation name: stats JSON}``.
+
+        Returns an empty mapping for stores without a stats table (created
+        before the statistics layer, or never analyzed).
+        """
+        connection = self.connection()
+        try:
+            rows = connection.execute(
+                f"SELECT name, stats_json FROM {_STATS_TABLE}"
+            ).fetchall()
+        except sqlite3.OperationalError:
+            return {}
+        return {name: payload for name, payload in rows}
+
+    def delete_stats(self, name: str) -> None:
+        """Drop persisted statistics for relation ``name`` (no-op if absent)."""
+        with self._write_lock:
+            connection = self.connection()
+            try:
+                connection.execute(
+                    f"DELETE FROM {_STATS_TABLE} WHERE name = ?",
+                    (name.lower(),),
+                )
+            except sqlite3.OperationalError:
+                return
+            connection.commit()
 
     def relation_names(self) -> List[str]:
         """Display names of the stored relations, in registration order."""

@@ -23,6 +23,7 @@ variable, per database via ``Database(engine=...)``, or per call via
 from __future__ import annotations
 
 import os
+import threading
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.db.engine.base import EvaluationError, ExecutionEngine, UnknownEngineError
@@ -67,11 +68,46 @@ def get_engine(spec: EngineSpec = None) -> ExecutionEngine:
     return _INSTANCES[name]
 
 
+# -- dispatch accounting ------------------------------------------------------
+#
+# Process-wide counters of how many plans each engine actually executed.
+# ``evaluate`` records the engine it resolved; the ``auto`` meta-engine
+# additionally records the backend it delegated to, so the counters answer
+# both "how often was auto used" and "where did the work really run".
+# Surfaced by the HTTP server under ``GET /metrics``.
+
+_DISPATCH_LOCK = threading.Lock()
+_DISPATCH_COUNTS: Dict[str, int] = {}
+
+
+def record_dispatch(name: str) -> None:
+    """Count one plan execution dispatched to engine ``name``."""
+    with _DISPATCH_LOCK:
+        _DISPATCH_COUNTS[name] = _DISPATCH_COUNTS.get(name, 0) + 1
+
+
+def dispatch_counts() -> Dict[str, int]:
+    """Per-engine dispatch counters (a snapshot copy, sorted by name)."""
+    with _DISPATCH_LOCK:
+        return {name: _DISPATCH_COUNTS[name]
+                for name in sorted(_DISPATCH_COUNTS)}
+
+
+def reset_dispatch_counts() -> None:
+    """Zero the dispatch counters (test isolation)."""
+    with _DISPATCH_LOCK:
+        _DISPATCH_COUNTS.clear()
+
+
+from repro.db.engine.auto import AutoEngine  # noqa: E402  (needs get_engine)
+
 register_engine(RowEngine.name, RowEngine)
 register_engine(ColumnarEngine.name, ColumnarEngine)
 register_engine(SQLiteEngine.name, SQLiteEngine)
+register_engine(AutoEngine.name, AutoEngine)
 
 __all__ = [
+    "AutoEngine",
     "ColumnarEngine",
     "DEFAULT_ENGINE",
     "ENGINE_ENV_VAR",
@@ -82,6 +118,9 @@ __all__ = [
     "SQLiteEngine",
     "UnknownEngineError",
     "available_engines",
+    "dispatch_counts",
     "get_engine",
+    "record_dispatch",
     "register_engine",
+    "reset_dispatch_counts",
 ]

@@ -1,0 +1,162 @@
+"""Cost-based automatic engine selection.
+
+``AutoEngine`` is a meta-engine: it never evaluates a plan itself, it
+picks the cheapest registered backend for each plan and delegates.  The
+decision combines
+
+* a **compilability probe** -- the sqlite engine is only a candidate when
+  :meth:`~repro.db.engine.sqlite.SQLiteEngine.compiled_sql` accepts the
+  plan (the probe shares sqlite's compiled-plan cache, including cached
+  negative verdicts, so repeated probes cost one dictionary hit) and the
+  database's semiring has a stable on-disk form;
+* the **cost model** of :mod:`repro.db.cost`, fed by the database's
+  :class:`~repro.db.stats.StatsCatalog` when the session attached one
+  (``database.stats``), with neutral defaults otherwise.
+
+Decisions are cached per ``(plan, semiring, statistics fingerprint)``; the
+fingerprint covers every referenced relation's identity and mutation
+counter plus the catalog-wide statistics version, so a bulk ``INSERT``
+that shifts table sizes re-decides automatically instead of pinning a
+stale choice.  Each delegated execution is recorded with
+:func:`repro.db.engine.record_dispatch` so ``GET /metrics`` can report
+where ``auto`` actually sent the work.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+from repro.db import algebra, cost
+from repro.db.database import Database
+from repro.db.engine.base import ExecutionEngine
+from repro.db.engine.compiler import NotSupportedError
+from repro.db.params import Params
+from repro.db.relation import KRelation
+
+__all__ = ["AutoEngine"]
+
+
+def _referenced_relations(plan: algebra.Operator) -> List[str]:
+    """Names of all relations the plan reads, in deterministic order."""
+    names: List[str] = []
+
+    def walk(node: algebra.Operator) -> None:
+        if isinstance(node, algebra.RelationRef):
+            names.append(node.name)
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return sorted(set(names))
+
+
+class AutoEngine(ExecutionEngine):
+    """Picks the cheapest backend per plan and delegates execution."""
+
+    name = "auto"
+
+    #: Candidate backends in tie-breaking preference order.
+    candidates: Tuple[str, ...] = ("sqlite", "columnar", "row")
+
+    def __init__(self, choice_cache_size: int = 256) -> None:
+        #: id(plan) -> (plan, relation names, stats fingerprint, decision).
+        #: Keyed by identity for hit speed: hashing a deep plan costs more
+        #: than the whole lookup.  Each entry holds a strong reference to
+        #: its plan, so a live entry's id cannot be recycled -- an id match
+        #: plus ``entry plan is plan`` is therefore exact.
+        self._choices: "OrderedDict[int, tuple]" = OrderedDict()
+        self._choice_cache_size = choice_cache_size
+        self._lock = threading.RLock()
+        self.decisions = 0
+        self.cache_hits = 0
+
+    # -- engine interface -------------------------------------------------------
+
+    def execute(self, plan: algebra.Operator, database: Database,
+                params: Params = None) -> KRelation:
+        """Evaluate ``plan`` on the backend the cost model prefers."""
+        from repro.db.engine import get_engine, record_dispatch
+
+        choice, _ = self.choose(plan, database)
+        record_dispatch(choice)
+        engine = get_engine(choice)
+        if params is not None:
+            return engine.execute(plan, database, params=params)
+        return engine.execute(plan, database)
+
+    # -- decision making --------------------------------------------------------
+
+    def choose(self, plan: algebra.Operator, database: Database
+               ) -> Tuple[str, Dict[str, float]]:
+        """The chosen backend name and the per-candidate cost estimates."""
+        key = id(plan)
+        with self._lock:
+            entry = self._choices.get(key)
+            if entry is not None and entry[0] is plan:
+                fingerprint = self._fingerprint(entry[1], database)
+                if fingerprint == entry[2]:
+                    self._choices.move_to_end(key)
+                    self.cache_hits += 1
+                    return entry[3]
+        names = _referenced_relations(plan)
+        candidates = [name for name in self.candidates
+                      if name != "sqlite" or self._sqlite_viable(plan, database)]
+        stats = getattr(database, "stats", None)
+        decision = cost.cheapest_engine(plan, candidates, stats)
+        fingerprint = self._fingerprint(names, database)
+        with self._lock:
+            self.decisions += 1
+            self._choices[key] = (plan, names, fingerprint, decision)
+            self._choices.move_to_end(key)
+            while len(self._choices) > self._choice_cache_size:
+                self._choices.popitem(last=False)
+        return decision
+
+    def stats(self) -> Dict[str, int]:
+        """Decision/cache counters for observability and tests."""
+        with self._lock:
+            return {
+                "decisions": self.decisions,
+                "cache_hits": self.cache_hits,
+                "cached_choices": len(self._choices),
+            }
+
+    # -- internals --------------------------------------------------------------
+
+    def _fingerprint(self, names: List[str], database: Database) -> tuple:
+        """The statistics state a cached decision depends on.
+
+        Covers each referenced relation's identity, mutation counter and
+        current size, the database's semiring, and the catalog statistics
+        version when a :class:`~repro.db.stats.StatsCatalog` is attached --
+        so any change that can move the cost estimates re-decides.
+        """
+        fingerprint = []
+        for name in names:
+            if name not in database:
+                continue
+            relation = database.relation(name)
+            fingerprint.append((name, id(relation), relation._version,
+                                len(relation)))
+        stats = getattr(database, "stats", None)
+        versions = getattr(stats, "_loaded_version", None)
+        return (database.semiring.name, tuple(fingerprint), versions)
+
+    def _sqlite_viable(self, plan: algebra.Operator, database: Database) -> bool:
+        """True when the sqlite engine could run ``plan`` without falling back."""
+        # Imported lazily: repro.core imports repro.db at package init.
+        from repro.core.encoding import STORABLE_SEMIRINGS
+
+        if database.semiring.name not in STORABLE_SEMIRINGS:
+            return False
+        from repro.db.engine import get_engine
+
+        try:
+            get_engine("sqlite").compiled_sql(plan, database)
+        except NotSupportedError:
+            return False
+        except Exception:  # pragma: no cover - unexpected probe failure
+            return False
+        return True

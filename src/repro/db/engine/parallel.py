@@ -1,0 +1,447 @@
+"""Intra-query parallelism for the columnar engine.
+
+Large batches are split into contiguous row chunks and fanned out over a
+lazily created ``multiprocessing`` pool (``fork`` start method, so workers
+inherit the interpreter state without re-importing the package).  Three
+columnar hot spots parallelize:
+
+* **selection** -- each worker evaluates the predicate over its chunk and
+  compresses the chunk's value columns and annotation vector;
+* **projection** -- each worker evaluates the projection expressions over
+  its chunk;
+* **hash-join build** -- each worker buckets its slice of the right input's
+  key columns, and the parent merges the partial tables in chunk order.
+
+Annotation vectors ride to the workers through
+:class:`multiprocessing.shared_memory.SharedMemory` when they are
+numpy-backed (the N/B fast path; the UA pair is two component arrays), and
+fall back to pickling otherwise -- object-dtype vectors (overflow-guarded
+exact ints) and generic semiring lists cannot be memory-mapped.
+
+Everything is **cost-gated**: a batch only takes the parallel path when the
+layer is enabled, at least two workers are available and the batch clears
+the row threshold (:func:`eligible`).  Every parallel call site keeps its
+serial implementation as the fallback for ineligible batches *and* for any
+failure in the parallel path.  Environment knobs:
+
+* ``REPRO_PARALLEL`` -- ``0`` disables the layer entirely;
+* ``REPRO_PARALLEL_WORKERS`` -- pool size (default ``os.cpu_count()``);
+* ``REPRO_PARALLEL_THRESHOLD`` -- minimum batch length (default 50000).
+
+:func:`stats` exposes task/chunk counters and worker utilization
+(busy-time over wall-time summed across chunks) for ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised indirectly via the fast path
+    import numpy as _np
+except ImportError:  # pragma: no cover - pure-Python fallback
+    _np = None
+
+try:
+    import multiprocessing
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - multiprocessing is stdlib
+    multiprocessing = None  # type: ignore[assignment]
+    _shm = None  # type: ignore[assignment]
+
+__all__ = [
+    "ENV_VAR", "WORKERS_ENV_VAR", "THRESHOLD_ENV_VAR",
+    "eligible", "configure", "shutdown", "stats", "reset_stats",
+    "parallel_filter", "parallel_project", "parallel_build",
+]
+
+ENV_VAR = "REPRO_PARALLEL"
+WORKERS_ENV_VAR = "REPRO_PARALLEL_WORKERS"
+THRESHOLD_ENV_VAR = "REPRO_PARALLEL_THRESHOLD"
+
+#: Minimum batch length before chunking is worth the fan-out overhead.
+DEFAULT_THRESHOLD = 50_000
+
+_LOCK = threading.RLock()
+_POOL = None
+_POOL_WORKERS = 0
+
+#: ``configure()`` overrides; None defers to the environment.
+_OVERRIDES: Dict[str, Optional[Any]] = {
+    "enabled": None, "workers": None, "threshold": None,
+}
+
+_STATS = {"tasks": 0, "chunks": 0, "busy_seconds": 0.0, "wall_seconds": 0.0}
+
+
+# ---------------------------------------------------------------------------
+# Configuration and gating.
+# ---------------------------------------------------------------------------
+
+def _enabled() -> bool:
+    if _OVERRIDES["enabled"] is not None:
+        return bool(_OVERRIDES["enabled"])
+    return os.environ.get(ENV_VAR, "1").strip().lower() not in ("0", "false", "no", "off")
+
+
+def _workers() -> int:
+    if _OVERRIDES["workers"] is not None:
+        return int(_OVERRIDES["workers"])
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _threshold() -> int:
+    if _OVERRIDES["threshold"] is not None:
+        return int(_OVERRIDES["threshold"])
+    raw = os.environ.get(THRESHOLD_ENV_VAR, "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_THRESHOLD
+
+
+def _fork_available() -> bool:
+    if multiprocessing is None:
+        return False
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def eligible(length: int) -> bool:
+    """True when a batch of ``length`` rows should take the parallel path.
+
+    The gate is the cost model's cheap stand-in: fan-out pays off only when
+    the per-row work dwarfs the fixed chunking/IPC overhead, which the row
+    threshold approximates.  Also requires the layer to be enabled, at
+    least two configured workers, and a platform with ``fork``.
+    """
+    return (
+        length >= _threshold()
+        and _enabled()
+        and _workers() >= 2
+        and _fork_available()
+    )
+
+
+def configure(enabled: Optional[bool] = None, workers: Optional[int] = None,
+              threshold: Optional[int] = None) -> None:
+    """Override the environment-derived settings (primarily for tests).
+
+    Passing ``None`` leaves a setting untouched; call :func:`reset` to drop
+    every override.  Changing the worker count shuts the current pool down
+    so the next parallel call rebuilds it at the new size.
+    """
+    global _POOL_WORKERS
+    with _LOCK:
+        if enabled is not None:
+            _OVERRIDES["enabled"] = enabled
+        if threshold is not None:
+            _OVERRIDES["threshold"] = threshold
+        if workers is not None:
+            _OVERRIDES["workers"] = workers
+            if _POOL is not None and _POOL_WORKERS != workers:
+                shutdown()
+
+
+def reset() -> None:
+    """Drop every ``configure()`` override and shut the pool down."""
+    with _LOCK:
+        for key in _OVERRIDES:
+            _OVERRIDES[key] = None
+        shutdown()
+
+
+def shutdown() -> None:
+    """Terminate the worker pool (it is rebuilt lazily on next use)."""
+    global _POOL, _POOL_WORKERS
+    with _LOCK:
+        if _POOL is not None:
+            _POOL.terminate()
+            _POOL.join()
+            _POOL = None
+            _POOL_WORKERS = 0
+
+
+atexit.register(shutdown)
+
+
+def _pool():
+    """The lazily created fork-context pool at the configured size."""
+    global _POOL, _POOL_WORKERS
+    with _LOCK:
+        workers = _workers()
+        if _POOL is not None and _POOL_WORKERS != workers:
+            shutdown()
+        if _POOL is None:
+            context = multiprocessing.get_context("fork")
+            _POOL = context.Pool(processes=workers)
+            _POOL_WORKERS = workers
+        return _POOL
+
+
+# ---------------------------------------------------------------------------
+# Observability.
+# ---------------------------------------------------------------------------
+
+def stats() -> Dict[str, Any]:
+    """Counters and utilization of the parallel layer.
+
+    ``utilization`` is summed worker busy-time over summed parent
+    wall-time: values near the worker count mean the pool ran saturated,
+    values well below 1.0 mean fan-out overhead dominated.
+    """
+    with _LOCK:
+        wall = _STATS["wall_seconds"]
+        return {
+            "enabled": _enabled(),
+            "workers": _workers(),
+            "threshold": _threshold(),
+            "tasks": _STATS["tasks"],
+            "chunks": _STATS["chunks"],
+            "busy_seconds": round(_STATS["busy_seconds"], 6),
+            "wall_seconds": round(wall, 6),
+            "utilization": round(_STATS["busy_seconds"] / wall, 4) if wall else 0.0,
+        }
+
+
+def reset_stats() -> None:
+    """Zero the task/chunk/time counters."""
+    with _LOCK:
+        _STATS.update(tasks=0, chunks=0, busy_seconds=0.0, wall_seconds=0.0)
+
+
+def _record(chunks: int, busy: float, wall: float) -> None:
+    with _LOCK:
+        _STATS["tasks"] += 1
+        _STATS["chunks"] += chunks
+        _STATS["busy_seconds"] += busy
+        _STATS["wall_seconds"] += wall
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory transport for annotation vectors.
+# ---------------------------------------------------------------------------
+
+def _export_annotation(ann: Any) -> Tuple[Any, List[Any]]:
+    """Package an annotation vector for a worker.
+
+    Returns ``(spec, segments)`` where ``spec`` is picklable and
+    ``segments`` are the SharedMemory blocks the parent must unlink once
+    the task completes.  numpy arrays (except object dtype, whose elements
+    are pointers) are copied into shared memory; the UA pair recurses into
+    its two component vectors; everything else is pickled as-is.
+    """
+    if _np is not None and isinstance(ann, _np.ndarray) and ann.dtype != object:
+        segment = _shm.SharedMemory(create=True, size=max(1, ann.nbytes))
+        view = _np.ndarray(ann.shape, dtype=ann.dtype, buffer=segment.buf)
+        if ann.size:
+            view[:] = ann
+        return ("shm", (segment.name, ann.dtype.str, ann.shape)), [segment]
+    if isinstance(ann, tuple) and len(ann) == 2:
+        specs, segments = [], []
+        for component in ann:
+            spec, component_segments = _export_annotation(component)
+            specs.append(spec)
+            segments.extend(component_segments)
+        return ("pair", tuple(specs)), segments
+    return ("pickle", ann), []
+
+
+def _import_annotation(spec: Tuple[str, Any]) -> Any:
+    """Rebuild an annotation vector inside a worker (copies out of SHM)."""
+    kind, payload = spec
+    if kind == "shm":
+        name, dtype, shape = payload
+        segment = _shm.SharedMemory(name=name)
+        try:
+            view = _np.ndarray(shape, dtype=_np.dtype(dtype), buffer=segment.buf)
+            return view.copy()
+        finally:
+            segment.close()
+    if kind == "pair":
+        return tuple(_import_annotation(component) for component in payload)
+    return payload
+
+
+def _release(segments: List[Any]) -> None:
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - cleanup best-effort
+            pass
+
+
+def _slice_annotation(ann: Any, start: int, stop: int) -> Any:
+    if isinstance(ann, tuple) and len(ann) == 2:
+        return (ann[0][start:stop], ann[1][start:stop])
+    return ann[start:stop]
+
+
+def _compress_annotation(ann: Any, mask: Sequence[bool]) -> Any:
+    if isinstance(ann, tuple) and len(ann) == 2:
+        return (_compress_annotation(ann[0], mask),
+                _compress_annotation(ann[1], mask))
+    if _np is not None and isinstance(ann, _np.ndarray):
+        return ann[_np.asarray(mask, dtype=bool)]
+    return [value for value, keep in zip(ann, mask) if keep]
+
+
+def _chunk_ranges(length: int, chunks: int) -> List[Tuple[int, int]]:
+    size = max(1, (length + chunks - 1) // chunks)
+    return [(start, min(start + size, length))
+            for start in range(0, length, size)]
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (top level so the pool can address them by name).
+# ---------------------------------------------------------------------------
+
+def _run_filter_chunk(payload):
+    """Worker: evaluate a predicate over a chunk, compress columns + ann."""
+    # Imported inside the worker body: parallel.py must not import the
+    # columnar engine at module level (columnar imports this module).
+    from repro.db.engine.columnar import _ColumnContext, _eval_vector
+
+    predicate, names, columns, length, ann_spec = payload
+    started = time.perf_counter()
+    ann = _import_annotation(ann_spec)
+    ctx = _ColumnContext(names, columns, length)
+    mask = [value is True for value in _eval_vector(predicate, ctx)]
+    kept = sum(mask)
+    if kept == length:
+        out_columns, out_ann = columns, ann
+    else:
+        out_columns = [[value for value, keep in zip(column, mask) if keep]
+                       for column in columns]
+        out_ann = _compress_annotation(ann, mask)
+    return out_columns, out_ann, kept, time.perf_counter() - started
+
+
+def _run_project_chunk(payload):
+    """Worker: evaluate projection expressions over a chunk of columns."""
+    from repro.db.engine.columnar import _ColumnContext, _eval_vector
+
+    expressions, names, columns, length = payload
+    started = time.perf_counter()
+    ctx = _ColumnContext(names, columns, length)
+    out = [_eval_vector(expression, ctx) for expression in expressions]
+    return out, time.perf_counter() - started
+
+
+def _run_build_chunk(payload):
+    """Worker: bucket a slice of join-key columns by composite key."""
+    key_columns, offset = payload
+    started = time.perf_counter()
+    buckets: Dict[Tuple, List[int]] = {}
+    for local_index, key in enumerate(zip(*key_columns)):
+        buckets.setdefault(key, []).append(offset + local_index)
+    return buckets, time.perf_counter() - started
+
+
+# ---------------------------------------------------------------------------
+# Parent-side entry points used by the columnar engine.
+# ---------------------------------------------------------------------------
+
+def parallel_filter(batch, predicate, ops):
+    """Filter ``batch`` by ``predicate`` across the pool; a new batch.
+
+    ``ops`` is the executor's annotation-vector implementation (used to
+    concatenate the compressed chunk vectors).  Raises on any worker
+    failure -- the caller falls back to the serial path.
+    """
+    from repro.db.engine.columnar import _Batch
+
+    started = time.perf_counter()
+    ranges = _chunk_ranges(batch.length, _workers())
+    names = batch.schema.attribute_names
+    payloads = []
+    segments: List[Any] = []
+    try:
+        for start, stop in ranges:
+            spec, chunk_segments = _export_annotation(
+                _slice_annotation(batch.ann, start, stop))
+            segments.extend(chunk_segments)
+            payloads.append((predicate, names,
+                             [column[start:stop] for column in batch.columns],
+                             stop - start, spec))
+        results = _pool().map(_run_filter_chunk, payloads)
+    finally:
+        _release(segments)
+    busy = sum(result[3] for result in results)
+    kept = sum(result[2] for result in results)
+    if kept == batch.length:
+        _record(len(ranges), busy, time.perf_counter() - started)
+        return batch
+    columns = [[] for _ in batch.columns]
+    ann_chunks = [result[1] for result in results]
+    for chunk_columns, _ann, chunk_kept, _busy in results:
+        if chunk_kept:
+            for merged, chunk in zip(columns, chunk_columns):
+                merged.extend(chunk)
+    ann = ann_chunks[0]
+    for chunk in ann_chunks[1:]:
+        ann = ops.concat(ann, chunk)
+    _record(len(ranges), busy, time.perf_counter() - started)
+    return _Batch(batch.schema, columns, ann, kept, batch.consolidated)
+
+
+def parallel_project(batch, expressions):
+    """Evaluate ``expressions`` over ``batch`` across the pool; columns.
+
+    Returns one output column per expression (annotations are untouched by
+    projection, so they stay in the parent).  Raises on worker failure.
+    """
+    started = time.perf_counter()
+    ranges = _chunk_ranges(batch.length, _workers())
+    names = batch.schema.attribute_names
+    expressions = list(expressions)
+    payloads = [(expressions, names,
+                 [column[start:stop] for column in batch.columns],
+                 stop - start)
+                for start, stop in ranges]
+    results = _pool().map(_run_project_chunk, payloads)
+    busy = sum(result[1] for result in results)
+    columns: List[List[Any]] = [[] for _ in expressions]
+    for chunk_columns, _busy in results:
+        for merged, chunk in zip(columns, chunk_columns):
+            merged.extend(chunk)
+    _record(len(ranges), busy, time.perf_counter() - started)
+    return columns
+
+
+def parallel_build(key_columns, length):
+    """Build a hash-join bucket table over the pool; ``{key: [indices]}``.
+
+    Chunks are merged in ascending range order, so bucket index lists come
+    out identical to the serial single-pass build.  Raises on failure.
+    """
+    started = time.perf_counter()
+    ranges = _chunk_ranges(length, _workers())
+    payloads = [([column[start:stop] for column in key_columns], start)
+                for start, stop in ranges]
+    results = _pool().map(_run_build_chunk, payloads)
+    busy = sum(result[1] for result in results)
+    buckets: Dict[Tuple, List[int]] = {}
+    for chunk_buckets, _busy in results:
+        for key, indices in chunk_buckets.items():
+            existing = buckets.get(key)
+            if existing is None:
+                buckets[key] = indices
+            else:
+                existing.extend(indices)
+    _record(len(ranges), busy, time.perf_counter() - started)
+    return buckets

@@ -193,7 +193,18 @@ class SQLiteEngine(ExecutionEngine):
     fallback = "columnar"
 
     def __init__(self, compiled_cache_size: int = 256) -> None:
+        #: (plan, semiring name) -> compiled; shared across structurally
+        #: equal plans (every session compiles its own plan object for the
+        #: same SQL, and all of them should hit one compile).
         self._compiled: "OrderedDict[Any, CompiledQuery]" = OrderedDict()
+        #: id(plan) -> (plan, semiring name, compiled).  Identity-keyed
+        #: fast path in front of ``_compiled``: hashing a deep plan
+        #: dataclass costs more than the rest of the lookup, and an equal
+        #: plan interned by *another* session would pay a full ``__eq__``
+        #: on every probe.  Entries hold a strong reference to their plan,
+        #: so a live entry's id cannot be recycled -- an id match plus an
+        #: identity check is exact.
+        self._by_plan: "OrderedDict[int, tuple]" = OrderedDict()
         self._compiled_cache_size = compiled_cache_size
         self._lock = threading.RLock()
         self._stores: "weakref.WeakKeyDictionary[Database, _SQLiteStore]" = (
@@ -208,10 +219,10 @@ class SQLiteEngine(ExecutionEngine):
 
     def execute(self, plan: algebra.Operator, database: Database,
                 params: Params = None) -> KRelation:
-        key = self._cache_key(plan, database)
-        compiled = self._compiled_query(key, plan, database)
+        compiled = self._compiled_query(plan, database)
         if isinstance(compiled, NotSupportedError):
-            return self._fall_back(plan, database, params, compiled, key)
+            return self._fall_back(plan, database, params, compiled,
+                                   self._cache_key(plan, database))
         # Binding mismatches are *user* errors and must raise exactly like
         # the interpreting engines, never trigger a fallback.
         check_bindings(compiled.parameters, params)
@@ -223,7 +234,8 @@ class SQLiteEngine(ExecutionEngine):
                 store.refresh(database, compiled.relations)
                 rows = store.connection.execute(compiled.sql, arguments).fetchall()
         except (NotSupportedError, sqlite3.Error, OverflowError) as exc:
-            return self._fall_back(plan, database, params, exc, key)
+            return self._fall_back(plan, database, params, exc,
+                                   self._cache_key(plan, database))
         return self._decode(compiled, database, rows)
 
     def compiled_sql(self, plan: algebra.Operator, database: Database) -> str:
@@ -232,9 +244,7 @@ class SQLiteEngine(ExecutionEngine):
         Raises :class:`NotSupportedError` for plans outside the fragment --
         useful to check whether a query would fall back.
         """
-        compiled = self._compiled_query(
-            self._cache_key(plan, database), plan, database
-        )
+        compiled = self._compiled_query(plan, database)
         if isinstance(compiled, NotSupportedError):
             raise compiled
         return compiled.sql
@@ -265,7 +275,7 @@ class SQLiteEngine(ExecutionEngine):
             return None
         return key
 
-    def _compiled_query(self, key, plan: algebra.Operator,
+    def _compiled_query(self, plan: algebra.Operator,
                         database: Database) -> "CompiledQuery | NotSupportedError":
         """The compiled query -- or the cached *unsupported* verdict.
 
@@ -275,6 +285,18 @@ class SQLiteEngine(ExecutionEngine):
         negative verdict after a schema change merely keeps routing that
         plan through the (correct) fallback engine.
         """
+        semiring_name = database.semiring.name
+        with self._lock:
+            entry = self._by_plan.get(id(plan))
+            if (entry is not None and entry[0] is plan
+                    and entry[1] == semiring_name):
+                cached = entry[2]
+                if (isinstance(cached, NotSupportedError)
+                        or self._deps_hold(cached, database)):
+                    self._by_plan.move_to_end(id(plan))
+                    self.compile_hits += 1
+                    return cached
+        key = self._cache_key(plan, database)
         if key is not None:
             with self._lock:
                 cached = self._compiled.get(key)
@@ -284,6 +306,7 @@ class SQLiteEngine(ExecutionEngine):
                 ):
                     self._compiled.move_to_end(key)
                     self.compile_hits += 1
+                    self._remember(plan, semiring_name, cached)
                     return cached
                 self.compile_misses += 1
         try:
@@ -291,13 +314,22 @@ class SQLiteEngine(ExecutionEngine):
                 compile_plan(plan, database)
         except NotSupportedError as exc:
             compiled = exc
-        if key is not None:
-            with self._lock:
+        with self._lock:
+            if key is not None:
                 self._compiled[key] = compiled
                 self._compiled.move_to_end(key)
                 while len(self._compiled) > self._compiled_cache_size:
                     self._compiled.popitem(last=False)
+            self._remember(plan, semiring_name, compiled)
         return compiled
+
+    def _remember(self, plan: algebra.Operator, semiring_name: str,
+                  compiled: "CompiledQuery | NotSupportedError") -> None:
+        """Install the identity-keyed alias for ``plan`` (lock held)."""
+        self._by_plan[id(plan)] = (plan, semiring_name, compiled)
+        self._by_plan.move_to_end(id(plan))
+        while len(self._by_plan) > self._compiled_cache_size:
+            self._by_plan.popitem(last=False)
 
     @staticmethod
     def _deps_hold(compiled: CompiledQuery, database: Database) -> bool:
@@ -375,8 +407,13 @@ class SQLiteEngine(ExecutionEngine):
                 if len(self._warned) > 4 * self._compiled_cache_size:
                     self._warned.clear()
         if warn:
+            from repro.db import cost
+
+            fallback_cost = cost.estimate_engine_cost(
+                plan, self.fallback, getattr(database, "stats", None))
             logger.warning(
                 "sqlite engine cannot run this plan (%s); falling back to "
-                "the %r engine", reason, self.fallback,
+                "the %r engine (estimated cost %.0f)",
+                reason, self.fallback, fallback_cost,
             )
         return get_engine(self.fallback).execute(plan, database, params=params)

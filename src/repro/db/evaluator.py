@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.db import algebra
 from repro.db.database import Database
-from repro.db.engine import EngineSpec, Evaluator, get_engine
+from repro.db.engine import EngineSpec, Evaluator, get_engine, record_dispatch
 from repro.db.engine.base import EvaluationError
 from repro.db.optimizer import optimize_plan
 from repro.db.params import Params
@@ -51,7 +51,9 @@ def evaluate(plan: algebra.Operator, database: Database,
     if optimize is None:
         optimize = _optimize_default()
     if optimize:
-        plan = optimize_plan(plan, database.schema)
+        plan = optimize_plan(plan, database.schema,
+                             stats=getattr(database, "stats", None))
+    record_dispatch(resolved.name)
     if params is not None:
         return resolved.execute(plan, database, params=params)
     # Two-argument call keeps engines with the pre-parameter execute()

@@ -20,15 +20,27 @@ Rules, applied in order by :func:`optimize_plan`:
 * **order-by elimination** -- ``OrderBy`` nodes that do not feed a ``Limit``
   are identities and are removed.
 
+After the rule-based passes, a **cost-based join reordering** pass
+(:func:`reorder_joins`) runs when table statistics are supplied: it
+flattens each join tree, greedily rebuilds it smallest-intermediate-first
+using the cardinality estimates of :mod:`repro.db.cost`, and wraps the
+result in a projection restoring the original column order.  Reordering
+is sound for every commutative semiring (annotation multiplication is
+commutative and associative, the same argument as for the other rules)
+and applies only when its estimate beats the written order; it can be
+disabled on its own via ``REPRO_REORDER_JOINS=0``.
+
 The optimizer is bypassable for A/B testing: pass ``optimize=False`` to
 :func:`repro.db.evaluator.evaluate` (or set ``REPRO_OPTIMIZE=0``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.db import algebra
+from repro.db import cost as _cost
 from repro.db.expressions import (
     And,
     Arithmetic,
@@ -54,15 +66,20 @@ from repro.db.schema import DatabaseSchema
 
 
 def optimize_plan(plan: algebra.Operator,
-                  catalog: Optional[DatabaseSchema] = None) -> algebra.Operator:
+                  catalog: Optional[DatabaseSchema] = None,
+                  stats: Any = None) -> algebra.Operator:
     """Apply all rewrite rules to ``plan``.
 
     ``catalog`` (the database schema) enables the rules that need to know
     which columns a subplan produces; without it those rules degrade to
-    no-ops rather than guessing.
+    no-ops rather than guessing.  ``stats`` (usually the session's
+    :class:`~repro.db.stats.StatsCatalog`) additionally enables the
+    cost-based join reordering pass; without statistics the optimizer
+    stays purely rule-based.
     """
     plan = fold_constants(plan)
     plan = push_selections(plan, catalog)
+    plan = reorder_joins(plan, catalog, stats)
     plan = prune_projections(plan, catalog)
     plan = drop_redundant_orderby(plan)
     return plan
@@ -624,3 +641,205 @@ def drop_redundant_orderby(plan: algebra.Operator) -> algebra.Operator:
     if isinstance(plan, algebra.OrderBy):
         return drop_redundant_orderby(plan.child)
     return _map_children(plan, drop_redundant_orderby)
+
+
+# ---------------------------------------------------------------------------
+# Cost-based join reordering.
+# ---------------------------------------------------------------------------
+
+#: Environment variable disabling join reordering alone (``0``/``false``).
+REORDER_ENV_VAR = "REPRO_REORDER_JOINS"
+
+#: A greedy order must beat the written order's estimated intermediate-row
+#: total by this factor before it replaces the plan (hysteresis against
+#: churn on estimation noise).
+REORDER_GAIN = 0.95
+
+
+def _reorder_enabled() -> bool:
+    value = os.environ.get(REORDER_ENV_VAR)
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "no", "off")
+
+
+def reorder_joins(plan: algebra.Operator,
+                  catalog: Optional[DatabaseSchema],
+                  stats: Any) -> algebra.Operator:
+    """Greedily reorder join trees using cardinality estimates.
+
+    Every maximal :class:`~repro.db.algebra.Join` /
+    :class:`~repro.db.algebra.CrossProduct` tree with at least three inputs
+    is flattened into its inputs and join conjuncts, then rebuilt left-deep
+    by repeatedly joining the input that minimizes the estimated
+    intermediate cardinality (preferring inputs connected by an applicable
+    conjunct, so no new cross products appear).  The rebuilt tree is
+    wrapped in a projection restoring the original column order, keeping
+    the rewrite invisible to every operator above it.
+
+    The pass is conservative: it requires inferable, unambiguous columns
+    for every input, requires every conjunct to resolve over the combined
+    scope, and keeps the written order unless the greedy order's estimated
+    intermediate-row total is at least :data:`REORDER_GAIN` times smaller.
+    Without ``stats`` (or with ``REPRO_REORDER_JOINS=0``) it is a no-op.
+    """
+    if stats is None or not _reorder_enabled():
+        return plan
+    return _reorder(plan, catalog, stats)
+
+
+def _reorder(plan: algebra.Operator,
+             catalog: Optional[DatabaseSchema],
+             stats: Any) -> algebra.Operator:
+    if isinstance(plan, (algebra.Join, algebra.CrossProduct)):
+        leaves, conjuncts = _flatten_join_tree(plan, catalog, stats)
+        if len(leaves) >= 3:
+            rebuilt = _greedy_join_order(leaves, conjuncts, catalog, stats)
+            if rebuilt is not None:
+                return rebuilt
+    return _map_children(plan, lambda child: _reorder(child, catalog, stats))
+
+
+def _flatten_join_tree(plan: algebra.Operator,
+                       catalog: Optional[DatabaseSchema],
+                       stats: Any) -> Tuple[List[algebra.Operator], List[Expression]]:
+    """Flatten a Join/CrossProduct tree into (inputs, join conjuncts).
+
+    Non-join subtrees become inputs, each recursively reordered first so
+    nested join trees (e.g. under subqueries) still benefit.
+    """
+    if isinstance(plan, algebra.Join):
+        left_leaves, left_conjuncts = _flatten_join_tree(plan.left, catalog, stats)
+        right_leaves, right_conjuncts = _flatten_join_tree(plan.right, catalog, stats)
+        return (left_leaves + right_leaves,
+                left_conjuncts + right_conjuncts + _split_predicate(plan.predicate))
+    if isinstance(plan, algebra.CrossProduct):
+        left_leaves, left_conjuncts = _flatten_join_tree(plan.left, catalog, stats)
+        right_leaves, right_conjuncts = _flatten_join_tree(plan.right, catalog, stats)
+        return left_leaves + right_leaves, left_conjuncts + right_conjuncts
+    return [_reorder(plan, catalog, stats)], []
+
+
+def _conjunct_applicable(conjunct: Expression, lookup: NameLookup) -> bool:
+    columns = conjunct.columns()
+    if not columns:
+        return False
+    return all(lookup.find(column.name, column.qualifier) is not None
+               for column in columns)
+
+
+def _simulate_order(order: Sequence[int],
+                    estimates: Sequence[Any],
+                    columns: Sequence[Sequence[str]],
+                    conjuncts: Sequence[Expression]) -> Optional[float]:
+    """Total estimated intermediate rows of joining inputs in ``order``."""
+    first = order[0]
+    current = estimates[first]
+    current_columns = list(columns[first])
+    used: Set[int] = set()
+    total = current.rows
+    for index in order[1:]:
+        combined = current_columns + list(columns[index])
+        lookup = _name_lookup(combined)
+        applicable = [i for i, conjunct in enumerate(conjuncts)
+                      if i not in used and _conjunct_applicable(conjunct, lookup)]
+        predicate = (conjunction([conjuncts[i] for i in applicable])
+                     if applicable else None)
+        rows = _cost.join_cardinality(current, estimates[index], predicate)
+        used.update(applicable)
+        current = _cost.PlanEstimate(
+            rows, current.scope.merged(estimates[index].scope))
+        current_columns = combined
+        total += rows
+    return total
+
+
+def _greedy_join_order(leaves: List[algebra.Operator],
+                       conjuncts: List[Expression],
+                       catalog: Optional[DatabaseSchema],
+                       stats: Any) -> Optional[algebra.Operator]:
+    """Rebuild a flattened join tree greedily, or None to keep the original."""
+    columns: List[List[str]] = []
+    estimates = []
+    for leaf in leaves:
+        leaf_columns = _plan_columns(leaf, catalog)
+        if leaf_columns is None:
+            return None
+        columns.append(leaf_columns)
+        estimates.append(_cost.estimate_plan(leaf, stats))
+    all_columns = [name for leaf_columns in columns for name in leaf_columns]
+    lowered = [name.lower() for name in all_columns]
+    if len(set(lowered)) != len(lowered):
+        return None  # duplicate names: conjuncts cannot be reattached safely
+    global_lookup = _name_lookup(all_columns)
+    if not all(_conjunct_applicable(conjunct, global_lookup)
+               for conjunct in conjuncts):
+        return None  # a conjunct would dangle (or resolve ambiguously)
+
+    n = len(leaves)
+    written_order = list(range(n))
+    baseline = _simulate_order(written_order, estimates, columns, conjuncts)
+
+    # Greedy construction: start from the smallest input, then repeatedly
+    # join the input minimizing the estimated intermediate size, preferring
+    # inputs connected by a join conjunct over cross products.
+    remaining = set(range(n))
+    start = min(remaining, key=lambda i: (estimates[i].rows, i))
+    remaining.discard(start)
+    order = [start]
+    current = estimates[start]
+    current_columns = list(columns[start])
+    used: Set[int] = set()
+    total = current.rows
+    while remaining:
+        best = None
+        for index in sorted(remaining):
+            combined = current_columns + list(columns[index])
+            lookup = _name_lookup(combined)
+            applicable = [i for i, conjunct in enumerate(conjuncts)
+                          if i not in used
+                          and _conjunct_applicable(conjunct, lookup)]
+            predicate = (conjunction([conjuncts[i] for i in applicable])
+                         if applicable else None)
+            rows = _cost.join_cardinality(current, estimates[index], predicate)
+            key = (0 if applicable else 1, rows, index)
+            if best is None or key < best[0]:
+                best = (key, index, applicable, rows)
+        _, index, applicable, rows = best
+        remaining.discard(index)
+        order.append(index)
+        used.update(applicable)
+        current = _cost.PlanEstimate(
+            rows, current.scope.merged(estimates[index].scope))
+        current_columns = current_columns + list(columns[index])
+        total += rows
+
+    if order == written_order:
+        return None
+    if baseline is None or total >= baseline * REORDER_GAIN:
+        return None
+
+    # Rebuild the tree in the chosen order, reattaching each conjunct at
+    # the lowest join where it resolves.
+    rebuilt = leaves[order[0]]
+    rebuilt_columns = list(columns[order[0]])
+    used = set()
+    for index in order[1:]:
+        rebuilt_columns = rebuilt_columns + list(columns[index])
+        lookup = _name_lookup(rebuilt_columns)
+        applicable = [i for i, conjunct in enumerate(conjuncts)
+                      if i not in used and _conjunct_applicable(conjunct, lookup)]
+        used.update(applicable)
+        if applicable:
+            rebuilt = algebra.Join(
+                rebuilt, leaves[index],
+                conjunction([conjuncts[i] for i in applicable]))
+        else:
+            rebuilt = algebra.CrossProduct(rebuilt, leaves[index])
+    leftover = [conjunct for i, conjunct in enumerate(conjuncts) if i not in used]
+    if leftover:  # unreachable given the global applicability check
+        rebuilt = algebra.Selection(rebuilt, conjunction(leftover))
+
+    # Restore the original column order so the rewrite stays invisible.
+    return algebra.Projection(
+        rebuilt, tuple((_column_ref(name), name) for name in all_columns))

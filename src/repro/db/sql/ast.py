@@ -115,5 +115,24 @@ class InsertStatement:
     rows: Tuple[Tuple[Expression, ...], ...]
 
 
+#: A statement EXPLAIN can wrap (anything except another EXPLAIN).
+ExplainableStatement = Union["SelectStatement", "CreateTableStatement",
+                             "InsertStatement"]
+
+
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN <statement>``: describe the plan instead of running it.
+
+    The session compiles the wrapped statement through the normal pipeline
+    and reports the optimized plan, the estimated cardinalities/costs from
+    :mod:`repro.db.cost`, and the engine the query would dispatch to --
+    without executing anything.
+    """
+
+    statement: ExplainableStatement
+
+
 #: Any statement the SQL front-end can parse.
-Statement = Union[SelectStatement, CreateTableStatement, InsertStatement]
+Statement = Union[SelectStatement, CreateTableStatement, InsertStatement,
+                  ExplainStatement]

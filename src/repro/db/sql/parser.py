@@ -2,7 +2,7 @@
 
 Grammar sketch (informal)::
 
-    sql         := statement | create_table | insert
+    sql         := [EXPLAIN] (statement | create_table | insert)
     statement   := select [UNION ALL select] [';']
     select      := SELECT [DISTINCT] items FROM from_items
                    [WHERE expr] [GROUP BY expr_list] [HAVING expr]
@@ -18,9 +18,9 @@ Grammar sketch (informal)::
 
 Expressions may contain parameter placeholders: ``?`` (positional, numbered
 left to right) and ``:name`` (named, case-insensitive).  A single statement
-must not mix the two styles.  ``CREATE`` / ``INSERT`` are deliberately *not*
-reserved words -- they are recognized only in statement position, so existing
-queries using them as identifiers keep parsing.
+must not mix the two styles.  ``CREATE`` / ``INSERT`` / ``EXPLAIN`` are
+deliberately *not* reserved words -- they are recognized only in statement
+position, so existing queries using them as identifiers keep parsing.
 """
 
 from __future__ import annotations
@@ -33,8 +33,9 @@ from repro.db.expressions import (
     SCALAR_FUNCTIONS,
 )
 from repro.db.sql.ast import (
-    AggregateCall, ColumnDef, CreateTableStatement, InsertStatement, OrderItem,
-    SelectItem, SelectStatement, Statement, SubqueryRef, TableRef,
+    AggregateCall, ColumnDef, CreateTableStatement, ExplainStatement,
+    InsertStatement, OrderItem, SelectItem, SelectStatement, Statement,
+    SubqueryRef, TableRef,
 )
 from repro.db.sql.lexer import SQLSyntaxError, Token, TokenType, tokenize
 
@@ -50,17 +51,31 @@ def parse(sql: str) -> SelectStatement:
 
 
 def parse_statement(sql: str) -> Statement:
-    """Parse any supported statement: SELECT, CREATE TABLE or INSERT."""
+    """Parse any supported statement: SELECT, CREATE TABLE, INSERT or
+    EXPLAIN <statement>."""
     parser = _Parser(tokenize(sql))
+    statement = _parse_any_statement(parser)
+    parser.expect_end()
+    return statement
+
+
+def _parse_any_statement(parser: "_Parser") -> Statement:
     current = parser.current
     statement: Statement
-    if current.matches(TokenType.IDENTIFIER, "create"):
+    # EXPLAIN / CREATE / INSERT are statement-position identifiers, not
+    # reserved words: a column or table named "explain" keeps working.
+    if current.matches(TokenType.IDENTIFIER, "explain"):
+        parser.advance()
+        inner = _parse_any_statement(parser)
+        if isinstance(inner, ExplainStatement):
+            raise SQLSyntaxError("EXPLAIN cannot wrap another EXPLAIN")
+        statement = ExplainStatement(inner)
+    elif current.matches(TokenType.IDENTIFIER, "create"):
         statement = parser.parse_create_table()
     elif current.matches(TokenType.IDENTIFIER, "insert"):
         statement = parser.parse_insert()
     else:
         statement = parser.parse_statement()
-    parser.expect_end()
     return statement
 
 

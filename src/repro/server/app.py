@@ -41,7 +41,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.api.pool import ConnectionPool, PoolError, PoolTimeout
 from repro.api.session import SessionError
 from repro.api.store import StoreError, UnstorableRelationError
-from repro.db.engine import get_engine
+from repro.db.engine import dispatch_counts, get_engine, parallel
 from repro.db.engine.base import EvaluationError, UnknownEngineError
 from repro.db.params import ParameterError
 from repro.db.schema import SchemaError
@@ -371,10 +371,10 @@ class UADBServer:
     def _run_query(self, sql: str, params, mode: str):
         """Worker-thread body of ``POST /query`` (checkout, execute, label)."""
         with self.pool.connection(timeout=self.checkout_timeout) as conn:
-            if conn.statement_kind(sql, mode=mode) != "select":
+            if conn.statement_kind(sql, mode=mode) not in ("select", "explain"):
                 raise HTTPError(400, "invalid_statement",
-                                "/query only accepts SELECT statements; "
-                                "use /execute for DDL/DML")
+                                "/query only accepts SELECT/EXPLAIN "
+                                "statements; use /execute for DDL/DML")
             if mode == "rewritten":
                 result = conn.query(sql, params)
             else:
@@ -418,10 +418,10 @@ class UADBServer:
     def _run_execute(self, sql: str, params, params_seq):
         """Worker-thread body of ``POST /execute`` (writer-lock serialized)."""
         with self.pool.connection(timeout=self.checkout_timeout) as conn:
-            if conn.statement_kind(sql) == "select":
+            if conn.statement_kind(sql) in ("select", "explain"):
                 raise HTTPError(400, "invalid_statement",
                                 "/execute is for DDL/DML statements; "
-                                "use /query for SELECT")
+                                "use /query for SELECT/EXPLAIN")
             started = time.perf_counter()
             if params_seq is not None:
                 cursor = conn.executemany(sql, params_seq)
@@ -475,6 +475,13 @@ class UADBServer:
             "plan_cache": cache,
             "pool": pool_stats,
             "store": store,
+            # Per-engine dispatch counts: where evaluate() sent plans.  With
+            # the "auto" engine both the meta-engine and its delegate count,
+            # so the delegate split is visible.
+            "engine_dispatch": dispatch_counts(),
+            # Intra-query parallel layer: chunk counters and worker
+            # utilization (busy-over-wall time across parallelized tasks).
+            "parallel": parallel.stats(),
         }, request.keep_alive)
         return 200
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 import string
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -127,7 +128,9 @@ def generate_dataset(name: str, scale: float = 0.001, seed: int = 11,
         raise KeyError(
             f"unknown dataset {name!r}; available: {sorted(DATASET_PROFILES)}"
         ) from exc
-    rng = random.Random(seed + hash(name) % 10_000)
+    # zlib.crc32, not hash(): string hashing is salted per process, which
+    # would make "seeded" datasets differ between runs.
+    rng = random.Random(seed + zlib.crc32(name.encode("utf-8")) % 10_000)
     num_rows = max(50, int(profile.rows * scale))
     schema = _make_schema(profile.name, profile.columns, rng)
 

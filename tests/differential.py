@@ -55,10 +55,12 @@ __all__ = [
     "shrink",
 ]
 
-#: The execution configurations every query must agree across.
-CONFIGS: Tuple[str, ...] = ("row", "columnar", "sqlite", "sqlite-disk")
+#: The execution configurations every query must agree across.  "auto" runs
+#: the cost-based engine selector, so every random query also pins the
+#: chosen delegate against the statically configured engines.
+CONFIGS: Tuple[str, ...] = ("row", "columnar", "sqlite", "sqlite-disk", "auto")
 
-#: Random queries generated per seed (4 configurations each).
+#: Random queries generated per seed (5 configurations each).
 QUERIES_PER_SEED = 5
 
 #: Environment variable naming the seed log (CI uploads it on failure).

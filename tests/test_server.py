@@ -105,6 +105,18 @@ def test_query_direct_mode_agrees_with_rewritten(served):
     assert rewritten.labeled_rows() == direct.labeled_rows()
 
 
+def test_explain_over_http(served):
+    """EXPLAIN is read-only, so it flows through /query (not /execute)."""
+    reply = served.client.query("EXPLAIN SELECT sensor FROM readings")
+    lines = [line for _, line in reply.rows]
+    assert any(line.startswith("Relation(") or "Relation(" in line
+               for line in lines)
+    assert any(line.startswith("engine:") for line in lines)
+    with pytest.raises(ServerError) as excinfo:
+        served.client.execute("EXPLAIN SELECT sensor FROM readings")
+    assert excinfo.value.code == "invalid_statement"
+
+
 def test_execute_and_query_roundtrip(served):
     client = served.client
     assert client.execute("CREATE TABLE t (a INT, b TEXT)") == 0
@@ -144,6 +156,13 @@ def test_metrics_counters_and_gauges(served):
     assert metrics["plan_cache"]["hit_rate"] > 0
     assert metrics["pool"]["saturation"] == 0.0
     assert metrics["pool"]["max_connections"] == 8
+    # Engine dispatch counts cover the queries above; the parallel section
+    # always reports its gate settings and utilization counters.
+    assert sum(metrics["engine_dispatch"].values()) >= 2
+    parallel = metrics["parallel"]
+    assert parallel["workers"] >= 1
+    assert parallel["tasks"] >= 0
+    assert parallel["utilization"] >= 0.0
     if served.disk:
         assert metrics["store"]["appends"] >= 0
 
