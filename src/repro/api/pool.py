@@ -259,6 +259,20 @@ class ConnectionPool:
 
     # -- shared state -------------------------------------------------------------
 
+    @contextmanager
+    def exclusive(self) -> Iterator[Connection]:
+        """Hold the pool's writer lock and yield the shared core session.
+
+        Everything a pooled statement does -- queries under the read lock,
+        DDL/DML under the write lock -- waits while this context is held, so
+        the caller may swap relations and invalidate caches atomically.  The
+        fleet's cross-process refresh (reloading relations another process
+        committed to the store) runs under it.  Do not call while the same
+        thread is inside a statement: the lock is not reentrant.
+        """
+        with self._rwlock.write():
+            yield self._core
+
     @property
     def store(self):
         """The shared persistent store, or None for an in-memory pool."""

@@ -311,6 +311,40 @@ class UADBStore:
             connection.commit()
             return self._catalog_version
 
+    def read_persisted_versions(self) -> Tuple[int, int]:
+        """The ``(catalog_version, stats_version)`` currently on disk.
+
+        Unlike :attr:`catalog_version` / :attr:`stats_version` -- in-memory
+        mirrors that only track *this* process's bumps -- this re-reads the
+        meta table, so it observes versions advanced by **other processes**
+        sharing the store file.  The fleet's
+        :class:`~repro.server.fleet.coordination.StoreCoordinator` polls it
+        per request to detect cross-process writes.
+        """
+        rows = dict(self.connection().execute(
+            f"SELECT key, value FROM {_META_TABLE} "
+            "WHERE key IN ('catalog_version', 'stats_version')"
+        ))
+        try:
+            return (int(rows.get("catalog_version", "0")),
+                    int(rows.get("stats_version", "0")))
+        except ValueError as exc:
+            raise StoreError(
+                f"store {self.path!r} has unreadable version counters"
+            ) from exc
+
+    def adopt_versions(self, catalog_version: int, stats_version: int) -> None:
+        """Fast-forward the in-memory version mirrors to persisted values.
+
+        Called after another process advanced the persisted counters: the
+        mirrors must catch up *before* this process's next bump, or the bump
+        would re-persist an already-used version number and break the
+        monotonic invalidation contract.  Counters only ever move forward.
+        """
+        with self._write_lock:
+            self._catalog_version = max(self._catalog_version, catalog_version)
+            self._stats_version = max(self._stats_version, stats_version)
+
     # -- table statistics ---------------------------------------------------------
 
     @property

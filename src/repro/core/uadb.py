@@ -140,9 +140,9 @@ class UADatabase:
 
     # -- population ---------------------------------------------------------------
 
-    def add_relation(self, relation: UARelation) -> None:
-        """Register a UA-relation."""
-        self.database.add_relation(relation)
+    def add_relation(self, relation: UARelation, replace: bool = False) -> None:
+        """Register a UA-relation (``replace=True`` swaps an existing one)."""
+        self.database.add_relation(relation, replace=replace)
 
     def create_relation(self, schema: RelationSchema) -> UARelation:
         """Create, register and return an empty UA-relation."""

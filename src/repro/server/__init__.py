@@ -19,23 +19,38 @@ Endpoints: ``POST /query`` (SELECT, optional NDJSON streaming),
 ``GET /metrics``.  Queries run on a worker-thread executor (the event loop
 never blocks on the GIL-bound engines) and concurrently under the pool's
 shared read lock; writes serialize through its writer lock.  Typed errors
-from every layer map to JSON ``{"error": {"code", "message"}}`` bodies --
-see ``ERROR_MAP`` in :mod:`repro.server.app`.
+from every layer map to JSON ``{"error": {"code", "message", "retryable"}}``
+bodies -- see ``ERROR_MAP`` in :mod:`repro.server.app` -- which the client
+raises as a typed exception hierarchy rooted at :class:`ServerError`.
+
+``python -m repro.server --store app.uadb --workers 4`` scales the same
+server to a pre-forked fleet: see :mod:`repro.server.fleet` for the
+supervisor, cross-process write coordination, the HTTP result cache, and
+authentication/rate limiting.
 """
 
 from repro.server.app import ServerThread, UADBServer, serve
-from repro.server.client import Client, QueryReply, ServerError
+from repro.server.client import (AuthError, BadRequestError, Client,
+                                 InternalServerError, QueryReply,
+                                 RateLimitedError, ServerError,
+                                 ServerUnavailableError, StreamInterrupted)
 from repro.server.http import HTTPError, Request
 from repro.server.metrics import ServerMetrics
 
 __all__ = [
+    "AuthError",
+    "BadRequestError",
     "Client",
     "HTTPError",
+    "InternalServerError",
     "QueryReply",
+    "RateLimitedError",
     "Request",
     "ServerError",
     "ServerMetrics",
     "ServerThread",
+    "ServerUnavailableError",
+    "StreamInterrupted",
     "UADBServer",
     "serve",
 ]

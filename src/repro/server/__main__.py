@@ -5,6 +5,9 @@ Examples::
     python -m repro.server                              # in-memory, port 8080
     python -m repro.server --store app.uadb --port 9000 # persistent store
     python -m repro.server --engine sqlite --pool-size 16
+    python -m repro.server --store app.uadb --workers 4 # pre-forked fleet
+    python -m repro.server --store app.uadb --workers 2 --router \\
+        --tokens tokens.json --result-cache-mb 128
 
 Then::
 
@@ -16,8 +19,17 @@ Then::
     curl -s -X POST localhost:8080/query \\
          -d '{"sql": "SELECT a, b FROM t"}'
 
+Passing ``--workers N`` serves through the pre-forked fleet supervisor: N
+worker processes share the port via ``SO_REUSEPORT`` (or the ``--router``
+round-robin proxy), coordinate writes over the shared ``--store`` file, and
+are restarted by the supervisor if they crash (N > 1 requires ``--store``;
+``--workers 1`` is a supervised fleet of one, useful as a like-for-like
+baseline).  The fleet prints one ``FLEET READY http://host:port workers=N
+mode=...`` line on stdout once every worker accepts connections.
+
 Stops gracefully on Ctrl-C / SIGTERM: in-flight requests drain, the pool
-(and its store, if any) closes cleanly.
+(and its store, if any) closes cleanly; the supervisor forwards the signal
+so every worker of a fleet drains the same way.
 """
 
 from __future__ import annotations
@@ -33,6 +45,8 @@ from typing import List, Optional
 from repro.core.encoding import STORABLE_SEMIRINGS
 from repro.db.engine import available_engines
 from repro.server.app import UADBServer
+from repro.server.fleet import (FleetSupervisor, ResultCache, SecurityPolicy,
+                                reuseport_available)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -65,20 +79,71 @@ def _build_parser() -> argparse.ArgumentParser:
                              "connection before 503 (default: 30)")
     parser.add_argument("--no-optimize", action="store_true",
                         help="disable the logical optimizer")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes; passing the flag (any N >= 1) "
+                             "serves through the pre-forked fleet supervisor "
+                             "-- N > 1 shares --store and the port across "
+                             "processes (default: single-process, no "
+                             "supervisor)")
+    parser.add_argument("--router", action="store_true",
+                        help="balance fleet connections through an asyncio "
+                             "round-robin router instead of SO_REUSEPORT "
+                             "(the automatic fallback where the kernel "
+                             "lacks it)")
+    parser.add_argument("--tokens", default=None, metavar="PATH",
+                        help="JSON file of bearer tokens and per-client "
+                             "rate limits; enables authentication")
+    parser.add_argument("--rate", type=float, default=None, metavar="R",
+                        help="default per-client rate limit in requests/s "
+                             "(default: unlimited)")
+    parser.add_argument("--burst", type=float, default=None, metavar="B",
+                        help="per-client burst size for --rate "
+                             "(default: one second of traffic)")
+    parser.add_argument("--result-cache-mb", type=float, default=0.0,
+                        metavar="MB",
+                        help="HTTP result cache budget in MiB; 0 disables "
+                             "(default: 0)")
     parser.add_argument("--log-level", default="info",
                         choices=["debug", "info", "warning", "error"],
                         help="logging verbosity (default: info)")
     return parser
 
 
-async def _serve(args: argparse.Namespace) -> None:
+def _build_policy(args: argparse.Namespace) -> Optional[SecurityPolicy]:
+    """The security middleware the CLI flags ask for, or None for open."""
+    if args.tokens is not None:
+        policy = SecurityPolicy.from_file(args.tokens)
+        if args.rate is not None and policy.default_rate is None:
+            policy.default_rate = args.rate
+        if args.burst is not None and policy.default_burst is None:
+            policy.default_burst = args.burst
+        return policy
+    if args.rate is not None:
+        return SecurityPolicy(default_rate=args.rate,
+                              default_burst=args.burst)
+    return None
+
+
+def _server_kwargs(args: argparse.Namespace) -> dict:
+    """UADBServer construction kwargs shared by both serving modes."""
     semiring = (STORABLE_SEMIRINGS[args.semiring]
                 if args.semiring is not None else None)
-    server = UADBServer(
-        host=args.host, port=args.port, store=args.store, semiring=semiring,
-        engine=args.engine, optimize=False if args.no_optimize else None,
+    kwargs = dict(
+        store=args.store, semiring=semiring, engine=args.engine,
+        optimize=False if args.no_optimize else None,
         cache_size=args.cache_size, max_connections=args.pool_size,
         checkout_timeout=args.checkout_timeout)
+    if args.result_cache_mb > 0:
+        kwargs["result_cache"] = ResultCache(
+            max_bytes=int(args.result_cache_mb * 1024 * 1024))
+    policy = _build_policy(args)
+    if policy is not None:
+        kwargs["policy"] = policy
+    return kwargs
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    server = UADBServer(host=args.host, port=args.port, **_server_kwargs(args))
     await server.start()
     host, port = server.address
     logging.getLogger("repro.server").info(
@@ -97,6 +162,25 @@ async def _serve(args: argparse.Namespace) -> None:
         await server.stop()
 
 
+def _serve_fleet(args: argparse.Namespace) -> int:
+    """Boot a pre-forked fleet and supervise it until SIGTERM/SIGINT."""
+
+    def factory(host: str, port: int, reuse_port: bool,
+                metrics_exchange) -> UADBServer:
+        # Runs inside each freshly forked worker: pools, stores and caches
+        # are strictly per-process.  Only --store backed fleets get here
+        # (main() enforces it), so workers share one catalog through the
+        # cross-process coordination protocol.
+        return UADBServer(host=host, port=port, reuse_port=reuse_port,
+                          metrics_exchange=metrics_exchange,
+                          **_server_kwargs(args))
+
+    supervisor = FleetSupervisor(factory, workers=args.workers,
+                                 host=args.host, port=args.port,
+                                 use_router=args.router)
+    return supervisor.run()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and serve until SIGINT/SIGTERM; returns an exit code."""
     args = _build_parser().parse_args(argv)
@@ -108,9 +192,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown engine {args.engine!r}; available: "
               f"{', '.join(available_engines())}", file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers > 1 and args.store is None:
+        print("--workers > 1 requires --store: fleet workers share one "
+              "persistent catalog", file=sys.stderr)
+        return 2
+    if args.tokens is not None:
+        try:
+            SecurityPolicy.from_file(args.tokens)  # fail fast on bad config
+        except (OSError, ValueError) as error:
+            print(f"cannot load --tokens: {error}", file=sys.stderr)
+            return 2
     logging.basicConfig(
         level=getattr(logging, args.log_level.upper()),
         format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    if args.workers is not None:
+        if not args.router and not reuseport_available():
+            logging.getLogger("repro.server").info(
+                "SO_REUSEPORT unavailable; using the round-robin router")
+        return _serve_fleet(args)
     try:
         asyncio.run(_serve(args))
     except KeyboardInterrupt:

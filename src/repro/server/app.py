@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -48,6 +49,10 @@ from repro.db.schema import SchemaError
 from repro.db.sql.lexer import SQLSyntaxError
 from repro.db.sql.translator import TranslationError
 from repro.server import http
+from repro.server.fleet.auth import SecurityPolicy
+from repro.server.fleet.cache import ResultCache
+from repro.server.fleet.coordination import StoreCoordinator, WriteLockTimeout
+from repro.server.fleet.metrics_exchange import MetricsExchange, aggregate_fleet
 from repro.server.http import HTTPError, Request, json_bytes
 from repro.server.metrics import ServerMetrics
 
@@ -55,34 +60,40 @@ __all__ = ["UADBServer", "ServerThread", "serve"]
 
 logger = logging.getLogger(__name__)
 
-#: Typed exception -> (HTTP status, error code), checked in order (subclasses
-#: first, so e.g. a PoolTimeout is reported as pool_timeout, not pool_error).
-ERROR_MAP: Tuple[Tuple[type, int, str], ...] = (
-    (HTTPError, 0, ""),  # handled specially; carries its own status/code
-    (SQLSyntaxError, 400, "parse_error"),
-    (TranslationError, 400, "translation_error"),
-    (ParameterError, 400, "parameter_error"),
-    (SchemaError, 400, "schema_error"),
-    (UnknownEngineError, 400, "unknown_engine"),
-    (UnstorableRelationError, 400, "unstorable_relation"),
-    (StoreError, 500, "store_error"),
-    (PoolTimeout, 503, "pool_timeout"),
-    (PoolError, 503, "pool_error"),
-    (SessionError, 400, "session_error"),
-    (EvaluationError, 500, "evaluation_error"),
+#: Typed exception -> (HTTP status, error code, retryable), checked in order
+#: (subclasses first, so e.g. a PoolTimeout is reported as pool_timeout, not
+#: pool_error).  ``retryable`` marks transient conditions -- lock contention,
+#: pool saturation -- where re-sending the identical request can succeed.
+ERROR_MAP: Tuple[Tuple[type, int, str, bool], ...] = (
+    (HTTPError, 0, "", False),  # handled specially; carries its own status
+    (SQLSyntaxError, 400, "parse_error", False),
+    (TranslationError, 400, "translation_error", False),
+    (ParameterError, 400, "parameter_error", False),
+    (SchemaError, 400, "schema_error", False),
+    (UnknownEngineError, 400, "unknown_engine", False),
+    (UnstorableRelationError, 400, "unstorable_relation", False),
+    (WriteLockTimeout, 503, "write_lock_timeout", True),
+    (StoreError, 500, "store_error", False),
+    (PoolTimeout, 503, "pool_timeout", True),
+    (PoolError, 503, "pool_error", True),
+    (SessionError, 400, "session_error", False),
+    (EvaluationError, 500, "evaluation_error", False),
 )
 
 #: Rows are flushed to a streaming client once this many body bytes buffer up.
 STREAM_FLUSH_BYTES = 32 * 1024
+
+#: How often a fleet worker publishes its metrics snapshot for siblings.
+METRICS_PUBLISH_INTERVAL = 1.0
 
 
 def _map_exception(error: BaseException) -> HTTPError:
     """Translate a typed repro exception into the HTTPError to report."""
     if isinstance(error, HTTPError):
         return error
-    for exc_type, status, code in ERROR_MAP[1:]:
+    for exc_type, status, code, retryable in ERROR_MAP[1:]:
         if isinstance(error, exc_type):
-            return HTTPError(status, code, str(error))
+            return HTTPError(status, code, str(error), retryable=retryable)
     logger.exception("unhandled error while serving a request", exc_info=error)
     return HTTPError(500, "internal_error",
                      f"{type(error).__name__}: {error}")
@@ -106,6 +117,18 @@ class UADBServer:
     ``idle_timeout`` drops connections that fail to deliver a complete
     request in time (keep-alive idling and slow-trickle bodies alike;
     None disables).
+
+    Fleet-tier options (all default off, leaving the single-process
+    behaviour untouched): ``reuse_port`` lets sibling worker processes bind
+    the same address with ``SO_REUSEPORT``; ``policy`` enables bearer-token
+    auth and per-client rate limits (``/healthz`` stays exempt so liveness
+    probes never need credentials); ``result_cache`` memoizes rendered
+    ``POST /query`` bodies keyed on the catalog/statistics versions;
+    ``metrics_exchange`` publishes this worker's counters for -- and folds
+    siblings' into -- ``GET /metrics``.  A store-backed server always gets a
+    :class:`~repro.server.fleet.coordination.StoreCoordinator`, so writes
+    from other processes over the same ``.uadb`` file become visible within
+    one request even without the rest of the fleet machinery.
     """
 
     def __init__(self, pool: Optional[ConnectionPool] = None, *,
@@ -117,7 +140,11 @@ class UADBServer:
                  checkout_timeout: float = 30.0,
                  drain_timeout: float = 5.0,
                  idle_timeout: Optional[float] = 60.0,
-                 max_body_bytes: int = http.DEFAULT_MAX_BODY_BYTES) -> None:
+                 max_body_bytes: int = http.DEFAULT_MAX_BODY_BYTES,
+                 reuse_port: bool = False,
+                 policy: Optional[SecurityPolicy] = None,
+                 result_cache: Optional[ResultCache] = None,
+                 metrics_exchange: Optional[MetricsExchange] = None) -> None:
         if pool is None:
             pool = ConnectionPool(store=store, semiring=semiring, name=name,
                                   engine=engine, optimize=optimize,
@@ -133,7 +160,15 @@ class UADBServer:
         self.drain_timeout = drain_timeout
         self.idle_timeout = idle_timeout
         self.max_body_bytes = max_body_bytes
+        self.reuse_port = reuse_port
+        self.policy = policy
+        self.result_cache = result_cache
+        self.metrics_exchange = metrics_exchange
+        self.coordinator = StoreCoordinator(pool,
+                                            lock_timeout=checkout_timeout)
         self.metrics = ServerMetrics()
+        self._draining = False
+        self._publish_task: Optional[asyncio.Task] = None
         self._executor = ThreadPoolExecutor(
             max_workers=pool.max_connections, thread_name_prefix="uadb-query")
         self._server: Optional[asyncio.AbstractServer] = None
@@ -152,8 +187,12 @@ class UADBServer:
     async def start(self) -> None:
         """Bind the listening socket; :attr:`address` is valid afterwards."""
         self._server = await asyncio.start_server(
-            self._client_connected, self.host, self.port)
+            self._client_connected, self.host, self.port,
+            reuse_port=self.reuse_port or None)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_exchange is not None:
+            self._publish_task = asyncio.get_running_loop().create_task(
+                self._publish_metrics_loop())
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -172,7 +211,20 @@ class UADBServer:
         the middle of a request get up to ``drain_timeout`` seconds to
         finish.  The worker executor is then shut down and, if the server
         created its own pool, the pool is drained and closed too.
+
+        While draining, any *new* request on a surviving keep-alive
+        connection answers ``503 draining`` with ``retryable: true`` --
+        fleet clients re-send it, and the router or kernel steers the retry
+        to a live worker.
         """
+        self._draining = True
+        if self._publish_task is not None:
+            self._publish_task.cancel()
+            try:
+                await self._publish_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._publish_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -189,6 +241,11 @@ class UADBServer:
         # so don't wait for the executor here -- a wedged query would hold
         # stop() (and the event loop) far past drain_timeout.
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.metrics_exchange is not None:
+            try:  # final snapshot: siblings see this worker's last counters
+                self.metrics_exchange.publish(self.metrics_payload())
+            except Exception:  # noqa: BLE001 - shutdown is best-effort
+                logger.debug("final metrics publish failed", exc_info=True)
         if self._owns_pool and not self.pool.closed:
             def close_pool() -> None:
                 try:
@@ -227,6 +284,8 @@ class UADBServer:
                                 writer: asyncio.StreamWriter) -> None:
         """Serve requests on one connection until close or keep-alive ends."""
         task = asyncio.current_task()
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, (tuple, list)) else None
         while True:
             try:
                 # One bound covers keep-alive idling and slow-trickle
@@ -249,7 +308,7 @@ class UADBServer:
             started = time.perf_counter()
             status = 500
             try:
-                status = await self._dispatch(request, writer)
+                status = await self._dispatch(request, writer, peer)
             except Exception as error:  # noqa: BLE001 - mapped to JSON below
                 if isinstance(error, (ConnectionResetError, BrokenPipeError,
                                       asyncio.CancelledError)):
@@ -269,8 +328,21 @@ class UADBServer:
             if not request.keep_alive:
                 return
 
-    async def _dispatch(self, request: Request,
-                        writer: asyncio.StreamWriter) -> int:
+    async def _dispatch(self, request: Request, writer: asyncio.StreamWriter,
+                        peer: Optional[str] = None) -> int:
+        # The middleware layer every endpoint shares: drain refusal first
+        # (a draining worker must not accept new work it may not finish),
+        # then authentication and rate limiting.  /healthz stays exempt so
+        # orchestrator liveness probes work unauthenticated and mid-drain.
+        if request.path != "/healthz":
+            if self._draining:
+                raise HTTPError(503, "draining",
+                                "server is draining for shutdown; retry "
+                                "(another worker will answer)",
+                                retryable=True,
+                                headers={"Retry-After": "1"})
+            if self.policy is not None:
+                self.policy.check(request, peer)
         route = self._routes.get(request.path)
         if route is None:
             raise HTTPError(404, "not_found",
@@ -284,8 +356,10 @@ class UADBServer:
 
     def _render_error(self, error: HTTPError, keep_alive: bool) -> bytes:
         body = json_bytes({"error": {"code": error.code,
-                                     "message": error.message}})
-        return http.render_response(error.status, body, keep_alive=keep_alive)
+                                     "message": error.message,
+                                     "retryable": error.retryable}})
+        return http.render_response(error.status, body, keep_alive=keep_alive,
+                                    extra_headers=error.headers or None)
 
     def _write_json(self, writer: asyncio.StreamWriter, status: int,
                     payload: Any, keep_alive: bool) -> None:
@@ -311,6 +385,31 @@ class UADBServer:
                             f"unknown mode {mode!r}; use 'rewritten' or 'direct'")
         stream = bool(payload.get("stream", False))
         loop = asyncio.get_running_loop()
+        if not stream:
+            cache = self.result_cache
+            if cache is not None and cache.enabled:
+                # Fast path: when no foreign write is pending (one indexed
+                # SQLite read, safe on the loop) and the body is cached,
+                # answer without the executor round trip.  A due refresh or
+                # a cache miss falls through to the worker-thread path.
+                versions = self.coordinator.poll()
+                if versions is not None:
+                    key = ResultCache.key(sql, params, mode,
+                                          self._engine_name(), *versions)
+                    body = cache.peek(key)
+                    if body is not None:
+                        writer.write(http.render_response(
+                            200, body, keep_alive=request.keep_alive,
+                            extra_headers={"X-UADB-Cache": "hit"}))
+                        return 200
+            body, cached = await loop.run_in_executor(
+                self._executor, self._run_query_cached, sql, params, mode)
+            extra = ({"X-UADB-Cache": "hit" if cached else "miss"}
+                     if self.result_cache is not None else None)
+            writer.write(http.render_response(200, body,
+                                              keep_alive=request.keep_alive,
+                                              extra_headers=extra))
+            return 200
         columns, types, rows, certain, elapsed = await loop.run_in_executor(
             self._executor, self._run_query, sql, params, mode)
         summary = {
@@ -318,16 +417,6 @@ class UADBServer:
             "certain_count": sum(certain),
             "elapsed_ms": elapsed * 1e3,
         }
-        if not stream:
-            # Results are unbounded, so the (potentially large) JSON encode
-            # runs on the executor too -- the event loop only ships bytes.
-            body = await loop.run_in_executor(self._executor, json_bytes, {
-                "columns": columns, "types": types,
-                "rows": rows, "certain": certain, **summary,
-            })
-            writer.write(http.render_response(200, body,
-                                              keep_alive=request.keep_alive))
-            return 200
         await self._stream_rows(writer, request,
                                 {"columns": columns, "types": types},
                                 rows, certain, summary)
@@ -368,8 +457,47 @@ class UADBServer:
         await writer.drain()
         self.metrics.add_streamed_rows(len(rows))
 
+    def _run_query_cached(self, sql: str, params, mode: str):
+        """Worker-thread body of non-streamed ``POST /query``.
+
+        Refreshes from cross-process writes, then answers from the result
+        cache when the exact (SQL, params, mode, engine, catalog version,
+        statistics version) body was rendered before; the version pair makes
+        invalidation exact -- any write, local or foreign, changes the key.
+        Returns ``(body bytes, served-from-cache flag)``.
+        """
+        versions = self.coordinator.ensure_fresh()
+        cache = self.result_cache
+        key = None
+        if cache is not None and cache.enabled:
+            key = ResultCache.key(sql, params, mode, self._engine_name(),
+                                  *versions)
+            body = cache.get(key)
+            if body is not None:
+                return body, True
+        columns, types, rows, certain, elapsed = self._execute_query(
+            sql, params, mode)
+        # Results are unbounded, so the (potentially large) JSON encode
+        # happens here on the worker thread -- the event loop only ships
+        # bytes.
+        body = json_bytes({
+            "columns": columns, "types": types,
+            "rows": rows, "certain": certain,
+            "row_count": len(rows),
+            "certain_count": sum(certain),
+            "elapsed_ms": elapsed * 1e3,
+        })
+        if key is not None:
+            cache.put(key, body)
+        return body, False
+
     def _run_query(self, sql: str, params, mode: str):
-        """Worker-thread body of ``POST /query`` (checkout, execute, label)."""
+        """Worker-thread body of streamed ``POST /query`` (no result cache)."""
+        self.coordinator.ensure_fresh()
+        return self._execute_query(sql, params, mode)
+
+    def _execute_query(self, sql: str, params, mode: str):
+        """Check out a connection, execute, and label rows with certainty."""
         with self.pool.connection(timeout=self.checkout_timeout) as conn:
             if conn.statement_kind(sql, mode=mode) not in ("select", "explain"):
                 raise HTTPError(400, "invalid_statement",
@@ -416,18 +544,27 @@ class UADBServer:
         return 200
 
     def _run_execute(self, sql: str, params, params_seq):
-        """Worker-thread body of ``POST /execute`` (writer-lock serialized)."""
-        with self.pool.connection(timeout=self.checkout_timeout) as conn:
-            if conn.statement_kind(sql) in ("select", "explain"):
-                raise HTTPError(400, "invalid_statement",
-                                "/execute is for DDL/DML statements; "
-                                "use /query for SELECT/EXPLAIN")
-            started = time.perf_counter()
-            if params_seq is not None:
-                cursor = conn.executemany(sql, params_seq)
-            else:
-                cursor = conn.execute(sql, params)
-            return cursor.rowcount, time.perf_counter() - started
+        """Worker-thread body of ``POST /execute``.
+
+        Writes serialize at two levels, acquired strictly in this order: the
+        cross-process ``flock`` (:meth:`StoreCoordinator.write` -- a no-op
+        for storeless pools), then the pool's in-process writer lock inside
+        ``conn.execute``.  The coordinator refreshes from foreign writes
+        under the lock, so this statement applies to the latest catalog and
+        its version bump supersedes every sibling's.
+        """
+        with self.coordinator.write(timeout=self.checkout_timeout):
+            with self.pool.connection(timeout=self.checkout_timeout) as conn:
+                if conn.statement_kind(sql) in ("select", "explain"):
+                    raise HTTPError(400, "invalid_statement",
+                                    "/execute is for DDL/DML statements; "
+                                    "use /query for SELECT/EXPLAIN")
+                started = time.perf_counter()
+                if params_seq is not None:
+                    cursor = conn.executemany(sql, params_seq)
+                else:
+                    cursor = conn.execute(sql, params)
+                return cursor.rowcount, time.perf_counter() - started
 
     async def _handle_tables(self, request: Request,
                              writer: asyncio.StreamWriter) -> int:
@@ -437,6 +574,7 @@ class UADBServer:
         return 200
 
     def _run_tables(self):
+        self.coordinator.ensure_fresh()
         with self.pool.connection(timeout=self.checkout_timeout) as conn:
             return conn.tables()
 
@@ -445,7 +583,7 @@ class UADBServer:
         stats = self.pool.stats()
         store = self.pool.store
         self._write_json(writer, 200, {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "semiring": self.pool.semiring.name,
             "engine": self._engine_name(),
             "store": store.path if store is not None else None,
@@ -461,8 +599,12 @@ class UADBServer:
         except EvaluationError:
             return str(self.pool.engine)
 
-    async def _handle_metrics(self, request: Request,
-                              writer: asyncio.StreamWriter) -> int:
+    def metrics_payload(self) -> Dict[str, Any]:
+        """The full ``GET /metrics`` body for *this* process.
+
+        Also what a fleet worker periodically publishes to its siblings
+        through the :class:`MetricsExchange`.
+        """
         pool_stats = self.pool.stats()
         cache = pool_stats.pop("plan_cache")
         lookups = cache["hits"] + cache["misses"]
@@ -470,7 +612,7 @@ class UADBServer:
         store = pool_stats.pop("store", None)
         pool_stats["saturation"] = (pool_stats["in_use"]
                                     / pool_stats["max_connections"])
-        self._write_json(writer, 200, {
+        payload: Dict[str, Any] = {
             "server": self.metrics.snapshot(),
             "plan_cache": cache,
             "pool": pool_stats,
@@ -482,8 +624,47 @@ class UADBServer:
             # Intra-query parallel layer: chunk counters and worker
             # utilization (busy-over-wall time across parallelized tasks).
             "parallel": parallel.stats(),
-        }, request.keep_alive)
+        }
+        if self.result_cache is not None:
+            payload["result_cache"] = self.result_cache.stats()
+        if self.coordinator.active:
+            payload["coordination"] = self.coordinator.stats()
+        if self.policy is not None:
+            payload["security"] = self.policy.stats()
+        return payload
+
+    async def _handle_metrics(self, request: Request,
+                              writer: asyncio.StreamWriter) -> int:
+        payload = self.metrics_payload()
+        if self.metrics_exchange is not None:
+            # Fold every sibling worker's published snapshot in, overlaying
+            # this worker's *live* payload, so any one worker of the fleet
+            # answers for all of them -- with hit rates recomputed from
+            # summed counters, never a single process's view.
+            snapshots = self.metrics_exchange.read_all()
+            snapshots[self.metrics_exchange.worker_index] = {
+                "worker": self.metrics_exchange.worker_index,
+                "pid": os.getpid(),
+                "published_at": time.time(),
+                "metrics": payload,
+            }
+            payload["worker"] = self.metrics_exchange.worker_index
+            payload["fleet"] = aggregate_fleet(snapshots)
+        self._write_json(writer, 200, payload, request.keep_alive)
         return 200
+
+    async def _publish_metrics_loop(self) -> None:
+        """Periodically publish this worker's counters for its siblings."""
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                await loop.run_in_executor(None, self.metrics_exchange.publish,
+                                           self.metrics_payload())
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - publishing must never kill us
+                logger.debug("metrics publish failed", exc_info=True)
+            await asyncio.sleep(METRICS_PUBLISH_INTERVAL)
 
     def __repr__(self) -> str:
         state = "bound" if self._server is not None else "unbound"

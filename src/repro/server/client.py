@@ -5,8 +5,25 @@ third-party dependencies -- and mirrors the session API's result shapes:
 :meth:`Client.query` returns a :class:`QueryReply` with ``rows`` /
 ``certain`` / ``labeled_rows()`` accessors, :meth:`Client.execute` returns a
 rowcount, and :meth:`Client.stream` iterates a large result as it arrives
-over NDJSON.  Server-side failures raise :class:`ServerError` carrying the
-structured error code from the JSON body.
+over NDJSON.
+
+Server-side failures raise a **typed** exception hierarchy rooted at
+:class:`ServerError`, mapped from the structured JSON error body: client
+mistakes are :class:`BadRequestError`, credential problems
+:class:`AuthError`, rate limiting :class:`RateLimitedError`, transient
+refusals (pool saturation, a draining fleet worker, write-lock contention)
+:class:`ServerUnavailableError`, server bugs :class:`InternalServerError`,
+and a connection dying inside a streamed result :class:`StreamInterrupted`.
+
+The client retries transparently, with exponential backoff and jitter, in
+exactly the cases where a retry cannot double-apply work: connection-phase
+failures (the request never went out), and error responses the server
+explicitly marks ``retryable`` -- ``429`` (honoring ``Retry-After``) and
+``503`` refusals, which the server issues strictly *before* dispatching the
+statement.  A response **timeout** is never retried (the statement may still
+be running), and a request whose bytes may have reached the server is never
+re-sent on ``/execute`` unless the server's refusal proves it was not acted
+on.  Set ``max_retries=0`` to observe every error directly.
 
 One client holds one keep-alive connection and is **not** thread-safe; give
 each thread its own instance (they are cheap).
@@ -16,14 +33,29 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.db.relation import Row, _row_sort_key
 
-__all__ = ["Client", "QueryReply", "ServerError"]
+__all__ = [
+    "AuthError",
+    "BadRequestError",
+    "Client",
+    "InternalServerError",
+    "QueryReply",
+    "RateLimitedError",
+    "ServerError",
+    "ServerUnavailableError",
+    "StreamInterrupted",
+]
 
 Params = Union[None, List[Any], Dict[str, Any]]
+
+#: Upper bound on how long one server-directed ``Retry-After`` is honored.
+MAX_RETRY_AFTER = 30.0
 
 
 class ServerError(RuntimeError):
@@ -31,13 +63,91 @@ class ServerError(RuntimeError):
 
     ``code`` is the machine-readable identifier from the JSON body
     (``"parse_error"``, ``"pool_timeout"``, ...), ``status`` the HTTP status
-    code, and the exception message the server's human-readable explanation.
+    code, ``retryable`` whether the server marked the condition transient,
+    ``retry_after`` the server-suggested wait in seconds (rate limiting and
+    draining), and the exception message the human-readable explanation.
+    Concrete subclasses classify the failure; catching :class:`ServerError`
+    catches them all.
     """
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(self, status: int, code: str, message: str,
+                 retryable: bool = False,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retryable = retryable
+        self.retry_after = retry_after
+
+
+class BadRequestError(ServerError):
+    """The request itself is wrong (4xx): bad SQL, bad params, bad shape.
+
+    Never retried -- re-sending an unparseable query cannot help.
+    """
+
+
+class AuthError(ServerError):
+    """Missing, malformed or unknown bearer token (401).
+
+    Never retried: fix the ``token`` the client was constructed with.
+    """
+
+
+class RateLimitedError(ServerError):
+    """The per-client token bucket ran dry (429).
+
+    Always retryable; :attr:`retry_after` carries the server's
+    ``Retry-After`` hint, which the client's retry loop honors.
+    """
+
+
+class ServerUnavailableError(ServerError):
+    """A transient refusal (503): pool saturated, write lock contended, or
+    the worker is draining for shutdown.
+
+    The server issues these strictly before dispatching the statement, so
+    re-sending -- which the retry loop does, with backoff -- cannot apply
+    work twice, even on ``/execute``.
+    """
+
+
+class InternalServerError(ServerError):
+    """The server failed evaluating the request (5xx other than 503).
+
+    Not retried by default: the same statement would likely fail the same
+    way, and on ``/execute`` the failure point is unknown.
+    """
+
+
+class StreamInterrupted(ServerError):
+    """The connection died inside a streamed (NDJSON) result.
+
+    Rows already yielded are valid; the remainder was lost and streaming
+    resume is not supported -- re-run the query (``retryable`` is True: a
+    ``SELECT`` is safe to re-send).
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(0, "stream_interrupted", message, retryable=True)
+
+
+def _classify(status: int, code: str, message: str, retryable: bool,
+              retry_after: Optional[float]) -> ServerError:
+    """Build the typed exception for one structured error response."""
+    if status == 401:
+        cls = AuthError
+    elif status == 429:
+        cls = RateLimitedError
+        retryable = True
+    elif status == 503:
+        cls = ServerUnavailableError
+    elif status >= 500:
+        cls = InternalServerError
+    else:
+        cls = BadRequestError
+    return cls(status, code, message, retryable=retryable,
+               retry_after=retry_after)
 
 
 class QueryReply:
@@ -90,16 +200,29 @@ class QueryReply:
 class Client:
     """A blocking JSON/HTTP client for one UA-DB server.
 
-    ``timeout`` applies per request (socket-level).  The underlying
-    keep-alive connection reconnects transparently if the server closed it
-    between requests.  Use as a context manager or call :meth:`close`.
+    ``timeout`` applies per request (socket-level).  ``token`` is sent as an
+    ``Authorization: Bearer`` header when the server enforces
+    authentication.  ``max_retries`` bounds the transparent retries of
+    retryable failures (0 disables them; connection-phase failures still get
+    the single legacy reconnect so a recycled keep-alive socket stays
+    invisible); ``backoff_base``/``backoff_cap`` shape the exponential
+    backoff between attempts, always with jitter so a fleet of clients does
+    not retry in lockstep.  The underlying keep-alive connection reconnects
+    transparently if the server closed it between requests.  Use as a
+    context manager or call :meth:`close`.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, token: Optional[str] = None,
+                 max_retries: int = 3, backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.token = token
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing -----------------------------------------------------------------
@@ -115,6 +238,20 @@ class Client:
             self._connection.close()
             self._connection = None
 
+    def _backoff_sleep(self, attempt: int,
+                       retry_after: Optional[float] = None) -> None:
+        """Wait before retry ``attempt`` (1-based), with jitter.
+
+        A server-directed ``Retry-After`` overrides the exponential
+        schedule -- the server knows when the bucket refills.
+        """
+        if retry_after is not None:
+            delay = min(max(retry_after, 0.0), MAX_RETRY_AFTER)
+        else:
+            delay = min(self.backoff_cap,
+                        self.backoff_base * (2 ** (attempt - 1)))
+        time.sleep(delay + random.uniform(0, self.backoff_base))
+
     def _request(self, method: str, path: str,
                  payload: Optional[Dict[str, Any]] = None
                  ) -> http.client.HTTPResponse:
@@ -123,20 +260,26 @@ class Client:
         if payload is not None:
             body = json.dumps(payload, default=repr).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         # /execute is the one non-idempotent endpoint: an INSERT must never
         # be silently resent once its bytes may have reached the server.
         retry_after_send = path != "/execute"
-        for attempt in (0, 1):
+        attempts = max(2, self.max_retries + 1)
+        for attempt in range(attempts):
             connection = self._connect()
             try:
                 connection.request(method, path, body=body, headers=headers)
             except (http.client.HTTPException, ConnectionError,
                     socket.timeout, OSError):
-                # The request could not be sent (typically a dead keep-alive
-                # socket): reconnect and retry once, whatever the endpoint.
+                # The request could not be sent (a dead keep-alive socket,
+                # or a fleet worker that just went away): reconnect and
+                # retry with backoff, whatever the endpoint -- nothing
+                # reached the server.
                 self._reset()
-                if attempt:
+                if attempt == attempts - 1:
                     raise
+                self._backoff_sleep(attempt + 1)
                 continue
             try:
                 return connection.getresponse()
@@ -150,22 +293,49 @@ class Client:
                 # (typically a stale keep-alive closed under us).  Only
                 # idempotent requests may retry; resending DDL/DML could
                 # apply it twice.
-                if attempt or not retry_after_send:
+                if attempt == attempts - 1 or not retry_after_send:
                     raise
+                self._backoff_sleep(attempt + 1)
         raise AssertionError("unreachable")
+
+    @staticmethod
+    def _error_from(response: http.client.HTTPResponse,
+                    data: bytes, parsed: Any) -> ServerError:
+        """The typed exception for an already-read >=400 response."""
+        error = parsed.get("error", {}) if isinstance(parsed, dict) else {}
+        if not isinstance(error, dict):
+            error = {}
+        retry_after: Optional[float] = None
+        header = response.getheader("Retry-After")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
+        return _classify(
+            response.status,
+            error.get("code", "unknown"),
+            error.get("message", data.decode("utf-8", "replace")),
+            bool(error.get("retryable", False)),
+            retry_after)
 
     def _json(self, method: str, path: str,
               payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        response = self._request(method, path, payload)
-        data = response.read()
-        parsed = json.loads(data) if data else {}
-        if response.status >= 400:
-            error = parsed.get("error", {}) if isinstance(parsed, dict) else {}
-            raise ServerError(response.status,
-                              error.get("code", "unknown"),
-                              error.get("message", data.decode("utf-8",
-                                                               "replace")))
-        return parsed
+        retries = 0
+        while True:
+            response = self._request(method, path, payload)
+            data = response.read()
+            parsed = json.loads(data) if data else {}
+            if response.status < 400:
+                return parsed
+            error = self._error_from(response, data, parsed)
+            # Only server-marked transient refusals retry; they are issued
+            # before the statement is dispatched, so a re-send -- /execute
+            # included -- cannot double-apply work.
+            if not error.retryable or retries >= self.max_retries:
+                raise error
+            retries += 1
+            self._backoff_sleep(retries, error.retry_after)
 
     # -- endpoints ----------------------------------------------------------------
 
@@ -190,41 +360,65 @@ class Client:
         incrementally, so arbitrarily large results never materialize as one
         JSON document on either side.  The generator must be consumed (or
         closed) before the client is used again -- one connection, one
-        in-flight response.
+        in-flight response.  A connection dying mid-stream raises
+        :class:`StreamInterrupted` (resume is not supported; re-run the
+        query).
         """
         payload: Dict[str, Any] = {"sql": sql, "mode": mode, "stream": True}
         if params is not None:
             payload["params"] = params
-        response = self._request("POST", "/query", payload)
-        if response.status >= 400:
+        retries = 0
+        while True:
+            response = self._request("POST", "/query", payload)
+            if response.status < 400:
+                break
             data = response.read()
             parsed = json.loads(data) if data else {}
-            error = parsed.get("error", {}) if isinstance(parsed, dict) else {}
-            raise ServerError(response.status, error.get("code", "unknown"),
-                              error.get("message", ""))
+            error = self._error_from(response, data, parsed)
+            if not error.retryable or retries >= self.max_retries:
+                raise error
+            retries += 1
+            self._backoff_sleep(retries, error.retry_after)
 
         def rows() -> Iterator[Tuple[Row, bool]]:
             completed = False
             try:
-                header_line = response.readline()
-                json.loads(header_line)  # {"columns": ..., "types": ...}
-                while True:
-                    line = response.readline()
-                    if not line:
-                        break
-                    record = json.loads(line)
-                    if "row" not in record:
-                        break  # trailing summary line
-                    yield tuple(record["row"]), record["certain"]
-                completed = True
+                try:
+                    header_line = response.readline()
+                    if not header_line:
+                        raise StreamInterrupted(
+                            "connection closed before the stream header")
+                    json.loads(header_line)  # {"columns": ..., "types": ...}
+                    while True:
+                        line = response.readline()
+                        if not line:
+                            # The summary line terminates a complete stream;
+                            # EOF before it means the worker died mid-result.
+                            raise StreamInterrupted(
+                                "connection closed mid-stream; rows beyond "
+                                "this point were lost (re-run the query)")
+                        record = json.loads(line)
+                        if "row" not in record:
+                            break  # trailing summary line
+                        yield tuple(record["row"]), record["certain"]
+                    completed = True
+                except StreamInterrupted:
+                    raise
+                except (http.client.HTTPException, ConnectionError, OSError,
+                        ValueError) as error:
+                    # IncompleteRead, a reset socket, or a torn NDJSON line:
+                    # all the same condition -- the stream did not finish.
+                    raise StreamInterrupted(
+                        f"stream failed mid-result: {error}") from error
             finally:
                 if completed:
                     # Drain the (empty) tail: the keep-alive socket stays
                     # usable for the next request.
                     response.read()
                 else:
-                    # Abandoned mid-stream: dropping the connection is far
-                    # cheaper than reading an arbitrarily large remainder.
+                    # Abandoned or interrupted mid-stream: dropping the
+                    # connection is far cheaper than reading an arbitrarily
+                    # large remainder.
                     self._reset()
 
         return rows()

@@ -1,0 +1,38 @@
+"""Multi-process fleet serving for the UA-DB HTTP server.
+
+This package turns the single-process asyncio server into a pre-forked
+fleet sharing one ``.uadb`` store and one public port:
+
+* :mod:`repro.server.fleet.coordination` -- cross-process write
+  coordination: an advisory ``flock`` write lock with fencing tokens, and a
+  per-process catalog watcher that refreshes stale readers from the WAL.
+* :mod:`repro.server.fleet.supervisor` -- the pre-fork supervisor:
+  ``SO_REUSEPORT`` load balancing (or a round-robin asyncio router
+  fallback), graceful per-worker drain, crash restarts with backoff.
+* :mod:`repro.server.fleet.cache` -- an HTTP-level result cache keyed on
+  (normalized SQL, params, engine, catalog version, stats version).
+* :mod:`repro.server.fleet.auth` -- bearer-token authentication and
+  per-client token-bucket rate limiting.
+* :mod:`repro.server.fleet.metrics_exchange` -- cross-worker metrics
+  aggregation for ``GET /metrics``.
+"""
+
+from repro.server.fleet.auth import SecurityPolicy, TokenBucket
+from repro.server.fleet.cache import ResultCache
+from repro.server.fleet.coordination import (FleetWriteLock, StoreCoordinator,
+                                             WriteLockTimeout)
+from repro.server.fleet.metrics_exchange import MetricsExchange, aggregate_fleet
+from repro.server.fleet.supervisor import FleetSupervisor, reuseport_available
+
+__all__ = [
+    "FleetSupervisor",
+    "FleetWriteLock",
+    "MetricsExchange",
+    "ResultCache",
+    "SecurityPolicy",
+    "StoreCoordinator",
+    "TokenBucket",
+    "WriteLockTimeout",
+    "aggregate_fleet",
+    "reuseport_available",
+]

@@ -1,0 +1,216 @@
+"""Bearer-token authentication and per-client token-bucket rate limiting.
+
+One :class:`SecurityPolicy` object guards every endpoint of a server (the
+``/healthz`` liveness probe is exempted by the server so orchestrators can
+always reach it).  Two independent knobs:
+
+* **Authentication** -- static bearer tokens from a JSON config file
+  (:meth:`SecurityPolicy.from_file`).  When any tokens are configured, every
+  request must carry ``Authorization: Bearer <token>``; unknown or missing
+  tokens answer ``401`` with a ``WWW-Authenticate`` challenge.  With no
+  tokens configured the server stays open (the pre-fleet behaviour).
+
+* **Rate limiting** -- a token bucket per client: ``rate`` requests/second
+  sustained, bursting to ``burst``.  Authenticated clients are keyed by
+  their token's ``client`` name; anonymous clients by peer IP.  Exhausted
+  buckets answer ``429`` with ``Retry-After`` (seconds, rounded up) so
+  well-behaved clients -- including :class:`repro.server.client.Client` --
+  back off precisely instead of guessing.
+
+Config file shape (all fields optional)::
+
+    {
+      "tokens": {
+        "s3cret-token": {"client": "alice", "rate": 100, "burst": 200},
+        "other-token":  {"client": "bob"}
+      },
+      "default_rate": 50,
+      "default_burst": 100
+    }
+
+Per-token ``rate``/``burst`` override the defaults; a client with no rate
+anywhere is unlimited.  Buckets use the monotonic clock and are thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.server.http import HTTPError, Request
+
+__all__ = ["SecurityPolicy", "TokenBucket"]
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_updated", "_lock")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    def consume(self, amount: float = 1.0) -> float:
+        """Take ``amount`` tokens; returns 0.0 on success, else seconds to wait."""
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._updated) * self.rate)
+            self._updated = now
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return 0.0
+            if self.rate <= 0:
+                return math.inf
+            return (amount - self._tokens) / self.rate
+
+    def __repr__(self) -> str:
+        return f"<TokenBucket {self.rate}/s burst={self.burst}>"
+
+
+class SecurityPolicy:
+    """Authentication + rate limiting for one server, in one middleware check.
+
+    ``tokens`` maps bearer-token strings to descriptors (``client`` name,
+    optional ``rate``/``burst``).  ``default_rate``/``default_burst`` apply
+    to tokens without their own numbers -- and, when no tokens are
+    configured at all, to anonymous clients keyed by peer IP.
+    """
+
+    #: Anonymous per-IP buckets retained before the oldest are dropped.
+    MAX_TRACKED_CLIENTS = 4096
+
+    def __init__(self, tokens: Optional[Dict[str, Dict[str, Any]]] = None,
+                 default_rate: Optional[float] = None,
+                 default_burst: Optional[float] = None) -> None:
+        self.tokens: Dict[str, Dict[str, Any]] = dict(tokens or {})
+        self.default_rate = default_rate
+        self.default_burst = default_burst
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.denied_auth = 0
+        self.denied_rate = 0
+
+    @classmethod
+    def from_file(cls, path: str) -> "SecurityPolicy":
+        """Load a policy from a JSON config file (shape in the module doc)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                config = json.load(handle)
+            except ValueError as exc:
+                raise ValueError(f"tokens file {path!r} is not valid JSON: {exc}")
+        if not isinstance(config, dict):
+            raise ValueError(f"tokens file {path!r} must hold a JSON object")
+        tokens = config.get("tokens", {})
+        if not isinstance(tokens, dict):
+            raise ValueError(f"tokens file {path!r}: 'tokens' must be an object")
+        normalized: Dict[str, Dict[str, Any]] = {}
+        for token, descriptor in tokens.items():
+            if isinstance(descriptor, str):
+                descriptor = {"client": descriptor}
+            if not isinstance(descriptor, dict):
+                raise ValueError(
+                    f"tokens file {path!r}: descriptor of one token must be "
+                    f"an object or a client name string")
+            descriptor.setdefault("client", f"token-{len(normalized)}")
+            normalized[str(token)] = descriptor
+        return cls(normalized,
+                   default_rate=config.get("default_rate"),
+                   default_burst=config.get("default_burst"))
+
+    @property
+    def requires_auth(self) -> bool:
+        """True when any bearer token is configured."""
+        return bool(self.tokens)
+
+    # -- the middleware check -----------------------------------------------------
+
+    def check(self, request: Request, peer: Optional[str] = None) -> str:
+        """Authenticate and rate-limit one request; returns the client name.
+
+        Raises :class:`~repro.server.http.HTTPError` 401 (bad/missing
+        token, with a ``WWW-Authenticate`` challenge) or 429 (bucket empty,
+        with ``Retry-After``).
+        """
+        client, rate, burst = self._identify(request, peer)
+        if rate is not None:
+            wait = self._bucket(client, rate, burst).consume()
+            if wait > 0:
+                self.denied_rate += 1
+                retry_after = max(1, math.ceil(min(wait, 3600)))
+                raise HTTPError(
+                    429, "rate_limited",
+                    f"client {client!r} exceeded {rate:g} requests/s; "
+                    f"retry after {retry_after}s",
+                    retryable=True,
+                    headers={"Retry-After": str(retry_after)})
+        return client
+
+    def _identify(self, request: Request, peer: Optional[str]):
+        """Resolve (client name, rate, burst) or raise 401."""
+        if not self.requires_auth:
+            client = f"ip:{peer}" if peer else "anonymous"
+            return client, self.default_rate, self._burst(self.default_rate,
+                                                          None)
+        header = request.headers.get("authorization", "")
+        scheme, _, credential = header.partition(" ")
+        credential = credential.strip()
+        if scheme.lower() != "bearer" or not credential:
+            self.denied_auth += 1
+            raise HTTPError(
+                401, "unauthorized",
+                "missing bearer token; send 'Authorization: Bearer <token>'",
+                headers={"WWW-Authenticate": 'Bearer realm="uadb"'})
+        descriptor = self.tokens.get(credential)
+        if descriptor is None:
+            self.denied_auth += 1
+            raise HTTPError(
+                401, "unauthorized", "unknown bearer token",
+                headers={"WWW-Authenticate": 'Bearer realm="uadb"'})
+        rate = descriptor.get("rate", self.default_rate)
+        burst = self._burst(rate, descriptor.get("burst"))
+        return descriptor["client"], rate, burst
+
+    def _burst(self, rate: Optional[float],
+               burst: Optional[float]) -> Optional[float]:
+        if burst is not None:
+            return burst
+        if self.default_burst is not None:
+            return self.default_burst
+        return rate  # sensible default: a full second of traffic
+
+    def _bucket(self, client: str, rate: float,
+                burst: Optional[float]) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    rate, burst if burst is not None else rate)
+                # Bound anonymous-client tracking: a port scanner must not
+                # grow the bucket table without limit.
+                while len(self._buckets) > self.MAX_TRACKED_CLIENTS:
+                    self._buckets.pop(next(iter(self._buckets)))
+            return bucket
+
+    def stats(self) -> Dict[str, Any]:
+        """Denial counters and configuration gauges for /metrics."""
+        with self._lock:
+            tracked = len(self._buckets)
+        return {
+            "auth_required": self.requires_auth,
+            "clients_tracked": tracked,
+            "denied_auth": self.denied_auth,
+            "denied_rate": self.denied_rate,
+            "default_rate": self.default_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<SecurityPolicy tokens={len(self.tokens)} "
+                f"default_rate={self.default_rate}>")

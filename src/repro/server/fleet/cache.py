@@ -1,0 +1,149 @@
+"""A byte-bounded HTTP-level result cache with exact version invalidation.
+
+:class:`ResultCache` memoizes the fully rendered JSON body of non-streamed
+``POST /query`` responses.  The key includes the catalog and statistics
+versions the answer was computed under -- the same counters the prepared-plan
+cache already keys its invalidation on -- so any DDL or INSERT (local or, via
+the :class:`~repro.server.fleet.coordination.StoreCoordinator`, in another
+process) changes the key and retires every stale entry *exactly*: no TTLs,
+no heuristic invalidation, no stale reads.
+
+Entries are LRU-evicted against a byte budget (bodies dominate, keys are
+counted too); single bodies larger than ``max_entry_bytes`` are never cached
+(they would evict the whole working set for one unrepeatable hit).  All
+operations are thread-safe: worker threads of the asyncio server share one
+instance.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ResultCache"]
+
+#: Default byte budget (64 MiB) -- roughly 10k typical query bodies.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+def normalize_sql(sql: str) -> str:
+    """Collapse runs of whitespace so trivially reformatted SQL shares a key."""
+    return " ".join(sql.split())
+
+
+def canonical_params(params: Any) -> str:
+    """A deterministic string form of a parameter list/dict (or ``None``)."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+
+
+class ResultCache:
+    """An LRU over rendered response bodies, bounded by total bytes.
+
+    ``max_bytes <= 0`` disables caching entirely (every lookup misses),
+    keeping the server's code path uniform.  ``max_entry_bytes`` defaults to
+    an eighth of the budget.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES,
+                 max_entry_bytes: Optional[int] = None) -> None:
+        self.max_bytes = max_bytes
+        self.max_entry_bytes = (max(1, max_bytes // 8)
+                                if max_entry_bytes is None else max_entry_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, bytes]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rejected = 0
+
+    @staticmethod
+    def key(sql: str, params: Any, mode: str, engine: str,
+            catalog_version: int, stats_version: int) -> Tuple:
+        """The cache key for one query under one catalog/statistics state."""
+        return (normalize_sql(sql), canonical_params(params), mode, engine,
+                catalog_version, stats_version)
+
+    @property
+    def enabled(self) -> bool:
+        """False when the byte budget disables caching."""
+        return self.max_bytes > 0
+
+    def get(self, key: Tuple) -> Optional[bytes]:
+        """The cached body for ``key``, or None (counted as hit/miss)."""
+        with self._lock:
+            body = self._entries.get(key)
+            if body is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return body
+
+    def peek(self, key: Tuple) -> Optional[bytes]:
+        """Like :meth:`get`, but a miss is not counted (no LRU effect either).
+
+        For two-stage lookups -- an inline fast path that falls back to the
+        full path, whose :meth:`get` records the miss -- so one request
+        never counts as two lookups.
+        """
+        with self._lock:
+            body = self._entries.get(key)
+            if body is None:
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return body
+
+    def put(self, key: Tuple, body: bytes) -> None:
+        """Insert ``body``, evicting least-recently-used entries to fit."""
+        size = self._entry_size(key, body)
+        if not self.enabled or size > self.max_entry_bytes:
+            self.rejected += 1
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= self._entry_size(key, old)
+            self._entries[key] = body
+            self._bytes += size
+            while self._bytes > self.max_bytes and self._entries:
+                stale_key, stale_body = self._entries.popitem(last=False)
+                self._bytes -= self._entry_size(stale_key, stale_body)
+                self.evictions += 1
+
+    @staticmethod
+    def _entry_size(key: Tuple, body: bytes) -> int:
+        return len(body) + sum(len(str(part)) for part in key)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/eviction counters and current footprint for /metrics."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return (f"<ResultCache {len(self)} entries {self._bytes}B "
+                f"hits={self.hits} misses={self.misses}>")

@@ -1,0 +1,485 @@
+"""The fleet supervisor: pre-forked workers behind one shared port.
+
+``python -m repro.server --workers N`` hands control to
+:class:`FleetSupervisor`, which
+
+* reserves the public port once (so ``--port 0`` resolves to one concrete
+  port for the whole fleet), then ``fork()``\\ s N workers, each running the
+  ordinary asyncio :class:`~repro.server.app.UADBServer` over its **own**
+  connection pool on the shared ``.uadb`` store -- pools, sqlite
+  connections and event loops are built strictly *after* the fork, so no
+  file descriptor or lock state is shared accidentally;
+* load-balances with ``SO_REUSEPORT`` where the kernel offers it (every
+  worker listens on the same address; the kernel spreads accepted
+  connections), falling back to -- or forced into, with ``--router`` -- a
+  tiny asyncio round-robin TCP router in the parent that proxies each
+  connection to a worker's private ephemeral port;
+* restarts crashed workers with per-slot exponential backoff (reset after a
+  stable run), and on SIGTERM/SIGINT forwards the signal so every worker
+  drains in-flight requests before exiting (a second signal force-kills);
+* prints one parseable readiness line -- ``FLEET READY http://host:port
+  workers=N mode=...`` -- to stdout once every worker accepts connections,
+  which tests and deployment scripts wait for.
+
+Workers coordinate writes and catalog refreshes through the store-level
+protocol in :mod:`repro.server.fleet.coordination`; the supervisor itself
+never touches the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import select
+import signal
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.server.fleet.metrics_exchange import MetricsExchange
+
+__all__ = ["FleetSupervisor", "reuseport_available"]
+
+logger = logging.getLogger(__name__)
+
+#: A worker alive this long has its restart backoff reset to the base.
+STABLE_UPTIME = 5.0
+
+
+def reuseport_available() -> bool:
+    """True when the platform kernel supports ``SO_REUSEPORT`` balancing."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+class _RoundRobinRouter:
+    """An asyncio TCP proxy spreading connections over worker backends.
+
+    The ``SO_REUSEPORT`` fallback: runs on its own thread + event loop in
+    the supervisor process, accepts on the public address and relays each
+    connection (both directions, with backpressure) to the next live
+    backend.  Backends are registered per worker slot and swapped in place
+    when the supervisor restarts a worker on a new ephemeral port.
+    """
+
+    def __init__(self, host: str, port: int, slots: int) -> None:
+        self.host = host
+        self.port = port
+        self._backends: List[Optional[Tuple[str, int]]] = [None] * slots
+        self._lock = threading.Lock()
+        self._next = 0
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def set_backend(self, slot: int, address: Optional[Tuple[str, int]]) -> None:
+        """Point ``slot`` at a (re)started worker, or None while it is down."""
+        with self._lock:
+            self._backends[slot] = address
+
+    def _pick(self) -> Optional[Tuple[str, int]]:
+        with self._lock:
+            for _ in range(len(self._backends)):
+                backend = self._backends[self._next % len(self._backends)]
+                self._next += 1
+                if backend is not None:
+                    return backend
+        return None
+
+    async def _relay(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                piece = await reader.read(65536)
+                if not piece:
+                    break
+                writer.write(piece)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            try:
+                writer.write_eof()
+            except (OSError, RuntimeError):
+                pass
+
+    async def _handle(self, client_reader: asyncio.StreamReader,
+                      client_writer: asyncio.StreamWriter) -> None:
+        backend = self._pick()
+        if backend is None:
+            client_writer.close()
+            return
+        try:
+            backend_reader, backend_writer = await asyncio.open_connection(
+                *backend)
+        except OSError:
+            client_writer.close()
+            return
+        try:
+            await asyncio.gather(
+                self._relay(client_reader, backend_writer),
+                self._relay(backend_reader, client_writer))
+        finally:
+            for writer in (client_writer, backend_writer):
+                writer.close()
+
+    def start(self) -> None:
+        """Bind the public address on a dedicated loop thread (blocking)."""
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="uadb-fleet-router")
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            server = await asyncio.start_server(self._handle, self.host,
+                                                self.port)
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await self._stop.wait()
+
+    def stop(self) -> None:
+        """Stop accepting and join the router thread (idempotent)."""
+        if self._loop is not None and self._thread is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+class FleetSupervisor:
+    """Forks, watches, restarts and drains N worker server processes.
+
+    ``server_factory(host=..., port=..., reuse_port=...,
+    metrics_exchange=...)`` must return an **unstarted**
+    :class:`~repro.server.app.UADBServer`; it runs inside each freshly
+    forked worker, so everything it builds (pools, stores, caches) is
+    per-process.  ``use_router=True`` forces the asyncio round-robin proxy
+    even where ``SO_REUSEPORT`` is available (its own code path is also the
+    portability fallback).
+    """
+
+    def __init__(self, server_factory: Callable[..., object], *,
+                 workers: int, host: str = "127.0.0.1", port: int = 8080,
+                 use_router: bool = False,
+                 metrics_dir: Optional[str] = None,
+                 ready_timeout: float = 30.0,
+                 backoff_base: float = 0.1,
+                 backoff_cap: float = 5.0) -> None:
+        if workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        self.server_factory = server_factory
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.use_router = use_router or not reuseport_available()
+        self.ready_timeout = ready_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._metrics_dir = metrics_dir
+        self._owns_metrics_dir = metrics_dir is None
+        self._placeholder: Optional[socket.socket] = None
+        self._router: Optional[_RoundRobinRouter] = None
+        self._children: Dict[int, int] = {}  # pid -> slot
+        self._spawned_at: Dict[int, float] = {}  # pid -> monotonic
+        self._backoff: Dict[int, float] = {}  # slot -> next restart delay
+        self._stopping = False
+        self._force_kill = False
+
+    @property
+    def mode(self) -> str:
+        """``"reuseport"`` or ``"router"`` -- how connections are balanced."""
+        return "router" if self.use_router else "reuseport"
+
+    # -- public entry point -------------------------------------------------------
+
+    def run(self) -> int:
+        """Boot the fleet, supervise until SIGTERM/SIGINT, drain, exit.
+
+        Returns a process exit code: 0 after a clean shutdown, 1 when the
+        fleet failed to boot.
+        """
+        import shutil
+        import tempfile
+
+        if self._metrics_dir is None:
+            self._metrics_dir = tempfile.mkdtemp(prefix="uadb-fleet-metrics-")
+        previous_handlers = {
+            signum: signal.signal(signum, self._handle_signal)
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            self._bind_frontend()
+            for slot in range(self.workers):
+                if not self._boot_slot(slot, initial=True):
+                    return 1
+            print(f"FLEET READY http://{self.host}:{self.port} "
+                  f"workers={self.workers} mode={self.mode} "
+                  f"pid={os.getpid()}", flush=True)
+            logger.info("fleet of %d workers serving on http://%s:%d (%s)",
+                        self.workers, self.host, self.port, self.mode)
+            self._supervise()
+            return 0
+        finally:
+            self._shutdown_children()
+            if self._router is not None:
+                self._router.stop()
+            if self._placeholder is not None:
+                self._placeholder.close()
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+            if self._owns_metrics_dir and self._metrics_dir:
+                shutil.rmtree(self._metrics_dir, ignore_errors=True)
+
+    # -- signals ------------------------------------------------------------------
+
+    def _handle_signal(self, signum, frame) -> None:
+        if self._stopping:
+            # Second signal: the operator is done waiting; force-kill.
+            self._force_kill = True
+            for pid in list(self._children):
+                self._kill(pid, signal.SIGKILL)
+            return
+        self._stopping = True
+        for pid in list(self._children):
+            self._kill(pid, signal.SIGTERM)
+
+    @staticmethod
+    def _kill(pid: int, signum: int) -> None:
+        try:
+            os.kill(pid, signum)
+        except ProcessLookupError:
+            pass
+
+    # -- the public socket --------------------------------------------------------
+
+    def _bind_frontend(self) -> None:
+        """Fix the public (host, port) before any worker exists.
+
+        ``reuseport`` mode binds a placeholder socket that never listens: it
+        resolves ``--port 0``, keeps the port reserved across the window
+        where every worker happens to be dead, and lets each worker bind the
+        same address with ``SO_REUSEPORT``.  ``router`` mode starts the
+        proxy instead; workers then bind private ephemeral ports.
+        """
+        if self.use_router:
+            self._router = _RoundRobinRouter(self.host, self.port,
+                                             self.workers)
+            self._router.start()
+            self.port = self._router.port
+            return
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        placeholder.bind((self.host, self.port))
+        self.port = placeholder.getsockname()[1]
+        self._placeholder = placeholder
+
+    # -- worker lifecycle ---------------------------------------------------------
+
+    def _boot_slot(self, slot: int, initial: bool) -> bool:
+        """Fork a worker for ``slot`` and wait until it accepts connections.
+
+        Returns False when the worker died or stalled before readiness; on
+        the initial boot the caller aborts the fleet (configuration errors
+        should fail loudly, not loop), on restarts the supervise loop reaps
+        the corpse and retries with backoff.
+        """
+        read_fd, pid = self._fork_worker(slot)
+        worker_port = self._await_ready(pid, read_fd)
+        os.close(read_fd)
+        if worker_port is None:
+            if initial:
+                logger.error("worker %d (slot %d) failed to become ready",
+                             pid, slot)
+                self._kill(pid, signal.SIGKILL)
+                try:
+                    os.waitpid(pid, 0)
+                except ChildProcessError:
+                    pass
+                self._children.pop(pid, None)
+            else:
+                self._kill(pid, signal.SIGKILL)  # reaped by the supervise loop
+            return False
+        if self._router is not None:
+            self._router.set_backend(slot, ("127.0.0.1", worker_port))
+        logger.info("worker slot %d ready (pid %d, port %d)",
+                    slot, pid, worker_port)
+        return True
+
+    def _fork_worker(self, slot: int) -> Tuple[int, int]:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # -- child ------------------------------------------------------
+            status = 1
+            try:
+                os.close(read_fd)
+                self._worker_main(slot, write_fd)
+                status = 0
+            except BaseException:  # noqa: BLE001 - the child must never return
+                traceback.print_exc()
+            finally:
+                os._exit(status)
+        # -- parent ---------------------------------------------------------
+        os.close(write_fd)
+        self._children[pid] = slot
+        self._spawned_at[pid] = time.monotonic()
+        return read_fd, pid
+
+    def _await_ready(self, pid: int, read_fd: int) -> Optional[int]:
+        """Read the child's ``ready <port>`` line; None on death or timeout."""
+        deadline = time.monotonic() + self.ready_timeout
+        received = b""
+        while b"\n" not in received:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            readable, _, _ = select.select([read_fd], [], [],
+                                           min(remaining, 0.25))
+            if not readable:
+                try:
+                    done, _status = os.waitpid(pid, os.WNOHANG)
+                except ChildProcessError:
+                    return None
+                if done:
+                    self._children.pop(pid, None)
+                    return None
+                continue
+            piece = os.read(read_fd, 256)
+            if not piece:
+                return None  # child died before announcing readiness
+            received += piece
+        try:
+            marker, port = received.decode("ascii").split(None, 1)
+            if marker != "ready":
+                return None
+            return int(port.strip())
+        except ValueError:
+            return None
+
+    # -- the worker process -------------------------------------------------------
+
+    def _worker_main(self, slot: int, ready_fd: int) -> None:
+        """Everything a worker runs between fork and ``os._exit``."""
+        signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent coordinates
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        if self._placeholder is not None:
+            self._placeholder.close()
+        exchange = MetricsExchange(self._metrics_dir, slot)
+        asyncio.run(self._worker_async(slot, ready_fd, exchange))
+
+    async def _worker_async(self, slot: int, ready_fd: int,
+                            exchange: MetricsExchange) -> None:
+        if self.use_router:
+            server = self.server_factory(host="127.0.0.1", port=0,
+                                         reuse_port=False,
+                                         metrics_exchange=exchange)
+        else:
+            server = self.server_factory(host=self.host, port=self.port,
+                                         reuse_port=True,
+                                         metrics_exchange=exchange)
+        stop = asyncio.Event()
+        asyncio.get_running_loop().add_signal_handler(signal.SIGTERM,
+                                                      stop.set)
+        await server.start()
+        os.write(ready_fd, f"ready {server.port}\n".encode("ascii"))
+        os.close(ready_fd)
+        await stop.wait()
+        # Graceful drain: the server stops accepting, answers late requests
+        # on live keep-alive connections with 503 draining, and waits out
+        # in-flight statements before the pool (and store) close.
+        await server.stop()
+
+    # -- supervision --------------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Reap exits, restart crashes with backoff, until told to stop."""
+        while True:
+            if self._stopping and not self._children:
+                return
+            try:
+                pid, status = os.waitpid(-1, 0)
+            except InterruptedError:  # pragma: no cover - PEP 475 retries
+                continue
+            except ChildProcessError:
+                return
+            slot = self._children.pop(pid, None)
+            if slot is None:
+                continue
+            uptime = time.monotonic() - self._spawned_at.pop(pid, 0.0)
+            if self._stopping:
+                continue
+            if self._router is not None:
+                self._router.set_backend(slot, None)
+            delay = self._next_backoff(slot, uptime)
+            logger.warning(
+                "worker slot %d (pid %d) exited with status %s after %.1fs; "
+                "restarting in %.2fs", slot, pid,
+                os.waitstatus_to_exitcode(status), uptime, delay)
+            self._interruptible_sleep(delay)
+            if self._stopping:
+                continue
+            self._boot_slot(slot, initial=False)
+
+    def _next_backoff(self, slot: int, uptime: float) -> float:
+        if uptime >= STABLE_UPTIME:
+            self._backoff[slot] = self.backoff_base
+        else:
+            self._backoff[slot] = min(
+                self.backoff_cap,
+                self._backoff.get(slot, self.backoff_base / 2) * 2)
+        return self._backoff[slot]
+
+    def _interruptible_sleep(self, seconds: float) -> None:
+        deadline = time.monotonic() + seconds
+        while not self._stopping and time.monotonic() < deadline:
+            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+
+    def _shutdown_children(self, grace: float = 15.0) -> None:
+        """SIGTERM every child, wait for drains, SIGKILL stragglers."""
+        if not self._children:
+            return
+        for pid in list(self._children):
+            self._kill(pid, signal.SIGTERM)
+        deadline = time.monotonic() + grace
+        while self._children and time.monotonic() < deadline:
+            try:
+                pid, _status = os.waitpid(-1, os.WNOHANG)
+            except ChildProcessError:
+                self._children.clear()
+                break
+            if pid:
+                self._children.pop(pid, None)
+            else:
+                time.sleep(0.05)
+        for pid in list(self._children):
+            logger.warning("worker pid %d ignored SIGTERM; killing", pid)
+            self._kill(pid, signal.SIGKILL)
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+            self._children.pop(pid, None)
+
+    def __repr__(self) -> str:
+        return (f"<FleetSupervisor {self.workers} workers "
+                f"http://{self.host}:{self.port} {self.mode}>")

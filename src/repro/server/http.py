@@ -27,10 +27,12 @@ __all__ = [
 STATUS_PHRASES = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
@@ -51,14 +53,22 @@ class HTTPError(Exception):
     ``status`` is the HTTP status line to send, ``code`` a short
     machine-readable identifier (``"bad_json"``, ``"not_found"``, ...) and
     ``message`` the human-readable explanation; all three end up verbatim in
-    the JSON error body ``{"error": {"code": ..., "message": ...}}``.
+    the JSON error body ``{"error": {"code": ..., "message": ...,
+    "retryable": ...}}``.  ``retryable`` tells clients whether re-sending
+    the identical request can succeed (429 rate limits, 503 during drain or
+    pool saturation); ``headers`` carries extra response headers such as
+    ``Retry-After`` or ``WWW-Authenticate``.
     """
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(self, status: int, code: str, message: str,
+                 retryable: bool = False,
+                 headers: Optional[Dict[str, str]] = None) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.retryable = retryable
+        self.headers = headers or {}
 
 
 @dataclass
@@ -180,7 +190,8 @@ def render_response(status: int, body: bytes,
                     content_type: str = "application/json",
                     keep_alive: bool = True,
                     chunked: bool = False,
-                    eof_delimited: bool = False) -> bytes:
+                    eof_delimited: bool = False,
+                    extra_headers: Optional[Dict[str, str]] = None) -> bytes:
     """Serialize a response head (and, unless streaming, the body).
 
     With ``chunked=True`` only the head (announcing
@@ -188,12 +199,16 @@ def render_response(status: int, body: bytes,
     chunks -- see the NDJSON path of ``POST /query``.  ``eof_delimited``
     likewise returns only the head, with neither ``Content-Length`` nor
     chunked framing: the body ends when the (necessarily closing)
-    connection does -- the HTTP/1.0 streaming fallback.
+    connection does -- the HTTP/1.0 streaming fallback.  ``extra_headers``
+    appends literal header lines (``Retry-After``, ``WWW-Authenticate``,
+    cache markers).
     """
     phrase = STATUS_PHRASES.get(status, "Unknown")
     head = [f"HTTP/1.1 {status} {phrase}",
             f"Content-Type: {content_type}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
     if chunked:
         head.append("Transfer-Encoding: chunked")
         return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")

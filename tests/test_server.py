@@ -12,6 +12,7 @@ HTTP clients doing mixed reads/writes against a serial oracle.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
 from types import SimpleNamespace
@@ -30,6 +31,14 @@ ENGINE_CONFIGS = [
     ("sqlite", False),
     ("sqlite", True),
 ]
+
+#: When set (the CI fleet smoke job exports REPRO_FLEET_WORKERS=2), the
+#: ``served`` fixture boots a real pre-forked fleet subprocess instead of an
+#: in-process ServerThread, so this whole endpoint matrix doubles as the
+#: fleet conformance suite.  Every configuration is then disk-backed (fleet
+#: workers coordinate over a shared store), and the oracle pool refreshes
+#: from cross-process writes before each checkout.
+FLEET_WORKERS = int(os.environ.get("REPRO_FLEET_WORKERS") or 0)
 
 
 def _uncertain_source() -> TIDatabase:
@@ -52,11 +61,55 @@ def _make_pool(engine: str, disk: bool, tmp_path, name: str,
     return pool
 
 
+class _CoordinatedOracle:
+    """Fleet-mode oracle pool: adopt the workers' writes before each read.
+
+    Wraps the test-local :class:`ConnectionPool` so ``connection()`` first
+    runs the cross-process freshness protocol -- exactly what a fleet worker
+    does per request -- making direct-pool oracle comparisons valid against
+    writes that went through another process.
+    """
+
+    def __init__(self, pool: ConnectionPool) -> None:
+        from repro.server.fleet import StoreCoordinator
+
+        self._pool = pool
+        self._coordinator = StoreCoordinator(pool)
+
+    def connection(self, timeout=None):
+        self._coordinator.ensure_fresh()
+        return self._pool.connection(timeout=timeout)
+
+    def __getattr__(self, name):
+        return getattr(self._pool, name)
+
+
 @pytest.fixture(params=ENGINE_CONFIGS,
                 ids=["row", "columnar", "sqlite", "sqlite-disk"])
 def served(request, tmp_path):
-    """A running server (all configurations) plus a client and its pool."""
+    """A running server (all configurations) plus a client and its pool.
+
+    With ``REPRO_FLEET_WORKERS`` set, the server is a pre-forked fleet
+    subprocess sharing a disk store; ``served.thread`` degrades to an
+    address-only shim (the raw-socket tests need nothing else).
+    """
     engine, disk = request.param
+    if FLEET_WORKERS:
+        from fleetlib import FleetProcess
+
+        pool = _make_pool(engine, True, tmp_path,
+                          f"srv-{engine}-{int(disk)}")
+        fleet = FleetProcess(str(tmp_path / f"srv-{engine}-{int(disk)}.uadb"),
+                             workers=FLEET_WORKERS, engine=engine)
+        client = fleet.client()
+        yield SimpleNamespace(pool=_CoordinatedOracle(pool),
+                              thread=SimpleNamespace(address=fleet.address),
+                              client=client, engine=engine, disk=disk)
+        client.close()
+        fleet.stop()
+        if not pool.closed:
+            pool.close()
+        return
     pool = _make_pool(engine, disk, tmp_path, f"srv-{engine}-{int(disk)}")
     thread = ServerThread(pool=pool, port=0)
     thread.start()
