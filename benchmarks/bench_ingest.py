@@ -1,0 +1,221 @@
+"""Bulk ingest vs row-at-a-time writes (repro.ingest).
+
+Measures the tentpole claim of the ingest subsystem: batching rows into
+per-chunk WAL transactions (one store commit, one statistics fold, one
+version bump per chunk) must beat the historical row-at-a-time write path
+-- one transaction and one version bump per row, the pre-fix
+``executemany`` behaviour -- by well over an order of magnitude.
+
+Three measurements:
+
+* **row-at-a-time baseline** -- prepared single-row ``INSERT`` s into a
+  store-backed table, the write path bulk ingest replaces.  Measured on a
+  sample (the whole point is that it is too slow for millions of rows)
+  and reported as rows/second.
+* **bulk load** -- ``Connection.load`` of a generated NDJSON file
+  (>= 1M rows in the full run) through :mod:`repro.ingest`.
+* **fleet load** -- the same loader driven over HTTP: ``Client.load``
+  against a real two-worker fleet (``POST /load`` chunks under the
+  cross-process write lock), with a concurrent reader asserting that
+  every observed snapshot contains only whole chunks -- zero lost, zero
+  torn.
+
+Results go to ``BENCH_ingest.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py          # full run
+    PYTHONPATH=src python benchmarks/bench_ingest.py --quick  # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from repro.api import connect  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
+
+SCHEMA_SQL = "CREATE TABLE readings (id INT, sensor STRING, value FLOAT)"
+
+
+def _write_ndjson(path: str, rows: int) -> None:
+    """Generate the benchmark's NDJSON input (10% missing values)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for index in range(rows):
+            value = "null" if index % 10 == 3 else f"{(index % 997) * 0.5}"
+            handle.write('[%d, "s%d", %s]\n' % (index, index % 50, value))
+
+
+def _measure_baseline(directory: str, rows: int) -> float:
+    """Rows/second of the write path bulk ingest replaces.
+
+    A prepared single-row INSERT per row: one WAL transaction, one
+    statistics fold and one version bump each -- exactly what the pre-fix
+    ``executemany`` did N times per call.
+    """
+    conn = connect(os.path.join(directory, "baseline.uadb"))
+    conn.execute(SCHEMA_SQL)
+    statement = conn.prepare("INSERT INTO readings VALUES (?, ?, ?)")
+    started = time.perf_counter()
+    for index in range(rows):
+        statement.execute([index, f"s{index % 50}", float(index % 997)])
+    elapsed = time.perf_counter() - started
+    conn.close()
+    return rows / elapsed
+
+
+def _measure_bulk_load(directory: str, ndjson_path: str,
+                       chunk_size: int) -> Dict:
+    """Rows/second of ``Connection.load`` over the NDJSON file."""
+    conn = connect(os.path.join(directory, "bulk.uadb"))
+    conn.execute(SCHEMA_SQL)
+    report = conn.load("readings", ndjson_path,
+                       columns=["id", "sensor", "value"],
+                       chunk_size=chunk_size, uncertainty="flag")
+    appends = conn.store.appends
+    conn.close()
+    return {
+        "rows": report.rows,
+        "chunks": report.chunks,
+        "uncertain_rows": report.uncertain_rows,
+        "seconds": report.seconds,
+        "rows_per_second": report.rows_per_second,
+        "wal_transactions": appends,
+    }
+
+
+def _measure_fleet_load(directory: str, chunk_size: int,
+                        chunks: int) -> Dict:
+    """``Client.load`` against a live fleet, raced by a verifying reader."""
+    from fleetlib import FleetProcess
+
+    store = os.path.join(directory, "fleet.uadb")
+    setup = connect(store)
+    setup.execute("CREATE TABLE events (chunk INT, i INT)")
+    setup.close()
+    total = chunk_size * chunks
+    with FleetProcess(store, workers=2) as fleet:
+        # The whole load can travel as one request; give it ample time.
+        writer = fleet.client(max_retries=8, timeout=600)
+        reader = fleet.client(max_retries=8)
+        torn: List = []
+        snapshots = [0]
+        stop = threading.Event()
+
+        def watch() -> None:
+            while not stop.is_set():
+                rows = reader.query("SELECT chunk, i FROM events").rows
+                seen: Dict[int, int] = {}
+                for chunk, _ in rows:
+                    seen[chunk] = seen.get(chunk, 0) + 1
+                for chunk, count in seen.items():
+                    if count != chunk_size:
+                        torn.append((chunk, count))
+                snapshots.append(len(rows))
+
+        thread = threading.Thread(target=watch)
+        thread.start()
+        try:
+            reply = writer.load(
+                "events",
+                ((chunk, index) for chunk in range(chunks)
+                 for index in range(chunk_size)),
+                columns=["chunk", "i"], chunk_size=chunk_size)
+        finally:
+            stop.set()
+            thread.join()
+        final = len(reader.query("SELECT chunk, i FROM events").rows)
+        writer.close()
+        reader.close()
+    return {
+        "rows": reply.rows,
+        "chunks": reply.chunks,
+        "requests": reply.requests,
+        "seconds": reply.seconds,
+        "rows_per_second": reply.rows_per_second,
+        "reader_snapshots": len(snapshots),
+        "torn_chunks": len(torn),
+        "lost_rows": total - final,
+    }
+
+
+def run_benchmark(rows: int = 1_000_000, baseline_rows: int = 2_000,
+                  chunk_size: int = 100_000, fleet_chunk_size: int = 5_000,
+                  fleet_chunks: int = 40) -> Dict:
+    with tempfile.TemporaryDirectory(prefix="uadb-ingest-") as directory:
+        ndjson_path = os.path.join(directory, "readings.ndjson")
+        _write_ndjson(ndjson_path, rows)
+        baseline_rps = _measure_baseline(directory, baseline_rows)
+        bulk = _measure_bulk_load(directory, ndjson_path, chunk_size)
+        fleet = _measure_fleet_load(directory, fleet_chunk_size, fleet_chunks)
+    return {
+        "workload": (f"{rows} NDJSON rows (3 columns, 10% nulls flagged "
+                     f"uncertain at load)"),
+        "python": platform.python_version(),
+        "measurements": {
+            "baseline_rows_per_second": baseline_rps,
+            "baseline_sample_rows": baseline_rows,
+            "bulk_load": bulk,
+            "fleet_load": fleet,
+        },
+        "summary": {
+            "bulk_speedup_x": bulk["rows_per_second"] / baseline_rps,
+            "fleet_torn_chunks": fleet["torn_chunks"],
+            "fleet_lost_rows": fleet["lost_rows"],
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller load (CI smoke run)")
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+    if args.quick:
+        report = run_benchmark(rows=args.rows or 50_000, baseline_rows=500,
+                               chunk_size=10_000, fleet_chunk_size=1_000,
+                               fleet_chunks=10)
+    else:
+        report = run_benchmark(rows=args.rows or 1_000_000)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    measurements = report["measurements"]
+    bulk, fleet = measurements["bulk_load"], measurements["fleet_load"]
+    print(f"baseline (row-at-a-time): "
+          f"{measurements['baseline_rows_per_second']:10.0f} rows/s")
+    print(f"bulk load (chunked):      {bulk['rows_per_second']:10.0f} rows/s"
+          f"   ({report['summary']['bulk_speedup_x']:.1f}x, "
+          f"{bulk['rows']} rows in {bulk['chunks']} chunks)")
+    print(f"fleet POST /load:         {fleet['rows_per_second']:10.0f} rows/s"
+          f"   ({fleet['rows']} rows, {fleet['requests']} requests, "
+          f"torn={fleet['torn_chunks']} lost={fleet['lost_rows']})")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_bench_ingest_smoke():
+    """The benchmark runs; batching beats row-at-a-time; nothing tears."""
+    report = run_benchmark(rows=3_000, baseline_rows=200, chunk_size=1_000,
+                           fleet_chunk_size=200, fleet_chunks=3)
+    assert report["measurements"]["bulk_load"]["rows"] == 3_000
+    # Even at smoke scale the batched path must clearly win.
+    assert report["summary"]["bulk_speedup_x"] > 3
+    assert report["summary"]["fleet_torn_chunks"] == 0
+    assert report["summary"]["fleet_lost_rows"] == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -620,12 +620,15 @@ class Connection:
         self._register(UARelation(schema, self.uadb.ua_semiring))
 
     def _run_insert(self, statement: InsertStatement, params: Params) -> int:
-        ua_relation: UARelation = self.uadb.relation(statement.table)
-        encoded_relation = self.encoded.relation(statement.table)
-        schema = ua_relation.schema
+        rows = self._bind_insert_rows(statement, params)
+        return self._apply_insert(statement.table, rows)
+
+    def _bind_insert_rows(self, statement: InsertStatement,
+                          params: Params) -> List[Row]:
+        """Bind one parameter set into the statement's validated row tuples."""
+        schema = self.uadb.relation(statement.table).schema
         for name in statement.columns:
             schema.index_of(name)  # unknown column names fail fast
-        base = self.uadb.base_semiring
         binder = ParameterBinder(params)
         rows: List[Row] = []
         for row_expressions in statement.rows:
@@ -641,28 +644,81 @@ class Connection:
             # Validate the whole statement up front so a bad row leaves
             # neither the in-memory relations nor the store half-updated.
             rows.append(schema.validate_row(row))
-        # Inserted tuples are deterministic facts: certain in every world.
+        return rows
+
+    def _run_insert_many(self, entry: PreparedPlan,
+                         seq_of_params: Iterable[Params]) -> int:
+        """Apply a whole ``executemany`` batch as one insert transaction.
+
+        Every parameter set is bound and validated up front, then the batch
+        lands through a single :meth:`_apply_insert`: one store transaction,
+        one incremental statistics fold, one statistics-version bump --
+        instead of one of each per parameter set, which would invalidate
+        every sibling's plan/result cache N times for an N-row batch.
+        """
+        statement: InsertStatement = entry.statement  # type: ignore[assignment]
+        rows: List[Row] = []
+        for params in seq_of_params:
+            check_bindings(entry.parameters, params, exact=True)
+            rows.extend(self._bind_insert_rows(statement, params))
+        if not rows:
+            return 0
+        return self._apply_insert(statement.table, rows)
+
+    def _apply_insert(self, table: str, rows: List[Row],
+                      uncertain: Optional[List[bool]] = None) -> int:
+        """Insert already-validated ``rows`` in one batched transaction.
+
+        The core write primitive shared by SQL ``INSERT``, ``executemany``
+        batches and the bulk-ingest loader (:mod:`repro.ingest`): one
+        write-ahead store append (a single WAL transaction however many rows
+        the batch holds), one in-memory mirror pass, one incremental
+        statistics fold and one statistics-version bump.
+
+        ``uncertain`` optionally flags rows (parallel list) that should be
+        loaded as *uncertain* facts: they join the best-guess world with the
+        certainty marker ``C = 0`` -- the encoding the paper's imputation
+        workloads attach at load time.  Without it every row is a
+        deterministic fact, certain in every world.
+        """
+        base = self.uadb.base_semiring
         certain_one = self.uadb.ua_semiring.certain_annotation(base.one)
+        uncertain_one = self.uadb.ua_semiring.uncertain_annotation(base.one)
+        if uncertain is None:
+            annotated = [(row, row + (1,), certain_one) for row in rows]
+        else:
+            annotated = [
+                (row, row + (0 if flag else 1,),
+                 uncertain_one if flag else certain_one)
+                for row, flag in zip(rows, uncertain)
+            ]
         with self._locking.write():
+            # Resolved under the write lock: a fleet refresh (which also
+            # holds this lock) may swap the catalog's relation objects for
+            # freshly loaded copies between two batches of one bulk load.
+            ua_relation: UARelation = self.uadb.relation(table)
+            encoded_relation = self.encoded.relation(table)
             # Write-ahead: the store accepts (and commits) the rows before
             # the in-memory mutation, so a refused INSERT (unbindable
             # values) raises with *no* state change anywhere -- and the
             # table stays append-only on this path (no wholesale reload).
             persisted = self._persist_rows(
-                encoded_relation, [(row + (1,), base.one) for row in rows]
+                encoded_relation,
+                [(encoded_row, base.one) for _, encoded_row, _ in annotated]
             )
-            for row in rows:
-                # The statement was validated above; skip per-add
-                # re-validation on the hot path.
-                ua_relation.add_validated(row, certain_one)
-                encoded_relation.add_validated(row + (1,), base.one)
+            for row, encoded_row, ua_annotation in annotated:
+                # The batch was validated above; skip per-add re-validation
+                # on the hot path.
+                ua_relation.add_validated(row, ua_annotation)
+                encoded_relation.add_validated(encoded_row, base.one)
             if persisted:
                 self.store.mark_synced(encoded_relation)
             # Fold the inserted rows into the table statistics incrementally
             # (no rescan) and advance the statistics version so cached plans
             # whose join order/engine choice depended on the old sizes are
             # recompiled.
-            self.stats.update_rows(statement.table, [row + (1,) for row in rows])
+            self.stats.update_rows(
+                table, [encoded_row for _, encoded_row, _ in annotated])
             self.stats.mark_current(encoded_relation)
             self._bump_stats_version()
         return len(rows)
@@ -789,6 +845,27 @@ class Connection:
     def executemany(self, sql: str, seq_of_params: Iterable[Params]) -> "Cursor":
         """Shortcut: create a cursor and run ``sql`` once per parameter set."""
         return self.cursor().executemany(sql, seq_of_params)
+
+    def load(self, table: str, source: object, **options: Any):
+        """Bulk-load rows into ``table``, COPY-style; returns a load report.
+
+        ``source`` is a file path (CSV / NDJSON / Parquet, by extension), an
+        open :class:`~repro.ingest.RowSource`, or any iterable of rows
+        (sequences or column-name mappings).  Rows stream in batched
+        chunks -- one store transaction, one statistics fold and one
+        statistics-version bump per *chunk*, never per row -- and a missing
+        table is created from the inferred (or declared) schema.  Keyword
+        options (``chunk_size``, ``create``, ``columns``, ``uncertainty``,
+        ``format``, ...) are documented on :func:`repro.ingest.load`, which
+        this delegates to::
+
+            report = conn.load("readings", "data/readings.ndjson",
+                               uncertainty="impute")
+            print(report.rows_loaded, report.rows_per_second)
+        """
+        from repro.ingest import load as ingest_load
+
+        return ingest_load(self, table, source, **options)
 
     def prepare(self, sql: str, mode: str = "rewritten") -> "PreparedStatement":
         """Compile ``sql`` now and return a reusable prepared statement."""
@@ -940,6 +1017,12 @@ class Cursor:
 
         Per DB-API, ``executemany`` is for data modification; use
         :meth:`execute` (or a :class:`PreparedStatement`) for queries.
+
+        INSERT batches apply as **one** transaction: a single store append,
+        statistics fold and statistics-version bump for the whole call --
+        not one per parameter set, which would recompile every cached plan
+        (and invalidate every sibling worker's result cache) N times.
+        :attr:`rowcount` reports the total rows inserted across the batch.
         """
         self._check_open()
         entry = self.connection._entry(sql, "rewritten")
@@ -948,10 +1031,13 @@ class Cursor:
                 "executemany() is for INSERT-style statements; use execute() "
                 "or Connection.prepare() for queries"
             )
-        total = 0
-        for params in seq_of_params:
-            outcome = self.connection._execute_entry(entry, params)
-            total += int(outcome)  # type: ignore[arg-type]
+        if entry.kind == "insert":
+            total = self.connection._run_insert_many(entry, seq_of_params)
+        else:
+            total = 0
+            for params in seq_of_params:
+                outcome = self.connection._execute_entry(entry, params)
+                total += int(outcome)  # type: ignore[arg-type]
         self._result = None
         self._rows = []
         self._cursor_index = 0
@@ -1094,9 +1180,16 @@ class PreparedStatement:
         return outcome
 
     def executemany(self, seq_of_params: Iterable[Params]) -> Union[List[UAQueryResult], int]:
-        """Run once per parameter set: results for SELECTs, total count for DML."""
+        """Run once per parameter set: results for SELECTs, total count for DML.
+
+        INSERT batches land as one transaction with one statistics-version
+        bump for the whole call (see :meth:`Cursor.executemany`).
+        """
         if self._entry.kind == "select":
             return [self.execute(params) for params in seq_of_params]  # type: ignore[misc]
+        self._entry = self.connection._entry(self.sql, self.mode)
+        if self._entry.kind == "insert":
+            return self.connection._run_insert_many(self._entry, seq_of_params)
         total = 0
         for params in seq_of_params:
             total += self.execute(params)  # type: ignore[operator]

@@ -42,6 +42,7 @@ from __future__ import annotations
 import os
 import sqlite3
 import threading
+import weakref
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.db.relation import KRelation, Row
@@ -131,6 +132,16 @@ class UADBStore:
         self._connections_lock = threading.Lock()
         self._closed = False
         self._synced: Dict[str, _TableFingerprint] = {}
+        #: ``id(relation)`` -> (weak reference, its ``_version`` when it
+        #: last mirrored the stored table exactly).  Unlike ``_synced``
+        #: (one slot per table, overwritten whenever a fleet refresh loads
+        #: a newer copy), this remembers *every* clean snapshot object
+        #: still alive, so :meth:`sync` can tell "stale because mutated
+        #: out-of-band" (must rewrite) apart from "stale because a refresh
+        #: replaced the object" (must NOT rewrite -- the table is
+        #: same-or-newer than the object).  Keyed by id with a liveness
+        #: check on lookup because :class:`KRelation` is unhashable.
+        self._snapshots: Dict[int, Tuple[weakref.ref, int]] = {}
         #: Full table (re)writes performed (parity with the engine's counter).
         self.loads = 0
         #: Incremental row appends performed.
@@ -456,6 +467,37 @@ class UADBStore:
         state = self._synced.get(relation.schema.name.lower())
         return state is not None and state.fresh(relation)
 
+    def _remember_snapshot(self, relation: KRelation) -> None:
+        """Record that ``relation``, at its current version, mirrors disk."""
+        key = id(relation)
+        snapshots = self._snapshots
+
+        def _purge(reference: weakref.ref) -> None:
+            # Only drop the entry this reference created: the id may have
+            # been reused by a newer snapshot before the callback fired.
+            entry = snapshots.get(key)
+            if entry is not None and entry[0] is reference:
+                snapshots.pop(key, None)
+
+        snapshots[key] = (weakref.ref(relation, _purge), relation._version)
+
+    def _snapshot_current(self, relation: KRelation) -> bool:
+        """True when ``relation`` is an unmodified copy of persisted state.
+
+        A relation object that was loaded from (or fully written to) this
+        store and never mutated since cannot be *ahead* of the stored
+        table -- at most behind it, when another process appended rows in
+        the meantime.  Syncing must then leave the table alone: a rewrite
+        from such a snapshot would silently delete durable rows a
+        concurrent writer committed (the fleet refresh race), whereas
+        skipping it reads the same-or-newer stored rows.
+        """
+        entry = self._snapshots.get(id(relation))
+        if entry is None:
+            return False
+        reference, version = entry
+        return reference() is relation and version == relation._version
+
     def save(self, relation: KRelation) -> None:
         """Create or replace the Enc table (and catalog entry) for ``relation``.
 
@@ -525,6 +567,7 @@ class UADBStore:
             self._synced[relation.schema.name.lower()] = _TableFingerprint(
                 relation, relation._version
             )
+            self._remember_snapshot(relation)
 
     def sync(self, name: str, relation: KRelation) -> bool:
         """Ensure the stored table matches ``relation``; rewrite if stale.
@@ -542,9 +585,16 @@ class UADBStore:
             if (state.error is not None and state.relation is relation
                     and state.version == relation._version):
                 raise state.error
+        if self._snapshot_current(relation):
+            # An unmodified snapshot of already-persisted state: the stored
+            # table is the same or newer (a concurrent fleet writer may have
+            # appended); rewriting would regress durable rows.
+            return False
         with self._write_lock:
             state = self._synced.get(key)
             if state is not None and state.fresh(relation):
+                return False
+            if self._snapshot_current(relation):
                 return False
             connection = self.connection()
             self._write_table(connection, key, relation)
@@ -595,6 +645,7 @@ class UADBStore:
             )
             raise error
         self._synced[key] = _TableFingerprint(relation, relation._version)
+        self._remember_snapshot(relation)
         self.loads += 1
 
     def load_relation(self, name: str) -> KRelation:
@@ -627,6 +678,7 @@ class UADBStore:
                             else plus(current, annotation))
         relation = KRelation._from_validated(schema, self.semiring, data)
         self._synced[key] = _TableFingerprint(relation, relation._version)
+        self._remember_snapshot(relation)
         return relation
 
     # -- observability ------------------------------------------------------------

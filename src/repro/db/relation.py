@@ -16,6 +16,10 @@ from repro.db.schema import RelationSchema
 
 Row = Tuple[Any, ...]
 
+#: Absence marker distinct from any semiring element (even a hypothetical
+#: ``None``-valued one) for the insert fast path.
+_ABSENT = object()
+
 
 class KRelation:
     """A finite map from rows to non-zero semiring annotations."""
@@ -47,13 +51,21 @@ class KRelation:
         whole statement up front -- the session's ``INSERT`` path -- use it
         to avoid paying validation per target relation per row.
         """
+        semiring = self.semiring
         if annotation is None:
-            annotation = self.semiring.one
-        self.semiring.check(annotation)
-        current = self._data.get(row, self.semiring.zero)
-        combined = self.semiring.plus(current, annotation)
+            annotation = semiring.one
+        semiring.check(annotation)
         self._version += 1
-        if self.semiring.is_zero(combined):
+        current = self._data.get(row, _ABSENT)
+        if current is _ABSENT:
+            # New tuple: ``plus(zero, x) == x`` in every lawful semiring, so
+            # skip the generic merge -- bulk inserts are almost entirely
+            # first sightings, and the merge would allocate per row.
+            if not semiring.is_zero(annotation):
+                self._data[row] = annotation
+            return
+        combined = semiring.plus(current, annotation)
+        if semiring.is_zero(combined):
             self._data.pop(row, None)
         else:
             self._data[row] = combined

@@ -75,12 +75,16 @@ class DistinctSketch:
     sketches is a set union re-capped to ``k``.
     """
 
-    __slots__ = ("k", "hashes", "saturated")
+    __slots__ = ("k", "hashes", "saturated", "_largest")
 
     def __init__(self, k: int = SKETCH_SIZE) -> None:
         self.k = k
         self.hashes: set = set()
         self.saturated = False
+        #: Cached ``max(hashes)`` while saturated (None = recompute).  Keeps
+        #: the common no-replacement add O(1); without it every value of a
+        #: high-NDV column pays an O(k) scan, which dominates bulk ingest.
+        self._largest: Any = None
 
     def add(self, value: Any) -> None:
         """Account one (non-null) value."""
@@ -95,10 +99,13 @@ class DistinctSketch:
             hashes.add(hashed)
             return
         self.saturated = True
-        largest = max(hashes)
+        largest = self._largest
+        if largest is None:
+            largest = self._largest = max(hashes)
         if hashed < largest:
             hashes.discard(largest)
             hashes.add(hashed)
+            self._largest = max(hashes)
 
     def estimate(self) -> int:
         """The estimated number of distinct values seen."""

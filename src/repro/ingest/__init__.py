@@ -1,0 +1,43 @@
+"""High-throughput bulk ingest for UA-databases.
+
+This package is the ``COPY`` path of the reproduction: it streams rows
+from CSV/NDJSON (optionally Parquet) sources into the WAL-backed store in
+**chunked, batched transactions** -- one store transaction, one
+incremental statistics fold, and one version bump per chunk, never per
+row -- with the paper's Enc encoding applied incrementally and
+uncertainty attachable at load time through the existing
+imputation/cleaning workloads.
+
+Entry points, outermost first:
+
+* ``repro.server.client.Client.load`` -- chunked uploads to a fleet's
+  ``POST /load`` endpoint, auto-sized to the server's body limit,
+* :meth:`repro.api.session.Connection.load` -- the embedded API,
+* :func:`load` / :class:`BulkLoader` -- the engine underneath both,
+* :mod:`repro.ingest.sources` -- the streaming format readers.
+"""
+
+from repro.ingest.loader import BulkLoader, ChunkReport, LoadReport, load
+from repro.ingest.sources import (
+    CSVSource,
+    IngestError,
+    NDJSONSource,
+    ParquetSource,
+    RowSource,
+    RowsSource,
+    open_source,
+)
+
+__all__ = [
+    "BulkLoader",
+    "CSVSource",
+    "ChunkReport",
+    "IngestError",
+    "LoadReport",
+    "NDJSONSource",
+    "ParquetSource",
+    "RowSource",
+    "RowsSource",
+    "load",
+    "open_source",
+]

@@ -1,0 +1,285 @@
+"""Streaming row sources for bulk ingest: CSV, NDJSON and Parquet.
+
+A :class:`RowSource` yields **records** -- each either a sequence of values
+(positional) or a mapping from column name to value -- without materializing
+the whole input: the loader (:mod:`repro.ingest.loader`) consumes them in
+bounded chunks, so a multi-gigabyte file streams through a fixed memory
+footprint.
+
+Three file formats ship in the box:
+
+* :class:`CSVSource` -- delimited text via :mod:`csv`, with an optional
+  header row and scalar coercion (ints, floats, configurable null tokens),
+* :class:`NDJSONSource` -- newline-delimited JSON from a path, an open
+  file, or any iterable of lines (the HTTP ``POST /load`` endpoint feeds
+  request-body lines straight in),
+* :class:`ParquetSource` -- column-major Parquet via ``pyarrow``, **gated**:
+  constructing one without pyarrow installed raises :class:`IngestError`
+  (the rest of the package has no third-party dependencies).
+
+:func:`open_source` picks the right source for a path by extension, passes
+an existing source through, and wraps any other iterable as a
+:class:`RowsSource`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "CSVSource",
+    "IngestError",
+    "NDJSONSource",
+    "ParquetSource",
+    "Record",
+    "RowSource",
+    "RowsSource",
+    "open_source",
+]
+
+#: One input record: positional values or a column-name mapping.
+Record = Union[Sequence[Any], Mapping[str, Any]]
+
+#: CSV cell texts treated as SQL NULL (case-insensitive).
+DEFAULT_NULL_TOKENS = ("", "null", "na", "n/a", "\\n")
+
+
+class IngestError(RuntimeError):
+    """A bulk-load input cannot be read or does not fit the target table."""
+
+
+class RowSource:
+    """Base class for streaming record producers.
+
+    Subclasses implement :meth:`records`; iteration delegates to it.  The
+    optional :attr:`columns` hint names the record columns in order -- the
+    loader uses it for schema inference and for resolving positional
+    records when the target table does not exist yet.
+    """
+
+    #: Short format tag used in reports (``"csv"``, ``"ndjson"``, ...).
+    format_name = "rows"
+
+    #: Column names, in order, when the source knows them (else None).
+    columns: Optional[List[str]] = None
+
+    def records(self) -> Iterator[Record]:
+        """Yield the input records one by one (streaming)."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Record]:
+        return self.records()
+
+
+class RowsSource(RowSource):
+    """An in-memory iterable of records, wrapped as a :class:`RowSource`.
+
+    The adapter :func:`open_source` applies to plain lists/generators of
+    rows, so ``Connection.load`` accepts them directly.
+    """
+
+    def __init__(self, rows: Iterable[Record],
+                 columns: Optional[Sequence[str]] = None) -> None:
+        self._rows = rows
+        self.columns = list(columns) if columns is not None else None
+
+    def records(self) -> Iterator[Record]:
+        return iter(self._rows)
+
+
+def _coerce_csv_value(text: str, null_tokens: frozenset) -> Any:
+    """Interpret one CSV cell: null token, int, float, or verbatim string."""
+    if text.lower() in null_tokens:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+class CSVSource(RowSource):
+    """Stream records from a CSV file.
+
+    ``header=True`` (the default) reads column names from the first row;
+    pass ``columns`` to name them explicitly (the header row, if any, is
+    then validated against it only by count).  Cells are coerced to int,
+    then float, else kept as strings; cells matching a ``null_tokens``
+    entry (case-insensitive) become None -- the loader's uncertainty
+    policies key on those missing values.
+    """
+
+    format_name = "csv"
+
+    def __init__(self, path: "str | os.PathLike", *, delimiter: str = ",",
+                 header: bool = True, columns: Optional[Sequence[str]] = None,
+                 null_tokens: Sequence[str] = DEFAULT_NULL_TOKENS) -> None:
+        self.path = os.fspath(path)
+        self.delimiter = delimiter
+        self.header = header
+        self.columns = list(columns) if columns is not None else None
+        self._null_tokens = frozenset(token.lower() for token in null_tokens)
+
+    def records(self) -> Iterator[Record]:
+        try:
+            handle = open(self.path, "r", newline="", encoding="utf-8")
+        except OSError as exc:
+            raise IngestError(f"cannot open CSV file {self.path!r}: {exc}") from exc
+        with handle:
+            reader = csv.reader(handle, delimiter=self.delimiter)
+            if self.header:
+                try:
+                    names = next(reader)
+                except StopIteration:
+                    return
+                if self.columns is None:
+                    self.columns = [name.strip() for name in names]
+            for line_number, cells in enumerate(reader, start=2 if self.header else 1):
+                if not cells:
+                    continue
+                yield tuple(_coerce_csv_value(cell, self._null_tokens)
+                            for cell in cells)
+
+
+class NDJSONSource(RowSource):
+    """Stream records from newline-delimited JSON.
+
+    ``source`` may be a file path, an open text/binary file, or any
+    iterable of lines (``str`` or ``bytes``) -- the HTTP server feeds the
+    split request body of ``POST /load`` in directly.  Each non-empty line
+    must decode to a JSON array (positional record) or object (column-name
+    mapping); anything else raises :class:`IngestError` naming the line.
+    """
+
+    format_name = "ndjson"
+
+    def __init__(self, source: "str | os.PathLike | Iterable[str | bytes]",
+                 columns: Optional[Sequence[str]] = None) -> None:
+        self._source = source
+        self.columns = list(columns) if columns is not None else None
+
+    def _lines(self) -> Iterator["str | bytes"]:
+        source = self._source
+        if isinstance(source, (str, os.PathLike)):
+            try:
+                handle = open(os.fspath(source), "r", encoding="utf-8")
+            except OSError as exc:
+                raise IngestError(
+                    f"cannot open NDJSON file {os.fspath(source)!r}: {exc}"
+                ) from exc
+            with handle:
+                yield from handle
+        else:
+            yield from source
+
+    def records(self) -> Iterator[Record]:
+        for line_number, line in enumerate(self._lines(), start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except ValueError as exc:
+                raise IngestError(
+                    f"NDJSON line {line_number} is not valid JSON: {exc}"
+                ) from exc
+            if isinstance(record, dict):
+                yield record
+            elif isinstance(record, list):
+                yield tuple(record)
+            else:
+                raise IngestError(
+                    f"NDJSON line {line_number} must be a JSON array or "
+                    f"object, got {type(record).__name__}"
+                )
+
+
+class ParquetSource(RowSource):
+    """Stream records from a Parquet file (requires ``pyarrow``).
+
+    The ingest package itself is stdlib-only; constructing a
+    :class:`ParquetSource` in an environment without pyarrow raises a
+    typed :class:`IngestError` telling the caller what to install, instead
+    of an ImportError from deep inside a load.
+    """
+
+    format_name = "parquet"
+
+    def __init__(self, path: "str | os.PathLike",
+                 batch_size: int = 65536) -> None:
+        try:
+            import pyarrow.parquet  # noqa: F401 - availability probe
+        except ImportError as exc:
+            raise IngestError(
+                "Parquet ingest requires the optional 'pyarrow' package, "
+                "which is not installed; load CSV or NDJSON instead"
+            ) from exc
+        self.path = os.fspath(path)
+        self.batch_size = batch_size
+
+    def records(self) -> Iterator[Record]:
+        import pyarrow.parquet as pq
+
+        try:
+            parquet_file = pq.ParquetFile(self.path)
+        except Exception as exc:  # pyarrow raises its own hierarchy
+            raise IngestError(
+                f"cannot open Parquet file {self.path!r}: {exc}") from exc
+        self.columns = [field.name for field in parquet_file.schema_arrow]
+        for batch in parquet_file.iter_batches(batch_size=self.batch_size):
+            columns = [column.to_pylist() for column in batch.columns]
+            for values in zip(*columns):
+                yield values
+
+
+#: File-extension to source-class dispatch used by :func:`open_source`.
+_EXTENSION_SOURCES: Dict[str, type] = {
+    "csv": CSVSource, "tsv": CSVSource,
+    "ndjson": NDJSONSource, "jsonl": NDJSONSource,
+    "parquet": ParquetSource,
+}
+
+
+def open_source(source: object, *, format: Optional[str] = None,
+                columns: Optional[Sequence[str]] = None,
+                **options: Any) -> RowSource:
+    """Resolve ``source`` into a :class:`RowSource`.
+
+    An existing :class:`RowSource` passes through unchanged.  A path picks
+    its format from ``format`` (``"csv"`` / ``"ndjson"`` / ``"parquet"``)
+    or, when omitted, the file extension (``.tsv`` implies a tab
+    delimiter).  Any other iterable -- a list of tuples, a generator of
+    dicts -- wraps as a :class:`RowsSource`.  Extra keyword ``options``
+    pass through to the source constructor (``delimiter``, ``header``,
+    ``null_tokens``, ...).
+    """
+    if isinstance(source, RowSource):
+        return source
+    if isinstance(source, (str, os.PathLike)):
+        path = os.fspath(source)
+        name = (format or path.rpartition(".")[2]).lower()
+        source_class = _EXTENSION_SOURCES.get(name)
+        if source_class is None:
+            raise IngestError(
+                f"cannot infer a loader for {path!r}; pass format= as one "
+                f"of: {', '.join(sorted(set(_EXTENSION_SOURCES)))}"
+            )
+        if source_class is CSVSource:
+            if name == "tsv":
+                options.setdefault("delimiter", "\t")
+            return CSVSource(path, columns=columns, **options)
+        if source_class is NDJSONSource:
+            return NDJSONSource(path, columns=columns)
+        return ParquetSource(path, **options)
+    if isinstance(source, Iterable):
+        return RowsSource(source, columns=columns)
+    raise IngestError(
+        f"unsupported load source {type(source).__name__}; pass a path, a "
+        f"RowSource, or an iterable of rows"
+    )

@@ -46,6 +46,10 @@ class UASemiring(Semiring):
     def __init__(self, base: Semiring) -> None:
         self.base = base
         self.name = f"{base.name}_UA"
+        # The identity pairs are immutable (frozen dataclass); caching them
+        # keeps per-row hot paths (inserts, is_zero checks) allocation-free.
+        self._zero = UAAnnotation(base.zero, base.zero)
+        self._one = UAAnnotation(base.one, base.one)
 
     # -- construction -------------------------------------------------------
 
@@ -77,11 +81,11 @@ class UASemiring(Semiring):
 
     @property
     def zero(self) -> UAAnnotation:
-        return UAAnnotation(self.base.zero, self.base.zero)
+        return self._zero
 
     @property
     def one(self) -> UAAnnotation:
-        return UAAnnotation(self.base.one, self.base.one)
+        return self._one
 
     # -- operations ----------------------------------------------------------
 

@@ -8,6 +8,9 @@ serves five endpoints over the pool:
   NDJSON for large results,
 * ``POST /execute``  -- DDL/DML (``CREATE TABLE`` / ``INSERT``); serialized
   through the pool's writer lock,
+* ``POST /load``     -- bulk ingest: an NDJSON body (header line + one
+  record per line) committed in batched chunks under the cross-process
+  write lock; see :mod:`repro.ingest`,
 * ``GET /tables``    -- catalog metadata,
 * ``GET /healthz``   -- liveness plus configuration,
 * ``GET /metrics``   -- request counts, latency percentiles, plan-cache hit
@@ -32,6 +35,7 @@ tests and notebooks (:class:`ServerThread`).
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
 import os
 import threading
@@ -48,6 +52,7 @@ from repro.db.params import ParameterError
 from repro.db.schema import SchemaError
 from repro.db.sql.lexer import SQLSyntaxError
 from repro.db.sql.translator import TranslationError
+from repro.ingest.sources import IngestError
 from repro.server import http
 from repro.server.fleet.auth import SecurityPolicy
 from repro.server.fleet.cache import ResultCache
@@ -72,6 +77,7 @@ ERROR_MAP: Tuple[Tuple[type, int, str, bool], ...] = (
     (SchemaError, 400, "schema_error", False),
     (UnknownEngineError, 400, "unknown_engine", False),
     (UnstorableRelationError, 400, "unstorable_relation", False),
+    (IngestError, 400, "ingest_error", False),
     (WriteLockTimeout, 503, "write_lock_timeout", True),
     (StoreError, 500, "store_error", False),
     (PoolTimeout, 503, "pool_timeout", True),
@@ -177,6 +183,7 @@ class UADBServer:
         self._routes = {
             "/query": ("POST", self._handle_query),
             "/execute": ("POST", self._handle_execute),
+            "/load": ("POST", self._handle_load),
             "/tables": ("GET", self._handle_tables),
             "/healthz": ("GET", self._handle_healthz),
             "/metrics": ("GET", self._handle_metrics),
@@ -355,9 +362,12 @@ class UADBServer:
         return await handler(request, writer)
 
     def _render_error(self, error: HTTPError, keep_alive: bool) -> bytes:
-        body = json_bytes({"error": {"code": error.code,
-                                     "message": error.message,
-                                     "retryable": error.retryable}})
+        payload = {"code": error.code, "message": error.message,
+                   "retryable": error.retryable}
+        # Structured context (e.g. max_body_bytes on a 413) rides inside the
+        # error object so SDKs never have to parse the prose message.
+        payload.update(error.details)
+        body = json_bytes({"error": payload})
         return http.render_response(error.status, body, keep_alive=keep_alive,
                                     extra_headers=error.headers or None)
 
@@ -566,6 +576,89 @@ class UADBServer:
                     cursor = conn.execute(sql, params)
                 return cursor.rowcount, time.perf_counter() - started
 
+    async def _handle_load(self, request: Request,
+                           writer: asyncio.StreamWriter) -> int:
+        """Bulk ingest one NDJSON batch.
+
+        Body protocol: the first line is a JSON header object --
+        ``{"table": ..., "columns": [...], "create": true, "chunk_size": N,
+        "uncertainty": null | "certain" | "flag" | "impute"}`` -- and every
+        following line is one record (JSON array or object).  The batch is
+        committed in :mod:`repro.ingest` chunks, each one WAL transaction;
+        the response is the load report with per-chunk breakdown.  Clients
+        with more rows than fit under ``max_body_bytes`` send several
+        ``/load`` requests (see ``Client.load``); each body is atomic per
+        chunk, not per request.
+        """
+        body = request.body
+        if not body:
+            raise HTTPError(400, "bad_request",
+                            "/load expects an NDJSON body: a JSON header "
+                            "line, then one record per line")
+        newline = body.find(b"\n")
+        header_line = body if newline < 0 else body[:newline]
+        records = b"" if newline < 0 else body[newline + 1:]
+        try:
+            header = json.loads(header_line)
+        except ValueError as error:
+            raise HTTPError(400, "bad_json",
+                            f"/load header line is not valid JSON: {error}")
+        if not isinstance(header, dict):
+            raise HTTPError(400, "bad_request",
+                            "/load header line must be a JSON object")
+        table = header.get("table")
+        if not isinstance(table, str) or not table.strip():
+            raise HTTPError(400, "bad_request",
+                            "'table' must be a non-empty string")
+        columns = header.get("columns")
+        if columns is not None and not (
+                isinstance(columns, list)
+                and columns
+                and all(isinstance(name, str) for name in columns)):
+            raise HTTPError(400, "bad_request",
+                            "'columns' must be a non-empty array of strings")
+        uncertainty = header.get("uncertainty")
+        if uncertainty is not None and uncertainty not in (
+                "certain", "flag", "impute"):
+            raise HTTPError(400, "bad_request",
+                            "'uncertainty' must be 'certain', 'flag' or "
+                            "'impute'")
+        create = header.get("create", True)
+        if not isinstance(create, bool):
+            raise HTTPError(400, "bad_request", "'create' must be a boolean")
+        chunk_size = header.get("chunk_size")
+        if chunk_size is not None and (
+                not isinstance(chunk_size, int) or isinstance(chunk_size, bool)
+                or chunk_size < 1):
+            raise HTTPError(400, "bad_request",
+                            "'chunk_size' must be a positive integer")
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            self._executor, self._run_load, table, records, columns,
+            create, chunk_size, uncertainty)
+        self._write_json(writer, 200, report, request.keep_alive)
+        return 200
+
+    def _run_load(self, table: str, records: bytes, columns, create: bool,
+                  chunk_size, uncertainty) -> Dict[str, Any]:
+        """Worker-thread body of ``POST /load``.
+
+        Same locking order as ``/execute``: cross-process ``flock`` first,
+        then the pool's writer lock inside each chunk's batched write.
+        """
+        from repro import ingest
+
+        source = ingest.NDJSONSource(records.split(b"\n"), columns=columns)
+        with self.coordinator.write(timeout=self.checkout_timeout):
+            with self.pool.connection(timeout=self.checkout_timeout) as conn:
+                report = ingest.load(
+                    conn, table, source, create=create,
+                    chunk_size=chunk_size or ingest.loader.DEFAULT_CHUNK_SIZE,
+                    uncertainty=uncertainty)
+        payload = report.to_dict()
+        payload["elapsed_ms"] = report.seconds * 1e3
+        return payload
+
     async def _handle_tables(self, request: Request,
                              writer: asyncio.StreamWriter) -> int:
         loop = asyncio.get_running_loop()
@@ -589,6 +682,9 @@ class UADBServer:
             "store": store.path if store is not None else None,
             "pool": {"in_use": stats["in_use"],
                      "max_connections": stats["max_connections"]},
+            # Advertised so SDKs can size /load chunks without probing for
+            # 413s (Client.load reads this before its first upload).
+            "limits": {"max_body_bytes": self.max_body_bytes},
         }, request.keep_alive)
         return 200
 

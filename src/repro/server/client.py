@@ -45,6 +45,7 @@ __all__ = [
     "BadRequestError",
     "Client",
     "InternalServerError",
+    "LoadReply",
     "QueryReply",
     "RateLimitedError",
     "ServerError",
@@ -197,6 +198,57 @@ class QueryReply:
                 f"({self.certain_count} certain) in {self.elapsed_ms:.2f}ms>")
 
 
+class LoadReply:
+    """The aggregated outcome of one :meth:`Client.load` bulk upload.
+
+    A client-side load splits into as many ``POST /load`` requests as the
+    server's body limit requires; this object folds their per-request
+    reports into batch totals.  ``requests`` is how many HTTP round trips
+    the batch took, ``chunks`` how many WAL transactions the server
+    committed, ``reports`` the raw per-request server reports (each with
+    its own per-chunk breakdown) in submission order.
+    """
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+        #: Total rows committed across every request of the batch.
+        self.rows = 0
+        #: Rows the server's uncertainty policy flagged uncertain.
+        self.uncertain_rows = 0
+        #: WAL transactions (= stats folds = version bumps) committed.
+        self.chunks = 0
+        #: HTTP requests the batch was split into.
+        self.requests = 0
+        #: Server-side seconds summed over the batch's requests.
+        self.server_seconds = 0.0
+        #: Client wall-clock seconds for the whole batch (set by ``load``).
+        self.seconds = 0.0
+        #: True when the first request created the table.
+        self.created = False
+        #: Raw per-request server reports, in submission order.
+        self.reports: List[Dict[str, Any]] = []
+
+    def add(self, report: Dict[str, Any]) -> None:
+        """Fold one ``POST /load`` response into the batch totals."""
+        self.requests += 1
+        self.rows += report.get("rows", 0)
+        self.uncertain_rows += report.get("uncertain_rows", 0)
+        self.chunks += report.get("chunks", 0)
+        self.server_seconds += report.get("seconds", 0.0)
+        self.created = self.created or bool(report.get("created"))
+        self.reports.append(report)
+
+    @property
+    def rows_per_second(self) -> float:
+        """Sustained end-to-end ingest rate seen by the client."""
+        return self.rows / self.seconds if self.seconds > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<LoadReply {self.table!r} {self.rows} rows in "
+                f"{self.chunks} chunks over {self.requests} requests "
+                f"({self.rows_per_second:.0f} rows/s)>")
+
+
 class Client:
     """A blocking JSON/HTTP client for one UA-DB server.
 
@@ -224,6 +276,7 @@ class Client:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self._connection: Optional[http.client.HTTPConnection] = None
+        self._max_body_bytes: Optional[int] = None
 
     # -- plumbing -----------------------------------------------------------------
 
@@ -253,18 +306,22 @@ class Client:
         time.sleep(delay + random.uniform(0, self.backoff_base))
 
     def _request(self, method: str, path: str,
-                 payload: Optional[Dict[str, Any]] = None
+                 payload: Optional[Dict[str, Any]] = None,
+                 body: Optional[bytes] = None,
+                 content_type: str = "application/json"
                  ) -> http.client.HTTPResponse:
-        body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload, default=repr).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        elif body is not None:
+            headers["Content-Type"] = content_type
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
-        # /execute is the one non-idempotent endpoint: an INSERT must never
-        # be silently resent once its bytes may have reached the server.
-        retry_after_send = path != "/execute"
+        # /execute and /load are the non-idempotent endpoints: a write must
+        # never be silently resent once its bytes may have reached the
+        # server.
+        retry_after_send = path not in ("/execute", "/load")
         attempts = max(2, self.max_retries + 1)
         for attempt in range(attempts):
             connection = self._connect()
@@ -320,10 +377,13 @@ class Client:
             retry_after)
 
     def _json(self, method: str, path: str,
-              payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+              payload: Optional[Dict[str, Any]] = None,
+              body: Optional[bytes] = None,
+              content_type: str = "application/json") -> Dict[str, Any]:
         retries = 0
         while True:
-            response = self._request(method, path, payload)
+            response = self._request(method, path, payload, body=body,
+                                     content_type=content_type)
             data = response.read()
             parsed = json.loads(data) if data else {}
             if response.status < 400:
@@ -434,6 +494,105 @@ class Client:
         """Run a DML statement once per parameter set (compiled once)."""
         payload = {"sql": sql, "params_seq": list(seq_of_params)}
         return self._json("POST", "/execute", payload)["rowcount"]
+
+    def max_body_bytes(self) -> int:
+        """The server's advertised request-body limit, cached per client.
+
+        Read from ``GET /healthz`` (the ``limits.max_body_bytes`` field);
+        servers from before the field advertise nothing and the 16 MiB
+        protocol default is assumed.  :meth:`load` sizes its uploads from
+        this, so an oversized batch never has to learn the limit from a
+        413.
+        """
+        if self._max_body_bytes is None:
+            limits = self.healthz().get("limits", {})
+            self._max_body_bytes = int(
+                limits.get("max_body_bytes", 16 * 1024 * 1024))
+        return self._max_body_bytes
+
+    def load(self, table: str, source: object, *,
+             columns: Optional[List[str]] = None, create: bool = True,
+             chunk_size: Optional[int] = None,
+             uncertainty: Optional[str] = None,
+             format: Optional[str] = None,
+             max_request_bytes: Optional[int] = None,
+             **source_options: Any) -> LoadReply:
+        """Bulk-load rows into the server, chunked to its body limit.
+
+        ``source`` is anything :func:`repro.ingest.sources.open_source`
+        accepts -- a CSV/NDJSON path (read locally, streamed out) or an
+        iterable of records (tuples/lists or dicts).  Records are
+        serialized as NDJSON and shipped in as many ``POST /load``
+        requests as needed: each request is auto-sized to the server's
+        advertised ``max_body_bytes`` (override with ``max_request_bytes``),
+        and the server commits it in WAL-transaction chunks of
+        ``chunk_size`` rows.  When ``chunk_size`` is given, request
+        boundaries are aligned to whole chunks (a byte-limited flush sends
+        the largest multiple of ``chunk_size`` rows and carries the
+        remainder), so every WAL transaction holds exactly the rows of one
+        client-side chunk -- concurrent readers then observe chunks
+        all-or-nothing.  ``uncertainty`` is the server-side load policy
+        (``"certain"``, ``"flag"`` or ``"impute"``).
+
+        Transient refusals (a contended write lock, a draining worker)
+        are retried with the standard backoff *before* a request is
+        dispatched; like ``/execute``, a request whose bytes may have
+        reached the server is never silently resent.  Returns a
+        :class:`LoadReply` with batch totals and per-request reports.
+        """
+        from repro.ingest.sources import IngestError, open_source
+
+        resolved = open_source(source, format=format, columns=columns,
+                               **source_options)
+        limit = max_request_bytes or self.max_body_bytes()
+        reply = LoadReply(table)
+        started = time.monotonic()
+
+        def header_bytes() -> bytes:
+            header: Dict[str, Any] = {"table": table, "create": create}
+            names = columns or resolved.columns
+            if names is not None:
+                header["columns"] = list(names)
+            if chunk_size is not None:
+                header["chunk_size"] = chunk_size
+            if uncertainty is not None:
+                header["uncertainty"] = uncertainty
+            return json.dumps(header, separators=(",", ":")).encode("utf-8")
+
+        def flush(lines: List[bytes]) -> None:
+            body = b"\n".join([header_bytes()] + lines)
+            reply.add(self._json("POST", "/load", body=body,
+                                 content_type="application/x-ndjson"))
+
+        buffered: List[bytes] = []
+        buffered_bytes = 0
+        for record in resolved:
+            if isinstance(record, dict):
+                line = json.dumps(record, default=repr).encode("utf-8")
+            else:
+                line = json.dumps(list(record), default=repr).encode("utf-8")
+            # Header size depends on source.columns, which file sources
+            # discover while reading; re-measure it per flush decision.
+            overhead = len(header_bytes()) + 1
+            if len(line) + overhead > limit:
+                raise IngestError(
+                    f"one record serializes to {len(line)} bytes, over the "
+                    f"server's {limit} byte request limit")
+            if buffered and overhead + buffered_bytes + len(line) + 1 > limit:
+                sent = len(buffered)
+                if chunk_size and sent > chunk_size:
+                    # Align the flush to whole chunks so WAL-transaction
+                    # boundaries match client-side chunk boundaries.
+                    sent = (sent // chunk_size) * chunk_size
+                flush(buffered[:sent])
+                buffered = buffered[sent:]
+                buffered_bytes = sum(len(kept) + 1 for kept in buffered)
+            buffered.append(line)
+            buffered_bytes += len(line) + 1
+        if buffered:
+            flush(buffered)
+        reply.seconds = time.monotonic() - started
+        return reply
 
     def tables(self) -> List[Dict[str, Any]]:
         """Catalog metadata: name, columns and row count per relation."""

@@ -57,18 +57,23 @@ class HTTPError(Exception):
     "retryable": ...}}``.  ``retryable`` tells clients whether re-sending
     the identical request can succeed (429 rate limits, 503 during drain or
     pool saturation); ``headers`` carries extra response headers such as
-    ``Retry-After`` or ``WWW-Authenticate``.
+    ``Retry-After`` or ``WWW-Authenticate``; ``details`` carries extra
+    machine-readable fields merged into the error object (the 413 response
+    reports ``max_body_bytes`` there, so client SDKs can resize chunks
+    without parsing prose).
     """
 
     def __init__(self, status: int, code: str, message: str,
                  retryable: bool = False,
-                 headers: Optional[Dict[str, str]] = None) -> None:
+                 headers: Optional[Dict[str, str]] = None,
+                 details: Optional[Dict[str, Any]] = None) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
         self.retryable = retryable
         self.headers = headers or {}
+        self.details = details or {}
 
 
 @dataclass
@@ -170,7 +175,9 @@ async def read_request(reader: asyncio.StreamReader,
         if length > max_body:
             raise HTTPError(413, "payload_too_large",
                             f"request body of {length} bytes exceeds the "
-                            f"{max_body} byte limit")
+                            f"{max_body} byte limit",
+                            details={"max_body_bytes": max_body,
+                                     "body_bytes": length})
         try:
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError:

@@ -583,3 +583,54 @@ def test_fleet_differential_against_in_process_oracle(tmp_path):
         for client in clients:
             client.close()
     oracle.close()
+
+
+def test_fleet_bulk_load_with_concurrent_reader_sees_whole_chunks(tmp_path):
+    """The acceptance ingest test: a bulk load through ``POST /load`` on a
+    live fleet, while a concurrent reader hammers the other worker.  Every
+    snapshot the reader observes may only contain *whole* chunks -- a torn
+    chunk would mean a reader saw a WAL transaction half-applied -- and
+    the final table must hold every row exactly once."""
+    store = _store_with_readings(tmp_path, "bulk")
+    chunk_size, chunks = 100, 30
+    with FleetProcess(store, workers=2, engine="sqlite") as fleet:
+        writer, reader = fleet.client(max_retries=8), fleet.client(max_retries=8)
+        writer.execute("CREATE TABLE events (chunk INT, i INT)")
+        torn = []
+        observed = []
+        stop = threading.Event()
+
+        def watch() -> None:
+            while not stop.is_set():
+                rows = reader.query("SELECT chunk, i FROM events").rows
+                seen = {}
+                for chunk, i in rows:
+                    seen.setdefault(chunk, set()).add(i)
+                for chunk, members in seen.items():
+                    if len(members) != chunk_size:
+                        torn.append((chunk, len(members)))
+                observed.append(len(rows))
+
+        thread = threading.Thread(target=watch)
+        thread.start()
+        try:
+            reply = writer.load(
+                "events",
+                ((chunk, i) for chunk in range(chunks)
+                 for i in range(chunk_size)),
+                columns=["chunk", "i"], chunk_size=chunk_size,
+                max_request_bytes=8192)
+        finally:
+            stop.set()
+            thread.join()
+        assert reply.rows == chunk_size * chunks
+        assert reply.chunks >= chunks  # one WAL transaction per chunk
+        assert reply.requests > 1  # the body limit forced several uploads
+        assert torn == [], f"reader observed torn chunks: {torn[:5]}"
+        # The reader genuinely raced the load: it saw intermediate sizes.
+        assert observed and observed[-1] <= chunk_size * chunks
+        final = reader.query("SELECT chunk, i FROM events").rows
+        assert len(final) == chunk_size * chunks
+        assert len(set(final)) == len(final)  # no duplicated rows
+        writer.close()
+        reader.close()

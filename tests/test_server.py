@@ -131,6 +131,9 @@ def test_healthz(served):
     assert health["engine"] == served.engine
     assert health["semiring"] == "N"
     assert health["pool"]["max_connections"] == 8
+    # The body limit is advertised so SDKs can size /load chunks.
+    assert health["limits"]["max_body_bytes"] > 0
+    assert served.client.max_body_bytes() == health["limits"]["max_body_bytes"]
     if served.disk:
         assert health["store"].endswith(".uadb")
 
@@ -183,6 +186,83 @@ def test_execute_and_query_roundtrip(served):
     with served.pool.connection() as conn:
         assert sorted(conn.query("SELECT a, b FROM t").rows()) == \
             [(1, "x"), (2, "y"), (3, "z")]
+
+
+def test_execute_params_seq_reports_total_rowcount(served):
+    """Regression: /execute with params_seq reports rows across the whole
+    batch, not whatever the final inner statement touched."""
+    client = served.client
+    client.execute("CREATE TABLE counted (a INT)")
+    assert client.executemany("INSERT INTO counted VALUES (?)",
+                              [[n] for n in range(17)]) == 17
+    # Multi-row VALUES lists count every row of every parameter set.
+    assert client.executemany("INSERT INTO counted VALUES (?), (?)",
+                              [[100, 101], [102, 103]]) == 4
+    with served.pool.connection() as conn:
+        assert len(conn.query("SELECT a FROM counted").rows()) == 21
+
+
+# -- bulk load --------------------------------------------------------------------
+
+
+def test_load_endpoint_roundtrip(served):
+    client = served.client
+    reply = client.load("loaded", [
+        {"id": 1, "score": 9.5},
+        {"id": 2, "score": None},
+        {"id": 3, "score": 7.0},
+    ], uncertainty="flag")
+    assert reply.rows == 3 and reply.created
+    assert reply.uncertain_rows == 1
+    assert reply.requests == 1 and reply.chunks == 1
+    assert reply.reports[0]["table"] == "loaded"
+    query = client.query("SELECT id FROM loaded WHERE id <= ?", [3])
+    assert sorted(query.rows) == [(1,), (2,), (3,)]
+    # The null-scored row loaded as an uncertain tuple.
+    assert sorted(query.certain_rows()) == [(1,), (3,)]
+    # Appending positional records into the now-existing table works too.
+    more = client.load("loaded", [(4, 1.5)], columns=["id", "score"])
+    assert more.rows == 1 and not more.created
+    with served.pool.connection() as conn:
+        assert len(conn.query("SELECT id FROM loaded").rows()) == 4
+
+
+def test_load_splits_to_server_body_limit(tmp_path):
+    pool = _make_pool("row", True, tmp_path, "chunked")
+    with ServerThread(pool=pool, port=0, max_body_bytes=2048) as thread:
+        client = thread.client()
+        rows = [{"n": n, "tag": f"row-{n:05d}"} for n in range(400)]
+        reply = client.load("bulk", rows, chunk_size=64)
+        assert reply.rows == 400
+        # The advertised 2 KiB limit forces many uploads; every request
+        # stayed under it (none answered 413) and nothing was lost.
+        assert reply.requests > 1
+        assert sum(r["rows"] for r in reply.reports) == 400
+        with pool.connection() as conn:
+            assert len(conn.query("SELECT n FROM bulk").rows()) == 400
+        client.close()
+    pool.close()
+
+
+def test_load_header_validation_errors(served):
+    client = served.client
+
+    def load_raw(body: bytes, code: str):
+        with pytest.raises(ServerError) as info:
+            client._json("POST", "/load", body=body,
+                         content_type="application/x-ndjson")
+        assert info.value.status == 400
+        assert info.value.code == code
+
+    load_raw(b"", "bad_request")
+    load_raw(b"not json\n[1]", "bad_json")
+    load_raw(b'{"table": ""}\n[1]', "bad_request")
+    load_raw(b'{"table": "t", "chunk_size": 0}\n[1]', "bad_request")
+    load_raw(b'{"table": "t", "uncertainty": "bogus"}\n[1]', "bad_request")
+    load_raw(b'{"table": "t", "columns": []}\n[1]', "bad_request")
+    # Body-level ingest failures map to the typed ingest_error.
+    load_raw(b'{"table": "t2"}\n[1]\nnot json', "ingest_error")
+    load_raw(b'{"table": "t3", "create": false}\n[1]', "ingest_error")
 
 
 def test_tables_catalog(served):
@@ -373,6 +453,14 @@ def test_oversized_body_is_rejected(tmp_path):
                          ["x" * 4096])
         assert info.value.status == 413
         assert info.value.code == "payload_too_large"
+        # The 413 body carries the limit machine-readably, and /healthz
+        # advertises the same number, so a client never has to probe.
+        response = client._request("POST", "/query",
+                                   {"sql": "SELECT 1", "pad": "x" * 4096})
+        error = json.loads(response.read())["error"]
+        assert error["max_body_bytes"] == 128
+        assert error["body_bytes"] > 128
+        assert client.max_body_bytes() == 128
         client.close()
     pool.close()
 

@@ -149,6 +149,44 @@ def test_out_of_band_mutation_triggers_one_rewrite(tmp_path):
     reopened.close()
 
 
+def test_sync_with_clean_snapshot_never_clobbers_foreign_appends(tmp_path):
+    """A stale-identity but unmutated relation must not trigger a rewrite.
+
+    The fleet refresh replaces catalog objects with freshly loaded copies
+    while lock-free engine syncs may still hold the previous object.  That
+    previous object is a clean snapshot of persisted state -- at most
+    *behind* the stored table when another process appended in the
+    meantime.  Rewriting from it would silently delete the foreign rows
+    (the bulk-load lost-chunk bug); sync must recognize the snapshot and
+    leave the table alone.
+    """
+    path = str(tmp_path / "snapshot.uadb")
+    conn = repro.connect(path, engine="sqlite")
+    conn.execute("CREATE TABLE t (a INT)")
+    conn.executemany("INSERT INTO t VALUES (?)", [(1,), (2,)])
+    old = conn.encoded.relation("t")
+
+    # A second process appends a row to the same store file.
+    foreign = repro.connect(path)
+    foreign.execute("INSERT INTO t VALUES (3)")
+    foreign.close()
+
+    # The refresh path replaces the fingerprint with a freshly loaded copy;
+    # ``old`` is now a stale identity but still an unmodified snapshot.
+    conn.store.load_relation("t")
+    loads_before = conn.store.loads
+    assert conn.store.sync("t", old) is False
+    assert conn.store.loads == loads_before
+    reloaded = conn.store.load_relation("t")
+    assert sorted(row for row, _ in reloaded.items()) == [
+        (1, 1), (2, 1), (3, 1)]
+
+    # A genuine out-of-band mutation still restores coherence by rewriting.
+    old.add((7, 1), 1)
+    assert conn.store.sync("t", old) is True
+    conn.close()
+
+
 def test_wal_mode_is_active(tmp_path):
     path = str(tmp_path / "wal.uadb")
     conn = repro.connect(path)
