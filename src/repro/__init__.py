@@ -21,10 +21,13 @@ The package is organized bottom-up:
 * :mod:`repro.experiments` -- one module per table/figure of the paper.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-from repro.core import UADatabase, UADBFrontend, UARelation
+from repro.core import (
+    AttributeBoundsRelation, RangeError, UADatabase, UADBFrontend, UARelation,
+)
 from repro.api import (
+    AttributeQueryResult,
     Connection,
     ConnectionPool,
     Cursor,
@@ -36,10 +39,13 @@ from repro.api import (
 )
 
 __all__ = [
+    "AttributeBoundsRelation",
+    "AttributeQueryResult",
     "Connection",
     "ConnectionPool",
     "Cursor",
     "PreparedStatement",
+    "RangeError",
     "StoreError",
     "UADatabase",
     "UADBFrontend",

@@ -18,6 +18,7 @@ A DB-API-2.0-flavored front door to UA-DBs (see :mod:`repro.api.session`):
 from repro.api.cache import PlanCache, SharedPlanCache, shared_plan_cache
 from repro.api.store import StoreError, UADBStore, UnstorableRelationError
 from repro.api.session import (
+    AttributeQueryResult,
     Connection,
     Cursor,
     PreparedPlan,
@@ -34,6 +35,7 @@ from repro.api.pool import (
 )
 
 __all__ = [
+    "AttributeQueryResult",
     "Connection",
     "ConnectionPool",
     "Cursor",

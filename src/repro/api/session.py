@@ -52,9 +52,15 @@ from repro.db.sql.ast import (
 from repro.db.sql.parser import parse_statement
 from repro.db.sql.translator import parse_query, translate
 from repro.semirings import NATURAL, Semiring
+from repro.core.attribute_bounds import (
+    AttributeBoundsRelation, decode_attribute_relation,
+    encode_attribute_relation, is_attribute_encoded,
+)
+from repro.core.attribute_rewriter import rewrite_attribute_plan
 from repro.core.encoding import decode_relation, encode_relation
 from repro.core.rewriter import rewrite_plan
 from repro.core.uadb import UADatabase, UARelation
+from repro.extensions.attribute_level import AttributeLabel
 from repro.incomplete.ctable import CTableDatabase
 from repro.incomplete.tidb import TIDatabase
 from repro.incomplete.xdb import XDatabase
@@ -156,6 +162,80 @@ class UAQueryResult:
 
 
 @dataclass
+class AttributeQueryResult:
+    """Result of an attribute-level query: rows with per-attribute bounds.
+
+    Produced by :meth:`Connection.query_bounds` (and by every query path of
+    a connection opened with ``annotation="attribute"``).  The underlying
+    :class:`~repro.core.attribute_bounds.AttributeBoundsRelation` holds one
+    *fragment* per distinct row of ``[lower, best, upper]`` ranges together
+    with a multiplicity triple; the accessors below project out the views
+    most callers want.
+    """
+
+    relation: AttributeBoundsRelation
+    #: Wall-clock evaluation time in seconds (binding + execution; includes
+    #: compilation only when the statement was not already cached).
+    elapsed: float = 0.0
+
+    def rows(self) -> List[Row]:
+        """Distinct best-guess rows (the best-guess-world answer)."""
+        return self.relation.rows()
+
+    def certain_rows(self) -> List[Row]:
+        """Rows certain in both existence and value: collapsed ranges with
+        a lower multiplicity bound of at least one."""
+        return self.relation.certain_rows()
+
+    def uncertain_rows(self) -> List[Row]:
+        """Best-guess rows that are not fully certain."""
+        certain = set(self.relation.certain_rows())
+        return [row for row in self.relation.rows() if row not in certain]
+
+    def bounded_rows(self) -> List[Tuple[Tuple, Tuple[int, int, int]]]:
+        """All fragments as ``(range-row, (m_lb, m_bg, m_ub))`` pairs.
+
+        Each range row holds one ``(lower, best, upper)`` triple per result
+        column; the list is deterministically sorted.
+        """
+        return self.relation.bounded_rows()
+
+    def labeled_rows(self) -> List[Tuple[Row, AttributeLabel]]:
+        """Best-guess rows paired with per-attribute certainty labels.
+
+        The label of a row is the *least certain* reading over the
+        fragments that produce it in the best-guess world:
+        ``existence_certain`` requires some producing fragment to be
+        certainly present (``m_lb >= 1``), and an attribute is uncertain
+        when any producing fragment's range for it is not collapsed.
+        """
+        names = self.relation.schema.attribute_names
+        merged: Dict[Row, Tuple[bool, set]] = {}
+        for ranges, (low, best, _high) in self.relation.items():
+            if best < 1:
+                continue
+            row = tuple(r[1] for r in ranges)
+            exists, uncertain = merged.get(row, (False, set()))
+            uncertain = set(uncertain)
+            uncertain.update(
+                names[i] for i, (lower, _b, upper) in enumerate(ranges)
+                if lower != upper)
+            merged[row] = (exists or low >= 1, uncertain)
+        pairs = [(row, AttributeLabel(exists, frozenset(uncertain)))
+                 for row, (exists, uncertain) in merged.items()]
+        pairs.sort(key=lambda pair: _row_sort_key(pair[0]))
+        return pairs
+
+    def __len__(self) -> int:
+        """Number of distinct fragments in the result."""
+        return len(self.relation)
+
+    def pretty(self, limit: int = 20) -> str:
+        """Human-readable table: ranges as ``[lower, best, upper]``."""
+        return self.relation.pretty(limit)
+
+
+@dataclass
 class PreparedPlan:
     """A compiled statement: everything the execute path needs, parse-free.
 
@@ -169,7 +249,7 @@ class PreparedPlan:
 
     sql: str
     kind: str  # "select" | "create" | "insert" | "explain"
-    mode: str  # "rewritten" | "direct"
+    mode: str  # "rewritten" | "direct" | "attribute"
     catalog_version: int
     plan: Optional[algebra.Operator] = None
     statement: Optional[Statement] = None
@@ -177,6 +257,10 @@ class PreparedPlan:
     #: Statistics version the plan was optimized under; the cache treats a
     #: mismatch as a miss so bulk INSERTs cannot pin a stale join order.
     stats_version: int = 0
+    #: Logical result-column names, in output order; ``"attribute"``-mode
+    #: plans need them to decode the canonical triple layout back into
+    #: named ranges.
+    output_names: Tuple[str, ...] = ()
 
 
 class Connection:
@@ -193,7 +277,16 @@ class Connection:
     and ``INSERT`` survive the process and a later connection reopens them
     (see :mod:`repro.api.store`).  Opening an existing store adopts its
     persisted semiring when ``semiring`` is left unset.
+
+    ``annotation`` picks the default query semantics: ``"tuple"`` (the
+    paper's UA labels) or ``"attribute"``, which routes ``query`` and
+    cursor ``execute`` through the attribute-level range rewriter so
+    results carry per-attribute ``[lower, best, upper]`` bounds (see
+    :meth:`query_bounds`, which is available regardless of the default).
     """
+
+    #: Compilation modes accepted by ``explain``/``prepare``/``statement_kind``.
+    MODES = ("rewritten", "direct", "attribute")
 
     def __init__(self, semiring: Optional[Semiring] = None, name: str = "uadb",
                  engine: Optional[object] = None,
@@ -203,9 +296,16 @@ class Connection:
                  store: Optional[object] = None,
                  create: bool = True,
                  plan_cache: Optional[object] = None,
-                 locking: Optional[object] = None) -> None:
+                 locking: Optional[object] = None,
+                 annotation: str = "tuple") -> None:
         from repro.api.cache import PlanCache, SharedPlanCache, shared_plan_cache
 
+        if annotation not in ("tuple", "attribute"):
+            raise SessionError(
+                f"unknown annotation level {annotation!r}; "
+                f"expected 'tuple' or 'attribute'")
+        #: Default annotation level for query paths that do not pick one.
+        self.annotation = annotation
         self.name = name
         #: Execution engine used for every statement (None = default engine).
         self.engine = engine
@@ -263,6 +363,14 @@ class Connection:
         # statistics through ``database.stats``.
         self.uadb.database.stats = self.stats
         self.encoded.stats = self.stats
+        #: Natively registered attribute-level relations (logical form).
+        self._attribute_relations: Dict[str, AttributeBoundsRelation] = {}
+        #: Their encoded (triple-layout) counterparts, by name.
+        self._attribute_encoded: Dict[str, KRelation] = {}
+        # Lazily built execution database for "attribute"-mode plans; the
+        # key records the catalog/stats versions it was derived under.
+        self._attribute_db: Optional[Database] = None
+        self._attribute_db_key: Optional[Tuple[int, int]] = None
         self._closed = False
         if self.store is not None:
             self._load_from_store()
@@ -297,6 +405,15 @@ class Connection:
         """Populate the catalogs from a (possibly pre-existing) store file."""
         for name in self.store.relation_names():
             encoded = self.store.load_relation(name)
+            if is_attribute_encoded(encoded.schema):
+                # Attribute-level tables persist in the triple layout; the
+                # ``#``-marked column names cannot come from the SQL
+                # surface, so the structural check cannot misfire on a
+                # stored UA relation.
+                self._attribute_encoded[name] = encoded
+                self._attribute_relations[name] = decode_attribute_relation(encoded)
+                self.stats.adopt(encoded)
+                continue
             self.encoded.add_relation(encoded)
             self.uadb.add_relation(
                 decode_relation(encoded, self.uadb.ua_semiring)
@@ -311,7 +428,8 @@ class Connection:
         with self._locking.write():
             encoded = encode_relation(relation)
             name = relation.schema.name
-            if name in self.uadb.database or name in self.encoded:
+            if (name in self.uadb.database or name in self.encoded
+                    or name in self._attribute_relations):
                 # Duplicate names fail *before* the store write, so a
                 # duplicate registration cannot clobber the persisted table
                 # of the existing relation.
@@ -389,6 +507,33 @@ class Connection:
         self._check_open()
         self._register(relation)
 
+    def register_attribute_relation(self,
+                                    relation: AttributeBoundsRelation) -> None:
+        """Register a native attribute-level relation (per-attribute ranges).
+
+        The relation persists to the store (when one is attached) in its
+        triple layout -- each logical attribute ``A`` as the columns ``A``
+        / ``A#lb`` / ``A#ub`` plus the trailing multiplicity triple -- so a
+        later connection reopens it as an attribute relation.  Query it
+        through :meth:`query_bounds` or any query path of an
+        ``annotation="attribute"`` connection; tuple-level query paths do
+        not see it.
+        """
+        self._check_open()
+        with self._locking.write():
+            name = relation.schema.name
+            if (name in self.uadb.database or name in self.encoded
+                    or name in self._attribute_relations):
+                raise SchemaError(f"relation {name!r} already exists")
+            relation.check_invariant()
+            encoded = encode_attribute_relation(relation, self.semiring)
+            self._persist_relation(encoded)
+            self._attribute_relations[name] = relation
+            self._attribute_encoded[name] = encoded
+            self.stats.collect(encoded)
+            self._bump_catalog_version()
+            self._bump_stats_version()
+
     def register_ua_database(self, uadb: UADatabase) -> None:
         """Register every relation of an existing UA-database."""
         self._check_open()
@@ -428,6 +573,46 @@ class Connection:
         """Schema of the encoded backing relations (with the ``C`` column)."""
         return self.encoded.schema
 
+    @property
+    def attribute_catalog(self) -> DatabaseSchema:
+        """Logical schema of every relation visible to attribute-mode queries.
+
+        Native attribute relations come first, then the tuple-level UA
+        relations -- which attribute-mode queries see through the
+        degenerate conversion (collapsed ranges, multiplicity
+        ``(certain, det, det)``), so bounds queries run against *every*
+        registered source.
+        """
+        catalog = DatabaseSchema()
+        for relation in self._attribute_relations.values():
+            catalog.add(relation.schema)
+        for ua_relation in self.uadb:
+            catalog.add(ua_relation.schema)
+        return catalog
+
+    def _attribute_database(self) -> Database:
+        """The execution database backing ``"attribute"``-mode plans.
+
+        Holds the triple-layout encoding of the native attribute relations
+        plus a derived encoding of every tuple-level UA relation; rebuilt
+        lazily whenever the catalog or the data (statistics version)
+        changed.  Callers hold the session's read lock.
+        """
+        key = (self.catalog_version, self.stats_version)
+        if self._attribute_db is None or self._attribute_db_key != key:
+            database = Database(self.semiring, f"{self.name}_attr",
+                                engine=self.engine)
+            for encoded in self._attribute_encoded.values():
+                database.add_relation(encoded)
+            for ua_relation in self.uadb:
+                database.add_relation(encode_attribute_relation(
+                    AttributeBoundsRelation.from_ua_relation(ua_relation),
+                    self.semiring))
+            database.stats = self.stats
+            self._attribute_db = database
+            self._attribute_db_key = key
+        return self._attribute_db
+
     def tables(self) -> List[Dict[str, Any]]:
         """Catalog metadata for every registered relation, in creation order.
 
@@ -439,7 +624,7 @@ class Connection:
         """
         self._check_open()
         with self._locking.read():
-            return [
+            listed = [
                 {
                     "name": relation.schema.name,
                     "columns": [
@@ -451,6 +636,23 @@ class Connection:
                 }
                 for relation in self.uadb
             ]
+            listed.extend(
+                {
+                    "name": relation.schema.name,
+                    "columns": [
+                        {"name": attribute.name,
+                         "type": attribute.data_type.name.lower()}
+                        for attribute in relation.schema.attributes
+                    ],
+                    # For attribute relations this counts fragments
+                    # (distinct range rows), the analogue of annotated
+                    # tuples.
+                    "row_count": len(relation),
+                    "annotation": "attribute",
+                }
+                for relation in self._attribute_relations.values()
+            )
+            return listed
 
     @property
     def catalog_version(self) -> int:
@@ -552,6 +754,7 @@ class Connection:
                                 statement=statement,
                                 parameters=tuple(parameters),
                                 stats_version=self.stats_version)
+        output_names: Tuple[str, ...] = ()
         if mode == "rewritten":
             logical = translate(statement, self.catalog)
             plan = rewrite_plan(logical, self.encoded_catalog)
@@ -560,6 +763,13 @@ class Connection:
             logical = translate(statement, self.catalog)
             plan = logical
             optimize_catalog = self.catalog
+        elif mode == "attribute":
+            logical = translate(statement, self.attribute_catalog)
+            rewrite = rewrite_attribute_plan(logical,
+                                             self._attribute_database().schema)
+            plan = rewrite.plan
+            output_names = rewrite.columns
+            optimize_catalog = self._attribute_database().schema
         else:
             raise SessionError(f"unknown compilation mode {mode!r}")
         parameters = plan_parameters(logical)
@@ -572,14 +782,16 @@ class Connection:
             plan = optimize_plan(plan, optimize_catalog, stats=self.stats)
         return PreparedPlan(sql, "select", mode, self.catalog_version,
                             plan=plan, parameters=tuple(parameters),
-                            stats_version=self.stats_version)
+                            stats_version=self.stats_version,
+                            output_names=output_names)
 
     # -- statement execution ------------------------------------------------------
 
-    def _execute_entry(self, entry: PreparedPlan,
-                       params: Params = None) -> Union[UAQueryResult, int]:
-        """Run a prepared plan: a :class:`UAQueryResult` for SELECTs, a row
-        count for INSERTs, 0 for CREATE TABLE."""
+    def _execute_entry(self, entry: PreparedPlan, params: Params = None,
+                       ) -> Union["UAQueryResult", "AttributeQueryResult", int]:
+        """Run a prepared plan: a :class:`UAQueryResult` (or, in
+        ``"attribute"`` mode, an :class:`AttributeQueryResult`) for SELECTs,
+        a row count for INSERTs, 0 for CREATE TABLE."""
         self._check_open()
         if entry.kind == "explain":
             # EXPLAIN never executes the wrapped statement, so parameter
@@ -593,6 +805,14 @@ class Connection:
             return self._run_insert(entry.statement, params)  # type: ignore[arg-type]
         started = time.perf_counter()
         with self._locking.read():
+            if entry.mode == "attribute":
+                encoded_result = evaluate(entry.plan, self._attribute_database(),
+                                          engine=self.engine, optimize=False,
+                                          params=params)
+                bounds = decode_attribute_relation(
+                    encoded_result, attributes=entry.output_names)
+                return AttributeQueryResult(bounds,
+                                            time.perf_counter() - started)
             if entry.mode == "rewritten":
                 encoded_result = evaluate(entry.plan, self.encoded, engine=self.engine,
                                           optimize=False, params=params)
@@ -762,7 +982,12 @@ class Connection:
         from repro.db import cost
         from repro.db.engine import get_engine
 
-        database = self.encoded if mode == "rewritten" else self.uadb.database
+        if mode == "rewritten":
+            database = self.encoded
+        elif mode == "attribute":
+            database = self._attribute_database()
+        else:
+            database = self.uadb.database
         resolved = get_engine(self.engine)
         stats = self.stats
         if resolved.name == "auto":
@@ -821,7 +1046,7 @@ class Connection:
         only for the ``"auto"`` engine).  The SQL form ``EXPLAIN SELECT ...``
         returns the same information as a ``(step, detail)`` relation.
         """
-        if mode not in ("rewritten", "direct"):
+        if mode not in self.MODES:
             raise SessionError(f"unknown compilation mode {mode!r}")
         entry = self._entry(sql, mode)
         if entry.kind not in ("select", "explain"):
@@ -881,7 +1106,7 @@ class Connection:
         the ``mode`` the statement will later run under so the compiled
         plan lands in the cache entry that execution reuses.
         """
-        if mode not in ("rewritten", "direct"):
+        if mode not in self.MODES:
             raise SessionError(f"unknown compilation mode {mode!r}")
         return self._entry(sql, mode).kind
 
@@ -906,7 +1131,12 @@ class Connection:
         compiled_sql = getattr(engine, "compiled_sql", None)
         if compiled_sql is None:
             return None
-        database = self.encoded if mode == "rewritten" else self.uadb.database
+        if mode == "rewritten":
+            database = self.encoded
+        elif mode == "attribute":
+            database = self._attribute_database()
+        else:
+            database = self.uadb.database
         try:
             return compiled_sql(entry.plan, database)
         except NotSupportedError:
@@ -914,12 +1144,44 @@ class Connection:
 
     # -- query paths (result-object API) ------------------------------------------
 
+    def _default_mode(self) -> str:
+        """The compilation mode implied by the connection's annotation level."""
+        return "attribute" if self.annotation == "attribute" else "rewritten"
+
     def query(self, sql: str, params: Params = None) -> UAQueryResult:
-        """Answer a SQL query with UA semantics via the rewriting pipeline."""
+        """Answer a SQL query under the connection's annotation level.
+
+        Tuple-level connections (the default) run the Figure 8/9 rewriting
+        pipeline and return a :class:`UAQueryResult`;
+        ``annotation="attribute"`` connections run the range rewriter and
+        return an :class:`AttributeQueryResult` instead.
+        """
         started = time.perf_counter()
-        entry = self._entry(sql, "rewritten")
+        entry = self._entry(sql, self._default_mode())
         if entry.kind not in ("select", "explain"):
             raise SessionError("query() expects a SELECT statement")
+        result = self._execute_entry(entry, params)
+        result.elapsed = time.perf_counter() - started  # type: ignore[union-attr]
+        return result  # type: ignore[return-value]
+
+    def query_bounds(self, sql: str, params: Params = None) -> AttributeQueryResult:
+        """Answer a SQL query with attribute-level ``[lower, best, upper]`` bounds.
+
+        Compiles through the range rewriter
+        (:func:`repro.core.attribute_rewriter.rewrite_attribute_plan`) and
+        executes over the triple-layout encodings: natively registered
+        attribute relations plus the degenerate conversion of every
+        tuple-level relation, so any registered source can be queried for
+        bounds.  Works on every connection regardless of its default
+        ``annotation`` level; the supported fragment is the positive
+        algebra plus ``DISTINCT`` and COUNT/SUM/MIN/MAX aggregation
+        (:class:`~repro.core.attribute_rewriter.AttributeRewriteError`
+        otherwise).
+        """
+        started = time.perf_counter()
+        entry = self._entry(sql, "attribute")
+        if entry.kind not in ("select", "explain"):
+            raise SessionError("query_bounds() expects a SELECT statement")
         result = self._execute_entry(entry, params)
         result.elapsed = time.perf_counter() - started  # type: ignore[union-attr]
         return result  # type: ignore[return-value]
@@ -988,7 +1250,7 @@ class Cursor:
 
     def __init__(self, connection: Connection) -> None:
         self.connection = connection
-        self._result: Optional[UAQueryResult] = None
+        self._result: Optional[Union[UAQueryResult, AttributeQueryResult]] = None
         self._rows: List[Row] = []
         self._cursor_index = 0
         self._rowcount = -1
@@ -998,11 +1260,17 @@ class Cursor:
     # -- execution ----------------------------------------------------------------
 
     def execute(self, sql: str, params: Params = None) -> "Cursor":
-        """Execute a statement; returns the cursor itself (chainable)."""
+        """Execute a statement; returns the cursor itself (chainable).
+
+        On an ``annotation="attribute"`` connection SELECTs run through
+        the range rewriter: fetches return best-guess rows as usual while
+        :attr:`result` and :meth:`labeled_rows` expose the per-attribute
+        bounds.
+        """
         self._check_open()
-        entry = self.connection._entry(sql, "rewritten")
+        entry = self.connection._entry(sql, self.connection._default_mode())
         outcome = self.connection._execute_entry(entry, params)
-        if isinstance(outcome, UAQueryResult):
+        if isinstance(outcome, (UAQueryResult, AttributeQueryResult)):
             self._install_result(outcome)
         else:
             self._result = None
@@ -1025,7 +1293,7 @@ class Cursor:
         :attr:`rowcount` reports the total rows inserted across the batch.
         """
         self._check_open()
-        entry = self.connection._entry(sql, "rewritten")
+        entry = self.connection._entry(sql, self.connection._default_mode())
         if entry.kind == "select":
             raise SessionError(
                 "executemany() is for INSERT-style statements; use execute() "
@@ -1045,7 +1313,8 @@ class Cursor:
         self._rowcount = total
         return self
 
-    def _install_result(self, result: UAQueryResult) -> None:
+    def _install_result(self,
+                        result: Union[UAQueryResult, AttributeQueryResult]) -> None:
         self._result = result
         self._rows = result.rows()
         self._cursor_index = 0
@@ -1068,8 +1337,9 @@ class Cursor:
         return self._rowcount
 
     @property
-    def result(self) -> UAQueryResult:
-        """The full annotated result of the last query."""
+    def result(self) -> Union[UAQueryResult, AttributeQueryResult]:
+        """The full annotated result of the last query (an
+        :class:`AttributeQueryResult` on attribute-level connections)."""
         if self._result is None:
             raise SessionError("no query result; execute a SELECT first")
         return self._result
@@ -1117,8 +1387,11 @@ class Cursor:
         """Rows of the last query not labeled certain."""
         return self.result.uncertain_rows()
 
-    def labeled_rows(self) -> List[Tuple[Row, bool]]:
-        """Sorted ``(row, certain?)`` pairs of the last query."""
+    def labeled_rows(self) -> List[Tuple[Row, Any]]:
+        """Sorted ``(row, label)`` pairs of the last query: a certainty
+        boolean on tuple-level connections, an
+        :class:`~repro.extensions.attribute_level.AttributeLabel` exposing
+        per-attribute certainty on attribute-level ones."""
         return self.result.labeled_rows()
 
     # -- lifecycle ----------------------------------------------------------------
@@ -1152,7 +1425,7 @@ class PreparedStatement:
 
     def __init__(self, connection: Connection, sql: str,
                  mode: str = "rewritten") -> None:
-        if mode not in ("rewritten", "direct"):
+        if mode not in Connection.MODES:
             raise SessionError(f"unknown compilation mode {mode!r}")
         self.connection = connection
         self.sql = sql
@@ -1207,7 +1480,8 @@ def connect(*args: Union[Semiring, str, os.PathLike, UADBStore],
             cache_size: int = 128,
             shared_cache: bool = False,
             store: Optional[object] = None,
-            create: bool = True) -> Connection:
+            create: bool = True,
+            annotation: str = "tuple") -> Connection:
     """Open a UA-DB session.
 
     Example::
@@ -1240,6 +1514,17 @@ def connect(*args: Union[Semiring, str, os.PathLike, UADBStore],
     bounds the prepared-plan LRU cache (0 disables caching), and
     ``create=False`` refuses to initialize a missing store file
     (:class:`~repro.api.store.StoreError`).
+
+    ``annotation="attribute"`` switches the connection's default query
+    semantics to attribute-level bounds: ``query`` and cursor ``execute``
+    return results whose cells carry ``[lower, best-guess, upper]`` ranges
+    (see :meth:`Connection.query_bounds`, also available per-query on
+    tuple-level connections)::
+
+        conn = repro.connect(annotation="attribute")
+        conn.execute("CREATE TABLE r (v INT)")
+        conn.execute("INSERT INTO r VALUES (10)")
+        print(conn.query("SELECT SUM(v) FROM r").bounded_rows())
 
     ``shared_cache=True`` opts in to the process-wide
     :class:`~repro.api.cache.SharedPlanCache` for this ``(name, semiring)``
@@ -1281,4 +1566,5 @@ def connect(*args: Union[Semiring, str, os.PathLike, UADBStore],
         name = args[1]
     return Connection(semiring=semiring, name=name, engine=engine,
                       optimize=optimize, cache_size=cache_size,
-                      shared_cache=shared_cache, store=store, create=create)
+                      shared_cache=shared_cache, store=store, create=create,
+                      annotation=annotation)

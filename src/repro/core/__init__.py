@@ -11,9 +11,28 @@
 * :mod:`repro.core.rewriter` -- the Figure 8/9 query rewriting over the
   encoded representation,
 * :mod:`repro.core.frontend` -- a user-facing front-end that registers
-  uncertain sources, compiles SQL and returns annotated results.
+  uncertain sources, compiles SQL and returns annotated results,
+* :mod:`repro.core.attribute_bounds` / :mod:`repro.core.attribute_rewriter`
+  -- the attribute-level (AU-DB) extension: relations carrying
+  per-attribute ``[lower, best, upper]`` ranges, their triple-column
+  encoding, and the rewriter that propagates bounds through the positive
+  algebra, ``DISTINCT`` and grouping aggregation.
 """
 
+from repro.core.attribute_bounds import (
+    AttributeBoundsRelation,
+    RangeError,
+    attribute_encoded_schema,
+    decode_attribute_relation,
+    encode_attribute_relation,
+    is_attribute_encoded,
+    logical_schema_from_encoded,
+)
+from repro.core.attribute_rewriter import (
+    AttributeRewrite,
+    AttributeRewriteError,
+    rewrite_attribute_plan,
+)
 from repro.core.uadb import UARelation, UADatabase
 from repro.core.labeling import (
     label_tidb, label_xdb, label_ctable, label_ordb, label_kw_exact, Labeling,
@@ -27,6 +46,16 @@ from repro.core.rewriter import rewrite_plan
 from repro.core.frontend import UADBFrontend, UAQueryResult
 
 __all__ = [
+    "AttributeBoundsRelation",
+    "AttributeRewrite",
+    "AttributeRewriteError",
+    "RangeError",
+    "attribute_encoded_schema",
+    "decode_attribute_relation",
+    "encode_attribute_relation",
+    "is_attribute_encoded",
+    "logical_schema_from_encoded",
+    "rewrite_attribute_plan",
     "UARelation",
     "UADatabase",
     "Labeling",

@@ -24,7 +24,7 @@ certain really does appear in every possible world.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.db import algebra
@@ -46,6 +46,14 @@ class AttributeLabel:
 
     existence_certain: bool
     uncertain_attributes: FrozenSet[str] = frozenset()
+    # Lower-cased uncertain-attribute names, computed once per label:
+    # ``attribute_certain`` runs per cell when labeling result rows.
+    _lowered: FrozenSet[str] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_lowered",
+            frozenset(a.lower() for a in self.uncertain_attributes))
 
     @property
     def certain(self) -> bool:
@@ -54,7 +62,7 @@ class AttributeLabel:
 
     def attribute_certain(self, name: str) -> bool:
         """True when the attribute's value is the same in every world."""
-        return name.lower() not in {a.lower() for a in self.uncertain_attributes}
+        return name.lower() not in self._lowered
 
     def better_than(self, other: "AttributeLabel") -> bool:
         """Partial preference order used when merging duplicate rows."""

@@ -5,7 +5,9 @@ serves five endpoints over the pool:
 
 * ``POST /query``    -- parameterized SQL ``SELECT``; returns UA-labeled rows
   (best-guess values plus a per-row certain flag), optionally streamed as
-  NDJSON for large results,
+  NDJSON for large results; ``mode="attribute"`` answers with AU-DB range
+  fragments whose ``bounds`` carry per-cell ``[lower, best, upper]``
+  triples and ``[m_lb, m_bg, m_ub]`` multiplicities,
 * ``POST /execute``  -- DDL/DML (``CREATE TABLE`` / ``INSERT``); serialized
   through the pool's writer lock,
 * ``POST /load``     -- bulk ingest: an NDJSON body (header line + one
@@ -390,9 +392,10 @@ class UADBServer:
                             "'params' must be an array (positional) or an "
                             "object (named)")
         mode = payload.get("mode", "rewritten")
-        if mode not in ("rewritten", "direct"):
+        if mode not in ("rewritten", "direct", "attribute"):
             raise HTTPError(400, "bad_request",
-                            f"unknown mode {mode!r}; use 'rewritten' or 'direct'")
+                            f"unknown mode {mode!r}; use 'rewritten', "
+                            "'direct' or 'attribute'")
         stream = bool(payload.get("stream", False))
         loop = asyncio.get_running_loop()
         if not stream:
@@ -420,8 +423,9 @@ class UADBServer:
                                               keep_alive=request.keep_alive,
                                               extra_headers=extra))
             return 200
-        columns, types, rows, certain, elapsed = await loop.run_in_executor(
-            self._executor, self._run_query, sql, params, mode)
+        columns, types, rows, certain, bounds, elapsed = (
+            await loop.run_in_executor(
+                self._executor, self._run_query, sql, params, mode))
         summary = {
             "row_count": len(rows),
             "certain_count": sum(certain),
@@ -429,12 +433,13 @@ class UADBServer:
         }
         await self._stream_rows(writer, request,
                                 {"columns": columns, "types": types},
-                                rows, certain, summary)
+                                rows, certain, bounds, summary)
         return 200
 
     async def _stream_rows(self, writer: asyncio.StreamWriter,
                            request: Request, header: Dict[str, Any],
                            rows: List[Any], certain: List[bool],
+                           bounds: Optional[List[Any]],
                            summary: Dict[str, Any]) -> None:
         """Send a query result as streamed NDJSON: header, rows, summary.
 
@@ -444,7 +449,9 @@ class UADBServer:
         materialized (the engines are not streaming); what streams is the
         encode-and-send, with backpressure via ``drain()`` every
         :data:`STREAM_FLUSH_BYTES`, so a slow client never balloons the
-        server's write buffer.
+        server's write buffer.  Attribute-mode results (``bounds`` not
+        ``None``) carry each fragment's per-cell range triples and
+        multiplicity on its row line.
         """
         chunked = request.version != "HTTP/1.0"
         writer.write(http.render_response(
@@ -452,8 +459,11 @@ class UADBServer:
             keep_alive=request.keep_alive, chunked=chunked,
             eof_delimited=not chunked))
         buffer = bytearray(json_bytes(header) + b"\n")
-        for row, certain_flag in zip(rows, certain):
-            buffer += json_bytes({"row": row, "certain": certain_flag}) + b"\n"
+        for index, (row, certain_flag) in enumerate(zip(rows, certain)):
+            record = {"row": row, "certain": certain_flag}
+            if bounds is not None:
+                record["bounds"] = bounds[index]
+            buffer += json_bytes(record) + b"\n"
             if len(buffer) >= STREAM_FLUSH_BYTES:
                 writer.write(http.chunk(bytes(buffer)) if chunked
                              else bytes(buffer))
@@ -485,18 +495,21 @@ class UADBServer:
             body = cache.get(key)
             if body is not None:
                 return body, True
-        columns, types, rows, certain, elapsed = self._execute_query(
+        columns, types, rows, certain, bounds, elapsed = self._execute_query(
             sql, params, mode)
         # Results are unbounded, so the (potentially large) JSON encode
         # happens here on the worker thread -- the event loop only ships
         # bytes.
-        body = json_bytes({
+        payload: Dict[str, Any] = {
             "columns": columns, "types": types,
             "rows": rows, "certain": certain,
             "row_count": len(rows),
             "certain_count": sum(certain),
             "elapsed_ms": elapsed * 1e3,
-        })
+        }
+        if bounds is not None:
+            payload["bounds"] = bounds
+        body = json_bytes(payload)
         if key is not None:
             cache.put(key, body)
         return body, False
@@ -507,12 +520,21 @@ class UADBServer:
         return self._execute_query(sql, params, mode)
 
     def _execute_query(self, sql: str, params, mode: str):
-        """Check out a connection, execute, and label rows with certainty."""
+        """Check out a connection, execute, and label rows with certainty.
+
+        Returns ``(columns, types, rows, certain, bounds, elapsed)``;
+        ``bounds`` is ``None`` for the tuple-level modes and, in mode
+        ``"attribute"``, a list parallel to ``rows`` carrying each
+        fragment's per-cell ``[lower, best, upper]`` triples and its
+        ``[m_lb, m_bg, m_ub]`` multiplicity.
+        """
         with self.pool.connection(timeout=self.checkout_timeout) as conn:
             if conn.statement_kind(sql, mode=mode) not in ("select", "explain"):
                 raise HTTPError(400, "invalid_statement",
                                 "/query only accepts SELECT/EXPLAIN "
                                 "statements; use /execute for DDL/DML")
+            if mode == "attribute":
+                return self._execute_attribute_query(conn, sql, params)
             if mode == "rewritten":
                 result = conn.query(sql, params)
             else:
@@ -524,7 +546,34 @@ class UADBServer:
                      for attribute in relation.schema.attributes]
             rows = result.rows()
             certain = [relation.is_certain(row) for row in rows]
-            return columns, types, rows, certain, result.elapsed
+            return columns, types, rows, certain, None, result.elapsed
+
+    @staticmethod
+    def _execute_attribute_query(conn, sql: str, params):
+        """Attribute-mode body of ``/query``: one row per range fragment.
+
+        Each fragment of the :class:`~repro.core.AttributeBoundsRelation`
+        answer yields its best-guess row, a certainty flag (collapsed
+        ranges and ``m_lb >= 1``), and a bounds record with the per-cell
+        ``[lower, best, upper]`` triples plus the fragment's multiplicity
+        triple -- so clients see the full AU-DB answer, not just the
+        best-guess world.
+        """
+        result = conn.query_bounds(sql, params)
+        relation = result.relation
+        columns = list(relation.schema.attribute_names)
+        types = [attribute.data_type.name.lower()
+                 for attribute in relation.schema.attributes]
+        rows: List[Any] = []
+        certain: List[bool] = []
+        bounds: List[Dict[str, Any]] = []
+        for ranges, multiplicity in relation.bounded_rows():
+            rows.append([r[1] for r in ranges])
+            certain.append(multiplicity[0] >= 1 and all(
+                r[0] == r[2] or r[0] is None for r in ranges))
+            bounds.append({"cells": [list(r) for r in ranges],
+                           "multiplicity": list(multiplicity)})
+        return columns, types, rows, certain, bounds, result.elapsed
 
     async def _handle_execute(self, request: Request,
                               writer: asyncio.StreamWriter) -> int:

@@ -160,6 +160,12 @@ class QueryReply:
     ``certain[i]`` is True when ``rows[i]`` is in **every** possible world
     of the uncertain input.  ``columns``/``types`` describe the schema and
     ``elapsed_ms`` is the server-side evaluation time.
+
+    Attribute-mode answers (``mode="attribute"``) additionally carry
+    ``bounds``: one record per row with ``"cells"`` (per-attribute
+    ``[lower, best, upper]`` triples) and ``"multiplicity"`` (the
+    fragment's ``[m_lb, m_bg, m_ub]`` triple).  ``bounds`` is ``None``
+    for tuple-level replies.
     """
 
     def __init__(self, payload: Dict[str, Any]) -> None:
@@ -170,6 +176,7 @@ class QueryReply:
         self.row_count: int = payload["row_count"]
         self.certain_count: int = payload["certain_count"]
         self.elapsed_ms: float = payload["elapsed_ms"]
+        self.bounds: Optional[List[Dict[str, Any]]] = payload.get("bounds")
 
     def labeled_rows(self) -> List[Tuple[Row, bool]]:
         """``(row, certain?)`` pairs sorted for stable output.
@@ -405,7 +412,10 @@ class Client:
 
         ``mode="direct"`` evaluates K_UA semantics without the Figure 8/9
         rewriting (the validation path); the default runs the rewritten
-        query over the encoded database.
+        query over the encoded database.  ``mode="attribute"`` runs the
+        AU-DB range rewriting -- the reply's :attr:`QueryReply.bounds`
+        then carries per-cell ``[lower, best, upper]`` triples and
+        fragment multiplicities.
         """
         payload: Dict[str, Any] = {"sql": sql, "mode": mode}
         if params is not None:
@@ -422,7 +432,9 @@ class Client:
         closed) before the client is used again -- one connection, one
         in-flight response.  A connection dying mid-stream raises
         :class:`StreamInterrupted` (resume is not supported; re-run the
-        query).
+        query).  In ``mode="attribute"`` the yielded pairs are the
+        best-guess rows with fragment-certainty flags; use :meth:`query`
+        when the per-cell ``bounds`` records are needed.
         """
         payload: Dict[str, Any] = {"sql": sql, "mode": mode, "stream": True}
         if params is not None:

@@ -7,6 +7,13 @@ engines and asserts identical :class:`KRelation` contents -- annotations
 included -- and identical certain/best-guess labels.  Plans outside the
 SQLite engine's compilable fragment must *fall back* (logged warning, same
 result), never error or diverge.
+
+The attribute-annotation axis runs the same matrix one level up: an
+attribute-mode corpus (selections, joins, DISTINCT, grouping and scalar
+aggregation over ``[lower, best, upper]`` ranges) must produce identical
+:class:`~repro.core.AttributeBoundsRelation` fragments -- ranges and
+multiplicity triples both -- on every engine, with and without the
+optimizer.
 """
 
 from __future__ import annotations
@@ -198,6 +205,100 @@ def test_parameterized_results_identical_across_engines():
         for other in results[1:]:
             assert other.relation == results[0].relation
             assert other.labeled_rows() == results[0].labeled_rows()
+
+
+# -- attribute-annotation axis -----------------------------------------------------
+
+
+def _attribute_sessions(name: str) -> List[repro.Connection]:
+    """One session per (engine, optimizer) cell over one shared AU source.
+
+    The source mixes a native range relation ``t(g, x)`` with a tuple-level
+    UA relation ``readings`` entering through the degenerate conversion, so
+    the axis covers both attribute-mode entry paths.
+    """
+    from repro.core import AttributeBoundsRelation
+    from repro.core.uadb import UADatabase, UARelation
+
+    native = AttributeBoundsRelation(RelationSchema("t", (
+        Attribute("g", DataType.INTEGER), Attribute("x", DataType.INTEGER))))
+    native.add_bounded(((1, 1, 1), (5, 7, 9)), (1, 1, 1))
+    native.add_bounded(((1, 1, 2), (0, 1, 3)), (0, 1, 2))
+    native.add_bounded(((3, 3, 3), (4, 4, 4)), (1, 2, 2))
+    uadb = UADatabase(NATURAL, "attr_axis")
+    readings = UARelation(RelationSchema("readings", [
+        Attribute("sensor", DataType.INTEGER),
+        Attribute("temp", DataType.INTEGER),
+    ]), uadb.ua_semiring)
+    readings.add_tuple((1, 71), certain=1, determinized=1)
+    readings.add_tuple((2, 64), certain=0, determinized=1)
+    readings.add_tuple((3, 99), certain=0, determinized=2)
+    uadb.add_relation(readings)
+    sessions = []
+    for engine in ENGINES:
+        for optimize in (False, True):
+            conn = repro.connect(engine=engine, optimize=optimize,
+                                 name=f"{name}-{engine}-{optimize}")
+            conn.register_attribute_relation(native)
+            conn.register_ua_database(uadb)
+            sessions.append(conn)
+    return sessions
+
+
+ATTRIBUTE_QUERIES = [
+    "SELECT g, x FROM t",
+    "SELECT g, x FROM t WHERE x + g > 5",
+    "SELECT DISTINCT g FROM t",
+    "SELECT x * 2 AS d FROM t WHERE g <= 2",
+    "SELECT g, sum(x) AS total, count(*) AS n FROM t GROUP BY g",
+    "SELECT min(x) AS lo, max(x) AS hi FROM t",
+    "SELECT g, temp FROM t, readings WHERE g = sensor",
+    "SELECT g, sum(temp) AS total FROM t, readings "
+    "WHERE g = sensor GROUP BY g",
+    "SELECT g FROM t UNION ALL SELECT sensor FROM readings",
+    "SELECT sensor, temp FROM readings WHERE temp >= :lo",
+]
+
+
+@pytest.mark.parametrize("sql", ATTRIBUTE_QUERIES)
+def test_attribute_bounds_identical_across_engines(sql):
+    """Every engine cell produces the same fragments, bounds and labels."""
+    sessions = _attribute_sessions("attr")
+    params = {"lo": 70} if ":lo" in sql else None
+    try:
+        results = [conn.query_bounds(sql, params) for conn in sessions]
+        baseline = results[0]
+        baseline.relation.check_invariant()
+        for other in results[1:]:
+            assert other.relation == baseline.relation
+            assert other.labeled_rows() == baseline.labeled_rows()
+            assert other.certain_rows() == baseline.certain_rows()
+            assert other.bounded_rows() == baseline.bounded_rows()
+    finally:
+        for conn in sessions:
+            conn.close()
+
+
+def test_attribute_connection_mode_matches_query_bounds():
+    """annotation="attribute" sessions route plain query() to the same path."""
+    conn_default = repro.connect(engine="row", name="attr-default")
+    conn_attr = repro.connect(engine="row", annotation="attribute",
+                              name="attr-session")
+    from repro.core import AttributeBoundsRelation
+
+    native = AttributeBoundsRelation(RelationSchema("t", (
+        Attribute("g", DataType.INTEGER), Attribute("x", DataType.INTEGER))))
+    native.add_bounded(((1, 1, 2), (0, 1, 3)), (0, 1, 2))
+    try:
+        conn_default.register_attribute_relation(native)
+        conn_attr.register_attribute_relation(native)
+        sql = "SELECT g, sum(x) AS s FROM t GROUP BY g"
+        via_bounds = conn_default.query_bounds(sql)
+        via_mode = conn_attr.query(sql)
+        assert via_mode.relation == via_bounds.relation
+    finally:
+        conn_default.close()
+        conn_attr.close()
 
 
 # -- randomized property suite ----------------------------------------------------
